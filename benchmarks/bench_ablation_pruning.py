@@ -1,0 +1,110 @@
+"""Ablation: Hoeffding-bound real-time pruning (Section 4.1.4).
+
+The paper's claim: most generated item pairs can never enter a
+similar-items list, and pruning them eliminates their update cost with
+negligible effect on the lists that matter. We replay the same clustered
+stream through the practical CF with and without the pruner, count pair
+updates, and check the top-k lists still agree on the strong structure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.itemcf import HoeffdingPruner, PracticalItemCF
+from repro.types import UserAction
+
+from benchmarks.conftest import report
+
+
+def clustered_stream(num_clusters=6, items_per_cluster=4, rounds=300, seed=1):
+    """Strong in-cluster co-clicks plus recurring cross-cluster noise.
+
+    The noise picks from a small pool of "clickbait" items, so the same
+    weak pairs are observed repeatedly — exactly the pairs whose updates
+    the Hoeffding bound is meant to cut off.
+    """
+    rng = np.random.default_rng(seed)
+    num_items = num_clusters * items_per_cluster
+    actions = []
+    t = 0.0
+    for round_index in range(rounds):
+        cluster_index = int(rng.integers(num_clusters))
+        user = f"u{round_index}"
+        base = cluster_index * items_per_cluster
+        for offset in range(items_per_cluster):
+            actions.append(UserAction(user, f"i{base + offset}", "click", t))
+            t += 1.0
+        if round_index % 2 == 0:
+            clickbait = int(rng.integers(3))  # a tiny pool of junk items
+            foreign = (base + items_per_cluster + clickbait) % num_items
+            actions.append(UserAction(user, f"i{foreign}", "browse", t))
+            t += 1.0
+    return actions
+
+
+@pytest.fixture(scope="module")
+def pruning_runs():
+    actions = clustered_stream()
+    unpruned = PracticalItemCF(linked_time=10**9, k=3)
+    unpruned.observe_many(actions)
+    pruned = PracticalItemCF(
+        linked_time=10**9, k=3, pruner=HoeffdingPruner(delta=0.05)
+    )
+    pruned.observe_many(actions)
+    return actions, unpruned, pruned
+
+
+def top_list_overlap(a: PracticalItemCF, b: PracticalItemCF) -> float:
+    overlaps = []
+    for item in a.table.known_items():
+        top_a = {other for other, __ in a.table.top_similar(item)}
+        top_b = {other for other, __ in b.table.top_similar(item)}
+        if top_a or top_b:
+            overlaps.append(len(top_a & top_b) / len(top_a | top_b))
+    return float(np.mean(overlaps))
+
+
+def test_pruning_saves_updates_and_preserves_lists(pruning_runs, benchmark):
+    actions, unpruned, pruned = pruning_runs
+    saved = 1.0 - pruned.stats.pair_updates / unpruned.stats.pair_updates
+    overlap = top_list_overlap(unpruned, pruned)
+    report(
+        "ablation_pruning",
+        "\n".join(
+            [
+                "Ablation: Hoeffding real-time pruning (Section 4.1.4)",
+                f"events replayed:        {len(actions)}",
+                f"pair updates, no prune: {unpruned.stats.pair_updates}",
+                f"pair updates, pruned:   {pruned.stats.pair_updates}"
+                f"  ({saved:.0%} saved)",
+                f"pairs pruned:           {pruned.pruner.pruned_pairs}",
+                f"updates skipped:        {pruned.stats.pruned_skips}",
+                f"top-k list Jaccard overlap vs unpruned: {overlap:.2f}",
+            ]
+        ),
+    )
+    assert pruned.pruner.pruned_pairs > 0
+    assert saved > 0.10
+    assert overlap > 0.75
+
+    # timing: ingest rate with pruning enabled
+    engine = PracticalItemCF(
+        linked_time=10**9, k=3, pruner=HoeffdingPruner(delta=0.05)
+    )
+    cursor = iter(actions * 1000)
+
+    def ingest_one():
+        engine.observe(next(cursor))
+
+    benchmark(ingest_one)
+
+
+def test_unpruned_ingest_rate(pruning_runs, benchmark):
+    actions, __, ___ = pruning_runs
+    engine = PracticalItemCF(linked_time=10**9, k=3)
+    cursor = iter(actions * 1000)
+
+    def ingest_one():
+        engine.observe(next(cursor))
+
+    benchmark(ingest_one)

@@ -1,0 +1,121 @@
+"""Throughput and latency of the streaming pipeline (Sections 1, 6.1).
+
+The paper's deployment handles 4 billion actions/day with sub-second
+update latency by scaling tasks horizontally; correctness is independent
+of parallelism because fields grouping pins each key to one task. Here
+we measure (a) single-process ingest and query rates of the practical
+CF, and (b) that the full Storm topology's results are identical across
+parallelism levels while per-event tuple traffic stays bounded.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.itemcf import HoeffdingPruner, PracticalItemCF
+from repro.storm import LocalCluster
+from repro.tdstore import TDStoreCluster
+from repro.topology import StateKeys
+from repro.topology.framework import CFTopologyConfig, build_cf_topology
+from repro.types import UserAction
+from repro.utils.clock import SimClock
+
+from benchmarks.conftest import report
+
+
+def action_stream(num_events=4000, num_users=400, num_items=300, seed=8):
+    rng = np.random.default_rng(seed)
+    kinds = ["browse", "click", "share", "purchase"]
+    return [
+        UserAction(
+            f"u{int(rng.integers(num_users))}",
+            f"i{int(rng.integers(num_items))}",
+            kinds[int(rng.integers(len(kinds)))],
+            float(index),
+        )
+        for index in range(num_events)
+    ]
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return action_stream()
+
+
+def test_cf_ingest_throughput(stream, benchmark):
+    engine = PracticalItemCF(
+        linked_time=6 * 3600.0,
+        session_seconds=3600.0,
+        window_sessions=24,
+        pruner=HoeffdingPruner(0.001),
+    )
+    cursor = iter(stream * 1000)
+
+    def ingest_one():
+        engine.observe(next(cursor))
+
+    result = benchmark(ingest_one)
+    # the paper's bar: each event updates in well under a second
+    assert benchmark.stats["mean"] < 0.01
+
+
+def test_cf_query_latency(stream, benchmark):
+    engine = PracticalItemCF(linked_time=6 * 3600.0)
+    engine.observe_many(stream)
+    users = [f"u{n}" for n in range(400)]
+    cursor = iter(users * 10000)
+
+    def query_one():
+        engine.recommend(next(cursor), 10, now=len(stream) + 1.0)
+
+    benchmark(query_one)
+    assert benchmark.stats["mean"] < 0.05
+
+
+_TOTALS_BY_PARALLELISM: dict[int, float] = {}
+
+
+@pytest.mark.parametrize("parallelism", [1, 2, 4])
+def test_topology_scaling(stream, parallelism, benchmark):
+    """Same counts at any parallelism; tuple traffic per event bounded."""
+
+    def run_once():
+        clock = SimClock()
+        store = TDStoreCluster(num_data_servers=4, num_instances=32)
+        topology = build_cf_topology(
+            "cf",
+            list(stream[:1500]),
+            clock,
+            store.client,
+            CFTopologyConfig(parallelism=parallelism),
+        )
+        cluster = LocalCluster(clock=clock)
+        metrics = cluster.submit(topology)
+        cluster.run_until_idle()
+        return store, metrics
+
+    store, metrics = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    client = store.client()
+    total = sum(
+        client.get(StateKeys.item_count(f"i{n}"), 0.0) for n in range(300)
+    )
+    report(
+        f"throughput_parallelism_{parallelism}",
+        "\n".join(
+            [
+                f"CF topology at parallelism {parallelism}",
+                f"events: 1500, tuples transferred: "
+                f"{metrics.tuples_transferred}",
+                f"total executions: {metrics.total_executed()}",
+                f"sum of itemCounts (must match across parallelism): "
+                f"{total:.1f}",
+            ]
+        ),
+    )
+    assert total > 0
+    _TOTALS_BY_PARALLELISM[parallelism] = total
+    # fields grouping makes results independent of the task count
+    first = next(iter(_TOTALS_BY_PARALLELISM.values()))
+    assert all(
+        abs(value - first) < 1e-6
+        for value in _TOTALS_BY_PARALLELISM.values()
+    )

@@ -1,0 +1,60 @@
+"""YiXun-style recommendation positions (Section 6.4, Figure 12).
+
+Builds an e-commerce world with topic-priced commodities, trains the
+similar-purchase and similar-price engines on a day of traffic, and
+shows what each position recommends while a user browses a commodity.
+
+Run:  python examples/ecommerce_positions.py
+"""
+
+from repro.evaluation import PriceIndex, SimilarPriceEngine, SimilarPurchaseEngine
+from repro.simulation import ecommerce_scenario
+
+
+def main():
+    scenario = ecommerce_scenario(seed=11, num_users=200, initial_items=250)
+    profiles = scenario.population.profile
+    price_index = PriceIndex()
+    purchase_position = SimilarPurchaseEngine(profiles)
+    price_position = SimilarPriceEngine(profiles, price_index)
+    for item in scenario.catalog.all_items():
+        price_position.on_new_item(item.meta)
+
+    # one simulated day of organic shopping traffic trains both engines
+    print("simulating a day of shopping traffic...")
+    event_count = 0
+    for hour in range(24):
+        now = hour * 3600.0
+        for user in scenario.population.users():
+            if user.activity < 0.5 or hour % 3 != 0:
+                continue
+            for action in scenario.behavior.organic_session(user, now):
+                purchase_position.observe(action)
+                price_position.observe(action)
+                event_count += 1
+    print(f"trained on {event_count} user actions\n")
+
+    shopper = scenario.population.users()[0]
+    now = 25 * 3600.0
+    anchor = scenario.behavior.pick_browsing_item(shopper, now)
+    meta = anchor.meta
+    print(f"{shopper.user_id} is browsing {anchor.item_id} "
+          f"(topic {anchor.topic}, price {meta.price:.0f})\n")
+
+    context = {"anchor": anchor.item_id}
+    print("similar-purchase position (users who bought this also bought):")
+    for rec in purchase_position.recommend(shopper.user_id, 5, now, context):
+        item = scenario.catalog.get(rec.item_id)
+        print(f"  {rec.item_id}  topic={item.topic}  "
+              f"price={item.meta.price:.0f}  score={rec.score:.3f}")
+
+    print("\nsimilar-price position (goods with similar prices):")
+    for rec in price_position.recommend(shopper.user_id, 5, now, context):
+        item = scenario.catalog.get(rec.item_id)
+        print(f"  {rec.item_id}  topic={item.topic}  "
+              f"price={item.meta.price:.0f}  score={rec.score:.3f}")
+        assert 0.7 * meta.price <= item.meta.price <= 1.4 * meta.price
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""The full TencentRec stack on one machine (Figures 1–9).
+
+Raw user actions are published to TDAccess; a Storm topology
+(Pretreatment -> UserHistory -> ItemCount/PairCount -> SimList, plus the
+multi-hash demographic branch) consumes them and maintains CF state in
+TDStore; the recommender engine answers queries from that state; a
+worker is then killed to show that state survives in TDStore.
+
+Run:  python examples/full_system_topology.py
+"""
+
+from repro.engine import EngineConfig, RecommenderEngine, RecommenderFrontEnd
+from repro.simulation import video_scenario
+from repro.storm import LocalCluster
+from repro.tdaccess import TDAccessCluster
+from repro.tdstore import TDStoreCluster
+from repro.topology import StateKeys
+from repro.topology.framework import CFTopologyConfig, build_cf_topology
+from repro.topology.spouts import TDAccessSpout
+from repro.storm.topology import TopologyBuilder
+from repro.storm.grouping import FieldsGrouping, ShuffleGrouping
+from repro.topology import (
+    ItemCountBolt,
+    PairCountBolt,
+    PretreatmentBolt,
+    SimListBolt,
+    UserHistoryBolt,
+    GroupCountBolt,
+)
+from repro.utils.clock import SimClock
+
+
+def main():
+    clock = SimClock()
+    scenario = video_scenario(seed=3, num_users=120, initial_items=100)
+
+    # --- data access layer: applications publish raw actions -------------
+    tdaccess = TDAccessCluster(clock, num_data_servers=3)
+    tdaccess.create_topic("user_actions", num_partitions=6)
+    producer = tdaccess.producer()
+    print("generating a morning of traffic into TDAccess...")
+    for hour in range(6):
+        now = hour * 3600.0
+        for user in scenario.population.users():
+            if int(user.activity * 10) % 2 == 0 and hour % 2 == 0:
+                for action in scenario.behavior.organic_session(user, now):
+                    producer.send(
+                        "user_actions",
+                        {
+                            "user": action.user_id,
+                            "item": action.item_id,
+                            "action": action.action,
+                            "timestamp": action.timestamp,
+                        },
+                        key=action.user_id,
+                    )
+    print(f"published {producer.sent} raw action messages")
+
+    # --- status storage + processing topology ----------------------------
+    tdstore = TDStoreCluster(num_data_servers=4, num_instances=32)
+    group_of = lambda user_id: (  # noqa: E731 - tiny adapter
+        scenario.population.profile(user_id).gender or "global"
+    )
+    builder = TopologyBuilder("tencentrec-cf")
+    builder.add_spout(
+        "spout", lambda: TDAccessSpout(tdaccess.consumer("user_actions"), clock)
+    )
+    builder.add_bolt("pretreatment", PretreatmentBolt, 2).grouping(
+        "spout", ShuffleGrouping(), "raw_action"
+    )
+    builder.add_bolt(
+        "userHistory",
+        lambda: UserHistoryBolt(tdstore.client, group_of=group_of),
+        2,
+    ).grouping("pretreatment", FieldsGrouping(["user"]), "user_action")
+    builder.add_bolt(
+        "itemCount", lambda: ItemCountBolt(tdstore.client), 2
+    ).grouping("userHistory", FieldsGrouping(["item"]), "item_delta")
+    builder.add_bolt(
+        "pairCount", lambda: PairCountBolt(tdstore.client, pruning_delta=0.01), 2
+    ).grouping("userHistory", FieldsGrouping(["pair_a", "pair_b"]), "pair_delta")
+    builder.add_bolt(
+        "simList", lambda: SimListBolt(tdstore.client, k=10), 2
+    ).grouping("pairCount", FieldsGrouping(["item"]), "sim_update").grouping(
+        "pairCount", FieldsGrouping(["item"]), "prune"
+    )
+    builder.add_bolt(
+        "groupCount", lambda: GroupCountBolt(tdstore.client), 2
+    ).grouping("userHistory", FieldsGrouping(["group"]), "group_delta")
+
+    cluster = LocalCluster(clock=clock)
+    metrics = cluster.submit(builder.build())
+    cluster.run_until_idle()
+    print(f"topology processed {metrics.total_executed()} tuple executions "
+          f"across {len(metrics.tasks)} tasks")
+
+    # --- query time --------------------------------------------------------
+    engine = RecommenderEngine(
+        tdstore.client(), EngineConfig(group_of=group_of)
+    )
+    front_end = RecommenderFrontEnd(engine, algorithm="cf")
+    query_client = tdstore.client()
+    shopper = next(
+        user.user_id
+        for user in scenario.population.users()
+        if query_client.get(StateKeys.history(user.user_id))
+    )
+    print(f"\nrecommendations for {shopper}:")
+    for rec in front_end.query(shopper, 5, clock.now()):
+        print(f"  {rec.item_id}  score={rec.score:.2f}  via {rec.source}")
+
+    # --- fault tolerance: kill a stateful worker --------------------------
+    print("\nkilling a userHistory task (its in-memory cache is lost)...")
+    cluster.kill_task("tencentrec-cf", "userHistory", 0)
+    history = tdstore.client().get(StateKeys.history(shopper), {})
+    print(f"user history for {shopper} still in TDStore: "
+          f"{len(history)} items — state survived the crash")
+
+
+if __name__ == "__main__":
+    main()

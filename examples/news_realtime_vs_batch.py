@@ -1,0 +1,55 @@
+"""Real-time vs. hourly-batch news recommendation (Figures 10–11, small).
+
+Runs a three-day news simulation with breaking-news churn and compares
+TencentRec's real-time content-based engine against the same engine
+refreshed once per hour (the paper's 'Original'), printing the daily CTR
+and read-count series.
+
+Run:  python examples/news_realtime_vs_batch.py
+"""
+
+from repro.evaluation import (
+    ABTestConfig,
+    ABTestRunner,
+    TencentRecCBEngine,
+    format_daily_ctr_series,
+    make_original,
+)
+from repro.simulation import news_scenario
+
+
+def main():
+    scenario = news_scenario(
+        seed=7, num_users=150, initial_items=80, arrivals_per_day=150
+    )
+
+    def item_alive(item_id, now):
+        return scenario.catalog.get(item_id).meta.is_active(now)
+
+    profiles = scenario.population.profile
+    engines = {
+        "tencentrec": TencentRecCBEngine(profiles, item_alive=item_alive),
+        "original": make_original(
+            TencentRecCBEngine(profiles, item_alive=item_alive),
+            update_interval=3600.0,  # the paper: "updated once an hour"
+        ),
+    }
+    runner = ABTestRunner(
+        scenario, engines, ABTestConfig(num_days=3)
+    )
+    print("simulating three days of news traffic "
+          f"({len(scenario.population)} users)...")
+    result = runner.run()
+
+    print()
+    print(format_daily_ctr_series(result, "tencentrec", "original"))
+    print()
+    print(format_daily_ctr_series(result, "tencentrec", "original",
+                                  metric="reads"))
+    avg, low, high = result.improvement_summary("tencentrec", "original")
+    print(f"\nCTR improvement: avg {avg:+.2f}% (min {low:+.2f}%, "
+          f"max {high:+.2f}%)  [paper's News row: +6.62 (3.22..14.5)]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""The introduction's query, answered end to end (Figure 7 topology).
+
+"During the last ten seconds, what is the CTR of an advertisement among
+the male users in Beijing, whose age is from twenty to thirty?" — raw
+impression/click events flow from TDAccess through the Figure 7 topology
+(spout -> pretreatment -> ctrStore -> ctrBolt -> resultStorage), and the
+query is answered from TDStore.
+
+Run:  python examples/situational_ctr.py
+"""
+
+import numpy as np
+
+from repro.engine import RecommenderEngine
+from repro.storm import LocalCluster
+from repro.tdaccess import TDAccessCluster
+from repro.tdstore import TDStoreCluster
+from repro.topology import StateKeys
+from repro.topology.framework import build_ctr_topology
+from repro.topology.spouts import TDAccessSpout
+from repro.types import UserProfile
+from repro.utils.clock import SimClock
+
+
+def build_population(rng):
+    profiles = {}
+    for index in range(300):
+        user_id = f"user-{index}"
+        profiles[user_id] = UserProfile(
+            user_id,
+            gender="male" if rng.random() < 0.5 else "female",
+            age=int(rng.integers(18, 60)),
+            region="beijing" if rng.random() < 0.5 else "shanghai",
+        )
+    return profiles
+
+
+def main():
+    rng = np.random.default_rng(9)
+    clock = SimClock()
+    profiles = build_population(rng)
+
+    tdaccess = TDAccessCluster(clock, num_data_servers=2)
+    tdaccess.create_topic("ad_events", 4)
+    producer = tdaccess.producer()
+
+    # young Beijing men click ad-42 a lot; everyone else mostly ignores it
+    print("publishing ad traffic...")
+    for second in range(10):
+        for user_id, profile in profiles.items():
+            if rng.random() > 0.4:
+                continue
+            now = float(second)
+            producer.send("ad_events", {
+                "user": user_id, "item": "ad-42",
+                "action": "impression", "timestamp": now,
+            }, key=user_id)
+            is_target = (
+                profile.gender == "male"
+                and profile.region == "beijing"
+                and profile.age is not None and 20 <= profile.age < 30
+            )
+            click_probability = 0.45 if is_target else 0.03
+            if rng.random() < click_probability:
+                producer.send("ad_events", {
+                    "user": user_id, "item": "ad-42",
+                    "action": "click", "timestamp": now,
+                }, key=user_id)
+
+    tdstore = TDStoreCluster(num_data_servers=3, num_instances=16)
+    topology = build_ctr_topology(
+        "ads",
+        lambda: TDAccessSpout(tdaccess.consumer("ad_events"), clock),
+        tdstore.client,
+        profiles.get,
+    )
+    cluster = LocalCluster(clock=clock)
+    cluster.submit(topology)
+    cluster.run_until_idle()
+
+    client = tdstore.client()
+    target_key = "region=beijing&gender=male&age=age25-34"
+    young_key = "region=beijing&gender=male&age=age18-24"
+    for label, key in [("25-34", target_key), ("18-24", young_key)]:
+        impressions = client.get(StateKeys.impressions("ad-42", key), 0.0)
+        clicks = client.get(StateKeys.clicks("ad-42", key), 0.0)
+        ctr = client.get(StateKeys.ctr("ad-42", key), 0.0)
+        print(f"ad-42 among Beijing males {label}: "
+              f"{int(impressions)} impressions, {int(clicks)} clicks, "
+              f"smoothed CTR {ctr:.3f}")
+    overall = client.get(StateKeys.ctr("ad-42", "any"), 0.0)
+    print(f"ad-42 overall smoothed CTR: {overall:.3f}")
+
+    engine = RecommenderEngine(client)
+    target_user = next(
+        u for u, p in profiles.items()
+        if p.gender == "male" and p.region == "beijing"
+        and p.age and 25 <= p.age < 30
+    )
+    ranked = engine.rank_by_ctr(target_user, ["ad-42"], 1, profiles.get)
+    print(f"predicted CTR of ad-42 for {target_user}: {ranked[0].score:.3f}")
+
+
+if __name__ == "__main__":
+    main()

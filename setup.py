@@ -1,0 +1,10 @@
+"""Compatibility shim.
+
+`pip install -e .` needs the `wheel` package; on fully offline machines
+without it, `python setup.py develop` installs the package in editable
+mode using nothing but setuptools.
+"""
+
+from setuptools import setup
+
+setup()

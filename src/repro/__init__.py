@@ -1,0 +1,69 @@
+"""TencentRec reproduction: real-time stream recommendation in practice.
+
+A from-scratch Python implementation of the system described in
+*TencentRec: Real-time Stream Recommendation in Practice* (SIGMOD 2015):
+a Storm-like stream processor (``repro.storm``), the TDAccess pub/sub
+layer (``repro.tdaccess``), the TDStore distributed KV store
+(``repro.tdstore``), the recommendation algorithm suite
+(``repro.algorithms``) with the paper's practical incremental item-based
+CF at its centre, the multi-layer topology assembly (``repro.topology``),
+the query-time engine (``repro.engine``), and a synthetic-workload
+evaluation harness (``repro.simulation`` / ``repro.evaluation``) that
+regenerates the paper's Table 1 and Figures 10–14.
+
+Quick start::
+
+    from repro import PracticalItemCF, UserAction
+
+    cf = PracticalItemCF()
+    cf.observe(UserAction("alice", "movie-1", "click", timestamp=0.0))
+    cf.observe(UserAction("alice", "movie-2", "click", timestamp=1.0))
+    recommendations = cf.recommend("alice", n=5, now=2.0)
+"""
+
+from repro.types import (
+    UserAction,
+    Recommendation,
+    UserProfile,
+    ItemMeta,
+)
+from repro.algorithms import (
+    Recommender,
+    ActionWeights,
+    DEFAULT_ACTION_WEIGHTS,
+    BasicItemCF,
+    PracticalItemCF,
+    HoeffdingPruner,
+    ContentBasedRecommender,
+    DemographicRecommender,
+    DemographicScheme,
+    AssociationRuleRecommender,
+    SituationalCTR,
+    CTRRecommender,
+    PeriodicRecommender,
+)
+from repro.utils.clock import SimClock
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "UserAction",
+    "Recommendation",
+    "UserProfile",
+    "ItemMeta",
+    "Recommender",
+    "ActionWeights",
+    "DEFAULT_ACTION_WEIGHTS",
+    "BasicItemCF",
+    "PracticalItemCF",
+    "HoeffdingPruner",
+    "ContentBasedRecommender",
+    "DemographicRecommender",
+    "DemographicScheme",
+    "AssociationRuleRecommender",
+    "SituationalCTR",
+    "CTRRecommender",
+    "PeriodicRecommender",
+    "SimClock",
+    "__version__",
+]

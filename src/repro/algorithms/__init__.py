@@ -1,0 +1,52 @@
+"""Recommendation algorithms (Section 4).
+
+The practical item-based CF of Section 4.1 is the centrepiece; the
+content-based, demographic-based, association-rule and situational-CTR
+algorithms round out the suite TencentRec offers applications, and the
+baseline module provides the periodically-rebuilt "Original"
+recommenders the paper compares against in Section 6.
+"""
+
+from repro.algorithms.base import Recommender
+from repro.algorithms.ratings import ActionWeights, DEFAULT_ACTION_WEIGHTS
+from repro.algorithms.itemcf import (
+    BasicItemCF,
+    PracticalItemCF,
+    SimilarityTable,
+    WindowedSimilarityTable,
+    HoeffdingPruner,
+    ItemCFPredictor,
+)
+from repro.algorithms.content_based import ContentBasedRecommender
+from repro.algorithms.demographic import (
+    DemographicScheme,
+    DemographicRecommender,
+)
+from repro.algorithms.association_rules import AssociationRuleRecommender
+from repro.algorithms.ctr import SituationalCTR, CTRRecommender
+from repro.algorithms.filtering import RecentItemsTracker
+from repro.algorithms.baseline import PeriodicRecommender
+from repro.algorithms.user_based import UserBasedCF
+from repro.algorithms.grouped import GroupedItemCF
+
+__all__ = [
+    "Recommender",
+    "ActionWeights",
+    "DEFAULT_ACTION_WEIGHTS",
+    "BasicItemCF",
+    "PracticalItemCF",
+    "SimilarityTable",
+    "WindowedSimilarityTable",
+    "HoeffdingPruner",
+    "ItemCFPredictor",
+    "ContentBasedRecommender",
+    "DemographicScheme",
+    "DemographicRecommender",
+    "AssociationRuleRecommender",
+    "SituationalCTR",
+    "CTRRecommender",
+    "RecentItemsTracker",
+    "PeriodicRecommender",
+    "UserBasedCF",
+    "GroupedItemCF",
+]

@@ -1,0 +1,127 @@
+"""The association-rule (AR) based algorithm (Section 4).
+
+Mines pairwise rules ``i -> j`` from user sessions: support counts how
+many users engaged with both items within a session horizon; confidence
+is support(i, j) / support(i). Recommendations follow the rules fired by
+the user's recent items, ranked by confidence with support as
+tie-breaker. Counts update incrementally per event, like everything else
+in TencentRec.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.algorithms.base import Recommender
+from repro.algorithms.itemcf.similarity import pair_key
+from repro.errors import ConfigurationError
+from repro.types import Recommendation, UserAction
+
+
+class AssociationRuleRecommender(Recommender):
+    """Streaming pairwise association rules.
+
+    Parameters
+    ----------
+    session_gap:
+        Two events of a user belong to one session when separated by at
+        most this many seconds; co-occurrence is counted per session.
+    min_support:
+        Minimum number of co-occurring sessions before a rule may fire.
+    min_confidence:
+        Minimum confidence for a rule to produce a recommendation.
+    """
+
+    def __init__(
+        self,
+        session_gap: float = 1800.0,
+        min_support: int = 2,
+        min_confidence: float = 0.05,
+    ):
+        if session_gap <= 0:
+            raise ConfigurationError(f"session_gap must be positive: {session_gap}")
+        if min_support < 1:
+            raise ConfigurationError(f"min_support must be >= 1: {min_support}")
+        if not 0.0 <= min_confidence <= 1.0:
+            raise ConfigurationError(
+                f"min_confidence must be in [0, 1]: {min_confidence}"
+            )
+        self.session_gap = session_gap
+        self.min_support = min_support
+        self.min_confidence = min_confidence
+        self._item_support: dict[str, int] = {}
+        self._pair_support: dict[tuple[str, str], int] = {}
+        # user -> (session items, last event time)
+        self._sessions: dict[str, tuple[set[str], float]] = {}
+        # co-recommendation index: item -> partner items seen with it
+        self._partners: dict[str, set[str]] = {}
+
+    def observe(self, action: UserAction):
+        user, item, now = action.user_id, action.item_id, action.timestamp
+        session_items, last_seen = self._sessions.get(user, (set(), now))
+        if now - last_seen > self.session_gap:
+            session_items = set()
+        if item not in session_items:
+            self._item_support[item] = self._item_support.get(item, 0) + 1
+            for other in session_items:
+                key = pair_key(item, other)
+                self._pair_support[key] = self._pair_support.get(key, 0) + 1
+                self._partners.setdefault(item, set()).add(other)
+                self._partners.setdefault(other, set()).add(item)
+            session_items = session_items | {item}
+        self._sessions[user] = (session_items, now)
+
+    # -- rule queries ----------------------------------------------------------
+
+    def support(self, item: str) -> int:
+        return self._item_support.get(item, 0)
+
+    def pair_support(self, p: str, q: str) -> int:
+        return self._pair_support.get(pair_key(p, q), 0)
+
+    def confidence(self, antecedent: str, consequent: str) -> float:
+        """confidence(antecedent -> consequent)."""
+        base = self.support(antecedent)
+        if base == 0:
+            return 0.0
+        return self.pair_support(antecedent, consequent) / base
+
+    def rules_from(self, item: str) -> list[tuple[str, float, int]]:
+        """Qualified rules ``item -> consequent`` as (consequent,
+        confidence, support) sorted by confidence descending."""
+        rules = []
+        for partner in self._partners.get(item, ()):
+            joint = self.pair_support(item, partner)
+            if joint < self.min_support:
+                continue
+            conf = self.confidence(item, partner)
+            if conf >= self.min_confidence:
+                rules.append((partner, conf, joint))
+        rules.sort(key=lambda row: (-row[1], -row[2], row[0]))
+        return rules
+
+    def recommend(
+        self,
+        user_id: str,
+        n: int,
+        now: float,
+        context: dict[str, Any] | None = None,
+    ) -> list[Recommendation]:
+        session_items, last_seen = self._sessions.get(user_id, (set(), 0.0))
+        if now - last_seen > self.session_gap:
+            session_items = set()
+        best: dict[str, tuple[float, int]] = {}
+        for item in session_items:
+            for consequent, conf, joint in self.rules_from(item):
+                if consequent in session_items:
+                    continue
+                current = best.get(consequent)
+                if current is None or (conf, joint) > current:
+                    best[consequent] = (conf, joint)
+        ranked = sorted(
+            best.items(), key=lambda kv: (-kv[1][0], -kv[1][1], kv[0])
+        )
+        return [
+            Recommendation(item, conf, source="ar")
+            for item, (conf, __) in ranked[:n]
+        ]

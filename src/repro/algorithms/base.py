@@ -1,0 +1,40 @@
+"""The common recommender interface.
+
+Every algorithm — streaming or periodic, CF or CB or CTR — exposes the
+same two operations so the A/B evaluation harness (Section 6.2) can swap
+engines per user cohort without caring what is inside.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.types import Recommendation, UserAction
+
+
+class Recommender(ABC):
+    """Observe a stream of user actions; answer top-N queries."""
+
+    @abstractmethod
+    def observe(self, action: UserAction):
+        """Ingest one user-action event."""
+
+    @abstractmethod
+    def recommend(
+        self,
+        user_id: str,
+        n: int,
+        now: float,
+        context: dict[str, Any] | None = None,
+    ) -> list[Recommendation]:
+        """Return up to ``n`` recommendations for ``user_id`` at time ``now``.
+
+        ``context`` carries query-time situation (e.g. the ad slot or the
+        commodity being browsed) for algorithms that use it.
+        """
+
+    def observe_many(self, actions: list[UserAction]):
+        """Convenience bulk ingest."""
+        for action in actions:
+            self.observe(action)

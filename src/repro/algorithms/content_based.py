@@ -1,0 +1,148 @@
+"""The content-based (CB) algorithm (Sections 4 and 6.3).
+
+Used where items churn too fast for CF — news, where "new items keep
+appearing and the life span of items is short". Items carry tag vectors;
+each user's interest profile is the time-decayed, action-weighted sum of
+the tags of items they engaged with; candidates are scored by the cosine
+between profile and item tags, restricted to items still alive.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Any
+
+from repro.algorithms.base import Recommender
+from repro.algorithms.ratings import ActionWeights, DEFAULT_ACTION_WEIGHTS
+from repro.errors import AlgorithmError, ConfigurationError
+from repro.types import ItemMeta, Recommendation, UserAction
+
+
+class ContentBasedRecommender(Recommender):
+    """Tag-profile content-based recommendation.
+
+    Parameters
+    ----------
+    half_life:
+        Seconds for a profile weight to decay to half; this is what makes
+        the CB model *real-time* — a burst of clicks on a topic dominates
+        the profile within minutes.
+    freshness_tau:
+        When set, candidate scores are multiplied by a recency factor
+        ``exp(-age / freshness_tau)`` (floored at 0.05). News feeds need
+        this: among equally on-topic stories, the newest should rank
+        first. None (the default) disables it for evergreen catalogs.
+    """
+
+    def __init__(
+        self,
+        weights: ActionWeights = DEFAULT_ACTION_WEIGHTS,
+        half_life: float = 4 * 3600.0,
+        freshness_tau: float | None = None,
+    ):
+        if half_life <= 0:
+            raise ConfigurationError(f"half_life must be positive: {half_life}")
+        if freshness_tau is not None and freshness_tau <= 0:
+            raise ConfigurationError(
+                f"freshness_tau must be positive: {freshness_tau}"
+            )
+        self.weights = weights
+        self.half_life = half_life
+        self.freshness_tau = freshness_tau
+        self._items: dict[str, ItemMeta] = {}
+        self._tag_index: dict[str, set[str]] = defaultdict(set)
+        # user -> {tag: (weight, last_update)}
+        self._profiles: dict[str, dict[str, tuple[float, float]]] = {}
+        self._consumed: dict[str, set[str]] = defaultdict(set)
+
+    # -- catalog ------------------------------------------------------------
+
+    def register_item(self, meta: ItemMeta):
+        """Add or replace an item in the catalog; CB must know the content."""
+        if not meta.tags and meta.category is None:
+            raise AlgorithmError(
+                f"item {meta.item_id!r} has no tags or category; CB needs content"
+            )
+        old = self._items.get(meta.item_id)
+        if old is not None:
+            for tag in self._item_tags(old):
+                self._tag_index[tag].discard(meta.item_id)
+        self._items[meta.item_id] = meta
+        for tag in self._item_tags(meta):
+            self._tag_index[tag].add(meta.item_id)
+
+    def _item_tags(self, meta: ItemMeta) -> tuple[str, ...]:
+        tags = tuple(meta.tags)
+        if meta.category is not None:
+            tags = tags + (f"category:{meta.category}",)
+        return tags
+
+    def knows_item(self, item_id: str) -> bool:
+        return item_id in self._items
+
+    # -- profile updates ----------------------------------------------------
+
+    def _decayed(self, weight: float, since: float, now: float) -> float:
+        if now <= since:
+            return weight
+        return weight * math.pow(0.5, (now - since) / self.half_life)
+
+    def observe(self, action: UserAction):
+        meta = self._items.get(action.item_id)
+        if meta is None:
+            return  # unknown content: nothing to learn from
+        gain = self.weights.weight(action.action)
+        now = action.timestamp
+        profile = self._profiles.setdefault(action.user_id, {})
+        for tag in self._item_tags(meta):
+            old_weight, since = profile.get(tag, (0.0, now))
+            profile[tag] = (self._decayed(old_weight, since, now) + gain, now)
+        self._consumed[action.user_id].add(action.item_id)
+
+    def profile_of(self, user_id: str, now: float) -> dict[str, float]:
+        """The user's current (decayed) tag weights."""
+        profile = self._profiles.get(user_id, {})
+        return {
+            tag: self._decayed(weight, since, now)
+            for tag, (weight, since) in profile.items()
+        }
+
+    # -- recommendation -------------------------------------------------------
+
+    def recommend(
+        self,
+        user_id: str,
+        n: int,
+        now: float,
+        context: dict[str, Any] | None = None,
+    ) -> list[Recommendation]:
+        profile = self.profile_of(user_id, now)
+        if not profile:
+            return []
+        profile_norm = math.sqrt(sum(w * w for w in profile.values()))
+        if profile_norm <= 0.0:
+            return []
+        consumed = self._consumed.get(user_id, set())
+        scores: dict[str, float] = defaultdict(float)
+        for tag, weight in profile.items():
+            for item_id in self._tag_index.get(tag, ()):
+                if item_id in consumed:
+                    continue
+                scores[item_id] += weight
+        ranked: list[tuple[float, str]] = []
+        for item_id, dot in scores.items():
+            meta = self._items[item_id]
+            if not meta.is_active(now):
+                continue
+            item_norm = math.sqrt(len(self._item_tags(meta)))
+            score = dot / (profile_norm * item_norm)
+            if self.freshness_tau is not None:
+                age = max(0.0, now - meta.publish_time)
+                score *= max(0.05, math.exp(-age / self.freshness_tau))
+            ranked.append((score, item_id))
+        ranked.sort(key=lambda row: (-row[0], row[1]))
+        return [
+            Recommendation(item, score, source="cb")
+            for score, item in ranked[:n]
+        ]

@@ -1,0 +1,186 @@
+"""The situational CTR algorithm (Sections 1, 4 and 5.1).
+
+The motivating query of the introduction — "during the last ten seconds,
+what is the CTR of an advertisement among the male users in Beijing aged
+twenty to thirty" — is answered by windowed impression/click counters
+kept per (item, situation) at every level of a situation hierarchy:
+fully-specified (region, gender, age band) down to the unconditioned
+item. Prediction backs off to the most specific level with enough
+evidence and smooths with a Beta prior; advertisement ranking sorts
+candidates by predicted CTR in the query situation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.algorithms.base import Recommender
+from repro.algorithms.demographic import age_band
+from repro.algorithms.itemcf.similarity import SessionWindowCounter
+from repro.errors import ConfigurationError
+from repro.types import Recommendation, UserAction, UserProfile
+
+# situation dimensions, most specific first; each entry is the tuple of
+# attribute names participating at that back-off level
+BACKOFF_LEVELS: tuple[tuple[str, ...], ...] = (
+    ("region", "gender", "age"),
+    ("region", "gender"),
+    ("gender", "age"),
+    ("region",),
+    ("gender",),
+    ("age",),
+    (),
+)
+
+
+def situation_key(attributes: dict[str, str | None], level: tuple[str, ...]) -> str | None:
+    """Render one back-off level's key; None if an attribute is missing."""
+    parts = []
+    for name in level:
+        value = attributes.get(name)
+        if value is None:
+            return None
+        parts.append(f"{name}={value}")
+    return "&".join(parts) if parts else "any"
+
+
+class SituationalCTR:
+    """Windowed, hierarchically smoothed CTR statistics.
+
+    Parameters
+    ----------
+    session_seconds / window_sessions:
+        Real-time window for the counters (ten-second sessions answer the
+        introduction's query literally).
+    prior_ctr / prior_strength:
+        Beta prior: prediction = (clicks + prior_ctr * prior_strength) /
+        (impressions + prior_strength).
+    min_impressions:
+        Evidence needed before a back-off level is trusted.
+    """
+
+    def __init__(
+        self,
+        session_seconds: float = 60.0,
+        window_sessions: int = 30,
+        prior_ctr: float = 0.02,
+        prior_strength: float = 20.0,
+        min_impressions: float = 30.0,
+    ):
+        if not 0.0 < prior_ctr < 1.0:
+            raise ConfigurationError(f"prior_ctr must be in (0,1): {prior_ctr}")
+        if prior_strength <= 0:
+            raise ConfigurationError(
+                f"prior_strength must be positive: {prior_strength}"
+            )
+        self.prior_ctr = prior_ctr
+        self.prior_strength = prior_strength
+        self.min_impressions = min_impressions
+        self._impressions = SessionWindowCounter(session_seconds, window_sessions)
+        self._clicks = SessionWindowCounter(session_seconds, window_sessions)
+
+    @staticmethod
+    def _attributes(profile: UserProfile | None) -> dict[str, str | None]:
+        if profile is None:
+            return {"region": None, "gender": None, "age": None}
+        return {
+            "region": profile.region,
+            "gender": profile.gender,
+            "age": age_band(profile.age),
+        }
+
+    def _record(
+        self,
+        counter: SessionWindowCounter,
+        item: str,
+        profile: UserProfile | None,
+        now: float,
+    ):
+        attributes = self._attributes(profile)
+        for level in BACKOFF_LEVELS:
+            key = situation_key(attributes, level)
+            if key is not None:
+                counter.add((item, key), 1.0, now)
+
+    def record_impression(self, item: str, profile: UserProfile | None, now: float):
+        self._record(self._impressions, item, profile, now)
+
+    def record_click(self, item: str, profile: UserProfile | None, now: float):
+        self._record(self._clicks, item, profile, now)
+
+    def raw_counts(
+        self, item: str, profile: UserProfile | None, now: float
+    ) -> tuple[float, float]:
+        """(impressions, clicks) at the most specific fully-known level."""
+        attributes = self._attributes(profile)
+        for level in BACKOFF_LEVELS:
+            key = situation_key(attributes, level)
+            if key is not None:
+                return (
+                    self._impressions.value((item, key), now),
+                    self._clicks.value((item, key), now),
+                )
+        return (0.0, 0.0)
+
+    def predict(self, item: str, profile: UserProfile | None, now: float) -> float:
+        """Smoothed CTR with back-off to the first level with evidence."""
+        attributes = self._attributes(profile)
+        for level in BACKOFF_LEVELS:
+            key = situation_key(attributes, level)
+            if key is None:
+                continue
+            impressions = self._impressions.value((item, key), now)
+            if impressions >= self.min_impressions or level == ():
+                clicks = self._clicks.value((item, key), now)
+                return (clicks + self.prior_ctr * self.prior_strength) / (
+                    impressions + self.prior_strength
+                )
+        return self.prior_ctr
+
+
+class CTRRecommender(Recommender):
+    """Ranks candidate items (ads) by predicted situational CTR.
+
+    ``observe`` expects ``"impression"`` and ``"click"`` actions; the
+    candidate pool is every item with a recorded impression, optionally
+    narrowed by a ``candidates`` iterable in the query context.
+    """
+
+    def __init__(
+        self,
+        profiles: Callable[[str], UserProfile | None],
+        ctr: SituationalCTR | None = None,
+    ):
+        self._profiles = profiles
+        self.ctr = ctr if ctr is not None else SituationalCTR()
+        self._known_items: set[str] = set()
+
+    def observe(self, action: UserAction):
+        profile = self._profiles(action.user_id)
+        if action.action == "impression":
+            self.ctr.record_impression(action.item_id, profile, action.timestamp)
+            self._known_items.add(action.item_id)
+        elif action.action == "click":
+            self.ctr.record_click(action.item_id, profile, action.timestamp)
+            self._known_items.add(action.item_id)
+        # other behaviour types carry no CTR signal and are ignored
+
+    def recommend(
+        self,
+        user_id: str,
+        n: int,
+        now: float,
+        context: dict[str, Any] | None = None,
+    ) -> list[Recommendation]:
+        profile = self._profiles(user_id)
+        pool: Iterable[str] = self._known_items
+        if context is not None and "candidates" in context:
+            pool = context["candidates"]
+        scored = [
+            (self.ctr.predict(item, profile, now), item) for item in pool
+        ]
+        scored.sort(key=lambda row: (-row[0], row[1]))
+        return [
+            Recommendation(item, score, source="ctr")
+            for score, item in scored[:n]
+        ]

@@ -1,0 +1,52 @@
+"""Real-time personalized filtering (Section 4.3).
+
+A user's interests fade: only their most recent ``k`` rated items are
+considered effective for prediction, so the ``Nk`` of Equation 2 is
+redefined to the user's recent items. :class:`RecentItemsTracker` keeps
+that per-user list.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import ConfigurationError
+
+
+class RecentItemsTracker:
+    """Tracks, per user, the most recent ``k`` items they showed interest in.
+
+    Re-engaging with an already-tracked item refreshes its position and
+    rating instead of duplicating it.
+    """
+
+    def __init__(self, k: int = 10):
+        if k <= 0:
+            raise ConfigurationError(f"recent-k must be positive: {k}")
+        self.k = k
+        # user -> OrderedDict[item, (rating, timestamp)], oldest first
+        self._recent: dict[str, OrderedDict[str, tuple[float, float]]] = {}
+
+    def observe(self, user_id: str, item_id: str, rating: float, now: float):
+        items = self._recent.setdefault(user_id, OrderedDict())
+        if item_id in items:
+            del items[item_id]
+        items[item_id] = (rating, now)
+        while len(items) > self.k:
+            items.popitem(last=False)
+
+    def recent(self, user_id: str) -> list[tuple[str, float, float]]:
+        """Return (item, rating, timestamp) triples, newest first."""
+        items = self._recent.get(user_id)
+        if not items:
+            return []
+        return [
+            (item, rating, ts)
+            for item, (rating, ts) in reversed(items.items())
+        ]
+
+    def has_history(self, user_id: str) -> bool:
+        return bool(self._recent.get(user_id))
+
+    def forget_user(self, user_id: str):
+        self._recent.pop(user_id, None)

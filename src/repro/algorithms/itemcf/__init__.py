@@ -1,0 +1,32 @@
+"""The practical item-based collaborative filtering of Section 4.1.
+
+``BasicItemCF`` is the textbook batch algorithm (Equations 1–2), kept as
+a correctness reference and as the guts of the "Original" baselines.
+``PracticalItemCF`` is the paper's streaming variant: implicit-feedback
+co-ratings (Eq 3–4), count-decomposed incremental similarity (Eq 5–8),
+Hoeffding-bound real-time pruning (Eq 9, Algorithm 1), and the sliding
+window of Eq 10.
+"""
+
+from repro.algorithms.itemcf.basic import BasicItemCF
+from repro.algorithms.itemcf.similarity import (
+    SimilarItemsList,
+    SimilarityTable,
+    WindowedSimilarityTable,
+    SessionWindowCounter,
+)
+from repro.algorithms.itemcf.pruning import HoeffdingPruner, hoeffding_epsilon
+from repro.algorithms.itemcf.streaming import PracticalItemCF
+from repro.algorithms.itemcf.predictor import ItemCFPredictor
+
+__all__ = [
+    "BasicItemCF",
+    "SimilarItemsList",
+    "SimilarityTable",
+    "WindowedSimilarityTable",
+    "SessionWindowCounter",
+    "HoeffdingPruner",
+    "hoeffding_epsilon",
+    "PracticalItemCF",
+    "ItemCFPredictor",
+]

@@ -1,0 +1,80 @@
+"""User-behaviour-history delta computation (Figure 4, layer one).
+
+Given a user's rating history and a new action, compute the rating delta
+for the acted item and the co-rating deltas for every item the user
+rated within the linked time. This is the logic shared by the standalone
+:class:`~repro.algorithms.itemcf.streaming.PracticalItemCF` and the
+distributed ``UserHistoryBolt``: both must agree exactly, or the
+topology would drift from the reference algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+History = dict[str, tuple[float, float]]  # item -> (rating, timestamp)
+
+
+@dataclass
+class HistoryUpdate:
+    """The outcome of applying one action to a user's history.
+
+    ``item_delta`` is Δr_up of Equation 8 (zero when the new action's
+    weight does not exceed the current rating). ``pair_deltas`` holds
+    (other_item, Δco-rating) for every linked item — including zero
+    deltas, because Algorithm 1 still refreshes similarity and feeds the
+    pruner for those pairs. ``skipped_stale`` counts items outside the
+    linked time.
+    """
+
+    item: str
+    old_rating: float
+    new_rating: float
+    item_delta: float
+    pair_deltas: list[tuple[str, float]] = field(default_factory=list)
+    skipped_stale: int = 0
+    skipped_pruned: int = 0
+
+    @property
+    def rating_increased(self) -> bool:
+        return self.item_delta > 0.0
+
+
+def apply_action(
+    history: History,
+    item: str,
+    weight: float,
+    now: float,
+    linked_time: float,
+    pruned_partners: set[str] | None = None,
+) -> HistoryUpdate:
+    """Apply one action of ``weight`` on ``item`` to ``history`` in place.
+
+    ``pruned_partners`` is the L_i of Algorithm 1: partners whose pair
+    updates are skipped entirely. The history's timestamp for ``item`` is
+    refreshed even when the rating does not change, so re-engagement
+    extends the linked-time window.
+    """
+    old_rating, __ = history.get(item, (0.0, now))
+    new_rating = max(old_rating, weight)
+    update = HistoryUpdate(
+        item=item,
+        old_rating=old_rating,
+        new_rating=new_rating,
+        item_delta=new_rating - old_rating,
+    )
+    if update.rating_increased:
+        for other, (other_rating, other_ts) in history.items():
+            if other == item:
+                continue
+            if now - other_ts > linked_time:
+                update.skipped_stale += 1
+                continue
+            if pruned_partners is not None and other in pruned_partners:
+                update.skipped_pruned += 1
+                continue
+            old_co = min(old_rating, other_rating)
+            new_co = min(new_rating, other_rating)
+            update.pair_deltas.append((other, new_co - old_co))
+    history[item] = (new_rating, now)
+    return update

@@ -1,0 +1,88 @@
+"""Prediction for the streaming CF (Equation 2 + Section 4.3).
+
+The prediction neighbourhood ``N_k`` of Equation 2 is redefined to the
+user's *recent k* items (real-time personalized filtering): candidates
+are gathered from the similar-items lists of the user's recent items and
+scored with the weighted average of the user's ratings. When CF cannot
+produce enough confident candidates, the caller supplies a complement
+(the real-time DB algorithm) to fill the tail.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.algorithms.filtering import RecentItemsTracker
+from repro.algorithms.itemcf.similarity import SimilarityTable
+from repro.types import Recommendation
+
+ComplementFn = Callable[[int], list[Recommendation]]
+
+
+class ItemCFPredictor:
+    """Scores candidates from similar-items lists against recent history."""
+
+    def __init__(
+        self,
+        table: SimilarityTable,
+        recent: RecentItemsTracker,
+        min_similarity: float = 0.0,
+    ):
+        self._table = table
+        self._recent = recent
+        self.min_similarity = min_similarity
+
+    def predict(
+        self,
+        user_id: str,
+        n: int,
+        now: float,
+        exclude: Iterable[str] = (),
+        complement: ComplementFn | None = None,
+    ) -> list[Recommendation]:
+        """Top-``n`` items for ``user_id``; see Equation 2.
+
+        ``exclude`` removes already-consumed items; ``complement`` fills
+        remaining slots (e.g. demographic hot items) when the CF signal is
+        too weak, as Section 4.3 prescribes.
+        """
+        excluded = set(exclude)
+        recents = self._recent.recent(user_id)
+        numerator: dict[str, float] = {}
+        denominator: dict[str, float] = {}
+        for item, rating, __ in recents:
+            for candidate, stored_sim in self._table.top_similar(item):
+                if candidate in excluded:
+                    continue
+                # the list entry's similarity may be stale (it is only
+                # rewritten when the pair is co-rated again); rescore from
+                # the live counts so early-noise pairs cannot dominate
+                similarity = self._table.similarity(item, candidate, now)
+                if similarity <= self.min_similarity:
+                    continue
+                numerator[candidate] = (
+                    numerator.get(candidate, 0.0) + similarity * rating
+                )
+                denominator[candidate] = (
+                    denominator.get(candidate, 0.0) + similarity
+                )
+        scored = [
+            (numerator[c] / denominator[c], denominator[c], c)
+            for c in numerator
+            if denominator[c] > 0.0
+        ]
+        # primary: predicted rating (Eq 2); tie-break: total similarity mass
+        scored.sort(key=lambda row: (-row[0], -row[1], row[2]))
+        results = [
+            Recommendation(item, score, source="cf")
+            for score, __, item in scored[:n]
+        ]
+        if len(results) < n and complement is not None:
+            have = {r.item_id for r in results} | excluded
+            for rec in complement(n - len(results)):
+                if rec.item_id not in have:
+                    results.append(rec)
+                    have.add(rec.item_id)
+                if len(results) >= n:
+                    break
+        return results

@@ -1,0 +1,88 @@
+"""Real-time pruning with the Hoeffding bound (Section 4.1.4).
+
+Most generated item pairs never become similar enough to enter any
+similar-items list, yet each would cost count updates forever. Treating
+the similarity scores of a pair observed at different times as draws of
+a random variable with range R = 1, the Hoeffding bound (Equation 9)
+
+    eps = sqrt(R^2 * ln(1/delta) / (2 * n))
+
+guarantees with probability 1 - delta that the pair's true similarity
+stays below the list threshold ``t`` once ``eps < t - sim``; the pair is
+then pruned bidirectionally (Algorithm 1) and all its future updates are
+skipped.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.algorithms.itemcf.similarity import pair_key
+
+
+def hoeffding_epsilon(n: int, delta: float, value_range: float = 1.0) -> float:
+    """Equation 9. ``n`` is the number of independent observations."""
+    if n <= 0:
+        return math.inf
+    return math.sqrt((value_range**2) * math.log(1.0 / delta) / (2.0 * n))
+
+
+class HoeffdingPruner:
+    """Tracks per-pair observation counts and the pruned-pair sets L_i."""
+
+    def __init__(self, delta: float = 0.001, value_range: float = 1.0):
+        if not 0.0 < delta < 1.0:
+            raise ConfigurationError(f"delta must be in (0, 1): {delta}")
+        if value_range <= 0.0:
+            raise ConfigurationError(
+                f"value_range must be positive: {value_range}"
+            )
+        self.delta = delta
+        self.value_range = value_range
+        self._updates: dict[tuple[str, str], int] = {}  # n_ij of Algorithm 1
+        self._pruned: dict[str, set[str]] = {}  # L_i of Algorithm 1
+        self.pruned_pairs = 0
+
+    def is_pruned(self, p: str, q: str) -> bool:
+        """Line 3 of Algorithm 1: is ``q`` in L_p?"""
+        pruned = self._pruned.get(p)
+        return pruned is not None and q in pruned
+
+    def pruned_for(self, item: str) -> set[str]:
+        return set(self._pruned.get(item, ()))
+
+    def observations(self, p: str, q: str) -> int:
+        return self._updates.get(pair_key(p, q), 0)
+
+    def observe(
+        self, p: str, q: str, similarity: float, threshold_p: float,
+        threshold_q: float,
+    ) -> bool:
+        """Lines 9–17 of Algorithm 1.
+
+        Increment n_pq, compute epsilon, and prune the pair if the bound
+        shows it cannot reach the weaker of the two list thresholds.
+        Returns True if the pair was pruned by this observation.
+        """
+        if self.is_pruned(p, q):
+            return True
+        key = pair_key(p, q)
+        n = self._updates.get(key, 0) + 1
+        self._updates[key] = n
+        t = min(threshold_p, threshold_q)
+        if t <= 0.0:
+            return False  # a list still has room; everything can enter
+        eps = hoeffding_epsilon(n, self.delta, self.value_range)
+        if eps < t - similarity:
+            self._pruned.setdefault(p, set()).add(q)
+            self._pruned.setdefault(q, set()).add(p)
+            self._updates.pop(key, None)
+            self.pruned_pairs += 1
+            return True
+        return False
+
+    def unprune(self, p: str, q: str):
+        """Remove a pair from the pruned sets (used by tests/ablation)."""
+        self._pruned.get(p, set()).discard(q)
+        self._pruned.get(q, set()).discard(p)

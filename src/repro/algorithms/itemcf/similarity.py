@@ -1,0 +1,239 @@
+"""Similarity state: item counts, pair counts, and similar-items lists.
+
+Equation 5 decomposes the similarity of an item pair into three counts::
+
+    sim(p, q) = pairCount(p, q) / (sqrt(itemCount(p)) * sqrt(itemCount(q)))
+
+where itemCount sums user ratings (Eq 6) and pairCount sums co-ratings
+(Eq 7). All three update incrementally from deltas (Eq 8). The windowed
+variant buckets the deltas per time session and sums the ``W`` most
+recent sessions (Eq 10), so old behaviour is forgotten wholesale.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.errors import AlgorithmError, ConfigurationError
+
+
+def pair_key(p: str, q: str) -> tuple[str, str]:
+    """Canonical unordered key for an item pair."""
+    if p == q:
+        raise AlgorithmError(f"an item cannot pair with itself: {p!r}")
+    return (p, q) if p < q else (q, p)
+
+
+class SimilarItemsList:
+    """A bounded similar-items list for one item.
+
+    Keeps at most ``k`` (item, similarity) entries; ``threshold`` is the
+    smallest similarity currently needed to stay on the list — the ``t``
+    of Algorithm 1. While the list is not full the threshold is zero, so
+    pruning never fires for items that still have room.
+    """
+
+    def __init__(self, k: int):
+        if k <= 0:
+            raise ConfigurationError(f"similar-items k must be positive: {k}")
+        self.k = k
+        self._entries: dict[str, float] = {}
+
+    def update(self, item: str, similarity: float):
+        """Insert or refresh ``item``; evict the weakest entry if over k."""
+        if item in self._entries or len(self._entries) < self.k:
+            self._entries[item] = similarity
+        else:
+            weakest = min(self._entries, key=lambda i: (self._entries[i], i))
+            if similarity > self._entries[weakest]:
+                del self._entries[weakest]
+                self._entries[item] = similarity
+        if len(self._entries) > self.k:
+            weakest = min(self._entries, key=lambda i: (self._entries[i], i))
+            del self._entries[weakest]
+
+    def remove(self, item: str):
+        self._entries.pop(item, None)
+
+    def threshold(self) -> float:
+        """Min similarity needed to enter the list (0 while not full)."""
+        if len(self._entries) < self.k:
+            return 0.0
+        return min(self._entries.values())
+
+    def top(self, n: int | None = None) -> list[tuple[str, float]]:
+        """Entries sorted by similarity descending (ties by item id)."""
+        ranked = sorted(self._entries.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked if n is None else ranked[:n]
+
+    def similarity_of(self, item: str) -> float | None:
+        return self._entries.get(item)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, item: str) -> bool:
+        return item in self._entries
+
+
+class SimilarityTable:
+    """Unwindowed incremental similarity state (Eq 5–8)."""
+
+    def __init__(self, k: int = 20):
+        self.k = k
+        self._item_counts: dict[str, float] = {}
+        self._pair_counts: dict[tuple[str, str], float] = {}
+        self._lists: dict[str, SimilarItemsList] = {}
+
+    # -- count updates ------------------------------------------------------
+
+    def add_item_delta(self, item: str, delta: float, now: float = 0.0):
+        """itemCount(item) += delta (the Δr_up of Eq 8)."""
+        self._item_counts[item] = self._item_counts.get(item, 0.0) + delta
+
+    def add_pair_delta(self, p: str, q: str, delta: float, now: float = 0.0):
+        """pairCount(p, q) += delta (the Δco-rating of Eq 8)."""
+        key = pair_key(p, q)
+        self._pair_counts[key] = self._pair_counts.get(key, 0.0) + delta
+
+    # -- reads ----------------------------------------------------------------
+
+    def item_count(self, item: str, now: float = 0.0) -> float:
+        return self._item_counts.get(item, 0.0)
+
+    def pair_count(self, p: str, q: str, now: float = 0.0) -> float:
+        return self._pair_counts.get(pair_key(p, q), 0.0)
+
+    def similarity(self, p: str, q: str, now: float = 0.0) -> float:
+        """Equation 5, evaluated from the current counts."""
+        pair = self.pair_count(p, q, now)
+        if pair <= 0.0:
+            return 0.0
+        denom = math.sqrt(self.item_count(p, now)) * math.sqrt(
+            self.item_count(q, now)
+        )
+        if denom <= 0.0:
+            return 0.0
+        return pair / denom
+
+    # -- similar-items lists ---------------------------------------------------
+
+    def similar_items(self, item: str) -> SimilarItemsList:
+        lst = self._lists.get(item)
+        if lst is None:
+            lst = SimilarItemsList(self.k)
+            self._lists[item] = lst
+        return lst
+
+    def refresh_pair(self, p: str, q: str, now: float = 0.0) -> float:
+        """Recompute sim(p, q) and refresh both items' lists; returns sim."""
+        sim = self.similarity(p, q, now)
+        self.similar_items(p).update(q, sim)
+        self.similar_items(q).update(p, sim)
+        return sim
+
+    def top_similar(self, item: str, n: int | None = None) -> list[tuple[str, float]]:
+        lst = self._lists.get(item)
+        return lst.top(n) if lst is not None else []
+
+    def threshold(self, item: str) -> float:
+        lst = self._lists.get(item)
+        return lst.threshold() if lst is not None else 0.0
+
+    def known_items(self) -> list[str]:
+        return sorted(self._item_counts)
+
+    def pair_count_entries(self) -> int:
+        return len(self._pair_counts)
+
+
+class SessionWindowCounter:
+    """A counter whose value is the sum over the ``W`` most recent sessions.
+
+    Time is split into sessions of ``session_seconds``; deltas accumulate
+    into the current session's bucket; buckets older than ``W`` sessions
+    stop contributing (Eq 10's per-session itemCount_w / pairCount_w).
+    """
+
+    def __init__(self, session_seconds: float, window_sessions: int):
+        if session_seconds <= 0:
+            raise ConfigurationError(
+                f"session_seconds must be positive: {session_seconds}"
+            )
+        if window_sessions <= 0:
+            raise ConfigurationError(
+                f"window_sessions must be positive: {window_sessions}"
+            )
+        self.session_seconds = session_seconds
+        self.window_sessions = window_sessions
+        # key -> deque[[session_index, value]] (oldest first)
+        self._buckets: dict[object, deque[list]] = {}
+
+    def _session(self, now: float) -> int:
+        return int(now // self.session_seconds)
+
+    def _evict(self, buckets: deque[list], current: int):
+        floor = current - self.window_sessions + 1
+        while buckets and buckets[0][0] < floor:
+            buckets.popleft()
+
+    def add(self, key: object, delta: float, now: float):
+        current = self._session(now)
+        buckets = self._buckets.setdefault(key, deque())
+        self._evict(buckets, current)
+        if buckets and buckets[-1][0] == current:
+            buckets[-1][1] += delta
+        else:
+            buckets.append([current, delta])
+
+    def value(self, key: object, now: float) -> float:
+        buckets = self._buckets.get(key)
+        if not buckets:
+            return 0.0
+        self._evict(buckets, self._session(now))
+        return sum(value for __, value in buckets)
+
+    def keys(self) -> list[object]:
+        return list(self._buckets.keys())
+
+
+class WindowedSimilarityTable(SimilarityTable):
+    """Sliding-window similarity state (Eq 10).
+
+    Same interface as :class:`SimilarityTable`, but itemCount and
+    pairCount are windowed sums, so similarities drift back toward zero
+    as the contributing sessions expire.
+    """
+
+    def __init__(
+        self,
+        k: int = 20,
+        session_seconds: float = 3600.0,
+        window_sessions: int = 24,
+    ):
+        super().__init__(k)
+        self._windowed_items = SessionWindowCounter(
+            session_seconds, window_sessions
+        )
+        self._windowed_pairs = SessionWindowCounter(
+            session_seconds, window_sessions
+        )
+
+    def add_item_delta(self, item: str, delta: float, now: float = 0.0):
+        self._windowed_items.add(item, delta, now)
+
+    def add_pair_delta(self, p: str, q: str, delta: float, now: float = 0.0):
+        self._windowed_pairs.add(pair_key(p, q), delta, now)
+
+    def item_count(self, item: str, now: float = 0.0) -> float:
+        return self._windowed_items.value(item, now)
+
+    def pair_count(self, p: str, q: str, now: float = 0.0) -> float:
+        return self._windowed_pairs.value(pair_key(p, q), now)
+
+    def known_items(self) -> list[str]:
+        return sorted(str(k) for k in self._windowed_items.keys())
+
+    def pair_count_entries(self) -> int:
+        return len(self._windowed_pairs.keys())

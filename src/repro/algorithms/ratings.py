@@ -1,0 +1,76 @@
+"""Implicit-feedback ratings (Section 4.1.2).
+
+Explicit star ratings are rarely available in production; TencentRec maps
+behaviour types to weights — e.g. a browse is worth one star, a purchase
+three — and takes, per (user, item), the *maximum* weight among the
+user's actions as the rating, which suppresses the noise of repeated weak
+signals. The co-rating a user contributes to an item pair is the *minimum*
+of the two item ratings (Equation 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, UnknownActionError
+
+
+@dataclass(frozen=True)
+class ActionWeights:
+    """Maps action types to rating weights.
+
+    Weights must be positive; the maximum weight defines the rating scale
+    (similarity stays in [0, 1] regardless, by Equation 4).
+    """
+
+    weights: tuple[tuple[str, float], ...]
+
+    def __post_init__(self):
+        if not self.weights:
+            raise ConfigurationError("ActionWeights needs at least one action")
+        for action, weight in self.weights:
+            if weight <= 0:
+                raise ConfigurationError(
+                    f"action {action!r} has non-positive weight {weight}"
+                )
+
+    @classmethod
+    def of(cls, **weights: float) -> "ActionWeights":
+        return cls(tuple(sorted(weights.items())))
+
+    def weight(self, action: str) -> float:
+        for name, weight in self.weights:
+            if name == action:
+                return weight
+        raise UnknownActionError(
+            f"action {action!r} has no weight; known: "
+            f"{[name for name, __ in self.weights]}"
+        )
+
+    def knows(self, action: str) -> bool:
+        return any(name == action for name, __ in self.weights)
+
+    def max_weight(self) -> float:
+        return max(weight for __, weight in self.weights)
+
+
+DEFAULT_ACTION_WEIGHTS = ActionWeights.of(
+    browse=1.0,
+    click=2.0,
+    read=2.0,
+    share=3.0,
+    comment=3.0,
+    purchase=5.0,
+)
+
+
+def rating_from_actions(weights: ActionWeights, actions: list[str]) -> float:
+    """Rating of a user for an item: the max weight among their actions."""
+    if not actions:
+        return 0.0
+    return max(weights.weight(action) for action in actions)
+
+
+def co_rating(rating_p: float, rating_q: float) -> float:
+    """Equation 3: the co-rating of an item pair is the min of the ratings."""
+    return min(rating_p, rating_q)

@@ -1,0 +1,218 @@
+"""Query-time recommendation from TDStore state (Figure 9).
+
+The engine owns no model: it reads the state the topologies maintain —
+similar-items lists, recent-item filters, demographic hot lists, CB
+profiles, AR rules, CTR values — and assembles answers per query. This
+is exactly the paper's split: TDProcess computes, TDStore holds, the
+engine serves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.algorithms.ctr import BACKOFF_LEVELS, situation_key
+from repro.algorithms.demographic import GLOBAL_GROUP
+from repro.tdstore.client import TDStoreClient
+from repro.topology.bolts_cb import item_tags
+from repro.topology.bolts_ctr import profile_attributes
+from repro.topology.state import StateKeys
+from repro.types import Recommendation, UserProfile
+
+ProfileLookup = Callable[[str], "UserProfile | None"]
+
+
+@dataclass
+class EngineConfig:
+    """Per-application query configuration."""
+
+    group_of: Callable[[str], str] | None = None
+    min_similarity: float = 0.0
+    complement_with_db: bool = True
+    prior_ctr: float = 0.02
+
+
+class RecommenderEngine:
+    """Answers top-N queries from TDStore state."""
+
+    def __init__(
+        self,
+        client: TDStoreClient,
+        config: EngineConfig | None = None,
+    ):
+        self._store = client
+        self._config = config if config is not None else EngineConfig()
+
+    # -- item-based CF (Eq 2 + Section 4.3) ---------------------------------
+
+    def recommend_cf(self, user_id: str, n: int, now: float) -> list[Recommendation]:
+        recent = self._store.get(StateKeys.recent(user_id), None) or []
+        history = self._store.get(StateKeys.history(user_id), None) or {}
+        consumed = set(history)
+        numerator: dict[str, float] = {}
+        denominator: dict[str, float] = {}
+        for item, rating, __ in recent:
+            sim_list = self._store.get(StateKeys.sim_list(item), None) or {}
+            for candidate, similarity in sim_list.items():
+                if candidate in consumed:
+                    continue
+                if similarity <= self._config.min_similarity:
+                    continue
+                numerator[candidate] = (
+                    numerator.get(candidate, 0.0) + similarity * rating
+                )
+                denominator[candidate] = (
+                    denominator.get(candidate, 0.0) + similarity
+                )
+        scored = sorted(
+            (
+                (numerator[c] / denominator[c], denominator[c], c)
+                for c in numerator
+                if denominator[c] > 0.0
+            ),
+            key=lambda row: (-row[0], -row[1], row[2]),
+        )
+        results = [
+            Recommendation(item, score, source="cf")
+            for score, __, item in scored[:n]
+        ]
+        if len(results) < n and self._config.complement_with_db:
+            results = self._complement(user_id, n, now, results, consumed)
+        return results
+
+    def _complement(
+        self,
+        user_id: str,
+        n: int,
+        now: float,
+        results: list[Recommendation],
+        consumed: set[str],
+    ) -> list[Recommendation]:
+        have = {r.item_id for r in results} | consumed
+        for item, score in self.hot_items_for(user_id, n * 2 + len(have), now):
+            if item in have:
+                continue
+            results.append(Recommendation(item, score, source="db"))
+            have.add(item)
+            if len(results) >= n:
+                break
+        return results
+
+    # -- demographic hot items ------------------------------------------------
+
+    def hot_items_for(
+        self, user_id: str, n: int, now: float
+    ) -> list[tuple[str, float]]:
+        groups = [GLOBAL_GROUP]
+        if self._config.group_of is not None:
+            group = self._config.group_of(user_id)
+            if group != GLOBAL_GROUP:
+                groups.insert(0, group)
+        out: list[tuple[str, float]] = []
+        seen: set[str] = set()
+        for group in groups:
+            hot = self._store.get(StateKeys.hot(group), None) or {}
+            ranked = sorted(hot.items(), key=lambda kv: (-kv[1], kv[0]))
+            for item, score in ranked:
+                if item not in seen:
+                    out.append((item, score))
+                    seen.add(item)
+                if len(out) >= n:
+                    return out
+        return out
+
+    # -- content-based ------------------------------------------------------------
+
+    def recommend_cb(self, user_id: str, n: int, now: float) -> list[Recommendation]:
+        profile = self._store.get(StateKeys.profile(user_id), None) or {}
+        if not profile:
+            return []
+        live_weights = {tag: weight for tag, (weight, __) in profile.items()}
+        norm = math.sqrt(sum(w * w for w in live_weights.values()))
+        if norm <= 0.0:
+            return []
+        consumed = self._store.get(StateKeys.consumed(user_id), None) or set()
+        scores: dict[str, float] = {}
+        for tag, weight in live_weights.items():
+            for item in self._store.get(StateKeys.tag_index(tag), None) or ():
+                if item in consumed:
+                    continue
+                scores[item] = scores.get(item, 0.0) + weight
+        ranked: list[tuple[float, str]] = []
+        for item, dot in scores.items():
+            meta = self._store.get(StateKeys.item_meta(item), None)
+            if meta is None:
+                continue
+            lifetime = meta.get("lifetime")
+            if lifetime is not None and now >= meta.get("publish_time", 0.0) + lifetime:
+                continue
+            item_norm = math.sqrt(max(1, len(item_tags(meta))))
+            ranked.append((dot / (norm * item_norm), item))
+        ranked.sort(key=lambda row: (-row[0], row[1]))
+        return [
+            Recommendation(item, score, source="cb")
+            for score, item in ranked[:n]
+        ]
+
+    # -- association rules ------------------------------------------------------
+
+    def recommend_ar(
+        self,
+        user_id: str,
+        n: int,
+        now: float,
+        session_items: list[str],
+        min_support: int = 2,
+        min_confidence: float = 0.05,
+    ) -> list[Recommendation]:
+        best: dict[str, float] = {}
+        in_session = set(session_items)
+        for item in session_items:
+            base = self._store.get(StateKeys.ar_item(item), 0.0)
+            if base <= 0.0:
+                continue
+            partners = self._store.get(StateKeys.ar_partners(item), None) or ()
+            for partner in partners:
+                if partner in in_session:
+                    continue
+                joint = self._store.get(StateKeys.ar_pair(item, partner), 0.0)
+                if joint < min_support:
+                    continue
+                confidence = joint / base
+                if confidence >= min_confidence:
+                    best[partner] = max(best.get(partner, 0.0), confidence)
+        ranked = sorted(best.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [
+            Recommendation(item, conf, source="ar")
+            for item, conf in ranked[:n]
+        ]
+
+    # -- situational CTR ------------------------------------------------------------
+
+    def rank_by_ctr(
+        self,
+        user_id: str,
+        candidates: list[str],
+        n: int,
+        profiles: ProfileLookup,
+    ) -> list[Recommendation]:
+        attributes = profile_attributes(profiles(user_id))
+        scored = []
+        for item in candidates:
+            value = self._config.prior_ctr
+            for level in BACKOFF_LEVELS:
+                situation = situation_key(attributes, level)
+                if situation is None:
+                    continue
+                stored = self._store.get(StateKeys.ctr(item, situation), None)
+                if stored is not None:
+                    value = stored
+                    break
+            scored.append((value, item))
+        scored.sort(key=lambda row: (-row[0], row[1]))
+        return [
+            Recommendation(item, score, source="ctr")
+            for score, item in scored[:n]
+        ]

@@ -1,0 +1,87 @@
+"""The recommender front end (Figure 9).
+
+Interacts with "users": accepts queries, delegates to the engine,
+applies application display filters, and records what was shown so the
+feedback loop (impressions back into TDAccess) closes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.engine.engine import RecommenderEngine
+from repro.errors import EvaluationError
+from repro.tdaccess.producer import Producer
+from repro.types import Recommendation
+
+
+@dataclass
+class QueryLog:
+    """What the front end served, for monitoring and evaluation."""
+
+    queries: int = 0
+    served: int = 0
+    empty: int = 0
+    displayed: list[tuple[str, tuple[str, ...]]] = field(default_factory=list)
+
+
+class RecommenderFrontEnd:
+    """Query preprocessing + result display + feedback capture."""
+
+    def __init__(
+        self,
+        engine: RecommenderEngine,
+        algorithm: str = "cf",
+        display_filter: Callable[[Recommendation], bool] | None = None,
+        feedback_producer: Producer | None = None,
+        feedback_topic: str = "user_actions",
+    ):
+        known = ("cf", "cb")
+        if algorithm not in known:
+            raise EvaluationError(
+                f"front end algorithm must be one of {known}: {algorithm!r}"
+            )
+        self._engine = engine
+        self._algorithm = algorithm
+        self._display_filter = display_filter
+        self._producer = feedback_producer
+        self._topic = feedback_topic
+        self.log = QueryLog()
+
+    def query(self, user_id: str, n: int, now: float) -> list[Recommendation]:
+        """Serve a top-N query, filtered for display."""
+        self.log.queries += 1
+        if self._algorithm == "cf":
+            results = self._engine.recommend_cf(user_id, n * 2, now)
+        else:
+            results = self._engine.recommend_cb(user_id, n * 2, now)
+        if self._display_filter is not None:
+            results = [r for r in results if self._display_filter(r)]
+        results = results[:n]
+        if results:
+            self.log.served += 1
+            self.log.displayed.append(
+                (user_id, tuple(r.item_id for r in results))
+            )
+            self._record_impressions(user_id, results, now)
+        else:
+            self.log.empty += 1
+        return results
+
+    def _record_impressions(
+        self, user_id: str, results: list[Recommendation], now: float
+    ):
+        if self._producer is None:
+            return
+        for rec in results:
+            self._producer.send(
+                self._topic,
+                {
+                    "user": user_id,
+                    "item": rec.item_id,
+                    "action": "impression",
+                    "timestamp": now,
+                },
+                key=user_id,
+            )

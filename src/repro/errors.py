@@ -1,0 +1,83 @@
+"""Exception hierarchy for the TencentRec reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so callers
+can catch library failures without swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with invalid or inconsistent parameters."""
+
+
+class TopologyError(ReproError):
+    """A Storm topology was built or wired incorrectly."""
+
+
+class TopologyValidationError(TopologyError):
+    """A topology failed validation (missing components, bad groupings)."""
+
+
+class ClusterError(ReproError):
+    """A simulated cluster operation failed."""
+
+
+class ClusterStateError(ClusterError):
+    """The cluster was asked to do something invalid in its current state."""
+
+
+class TDAccessError(ReproError):
+    """Base error for the TDAccess publish/subscribe layer."""
+
+
+class UnknownTopicError(TDAccessError):
+    """A producer or consumer referenced a topic that does not exist."""
+
+
+class PartitionUnavailableError(TDAccessError):
+    """No live data server currently hosts the requested partition."""
+
+
+class ConsumerGroupError(TDAccessError):
+    """Consumer-group bookkeeping was violated (duplicate ids, bad offsets)."""
+
+
+class TDStoreError(ReproError):
+    """Base error for the TDStore distributed key-value store."""
+
+
+class RouteError(TDStoreError):
+    """The route table does not cover the requested key or instance."""
+
+
+class EngineError(TDStoreError):
+    """A storage engine failed an operation."""
+
+
+class ReplicationError(TDStoreError):
+    """Host/slave synchronization failed or was misconfigured."""
+
+
+class DataServerDownError(TDStoreError):
+    """The addressed data server is not alive and no failover was possible."""
+
+
+class AlgorithmError(ReproError):
+    """A recommendation algorithm was misused or given invalid input."""
+
+
+class UnknownActionError(AlgorithmError):
+    """An action type has no configured implicit-feedback weight."""
+
+
+class SimulationError(ReproError):
+    """The synthetic workload generator hit an invalid configuration."""
+
+
+class EvaluationError(ReproError):
+    """An experiment harness was configured or run incorrectly."""

@@ -1,0 +1,44 @@
+"""Evaluation harness reproducing Section 6.
+
+Composite engines pair each application's algorithm (per Table 1) with
+the demographic complement and real-time filtering; the "Original"
+comparators wrap the same algorithms behind periodic model updates. The
+A/B harness splits users into cohorts, serves each cohort from its
+engine, scores served lists with the click model, and aggregates daily
+CTR / read-count series — the data behind Table 1 and Figures 10–14.
+"""
+
+from repro.evaluation.engines import (
+    TencentRecCFEngine,
+    TencentRecCBEngine,
+    TencentRecCTREngine,
+    SimilarPurchaseEngine,
+    SimilarPriceEngine,
+    PriceIndex,
+    make_original,
+)
+from repro.evaluation.metrics import DailyStats, CohortSeries, ABResult
+from repro.evaluation.ab_test import ABTestRunner, ABTestConfig
+from repro.evaluation.reporting import (
+    format_daily_ctr_series,
+    format_improvement_table,
+    summarize_improvements,
+)
+
+__all__ = [
+    "TencentRecCFEngine",
+    "TencentRecCBEngine",
+    "TencentRecCTREngine",
+    "SimilarPurchaseEngine",
+    "SimilarPriceEngine",
+    "PriceIndex",
+    "make_original",
+    "DailyStats",
+    "CohortSeries",
+    "ABResult",
+    "ABTestRunner",
+    "ABTestConfig",
+    "format_daily_ctr_series",
+    "format_improvement_table",
+    "summarize_improvements",
+]

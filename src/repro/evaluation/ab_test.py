@@ -1,0 +1,195 @@
+"""The replayed-stream A/B harness (Section 6.2).
+
+Users are hash-split into cohorts, one per engine. All engines observe
+the full action stream (organic sessions plus recommendation feedback —
+the paper's comparators run on the same production data; only model
+freshness differs), but each user's recommendation queries are answered
+by their cohort's engine, and the click model scores what was served.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.base import Recommender
+from repro.errors import EvaluationError
+from repro.evaluation.metrics import ABResult, CohortSeries
+from repro.simulation.applications import ApplicationScenario
+from repro.types import UserAction
+from repro.utils.clock import SECONDS_PER_DAY
+from repro.utils.hashing import stable_hash
+
+
+@dataclass
+class ABTestConfig:
+    """Run parameters for one A/B experiment."""
+
+    num_days: int = 7
+    slate_size: int | None = None  # None: use the scenario's
+    anchored: bool = False  # queries carry the commodity being browsed
+    feed_impressions: bool = False  # synthesize impression events (ads)
+    salt: str = "cohort"  # cohort-assignment salt
+    # paired evaluation: every engine answers every query (scored with
+    # common random numbers), while only the user's cohort engine's slate
+    # is "displayed" and feeds back. This removes cohort-composition bias
+    # from the CTR comparison — with a few hundred users per cohort, the
+    # between-cohort base-rate difference would otherwise swamp the
+    # treatment effect the paper measures on millions of users.
+    paired: bool = True
+
+    def __post_init__(self):
+        if self.num_days <= 0:
+            raise EvaluationError(f"num_days must be positive: {self.num_days}")
+
+
+class ABTestRunner:
+    """Runs one scenario against a set of competing engines."""
+
+    def __init__(
+        self,
+        scenario: ApplicationScenario,
+        engines: dict[str, Recommender],
+        config: ABTestConfig | None = None,
+    ):
+        if len(engines) < 2:
+            raise EvaluationError("an A/B test needs at least two engines")
+        self.scenario = scenario
+        self.engines = dict(engines)
+        self.config = config if config is not None else ABTestConfig()
+        self._engine_names = sorted(self.engines)
+        self._rng = scenario.seeds.generator("abtest-schedule")
+
+    # -- cohorts -----------------------------------------------------------
+
+    def cohort_of(self, user_id: str) -> str:
+        index = stable_hash((self.config.salt, user_id)) % len(self._engine_names)
+        return self._engine_names[index]
+
+    def cohort_sizes(self) -> dict[str, int]:
+        sizes = {name: 0 for name in self._engine_names}
+        for user_id in self.scenario.population.user_ids():
+            sizes[self.cohort_of(user_id)] += 1
+        return sizes
+
+    # -- the run --------------------------------------------------------------
+
+    def run(self) -> ABResult:
+        scenario = self.scenario
+        result = ABResult(
+            scenario.name,
+            {name: CohortSeries(name) for name in self._engine_names},
+            self.config.num_days,
+        )
+        sizes = self.cohort_sizes()
+        self._announce_items(
+            (item.meta for item in scenario.catalog.all_items())
+        )
+        for day in range(self.config.num_days):
+            for series in result.cohorts.values():
+                series.day(day).cohort_size = sizes[series.engine_name]
+            for now, kind, user_id in self._schedule_day(day):
+                for born in scenario.catalog.advance_to(now):
+                    self._announce_items([born.meta])
+                if kind == "organic":
+                    self._run_organic(user_id, now, result, day)
+                else:
+                    self._run_visit(user_id, now, result, day)
+                result.events_processed += 1
+        return result
+
+    def _announce_items(self, metas):
+        for meta in metas:
+            for engine in self.engines.values():
+                hook = getattr(engine, "on_new_item", None)
+                if hook is not None:
+                    hook(meta)
+
+    def _schedule_day(self, day: int) -> list[tuple[float, str, str]]:
+        scenario = self.scenario
+        start = day * SECONDS_PER_DAY
+        events: list[tuple[float, str, str]] = []
+        for user in scenario.population.users():
+            visits = self._rng.poisson(
+                scenario.visits_per_user_per_day * user.activity
+            )
+            for __ in range(visits):
+                events.append(
+                    (start + self._rng.uniform(0, SECONDS_PER_DAY), "visit",
+                     user.user_id)
+                )
+            organic = self._rng.poisson(
+                scenario.organic_sessions_per_user_per_day * user.activity
+            )
+            for __ in range(organic):
+                events.append(
+                    (start + self._rng.uniform(0, SECONDS_PER_DAY), "organic",
+                     user.user_id)
+                )
+        events.sort()
+        return events
+
+    def _feed_all(self, actions: list[UserAction]):
+        for action in actions:
+            for engine in self.engines.values():
+                engine.observe(action)
+
+    def _run_organic(self, user_id: str, now: float, result: ABResult, day: int):
+        user = self.scenario.population.get(user_id)
+        actions = self.scenario.behavior.organic_session(user, now)
+        self._feed_all(actions)
+
+    def _run_visit(self, user_id: str, now: float, result: ABResult, day: int):
+        scenario = self.scenario
+        user = scenario.population.get(user_id)
+        engine_name = self.cohort_of(user_id)
+        engine = self.engines[engine_name]
+        slate = self.config.slate_size or scenario.slate_size
+        context = None
+        if self.config.anchored:
+            anchor = scenario.behavior.pick_browsing_item(user, now)
+            if anchor is None:
+                return
+            context = {"anchor": anchor.item_id}
+            # browsing the anchor is itself feedback
+            scenario.behavior.mark_consumed(user_id, anchor.item_id)
+            self._feed_all([UserAction(user_id, anchor.item_id, "browse", now)])
+        # the user arrives with their current focus; advance drift once
+        scenario.behavior.focus_of(user, now)
+        uniforms = scenario.clicks.draw_uniforms(slate)
+        names = self._engine_names if self.config.paired else [engine_name]
+        served_outcome = None
+        for name in names:
+            candidate = self.engines[name]
+            recommendations = candidate.recommend(user_id, slate, now, context)
+            stats = result.cohorts[name].day(day)
+            stats.queries += 1
+            if not recommendations:
+                stats.empty_queries += 1
+                continue
+            outcome = scenario.clicks.simulate(
+                user, recommendations, now,
+                uniforms=uniforms, advance_focus=False,
+            )
+            stats.impressions += outcome.impressions
+            stats.clicks += len(outcome.clicks)
+            stats.strong_actions += sum(
+                1
+                for action in outcome.actions
+                if action.action == scenario.behavior.config.strong_action
+            )
+            if name == engine_name:
+                served_outcome = (recommendations, outcome)
+        if served_outcome is None:
+            return
+        recommendations, outcome = served_outcome
+        # only the *served* slate's clicks are real events in the world
+        for clicked in outcome.clicks:
+            scenario.behavior.mark_consumed(user_id, clicked)
+        if self.config.feed_impressions:
+            self._feed_all(
+                [
+                    UserAction(user_id, rec.item_id, "impression", now)
+                    for rec in recommendations
+                ]
+            )
+        self._feed_all(outcome.actions)

@@ -1,0 +1,102 @@
+"""Evaluation metrics: daily CTR, read counts, and improvement series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EvaluationError
+
+
+@dataclass
+class DailyStats:
+    """Raw counters for one engine cohort on one simulated day."""
+
+    impressions: int = 0
+    clicks: int = 0
+    strong_actions: int = 0
+    queries: int = 0
+    empty_queries: int = 0
+    cohort_size: int = 0
+
+    def ctr(self) -> float:
+        """Click-through rate of served recommendations."""
+        if self.impressions == 0:
+            return 0.0
+        return self.clicks / self.impressions
+
+    def reads_per_user(self) -> float:
+        """Average recommendation-driven reads per cohort user (Fig 11)."""
+        if self.cohort_size == 0:
+            return 0.0
+        return self.clicks / self.cohort_size
+
+
+@dataclass
+class CohortSeries:
+    """Per-day stats for one engine over the whole experiment."""
+
+    engine_name: str
+    days: list[DailyStats] = field(default_factory=list)
+
+    def day(self, index: int) -> DailyStats:
+        while len(self.days) <= index:
+            self.days.append(DailyStats())
+        return self.days[index]
+
+    def ctr_series(self) -> list[float]:
+        return [day.ctr() for day in self.days]
+
+    def reads_series(self) -> list[float]:
+        return [day.reads_per_user() for day in self.days]
+
+    def overall_ctr(self) -> float:
+        impressions = sum(day.impressions for day in self.days)
+        clicks = sum(day.clicks for day in self.days)
+        return clicks / impressions if impressions else 0.0
+
+
+@dataclass
+class ABResult:
+    """Outcome of one A/B experiment."""
+
+    application: str
+    cohorts: dict[str, CohortSeries]
+    num_days: int
+    events_processed: int = 0
+
+    def series(self, engine_name: str) -> CohortSeries:
+        try:
+            return self.cohorts[engine_name]
+        except KeyError:
+            raise EvaluationError(
+                f"no cohort {engine_name!r}; have {sorted(self.cohorts)}"
+            ) from None
+
+    def daily_improvements(
+        self, treatment: str, control: str, metric: str = "ctr"
+    ) -> list[float]:
+        """Per-day percentage improvement of ``treatment`` over ``control``."""
+        if metric == "ctr":
+            treated = self.series(treatment).ctr_series()
+            controlled = self.series(control).ctr_series()
+        elif metric == "reads":
+            treated = self.series(treatment).reads_series()
+            controlled = self.series(control).reads_series()
+        else:
+            raise EvaluationError(f"unknown metric {metric!r}")
+        improvements = []
+        for t_value, c_value in zip(treated, controlled):
+            if c_value <= 0.0:
+                improvements.append(0.0)
+            else:
+                improvements.append(100.0 * (t_value - c_value) / c_value)
+        return improvements
+
+    def improvement_summary(
+        self, treatment: str, control: str, metric: str = "ctr"
+    ) -> tuple[float, float, float]:
+        """(avg, min, max) daily improvement, the Table 1 columns."""
+        daily = self.daily_improvements(treatment, control, metric)
+        if not daily:
+            return (0.0, 0.0, 0.0)
+        return (sum(daily) / len(daily), min(daily), max(daily))

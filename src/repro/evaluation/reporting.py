@@ -1,0 +1,58 @@
+"""Plain-text report formatting in the shape of the paper's exhibits."""
+
+from __future__ import annotations
+
+from repro.evaluation.metrics import ABResult
+
+
+def format_daily_ctr_series(
+    result: ABResult, treatment: str, control: str, metric: str = "ctr"
+) -> str:
+    """A Figure 10/13/14-style table: day, control, treatment, improvement."""
+    if metric == "ctr":
+        treated = result.series(treatment).ctr_series()
+        controlled = result.series(control).ctr_series()
+        value_header, scale = "CTR", 100.0
+    else:
+        treated = result.series(treatment).reads_series()
+        controlled = result.series(control).reads_series()
+        value_header, scale = "reads/user", 1.0
+    improvements = result.daily_improvements(treatment, control, metric)
+    lines = [
+        f"{result.application}: daily {value_header}, "
+        f"{treatment} vs {control}",
+        f"{'day':>4}  {control:>14}  {treatment:>14}  {'improvement':>12}",
+    ]
+    for day, (c_value, t_value, imp) in enumerate(
+        zip(controlled, treated, improvements), start=1
+    ):
+        lines.append(
+            f"{day:>4}  {c_value * scale:>13.2f}{'%' if metric == 'ctr' else ' '} "
+            f" {t_value * scale:>13.2f}{'%' if metric == 'ctr' else ' '} "
+            f" {imp:>+11.2f}%"
+        )
+    return "\n".join(lines)
+
+
+def summarize_improvements(
+    result: ABResult, treatment: str, control: str, metric: str = "ctr"
+) -> dict[str, float]:
+    avg, low, high = result.improvement_summary(treatment, control, metric)
+    return {"avg": avg, "min": low, "max": high}
+
+
+def format_improvement_table(
+    rows: list[tuple[str, str, dict[str, float]]]
+) -> str:
+    """A Table 1-style summary: application, algorithm, avg/min/max."""
+    lines = [
+        "Application  Algorithm  Performance Improvement (%)",
+        f"{'':>24}  {'avg':>8}  {'min':>8}  {'max':>8}",
+    ]
+    for application, algorithm, summary in rows:
+        lines.append(
+            f"{application:<12} {algorithm:<10} "
+            f"{summary['avg']:>8.2f}  {summary['min']:>8.2f}  "
+            f"{summary['max']:>8.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,193 @@
+"""System monitoring (the "Monitor" box of Figure 9).
+
+Aggregates health and load signals from every layer — TDAccess consumer
+lag and server liveness, TDStore read/write balance and replication
+backlog, Storm task metrics — into one snapshot, and evaluates alert
+rules against it. The deployment section's operational story (hundreds
+of machines, failures are routine) is only credible with this kind of
+overview.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.storm.cluster import LocalCluster
+from repro.tdaccess.cluster import TDAccessCluster
+from repro.tdaccess.consumer import Consumer
+from repro.tdstore.cluster import TDStoreCluster
+
+
+@dataclass
+class Alert:
+    """One fired alert rule."""
+
+    severity: str  # "warning" | "critical"
+    component: str
+    message: str
+
+
+@dataclass
+class SystemSnapshot:
+    """Point-in-time view of the whole deployment."""
+
+    timestamp: float
+    tdaccess_servers_up: int = 0
+    tdaccess_servers_total: int = 0
+    consumer_lag: dict[str, int] = field(default_factory=dict)
+    tdstore_servers_up: int = 0
+    tdstore_servers_total: int = 0
+    tdstore_reads: dict[int, int] = field(default_factory=dict)
+    tdstore_writes: dict[int, int] = field(default_factory=dict)
+    replication_backlog: int = 0
+    topology_executed: dict[str, int] = field(default_factory=dict)
+    topology_restarts: dict[str, int] = field(default_factory=dict)
+
+    def read_imbalance(self) -> float:
+        """Max/mean read ratio across TDStore servers (1.0 = perfectly
+        even; the fine-grained backup of §3.3 should keep this low)."""
+        values = [v for v in self.tdstore_reads.values() if v >= 0]
+        total = sum(values)
+        if not values or total == 0:
+            return 1.0
+        mean = total / len(values)
+        return max(values) / mean
+
+
+class SystemMonitor:
+    """Collects snapshots and evaluates alert rules."""
+
+    def __init__(
+        self,
+        clock_now: Callable[[], float],
+        tdaccess: TDAccessCluster | None = None,
+        tdstore: TDStoreCluster | None = None,
+        storm: LocalCluster | None = None,
+        max_consumer_lag: int = 10_000,
+        max_replication_backlog: int = 10_000,
+        max_read_imbalance: float = 3.0,
+    ):
+        self._now = clock_now
+        self._tdaccess = tdaccess
+        self._tdstore = tdstore
+        self._storm = storm
+        self._consumers: dict[str, Consumer] = {}
+        self.max_consumer_lag = max_consumer_lag
+        self.max_replication_backlog = max_replication_backlog
+        self.max_read_imbalance = max_read_imbalance
+        self.history: list[SystemSnapshot] = []
+
+    def watch_consumer(self, name: str, consumer: Consumer):
+        self._consumers[name] = consumer
+
+    # -- collection ---------------------------------------------------------
+
+    def snapshot(self) -> SystemSnapshot:
+        snap = SystemSnapshot(timestamp=self._now())
+        if self._tdaccess is not None:
+            servers = self._tdaccess.data_servers
+            snap.tdaccess_servers_total = len(servers)
+            snap.tdaccess_servers_up = sum(1 for s in servers if s.alive)
+        for name, consumer in self._consumers.items():
+            snap.consumer_lag[name] = consumer.lag()
+        if self._tdstore is not None:
+            servers = self._tdstore.data_servers
+            snap.tdstore_servers_total = len(servers)
+            snap.tdstore_servers_up = sum(1 for s in servers if s.alive)
+            snap.tdstore_reads = self._tdstore.read_stats()
+            snap.tdstore_writes = self._tdstore.write_stats()
+            snap.replication_backlog = sum(
+                s.pending_syncs() for s in servers if s.alive
+            )
+        if self._storm is not None:
+            for name, run in self._storm._running.items():
+                snap.topology_executed[name] = run.metrics.total_executed()
+                snap.topology_restarts[name] = run.metrics.task_restarts
+        self.history.append(snap)
+        return snap
+
+    # -- alerting -------------------------------------------------------------
+
+    def evaluate(self, snap: SystemSnapshot | None = None) -> list[Alert]:
+        if snap is None:
+            snap = self.snapshot()
+        alerts: list[Alert] = []
+        if snap.tdaccess_servers_up < snap.tdaccess_servers_total:
+            down = snap.tdaccess_servers_total - snap.tdaccess_servers_up
+            alerts.append(
+                Alert("critical", "tdaccess", f"{down} data server(s) down")
+            )
+        for name, lag in snap.consumer_lag.items():
+            if lag > self.max_consumer_lag:
+                alerts.append(
+                    Alert(
+                        "warning", "tdaccess",
+                        f"consumer {name!r} lag {lag} exceeds "
+                        f"{self.max_consumer_lag}",
+                    )
+                )
+        if snap.tdstore_servers_up < snap.tdstore_servers_total:
+            down = snap.tdstore_servers_total - snap.tdstore_servers_up
+            alerts.append(
+                Alert("critical", "tdstore", f"{down} data server(s) down")
+            )
+        if snap.replication_backlog > self.max_replication_backlog:
+            alerts.append(
+                Alert(
+                    "warning", "tdstore",
+                    f"replication backlog {snap.replication_backlog} "
+                    f"exceeds {self.max_replication_backlog}",
+                )
+            )
+        imbalance = snap.read_imbalance()
+        if imbalance > self.max_read_imbalance:
+            alerts.append(
+                Alert(
+                    "warning", "tdstore",
+                    f"read imbalance {imbalance:.1f}x exceeds "
+                    f"{self.max_read_imbalance:.1f}x",
+                )
+            )
+        for name, restarts in snap.topology_restarts.items():
+            previous = self._previous_restarts(name)
+            if restarts > previous:
+                alerts.append(
+                    Alert(
+                        "warning", "storm",
+                        f"topology {name!r} had "
+                        f"{restarts - previous} task restart(s)",
+                    )
+                )
+        return alerts
+
+    def _previous_restarts(self, name: str) -> int:
+        for snap in reversed(self.history[:-1]):
+            if name in snap.topology_restarts:
+                return snap.topology_restarts[name]
+        return 0
+
+    def summary(self) -> str:
+        """Human-readable one-page overview of the latest snapshot."""
+        if not self.history:
+            self.snapshot()
+        snap = self.history[-1]
+        lines = [f"system snapshot @ t={snap.timestamp:.0f}s"]
+        lines.append(
+            f"  tdaccess: {snap.tdaccess_servers_up}/"
+            f"{snap.tdaccess_servers_total} servers up"
+        )
+        for name, lag in sorted(snap.consumer_lag.items()):
+            lines.append(f"    consumer {name}: lag {lag}")
+        lines.append(
+            f"  tdstore:  {snap.tdstore_servers_up}/"
+            f"{snap.tdstore_servers_total} servers up, "
+            f"replication backlog {snap.replication_backlog}, "
+            f"read imbalance {snap.read_imbalance():.2f}x"
+        )
+        for name, executed in sorted(snap.topology_executed.items()):
+            lines.append(
+                f"  topology {name}: {executed} executions, "
+                f"{snap.topology_restarts.get(name, 0)} restarts"
+            )
+        return "\n".join(lines)

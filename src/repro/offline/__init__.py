@@ -1,0 +1,13 @@
+"""The offline computation platform (Figure 9).
+
+The deployment diagram attaches an offline platform beside the real-time
+TDProcess: periodic batch jobs replay history from TDAccess (whose
+disk-backed logs exist precisely so "the offline computation requiring
+the historical data" can read them, §3.2) and publish their results into
+TDStore for the same recommender engine to serve. This is how the
+paper's "Original" comparators are actually produced at system level.
+"""
+
+from repro.offline.jobs import BatchCFJob, JobScheduler, OfflineJob
+
+__all__ = ["BatchCFJob", "JobScheduler", "OfflineJob"]

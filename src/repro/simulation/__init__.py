@@ -1,0 +1,43 @@
+"""Synthetic workload generation.
+
+The paper evaluates on Tencent production traffic we cannot have, so we
+build a generative stand-in whose *mechanisms* mirror the phenomena the
+paper's arguments rest on: users with demographic-correlated tastes whose
+short-term focus drifts within a day; item catalogs with churn (news
+lives hours, videos weeks); temporal bursts (a breaking story); implicit
+multi-level feedback (browse < click < share < purchase); and
+position-discounted clicking on recommendation lists. See DESIGN.md §2
+for the substitution argument.
+"""
+
+from repro.simulation.catalog import CatalogConfig, ItemCatalog
+from repro.simulation.population import Population, PopulationConfig
+from repro.simulation.behavior import (
+    BehaviorModel,
+    BehaviorConfig,
+    ClickModel,
+    ClickConfig,
+)
+from repro.simulation.applications import (
+    ApplicationScenario,
+    news_scenario,
+    video_scenario,
+    ecommerce_scenario,
+    ads_scenario,
+)
+
+__all__ = [
+    "CatalogConfig",
+    "ItemCatalog",
+    "Population",
+    "PopulationConfig",
+    "BehaviorModel",
+    "BehaviorConfig",
+    "ClickModel",
+    "ClickConfig",
+    "ApplicationScenario",
+    "news_scenario",
+    "video_scenario",
+    "ecommerce_scenario",
+    "ads_scenario",
+]

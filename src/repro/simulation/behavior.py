@@ -1,0 +1,321 @@
+"""User behaviour: drifting interests, organic sessions, click model.
+
+The central mechanism is *interest drift*: besides a stable base taste,
+each user has a current focus topic that switches stochastically over
+hours. A recommender that reacts within seconds keeps up with the focus;
+one rebuilt hourly or daily keeps serving the previous focus — that gap
+is the entire reason TencentRec beats the Originals in Section 6, so it
+must exist in the generator for the comparison to be honest.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.simulation.catalog import ItemCatalog, SimItem
+from repro.simulation.population import Population, SimUser
+from repro.types import Recommendation, UserAction
+from repro.utils.rng import SeedSequenceFactory
+
+
+@dataclass
+class BehaviorConfig:
+    """Knobs of the behaviour generator."""
+
+    # probability per hour that a user's focus topic switches
+    drift_rate_per_hour: float = 0.25
+    # weight of the current focus vs. the stable base taste, in [0, 1]
+    focus_weight: float = 0.6
+    # organic items browsed per session
+    items_per_session: float = 3.0
+    # probability a browse escalates (click -> share/purchase chain)
+    escalate_click: float = 0.6
+    escalate_strong: float = 0.15
+    # strong action type for this application ("share" or "purchase")
+    strong_action: str = "share"
+    # freshness: e-folding time of the novelty boost; None disables it
+    freshness_tau: float | None = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.focus_weight <= 1.0:
+            raise SimulationError(
+                f"focus_weight must be in [0,1]: {self.focus_weight}"
+            )
+        if self.drift_rate_per_hour < 0:
+            raise SimulationError(
+                f"drift_rate_per_hour must be >= 0: {self.drift_rate_per_hour}"
+            )
+
+
+@dataclass
+class Burst:
+    """A temporal burst (Section 5.2): one item soaks up attention."""
+
+    item_id: str
+    start: float
+    end: float
+    intensity: float  # probability an organic pick is redirected to it
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+@dataclass
+class _FocusState:
+    topic: int
+    last_update: float
+
+
+class BehaviorModel:
+    """Drift, affinity and organic-session generation."""
+
+    def __init__(
+        self,
+        population: Population,
+        catalog: ItemCatalog,
+        config: BehaviorConfig,
+        seeds: SeedSequenceFactory,
+    ):
+        self.population = population
+        self.catalog = catalog
+        self.config = config
+        self._rng = seeds.generator("behavior")
+        self._focus: dict[str, _FocusState] = {}
+        self._consumed: dict[str, set[str]] = {}
+        self.bursts: list[Burst] = []
+
+    # -- consumption memory ---------------------------------------------------
+
+    def mark_consumed(self, user_id: str, item_id: str):
+        self._consumed.setdefault(user_id, set()).add(item_id)
+
+    def already_consumed(self, user_id: str, item_id: str) -> bool:
+        consumed = self._consumed.get(user_id)
+        return consumed is not None and item_id in consumed
+
+    # -- interest drift -------------------------------------------------------
+
+    def focus_of(self, user: SimUser, now: float) -> int:
+        """The user's current focus topic, advancing the drift process."""
+        state = self._focus.get(user.user_id)
+        if state is None:
+            topic = self._sample_topic(user)
+            state = _FocusState(topic, now)
+            self._focus[user.user_id] = state
+            return state.topic
+        elapsed_hours = max(0.0, now - state.last_update) / 3600.0
+        switch_probability = 1.0 - math.exp(
+            -self.config.drift_rate_per_hour * elapsed_hours
+        )
+        if self._rng.random() < switch_probability:
+            state.topic = self._sample_topic(user)
+        state.last_update = now
+        return state.topic
+
+    def _sample_topic(self, user: SimUser) -> int:
+        return int(
+            self._rng.choice(
+                len(user.base_preferences), p=user.base_preferences
+            )
+        )
+
+    # -- affinity ---------------------------------------------------------------
+
+    def affinity(self, user: SimUser, item: SimItem, now: float) -> float:
+        """How much ``user`` wants ``item`` right now, in [0, 1]."""
+        preferences = user.base_preferences
+        base = min(1.0, float(preferences[item.topic]) * len(preferences))
+        focus = self._focus.get(user.user_id)
+        focus_match = 1.0 if focus is not None and focus.topic == item.topic else 0.0
+        w = self.config.focus_weight
+        topic_match = (1.0 - w) * base + w * focus_match
+        return item.quality * topic_match * self._freshness(item, now)
+
+    def _freshness(self, item: SimItem, now: float) -> float:
+        tau = self.config.freshness_tau
+        if tau is None:
+            return 1.0
+        age = max(0.0, now - item.meta.publish_time)
+        return 0.25 + 0.75 * math.exp(-age / tau)
+
+    # -- bursts -----------------------------------------------------------------
+
+    def add_burst(self, item_id: str, start: float, end: float, intensity: float):
+        if not 0.0 <= intensity <= 1.0:
+            raise SimulationError(f"burst intensity must be in [0,1]: {intensity}")
+        self.bursts.append(Burst(item_id, start, end, intensity))
+
+    def _burst_redirect(self, now: float) -> str | None:
+        for burst in self.bursts:
+            if burst.active(now) and self._rng.random() < burst.intensity:
+                return burst.item_id
+        return None
+
+    # -- organic sessions ---------------------------------------------------------
+
+    def organic_session(self, user: SimUser, now: float) -> list[UserAction]:
+        """Actions a user takes browsing on their own (not via recs).
+
+        Items are picked topic-first from the drifted interest, then by
+        quality-weighted sampling among the topic's live items; active
+        bursts hijack picks with their intensity.
+        """
+        focus_topic = self.focus_of(user, now)
+        count = 1 + self._rng.poisson(max(0.0, self.config.items_per_session - 1))
+        actions: list[UserAction] = []
+        for __ in range(count):
+            item = self._pick_item(user, focus_topic, now)
+            if item is None:
+                continue
+            actions.extend(self._action_chain(user, item, now))
+        return actions
+
+    def pick_browsing_item(self, user: SimUser, now: float) -> SimItem | None:
+        """The item a user lands on by themselves (an anchored-query page)."""
+        return self._pick_item(user, self.focus_of(user, now), now)
+
+    def _pick_item(
+        self, user: SimUser, focus_topic: int, now: float
+    ) -> SimItem | None:
+        redirected = self._burst_redirect(now)
+        if redirected is not None:
+            return self.catalog.get(redirected)
+        if self._rng.random() < self.config.focus_weight:
+            topic = focus_topic
+        else:
+            topic = self._sample_topic(user)
+        candidates = self.catalog.active_in_topic(topic, now)
+        if not candidates:
+            candidates = self.catalog.active_items(now)
+            if not candidates:
+                return None
+        weights = np.array(
+            [c.quality * self._freshness(c, now) for c in candidates]
+        )
+        total = weights.sum()
+        if total <= 0:
+            return None
+        return candidates[int(self._rng.choice(len(candidates), p=weights / total))]
+
+    def _action_chain(
+        self, user: SimUser, item: SimItem, now: float
+    ) -> list[UserAction]:
+        """browse, maybe click, maybe a strong action — implicit feedback."""
+        actions = [UserAction(user.user_id, item.item_id, "browse", now)]
+        self.mark_consumed(user.user_id, item.item_id)
+        if self._rng.random() < self.config.escalate_click * self.affinity(
+            user, item, now
+        ) + 0.05:
+            actions.append(UserAction(user.user_id, item.item_id, "click", now))
+            if self._rng.random() < self.config.escalate_strong:
+                actions.append(
+                    UserAction(
+                        user.user_id, item.item_id, self.config.strong_action, now
+                    )
+                )
+        return actions
+
+
+@dataclass
+class ClickConfig:
+    """The position-aware click model used to score recommendations."""
+
+    base_click_probability: float = 0.35
+    position_discount: float = 0.85
+    # floor so even poor recommendations get occasional clicks (noise)
+    noise_click_probability: float = 0.005
+    # multiplier for items the user has already consumed: re-showing a
+    # just-read story or a just-bought commodity earns much less
+    repeat_click_penalty: float = 0.5
+
+    def __post_init__(self):
+        if not 0.0 < self.base_click_probability <= 1.0:
+            raise SimulationError(
+                "base_click_probability must be in (0,1]: "
+                f"{self.base_click_probability}"
+            )
+
+
+@dataclass
+class ClickOutcome:
+    """What a user did with one served recommendation list."""
+
+    impressions: int = 0
+    clicks: list[str] = field(default_factory=list)
+    actions: list[UserAction] = field(default_factory=list)
+
+
+class ClickModel:
+    """Turns recommendation lists into clicks via current affinity."""
+
+    def __init__(
+        self,
+        behavior: BehaviorModel,
+        config: ClickConfig,
+        seeds: SeedSequenceFactory,
+    ):
+        self._behavior = behavior
+        self.config = config
+        self._rng = seeds.generator("clicks")
+
+    def draw_uniforms(self, count: int) -> list[float]:
+        """Position-level randomness, shareable across paired slates.
+
+        Using the same draws for every engine's slate at one visit is a
+        common-random-numbers variance reduction: engines that recommend
+        the same item at the same position get the same outcome.
+        """
+        return [float(u) for u in self._rng.random(count)]
+
+    def simulate(
+        self,
+        user: SimUser,
+        recommendations: list[Recommendation],
+        now: float,
+        uniforms: list[float] | None = None,
+        advance_focus: bool = True,
+    ) -> ClickOutcome:
+        outcome = ClickOutcome()
+        if advance_focus:
+            # the user arrives with their *current* focus: advance the drift
+            self._behavior.focus_of(user, now)
+        for position, rec in enumerate(recommendations):
+            outcome.impressions += 1
+            try:
+                item = self._behavior.catalog.get(rec.item_id)
+            except SimulationError:
+                continue
+            if not item.meta.is_active(now):
+                continue  # a stale model recommended a dead item: no click
+            affinity = self._behavior.affinity(user, item, now)
+            probability = (
+                self.config.base_click_probability
+                * affinity
+                * (self.config.position_discount**position)
+            )
+            probability = max(probability, self.config.noise_click_probability)
+            if self._behavior.already_consumed(user.user_id, rec.item_id):
+                probability *= self.config.repeat_click_penalty
+            if uniforms is not None and position < len(uniforms):
+                draw = uniforms[position]
+            else:
+                draw = self._rng.random()
+            if draw < probability:
+                outcome.clicks.append(rec.item_id)
+                outcome.actions.append(
+                    UserAction(user.user_id, rec.item_id, "click", now)
+                )
+                if self._rng.random() < self._behavior.config.escalate_strong:
+                    outcome.actions.append(
+                        UserAction(
+                            user.user_id,
+                            rec.item_id,
+                            self._behavior.config.strong_action,
+                            now,
+                        )
+                    )
+        return outcome

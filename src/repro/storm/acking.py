@@ -1,0 +1,90 @@
+"""Tuple-tree acking.
+
+Storm guarantees at-least-once processing by tracking each spout tuple's
+tree of descendants; when every tuple in the tree is acked the spout is
+notified. Storm uses XOR of random edge ids; in a single process we can
+track the tree with an exact pending counter per root, which is simpler
+and gives the same observable semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ClusterStateError
+
+
+@dataclass
+class _Root:
+    message_id: Any
+    spout_name: str
+    pending: int
+    failed: bool = False
+
+
+class Acker:
+    """Tracks outstanding tuple trees for every anchored spout tuple."""
+
+    def __init__(self):
+        self._roots: dict[int, _Root] = {}
+        self._next_id = 0
+        self.completed = 0
+        self.failed = 0
+
+    def register_root(self, message_id: Any, spout_name: str) -> int:
+        """Register a new spout tuple; returns its internal root id."""
+        root_id = self._next_id
+        self._next_id += 1
+        self._roots[root_id] = _Root(message_id, spout_name, pending=1)
+        return root_id
+
+    def on_emit(self, root_ids: frozenset[int]):
+        """A bolt emitted a tuple anchored to ``root_ids``."""
+        for root_id in root_ids:
+            root = self._roots.get(root_id)
+            if root is not None:
+                root.pending += 1
+
+    def on_ack(
+        self,
+        root_ids: frozenset[int],
+        notify: Callable[[str, Any, bool], None],
+    ):
+        """A tuple belonging to ``root_ids`` was acked.
+
+        ``notify(spout_name, message_id, ok)`` fires when a tree completes.
+        """
+        for root_id in root_ids:
+            root = self._roots.get(root_id)
+            if root is None:
+                continue
+            if root.pending <= 0:
+                raise ClusterStateError(
+                    f"tuple tree {root_id} acked more times than it has tuples"
+                )
+            root.pending -= 1
+            if root.pending == 0:
+                del self._roots[root_id]
+                if root.failed:
+                    self.failed += 1
+                    notify(root.spout_name, root.message_id, False)
+                else:
+                    self.completed += 1
+                    notify(root.spout_name, root.message_id, True)
+
+    def on_fail(
+        self,
+        root_ids: frozenset[int],
+        notify: Callable[[str, Any, bool], None],
+    ):
+        """A tuple failed: fail its trees immediately (Storm semantics)."""
+        for root_id in root_ids:
+            root = self._roots.pop(root_id, None)
+            if root is None:
+                continue
+            self.failed += 1
+            notify(root.spout_name, root.message_id, False)
+
+    def pending_trees(self) -> int:
+        return len(self._roots)

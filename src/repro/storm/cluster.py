@@ -1,0 +1,444 @@
+"""A simulated Storm cluster.
+
+Reproduces the structure of Figure 1: a Nimbus assigns each topology's
+tasks to worker slots hosted by supervisors; tasks exchange tuples through
+grouped streams. Execution is single-process and deterministic — a
+discrete-event loop polls spouts and drains bolt input queues — but the
+semantics the paper depends on are preserved:
+
+* a fields grouping delivers all tuples with one key to one task,
+* each task is a separate component instance with private state,
+* tasks (and whole workers) can be killed and restarted, losing any state
+  not kept in TDStore, which is exactly the failure model of Section 3.3.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ClusterError, ClusterStateError
+from repro.storm.acking import Acker
+from repro.storm.component import (
+    Bolt,
+    Component,
+    OutputCollector,
+    Spout,
+    TopologyContext,
+)
+from repro.storm.metrics import ClusterMetrics
+from repro.storm.topology import Topology
+from repro.storm.tuples import StormTuple
+from repro.utils.clock import SimClock
+
+
+@dataclass
+class WorkerSlot:
+    """A worker process slot on a supervisor (Figure 1)."""
+
+    supervisor_id: int
+    slot_index: int
+    assigned: list[tuple[str, str, int]] = field(default_factory=list)
+
+    @property
+    def worker_id(self) -> str:
+        return f"supervisor-{self.supervisor_id}/worker-{self.slot_index}"
+
+
+class Nimbus:
+    """Assigns tasks to worker slots round-robin, like Storm's scheduler."""
+
+    def __init__(self, num_supervisors: int, slots_per_supervisor: int):
+        if num_supervisors <= 0 or slots_per_supervisor <= 0:
+            raise ClusterError(
+                "cluster needs at least one supervisor with one slot"
+            )
+        self.slots = [
+            WorkerSlot(sup, slot)
+            for sup in range(num_supervisors)
+            for slot in range(slots_per_supervisor)
+        ]
+        self._cursor = 0
+
+    def assign(self, topology: Topology) -> dict[tuple[str, int], WorkerSlot]:
+        """Assign every task of ``topology`` to a slot; returns the map."""
+        assignment: dict[tuple[str, int], WorkerSlot] = {}
+        for spec in sorted(topology.specs.values(), key=lambda s: s.name):
+            for task_index in range(spec.parallelism):
+                slot = self.slots[self._cursor % len(self.slots)]
+                self._cursor += 1
+                slot.assigned.append((topology.name, spec.name, task_index))
+                assignment[(spec.name, task_index)] = slot
+        return assignment
+
+
+class _Task:
+    """One running component instance plus its input queue."""
+
+    def __init__(
+        self,
+        component_name: str,
+        task_index: int,
+        instance: Component,
+        collector: OutputCollector,
+    ):
+        self.component_name = component_name
+        self.task_index = task_index
+        self.instance = instance
+        self.collector = collector
+        self.queue: deque[StormTuple] = deque()
+        self.spout_done = False
+
+
+class _RunningTopology:
+    """All runtime state for one submitted topology."""
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        self.tasks: dict[tuple[str, int], _Task] = {}
+        self.acker = Acker()
+        self.metrics = ClusterMetrics()
+
+    def pending_tuples(self) -> int:
+        return sum(len(t.queue) for t in self.tasks.values())
+
+    def spouts_active(self) -> bool:
+        return any(
+            not task.spout_done
+            for task in self.tasks.values()
+            if isinstance(task.instance, Spout)
+        )
+
+
+class LocalCluster:
+    """Runs topologies to completion over a simulated clock.
+
+    Parameters
+    ----------
+    clock:
+        The simulated clock shared with spouts and state stores.
+    num_supervisors, slots_per_supervisor:
+        Shape of the simulated machine pool (Figure 1).
+    tick_interval:
+        If set, every bolt's :meth:`~repro.storm.component.Bolt.tick` is
+        invoked whenever the simulated clock crosses a multiple of this
+        interval — Storm's tick-tuple mechanism, used by the combiner.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock | None = None,
+        num_supervisors: int = 4,
+        slots_per_supervisor: int = 4,
+        tick_interval: float | None = None,
+    ):
+        self.clock = clock if clock is not None else SimClock()
+        self.nimbus = Nimbus(num_supervisors, slots_per_supervisor)
+        self.tick_interval = tick_interval
+        self._running: dict[str, _RunningTopology] = {}
+        self._assignment: dict[tuple[str, str, int], WorkerSlot] = {}
+        self._next_tick = (
+            None if tick_interval is None else self.clock.now() + tick_interval
+        )
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    def submit(self, topology: Topology) -> ClusterMetrics:
+        """Instantiate and prepare all tasks of ``topology``."""
+        if topology.name in self._running:
+            raise ClusterStateError(
+                f"topology {topology.name!r} already submitted"
+            )
+        run = _RunningTopology(topology)
+        self._running[topology.name] = run
+        for (name, index), slot in self.nimbus.assign(topology).items():
+            self._assignment[(topology.name, name, index)] = slot
+        for spec in topology.specs.values():
+            for task_index in range(spec.parallelism):
+                self._start_task(run, spec.name, task_index)
+        return run.metrics
+
+    def _start_task(self, run: _RunningTopology, name: str, task_index: int):
+        spec = run.topology.specs[name]
+        instance = spec.factory()
+        collector = self._make_collector(run, spec.name, task_index)
+        task = _Task(spec.name, task_index, instance, collector)
+        run.tasks[(name, task_index)] = task
+        context = TopologyContext(
+            spec.name, task_index, spec.parallelism, run.topology.name
+        )
+        instance.prepare(context, collector)
+
+    def _make_collector(
+        self, run: _RunningTopology, name: str, task_index: int
+    ) -> OutputCollector:
+        spec = run.topology.specs[name]
+
+        def emit_fn(tup: StormTuple, message_id: Any):
+            if spec.is_spout and message_id is not None:
+                root = run.acker.register_root(message_id, name)
+                tup.root_ids = frozenset({root})
+            elif tup.root_ids:
+                run.acker.on_emit(tup.root_ids)
+            run.metrics.task(name, task_index).emitted += 1
+            self._route(run, tup)
+
+        def ack_fn(tup: StormTuple):
+            run.metrics.task(name, task_index).acked += 1
+            run.acker.on_ack(tup.root_ids, self._notify(run))
+
+        def fail_fn(tup: StormTuple):
+            run.metrics.task(name, task_index).failed += 1
+            run.acker.on_fail(tup.root_ids, self._notify(run))
+
+        return OutputCollector(
+            name,
+            task_index,
+            spec.declaration,
+            emit_fn,
+            ack_fn,
+            fail_fn,
+            self.clock.now,
+        )
+
+    def _notify(self, run: _RunningTopology):
+        def notify(spout_name: str, message_id: Any, ok: bool):
+            if ok:
+                run.metrics.trees_completed += 1
+            else:
+                run.metrics.trees_failed += 1
+            for (name, _), task in run.tasks.items():
+                if name == spout_name and isinstance(task.instance, Spout):
+                    if ok:
+                        task.instance.on_ack(message_id)
+                    else:
+                        task.instance.on_fail(message_id)
+                    break
+
+        return notify
+
+    def _route(self, run: _RunningTopology, tup: StormTuple):
+        """Deliver ``tup`` to every subscribed consumer task."""
+        per_stream = run.topology.consumers.get(tup.source_component, {})
+        for consumer_name, grouping in per_stream.get(tup.stream_id, ()):
+            spec = run.topology.specs[consumer_name]
+            for target in grouping.select_tasks(tup, spec.parallelism):
+                run.tasks[(consumer_name, target)].queue.append(tup)
+                run.metrics.tuples_transferred += 1
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run_until_idle(self, max_rounds: int | None = None) -> int:
+        """Poll spouts and drain bolts until nothing remains; return rounds."""
+        rounds = 0
+        while True:
+            progressed = self.step()
+            rounds += 1
+            if not progressed:
+                break
+            if max_rounds is not None and rounds >= max_rounds:
+                break
+        self.flush_ticks()
+        self.drain()
+        return rounds
+
+    def step(self) -> bool:
+        """One scheduling round: poll every active spout once, then drain.
+
+        Returns True if any spout still reported pending input or any tuple
+        was processed.
+        """
+        progressed = False
+        for run in self._running.values():
+            for task in list(run.tasks.values()):
+                if isinstance(task.instance, Spout) and not task.spout_done:
+                    more = task.instance.next_tuple()
+                    if not more:
+                        task.spout_done = True
+                    else:
+                        progressed = True
+        if self.drain() > 0:
+            progressed = True
+        return progressed
+
+    def drain(self) -> int:
+        """Process queued tuples to quiescence; returns tuples executed."""
+        executed = 0
+        while True:
+            batch = 0
+            for run in self._running.values():
+                for task in list(run.tasks.values()):
+                    while task.queue:
+                        tup = task.queue.popleft()
+                        self._execute(run, task, tup)
+                        batch += 1
+            self._maybe_tick()
+            if batch == 0:
+                return executed
+            executed += batch
+
+    def _execute(self, run: _RunningTopology, task: _Task, tup: StormTuple):
+        bolt = task.instance
+        if not isinstance(bolt, Bolt):
+            raise ClusterStateError(
+                f"tuple routed to non-bolt {task.component_name!r}"
+            )
+        run.metrics.task(task.component_name, task.task_index).executed += 1
+        task.collector.set_anchor_roots(tup.root_ids)
+        try:
+            bolt.execute(tup)
+        except Exception:
+            task.collector.fail(tup)
+            raise
+        finally:
+            task.collector.set_anchor_roots(frozenset())
+        if not getattr(bolt, "manual_ack", False):
+            task.collector.ack(tup)
+
+    def _maybe_tick(self):
+        if self._next_tick is None:
+            return
+        now = self.clock.now()
+        while now >= self._next_tick:
+            self._tick_all(self._next_tick)
+            self._next_tick += self.tick_interval
+
+    def flush_ticks(self):
+        """Force a tick on every bolt (used at end-of-stream to flush buffers)."""
+        self._tick_all(self.clock.now())
+
+    def _tick_all(self, now: float):
+        for run in self._running.values():
+            for task in run.tasks.values():
+                if isinstance(task.instance, Bolt):
+                    task.instance.tick(now)
+
+    # ------------------------------------------------------------------
+    # failure injection (Section 3.1 / 3.3 failure model)
+    # ------------------------------------------------------------------
+
+    def kill_task(self, topology_name: str, component: str, task_index: int):
+        """Kill one task and restart it fresh: in-memory state is lost.
+
+        Queued tuples survive (Storm replays pending tuples to the new
+        executor); any state the component kept outside TDStore is gone.
+        """
+        run = self._running.get(topology_name)
+        if run is None:
+            raise ClusterStateError(f"unknown topology {topology_name!r}")
+        old = run.tasks.get((component, task_index))
+        if old is None:
+            raise ClusterStateError(
+                f"unknown task {component!r}[{task_index}] in {topology_name!r}"
+            )
+        pending = old.queue
+        was_done = old.spout_done
+        self._start_task(run, component, task_index)
+        new_task = run.tasks[(component, task_index)]
+        new_task.queue = pending
+        new_task.spout_done = was_done
+        run.metrics.task_restarts += 1
+
+    def rebalance(self, topology_name: str, component: str, parallelism: int):
+        """Change a component's task count at runtime (Storm's rebalance).
+
+        All existing tasks of the component are torn down and replaced;
+        their queued tuples are re-routed through the component's
+        groupings against the new task count. Components that keep their
+        state in TDStore (the TencentRec design, §5.1) survive this
+        unchanged — which is what makes the Section 7 auto-parallelism
+        future work safe to apply live.
+        """
+        run = self._running.get(topology_name)
+        if run is None:
+            raise ClusterStateError(f"unknown topology {topology_name!r}")
+        spec = run.topology.specs.get(component)
+        if spec is None:
+            raise ClusterStateError(
+                f"unknown component {component!r} in {topology_name!r}"
+            )
+        if spec.is_spout:
+            raise ClusterStateError(
+                "spouts cannot be rebalanced: a fresh instance would "
+                "replay its source from the beginning"
+            )
+        if parallelism <= 0:
+            raise ClusterError(
+                f"parallelism must be positive: {parallelism}"
+            )
+        pending: list[StormTuple] = []
+        was_done = True
+        for task_index in range(spec.parallelism):
+            task = run.tasks.pop((component, task_index))
+            pending.extend(task.queue)
+            was_done = was_done and task.spout_done
+            task.instance.cleanup()
+            self._assignment.pop(
+                (topology_name, component, task_index), None
+            )
+        spec.parallelism = parallelism
+        for task_index in range(parallelism):
+            slot = self.nimbus.slots[
+                self.nimbus._cursor % len(self.nimbus.slots)
+            ]
+            self.nimbus._cursor += 1
+            slot.assigned.append((topology_name, component, task_index))
+            self._assignment[(topology_name, component, task_index)] = slot
+            self._start_task(run, component, task_index)
+            run.tasks[(component, task_index)].spout_done = was_done
+        # re-route the tuples that were waiting in the old queues: find
+        # the grouping each tuple arrived through and replay the routing
+        for tup in pending:
+            per_stream = run.topology.consumers.get(tup.source_component, {})
+            for consumer_name, grouping in per_stream.get(tup.stream_id, ()):
+                if consumer_name != component:
+                    continue
+                for target in grouping.select_tasks(tup, parallelism):
+                    run.tasks[(component, target)].queue.append(tup)
+
+    def kill_worker(self, worker_id: str):
+        """Kill every task assigned to one worker slot (machine failure)."""
+        victims = [
+            key
+            for key, slot in self._assignment.items()
+            if slot.worker_id == worker_id
+        ]
+        if not victims:
+            raise ClusterStateError(f"no tasks assigned to worker {worker_id!r}")
+        for topology_name, component, task_index in victims:
+            self.kill_task(topology_name, component, task_index)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def metrics(self, topology_name: str) -> ClusterMetrics:
+        return self._running[topology_name].metrics
+
+    def task_instance(
+        self, topology_name: str, component: str, task_index: int
+    ) -> Component:
+        """Expose a running component instance (for tests and result reads)."""
+        return self._running[topology_name].tasks[(component, task_index)].instance
+
+    def assignment_of(
+        self, topology_name: str, component: str, task_index: int
+    ) -> str:
+        return self._assignment[(topology_name, component, task_index)].worker_id
+
+    def kill_topology(self, topology_name: str):
+        run = self._running.pop(topology_name, None)
+        if run is None:
+            raise ClusterStateError(f"unknown topology {topology_name!r}")
+        for task in run.tasks.values():
+            task.instance.cleanup()
+        self._assignment = {
+            key: slot
+            for key, slot in self._assignment.items()
+            if key[0] != topology_name
+        }

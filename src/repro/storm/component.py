@@ -1,0 +1,175 @@
+"""Spout and bolt programming model.
+
+Mirrors Storm's component API: spouts produce the input streams, bolts
+consume and transform them. Components declare output streams, are
+instantiated once per task, and interact with the runtime only through
+the :class:`OutputCollector` handed to them at preparation time.
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+from typing import Any, Callable, Sequence
+
+from repro.errors import TopologyError
+from repro.storm.streams import DEFAULT_STREAM, OutputDeclaration
+from repro.storm.tuples import StormTuple
+
+
+class TopologyContext:
+    """Runtime information handed to a component when it is prepared."""
+
+    def __init__(
+        self,
+        component_name: str,
+        task_index: int,
+        num_tasks: int,
+        topology_name: str,
+    ):
+        self.component_name = component_name
+        self.task_index = task_index
+        self.num_tasks = num_tasks
+        self.topology_name = topology_name
+
+    def __repr__(self) -> str:
+        return (
+            f"TopologyContext({self.topology_name!r}, "
+            f"{self.component_name!r}[{self.task_index}/{self.num_tasks}])"
+        )
+
+
+class OutputCollector:
+    """Emission interface given to a component task by the runtime.
+
+    ``emit`` hands a value tuple to the cluster, which validates it against
+    the declared stream schema and routes it to downstream tasks. For
+    spouts, ``emit`` may carry a ``message_id`` enrolling the tuple in the
+    acking machinery; for bolts, emitted tuples are anchored to the input
+    tuple being executed.
+    """
+
+    def __init__(
+        self,
+        component_name: str,
+        task_index: int,
+        declaration: OutputDeclaration,
+        emit_fn: Callable[[StormTuple, Any], None],
+        ack_fn: Callable[[StormTuple], None],
+        fail_fn: Callable[[StormTuple], None],
+        clock_now: Callable[[], float],
+    ):
+        self._component_name = component_name
+        self._task_index = task_index
+        self._declaration = declaration
+        self._emit_fn = emit_fn
+        self._ack_fn = ack_fn
+        self._fail_fn = fail_fn
+        self._clock_now = clock_now
+        self._anchor_roots: frozenset[int] = frozenset()
+
+    def set_anchor_roots(self, roots: frozenset[int]):
+        """Set the tuple-tree roots for tuples emitted during this execute."""
+        self._anchor_roots = roots
+
+    def emit(
+        self,
+        values: Sequence[Any],
+        stream_id: str = DEFAULT_STREAM,
+        message_id: Any = None,
+    ) -> StormTuple:
+        """Emit ``values`` on ``stream_id`` and return the created tuple."""
+        stream = self._declaration.stream(stream_id)
+        tup = StormTuple(
+            values,
+            stream.fields,
+            stream_id,
+            self._component_name,
+            self._task_index,
+            root_ids=self._anchor_roots,
+            timestamp=self._clock_now(),
+        )
+        self._emit_fn(tup, message_id)
+        return tup
+
+    def ack(self, tup: StormTuple):
+        """Mark ``tup`` as fully processed by this component."""
+        self._ack_fn(tup)
+
+    def fail(self, tup: StormTuple):
+        """Mark ``tup`` as failed, triggering replay from the spout."""
+        self._fail_fn(tup)
+
+
+class Component(ABC):
+    """Shared machinery for spouts and bolts."""
+
+    def declare_outputs(self, declarer: OutputDeclaration):
+        """Declare output streams. Override in components that emit."""
+
+    def prepare(self, context: TopologyContext, collector: OutputCollector):
+        """Called once before any tuples flow. Override to set up state."""
+        self.context = context
+        self.collector = collector
+
+    def cleanup(self):
+        """Called when the topology is shut down."""
+
+
+class Spout(Component):
+    """A source of streams.
+
+    Subclasses override :meth:`next_tuple` to emit zero or more tuples per
+    invocation, returning ``True`` while more input may follow and
+    ``False`` once the source is exhausted (an extension to Storm's API
+    that lets the simulated cluster run a finite stream to completion).
+    """
+
+    def next_tuple(self) -> bool:
+        """Emit pending tuples; return False when the source is exhausted."""
+        return False
+
+    def on_ack(self, message_id: Any):
+        """Called when a tuple tree rooted at ``message_id`` completes."""
+
+    def on_fail(self, message_id: Any):
+        """Called when a tuple tree rooted at ``message_id`` fails."""
+
+
+class Bolt(Component):
+    """A stream transformer: consumes tuples, may emit new ones."""
+
+    def execute(self, tup: StormTuple):
+        """Process one input tuple."""
+        raise NotImplementedError
+
+    def tick(self, now: float):
+        """Called periodically by the cluster (Storm's tick tuples).
+
+        Components that buffer (e.g. the combiner of Section 5.3) flush
+        from here.
+        """
+
+
+class FunctionBolt(Bolt):
+    """Adapter turning a plain callable into a bolt, for tests and examples."""
+
+    def __init__(
+        self,
+        fn: Callable[[StormTuple, OutputCollector], None],
+        output_streams: Sequence[tuple[str, tuple[str, ...]]] = (),
+    ):
+        self._fn = fn
+        self._output_streams = tuple(output_streams)
+
+    def declare_outputs(self, declarer: OutputDeclaration):
+        for stream_id, fields in self._output_streams:
+            declarer.declare(fields, stream_id)
+
+    def execute(self, tup: StormTuple):
+        self._fn(tup, self.collector)
+
+
+def validate_component_name(name: str):
+    """Component names appear in XML configs and metrics; keep them simple."""
+    if not name or not name.replace("_", "").replace("-", "").isalnum():
+        raise TopologyError(f"invalid component name: {name!r}")

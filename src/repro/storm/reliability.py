@@ -1,0 +1,88 @@
+"""At-least-once delivery helpers.
+
+Storm's guarantee: a spout tuple whose tree fails (or times out) is
+replayed. :class:`ReplayingSpout` wraps any pull-based source with the
+standard pending-buffer pattern — emitted tuples are remembered until
+acked, failed ones re-enter the front of the queue, and a bounded retry
+count routes poison messages to a dead-letter list instead of looping
+forever.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.storm.component import Spout
+
+PullFn = Callable[[], "Sequence[tuple] | None"]
+
+
+class ReplayingSpout(Spout):
+    """A reliable spout over an iterable of value tuples.
+
+    Parameters
+    ----------
+    rows:
+        The value tuples to emit.
+    fields / stream_id:
+        Output stream declaration.
+    max_retries:
+        After this many failures a row is moved to ``dead_letters``.
+    """
+
+    def __init__(
+        self,
+        rows: Iterable[tuple],
+        fields: tuple[str, ...],
+        stream_id: str = "default",
+        max_retries: int = 3,
+    ):
+        if max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0: {max_retries}")
+        self._queue: deque[tuple[int, tuple]] = deque(enumerate(rows))
+        self._fields = fields
+        self._stream_id = stream_id
+        self._max_retries = max_retries
+        self._pending: dict[int, tuple] = {}
+        self._failures: dict[int, int] = {}
+        self.dead_letters: list[tuple] = []
+        self.replays = 0
+        self.completed = 0
+
+    def declare_outputs(self, declarer):
+        declarer.declare(self._fields, self._stream_id)
+
+    def next_tuple(self) -> bool:
+        if not self._queue:
+            return False
+        message_id, row = self._queue.popleft()
+        self._pending[message_id] = row
+        self.collector.emit(row, stream_id=self._stream_id,
+                            message_id=message_id)
+        return True
+
+    def on_ack(self, message_id: Any):
+        self._pending.pop(message_id, None)
+        self._failures.pop(message_id, None)
+        self.completed += 1
+
+    def on_fail(self, message_id: Any):
+        row = self._pending.pop(message_id, None)
+        if row is None:
+            return
+        failures = self._failures.get(message_id, 0) + 1
+        if failures > self._max_retries:
+            self.dead_letters.append(row)
+            self._failures.pop(message_id, None)
+            return
+        self._failures[message_id] = failures
+        self.replays += 1
+        self._queue.appendleft((message_id, row))
+
+    def in_flight(self) -> int:
+        return len(self._pending)
+
+    def fully_processed(self) -> bool:
+        return not self._queue and not self._pending

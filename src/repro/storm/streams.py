@@ -1,0 +1,53 @@
+"""Stream declarations.
+
+Components declare their output streams up front (Storm's
+``declareOutputFields``): each stream has an id and an ordered field list.
+The topology validator uses these declarations to check groupings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TopologyError
+
+DEFAULT_STREAM = "default"
+
+
+@dataclass(frozen=True)
+class StreamDef:
+    """An output stream declaration: id plus ordered field names."""
+
+    stream_id: str
+    fields: tuple[str, ...]
+
+    def __post_init__(self):
+        if not self.stream_id:
+            raise TopologyError("stream_id must be non-empty")
+        if not self.fields:
+            raise TopologyError(f"stream {self.stream_id!r} declares no fields")
+        if len(set(self.fields)) != len(self.fields):
+            raise TopologyError(
+                f"stream {self.stream_id!r} has duplicate fields {self.fields}"
+            )
+
+
+@dataclass
+class OutputDeclaration:
+    """The set of streams a component emits, keyed by stream id."""
+
+    streams: dict[str, StreamDef] = field(default_factory=dict)
+
+    def declare(self, fields: tuple[str, ...], stream_id: str = DEFAULT_STREAM):
+        if stream_id in self.streams:
+            raise TopologyError(f"stream {stream_id!r} declared twice")
+        self.streams[stream_id] = StreamDef(stream_id, tuple(fields))
+
+    def stream(self, stream_id: str) -> StreamDef:
+        try:
+            return self.streams[stream_id]
+        except KeyError:
+            raise TopologyError(
+                f"stream {stream_id!r} was never declared; "
+                f"declared: {sorted(self.streams)}"
+            ) from None

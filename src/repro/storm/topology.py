@@ -1,0 +1,190 @@
+"""Topology construction and validation.
+
+A topology is a DAG of spouts and bolts with grouped edges (Section 5.1).
+Because every task needs its own component instance, components are
+registered as zero-argument *factories*; the cluster calls the factory
+``parallelism`` times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import TopologyError, TopologyValidationError
+from repro.storm.component import Bolt, Component, Spout, validate_component_name
+from repro.storm.grouping import Grouping
+from repro.storm.streams import DEFAULT_STREAM, OutputDeclaration
+
+ComponentFactory = Callable[[], Component]
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """An edge: consumer listens to ``source`` / ``stream_id`` via ``grouping``."""
+
+    source: str
+    stream_id: str
+    grouping: Grouping
+
+
+@dataclass
+class ComponentSpec:
+    """A registered component: factory, parallelism, declared outputs, edges."""
+
+    name: str
+    factory: ComponentFactory
+    parallelism: int
+    is_spout: bool
+    declaration: OutputDeclaration = field(default_factory=OutputDeclaration)
+    subscriptions: list[Subscription] = field(default_factory=list)
+
+
+class BoltDeclarer:
+    """Fluent helper returned by :meth:`TopologyBuilder.add_bolt`."""
+
+    def __init__(self, spec: ComponentSpec, builder: "TopologyBuilder"):
+        self._spec = spec
+        self._builder = builder
+
+    def grouping(
+        self,
+        source: str,
+        grouping: Grouping,
+        stream_id: str = DEFAULT_STREAM,
+    ) -> "BoltDeclarer":
+        """Subscribe this bolt to ``source``'s ``stream_id`` via ``grouping``."""
+        self._spec.subscriptions.append(Subscription(source, stream_id, grouping))
+        return self
+
+
+class TopologyBuilder:
+    """Assembles and validates a :class:`Topology`."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise TopologyError("topology name must be non-empty")
+        self.name = name
+        self._specs: dict[str, ComponentSpec] = {}
+
+    def _register(
+        self, name: str, factory: ComponentFactory, parallelism: int, is_spout: bool
+    ) -> ComponentSpec:
+        validate_component_name(name)
+        if name in self._specs:
+            raise TopologyError(f"component {name!r} registered twice")
+        if parallelism <= 0:
+            raise TopologyError(
+                f"component {name!r} needs positive parallelism, got {parallelism}"
+            )
+        prototype = factory()
+        expected = Spout if is_spout else Bolt
+        if not isinstance(prototype, expected):
+            raise TopologyError(
+                f"factory for {name!r} built {type(prototype).__name__}, "
+                f"expected a {expected.__name__}"
+            )
+        spec = ComponentSpec(name, factory, parallelism, is_spout)
+        prototype.declare_outputs(spec.declaration)
+        self._specs[name] = spec
+        return spec
+
+    def add_spout(
+        self, name: str, factory: ComponentFactory, parallelism: int = 1
+    ) -> ComponentSpec:
+        return self._register(name, factory, parallelism, is_spout=True)
+
+    def add_bolt(
+        self, name: str, factory: ComponentFactory, parallelism: int = 1
+    ) -> BoltDeclarer:
+        spec = self._register(name, factory, parallelism, is_spout=False)
+        return BoltDeclarer(spec, self)
+
+    def build(self) -> "Topology":
+        return Topology(self.name, dict(self._specs))
+
+
+class Topology:
+    """A validated, immutable topology ready for submission to a cluster."""
+
+    def __init__(self, name: str, specs: dict[str, ComponentSpec]):
+        self.name = name
+        self.specs = specs
+        self._validate()
+        # consumers[source][stream_id] -> list of (consumer name, grouping)
+        self.consumers: dict[str, dict[str, list[tuple[str, Grouping]]]] = {}
+        for spec in specs.values():
+            for sub in spec.subscriptions:
+                per_stream = self.consumers.setdefault(sub.source, {})
+                per_stream.setdefault(sub.stream_id, []).append(
+                    (spec.name, sub.grouping)
+                )
+
+    def _validate(self):
+        if not any(s.is_spout for s in self.specs.values()):
+            raise TopologyValidationError(f"topology {self.name!r} has no spout")
+        for spec in self.specs.values():
+            if spec.is_spout and spec.subscriptions:
+                raise TopologyValidationError(
+                    f"spout {spec.name!r} cannot subscribe to streams"
+                )
+            if not spec.is_spout and not spec.subscriptions:
+                raise TopologyValidationError(
+                    f"bolt {spec.name!r} has no input subscription"
+                )
+            for sub in spec.subscriptions:
+                source = self.specs.get(sub.source)
+                if source is None:
+                    raise TopologyValidationError(
+                        f"bolt {spec.name!r} subscribes to unknown component "
+                        f"{sub.source!r}"
+                    )
+                stream = source.declaration.streams.get(sub.stream_id)
+                if stream is None:
+                    raise TopologyValidationError(
+                        f"bolt {spec.name!r} subscribes to undeclared stream "
+                        f"{sub.source!r}/{sub.stream_id!r}; declared: "
+                        f"{sorted(source.declaration.streams)}"
+                    )
+                sub.grouping.validate(stream.fields)
+        self._check_acyclic()
+
+    def _check_acyclic(self):
+        """Reject cyclic topologies; the simulated scheduler requires a DAG."""
+        edges: dict[str, set[str]] = {name: set() for name in self.specs}
+        for spec in self.specs.values():
+            for sub in spec.subscriptions:
+                edges[sub.source].add(spec.name)
+        state: dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(node: str, stack: tuple[str, ...]):
+            mark = state.get(node)
+            if mark == 1:
+                return
+            if mark == 0:
+                cycle = " -> ".join(stack + (node,))
+                raise TopologyValidationError(
+                    f"topology {self.name!r} has a cycle: {cycle}"
+                )
+            state[node] = 0
+            for nxt in sorted(edges[node]):
+                visit(nxt, stack + (node,))
+            state[node] = 1
+
+        for name in sorted(self.specs):
+            visit(name, ())
+
+    def spouts(self) -> list[ComponentSpec]:
+        return [s for s in self.specs.values() if s.is_spout]
+
+    def bolts(self) -> list[ComponentSpec]:
+        return [s for s in self.specs.values() if not s.is_spout]
+
+    def total_tasks(self) -> int:
+        return sum(s.parallelism for s in self.specs.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology({self.name!r}, spouts={[s.name for s in self.spouts()]}, "
+            f"bolts={[b.name for b in self.bolts()]})"
+        )

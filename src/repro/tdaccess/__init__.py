@@ -1,0 +1,33 @@
+"""TDAccess: Tencent Data Access (Section 3.2, Figure 2).
+
+A partitioned publish/subscribe layer decoupling data sources from the
+data-processing systems. Producers publish user-action messages to
+topics; each topic is split into partitions spread across data servers;
+consumers pull in parallel, one consumer per partition within a group.
+An active/standby master pair tracks server liveness and balances
+partitions. Messages are retained in per-partition append-only logs
+("cached in disk" in the paper), so late or offline consumers can replay
+history.
+"""
+
+from repro.tdaccess.message import Message
+from repro.tdaccess.log import PartitionLog, LogSegment
+from repro.tdaccess.data_server import DataServer
+from repro.tdaccess.master import MasterServer, MasterPair
+from repro.tdaccess.producer import Producer
+from repro.tdaccess.consumer import Consumer, ConsumerGroup, OffsetStore
+from repro.tdaccess.cluster import TDAccessCluster
+
+__all__ = [
+    "Message",
+    "PartitionLog",
+    "LogSegment",
+    "DataServer",
+    "MasterServer",
+    "MasterPair",
+    "Producer",
+    "Consumer",
+    "ConsumerGroup",
+    "OffsetStore",
+    "TDAccessCluster",
+]

@@ -1,0 +1,169 @@
+"""TDAccess consumers and consumer groups.
+
+Consumers pull messages per partition and track their own offsets, so a
+consumer that was absent (the paper's "temporary absence of the real-time
+computation systems") resumes from where it left off, and an offline
+system can replay from offset zero. A :class:`ConsumerGroup` splits a
+topic's partitions across member consumers so they poll in parallel.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConsumerGroupError, PartitionUnavailableError
+from repro.tdaccess.master import MasterPair
+from repro.tdaccess.message import Message
+
+
+class OffsetStore:
+    """Server-side committed offsets, keyed by (group, topic, partition).
+
+    Lives with the cluster, not the consumer process, so a consumer that
+    crashes and restarts resumes from its last commit — the paper's
+    "temporary absence of the real-time computation systems".
+    """
+
+    def __init__(self):
+        self._offsets: dict[tuple[str, str, int], int] = {}
+
+    def commit(self, group: str, topic: str, partition: int, offset: int):
+        self._offsets[(group, topic, partition)] = offset
+
+    def committed(self, group: str, topic: str, partition: int) -> int | None:
+        return self._offsets.get((group, topic, partition))
+
+
+class Consumer:
+    """A single consumer reading an explicit set of partitions.
+
+    With ``group_id`` and an :class:`OffsetStore`, progress can be
+    committed server-side and is restored on construction.
+    """
+
+    def __init__(
+        self,
+        masters: MasterPair,
+        topic: str,
+        partitions: list[int] | None = None,
+        start_offset: int = 0,
+        group_id: str | None = None,
+        offset_store: "OffsetStore | None" = None,
+    ):
+        if (group_id is None) != (offset_store is None):
+            raise ConsumerGroupError(
+                "group_id and offset_store must be provided together"
+            )
+        self._masters = masters
+        self.topic = topic
+        self.group_id = group_id
+        self._offset_store = offset_store
+        total = masters.active.num_partitions(topic)
+        if partitions is None:
+            partitions = list(range(total))
+        bad = [p for p in partitions if p < 0 or p >= total]
+        if bad:
+            raise ConsumerGroupError(
+                f"partitions {bad} out of range for topic {topic!r} ({total})"
+            )
+        self.partitions = list(partitions)
+        self._offsets: dict[int, int] = {}
+        for partition in partitions:
+            committed = None
+            if offset_store is not None and group_id is not None:
+                committed = offset_store.committed(group_id, topic, partition)
+            self._offsets[partition] = (
+                committed if committed is not None else start_offset
+            )
+        self.received = 0
+
+    def commit(self):
+        """Persist current positions to the cluster's offset store."""
+        if self._offset_store is None or self.group_id is None:
+            raise ConsumerGroupError(
+                "commit() needs a group_id and an offset store"
+            )
+        for partition, offset in self._offsets.items():
+            self._offset_store.commit(
+                self.group_id, self.topic, partition, offset
+            )
+
+    def position(self, partition: int) -> int:
+        return self._offsets[partition]
+
+    def seek(self, partition: int, offset: int):
+        if partition not in self._offsets:
+            raise ConsumerGroupError(
+                f"consumer does not own partition {partition}"
+            )
+        self._offsets[partition] = offset
+
+    def poll(self, max_per_partition: int = 256) -> list[Message]:
+        """Fetch new messages from every owned, live partition.
+
+        Dead partitions are skipped (their messages are delivered after the
+        hosting server recovers), matching the availability story of §3.2.
+        """
+        master = self._masters.active
+        out: list[Message] = []
+        for partition in self.partitions:
+            try:
+                server = master.route(self.topic, partition)
+            except PartitionUnavailableError:
+                continue
+            batch = server.read(
+                self.topic, partition, self._offsets[partition], max_per_partition
+            )
+            if batch:
+                self._offsets[partition] = batch[-1].offset + 1
+                out.extend(batch)
+        self.received += len(out)
+        return out
+
+    def drain(self, max_per_partition: int = 256) -> list[Message]:
+        """Poll until no partition returns anything new."""
+        out: list[Message] = []
+        while True:
+            batch = self.poll(max_per_partition)
+            if not batch:
+                return out
+            out.extend(batch)
+
+    def lag(self) -> int:
+        """Total messages available but not yet consumed (live partitions)."""
+        master = self._masters.active
+        total = 0
+        for partition in self.partitions:
+            try:
+                server = master.route(self.topic, partition)
+            except PartitionUnavailableError:
+                continue
+            total += server.head_offset(self.topic, partition) - self._offsets[
+                partition
+            ]
+        return total
+
+
+class ConsumerGroup:
+    """Splits a topic's partitions across ``num_consumers`` members."""
+
+    def __init__(self, masters: MasterPair, topic: str, num_consumers: int):
+        if num_consumers <= 0:
+            raise ConsumerGroupError(
+                f"need at least one consumer: {num_consumers}"
+            )
+        total = masters.active.num_partitions(topic)
+        if num_consumers > total:
+            raise ConsumerGroupError(
+                f"{num_consumers} consumers for {total} partitions: "
+                "some would idle"
+            )
+        self.members: list[Consumer] = []
+        for index in range(num_consumers):
+            owned = [p for p in range(total) if p % num_consumers == index]
+            self.members.append(Consumer(masters, topic, owned))
+
+    def poll_all(self, max_per_partition: int = 256) -> list[Message]:
+        """Poll every member once; returns the combined batch."""
+        out: list[Message] = []
+        for member in self.members:
+            out.extend(member.poll(max_per_partition))
+        return out

@@ -1,0 +1,75 @@
+"""TDAccess data servers.
+
+Data servers host partitions, cache their message data, and serve
+producers and consumers directly (the master is only consulted for
+routing). Data servers do not share data with each other — the design
+point the paper credits for linear scalability.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import PartitionUnavailableError, TDAccessError
+from repro.tdaccess.log import PartitionLog
+from repro.tdaccess.message import Message
+
+
+class DataServer:
+    """One data-server process hosting a set of partition logs."""
+
+    def __init__(self, server_id: int):
+        self.server_id = server_id
+        self.alive = True
+        self._logs: dict[tuple[str, int], PartitionLog] = {}
+
+    def host_partition(self, log: PartitionLog):
+        key = (log.topic, log.partition)
+        if key in self._logs:
+            raise TDAccessError(
+                f"server {self.server_id} already hosts {key[0]}[{key[1]}]"
+            )
+        self._logs[key] = log
+
+    def hosted_partitions(self) -> list[tuple[str, int]]:
+        return sorted(self._logs)
+
+    def partition_count(self) -> int:
+        return len(self._logs)
+
+    def _log(self, topic: str, partition: int) -> PartitionLog:
+        if not self.alive:
+            raise PartitionUnavailableError(
+                f"data server {self.server_id} is down"
+            )
+        try:
+            return self._logs[(topic, partition)]
+        except KeyError:
+            raise PartitionUnavailableError(
+                f"server {self.server_id} does not host {topic}[{partition}]"
+            ) from None
+
+    def append(
+        self, topic: str, partition: int, key: Any, value: Any, timestamp: float
+    ) -> Message:
+        return self._log(topic, partition).append(key, value, timestamp)
+
+    def read(
+        self, topic: str, partition: int, from_offset: int, max_messages: int
+    ) -> list[Message]:
+        return self._log(topic, partition).read(from_offset, max_messages)
+
+    def head_offset(self, topic: str, partition: int) -> int:
+        return self._log(topic, partition).next_offset
+
+    def crash(self):
+        """Simulate a machine failure; logs are retained (disk survives)."""
+        self.alive = False
+
+    def recover(self):
+        """Bring the server back; its on-disk logs are intact."""
+        self.alive = True
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "DOWN"
+        return f"DataServer({self.server_id}, {state}, {len(self._logs)} partitions)"

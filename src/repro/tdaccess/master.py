@@ -1,0 +1,159 @@
+"""TDAccess master servers.
+
+An active master balances partitions over data servers at the granularity
+of a partition and answers routing queries from producers and consumers;
+a standby master mirrors its state and takes over if the active one dies
+(Figure 2).
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    PartitionUnavailableError,
+    TDAccessError,
+    UnknownTopicError,
+)
+from repro.tdaccess.data_server import DataServer
+from repro.tdaccess.log import PartitionLog
+
+
+class MasterServer:
+    """Routing and balancing brain of a TDAccess cluster."""
+
+    def __init__(self, name: str = "master"):
+        self.name = name
+        self._servers: list[DataServer] = []
+        # (topic, partition) -> data server id
+        self._placement: dict[tuple[str, int], int] = {}
+        self._topics: dict[str, int] = {}
+
+    # -- cluster membership -------------------------------------------------
+
+    def register_server(self, server: DataServer):
+        if any(s.server_id == server.server_id for s in self._servers):
+            raise TDAccessError(f"server id {server.server_id} already registered")
+        self._servers.append(server)
+
+    def servers(self) -> list[DataServer]:
+        return list(self._servers)
+
+    def _server_by_id(self, server_id: int) -> DataServer:
+        for server in self._servers:
+            if server.server_id == server_id:
+                return server
+        raise TDAccessError(f"unknown data server {server_id}")
+
+    # -- topic management ---------------------------------------------------
+
+    def create_topic(
+        self,
+        topic: str,
+        num_partitions: int,
+        segment_size: int = 1024,
+        retention_segments: int | None = None,
+    ):
+        """Create ``topic`` and spread its partitions over the least-loaded
+        servers (the paper's balancing "in the granularity of partition")."""
+        if topic in self._topics:
+            raise TDAccessError(f"topic {topic!r} already exists")
+        if num_partitions <= 0:
+            raise TDAccessError(f"need at least one partition: {num_partitions}")
+        if not self._servers:
+            raise TDAccessError("no data servers registered")
+        self._topics[topic] = num_partitions
+        for partition in range(num_partitions):
+            target = min(self._servers, key=lambda s: (s.partition_count(), s.server_id))
+            log = PartitionLog(topic, partition, segment_size, retention_segments)
+            target.host_partition(log)
+            self._placement[(topic, partition)] = target.server_id
+
+    def num_partitions(self, topic: str) -> int:
+        try:
+            return self._topics[topic]
+        except KeyError:
+            raise UnknownTopicError(
+                f"unknown topic {topic!r}; known: {sorted(self._topics)}"
+            ) from None
+
+    def topics(self) -> list[str]:
+        return sorted(self._topics)
+
+    # -- routing ------------------------------------------------------------
+
+    def route(self, topic: str, partition: int) -> DataServer:
+        """Return the live data server hosting ``topic[partition]``."""
+        self.num_partitions(topic)  # validates topic
+        server_id = self._placement.get((topic, partition))
+        if server_id is None:
+            raise PartitionUnavailableError(
+                f"no placement for {topic}[{partition}]"
+            )
+        server = self._server_by_id(server_id)
+        if not server.alive:
+            raise PartitionUnavailableError(
+                f"{topic}[{partition}] hosted on dead server {server_id}"
+            )
+        return server
+
+    def partition_map(self, topic: str) -> dict[int, int]:
+        """partition index -> server id, for all partitions of ``topic``."""
+        count = self.num_partitions(topic)
+        return {
+            p: self._placement[(topic, p)]
+            for p in range(count)
+            if (topic, p) in self._placement
+        }
+
+    def snapshot(self) -> dict:
+        """State handed to the standby for mirroring."""
+        return {
+            "placement": dict(self._placement),
+            "topics": dict(self._topics),
+            "servers": list(self._servers),
+        }
+
+    def restore(self, snapshot: dict):
+        self._placement = dict(snapshot["placement"])
+        self._topics = dict(snapshot["topics"])
+        self._servers = list(snapshot["servers"])
+
+
+class MasterPair:
+    """Active/standby master pair with failover."""
+
+    def __init__(self):
+        self._active = MasterServer("active")
+        self._standby = MasterServer("standby")
+        self.failovers = 0
+        self._active_alive = True
+
+    @property
+    def active(self) -> MasterServer:
+        """The master currently answering queries."""
+        if not self._active_alive:
+            return self._standby
+        return self._active
+
+    def sync_standby(self):
+        """Mirror the acting master's state to its peer (done per mutation)."""
+        if self._active_alive:
+            self._standby.restore(self._active.snapshot())
+        else:
+            # the standby is acting; keep the (dead) active's state fresh so
+            # it can rejoin as the new standby on revive
+            self._active.restore(self._standby.snapshot())
+
+    def kill_active(self):
+        """Active master dies; standby takes over with mirrored state."""
+        if not self._active_alive:
+            raise TDAccessError("active master already down")
+        self._active_alive = False
+        self.failovers += 1
+
+    def revive(self):
+        """Old active rejoins as the new standby."""
+        if self._active_alive:
+            return
+        self._active.restore(self._standby.snapshot())
+        self._active, self._standby = self._standby, self._active
+        self._active_alive = True

@@ -1,0 +1,29 @@
+"""Messages flowing through TDAccess."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Message:
+    """One record in a partition log.
+
+    ``offset`` is assigned by the partition on append and is unique and
+    dense within a partition — consumers track progress as (partition,
+    offset) pairs.
+    """
+
+    topic: str
+    partition: int
+    offset: int
+    key: Any
+    value: Any
+    timestamp: float
+
+    def __repr__(self) -> str:
+        return (
+            f"Message({self.topic}[{self.partition}]@{self.offset} "
+            f"key={self.key!r})"
+        )

@@ -1,0 +1,39 @@
+"""TDStore: Tencent Data Store (Section 3.3, Figure 3).
+
+A distributed, memory-based key-value store holding the status data the
+recommendation algorithms need (user histories, itemCounts, pairCounts,
+similar-item lists, CTR statistics). Config servers (host + backup)
+manage a route table over data instances; data servers host the
+instances with several storage engines (MDB/LDB/RDB/FDB); each instance
+is replicated host -> slave at instance granularity, so nearly every
+server serves traffic while still being a backup for others.
+"""
+
+from repro.tdstore.engines import (
+    StorageEngine,
+    MDBEngine,
+    LDBEngine,
+    RDBEngine,
+    FDBEngine,
+    make_engine,
+)
+from repro.tdstore.route_table import RouteTable, InstanceRoute
+from repro.tdstore.data_server import TDStoreDataServer
+from repro.tdstore.config_server import ConfigServerPair
+from repro.tdstore.client import TDStoreClient
+from repro.tdstore.cluster import TDStoreCluster
+
+__all__ = [
+    "StorageEngine",
+    "MDBEngine",
+    "LDBEngine",
+    "RDBEngine",
+    "FDBEngine",
+    "make_engine",
+    "RouteTable",
+    "InstanceRoute",
+    "TDStoreDataServer",
+    "ConfigServerPair",
+    "TDStoreClient",
+    "TDStoreCluster",
+]

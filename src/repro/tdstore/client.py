@@ -1,0 +1,85 @@
+"""TDStore client API.
+
+A client first queries the config server for the route table, then talks
+directly to data servers (Section 3.3). Mutations are applied at the
+host and queued to the slave. On a data-server failure the client asks
+the config pair to fail over, refreshes its route table, and retries —
+invisible to the caller.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import DataServerDownError
+from repro.tdstore.config_server import ConfigServerPair
+
+
+class TDStoreClient:
+    """Application-facing handle to a TDStore cluster."""
+
+    def __init__(self, config: ConfigServerPair):
+        self._config = config
+        self._table = config.route_table()
+        self.route_refreshes = 0
+
+    def _refresh_table(self):
+        self._table = self._config.route_table()
+        self.route_refreshes += 1
+
+    def _with_failover(self, key: str, operation: Callable[[int, int], Any]) -> Any:
+        """Run ``operation(host_server_id, instance)``, failing over once."""
+        route = self._table.route_for_key(key)
+        try:
+            return operation(route.host, route.instance)
+        except DataServerDownError:
+            self._config.handle_server_failure(route.host)
+            self._refresh_table()
+            route = self._table.route_for_key(key)
+            return operation(route.host, route.instance)
+
+    # -- public API ------------------------------------------------------------
+
+    def get(self, key: str, default: Any = None) -> Any:
+        def op(server_id: int, instance: int):
+            return self._config.server(server_id).get(instance, key, default)
+
+        return self._with_failover(key, op)
+
+    def put(self, key: str, value: Any):
+        def op(server_id: int, instance: int):
+            record = self._config.server(server_id).put(instance, key, value)
+            route = self._table.route(instance)
+            slave = self._config.server(route.slave)
+            if slave.alive:
+                slave.enqueue_sync(instance, record)
+            return None
+
+        return self._with_failover(key, op)
+
+    def delete(self, key: str):
+        def op(server_id: int, instance: int):
+            record = self._config.server(server_id).delete(instance, key)
+            route = self._table.route(instance)
+            slave = self._config.server(route.slave)
+            if slave.alive:
+                slave.enqueue_sync(instance, record)
+            return None
+
+        return self._with_failover(key, op)
+
+    def incr(self, key: str, delta: float = 1.0) -> float:
+        """Atomic-within-the-simulation numeric increment; returns new value."""
+        value = self.get(key, 0.0) + delta
+        self.put(key, value)
+        return value
+
+    def update(self, key: str, fn: Callable[[Any], Any], default: Any = None) -> Any:
+        """Read-modify-write helper; returns the stored result."""
+        value = fn(self.get(key, default))
+        self.put(key, value)
+        return value
+
+    def contains(self, key: str) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel

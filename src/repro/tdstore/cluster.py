@@ -1,0 +1,60 @@
+"""TDStore cluster facade."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.tdstore.client import TDStoreClient
+from repro.tdstore.config_server import ConfigServerPair
+from repro.tdstore.data_server import TDStoreDataServer
+from repro.tdstore.engines import MDBEngine, StorageEngine
+
+
+class TDStoreCluster:
+    """A complete TDStore deployment: config pair + data servers.
+
+    Parameters
+    ----------
+    num_data_servers:
+        Size of the data-server pool (>= 2, replication needs a slave).
+    num_instances:
+        Number of data instances (key buckets) spread over the pool.
+    engine_factory:
+        Builds the per-instance storage engine; defaults to MDB, the
+        memory engine the paper leads with.
+    """
+
+    def __init__(
+        self,
+        num_data_servers: int = 4,
+        num_instances: int = 64,
+        engine_factory: Callable[[], StorageEngine] = MDBEngine,
+    ):
+        self.data_servers = [
+            TDStoreDataServer(i, engine_factory) for i in range(num_data_servers)
+        ]
+        self.config = ConfigServerPair(self.data_servers, num_instances)
+
+    def client(self) -> TDStoreClient:
+        return TDStoreClient(self.config)
+
+    def crash_data_server(self, server_id: int):
+        self.config.server(server_id).crash()
+
+    def recover_data_server(self, server_id: int):
+        """Restart a server and resync its replicas from live peers."""
+        self.config.server(server_id).recover()
+        self.config.handle_server_recovery(server_id)
+
+    def sync_replicas(self):
+        """Let every slave apply its pending queue (the idle-time sync)."""
+        for server in self.data_servers:
+            if server.alive:
+                server.apply_pending()
+
+    def read_stats(self) -> dict[int, int]:
+        """server id -> reads served; shows load spread across the pool."""
+        return {s.server_id: s.reads for s in self.data_servers}
+
+    def write_stats(self) -> dict[int, int]:
+        return {s.server_id: s.writes for s in self.data_servers}

@@ -1,0 +1,147 @@
+"""TDStore config servers.
+
+A host config server and a backup config server manage the route table
+and track data-server liveness (Figure 3). Clients fetch the route table
+once and refresh it when the version changes; synchronization between
+data servers happens without much config-server involvement — the config
+pair only rewrites routes on failover.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RouteError, TDStoreError
+from repro.tdstore.data_server import TDStoreDataServer
+from repro.tdstore.route_table import InstanceRoute, RouteTable
+
+
+class ConfigServerPair:
+    """Host + backup config servers, kept trivially in sync."""
+
+    def __init__(self, servers: list[TDStoreDataServer], num_instances: int):
+        if len(servers) < 2:
+            raise TDStoreError("TDStore needs at least two data servers")
+        self._servers = {s.server_id: s for s in servers}
+        self._table = RouteTable.balanced(
+            num_instances, sorted(self._servers)
+        )
+        self.host_alive = True
+        self.failovers = 0
+        self._provision_instances()
+
+    def _provision_instances(self):
+        for instance in range(self._table.num_instances):
+            route = self._table.route(instance)
+            self._servers[route.host].ensure_instance(instance)
+            self._servers[route.slave].ensure_instance(instance)
+
+    # -- queries -------------------------------------------------------------
+
+    def route_table(self) -> RouteTable:
+        """What a client downloads before talking to data servers."""
+        return self._table
+
+    def server(self, server_id: int) -> TDStoreDataServer:
+        try:
+            return self._servers[server_id]
+        except KeyError:
+            raise TDStoreError(f"unknown data server {server_id}") from None
+
+    def servers(self) -> list[TDStoreDataServer]:
+        return [self._servers[sid] for sid in sorted(self._servers)]
+
+    # -- failover -------------------------------------------------------------
+
+    def handle_server_failure(self, failed_id: int):
+        """Promote slaves for every instance the failed server hosted.
+
+        The promoted slave applies its pending sync queue first so no
+        acknowledged write is lost; a new slave is chosen among the
+        remaining live servers and bootstrapped with a snapshot.
+        """
+        failed = self.server(failed_id)
+        if failed.alive:
+            raise TDStoreError(
+                f"server {failed_id} is alive; refusing failover"
+            )
+        live = [s for s in self.servers() if s.alive]
+        if len(live) < 2:
+            raise TDStoreError("not enough live servers to re-replicate")
+        table = self._table
+        for instance in table.instances_hosted_by(failed_id):
+            route = table.route(instance)
+            promoted = self.server(route.slave)
+            if not promoted.alive:
+                raise TDStoreError(
+                    f"instance {instance}: host and slave both down; data lost"
+                )
+            promoted.apply_pending(instance)
+            new_slave = self._pick_new_slave(route.slave, live)
+            snapshot = promoted.engine(instance).snapshot()
+            self.server(new_slave).adopt_snapshot(instance, snapshot)
+            table = table.promote_slave(instance, new_slave)
+        # instances where the failed server was the *slave* need a new slave
+        for instance in table.instances_backed_by(failed_id):
+            route = table.route(instance)
+            if route.host == failed_id:
+                continue
+            host = self.server(route.host)
+            if not host.alive:
+                continue
+            new_slave = self._pick_new_slave(route.host, live)
+            snapshot = host.engine(instance).snapshot()
+            self.server(new_slave).adopt_snapshot(instance, snapshot)
+            routes = {
+                i: table.route(i) for i in range(table.num_instances)
+            }
+            routes[instance] = InstanceRoute(instance, route.host, new_slave)
+            new_table = RouteTable(routes, table.num_instances)
+            new_table.version = table.version + 1
+            table = new_table
+        self._table = table
+        self.failovers += 1
+
+    def handle_server_recovery(self, server_id: int):
+        """Resynchronize a restarted server's replicas.
+
+        TDStore is memory-based: a restarted process has empty engines,
+        but the route table may still name it host or slave for some
+        instances. Each such instance is re-seeded from its other
+        (live) participant before the server serves traffic again.
+        """
+        server = self.server(server_id)
+        if not server.alive:
+            raise TDStoreError(
+                f"server {server_id} is down; recover it first"
+            )
+        table = self._table
+        for instance in range(table.num_instances):
+            route = table.route(instance)
+            if server_id == route.host:
+                peer = self.server(route.slave)
+            elif server_id == route.slave:
+                peer = self.server(route.host)
+            else:
+                continue
+            if not peer.alive:
+                continue  # both copies were lost; nothing to restore from
+            peer.apply_pending(instance)
+            server.adopt_snapshot(instance, peer.engine(instance).snapshot())
+
+    def _pick_new_slave(self, host_id: int, live: list[TDStoreDataServer]) -> int:
+        candidates = [s for s in live if s.server_id != host_id]
+        if not candidates:
+            raise RouteError("no live server available as new slave")
+        # least-loaded (fewest hosted instances) keeps the balance property
+        load = self._table.host_load()
+        return min(
+            candidates, key=lambda s: (load.get(s.server_id, 0), s.server_id)
+        ).server_id
+
+    def kill_host_config(self):
+        """Host config server dies; the backup answers queries seamlessly."""
+        if not self.host_alive:
+            raise TDStoreError("host config server already down")
+        self.host_alive = False
+
+    def revive_host_config(self):
+        self.host_alive = True

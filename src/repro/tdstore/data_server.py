@@ -1,0 +1,148 @@
+"""TDStore data servers.
+
+A data server holds one engine per data instance it participates in
+(whether as host or slave). Host writes are applied locally and queued
+for the slave; the slave applies queued records "when idle" — we expose
+that as an explicit :meth:`apply_pending` the cluster calls during idle
+periods and, crucially, before a slave is promoted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import DataServerDownError, TDStoreError
+from repro.tdstore.engines import StorageEngine
+
+_DELETE = "__delete__"
+_PUT = "__put__"
+
+
+@dataclass
+class SyncRecord:
+    """One replicated mutation: operation, key, and value (for puts)."""
+
+    op: str
+    key: str
+    value: Any = None
+
+
+class TDStoreDataServer:
+    """One TDStore data-server process."""
+
+    def __init__(self, server_id: int, engine_factory: Callable[[], StorageEngine]):
+        self.server_id = server_id
+        self.alive = True
+        self._engine_factory = engine_factory
+        self._engines: dict[int, StorageEngine] = {}
+        # replication inbox per instance this server backs up
+        self._sync_inbox: dict[int, deque[SyncRecord]] = {}
+        self.reads = 0
+        self.writes = 0
+        self.syncs_applied = 0
+
+    # -- instance management ------------------------------------------------
+
+    def ensure_instance(self, instance: int) -> StorageEngine:
+        engine = self._engines.get(instance)
+        if engine is None:
+            engine = self._engine_factory()
+            self._engines[instance] = engine
+            self._sync_inbox.setdefault(instance, deque())
+        return engine
+
+    def engine(self, instance: int) -> StorageEngine:
+        self._check_alive()
+        try:
+            return self._engines[instance]
+        except KeyError:
+            raise TDStoreError(
+                f"server {self.server_id} has no instance {instance}"
+            ) from None
+
+    def instances(self) -> list[int]:
+        return sorted(self._engines)
+
+    def _check_alive(self):
+        if not self.alive:
+            raise DataServerDownError(f"data server {self.server_id} is down")
+
+    # -- host-side operations -----------------------------------------------
+
+    def get(self, instance: int, key: str, default: Any = None) -> Any:
+        value = self.engine(instance).get(key, default)
+        self.reads += 1
+        return value
+
+    def put(self, instance: int, key: str, value: Any) -> SyncRecord:
+        self.engine(instance).put(key, value)
+        self.writes += 1
+        return SyncRecord(_PUT, key, value)
+
+    def delete(self, instance: int, key: str) -> SyncRecord:
+        self.engine(instance).delete(key)
+        self.writes += 1
+        return SyncRecord(_DELETE, key)
+
+    # -- slave-side replication ----------------------------------------------
+
+    def enqueue_sync(self, instance: int, record: SyncRecord):
+        """Host notified us of an update; apply later, when idle."""
+        self.ensure_instance(instance)
+        self._sync_inbox[instance].append(record)
+
+    def pending_syncs(self, instance: int | None = None) -> int:
+        if instance is not None:
+            return len(self._sync_inbox.get(instance, ()))
+        return sum(len(q) for q in self._sync_inbox.values())
+
+    def apply_pending(self, instance: int | None = None):
+        """Apply queued sync records (the slave updating "when idle")."""
+        self._check_alive()
+        targets = [instance] if instance is not None else list(self._sync_inbox)
+        for target in targets:
+            queue = self._sync_inbox.get(target)
+            if not queue:
+                continue
+            engine = self.ensure_instance(target)
+            while queue:
+                record = queue.popleft()
+                if record.op == _PUT:
+                    engine.put(record.key, record.value)
+                elif record.op == _DELETE:
+                    engine.delete(record.key)
+                else:
+                    raise TDStoreError(f"unknown sync op {record.op!r}")
+                self.syncs_applied += 1
+
+    def adopt_snapshot(self, instance: int, data: dict[str, Any]):
+        """Bootstrap a fresh replica of ``instance`` from a full snapshot."""
+        engine = self.ensure_instance(instance)
+        engine.restore(data)
+        self._sync_inbox[instance] = deque()
+
+    # -- failure model --------------------------------------------------------
+
+    def crash(self):
+        self.alive = False
+
+    def recover(self):
+        """Process restarts: in-memory engines are empty again.
+
+        (Engines with real persistence, like FDB, keep their data because
+        the factory points at the same directory.)
+        """
+        self.alive = True
+        self._engines = {
+            instance: self._engine_factory() for instance in self._engines
+        }
+        self._sync_inbox = {instance: deque() for instance in self._sync_inbox}
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "DOWN"
+        return (
+            f"TDStoreDataServer({self.server_id}, {state}, "
+            f"{len(self._engines)} instances)"
+        )

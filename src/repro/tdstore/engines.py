@@ -1,0 +1,324 @@
+"""TDStore storage engines.
+
+Figure 3 lists four engines behind a common interface: the Memory
+DataBase (MDB), Level DataBase (LDB), Redis DataBase (RDB) and File
+DataBase (FDB). We implement all four against one abstract API:
+
+* :class:`MDBEngine` — a plain in-memory hash table (the default; the
+  paper calls TDStore "memory-based").
+* :class:`LDBEngine` — a LevelDB-style log-structured engine: writes go
+  to a memtable which is flushed to immutable sorted runs; reads check
+  the memtable then newest-to-oldest runs; compaction merges runs. It
+  additionally supports sorted prefix scans.
+* :class:`RDBEngine` — an in-memory engine with Redis-style per-key TTL
+  expiry against a simulated clock.
+* :class:`FDBEngine` — a file-backed engine persisting every bucket of
+  keys to disk, surviving process restarts.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from abc import ABC, abstractmethod
+from bisect import bisect_left
+from typing import Any, Callable, Iterator
+
+from repro.errors import EngineError
+from repro.utils.clock import SimClock
+from repro.utils.hashing import stable_hash
+
+_MISSING = object()
+
+
+class StorageEngine(ABC):
+    """Uniform key-value engine API used by TDStore data servers.
+
+    Keys must be strings; values may be any picklable object.
+    """
+
+    @abstractmethod
+    def get(self, key: str, default: Any = None) -> Any:
+        """Return ``key``'s value, or ``default`` when absent."""
+
+    @abstractmethod
+    def put(self, key: str, value: Any):
+        """Store ``value`` under ``key``, overwriting silently."""
+
+    @abstractmethod
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; returns True if it existed."""
+
+    @abstractmethod
+    def keys(self) -> Iterator[str]:
+        """Iterate all live keys (order engine-specific)."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of live keys."""
+
+    def contains(self, key: str) -> bool:
+        return self.get(key, _MISSING) is not _MISSING
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        for key in list(self.keys()):
+            value = self.get(key, _MISSING)
+            if value is not _MISSING:
+                yield key, value
+
+    def snapshot(self) -> dict[str, Any]:
+        """A copy of all live data (used for replication catch-up)."""
+        return dict(self.items())
+
+    def restore(self, data: dict[str, Any]):
+        """Replace contents with ``data``."""
+        for key in list(self.keys()):
+            self.delete(key)
+        for key, value in data.items():
+            self.put(key, value)
+
+
+class MDBEngine(StorageEngine):
+    """Memory DataBase: a straightforward hash-table engine."""
+
+    def __init__(self):
+        self._data: dict[str, Any] = {}
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def put(self, key: str, value: Any):
+        self._data[key] = value
+
+    def delete(self, key: str) -> bool:
+        return self._data.pop(key, _MISSING) is not _MISSING
+
+    def keys(self) -> Iterator[str]:
+        return iter(list(self._data.keys()))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class _SortedRun:
+    """An immutable sorted run of (key, value) pairs; tombstones are values."""
+
+    def __init__(self, items: list[tuple[str, Any]]):
+        self.keys = [k for k, __ in items]
+        self.values = [v for __, v in items]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        index = bisect_left(self.keys, key)
+        if index < len(self.keys) and self.keys[index] == key:
+            return self.values[index]
+        return default
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+_TOMBSTONE = ("__tdstore_tombstone__",)
+
+
+class LDBEngine(StorageEngine):
+    """Level DataBase: memtable + sorted immutable runs with compaction."""
+
+    def __init__(self, memtable_limit: int = 256, max_runs: int = 4):
+        if memtable_limit <= 0:
+            raise EngineError(f"memtable_limit must be positive: {memtable_limit}")
+        if max_runs < 1:
+            raise EngineError(f"max_runs must be >= 1: {max_runs}")
+        self._memtable: dict[str, Any] = {}
+        self._memtable_limit = memtable_limit
+        self._max_runs = max_runs
+        self._runs: list[_SortedRun] = []  # newest first
+        self.flushes = 0
+        self.compactions = 0
+
+    def get(self, key: str, default: Any = None) -> Any:
+        value = self._memtable.get(key, _MISSING)
+        if value is _MISSING:
+            for run in self._runs:
+                value = run.get(key, _MISSING)
+                if value is not _MISSING:
+                    break
+        if value is _MISSING or value == _TOMBSTONE:
+            return default
+        return value
+
+    def put(self, key: str, value: Any):
+        self._memtable[key] = value
+        if len(self._memtable) >= self._memtable_limit:
+            self._flush_memtable()
+
+    def delete(self, key: str) -> bool:
+        existed = self.contains(key)
+        self._memtable[key] = _TOMBSTONE
+        if len(self._memtable) >= self._memtable_limit:
+            self._flush_memtable()
+        return existed
+
+    def _flush_memtable(self):
+        if not self._memtable:
+            return
+        items = sorted(self._memtable.items())
+        self._runs.insert(0, _SortedRun(items))
+        self._memtable = {}
+        self.flushes += 1
+        if len(self._runs) > self._max_runs:
+            self._compact()
+
+    def _compact(self):
+        """Merge all runs into one, dropping shadowed entries and tombstones."""
+        merged: dict[str, Any] = {}
+        for run in reversed(self._runs):  # oldest first, newest overwrite
+            for key, value in zip(run.keys, run.values):
+                merged[key] = value
+        live = sorted(
+            (k, v) for k, v in merged.items() if v != _TOMBSTONE
+        )
+        self._runs = [_SortedRun(live)] if live else []
+        self.compactions += 1
+
+    def keys(self) -> Iterator[str]:
+        seen: dict[str, Any] = {}
+        for run in reversed(self._runs):
+            for key, value in zip(run.keys, run.values):
+                seen[key] = value
+        seen.update(self._memtable)
+        return iter(sorted(k for k, v in seen.items() if v != _TOMBSTONE))
+
+    def scan_prefix(self, prefix: str) -> Iterator[tuple[str, Any]]:
+        """Yield live (key, value) pairs whose key starts with ``prefix``."""
+        for key in self.keys():
+            if key.startswith(prefix):
+                yield key, self.get(key)
+            elif key > prefix:
+                return
+
+    def __len__(self) -> int:
+        return sum(1 for __ in self.keys())
+
+    def run_count(self) -> int:
+        return len(self._runs)
+
+
+class RDBEngine(StorageEngine):
+    """Redis DataBase: in-memory engine with per-key TTL expiry."""
+
+    def __init__(self, clock: SimClock | None = None):
+        self._clock = clock if clock is not None else SimClock()
+        self._data: dict[str, Any] = {}
+        self._expiry: dict[str, float] = {}
+
+    def _expired(self, key: str) -> bool:
+        deadline = self._expiry.get(key)
+        return deadline is not None and self._clock.now() >= deadline
+
+    def get(self, key: str, default: Any = None) -> Any:
+        if self._expired(key):
+            self._data.pop(key, None)
+            self._expiry.pop(key, None)
+            return default
+        return self._data.get(key, default)
+
+    def put(self, key: str, value: Any, ttl: float | None = None):
+        self._data[key] = value
+        if ttl is not None:
+            if ttl <= 0:
+                raise EngineError(f"ttl must be positive: {ttl}")
+            self._expiry[key] = self._clock.now() + ttl
+        else:
+            self._expiry.pop(key, None)
+
+    def delete(self, key: str) -> bool:
+        self._expiry.pop(key, None)
+        return self._data.pop(key, _MISSING) is not _MISSING
+
+    def keys(self) -> Iterator[str]:
+        return iter([k for k in list(self._data.keys()) if not self._expired(k)])
+
+    def ttl(self, key: str) -> float | None:
+        """Remaining seconds before expiry, or None if no TTL / missing."""
+        deadline = self._expiry.get(key)
+        if deadline is None or self._expired(key):
+            return None
+        return deadline - self._clock.now()
+
+    def __len__(self) -> int:
+        return sum(1 for __ in self.keys())
+
+
+class FDBEngine(StorageEngine):
+    """File DataBase: keys hashed into bucket files under a directory.
+
+    Each bucket is a pickled dict; writes rewrite only the touched bucket.
+    A new engine pointed at the same directory sees the previous data,
+    which is how TDStore survives a data-server process restart.
+    """
+
+    def __init__(self, directory: str, num_buckets: int = 16):
+        if num_buckets <= 0:
+            raise EngineError(f"num_buckets must be positive: {num_buckets}")
+        self._directory = directory
+        self._num_buckets = num_buckets
+        os.makedirs(directory, exist_ok=True)
+
+    def _bucket_path(self, key: str) -> str:
+        bucket = stable_hash(key) % self._num_buckets
+        return os.path.join(self._directory, f"bucket-{bucket:04d}.pkl")
+
+    def _load_bucket(self, path: str) -> dict[str, Any]:
+        if not os.path.exists(path):
+            return {}
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+
+    def _store_bucket(self, path: str, data: dict[str, Any]):
+        with open(path, "wb") as handle:
+            pickle.dump(data, handle)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._load_bucket(self._bucket_path(key)).get(key, default)
+
+    def put(self, key: str, value: Any):
+        path = self._bucket_path(key)
+        data = self._load_bucket(path)
+        data[key] = value
+        self._store_bucket(path, data)
+
+    def delete(self, key: str) -> bool:
+        path = self._bucket_path(key)
+        data = self._load_bucket(path)
+        existed = data.pop(key, _MISSING) is not _MISSING
+        if existed:
+            self._store_bucket(path, data)
+        return existed
+
+    def keys(self) -> Iterator[str]:
+        names = sorted(os.listdir(self._directory))
+        for name in names:
+            if not name.startswith("bucket-"):
+                continue
+            data = self._load_bucket(os.path.join(self._directory, name))
+            yield from sorted(data.keys())
+
+    def __len__(self) -> int:
+        return sum(1 for __ in self.keys())
+
+
+EngineFactory = Callable[[], StorageEngine]
+
+
+def make_engine(kind: str, clock: SimClock | None = None, **kwargs) -> StorageEngine:
+    """Build an engine by its paper name: 'mdb', 'ldb', 'rdb' or 'fdb'."""
+    kind = kind.lower()
+    if kind == "mdb":
+        return MDBEngine()
+    if kind == "ldb":
+        return LDBEngine(**kwargs)
+    if kind == "rdb":
+        return RDBEngine(clock=clock)
+    if kind == "fdb":
+        return FDBEngine(**kwargs)
+    raise EngineError(f"unknown engine kind {kind!r}; expected mdb/ldb/rdb/fdb")

@@ -1,0 +1,97 @@
+"""Content-based units: the ItemInfo statistics unit and the CB bolt.
+
+``ItemInfo`` in Figure 6 is an algorithm-common unit holding item
+content; :class:`ItemInfoBolt` ingests item-metadata events into TDStore
+(metadata record plus a tag inverted index). :class:`CBProfileBolt`,
+grouped by user, maintains the decayed tag-interest profiles the
+recommender engine scores against.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.algorithms.ratings import ActionWeights, DEFAULT_ACTION_WEIGHTS
+from repro.storm.component import Bolt
+from repro.storm.tuples import StormTuple
+from repro.tdstore.client import TDStoreClient
+from repro.topology.state import CachedStore, StateKeys
+
+ClientFactory = Callable[[], TDStoreClient]
+
+
+def item_tags(meta: dict) -> tuple[str, ...]:
+    """The taggable content of an item-metadata record."""
+    tags = tuple(meta.get("tags", ()))
+    category = meta.get("category")
+    if category is not None:
+        tags = tags + (f"category:{category}",)
+    return tags
+
+
+class ItemInfoBolt(Bolt):
+    """Grouped by item: stores item metadata and maintains the tag index.
+
+    Input stream ``item_meta`` with a ``meta`` dict field carrying at
+    least ``item`` plus ``tags``/``category``/``publish_time``/
+    ``lifetime``/``price``.
+    """
+
+    def __init__(self, client_factory: ClientFactory):
+        self._client_factory = client_factory
+        self.registered = 0
+
+    def prepare(self, context, collector):
+        super().prepare(context, collector)
+        self._store = CachedStore(self._client_factory())
+
+    def execute(self, tup: StormTuple):
+        meta = tup["meta"]
+        item = meta["item"]
+        self._store.put(StateKeys.item_meta(item), dict(meta))
+        for tag in item_tags(meta):
+            # tag index keys are shared across item tasks: read fresh,
+            # then write (tag fan-in is low; last-writer-wins is fine for
+            # an index that only ever grows)
+            index = self._store.get_fresh(StateKeys.tag_index(tag), None) or set()
+            index.add(item)
+            self._store.client.put(StateKeys.tag_index(tag), index)
+        self.registered += 1
+
+
+class CBProfileBolt(Bolt):
+    """Grouped by user: decayed tag-interest profiles (the CBBolt)."""
+
+    def __init__(
+        self,
+        client_factory: ClientFactory,
+        weights: ActionWeights = DEFAULT_ACTION_WEIGHTS,
+        half_life: float = 4 * 3600.0,
+    ):
+        self._client_factory = client_factory
+        self._weights = weights
+        self._half_life = half_life
+
+    def prepare(self, context, collector):
+        super().prepare(context, collector)
+        self._store = CachedStore(self._client_factory())
+
+    def execute(self, tup: StormTuple):
+        user, item = tup["user"], tup["item"]
+        now = tup["timestamp"]
+        meta = self._store.get_fresh(StateKeys.item_meta(item), None)
+        if meta is None:
+            return  # unknown content: nothing to learn
+        gain = self._weights.weight(tup["action"])
+        profile = self._store.get(StateKeys.profile(user), None) or {}
+        for tag in item_tags(meta):
+            weight, since = profile.get(tag, (0.0, now))
+            decayed = weight * math.pow(
+                0.5, max(0.0, now - since) / self._half_life
+            )
+            profile[tag] = (decayed + gain, now)
+        self._store.put(StateKeys.profile(user), profile)
+        consumed = self._store.get(StateKeys.consumed(user), None) or set()
+        consumed.add(item)
+        self._store.put(StateKeys.consumed(user), consumed)

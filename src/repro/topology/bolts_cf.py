@@ -1,0 +1,250 @@
+"""The multi-layer item-based CF bolts (Figure 4 + Figure 6).
+
+Layer 1 — :class:`UserHistoryBolt`, grouped by user id: keeps each user's
+behaviour history, turns actions into rating and co-rating deltas.
+
+Layer 2 — :class:`ItemCountBolt` (grouped by item) and
+:class:`PairCountBolt` (grouped by item pair): incrementally maintain
+itemCount and pairCount (Eq 6–8); the pair bolt recomputes the pair's
+similarity (Eq 5) and runs the Hoeffding pruning check (Algorithm 1).
+
+Layer 3 — :class:`SimListBolt`, grouped by item: owns each item's
+similar-items list, its entry threshold, and its pruned-partner set, so
+every piece of state has exactly one writing task.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.algorithms.demographic import GLOBAL_GROUP
+from repro.algorithms.itemcf.history import apply_action
+from repro.algorithms.itemcf.pruning import hoeffding_epsilon
+from repro.algorithms.itemcf.similarity import SimilarItemsList
+from repro.algorithms.ratings import ActionWeights, DEFAULT_ACTION_WEIGHTS
+from repro.storm.component import Bolt
+from repro.storm.tuples import StormTuple
+from repro.tdstore.client import TDStoreClient
+from repro.topology.state import CachedStore, Combiner, StateKeys
+from repro.types import UserProfile
+from repro.utils.clock import SECONDS_PER_HOUR
+
+ClientFactory = Callable[[], TDStoreClient]
+ProfileLookup = Callable[[str], "UserProfile | None"]
+
+
+class UserHistoryBolt(Bolt):
+    """Grouped by user: histories, rating deltas, recent-k, group deltas.
+
+    Emits:
+
+    * ``item_delta`` (item, delta) — grouped by item downstream.
+    * ``pair_delta`` (pair_a, pair_b, item, delta) — grouped by the pair.
+    * ``group_delta`` (group, item, delta) — the multi-hash hop of
+      Section 5.4: demographic counting is re-keyed by group id here so a
+      single downstream task owns each group's counters.
+    """
+
+    def __init__(
+        self,
+        client_factory: ClientFactory,
+        weights: ActionWeights = DEFAULT_ACTION_WEIGHTS,
+        linked_time: float = 6 * SECONDS_PER_HOUR,
+        recent_k: int = 10,
+        group_of: Callable[[str], str] | None = None,
+    ):
+        self._client_factory = client_factory
+        self._weights = weights
+        self._linked_time = linked_time
+        self._recent_k = recent_k
+        self._group_of = group_of
+
+    def declare_outputs(self, declarer):
+        declarer.declare(("item", "delta"), "item_delta")
+        declarer.declare(("pair_a", "pair_b", "item", "delta"), "pair_delta")
+        declarer.declare(("group", "item", "delta"), "group_delta")
+
+    def prepare(self, context, collector):
+        super().prepare(context, collector)
+        self._store = CachedStore(self._client_factory())
+
+    def execute(self, tup: StormTuple):
+        user, item = tup["user"], tup["item"]
+        now = tup["timestamp"]
+        weight = self._weights.weight(tup["action"])
+        history = self._store.get(StateKeys.history(user), None)
+        if history is None:
+            history = {}
+        # pruned sets are owned by SimListBolt tasks: read fresh (§5.2)
+        pruned = self._store.get_fresh(StateKeys.pruned(item), None) or set()
+        update = apply_action(
+            history, item, weight, now, self._linked_time, pruned
+        )
+        self._store.put(StateKeys.history(user), history)
+        self._update_recent(user, item, update.new_rating, now)
+        if not update.rating_increased:
+            return
+        self.collector.emit((item, update.item_delta), stream_id="item_delta")
+        for other, delta in update.pair_deltas:
+            first, second = (item, other) if item < other else (other, item)
+            self.collector.emit(
+                (first, second, item, delta), stream_id="pair_delta"
+            )
+        if self._group_of is not None:
+            group = self._group_of(user)
+            for target in {group, GLOBAL_GROUP}:
+                self.collector.emit(
+                    (target, item, update.item_delta), stream_id="group_delta"
+                )
+
+    def _update_recent(self, user: str, item: str, rating: float, now: float):
+        recent = self._store.get(StateKeys.recent(user), None) or []
+        recent = [entry for entry in recent if entry[0] != item]
+        recent.insert(0, (item, rating, now))
+        del recent[self._recent_k :]
+        self._store.put(StateKeys.recent(user), recent)
+
+
+class ItemCountBolt(Bolt):
+    """Grouped by item: maintains itemCount (Eq 6) in TDStore.
+
+    With ``use_combiner`` the deltas buffer in a combiner map and flush
+    on tick — the Section 5.3 optimization for hot items; without it,
+    every delta is written through immediately (exact, more writes).
+    """
+
+    def __init__(self, client_factory: ClientFactory, use_combiner: bool = False):
+        self._client_factory = client_factory
+        self._use_combiner = use_combiner
+
+    def prepare(self, context, collector):
+        super().prepare(context, collector)
+        self._store = CachedStore(self._client_factory())
+        self._combiner = Combiner(self._store, "add") if self._use_combiner else None
+
+    def execute(self, tup: StormTuple):
+        key = StateKeys.item_count(tup["item"])
+        if self._combiner is not None:
+            self._combiner.add(key, tup["delta"])
+        else:
+            self._store.incr(key, tup["delta"])
+
+    def tick(self, now: float):
+        if self._combiner is not None:
+            self._combiner.flush()
+
+    @property
+    def combiner(self) -> Combiner | None:
+        return self._combiner
+
+
+class PairCountBolt(Bolt):
+    """Grouped by (pair_a, pair_b): pairCount, similarity, pruning check.
+
+    Emits ``sim_update`` (item, other, similarity) once per direction so
+    the per-item SimListBolt tasks can refresh their lists, and ``prune``
+    (item, other) when Algorithm 1's bound fires.
+    """
+
+    def __init__(
+        self,
+        client_factory: ClientFactory,
+        pruning_delta: float | None = None,
+    ):
+        self._client_factory = client_factory
+        self._pruning_delta = pruning_delta
+        self.pair_updates = 0
+        self.prunes = 0
+
+    def declare_outputs(self, declarer):
+        declarer.declare(("item", "other", "similarity"), "sim_update")
+        declarer.declare(("item", "other"), "prune")
+
+    def prepare(self, context, collector):
+        super().prepare(context, collector)
+        self._store = CachedStore(self._client_factory())
+        self._observations: dict[tuple[str, str], int] = {}
+
+    def execute(self, tup: StormTuple):
+        a, b, delta = tup["pair_a"], tup["pair_b"], tup["delta"]
+        key = StateKeys.pair_count(a, b)
+        if delta != 0.0:
+            pair_count = self._store.incr(key, delta)
+        else:
+            pair_count = self._store.get(key, 0.0)
+        similarity = self._similarity(a, b, pair_count)
+        self.pair_updates += 1
+        self.collector.emit((a, b, similarity), stream_id="sim_update")
+        self.collector.emit((b, a, similarity), stream_id="sim_update")
+        if self._pruning_delta is not None:
+            self._maybe_prune(a, b, similarity)
+
+    def _similarity(self, a: str, b: str, pair_count: float) -> float:
+        """Equation 5 from the live counts (itemCounts owned elsewhere)."""
+        if pair_count <= 0.0:
+            return 0.0
+        count_a = self._store.get_fresh(StateKeys.item_count(a), 0.0)
+        count_b = self._store.get_fresh(StateKeys.item_count(b), 0.0)
+        denominator = (count_a**0.5) * (count_b**0.5)
+        if denominator <= 0.0:
+            return 0.0
+        return pair_count / denominator
+
+    def _maybe_prune(self, a: str, b: str, similarity: float):
+        pair = (a, b)
+        n = self._observations.get(pair, 0) + 1
+        self._observations[pair] = n
+        threshold_a = self._store.get_fresh(StateKeys.threshold(a), 0.0)
+        threshold_b = self._store.get_fresh(StateKeys.threshold(b), 0.0)
+        t = min(threshold_a, threshold_b)
+        if t <= 0.0:
+            return
+        eps = hoeffding_epsilon(n, self._pruning_delta)
+        if eps < t - similarity:
+            self.prunes += 1
+            self._observations.pop(pair, None)
+            self.collector.emit((a, b), stream_id="prune")
+            self.collector.emit((b, a), stream_id="prune")
+
+
+class SimListBolt(Bolt):
+    """Grouped by item: owns simlist, threshold, and pruned set per item.
+
+    Subscribes to both ``sim_update`` and ``prune`` streams (keyed by the
+    ``item`` field in each, so one task owns all state for an item).
+    """
+
+    def __init__(self, client_factory: ClientFactory, k: int = 20):
+        self._client_factory = client_factory
+        self._k = k
+
+    def prepare(self, context, collector):
+        super().prepare(context, collector)
+        self._store = CachedStore(self._client_factory())
+
+    def _load_list(self, item: str) -> SimilarItemsList:
+        lst = SimilarItemsList(self._k)
+        stored = self._store.get(StateKeys.sim_list(item), None)
+        if stored:
+            for other, sim in stored.items():
+                lst.update(other, sim)
+        return lst
+
+    def _save_list(self, item: str, lst: SimilarItemsList):
+        self._store.put(StateKeys.sim_list(item), dict(lst.top()))
+        self._store.put(StateKeys.threshold(item), lst.threshold())
+
+    def execute(self, tup: StormTuple):
+        if tup.stream_id == "sim_update":
+            item, other, sim = tup["item"], tup["other"], tup["similarity"]
+            lst = self._load_list(item)
+            lst.update(other, sim)
+            self._save_list(item, lst)
+        elif tup.stream_id == "prune":
+            item, other = tup["item"], tup["other"]
+            pruned = self._store.get(StateKeys.pruned(item), None) or set()
+            pruned.add(other)
+            self._store.put(StateKeys.pruned(item), pruned)
+            lst = self._load_list(item)
+            lst.remove(other)
+            self._save_list(item, lst)

@@ -1,0 +1,150 @@
+"""Situational CTR units — the ctrStore / ctrBolt pair of Figure 7.
+
+:class:`CtrStoreBolt` (grouped by item) maintains windowless impression
+and click counters per (item, situation level); :class:`CtrBolt`
+recomputes the smoothed CTR for the touched (item, situation) pairs and
+hands them to ResultStorage, reproducing the example topology of
+Figure 7: spout -> pretreatment -> ctrStore -> ctrBolt -> resultStorage.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.algorithms.ctr import BACKOFF_LEVELS, situation_key
+from repro.algorithms.demographic import age_band
+from repro.storm.component import Bolt
+from repro.storm.tuples import StormTuple
+from repro.tdstore.client import TDStoreClient
+from repro.topology.state import CachedStore, StateKeys
+from repro.types import UserProfile
+
+ClientFactory = Callable[[], TDStoreClient]
+ProfileLookup = Callable[[str], "UserProfile | None"]
+
+
+def profile_attributes(profile: UserProfile | None) -> dict[str, str | None]:
+    if profile is None:
+        return {"region": None, "gender": None, "age": None}
+    return {
+        "region": profile.region,
+        "gender": profile.gender,
+        "age": age_band(profile.age),
+    }
+
+
+class CtrStoreBolt(Bolt):
+    """Grouped by item: impression/click counters per situation level.
+
+    With ``session_seconds``/``window_sessions`` set, counters are
+    bucketed by time session so CtrBolt can answer the introduction's
+    "during the last ten seconds" query; without them, counters
+    accumulate over the topic's lifetime.
+    """
+
+    def __init__(
+        self,
+        client_factory: ClientFactory,
+        profiles: ProfileLookup,
+        session_seconds: float | None = None,
+        window_sessions: int | None = None,
+    ):
+        if (session_seconds is None) != (window_sessions is None):
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "session_seconds and window_sessions must be set together"
+            )
+        self._client_factory = client_factory
+        self._profiles = profiles
+        self._session_seconds = session_seconds
+        self._window_sessions = window_sessions
+
+    def declare_outputs(self, declarer):
+        declarer.declare(("item", "situation", "session"), "ctr_update")
+
+    def prepare(self, context, collector):
+        super().prepare(context, collector)
+        self._store = CachedStore(self._client_factory())
+
+    def execute(self, tup: StormTuple):
+        action = tup["action"]
+        if action not in ("impression", "click"):
+            return
+        item = tup["item"]
+        session = -1
+        if self._session_seconds is not None:
+            session = int(tup["timestamp"] // self._session_seconds)
+        attributes = profile_attributes(self._profiles(tup["user"]))
+        for level in BACKOFF_LEVELS:
+            situation = situation_key(attributes, level)
+            if situation is None:
+                continue
+            if session >= 0:
+                if action == "impression":
+                    key = StateKeys.impressions_session(item, situation, session)
+                else:
+                    key = StateKeys.clicks_session(item, situation, session)
+            else:
+                if action == "impression":
+                    key = StateKeys.impressions(item, situation)
+                else:
+                    key = StateKeys.clicks(item, situation)
+            self._store.incr(key, 1.0)
+            self.collector.emit((item, situation, session),
+                                stream_id="ctr_update")
+
+
+class CtrBolt(Bolt):
+    """Grouped by item: recomputes smoothed CTR for updated situations.
+
+    ``window_sessions`` must match the upstream CtrStoreBolt: when set,
+    the CTR sums the last W session buckets ending at the update's
+    session — a sliding-window CTR.
+    """
+
+    def __init__(
+        self,
+        client_factory: ClientFactory,
+        prior_ctr: float = 0.02,
+        prior_strength: float = 20.0,
+        window_sessions: int | None = None,
+    ):
+        self._client_factory = client_factory
+        self._prior_ctr = prior_ctr
+        self._prior_strength = prior_strength
+        self._window_sessions = window_sessions
+
+    def declare_outputs(self, declarer):
+        declarer.declare(("item", "situation", "ctr"), "ctr_value")
+
+    def prepare(self, context, collector):
+        super().prepare(context, collector)
+        self._store = CachedStore(self._client_factory())
+
+    def _counts(self, item: str, situation: str, session: int) -> tuple[float, float]:
+        if session < 0 or self._window_sessions is None:
+            return (
+                self._store.get_fresh(StateKeys.impressions(item, situation), 0.0),
+                self._store.get_fresh(StateKeys.clicks(item, situation), 0.0),
+            )
+        impressions = 0.0
+        clicks = 0.0
+        for bucket in range(session - self._window_sessions + 1, session + 1):
+            impressions += self._store.get_fresh(
+                StateKeys.impressions_session(item, situation, bucket), 0.0
+            )
+            clicks += self._store.get_fresh(
+                StateKeys.clicks_session(item, situation, bucket), 0.0
+            )
+        return impressions, clicks
+
+    def execute(self, tup: StormTuple):
+        item, situation = tup["item"], tup["situation"]
+        session = tup["session"]
+        impressions, clicks = self._counts(item, situation, session)
+        ctr = (clicks + self._prior_ctr * self._prior_strength) / (
+            impressions + self._prior_strength
+        )
+        self._store.put(StateKeys.ctr(item, situation), ctr)
+        self.collector.emit((item, situation, ctr), stream_id="ctr_value")

@@ -1,0 +1,77 @@
+"""Demographic group counting — the target of the multi-hash hop (§5.4).
+
+Actions are first keyed by user (UserHistoryBolt), which resolves the
+user's demographic group and re-emits the rating delta keyed by group
+id; this bolt, grouped by group id, is then the *only* writer of each
+group's hot-item counters — the write conflict the plain design would
+have is gone without any locking.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.storm.component import Bolt
+from repro.storm.tuples import StormTuple
+from repro.tdstore.client import TDStoreClient
+from repro.topology.state import CachedStore, StateKeys
+
+
+class GroupCountBolt(Bolt):
+    """Grouped by demographic group id: windowless hot-item counters.
+
+    ``decay`` is applied once per elapsed ``decay_interval`` of simulated
+    time, geometrically forgetting old engagement — the topology-side
+    stand-in for the sliding window; ``max_items`` bounds each group's
+    counter map by evicting the weakest entries.
+    """
+
+    def __init__(
+        self,
+        client_factory: Callable[[], TDStoreClient],
+        decay: float = 0.5,
+        decay_interval: float = 1800.0,
+        max_items: int = 200,
+    ):
+        self._client_factory = client_factory
+        self._decay = decay
+        self._decay_interval = decay_interval
+        self._max_items = max_items
+        self._groups_seen: set[str] = set()
+        self._last_decay: float | None = None
+
+    def prepare(self, context, collector):
+        super().prepare(context, collector)
+        self._store = CachedStore(self._client_factory())
+
+    def execute(self, tup: StormTuple):
+        group, item, delta = tup["group"], tup["item"], tup["delta"]
+        key = StateKeys.hot(group)
+        hot = self._store.get(key, None) or {}
+        hot[item] = hot.get(item, 0.0) + delta
+        if len(hot) > self._max_items:
+            ranked = sorted(hot.items(), key=lambda kv: (-kv[1], kv[0]))
+            hot = dict(ranked[: self._max_items])
+        self._store.put(key, hot)
+        self._groups_seen.add(group)
+
+    def tick(self, now: float):
+        if self._last_decay is None:
+            self._last_decay = now
+            return
+        rounds = int((now - self._last_decay) // self._decay_interval)
+        if rounds <= 0:
+            return
+        self._last_decay += rounds * self._decay_interval
+        factor = self._decay**rounds
+        for group in self._groups_seen:
+            key = StateKeys.hot(group)
+            hot = self._store.get(key, None)
+            if not hot:
+                continue
+            decayed = {
+                item: value * factor
+                for item, value in hot.items()
+                if value * factor > 1e-6
+            }
+            self._store.put(key, decayed)

@@ -1,0 +1,67 @@
+"""Core value types shared across the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class UserAction:
+    """One implicit-feedback event: a user acted on an item.
+
+    ``action`` is a behaviour type like ``"browse"``, ``"click"``,
+    ``"share"``, ``"comment"`` or ``"purchase"``; its weight is resolved
+    by an :class:`~repro.algorithms.ratings.ActionWeights` table (Section
+    4.1.2). ``context`` carries situational attributes (page, position,
+    ad slot) used by the situational CTR algorithm.
+    """
+
+    user_id: str
+    item_id: str
+    action: str
+    timestamp: float
+    context: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One recommended item with its predicted score and producing source."""
+
+    item_id: str
+    score: float
+    source: str = "cf"
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """Demographic attributes of a user (Section 4.2).
+
+    ``gender``/``age``/``region`` may be None for users whose information
+    is unknown; the demographic algorithms then fall back to the global
+    group, as Section 6.4 describes.
+    """
+
+    user_id: str
+    gender: str | None = None
+    age: int | None = None
+    region: str | None = None
+    education: str | None = None
+
+
+@dataclass(frozen=True)
+class ItemMeta:
+    """Content metadata of an item, used by CB and the filter layer."""
+
+    item_id: str
+    category: str | None = None
+    tags: tuple[str, ...] = ()
+    price: float | None = None
+    publish_time: float = 0.0
+    lifetime: float | None = None
+
+    def is_active(self, now: float) -> bool:
+        """Whether the item is still alive (news items expire quickly)."""
+        if self.lifetime is None:
+            return True
+        return now < self.publish_time + self.lifetime

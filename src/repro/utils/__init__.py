@@ -1,0 +1,12 @@
+"""Shared utilities: simulated clock, deterministic RNG, stable hashing."""
+
+from repro.utils.clock import SimClock
+from repro.utils.hashing import stable_hash, partition_for_key
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = [
+    "SimClock",
+    "stable_hash",
+    "partition_for_key",
+    "SeedSequenceFactory",
+]

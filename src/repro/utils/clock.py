@@ -1,0 +1,59 @@
+"""A simulated clock.
+
+TencentRec's behaviour is time-dependent (sliding windows, linked time,
+session expiry), so every component takes an explicit clock instead of
+reading wall time. ``SimClock`` advances only when the driver says so,
+making runs deterministic and letting benchmarks replay a simulated week
+in seconds.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+
+
+class SimClock:
+    """A monotonically non-decreasing simulated clock.
+
+    Parameters
+    ----------
+    start:
+        Initial time in seconds since the simulation epoch.
+    """
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ConfigurationError(f"clock cannot start before epoch: {start}")
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Return the current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise ConfigurationError(f"cannot move time backwards: {seconds}")
+        self._now += float(seconds)
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move time forward to ``timestamp`` (no-op if already past it)."""
+        if timestamp > self._now:
+            self._now = float(timestamp)
+        return self._now
+
+    def day(self) -> int:
+        """Return the zero-based simulated day index."""
+        return int(self._now // SECONDS_PER_DAY)
+
+    def hour_of_day(self) -> float:
+        """Return the hour within the current day as a float in [0, 24)."""
+        return (self._now % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.3f})"

@@ -1,0 +1,33 @@
+"""Stable hashing helpers.
+
+Python's builtin ``hash`` is salted per process, which would make stream
+grouping and partition assignment non-deterministic across runs. All key
+routing in the library goes through :func:`stable_hash` instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import ConfigurationError
+
+
+def stable_hash(key: object) -> int:
+    """Return a deterministic 64-bit hash of ``key``.
+
+    Keys are rendered with ``repr`` before hashing, so any value with a
+    stable ``repr`` (strings, ints, tuples of those) hashes consistently
+    across processes and runs.
+    """
+    data = repr(key).encode("utf-8")
+    digest = hashlib.blake2b(data, digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def partition_for_key(key: object, num_partitions: int) -> int:
+    """Map ``key`` onto one of ``num_partitions`` buckets deterministically."""
+    if num_partitions <= 0:
+        raise ConfigurationError(
+            f"num_partitions must be positive, got {num_partitions}"
+        )
+    return stable_hash(key) % num_partitions

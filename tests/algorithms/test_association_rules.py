@@ -1,0 +1,104 @@
+"""Tests for the association-rule recommender."""
+
+import pytest
+
+from repro.algorithms.association_rules import AssociationRuleRecommender
+from repro.errors import ConfigurationError
+from repro.types import UserAction
+
+
+def feed(ar, rows):
+    for user, item, ts in rows:
+        ar.observe(UserAction(user, item, "click", ts))
+
+
+class TestCounting:
+    def test_supports_counted_per_session(self):
+        ar = AssociationRuleRecommender(session_gap=100.0)
+        feed(ar, [("u1", "A", 0.0), ("u1", "B", 10.0),
+                  ("u2", "A", 0.0), ("u2", "B", 5.0)])
+        assert ar.support("A") == 2
+        assert ar.pair_support("A", "B") == 2
+
+    def test_repeat_item_in_session_counted_once(self):
+        ar = AssociationRuleRecommender(session_gap=100.0)
+        feed(ar, [("u1", "A", 0.0), ("u1", "A", 10.0), ("u1", "A", 20.0)])
+        assert ar.support("A") == 1
+
+    def test_session_gap_splits_sessions(self):
+        ar = AssociationRuleRecommender(session_gap=50.0)
+        feed(ar, [("u1", "A", 0.0), ("u1", "B", 500.0)])
+        assert ar.pair_support("A", "B") == 0
+        assert ar.support("A") == 1
+        assert ar.support("B") == 1
+
+    def test_confidence(self):
+        ar = AssociationRuleRecommender(session_gap=100.0)
+        feed(ar, [("u1", "A", 0.0), ("u1", "B", 1.0),
+                  ("u2", "A", 0.0), ("u2", "B", 1.0),
+                  ("u3", "A", 0.0), ("u3", "C", 1.0),
+                  ("u4", "A", 0.0)])
+        assert ar.confidence("A", "B") == pytest.approx(2 / 4)
+        assert ar.confidence("B", "A") == pytest.approx(1.0)
+
+    def test_confidence_unknown_item(self):
+        ar = AssociationRuleRecommender()
+        assert ar.confidence("ghost", "B") == 0.0
+
+
+class TestRules:
+    def test_rules_require_min_support(self):
+        ar = AssociationRuleRecommender(session_gap=100.0, min_support=2)
+        feed(ar, [("u1", "A", 0.0), ("u1", "B", 1.0)])
+        assert ar.rules_from("A") == []
+        feed(ar, [("u2", "A", 0.0), ("u2", "B", 1.0)])
+        assert [r[0] for r in ar.rules_from("A")] == ["B"]
+
+    def test_rules_require_min_confidence(self):
+        ar = AssociationRuleRecommender(
+            session_gap=100.0, min_support=1, min_confidence=0.9
+        )
+        feed(ar, [("u1", "A", 0.0), ("u1", "B", 1.0),
+                  ("u2", "A", 0.0)])
+        assert ar.rules_from("A") == []  # conf 0.5 < 0.9
+        assert [r[0] for r in ar.rules_from("B")] == ["A"]  # conf 1.0
+
+    def test_rules_ranked_by_confidence(self):
+        ar = AssociationRuleRecommender(session_gap=100.0, min_support=1)
+        feed(ar, [("u1", "A", 0.0), ("u1", "B", 1.0), ("u1", "C", 2.0),
+                  ("u2", "A", 0.0), ("u2", "B", 1.0),
+                  ("u3", "A", 0.0)])
+        rules = ar.rules_from("A")
+        assert [r[0] for r in rules] == ["B", "C"]
+
+
+class TestRecommendation:
+    def test_recommends_from_current_session(self):
+        ar = AssociationRuleRecommender(session_gap=100.0, min_support=1)
+        feed(ar, [("u1", "A", 0.0), ("u1", "B", 1.0),
+                  ("u2", "A", 0.0), ("u2", "B", 1.0)])
+        ar.observe(UserAction("shopper", "A", "click", 200.0))
+        recs = ar.recommend("shopper", 3, now=201.0)
+        assert recs and recs[0].item_id == "B"
+
+    def test_expired_session_gives_nothing(self):
+        ar = AssociationRuleRecommender(session_gap=50.0, min_support=1)
+        feed(ar, [("u1", "A", 0.0), ("u1", "B", 1.0)])
+        ar.observe(UserAction("shopper", "A", "click", 100.0))
+        assert ar.recommend("shopper", 3, now=1000.0) == []
+
+    def test_session_items_not_recommended_back(self):
+        ar = AssociationRuleRecommender(session_gap=100.0, min_support=1)
+        feed(ar, [("u1", "A", 0.0), ("u1", "B", 1.0)])
+        ar.observe(UserAction("shopper", "A", "click", 200.0))
+        ar.observe(UserAction("shopper", "B", "click", 201.0))
+        recs = ar.recommend("shopper", 3, now=202.0)
+        assert all(r.item_id not in ("A", "B") for r in recs)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AssociationRuleRecommender(session_gap=0.0)
+        with pytest.raises(ConfigurationError):
+            AssociationRuleRecommender(min_support=0)
+        with pytest.raises(ConfigurationError):
+            AssociationRuleRecommender(min_confidence=1.5)

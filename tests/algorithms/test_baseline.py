@@ -1,0 +1,84 @@
+"""Tests for the periodic 'Original' baseline wrapper (Section 6)."""
+
+import pytest
+
+from repro.algorithms.baseline import PeriodicRecommender
+from repro.algorithms.itemcf import PracticalItemCF
+from repro.errors import ConfigurationError
+from repro.types import UserAction
+
+
+def co_click_rows(prefix, a, b, count, t0):
+    rows = []
+    t = t0
+    for n in range(count):
+        rows.append(UserAction(f"{prefix}{n}", a, "click", t))
+        rows.append(UserAction(f"{prefix}{n}", b, "click", t + 1))
+        t += 2
+    return rows
+
+
+class TestPeriodicRecommender:
+    def test_model_is_blind_before_first_boundary(self):
+        periodic = PeriodicRecommender(
+            PracticalItemCF(linked_time=10**9), update_interval=3600.0
+        )
+        for action in co_click_rows("u", "A", "B", 10, t0=0.0):
+            periodic.observe(action)
+        periodic.observe(UserAction("target", "A", "click", 100.0))
+        # still inside the first hour: the model has absorbed nothing
+        assert periodic.recommend("target", 5, now=200.0) == []
+
+    def test_model_sees_events_after_boundary(self):
+        periodic = PeriodicRecommender(
+            PracticalItemCF(linked_time=10**9), update_interval=3600.0
+        )
+        for action in co_click_rows("u", "A", "B", 10, t0=0.0):
+            periodic.observe(action)
+        periodic.observe(UserAction("target", "A", "click", 100.0))
+        recs = periodic.recommend("target", 5, now=3700.0)
+        assert recs and recs[0].item_id == "B"
+        assert periodic.rebuilds == 1
+
+    def test_events_after_boundary_invisible_until_next(self):
+        periodic = PeriodicRecommender(
+            PracticalItemCF(linked_time=10**9), update_interval=3600.0
+        )
+        # old co-click pattern A~B, absorbed at the first boundary
+        for action in co_click_rows("u", "A", "B", 10, t0=0.0):
+            periodic.observe(action)
+        periodic.observe(UserAction("target", "A", "click", 10.0))
+        assert periodic.recommend("target", 1, now=3700.0)[0].item_id == "B"
+        # fresh trend: A~C co-clicks arrive during hour two
+        for action in co_click_rows("v", "A", "C", 50, t0=3700.0):
+            periodic.observe(action)
+        # still hour two: the frozen model keeps recommending B
+        assert periodic.recommend("target", 1, now=7100.0)[0].item_id == "B"
+        # after the next boundary the new trend is finally visible
+        top = periodic.recommend("target", 2, now=7300.0)
+        assert "C" in [r.item_id for r in top]
+
+    def test_staleness(self):
+        periodic = PeriodicRecommender(
+            PracticalItemCF(), update_interval=3600.0
+        )
+        periodic.recommend("u", 1, now=4000.0)
+        assert periodic.staleness(5000.0) == pytest.approx(5000.0 - 3600.0)
+
+    def test_multiple_boundaries_absorb_in_order(self):
+        periodic = PeriodicRecommender(
+            PracticalItemCF(linked_time=10**9), update_interval=100.0
+        )
+        for action in co_click_rows("u", "A", "B", 3, t0=0.0):
+            periodic.observe(action)
+        for action in co_click_rows("v", "A", "C", 3, t0=150.0):
+            periodic.observe(action)
+        periodic.observe(UserAction("target", "A", "click", 10.0))
+        periodic.recommend("target", 1, now=500.0)
+        # both batches absorbed by now
+        assert periodic.inner.similarity("A", "B") > 0
+        assert periodic.inner.similarity("A", "C") > 0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicRecommender(PracticalItemCF(), update_interval=0.0)

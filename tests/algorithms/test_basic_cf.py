@@ -1,0 +1,86 @@
+"""Tests for the batch item-based CF reference (Section 4.1.1)."""
+
+import math
+
+import pytest
+
+from repro.algorithms.itemcf import BasicItemCF
+from repro.errors import AlgorithmError
+
+RATINGS = {
+    "u1": {"A": 5.0, "B": 3.0},
+    "u2": {"A": 4.0, "B": 4.0, "C": 2.0},
+    "u3": {"B": 5.0, "C": 5.0},
+}
+
+
+class TestCosineSimilarity:
+    def test_equation_1(self):
+        model = BasicItemCF(method="cosine").fit(RATINGS)
+        # sim(A,B) = (5*3 + 4*4) / (sqrt(25+16) * sqrt(9+16+25))
+        expected = (5 * 3 + 4 * 4) / (math.sqrt(41) * math.sqrt(50))
+        assert model.similarity("A", "B") == pytest.approx(expected)
+
+    def test_symmetric(self):
+        model = BasicItemCF().fit(RATINGS)
+        assert model.similarity("A", "B") == model.similarity("B", "A")
+
+    def test_unrelated_items_zero(self):
+        ratings = {"u1": {"A": 1.0}, "u2": {"B": 1.0}}
+        model = BasicItemCF().fit(ratings)
+        assert model.similarity("A", "B") == 0.0
+
+    def test_identical_vectors_similarity_one(self):
+        ratings = {"u1": {"A": 2.0, "B": 2.0}, "u2": {"A": 3.0, "B": 3.0}}
+        model = BasicItemCF().fit(ratings)
+        assert model.similarity("A", "B") == pytest.approx(1.0)
+
+    def test_min_method_equation_4(self):
+        model = BasicItemCF(method="min").fit(RATINGS)
+        # pairCount(A,B) = min(5,3) + min(4,4) = 7
+        # itemCount(A) = 9, itemCount(B) = 12
+        expected = 7.0 / (math.sqrt(9.0) * math.sqrt(12.0))
+        assert model.similarity("A", "B") == pytest.approx(expected)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(AlgorithmError):
+            BasicItemCF(method="pearson")
+
+
+class TestPrediction:
+    def test_equation_2_weighted_average(self):
+        model = BasicItemCF().fit(RATINGS)
+        sim_ab = model.similarity("A", "B")
+        sim_ac = model.similarity("A", "C")
+        # u3 rated B=5, C=5; prediction for A is weighted average
+        expected = (sim_ab * 5 + sim_ac * 5) / (sim_ab + sim_ac)
+        assert model.predict("u3", "A") == pytest.approx(expected)
+
+    def test_prediction_bounded_by_user_ratings(self):
+        model = BasicItemCF().fit(RATINGS)
+        prediction = model.predict("u3", "A")
+        assert 5.0 >= prediction >= 5.0  # all neighbour ratings are 5
+
+    def test_unknown_user_predicts_zero(self):
+        model = BasicItemCF().fit(RATINGS)
+        assert model.predict("ghost", "A") == 0.0
+
+    def test_recommend_excludes_rated(self):
+        model = BasicItemCF().fit(RATINGS)
+        recs = model.recommend("u1", 10)
+        assert all(r.item_id not in RATINGS["u1"] for r in recs)
+        assert [r.item_id for r in recs] == ["C"]
+
+    def test_recommend_ranked_descending(self):
+        model = BasicItemCF().fit(RATINGS)
+        recs = model.recommend("u3", 10)
+        scores = [r.score for r in recs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_limits_neighbourhood(self):
+        model = BasicItemCF(k=1).fit(RATINGS)
+        assert len(model.similar_items("B")) == 1
+
+    def test_query_before_fit_rejected(self):
+        with pytest.raises(AlgorithmError, match="fit"):
+            BasicItemCF().similarity("A", "B")

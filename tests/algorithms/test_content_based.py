@@ -1,0 +1,106 @@
+"""Tests for the content-based recommender."""
+
+import pytest
+
+from repro.algorithms.content_based import ContentBasedRecommender
+from repro.errors import AlgorithmError, ConfigurationError
+from repro.types import ItemMeta, UserAction
+
+
+def news(item_id, tags, publish=0.0, lifetime=None, category="news"):
+    return ItemMeta(
+        item_id, category=category, tags=tuple(tags),
+        publish_time=publish, lifetime=lifetime,
+    )
+
+
+def make_cb(**kwargs):
+    cb = ContentBasedRecommender(**kwargs)
+    cb.register_item(news("n1", ["sports", "football"]))
+    cb.register_item(news("n2", ["sports", "tennis"]))
+    cb.register_item(news("n3", ["politics", "election"]))
+    return cb
+
+
+class TestProfiles:
+    def test_profile_accumulates_tags(self):
+        cb = make_cb()
+        cb.observe(UserAction("u", "n1", "click", 0.0))
+        profile = cb.profile_of("u", 0.0)
+        assert profile["sports"] > 0
+        assert profile["football"] > 0
+        assert "politics" not in profile
+
+    def test_profile_decays_with_half_life(self):
+        cb = make_cb(half_life=100.0)
+        cb.observe(UserAction("u", "n1", "click", 0.0))
+        fresh = cb.profile_of("u", 0.0)["sports"]
+        later = cb.profile_of("u", 100.0)["sports"]
+        assert later == pytest.approx(fresh / 2)
+
+    def test_stronger_actions_weigh_more(self):
+        cb = make_cb()
+        cb.observe(UserAction("u1", "n1", "browse", 0.0))
+        cb.observe(UserAction("u2", "n1", "share", 0.0))
+        assert cb.profile_of("u2", 0.0)["sports"] > cb.profile_of("u1", 0.0)["sports"]
+
+    def test_unknown_item_ignored(self):
+        cb = make_cb()
+        cb.observe(UserAction("u", "ghost", "click", 0.0))
+        assert cb.profile_of("u", 0.0) == {}
+
+
+class TestRecommendation:
+    def test_recommends_matching_topic(self):
+        cb = make_cb()
+        cb.observe(UserAction("u", "n1", "click", 0.0))
+        recs = cb.recommend("u", 2, now=1.0)
+        assert recs[0].item_id == "n2"  # shares the sports tag
+
+    def test_consumed_items_excluded(self):
+        cb = make_cb()
+        cb.observe(UserAction("u", "n1", "click", 0.0))
+        recs = cb.recommend("u", 5, now=1.0)
+        assert all(r.item_id != "n1" for r in recs)
+
+    def test_expired_items_excluded(self):
+        cb = ContentBasedRecommender()
+        cb.register_item(news("old", ["sports"], publish=0.0, lifetime=100.0))
+        cb.register_item(news("fresh", ["sports"], publish=500.0, lifetime=100.0))
+        cb.observe(UserAction("u", "fresh", "click", 510.0))
+        cb.register_item(news("other", ["sports"], publish=550.0, lifetime=100.0))
+        recs = cb.recommend("u", 5, now=560.0)
+        ids = [r.item_id for r in recs]
+        assert "other" in ids
+        assert "old" not in ids
+
+    def test_cold_user_gets_nothing(self):
+        cb = make_cb()
+        assert cb.recommend("ghost", 5, now=0.0) == []
+
+    def test_interest_shift_reorders_recommendations(self):
+        # the real-time property: a burst of new-topic clicks dominates
+        cb = make_cb(half_life=50.0)
+        cb.register_item(news("n4", ["politics", "senate"]))
+        cb.observe(UserAction("u", "n1", "click", 0.0))
+        cb.observe(UserAction("u", "n3", "click", 500.0))
+        recs = cb.recommend("u", 1, now=501.0)
+        assert recs[0].item_id == "n4"  # politics now beats sports
+
+    def test_reregistering_item_updates_tags(self):
+        cb = make_cb()
+        cb.register_item(news("n3", ["sports"]))  # n3 switches topic
+        cb.observe(UserAction("u", "n1", "click", 0.0))
+        recs = cb.recommend("u", 3, now=1.0)
+        assert "n3" in [r.item_id for r in recs]
+
+
+class TestValidation:
+    def test_item_without_content_rejected(self):
+        cb = ContentBasedRecommender()
+        with pytest.raises(AlgorithmError, match="no tags"):
+            cb.register_item(ItemMeta("empty", category=None, tags=()))
+
+    def test_bad_half_life(self):
+        with pytest.raises(ConfigurationError):
+            ContentBasedRecommender(half_life=0.0)

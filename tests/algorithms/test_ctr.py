@@ -1,0 +1,149 @@
+"""Tests for the situational CTR algorithm."""
+
+import pytest
+
+from repro.algorithms.ctr import (
+    BACKOFF_LEVELS,
+    CTRRecommender,
+    SituationalCTR,
+    situation_key,
+)
+from repro.errors import ConfigurationError
+from repro.types import UserAction, UserProfile
+
+BEIJING_MALE_25 = UserProfile("u1", gender="male", age=25, region="beijing")
+SHANGHAI_FEMALE_30 = UserProfile("u2", gender="female", age=30, region="shanghai")
+ANON = UserProfile("anon")
+
+PROFILES = {"u1": BEIJING_MALE_25, "u2": SHANGHAI_FEMALE_30, "anon": ANON}
+
+
+def expose(ctr, item, profile, n_impressions, n_clicks, now=0.0):
+    for __ in range(n_impressions):
+        ctr.record_impression(item, profile, now)
+    for __ in range(n_clicks):
+        ctr.record_click(item, profile, now)
+
+
+class TestSituationKey:
+    def test_full_key(self):
+        key = situation_key(
+            {"region": "beijing", "gender": "male", "age": "age25-34"},
+            ("region", "gender", "age"),
+        )
+        assert key == "region=beijing&gender=male&age=age25-34"
+
+    def test_missing_attribute_gives_none(self):
+        assert situation_key({"region": None}, ("region",)) is None
+
+    def test_empty_level_is_any(self):
+        assert situation_key({}, ()) == "any"
+
+    def test_backoff_levels_end_with_unconditioned(self):
+        assert BACKOFF_LEVELS[-1] == ()
+
+
+class TestSituationalCTR:
+    def test_introduction_query_shape(self):
+        """'Last ten seconds, CTR of an ad among male Beijing users 20-30'."""
+        ctr = SituationalCTR(session_seconds=1.0, window_sessions=10,
+                             min_impressions=10)
+        expose(ctr, "ad1", BEIJING_MALE_25, 100, 30, now=5.0)
+        impressions, clicks = ctr.raw_counts("ad1", BEIJING_MALE_25, now=5.0)
+        assert (impressions, clicks) == (100.0, 30.0)
+        # outside the ten-second window the counts are gone
+        assert ctr.raw_counts("ad1", BEIJING_MALE_25, now=30.0) == (0.0, 0.0)
+
+    def test_situations_tracked_separately(self):
+        ctr = SituationalCTR(min_impressions=10)
+        expose(ctr, "ad1", BEIJING_MALE_25, 100, 50)
+        expose(ctr, "ad1", SHANGHAI_FEMALE_30, 100, 1)
+        male = ctr.predict("ad1", BEIJING_MALE_25, now=0.0)
+        female = ctr.predict("ad1", SHANGHAI_FEMALE_30, now=0.0)
+        assert male > 5 * female
+
+    def test_backoff_to_coarser_level_when_sparse(self):
+        ctr = SituationalCTR(min_impressions=50)
+        # only 5 impressions in the exact situation, 200 for males overall
+        expose(ctr, "ad1", BEIJING_MALE_25, 5, 5)
+        expose(ctr, "ad1", UserProfile("x", gender="male"), 200, 20)
+        prediction = ctr.predict("ad1", BEIJING_MALE_25, now=0.0)
+        # gender-level CTR ~ 25/205, not the exact-level 100%
+        assert prediction < 0.5
+
+    def test_anonymous_user_uses_global_level(self):
+        ctr = SituationalCTR(min_impressions=1)
+        expose(ctr, "ad1", BEIJING_MALE_25, 100, 10)
+        prediction = ctr.predict("ad1", ANON, now=0.0)
+        assert prediction > ctr.prior_ctr / 2
+
+    def test_unseen_ad_returns_prior(self):
+        ctr = SituationalCTR()
+        assert ctr.predict("ghost", BEIJING_MALE_25, now=0.0) == pytest.approx(
+            ctr.prior_ctr
+        )
+
+    def test_smoothing_tempers_tiny_samples(self):
+        ctr = SituationalCTR(min_impressions=1, prior_ctr=0.02,
+                             prior_strength=20.0)
+        expose(ctr, "lucky", BEIJING_MALE_25, 1, 1)  # raw CTR 100%
+        prediction = ctr.predict("lucky", BEIJING_MALE_25, now=0.0)
+        assert prediction < 0.1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SituationalCTR(prior_ctr=0.0)
+        with pytest.raises(ConfigurationError):
+            SituationalCTR(prior_strength=0.0)
+
+
+class TestCTRRecommender:
+    def make(self, **kwargs):
+        return CTRRecommender(
+            PROFILES.get, SituationalCTR(min_impressions=10, **kwargs)
+        )
+
+    def feed(self, rec, rows):
+        for user, item, action, ts in rows:
+            rec.observe(UserAction(user, item, action, ts))
+
+    def test_ranks_ads_by_situational_ctr(self):
+        rec = self.make()
+        rows = []
+        for i in range(100):
+            rows.append(("u1", "ad-good", "impression", 0.0))
+            rows.append(("u1", "ad-bad", "impression", 0.0))
+        for i in range(40):
+            rows.append(("u1", "ad-good", "click", 0.0))
+        rows.append(("u1", "ad-bad", "click", 0.0))
+        self.feed(rec, rows)
+        recs = rec.recommend("u1", 2, now=1.0)
+        assert [r.item_id for r in recs] == ["ad-good", "ad-bad"]
+
+    def test_candidate_pool_from_context(self):
+        rec = self.make()
+        self.feed(rec, [("u1", "ad1", "impression", 0.0),
+                        ("u1", "ad2", "impression", 0.0)])
+        recs = rec.recommend("u1", 5, now=1.0, context={"candidates": ["ad2"]})
+        assert [r.item_id for r in recs] == ["ad2"]
+
+    def test_non_ctr_actions_ignored(self):
+        rec = self.make()
+        self.feed(rec, [("u1", "item", "purchase", 0.0)])
+        assert rec.recommend("u1", 5, now=1.0) == []
+
+    def test_personalisation_differs_by_profile(self):
+        rec = self.make()
+        rows = []
+        for i in range(100):
+            rows += [("u1", "gadget", "impression", 0.0),
+                     ("u2", "gadget", "impression", 0.0),
+                     ("u1", "dress", "impression", 0.0),
+                     ("u2", "dress", "impression", 0.0)]
+        for i in range(50):
+            rows += [("u1", "gadget", "click", 0.0), ("u2", "dress", "click", 0.0)]
+        self.feed(rec, rows)
+        male_top = rec.recommend("u1", 1, now=1.0)[0].item_id
+        female_top = rec.recommend("u2", 1, now=1.0)[0].item_id
+        assert male_top == "gadget"
+        assert female_top == "dress"

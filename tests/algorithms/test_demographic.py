@@ -1,0 +1,124 @@
+"""Tests for demographic grouping and the DB recommender (Section 4.2)."""
+
+import pytest
+
+from repro.algorithms.demographic import (
+    GLOBAL_GROUP,
+    DemographicRecommender,
+    DemographicScheme,
+    age_band,
+)
+from repro.errors import ConfigurationError
+from repro.types import UserAction, UserProfile
+
+PROFILES = {
+    "m20": UserProfile("m20", gender="male", age=22, region="beijing"),
+    "m21": UserProfile("m21", gender="male", age=24, region="beijing"),
+    "f40": UserProfile("f40", gender="female", age=44, region="shanghai"),
+    "f41": UserProfile("f41", gender="female", age=41, region="shanghai"),
+    "anon": UserProfile("anon"),
+}
+
+
+def profile_lookup(user_id):
+    return PROFILES.get(user_id)
+
+
+class TestAgeBand:
+    def test_bands(self):
+        assert age_band(10) == "age<18"
+        assert age_band(20) == "age18-24"
+        assert age_band(30) == "age25-34"
+        assert age_band(40) == "age35-49"
+        assert age_band(70) == "age50+"
+
+    def test_none(self):
+        assert age_band(None) is None
+
+
+class TestScheme:
+    def test_group_key_combines_attributes(self):
+        scheme = DemographicScheme(("gender", "age"))
+        assert scheme.group_of(PROFILES["m20"]) == "male|age18-24"
+
+    def test_missing_attribute_degrades_to_global(self):
+        scheme = DemographicScheme(("gender", "age"))
+        assert scheme.group_of(PROFILES["anon"]) == GLOBAL_GROUP
+        assert scheme.group_of(None) == GLOBAL_GROUP
+
+    def test_region_scheme(self):
+        scheme = DemographicScheme(("region",))
+        assert scheme.group_of(PROFILES["f40"]) == "shanghai"
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DemographicScheme(("shoe_size",))
+
+
+class TestDemographicRecommender:
+    def make_db(self, **kwargs):
+        return DemographicRecommender(profile_lookup, **kwargs)
+
+    def feed(self, db, rows, t0=0.0):
+        t = t0
+        for user, item in rows:
+            db.observe(UserAction(user, item, "click", t))
+            t += 1.0
+        return t
+
+    def test_group_hot_items_differ(self):
+        db = self.make_db()
+        self.feed(db, [("m20", "game"), ("m21", "game"), ("f40", "recipe"),
+                       ("f41", "recipe")])
+        assert db.hot_items("male|age18-24", 1, now=10.0)[0][0] == "game"
+        assert db.hot_items("female|age35-49", 1, now=10.0)[0][0] == "recipe"
+
+    def test_new_user_in_group_gets_group_hots(self):
+        db = self.make_db()
+        self.feed(db, [("m20", "game"), ("m21", "game"), ("f40", "recipe")])
+        newcomer = UserProfile("m-new", gender="male", age=23)
+        PROFILES["m-new"] = newcomer
+        recs = db.recommend("m-new", 2, now=10.0)
+        assert recs[0].item_id == "game"
+
+    def test_anonymous_user_gets_global_hots(self):
+        db = self.make_db()
+        self.feed(db, [("m20", "game"), ("m21", "game"), ("f40", "recipe")])
+        recs = db.recommend("anon", 1, now=10.0)
+        assert recs[0].item_id == "game"  # globally hottest
+
+    def test_consumed_items_excluded(self):
+        db = self.make_db()
+        self.feed(db, [("m20", "game"), ("m21", "game"), ("m21", "tool")])
+        recs = db.recommend("m21", 5, now=10.0)
+        assert all(r.item_id not in ("game", "tool") for r in recs)
+
+    def test_hotness_fades_with_window(self):
+        db = self.make_db(session_seconds=10.0, window_sessions=2)
+        self.feed(db, [("m20", "old-fad"), ("m21", "old-fad")], t0=0.0)
+        self.feed(db, [("m20", "new-fad")], t0=50.0)
+        hots = db.hot_items("male|age18-24", 5, now=55.0)
+        items = [item for item, __ in hots]
+        assert "new-fad" in items
+        assert "old-fad" not in items
+
+    def test_complement_fn_shape(self):
+        db = self.make_db()
+        self.feed(db, [("m20", "game"), ("m21", "game")])
+        fn = db.complement_fn("f40", now=10.0)
+        recs = fn(3)
+        assert isinstance(recs, list)
+        assert all(r.source == "db" for r in recs)
+
+    def test_sparsity_motivation_group_denser_than_global(self):
+        """The Figure 5 argument: within a demographic group, the rating
+        matrix is denser because group members share interests."""
+        db = self.make_db()
+        rows = []
+        # male users click games, female users click recipes
+        for n in range(10):
+            rows.append((f"m20" if n % 2 == 0 else "m21", f"game{n % 3}"))
+            rows.append((f"f40" if n % 2 == 0 else "f41", f"recipe{n % 3}"))
+        self.feed(db, rows)
+        male_hots = {i for i, __ in db.hot_items("male|age18-24", 10, now=30.0)}
+        assert male_hots == {"game0", "game1", "game2"}

@@ -1,0 +1,137 @@
+"""Cross-algorithm invariant properties (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.association_rules import AssociationRuleRecommender
+from repro.algorithms.ctr import SituationalCTR
+from repro.algorithms.itemcf import BasicItemCF
+from repro.algorithms.user_based import UserBasedCF
+from repro.types import UserAction, UserProfile
+
+action_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=5),   # user
+        st.integers(min_value=0, max_value=6),   # item
+        st.sampled_from(["browse", "click", "purchase"]),
+    ),
+    max_size=80,
+)
+
+
+class TestAssociationRuleProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(action_rows)
+    def test_pair_support_never_exceeds_item_supports(self, rows):
+        ar = AssociationRuleRecommender(session_gap=10**9, min_support=1)
+        t = 0.0
+        for user_n, item_n, action in rows:
+            ar.observe(UserAction(f"u{user_n}", f"i{item_n}", action, t))
+            t += 1.0
+        for p in range(7):
+            for q in range(p + 1, 7):
+                a, b = f"i{p}", f"i{q}"
+                joint = ar.pair_support(a, b)
+                assert joint <= ar.support(a)
+                assert joint <= ar.support(b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(action_rows)
+    def test_confidence_in_unit_interval(self, rows):
+        ar = AssociationRuleRecommender(session_gap=10**9)
+        t = 0.0
+        for user_n, item_n, action in rows:
+            ar.observe(UserAction(f"u{user_n}", f"i{item_n}", action, t))
+            t += 1.0
+        for p in range(7):
+            for q in range(7):
+                if p != q:
+                    assert 0.0 <= ar.confidence(f"i{p}", f"i{q}") <= 1.0
+
+
+profiles_strategy = st.sampled_from(
+    [
+        UserProfile("a", gender="male", age=25, region="beijing"),
+        UserProfile("b", gender="female", age=40, region="shanghai"),
+        UserProfile("c"),
+        None,
+    ]
+)
+
+
+class TestCTRProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(), profiles_strategy), max_size=60))
+    def test_prediction_always_in_unit_interval(self, events):
+        ctr = SituationalCTR(min_impressions=5.0)
+        for clicked, profile in events:
+            ctr.record_impression("ad", profile, 0.0)
+            if clicked:
+                ctr.record_click("ad", profile, 0.0)
+        for __, profile in events[:5]:
+            assert 0.0 <= ctr.predict("ad", profile, 0.0) <= 1.0
+
+    def test_clicks_monotonically_raise_prediction(self):
+        base = SituationalCTR(min_impressions=1.0)
+        clicky = SituationalCTR(min_impressions=1.0)
+        profile = UserProfile("u", gender="male", age=25, region="beijing")
+        for __ in range(50):
+            base.record_impression("ad", profile, 0.0)
+            clicky.record_impression("ad", profile, 0.0)
+        for __ in range(10):
+            clicky.record_click("ad", profile, 0.0)
+        assert clicky.predict("ad", profile, 0.0) > base.predict(
+            "ad", profile, 0.0
+        )
+
+
+class TestUserBasedProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(action_rows)
+    def test_user_similarity_bounded_and_symmetric(self, rows):
+        cf = UserBasedCF(linked_time=10**9)
+        t = 0.0
+        for user_n, item_n, action in rows:
+            cf.observe(UserAction(f"u{user_n}", f"i{item_n}", action, t))
+            t += 1.0
+        for a in range(6):
+            for b in range(a + 1, 6):
+                sim = cf.similarity(f"u{a}", f"u{b}")
+                assert 0.0 <= sim <= 1.0 + 1e-9
+                assert sim == cf.similarity(f"u{b}", f"u{a}")
+
+
+class TestBasicCFProperties:
+    ratings_matrices = st.dictionaries(
+        st.sampled_from([f"u{n}" for n in range(5)]),
+        st.dictionaries(
+            st.sampled_from([f"i{n}" for n in range(5)]),
+            st.floats(min_value=0.5, max_value=5.0),
+            max_size=5,
+        ),
+        max_size=5,
+    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(ratings_matrices)
+    def test_cosine_similarity_bounded(self, ratings):
+        model = BasicItemCF(method="cosine").fit(ratings)
+        for p in range(5):
+            for q in range(5):
+                if p != q:
+                    sim = model.similarity(f"i{p}", f"i{q}")
+                    assert 0.0 <= sim <= 1.0 + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(ratings_matrices)
+    def test_prediction_within_user_rating_range(self, ratings):
+        model = BasicItemCF().fit(ratings)
+        for user, user_ratings in ratings.items():
+            if not user_ratings:
+                continue
+            low, high = min(user_ratings.values()), max(user_ratings.values())
+            for item_n in range(5):
+                prediction = model.predict(user, f"i{item_n}")
+                if prediction > 0.0:  # only when computable
+                    assert low - 1e-9 <= prediction <= high + 1e-9

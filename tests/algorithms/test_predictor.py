@@ -1,0 +1,123 @@
+"""Tests for Equation 2 prediction with recent-k filtering (Section 4.3)."""
+
+import pytest
+
+from repro.algorithms.filtering import RecentItemsTracker
+from repro.algorithms.itemcf.predictor import ItemCFPredictor
+from repro.algorithms.itemcf.similarity import SimilarityTable
+from repro.types import Recommendation
+
+
+def build_table(sims):
+    """sims: list of (p, q, pair_count, ic_p, ic_q) -> SimilarityTable."""
+    table = SimilarityTable(k=10)
+    counts: dict[str, float] = {}
+    for p, q, pc, icp, icq in sims:
+        counts[p] = max(counts.get(p, 0.0), icp)
+        counts[q] = max(counts.get(q, 0.0), icq)
+    for item, count in counts.items():
+        table.add_item_delta(item, count)
+    for p, q, pc, __, ___ in sims:
+        table.add_pair_delta(p, q, pc)
+        table.refresh_pair(p, q)
+    return table
+
+
+class TestPredictor:
+    def setup_method(self):
+        # sim(A,B)=0.8, sim(A,C)=0.2 with itemCounts 1 (pairCount == sim)
+        self.table = build_table(
+            [("A", "B", 0.8, 1.0, 1.0), ("A", "C", 0.2, 1.0, 1.0)]
+        )
+        self.recent = RecentItemsTracker(k=5)
+
+    def test_equation_2_score(self):
+        self.recent.observe("u", "B", rating=2.0, now=0.0)
+        self.recent.observe("u", "C", rating=4.0, now=1.0)
+        predictor = ItemCFPredictor(self.table, self.recent)
+        recs = predictor.predict("u", 5, now=2.0)
+        a = next(r for r in recs if r.item_id == "A")
+        expected = (0.8 * 2.0 + 0.2 * 4.0) / (0.8 + 0.2)
+        assert a.score == pytest.approx(expected)
+
+    def test_excluded_items_never_returned(self):
+        self.recent.observe("u", "B", rating=2.0, now=0.0)
+        predictor = ItemCFPredictor(self.table, self.recent)
+        recs = predictor.predict("u", 5, now=1.0, exclude={"A"})
+        assert all(r.item_id != "A" for r in recs)
+
+    def test_no_history_no_recommendations(self):
+        predictor = ItemCFPredictor(self.table, self.recent)
+        assert predictor.predict("ghost", 5, now=0.0) == []
+
+    def test_complement_fills_remaining_slots(self):
+        self.recent.observe("u", "B", rating=2.0, now=0.0)
+        predictor = ItemCFPredictor(self.table, self.recent)
+
+        def complement(count):
+            return [
+                Recommendation(f"hot{i}", 1.0, source="db") for i in range(count)
+            ]
+
+        recs = predictor.predict("u", 4, now=1.0, complement=complement)
+        assert len(recs) == 4
+        sources = [r.source for r in recs]
+        assert "cf" in sources and "db" in sources
+
+    def test_complement_never_duplicates_cf_results(self):
+        self.recent.observe("u", "B", rating=2.0, now=0.0)
+        predictor = ItemCFPredictor(self.table, self.recent)
+
+        def complement(count):
+            return [Recommendation("A", 1.0, source="db")] + [
+                Recommendation(f"hot{i}", 1.0, source="db") for i in range(count)
+            ]
+
+        recs = predictor.predict("u", 3, now=1.0, complement=complement)
+        assert len([r for r in recs if r.item_id == "A"]) == 1
+
+    def test_min_similarity_filters_weak_neighbours(self):
+        self.recent.observe("u", "C", rating=4.0, now=0.0)
+        predictor = ItemCFPredictor(self.table, self.recent, min_similarity=0.5)
+        # only neighbour of C is A at sim 0.2 -> filtered out
+        assert predictor.predict("u", 5, now=1.0) == []
+
+    def test_only_recent_k_items_contribute(self):
+        recent = RecentItemsTracker(k=1)
+        recent.observe("u", "B", rating=2.0, now=0.0)
+        recent.observe("u", "C", rating=4.0, now=1.0)  # evicts B
+        predictor = ItemCFPredictor(self.table, recent)
+        recs = predictor.predict("u", 5, now=2.0)
+        a = next(r for r in recs if r.item_id == "A")
+        # only C contributes: score = (0.2*4)/0.2 = 4
+        assert a.score == pytest.approx(4.0)
+
+
+class TestRecentItemsTracker:
+    def test_newest_first(self):
+        tracker = RecentItemsTracker(k=3)
+        tracker.observe("u", "A", 1.0, 0.0)
+        tracker.observe("u", "B", 2.0, 1.0)
+        assert [item for item, __, ___ in tracker.recent("u")] == ["B", "A"]
+
+    def test_capacity_evicts_oldest(self):
+        tracker = RecentItemsTracker(k=2)
+        for i, item in enumerate(["A", "B", "C"]):
+            tracker.observe("u", item, 1.0, float(i))
+        items = [item for item, __, ___ in tracker.recent("u")]
+        assert items == ["C", "B"]
+
+    def test_reobserve_moves_to_front(self):
+        tracker = RecentItemsTracker(k=3)
+        for i, item in enumerate(["A", "B", "C"]):
+            tracker.observe("u", item, 1.0, float(i))
+        tracker.observe("u", "A", 5.0, 3.0)
+        items = [item for item, __, ___ in tracker.recent("u")]
+        assert items == ["A", "C", "B"]
+        assert tracker.recent("u")[0][1] == 5.0
+
+    def test_forget_user(self):
+        tracker = RecentItemsTracker(k=2)
+        tracker.observe("u", "A", 1.0, 0.0)
+        tracker.forget_user("u")
+        assert not tracker.has_history("u")

@@ -1,0 +1,113 @@
+"""Tests for the Hoeffding-bound pruner (Section 4.1.4, Algorithm 1)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms.itemcf.pruning import HoeffdingPruner, hoeffding_epsilon
+from repro.errors import ConfigurationError
+
+
+class TestEpsilon:
+    def test_equation_9(self):
+        # eps = sqrt(R^2 ln(1/delta) / (2n))
+        delta, n = 0.01, 50
+        expected = math.sqrt(math.log(1.0 / delta) / (2 * n))
+        assert hoeffding_epsilon(n, delta) == pytest.approx(expected)
+
+    def test_shrinks_with_observations(self):
+        values = [hoeffding_epsilon(n, 0.001) for n in (1, 10, 100, 1000)]
+        assert values == sorted(values, reverse=True)
+
+    def test_zero_observations_is_infinite(self):
+        assert hoeffding_epsilon(0, 0.001) == math.inf
+
+    @given(
+        st.integers(min_value=1, max_value=10**6),
+        st.floats(min_value=1e-6, max_value=0.5),
+    )
+    def test_always_positive_finite(self, n, delta):
+        eps = hoeffding_epsilon(n, delta)
+        assert 0.0 < eps < math.inf
+
+
+class TestHoeffdingPruner:
+    def test_no_pruning_while_lists_have_room(self):
+        # threshold 0 means any pair can still enter a list
+        pruner = HoeffdingPruner(delta=0.001)
+        for __ in range(1000):
+            pruned = pruner.observe("a", "b", 0.0, 0.0, 0.0)
+            assert not pruned
+        assert not pruner.is_pruned("a", "b")
+
+    def test_prunes_clearly_dissimilar_pair(self):
+        pruner = HoeffdingPruner(delta=0.001)
+        # similarity 0.01 against a threshold of 0.5: eps must fall below
+        # 0.49, i.e. n > ln(1000)/(2*0.49^2) ~ 14.4
+        pruned_at = None
+        for n in range(1, 100):
+            if pruner.observe("a", "b", 0.01, 0.5, 0.5):
+                pruned_at = n
+                break
+        assert pruned_at is not None
+        assert 10 <= pruned_at <= 20
+        assert pruner.is_pruned("a", "b")
+        assert pruner.is_pruned("b", "a")  # bidirectional (lines 15-16)
+
+    def test_does_not_prune_similar_pair(self):
+        pruner = HoeffdingPruner(delta=0.001)
+        for __ in range(10_000):
+            assert not pruner.observe("a", "b", 0.6, 0.5, 0.5)
+
+    def test_uses_min_of_thresholds(self):
+        # t = min(t1, t2) (line 12): a roomy list on one side blocks pruning
+        pruner = HoeffdingPruner(delta=0.001)
+        for __ in range(1000):
+            assert not pruner.observe("a", "b", 0.01, 0.9, 0.0)
+
+    def test_observation_counts_tracked_per_pair(self):
+        pruner = HoeffdingPruner()
+        pruner.observe("a", "b", 0.5, 0.0, 0.0)
+        pruner.observe("a", "b", 0.5, 0.0, 0.0)
+        pruner.observe("a", "c", 0.5, 0.0, 0.0)
+        assert pruner.observations("a", "b") == 2
+        assert pruner.observations("b", "a") == 2
+        assert pruner.observations("a", "c") == 1
+
+    def test_pruned_pairs_counter(self):
+        pruner = HoeffdingPruner(delta=0.001)
+        for __ in range(50):
+            pruner.observe("a", "b", 0.0, 0.8, 0.8)
+        assert pruner.pruned_pairs == 1
+
+    def test_unprune(self):
+        pruner = HoeffdingPruner(delta=0.001)
+        for __ in range(50):
+            pruner.observe("a", "b", 0.0, 0.8, 0.8)
+        pruner.unprune("a", "b")
+        assert not pruner.is_pruned("a", "b")
+
+    def test_invalid_delta(self):
+        with pytest.raises(ConfigurationError):
+            HoeffdingPruner(delta=0.0)
+        with pytest.raises(ConfigurationError):
+            HoeffdingPruner(delta=1.0)
+
+    def test_invalid_range(self):
+        with pytest.raises(ConfigurationError):
+            HoeffdingPruner(value_range=0.0)
+
+    def test_smaller_delta_prunes_later(self):
+        def first_prune(delta):
+            pruner = HoeffdingPruner(delta=delta)
+            for n in range(1, 10_000):
+                if pruner.observe("a", "b", 0.05, 0.4, 0.4):
+                    return n
+            return None
+
+        lax = first_prune(0.05)
+        strict = first_prune(1e-6)
+        assert lax is not None and strict is not None
+        assert strict > lax

@@ -1,0 +1,61 @@
+"""Tests for implicit-feedback rating resolution (Section 4.1.2)."""
+
+import pytest
+
+from repro.algorithms.ratings import (
+    DEFAULT_ACTION_WEIGHTS,
+    ActionWeights,
+    co_rating,
+    rating_from_actions,
+)
+from repro.errors import ConfigurationError, UnknownActionError
+
+
+class TestActionWeights:
+    def test_default_weights_order_actions_sensibly(self):
+        w = DEFAULT_ACTION_WEIGHTS
+        assert w.weight("browse") < w.weight("click") < w.weight("purchase")
+
+    def test_unknown_action_raises_with_known_list(self):
+        with pytest.raises(UnknownActionError, match="browse"):
+            DEFAULT_ACTION_WEIGHTS.weight("teleport")
+
+    def test_knows(self):
+        assert DEFAULT_ACTION_WEIGHTS.knows("click")
+        assert not DEFAULT_ACTION_WEIGHTS.knows("teleport")
+
+    def test_custom_weights(self):
+        w = ActionWeights.of(view=1.0, buy=3.0)
+        assert w.weight("buy") == 3.0
+        assert w.max_weight() == 3.0
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ActionWeights.of(view=0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ActionWeights(())
+
+
+class TestRatingResolution:
+    def test_rating_is_max_weight(self):
+        # a user who browsed, clicked, then purchased rates at purchase level
+        rating = rating_from_actions(
+            DEFAULT_ACTION_WEIGHTS, ["browse", "click", "purchase"]
+        )
+        assert rating == DEFAULT_ACTION_WEIGHTS.weight("purchase")
+
+    def test_repeated_weak_actions_do_not_accumulate(self):
+        # the max rule suppresses noise from many repeated browses
+        rating = rating_from_actions(DEFAULT_ACTION_WEIGHTS, ["browse"] * 100)
+        assert rating == DEFAULT_ACTION_WEIGHTS.weight("browse")
+
+    def test_no_actions_is_zero(self):
+        assert rating_from_actions(DEFAULT_ACTION_WEIGHTS, []) == 0.0
+
+    def test_co_rating_is_min(self):
+        # Equation 3
+        assert co_rating(1.0, 5.0) == 1.0
+        assert co_rating(5.0, 2.0) == 2.0
+        assert co_rating(3.0, 3.0) == 3.0

@@ -1,0 +1,210 @@
+"""Tests for similarity state: lists, tables, and session windows."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.itemcf.similarity import (
+    SessionWindowCounter,
+    SimilarItemsList,
+    SimilarityTable,
+    WindowedSimilarityTable,
+    pair_key,
+)
+from repro.errors import AlgorithmError, ConfigurationError
+
+
+class TestPairKey:
+    def test_canonical_order(self):
+        assert pair_key("b", "a") == ("a", "b")
+        assert pair_key("a", "b") == ("a", "b")
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(AlgorithmError):
+            pair_key("a", "a")
+
+
+class TestSimilarItemsList:
+    def test_keeps_top_k(self):
+        lst = SimilarItemsList(k=3)
+        for item, sim in [("a", 0.9), ("b", 0.5), ("c", 0.7), ("d", 0.8)]:
+            lst.update(item, sim)
+        assert [i for i, __ in lst.top()] == ["a", "d", "c"]
+
+    def test_threshold_zero_until_full(self):
+        lst = SimilarItemsList(k=3)
+        lst.update("a", 0.9)
+        assert lst.threshold() == 0.0
+        lst.update("b", 0.5)
+        lst.update("c", 0.7)
+        assert lst.threshold() == 0.5
+
+    def test_update_existing_entry_in_place(self):
+        lst = SimilarItemsList(k=2)
+        lst.update("a", 0.9)
+        lst.update("a", 0.3)
+        assert lst.similarity_of("a") == 0.3
+        assert len(lst) == 1
+
+    def test_weaker_candidate_rejected_when_full(self):
+        lst = SimilarItemsList(k=2)
+        lst.update("a", 0.9)
+        lst.update("b", 0.8)
+        lst.update("c", 0.1)
+        assert "c" not in lst
+        assert len(lst) == 2
+
+    def test_existing_entry_can_decay_below_others(self):
+        # an existing entry whose similarity drops must update, not evict
+        lst = SimilarItemsList(k=2)
+        lst.update("a", 0.9)
+        lst.update("b", 0.8)
+        lst.update("a", 0.1)  # decay: windowed counts shrink
+        assert lst.similarity_of("a") == 0.1
+        assert lst.threshold() == 0.1
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            SimilarItemsList(k=0)
+
+    @given(st.lists(st.tuples(st.integers(0, 30), st.floats(0, 1)), max_size=100))
+    def test_never_exceeds_k_and_keeps_best(self, updates):
+        lst = SimilarItemsList(k=5)
+        latest: dict[str, float] = {}
+        for item_n, sim in updates:
+            item = f"i{item_n}"
+            lst.update(item, sim)
+            latest[item] = sim
+        assert len(lst) <= 5
+        top = lst.top()
+        assert all(lst.threshold() <= sim for __, sim in top)
+
+
+class TestSimilarityTable:
+    def test_similarity_formula(self):
+        # Equation 5: sim = pairCount / (sqrt(ic_p) * sqrt(ic_q))
+        table = SimilarityTable()
+        table.add_item_delta("p", 4.0)
+        table.add_item_delta("q", 9.0)
+        table.add_pair_delta("p", "q", 3.0)
+        assert table.similarity("p", "q") == pytest.approx(3.0 / (2.0 * 3.0))
+
+    def test_zero_pair_count_is_zero_similarity(self):
+        table = SimilarityTable()
+        table.add_item_delta("p", 4.0)
+        table.add_item_delta("q", 9.0)
+        assert table.similarity("p", "q") == 0.0
+
+    def test_incremental_deltas_accumulate(self):
+        # Equation 8: counts update by deltas, similarity recomputed
+        table = SimilarityTable()
+        table.add_item_delta("p", 2.0)
+        table.add_item_delta("p", 2.0)
+        table.add_item_delta("q", 4.0)
+        table.add_pair_delta("p", "q", 1.0)
+        table.add_pair_delta("q", "p", 1.0)  # unordered pair
+        assert table.item_count("p") == 4.0
+        assert table.pair_count("p", "q") == 2.0
+        assert table.similarity("p", "q") == pytest.approx(2.0 / 4.0)
+
+    def test_refresh_pair_updates_both_lists(self):
+        table = SimilarityTable(k=5)
+        table.add_item_delta("p", 1.0)
+        table.add_item_delta("q", 1.0)
+        table.add_pair_delta("p", "q", 1.0)
+        sim = table.refresh_pair("p", "q")
+        assert table.top_similar("p") == [("q", sim)]
+        assert table.top_similar("q") == [("p", sim)]
+
+    def test_unknown_item_has_empty_list(self):
+        assert SimilarityTable().top_similar("ghost") == []
+
+
+class TestSessionWindowCounter:
+    def test_sum_within_window(self):
+        counter = SessionWindowCounter(session_seconds=10.0, window_sessions=3)
+        counter.add("k", 1.0, now=5.0)    # session 0
+        counter.add("k", 2.0, now=15.0)   # session 1
+        counter.add("k", 4.0, now=25.0)   # session 2
+        assert counter.value("k", now=25.0) == 7.0
+
+    def test_old_sessions_expire(self):
+        counter = SessionWindowCounter(session_seconds=10.0, window_sessions=2)
+        counter.add("k", 1.0, now=5.0)    # session 0
+        counter.add("k", 2.0, now=15.0)   # session 1
+        assert counter.value("k", now=15.0) == 3.0
+        assert counter.value("k", now=25.0) == 2.0   # session 0 expired
+        assert counter.value("k", now=35.0) == 0.0   # all expired
+
+    def test_same_session_accumulates_in_one_bucket(self):
+        counter = SessionWindowCounter(session_seconds=10.0, window_sessions=2)
+        counter.add("k", 1.0, now=1.0)
+        counter.add("k", 1.0, now=9.0)
+        assert counter.value("k", now=9.0) == 2.0
+
+    def test_missing_key_is_zero(self):
+        counter = SessionWindowCounter(10.0, 2)
+        assert counter.value("ghost", now=0.0) == 0.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            SessionWindowCounter(0.0, 2)
+        with pytest.raises(ConfigurationError):
+            SessionWindowCounter(10.0, 0)
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=500),
+                st.floats(min_value=0.1, max_value=5.0),
+            ),
+            max_size=60,
+        ),
+        st.integers(min_value=1, max_value=10),
+        st.floats(min_value=1.0, max_value=50.0),
+    )
+    def test_matches_bruteforce_window_sum(self, events, window, session_len):
+        counter = SessionWindowCounter(session_len, window)
+        events = sorted(events)
+        for ts, delta in events:
+            counter.add("k", delta, now=ts)
+        if events:
+            now = events[-1][0]
+            current = int(now // session_len)
+            expected = sum(
+                delta
+                for ts, delta in events
+                if current - window < int(ts // session_len) <= current
+            )
+            assert counter.value("k", now) == pytest.approx(expected)
+
+
+class TestWindowedSimilarityTable:
+    def test_equation_10_windowed_similarity(self):
+        table = WindowedSimilarityTable(
+            k=5, session_seconds=10.0, window_sessions=2
+        )
+        table.add_item_delta("p", 4.0, now=5.0)
+        table.add_item_delta("q", 4.0, now=5.0)
+        table.add_pair_delta("p", "q", 4.0, now=5.0)
+        assert table.similarity("p", "q", now=5.0) == pytest.approx(1.0)
+        # one session later, still inside window W=2
+        assert table.similarity("p", "q", now=15.0) == pytest.approx(1.0)
+        # two sessions later, contributing session expired -> forgotten
+        assert table.similarity("p", "q", now=25.0) == 0.0
+
+    def test_fresh_sessions_replace_old_signal(self):
+        table = WindowedSimilarityTable(
+            k=5, session_seconds=10.0, window_sessions=2
+        )
+        table.add_item_delta("p", 2.0, now=0.0)
+        table.add_item_delta("q", 2.0, now=0.0)
+        table.add_pair_delta("p", "q", 2.0, now=0.0)
+        # next session: p trends with r instead
+        table.add_item_delta("p", 2.0, now=10.0)
+        table.add_item_delta("r", 2.0, now=10.0)
+        table.add_pair_delta("p", "r", 2.0, now=10.0)
+        now = 25.0  # first session expired
+        assert table.similarity("p", "q", now) == 0.0
+        assert table.similarity("p", "r", now) > 0.0

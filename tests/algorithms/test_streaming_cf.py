@@ -1,0 +1,255 @@
+"""Tests for the practical streaming item-based CF (Section 4.1).
+
+The crown invariant: for any action stream, the incrementally maintained
+counts equal a from-scratch computation of Equations 3, 6 and 7 over the
+final ratings — that is exactly what the delta decomposition of Equation
+8 promises.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.itemcf import HoeffdingPruner, PracticalItemCF
+from repro.algorithms.ratings import DEFAULT_ACTION_WEIGHTS
+from repro.errors import ConfigurationError
+from repro.types import UserAction
+
+BIG_LINKED_TIME = 10**9
+
+
+def actions_strategy(max_size=150):
+    return st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=7),   # user
+            st.integers(min_value=0, max_value=9),   # item
+            st.sampled_from(["browse", "click", "share", "purchase"]),
+        ),
+        max_size=max_size,
+    )
+
+
+def replay(cf, rows, dt=1.0):
+    t = 0.0
+    for user_n, item_n, action in rows:
+        cf.observe(UserAction(f"u{user_n}", f"i{item_n}", action, t))
+        t += dt
+    return t
+
+
+def reference_counts(rows):
+    """Brute-force Eq 3/6/7 from the final max-weight ratings."""
+    ratings: dict[str, dict[str, float]] = {}
+    for user_n, item_n, action in rows:
+        user, item = f"u{user_n}", f"i{item_n}"
+        w = DEFAULT_ACTION_WEIGHTS.weight(action)
+        ratings.setdefault(user, {})
+        ratings[user][item] = max(ratings[user].get(item, 0.0), w)
+    item_counts: dict[str, float] = {}
+    pair_counts: dict[tuple[str, str], float] = {}
+    for items in ratings.values():
+        entries = sorted(items.items())
+        for idx, (p, rp) in enumerate(entries):
+            item_counts[p] = item_counts.get(p, 0.0) + rp
+            for q, rq in entries[idx + 1 :]:
+                pair_counts[(p, q)] = pair_counts.get((p, q), 0.0) + min(rp, rq)
+    return item_counts, pair_counts
+
+
+class TestIncrementalEqualsBatch:
+    @settings(max_examples=80, deadline=None)
+    @given(actions_strategy())
+    def test_counts_match_reference(self, rows):
+        cf = PracticalItemCF(linked_time=BIG_LINKED_TIME)
+        replay(cf, rows)
+        item_counts, pair_counts = reference_counts(rows)
+        for item, expected in item_counts.items():
+            assert cf.table.item_count(item) == pytest.approx(expected)
+        for (p, q), expected in pair_counts.items():
+            assert cf.table.pair_count(p, q) == pytest.approx(expected)
+
+    @settings(max_examples=80, deadline=None)
+    @given(actions_strategy())
+    def test_similarity_always_in_unit_interval(self, rows):
+        cf = PracticalItemCF(linked_time=BIG_LINKED_TIME)
+        replay(cf, rows)
+        items = cf.table.known_items()
+        for i, p in enumerate(items):
+            for q in items[i + 1 :]:
+                sim = cf.similarity(p, q)
+                assert 0.0 <= sim <= 1.0 + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(actions_strategy(max_size=80))
+    def test_event_order_does_not_change_final_counts(self, rows):
+        forward = PracticalItemCF(linked_time=BIG_LINKED_TIME)
+        replay(forward, rows)
+        backward = PracticalItemCF(linked_time=BIG_LINKED_TIME)
+        replay(backward, list(reversed(rows)))
+        for item in forward.table.known_items():
+            assert forward.table.item_count(item) == pytest.approx(
+                backward.table.item_count(item)
+            )
+
+
+class TestBehaviour:
+    def observe_all(self, cf, triples, dt=1.0):
+        t = 0.0
+        for user, item, action in triples:
+            cf.observe(UserAction(user, item, action, t))
+            t += dt
+        return t
+
+    def test_upgrade_browse_to_purchase_propagates_delta(self):
+        cf = PracticalItemCF(linked_time=BIG_LINKED_TIME)
+        self.observe_all(
+            cf,
+            [("u1", "A", "browse"), ("u1", "B", "browse"), ("u1", "A", "purchase")],
+        )
+        # final ratings: A=5, B=1; itemCount(A)=5, pairCount = min(5,1) = 1
+        assert cf.table.item_count("A") == 5.0
+        assert cf.table.pair_count("A", "B") == 1.0
+
+    def test_repeated_same_action_changes_nothing(self):
+        cf = PracticalItemCF(linked_time=BIG_LINKED_TIME)
+        self.observe_all(cf, [("u1", "A", "click")] * 5)
+        assert cf.table.item_count("A") == DEFAULT_ACTION_WEIGHTS.weight("click")
+        assert cf.stats.rating_increases == 1
+
+    def test_linked_time_blocks_stale_pairs(self):
+        cf = PracticalItemCF(linked_time=100.0)
+        cf.observe(UserAction("u1", "A", "click", 0.0))
+        cf.observe(UserAction("u1", "B", "click", 500.0))  # too late: no pair
+        assert cf.table.pair_count("A", "B") == 0.0
+        assert cf.stats.linked_time_skips == 1
+
+    def test_linked_time_allows_fresh_pairs(self):
+        cf = PracticalItemCF(linked_time=100.0)
+        cf.observe(UserAction("u1", "A", "click", 0.0))
+        cf.observe(UserAction("u1", "B", "click", 50.0))
+        assert cf.table.pair_count("A", "B") > 0.0
+
+    def test_re_engagement_refreshes_linked_time(self):
+        cf = PracticalItemCF(linked_time=100.0)
+        cf.observe(UserAction("u1", "A", "browse", 0.0))
+        cf.observe(UserAction("u1", "A", "browse", 450.0))  # refreshes ts only
+        cf.observe(UserAction("u1", "B", "click", 500.0))
+        assert cf.table.pair_count("A", "B") > 0.0
+
+    def test_similarity_example_from_scratch(self):
+        # two users click both A and B; one more user clicks only B
+        cf = PracticalItemCF(linked_time=BIG_LINKED_TIME)
+        self.observe_all(
+            cf,
+            [
+                ("u1", "A", "click"), ("u1", "B", "click"),
+                ("u2", "A", "click"), ("u2", "B", "click"),
+                ("u3", "B", "click"),
+            ],
+        )
+        w = DEFAULT_ACTION_WEIGHTS.weight("click")
+        expected = (2 * w) / (math.sqrt(2 * w) * math.sqrt(3 * w))
+        assert cf.similarity("A", "B") == pytest.approx(expected)
+
+    def test_recommendation_from_co_click_pattern(self):
+        cf = PracticalItemCF(linked_time=BIG_LINKED_TIME)
+        rows = []
+        for n in range(10):
+            rows += [(f"u{n}", "A", "click"), (f"u{n}", "B", "click")]
+        rows += [("target", "A", "click")]
+        self.observe_all(cf, rows)
+        recs = cf.recommend("target", 5, now=100.0)
+        assert recs and recs[0].item_id == "B"
+
+    def test_recommendations_exclude_consumed(self):
+        cf = PracticalItemCF(linked_time=BIG_LINKED_TIME)
+        rows = [("u1", "A", "click"), ("u1", "B", "click"),
+                ("u2", "A", "click"), ("u2", "B", "click")]
+        self.observe_all(cf, rows)
+        recs = cf.recommend("u1", 5, now=100.0)
+        assert all(r.item_id not in ("A", "B") for r in recs)
+
+    def test_unknown_user_gets_empty_list(self):
+        cf = PracticalItemCF()
+        assert cf.recommend("ghost", 5, now=0.0) == []
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            PracticalItemCF(linked_time=0.0)
+        with pytest.raises(ConfigurationError):
+            PracticalItemCF(session_seconds=10.0)  # missing window_sessions
+
+
+class TestWindowedStreaming:
+    def test_interest_fades_as_sessions_expire(self):
+        cf = PracticalItemCF(
+            linked_time=BIG_LINKED_TIME,
+            session_seconds=100.0,
+            window_sessions=2,
+        )
+        for n in range(5):
+            cf.observe(UserAction(f"u{n}", "A", "click", 10.0))
+            cf.observe(UserAction(f"u{n}", "B", "click", 20.0))
+        assert cf.similarity("A", "B", now=50.0) == pytest.approx(1.0)
+        assert cf.similarity("A", "B", now=150.0) == pytest.approx(1.0)
+        assert cf.similarity("A", "B", now=500.0) == 0.0
+
+
+class TestPruningIntegration:
+    def build_skewed_stream(self):
+        """Two strong clusters {A,B,C} and {X,Y,Z} plus weak cross links.
+
+        With k=2, each item's similar-items list fills with its cluster
+        mates at high similarity, so the weak cross-cluster pairs sit far
+        below both thresholds — prime pruning targets.
+        """
+        rows = []
+        for n in range(40):
+            rows += [
+                (f"a{n}", "A", "click"),
+                (f"a{n}", "B", "click"),
+                (f"a{n}", "C", "click"),
+                (f"x{n}", "X", "click"),
+                (f"x{n}", "Y", "click"),
+                (f"x{n}", "Z", "click"),
+            ]
+            if n % 3 == 0:
+                rows.append((f"a{n}", "X", "browse"))
+        return rows
+
+    def test_pruning_reduces_pair_updates(self):
+        rows = self.build_skewed_stream()
+        unpruned = PracticalItemCF(linked_time=BIG_LINKED_TIME, k=2)
+        t = 0.0
+        for u, i, a in rows:
+            unpruned.observe(UserAction(u, i, a, t))
+            t += 1.0
+        pruned = PracticalItemCF(
+            linked_time=BIG_LINKED_TIME, k=2,
+            pruner=HoeffdingPruner(delta=0.05),
+        )
+        t = 0.0
+        for u, i, a in rows:
+            pruned.observe(UserAction(u, i, a, t))
+            t += 1.0
+        assert pruned.pruner.pruned_pairs > 0
+        assert pruned.stats.pruned_skips > 0
+        total_unpruned = unpruned.stats.pair_updates
+        total_pruned = pruned.stats.pair_updates
+        assert total_pruned < total_unpruned
+
+    def test_strong_pairs_survive_pruning(self):
+        rows = self.build_skewed_stream()
+        pruned = PracticalItemCF(
+            linked_time=BIG_LINKED_TIME, k=2,
+            pruner=HoeffdingPruner(delta=0.05),
+        )
+        t = 0.0
+        for u, i, a in rows:
+            pruned.observe(UserAction(u, i, a, t))
+            t += 1.0
+        assert not pruned.pruner.is_pruned("A", "B")
+        top = [item for item, __ in pruned.table.top_similar("A", 1)]
+        assert top == ["B"]

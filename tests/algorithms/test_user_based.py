@@ -1,0 +1,92 @@
+"""Tests for the user-based CF comparator."""
+
+import math
+
+import pytest
+
+from repro.algorithms.ratings import DEFAULT_ACTION_WEIGHTS
+from repro.algorithms.user_based import UserBasedCF
+from repro.errors import ConfigurationError
+from repro.types import UserAction
+
+BIG = 10**12
+
+
+def feed(cf, rows, dt=1.0):
+    t = 0.0
+    for user, item, action in rows:
+        cf.observe(UserAction(user, item, action, t))
+        t += dt
+
+
+class TestUserSimilarity:
+    def test_co_raters_become_similar(self):
+        cf = UserBasedCF(linked_time=BIG)
+        feed(cf, [("alice", "A", "click"), ("bob", "A", "click"),
+                  ("alice", "B", "click"), ("bob", "B", "click")])
+        w = DEFAULT_ACTION_WEIGHTS.weight("click")
+        # pairCount = min co-ratings over both items = 2w;
+        # userCounts = 2w each -> sim = 2w / (sqrt(2w)sqrt(2w)) = 1
+        assert cf.similarity("alice", "bob") == pytest.approx(1.0)
+
+    def test_disjoint_users_not_similar(self):
+        cf = UserBasedCF(linked_time=BIG)
+        feed(cf, [("alice", "A", "click"), ("bob", "B", "click")])
+        assert cf.similarity("alice", "bob") == 0.0
+
+    def test_partial_overlap(self):
+        cf = UserBasedCF(linked_time=BIG)
+        feed(cf, [("alice", "A", "click"), ("alice", "B", "click"),
+                  ("bob", "A", "click"), ("bob", "C", "click")])
+        w = DEFAULT_ACTION_WEIGHTS.weight("click")
+        expected = w / (math.sqrt(2 * w) * math.sqrt(2 * w))
+        assert cf.similarity("alice", "bob") == pytest.approx(expected)
+
+    def test_linked_time_limits_pairing(self):
+        cf = UserBasedCF(linked_time=10.0)
+        cf.observe(UserAction("alice", "A", "click", 0.0))
+        cf.observe(UserAction("bob", "A", "click", 1000.0))
+        assert cf.similarity("alice", "bob") == 0.0
+
+    def test_repeat_action_no_double_count(self):
+        cf = UserBasedCF(linked_time=BIG)
+        feed(cf, [("alice", "A", "click"), ("bob", "A", "click"),
+                  ("alice", "A", "click")])
+        w = DEFAULT_ACTION_WEIGHTS.weight("click")
+        assert cf.similarity("alice", "bob") == pytest.approx(1.0)
+
+    def test_neighbour_list_bounded(self):
+        cf = UserBasedCF(linked_time=BIG, k=2)
+        rows = [("target", "A", "click")]
+        for n in range(5):
+            rows.append((f"peer{n}", "A", "click"))
+        feed(cf, rows)
+        assert len(cf.neighbours_of("target")) <= 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UserBasedCF(linked_time=0.0)
+        with pytest.raises(ConfigurationError):
+            UserBasedCF(max_raters_per_item=1)
+
+
+class TestUserBasedRecommendation:
+    def test_recommends_neighbours_items(self):
+        cf = UserBasedCF(linked_time=BIG)
+        feed(cf, [("alice", "A", "click"), ("alice", "B", "click"),
+                  ("bob", "A", "click"), ("bob", "B", "click"),
+                  ("bob", "C", "purchase")])
+        recs = cf.recommend("alice", 3, now=100.0)
+        assert recs and recs[0].item_id == "C"
+        assert recs[0].source == "user-cf"
+
+    def test_own_items_excluded(self):
+        cf = UserBasedCF(linked_time=BIG)
+        feed(cf, [("alice", "A", "click"), ("bob", "A", "click"),
+                  ("bob", "B", "click")])
+        recs = cf.recommend("alice", 5, now=100.0)
+        assert all(r.item_id != "A" for r in recs)
+
+    def test_cold_user_empty(self):
+        cf = UserBasedCF()
+        assert cf.recommend("ghost", 5, now=0.0) == []

@@ -1,0 +1,93 @@
+"""Property tests tying the windowed streaming CF to Equation 10.
+
+For any action stream, the windowed itemCount at query time must equal
+the sum, over sessions still inside the window, of the rating deltas
+that occurred in that session — computed independently by a brute-force
+replay.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.itemcf import PracticalItemCF
+from repro.algorithms.ratings import DEFAULT_ACTION_WEIGHTS
+from repro.types import UserAction
+
+SESSION = 50.0
+WINDOW = 3
+
+
+def actions_strategy():
+    return st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=4),   # user
+            st.integers(min_value=0, max_value=5),   # item
+            st.sampled_from(["browse", "click", "purchase"]),
+            st.floats(min_value=0.0, max_value=1000.0),  # timestamp
+        ),
+        max_size=80,
+    )
+
+
+def reference_windowed_item_counts(rows, query_time):
+    """Brute-force Eq 10: per-session delta sums over the live window."""
+    ratings: dict[tuple[str, str], float] = {}
+    session_deltas: dict[tuple[str, int], float] = {}
+    for user_n, item_n, action, ts in rows:
+        user, item = f"u{user_n}", f"i{item_n}"
+        weight = DEFAULT_ACTION_WEIGHTS.weight(action)
+        old = ratings.get((user, item), 0.0)
+        new = max(old, weight)
+        if new > old:
+            session = int(ts // SESSION)
+            key = (item, session)
+            session_deltas[key] = session_deltas.get(key, 0.0) + (new - old)
+            ratings[(user, item)] = new
+    current = int(query_time // SESSION)
+    floor = current - WINDOW + 1
+    counts: dict[str, float] = {}
+    for (item, session), delta in session_deltas.items():
+        if floor <= session <= current:
+            counts[item] = counts.get(item, 0.0) + delta
+    return counts
+
+
+class TestWindowedEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(actions_strategy())
+    def test_windowed_item_counts_match_eq10_reference(self, raw_rows):
+        rows = sorted(raw_rows, key=lambda row: row[3])  # time-ordered
+        cf = PracticalItemCF(
+            linked_time=10**9,
+            session_seconds=SESSION,
+            window_sessions=WINDOW,
+        )
+        for user_n, item_n, action, ts in rows:
+            cf.observe(UserAction(f"u{user_n}", f"i{item_n}", action, ts))
+        query_time = rows[-1][3] if rows else 0.0
+        expected = reference_windowed_item_counts(rows, query_time)
+        for item_n in range(6):
+            item = f"i{item_n}"
+            assert cf.table.item_count(item, query_time) == pytest.approx(
+                expected.get(item, 0.0)
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(actions_strategy(), st.floats(min_value=0, max_value=5000))
+    def test_counts_never_negative_and_eventually_expire(self, raw_rows,
+                                                         extra_wait):
+        rows = sorted(raw_rows, key=lambda row: row[3])
+        cf = PracticalItemCF(
+            linked_time=10**9, session_seconds=SESSION, window_sessions=WINDOW
+        )
+        for user_n, item_n, action, ts in rows:
+            cf.observe(UserAction(f"u{user_n}", f"i{item_n}", action, ts))
+        last = rows[-1][3] if rows else 0.0
+        for item_n in range(6):
+            count = cf.table.item_count(f"i{item_n}", last)
+            assert count >= 0.0
+        # far enough in the future, everything is forgotten
+        horizon = last + extra_wait + (WINDOW + 1) * SESSION
+        for item_n in range(6):
+            assert cf.table.item_count(f"i{item_n}", horizon) == 0.0

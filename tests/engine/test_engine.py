@@ -1,0 +1,159 @@
+"""Tests for the recommender engine and front end (Figure 9)."""
+
+import pytest
+
+from repro.engine import EngineConfig, RecommenderEngine, RecommenderFrontEnd
+from repro.errors import EvaluationError
+from repro.storm import LocalCluster
+from repro.tdaccess import TDAccessCluster
+from repro.tdstore import TDStoreCluster
+from repro.topology import StateKeys
+from repro.topology.framework import CFTopologyConfig, build_cf_topology
+from repro.types import UserAction, UserProfile
+from repro.utils.clock import SimClock
+
+BIG = 10**12
+
+
+def run_cf(actions, group_of=None):
+    clock = SimClock()
+    store = TDStoreCluster(num_data_servers=3, num_instances=16)
+    topo = build_cf_topology(
+        "cf",
+        actions,
+        clock,
+        store.client,
+        CFTopologyConfig(linked_time=BIG, group_of=group_of),
+    )
+    cluster = LocalCluster(clock=clock)
+    cluster.submit(topo)
+    cluster.run_until_idle()
+    return store, clock
+
+
+def co_click_actions():
+    actions = []
+    t = 0.0
+    for n in range(10):
+        actions.append(UserAction(f"u{n}", "A", "click", t))
+        actions.append(UserAction(f"u{n}", "B", "click", t + 1))
+        t += 2
+    actions.append(UserAction("target", "A", "click", t))
+    return actions
+
+
+class TestCFQueries:
+    def test_recommends_co_clicked_item(self):
+        store, clock = run_cf(co_click_actions())
+        engine = RecommenderEngine(store.client())
+        recs = engine.recommend_cf("target", 5, clock.now())
+        assert recs and recs[0].item_id == "B"
+        assert recs[0].source == "cf"
+
+    def test_consumed_items_excluded(self):
+        store, clock = run_cf(co_click_actions())
+        engine = RecommenderEngine(store.client())
+        recs = engine.recommend_cf("u0", 5, clock.now())
+        assert all(r.item_id not in ("A", "B") for r in recs)
+
+    def test_db_complement_fills_when_cf_empty(self):
+        groups = {"cold": "male"}
+        actions = co_click_actions() + [
+            UserAction("warm", "C", "click", 1000.0)
+        ]
+        store, clock = run_cf(
+            actions, group_of=lambda user: groups.get(user, "other")
+        )
+        engine = RecommenderEngine(
+            store.client(),
+            EngineConfig(group_of=lambda user: groups.get(user, "other")),
+        )
+        recs = engine.recommend_cf("cold", 3, clock.now())
+        assert recs  # cold user still gets hot items
+        assert all(r.source == "db" for r in recs)
+
+    def test_complement_disabled(self):
+        store, clock = run_cf(co_click_actions())
+        engine = RecommenderEngine(
+            store.client(), EngineConfig(complement_with_db=False)
+        )
+        assert engine.recommend_cf("stranger", 3, clock.now()) == []
+
+    def test_hot_items_prefer_user_group(self):
+        groups = {"m": "male", "f": "female"}
+        actions = [
+            UserAction("m", "game", "click", 0.0),
+            UserAction("f", "recipe", "click", 1.0),
+            UserAction("f", "recipe2", "click", 2.0),
+        ]
+        store, clock = run_cf(
+            actions, group_of=lambda user: groups.get(user, "global")
+        )
+        engine = RecommenderEngine(
+            store.client(),
+            EngineConfig(group_of=lambda user: groups.get(user, "global")),
+        )
+        hots = engine.hot_items_for("m", 3, clock.now())
+        assert hots[0][0] == "game"
+
+
+class TestFrontEnd:
+    def test_query_serves_and_logs(self):
+        store, clock = run_cf(co_click_actions())
+        engine = RecommenderEngine(store.client())
+        front = RecommenderFrontEnd(engine, algorithm="cf")
+        recs = front.query("target", 3, clock.now())
+        assert recs
+        assert front.log.queries == 1
+        assert front.log.served == 1
+        assert front.log.displayed[0][0] == "target"
+
+    def test_display_filter_applied(self):
+        store, clock = run_cf(co_click_actions())
+        engine = RecommenderEngine(store.client())
+        front = RecommenderFrontEnd(
+            engine, algorithm="cf", display_filter=lambda r: r.item_id != "B"
+        )
+        recs = front.query("target", 3, clock.now())
+        assert all(r.item_id != "B" for r in recs)
+
+    def test_feedback_impressions_published(self):
+        store, clock = run_cf(co_click_actions())
+        access = TDAccessCluster(clock, num_data_servers=2)
+        access.create_topic("user_actions", 2)
+        engine = RecommenderEngine(store.client())
+        front = RecommenderFrontEnd(
+            engine,
+            algorithm="cf",
+            feedback_producer=access.producer(),
+            feedback_topic="user_actions",
+        )
+        recs = front.query("target", 3, clock.now())
+        messages = access.consumer("user_actions").drain()
+        assert len(messages) == len(recs)
+        assert all(m.value["action"] == "impression" for m in messages)
+
+    def test_unknown_algorithm_rejected(self):
+        store, clock = run_cf(co_click_actions())
+        engine = RecommenderEngine(store.client())
+        with pytest.raises(EvaluationError):
+            RecommenderFrontEnd(engine, algorithm="magic")
+
+
+class TestCTRRanking:
+    def test_rank_by_ctr_prefers_stored_values(self):
+        store = TDStoreCluster(num_data_servers=2, num_instances=8)
+        client = store.client()
+        profiles = {
+            "u": UserProfile("u", gender="male", age=25, region="beijing")
+        }
+        key = "region=beijing&gender=male&age=age25-34"
+        client.put(StateKeys.ctr("ad-good", key), 0.3)
+        client.put(StateKeys.ctr("ad-bad", key), 0.01)
+        engine = RecommenderEngine(client)
+        recs = engine.rank_by_ctr("u", ["ad-bad", "ad-good", "ad-new"], 3,
+                                  profiles.get)
+        assert recs[0].item_id == "ad-good"
+        # unseen ad falls back to the prior
+        new = next(r for r in recs if r.item_id == "ad-new")
+        assert new.score == pytest.approx(EngineConfig().prior_ctr)

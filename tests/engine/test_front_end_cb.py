@@ -1,0 +1,94 @@
+"""Front-end CB mode and engine query options."""
+
+import pytest
+
+from repro.engine import EngineConfig, RecommenderEngine, RecommenderFrontEnd
+from repro.storm import LocalCluster
+from repro.tdstore import TDStoreCluster
+from repro.topology import StateKeys
+from repro.topology.framework import build_cb_topology
+from repro.types import UserAction
+from repro.utils.clock import SimClock
+
+METAS = [
+    {"item": "n1", "tags": ("sports",), "category": "news",
+     "publish_time": 0.0, "lifetime": None},
+    {"item": "n2", "tags": ("sports",), "category": "news",
+     "publish_time": 0.0, "lifetime": None},
+    {"item": "n3", "tags": ("politics",), "category": "news",
+     "publish_time": 0.0, "lifetime": None},
+    {"item": "dead", "tags": ("sports",), "category": "news",
+     "publish_time": 0.0, "lifetime": 50.0},
+]
+
+
+@pytest.fixture
+def cb_world():
+    clock = SimClock()
+    store = TDStoreCluster(num_data_servers=2, num_instances=8)
+    actions = [UserAction("u1", "n1", "click", 10.0)]
+    topo = build_cb_topology("cb", actions, METAS, clock, store.client)
+    cluster = LocalCluster(clock=clock)
+    cluster.submit(topo)
+    cluster.run_until_idle()
+    return store, clock
+
+
+class TestEngineCB:
+    def test_recommends_matching_live_items(self, cb_world):
+        store, clock = cb_world
+        engine = RecommenderEngine(store.client())
+        recs = engine.recommend_cb("u1", 5, now=100.0)
+        ids = [r.item_id for r in recs]
+        assert "n2" in ids  # same topic, alive
+        assert "n1" not in ids  # consumed
+        assert "dead" not in ids  # expired at t=100
+
+    def test_cold_user_empty(self, cb_world):
+        store, __ = cb_world
+        engine = RecommenderEngine(store.client())
+        assert engine.recommend_cb("ghost", 5, now=100.0) == []
+
+
+class TestFrontEndCB:
+    def test_cb_mode_serves(self, cb_world):
+        store, __ = cb_world
+        front = RecommenderFrontEnd(
+            RecommenderEngine(store.client()), algorithm="cb"
+        )
+        recs = front.query("u1", 3, now=100.0)
+        assert recs
+        assert front.log.served == 1
+
+    def test_empty_logged(self, cb_world):
+        store, __ = cb_world
+        front = RecommenderFrontEnd(
+            RecommenderEngine(store.client()), algorithm="cb"
+        )
+        assert front.query("ghost", 3, now=100.0) == []
+        assert front.log.empty == 1
+
+
+class TestEngineAR:
+    def test_ar_rules_from_store(self, cb_world):
+        store, __ = cb_world
+        client = store.client()
+        client.put(StateKeys.ar_item("A"), 4.0)
+        client.put(StateKeys.ar_pair("A", "B"), 3.0)
+        client.put(StateKeys.ar_partners("A"), {"B"})
+        engine = RecommenderEngine(client)
+        recs = engine.recommend_ar(
+            "u", 3, now=0.0, session_items=["A"], min_support=2,
+            min_confidence=0.5,
+        )
+        assert [r.item_id for r in recs] == ["B"]
+        assert recs[0].score == pytest.approx(0.75)
+
+    def test_ar_below_support_excluded(self, cb_world):
+        store, __ = cb_world
+        client = store.client()
+        client.put(StateKeys.ar_item("A"), 4.0)
+        client.put(StateKeys.ar_pair("A", "B"), 1.0)
+        client.put(StateKeys.ar_partners("A"), {"B"})
+        engine = RecommenderEngine(client)
+        assert engine.recommend_ar("u", 3, 0.0, ["A"], min_support=2) == []

@@ -1,0 +1,198 @@
+"""Tests for the composite evaluation engines."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.evaluation.engines import (
+    PriceIndex,
+    SimilarPriceEngine,
+    SimilarPurchaseEngine,
+    TencentRecCBEngine,
+    TencentRecCFEngine,
+    TencentRecCTREngine,
+    make_original,
+)
+from repro.types import ItemMeta, UserAction, UserProfile
+
+PROFILES = {
+    "u1": UserProfile("u1", gender="male", age=25, region="beijing"),
+    "u2": UserProfile("u2", gender="male", age=26, region="beijing"),
+}
+
+
+def profile_of(user_id):
+    return PROFILES.get(user_id)
+
+
+def co_clicks(a, b, users=8, t0=0.0):
+    actions = []
+    t = t0
+    for n in range(users):
+        actions.append(UserAction(f"co{n}", a, "click", t))
+        actions.append(UserAction(f"co{n}", b, "click", t + 1))
+        t += 2
+    return actions
+
+
+class TestTencentRecCFEngine:
+    def test_learns_and_recommends(self):
+        engine = TencentRecCFEngine(profile_of, session_seconds=None,
+                                    window_sessions=None)
+        for action in co_clicks("A", "B"):
+            engine.observe(action)
+        engine.observe(UserAction("u1", "A", "click", 100.0))
+        recs = engine.recommend("u1", 3, 101.0)
+        assert recs and recs[0].item_id == "B"
+
+    def test_unknown_actions_tolerated(self):
+        engine = TencentRecCFEngine(profile_of)
+        engine.observe(UserAction("u1", "A", "impression", 0.0))  # no crash
+        assert engine.recommend("u1", 3, 1.0) == []
+
+    def test_item_alive_filter(self):
+        dead = {"B"}
+        engine = TencentRecCFEngine(
+            profile_of,
+            session_seconds=None,
+            window_sessions=None,
+            item_alive=lambda item, now: item not in dead,
+        )
+        for action in co_clicks("A", "B"):
+            engine.observe(action)
+        engine.observe(UserAction("u1", "A", "click", 100.0))
+        recs = engine.recommend("u1", 3, 101.0)
+        assert all(r.item_id != "B" for r in recs)
+
+    def test_db_complement_for_cold_user(self):
+        engine = TencentRecCFEngine(profile_of)
+        for action in co_clicks("A", "B"):
+            engine.observe(action)
+        recs = engine.recommend("u2", 2, 50.0)
+        assert recs  # never acted, still served via demographics
+        assert all(r.source == "db" for r in recs)
+
+
+class TestTencentRecCBEngine:
+    def make(self):
+        engine = TencentRecCBEngine(profile_of, freshness_tau=None)
+        engine.on_new_item(ItemMeta("n1", category="news", tags=("sports",)))
+        engine.on_new_item(ItemMeta("n2", category="news", tags=("sports",)))
+        return engine
+
+    def test_learns_content_profile(self):
+        engine = self.make()
+        engine.observe(UserAction("u1", "n1", "click", 0.0))
+        recs = engine.recommend("u1", 2, 1.0)
+        assert [r.item_id for r in recs] == ["n2"]
+
+
+class TestTencentRecCTREngine:
+    def test_ranks_by_ctr(self):
+        engine = TencentRecCTREngine(profile_of)
+        engine.on_new_item(ItemMeta("ad1"))
+        engine.on_new_item(ItemMeta("ad2"))
+        for __ in range(100):
+            engine.observe(UserAction("u1", "ad1", "impression", 0.0))
+            engine.observe(UserAction("u1", "ad2", "impression", 0.0))
+        for __ in range(40):
+            engine.observe(UserAction("u1", "ad1", "click", 0.0))
+        recs = engine.recommend("u2", 2, 1.0)
+        assert recs[0].item_id == "ad1"
+
+    def test_browse_counts_as_impression(self):
+        engine = TencentRecCTREngine(profile_of)
+        engine.on_new_item(ItemMeta("ad1"))
+        engine.observe(UserAction("u1", "ad1", "browse", 0.0))
+        impressions, __ = engine.ctr.ctr.raw_counts(
+            "ad1", PROFILES["u1"], 0.0
+        )
+        assert impressions == 1.0
+
+
+class TestAnchoredEngines:
+    def test_similar_purchase_needs_anchor(self):
+        engine = SimilarPurchaseEngine(profile_of)
+        with pytest.raises(EvaluationError, match="anchor"):
+            engine.recommend("u1", 3, 0.0)
+
+    def test_similar_purchase_recommends_co_bought(self):
+        engine = SimilarPurchaseEngine(profile_of)
+        t = 0.0
+        for n in range(8):
+            engine.observe(UserAction(f"b{n}", "laptop", "purchase", t))
+            engine.observe(UserAction(f"b{n}", "mouse", "purchase", t + 1))
+            t += 2
+        recs = engine.recommend("u1", 3, t, context={"anchor": "laptop"})
+        assert recs and recs[0].item_id == "mouse"
+
+    def test_similar_price_restricts_to_band(self):
+        index = PriceIndex()
+        engine = SimilarPriceEngine(profile_of, index)
+        engine.on_new_item(ItemMeta("cheap", price=10.0))
+        engine.on_new_item(ItemMeta("mid", price=100.0))
+        engine.on_new_item(ItemMeta("mid2", price=110.0))
+        engine.on_new_item(ItemMeta("lux", price=1000.0))
+        for action in co_clicks("mid", "mid2") + co_clicks("mid", "lux"):
+            engine.observe(action)
+        recs = engine.recommend("u1", 5, 100.0, context={"anchor": "mid"})
+        ids = [r.item_id for r in recs]
+        assert "mid2" in ids
+        assert "lux" not in ids and "cheap" not in ids
+
+    def test_similar_price_unknown_anchor_price(self):
+        engine = SimilarPriceEngine(profile_of, PriceIndex())
+        assert engine.recommend("u1", 3, 0.0, context={"anchor": "x"}) == []
+
+
+class TestPriceIndex:
+    def test_near_band(self):
+        index = PriceIndex()
+        for item, price in [("a", 80.0), ("b", 100.0), ("c", 120.0),
+                            ("d", 200.0)]:
+            index.add(item, price)
+        assert set(index.near(100.0, tolerance=0.25)) == {"a", "b", "c"}
+
+    def test_none_prices_skipped(self):
+        index = PriceIndex()
+        index.add("a", None)
+        assert len(index) == 0
+
+    def test_duplicate_adds_ignored(self):
+        index = PriceIndex()
+        index.add("a", 10.0)
+        index.add("a", 20.0)
+        assert index.price_of("a") == 10.0
+
+
+class TestMakeOriginal:
+    def test_serve_time_consumed_filter_is_realtime(self):
+        """Even a daily-stale model must not re-show what the user just
+        consumed: the display layer filters in real time (Section 6.4)."""
+        inner = TencentRecCFEngine(profile_of, session_seconds=None,
+                                   window_sessions=None)
+        original = make_original(inner, update_interval=86400.0)
+        for action in co_clicks("A", "B") + co_clicks("A", "C"):
+            original.observe(action)
+        original.observe(UserAction("u1", "A", "click", 100.0))
+        # past the boundary: the model knows A~B and A~C
+        recs = original.recommend("u1", 3, 86500.0)
+        assert {r.item_id for r in recs} >= {"B", "C"}
+        # the user consumes B *now*; the frozen model cannot know, but
+        # the serving layer does
+        original.observe(UserAction("u1", "B", "click", 86600.0))
+        recs = original.recommend("u1", 3, 86700.0)
+        assert all(r.item_id != "B" for r in recs)
+
+    def test_delays_item_announcements(self):
+        inner = TencentRecCBEngine(profile_of, freshness_tau=None)
+        original = make_original(inner, update_interval=3600.0)
+        original.on_new_item(
+            ItemMeta("n1", category="news", tags=("sports",), publish_time=0.0)
+        )
+        original.observe(UserAction("u1", "n1", "click", 10.0))
+        # before the boundary: inner knows nothing
+        assert original.recommend("u1", 3, 100.0) == []
+        assert not inner.cb.knows_item("n1")
+        # after the boundary the item and the click are absorbed
+        original.recommend("u1", 3, 3700.0)
+        assert inner.cb.knows_item("n1")

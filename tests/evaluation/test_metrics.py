@@ -1,0 +1,105 @@
+"""Tests for evaluation metrics and reporting."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.evaluation.metrics import ABResult, CohortSeries, DailyStats
+from repro.evaluation.reporting import (
+    format_daily_ctr_series,
+    format_improvement_table,
+    summarize_improvements,
+)
+
+
+def make_result():
+    treatment = CohortSeries("tencentrec")
+    control = CohortSeries("original")
+    # three days: ctr pairs (0.10 vs 0.08), (0.12 vs 0.10), (0.09 vs 0.09)
+    for day, (t, c) in enumerate([(0.10, 0.08), (0.12, 0.10), (0.09, 0.09)]):
+        t_day = treatment.day(day)
+        t_day.impressions, t_day.clicks, t_day.cohort_size = 1000, int(t * 1000), 100
+        c_day = control.day(day)
+        c_day.impressions, c_day.clicks, c_day.cohort_size = 1000, int(c * 1000), 100
+    return ABResult("news", {"tencentrec": treatment, "original": control}, 3)
+
+
+class TestDailyStats:
+    def test_ctr(self):
+        stats = DailyStats(impressions=200, clicks=30)
+        assert stats.ctr() == pytest.approx(0.15)
+
+    def test_ctr_no_impressions(self):
+        assert DailyStats().ctr() == 0.0
+
+    def test_reads_per_user(self):
+        stats = DailyStats(clicks=50, cohort_size=25)
+        assert stats.reads_per_user() == 2.0
+
+    def test_reads_no_cohort(self):
+        assert DailyStats(clicks=5).reads_per_user() == 0.0
+
+
+class TestABResult:
+    def test_daily_improvements(self):
+        result = make_result()
+        improvements = result.daily_improvements("tencentrec", "original")
+        assert improvements[0] == pytest.approx(25.0)
+        assert improvements[1] == pytest.approx(20.0)
+        assert improvements[2] == pytest.approx(0.0)
+
+    def test_improvement_summary(self):
+        avg, low, high = make_result().improvement_summary(
+            "tencentrec", "original"
+        )
+        assert avg == pytest.approx(15.0)
+        assert low == pytest.approx(0.0)
+        assert high == pytest.approx(25.0)
+
+    def test_zero_control_guarded(self):
+        result = make_result()
+        result.series("original").days[0].clicks = 0
+        improvements = result.daily_improvements("tencentrec", "original")
+        assert improvements[0] == 0.0
+
+    def test_reads_metric(self):
+        result = make_result()
+        improvements = result.daily_improvements(
+            "tencentrec", "original", metric="reads"
+        )
+        assert improvements[0] == pytest.approx(25.0)
+
+    def test_unknown_cohort(self):
+        with pytest.raises(EvaluationError):
+            make_result().series("ghost")
+
+    def test_unknown_metric(self):
+        with pytest.raises(EvaluationError):
+            make_result().daily_improvements("tencentrec", "original", "mse")
+
+    def test_overall_ctr(self):
+        result = make_result()
+        assert result.series("tencentrec").overall_ctr() == pytest.approx(
+            (100 + 120 + 90) / 3000
+        )
+
+
+class TestReporting:
+    def test_daily_series_format(self):
+        text = format_daily_ctr_series(make_result(), "tencentrec", "original")
+        assert "news" in text
+        assert "+25.00%" in text
+        lines = text.splitlines()
+        assert len(lines) == 2 + 3  # header rows + three days
+
+    def test_summary(self):
+        summary = summarize_improvements(make_result(), "tencentrec", "original")
+        assert summary["avg"] == pytest.approx(15.0)
+
+    def test_table1_format(self):
+        rows = [
+            ("News", "CB", {"avg": 6.62, "min": 3.22, "max": 14.5}),
+            ("Videos", "CF", {"avg": 18.17, "min": 7.27, "max": 30.52}),
+        ]
+        text = format_improvement_table(rows)
+        assert "News" in text
+        assert "18.17" in text

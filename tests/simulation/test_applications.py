@@ -1,0 +1,84 @@
+"""Sanity tests for the four application scenario factories."""
+
+import pytest
+
+from repro.simulation import (
+    ads_scenario,
+    ecommerce_scenario,
+    news_scenario,
+    video_scenario,
+)
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return {
+        "news": news_scenario(seed=1, num_users=60, initial_items=40,
+                              arrivals_per_day=48),
+        "video": video_scenario(seed=1, num_users=60, initial_items=50),
+        "ecommerce": ecommerce_scenario(seed=1, num_users=60,
+                                        initial_items=60),
+        "ads": ads_scenario(seed=1, num_users=60, num_ads=20),
+    }
+
+
+class TestScenarioShapes:
+    def test_all_scenarios_build(self, scenarios):
+        for name, scenario in scenarios.items():
+            assert scenario.name == name
+            assert len(scenario.population) == 60
+            assert len(scenario.catalog) > 0
+
+    def test_only_ecommerce_has_prices(self, scenarios):
+        for item in scenarios["ecommerce"].catalog.all_items():
+            assert item.meta.price is not None
+        for name in ("news", "video", "ads"):
+            for item in scenarios[name].catalog.all_items():
+                assert item.meta.price is None
+
+    def test_news_items_expire_within_a_day(self, scenarios):
+        for item in scenarios["news"].catalog.all_items():
+            assert item.meta.lifetime is not None
+            assert item.meta.lifetime <= 86400.0
+
+    def test_video_items_are_evergreen(self, scenarios):
+        for item in scenarios["video"].catalog.all_items():
+            assert item.meta.lifetime is None
+
+    def test_ads_campaigns_are_short(self, scenarios):
+        for item in scenarios["ads"].catalog.all_items():
+            assert item.meta.lifetime == 3 * 86400.0
+
+    def test_news_churns_fastest(self, scenarios):
+        news_born = scenarios["news"].catalog.advance_to(86400.0)
+        video_born = scenarios["video"].catalog.advance_to(86400.0)
+        assert len(news_born) > len(video_born)
+
+    def test_strong_actions_match_domains(self, scenarios):
+        assert scenarios["ecommerce"].behavior.config.strong_action == (
+            "purchase"
+        )
+        assert scenarios["news"].behavior.config.strong_action == "share"
+
+    def test_scenarios_are_deterministic(self):
+        a = news_scenario(seed=9, num_users=30, initial_items=20)
+        b = news_scenario(seed=9, num_users=30, initial_items=20)
+        user_a = a.population.users()[0]
+        user_b = b.population.users()[0]
+        assert (user_a.base_preferences == user_b.base_preferences).all()
+        assert [i.item_id for i in a.catalog.all_items()] == [
+            i.item_id for i in b.catalog.all_items()
+        ]
+
+    def test_different_seeds_differ(self):
+        a = news_scenario(seed=9, num_users=30, initial_items=20)
+        b = news_scenario(seed=10, num_users=30, initial_items=20)
+        prefs_a = a.population.users()[0].base_preferences
+        prefs_b = b.population.users()[0].base_preferences
+        assert (prefs_a != prefs_b).any()
+
+    def test_organic_sessions_run_for_every_scenario(self, scenarios):
+        for name, scenario in scenarios.items():
+            user = scenario.population.users()[0]
+            actions = scenario.behavior.organic_session(user, 3600.0)
+            assert actions, f"{name} produced no organic actions"

@@ -1,0 +1,265 @@
+"""Tests for the behaviour model: drift, affinity, sessions, clicks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.behavior import (
+    BehaviorConfig,
+    BehaviorModel,
+    ClickConfig,
+    ClickModel,
+)
+from repro.simulation.catalog import CatalogConfig, ItemCatalog
+from repro.simulation.population import Population, PopulationConfig
+from repro.types import Recommendation
+from repro.utils.rng import SeedSequenceFactory
+
+
+def make_world(behavior_config=None, catalog_config=None, seed=5):
+    seeds = SeedSequenceFactory(seed)
+    catalog = ItemCatalog(
+        catalog_config or CatalogConfig(num_topics=6, initial_items=120),
+        seeds,
+    )
+    population = Population(
+        PopulationConfig(num_users=50, num_topics=6, anonymous_fraction=0.0),
+        seeds,
+    )
+    behavior = BehaviorModel(
+        population, catalog, behavior_config or BehaviorConfig(), seeds
+    )
+    return catalog, population, behavior, seeds
+
+
+class TestDrift:
+    def test_focus_is_stable_over_short_intervals(self):
+        __, population, behavior, ___ = make_world(
+            BehaviorConfig(drift_rate_per_hour=0.1)
+        )
+        user = population.users()[0]
+        first = behavior.focus_of(user, 0.0)
+        switches = sum(
+            1
+            for i in range(20)
+            if behavior.focus_of(user, (i + 1) * 10.0) != first
+        )
+        assert switches <= 2  # 200 seconds at 0.1/h: switches are rare
+
+    def test_focus_switches_over_long_intervals(self):
+        __, population, behavior, ___ = make_world(
+            BehaviorConfig(drift_rate_per_hour=0.5)
+        )
+        switch_count = 0
+        for user in population.users():
+            previous = behavior.focus_of(user, 0.0)
+            current = behavior.focus_of(user, 48 * 3600.0)
+            if current != previous:
+                switch_count += 1
+        # after 48h at 0.5/h nearly every user should have drifted
+        assert switch_count > len(population.users()) * 0.5
+
+    def test_focus_drawn_from_base_preferences(self):
+        __, population, behavior, ___ = make_world()
+        user = population.users()[0]
+        draws = []
+        for i in range(300):
+            behavior._focus.pop(user.user_id, None)  # force re-draw
+            draws.append(behavior.focus_of(user, 0.0))
+        counts = np.bincount(draws, minlength=6) / len(draws)
+        # the most preferred topic should be drawn most often
+        assert np.argmax(counts) == np.argmax(user.base_preferences)
+
+
+class TestAffinity:
+    def test_bounded(self):
+        catalog, population, behavior, __ = make_world()
+        user = population.users()[0]
+        behavior.focus_of(user, 0.0)
+        for item in catalog.all_items():
+            assert 0.0 <= behavior.affinity(user, item, 0.0) <= 1.0
+
+    def test_focus_topic_scores_higher(self):
+        catalog, population, behavior, __ = make_world(
+            BehaviorConfig(focus_weight=0.8)
+        )
+        user = population.users()[0]
+        focus = behavior.focus_of(user, 0.0)
+        on_focus = [
+            behavior.affinity(user, i, 0.0)
+            for i in catalog.all_items()
+            if i.topic == focus
+        ]
+        off_focus = [
+            behavior.affinity(user, i, 0.0)
+            for i in catalog.all_items()
+            if i.topic != focus
+        ]
+        assert np.mean(on_focus) > 2 * np.mean(off_focus)
+
+    def test_freshness_decays(self):
+        catalog, population, behavior, __ = make_world(
+            BehaviorConfig(freshness_tau=3600.0)
+        )
+        user = population.users()[0]
+        behavior.focus_of(user, 0.0)
+        item = catalog.all_items()[0]
+        fresh = behavior.affinity(user, item, item.meta.publish_time)
+        old = behavior.affinity(user, item, item.meta.publish_time + 7200.0)
+        assert old < fresh
+
+
+class TestOrganicSessions:
+    def test_session_produces_valid_actions(self):
+        catalog, population, behavior, __ = make_world()
+        user = population.users()[0]
+        actions = behavior.organic_session(user, 100.0)
+        assert actions
+        for action in actions:
+            assert action.user_id == user.user_id
+            assert action.action in ("browse", "click", "share")
+            assert action.timestamp == 100.0
+            catalog.get(action.item_id)  # item must exist
+
+    def test_sessions_biased_to_focus_topic(self):
+        catalog, population, behavior, __ = make_world(
+            BehaviorConfig(focus_weight=0.9, items_per_session=2.0)
+        )
+        user = population.users()[0]
+        focus = behavior.focus_of(user, 0.0)
+        picks = []
+        for i in range(60):
+            behavior._focus[user.user_id].topic = focus  # pin the focus
+            for action in behavior.organic_session(user, float(i)):
+                if action.action == "browse":
+                    picks.append(catalog.get(action.item_id).topic)
+        match = sum(1 for topic in picks if topic == focus) / len(picks)
+        assert match > 0.6
+
+    def test_bursts_redirect_attention(self):
+        catalog, population, behavior, __ = make_world()
+        burst_item = catalog.all_items()[0].item_id
+        behavior.add_burst(burst_item, start=0.0, end=1000.0, intensity=0.9)
+        hits = 0
+        total = 0
+        for user in population.users():
+            for action in behavior.organic_session(user, 500.0):
+                if action.action == "browse":
+                    total += 1
+                    if action.item_id == burst_item:
+                        hits += 1
+        assert hits / total > 0.5
+
+    def test_burst_outside_window_inactive(self):
+        catalog, population, behavior, __ = make_world()
+        burst_item = catalog.all_items()[0].item_id
+        behavior.add_burst(burst_item, start=0.0, end=10.0, intensity=1.0)
+        user = population.users()[0]
+        actions = behavior.organic_session(user, 5000.0)
+        # not everything redirected (burst expired)
+        assert any(a.item_id != burst_item for a in actions)
+
+    def test_invalid_burst_intensity(self):
+        __, ___, behavior, ____ = make_world()
+        with pytest.raises(SimulationError):
+            behavior.add_burst("x", 0.0, 1.0, intensity=2.0)
+
+
+class TestClickModel:
+    def make_clicks(self, click_config=None):
+        catalog, population, behavior, seeds = make_world()
+        model = ClickModel(
+            behavior, click_config or ClickConfig(), seeds
+        )
+        return catalog, population, behavior, model
+
+    def recs_for(self, catalog, items):
+        return [Recommendation(i, 1.0) for i in items]
+
+    def test_impressions_counted(self):
+        catalog, population, __, model = self.make_clicks()
+        user = population.users()[0]
+        item_ids = [i.item_id for i in catalog.all_items()[:5]]
+        outcome = model.simulate(user, self.recs_for(catalog, item_ids), 0.0)
+        assert outcome.impressions == 5
+
+    def test_high_affinity_items_clicked_more(self):
+        catalog, population, behavior, model = self.make_clicks(
+            ClickConfig(base_click_probability=0.9)
+        )
+        clicks_on_focus, clicks_off_focus = 0, 0
+        for user in population.users():
+            focus = behavior.focus_of(user, 0.0)
+            on = [i.item_id for i in catalog.all_items() if i.topic == focus][:3]
+            off = [i.item_id for i in catalog.all_items() if i.topic != focus][:3]
+            for __ in range(5):
+                clicks_on_focus += len(
+                    model.simulate(
+                        user, self.recs_for(catalog, on), 0.0,
+                        advance_focus=False,
+                    ).clicks
+                )
+                clicks_off_focus += len(
+                    model.simulate(
+                        user, self.recs_for(catalog, off), 0.0,
+                        advance_focus=False,
+                    ).clicks
+                )
+        assert clicks_on_focus > clicks_off_focus
+
+    def test_dead_items_never_clicked(self):
+        catalog, population, behavior, __ = make_world(
+            catalog_config=CatalogConfig(
+                num_topics=6, initial_items=20, item_lifetime=10.0
+            )
+        )
+        seeds = SeedSequenceFactory(9)
+        model = ClickModel(behavior, ClickConfig(base_click_probability=1.0),
+                           seeds)
+        user = population.users()[0]
+        item_ids = [i.item_id for i in catalog.all_items()[:5]]
+        outcome = model.simulate(
+            user, self.recs_for(catalog, item_ids), now=100.0
+        )
+        assert outcome.clicks == []
+        assert outcome.impressions == 5
+
+    def test_common_random_numbers_pair_identical_slates(self):
+        catalog, population, __, model = self.make_clicks()
+        user = population.users()[0]
+        item_ids = [i.item_id for i in catalog.all_items()[:5]]
+        uniforms = model.draw_uniforms(5)
+        a = model.simulate(
+            user, self.recs_for(catalog, item_ids), 0.0,
+            uniforms=uniforms, advance_focus=False,
+        )
+        b = model.simulate(
+            user, self.recs_for(catalog, item_ids), 0.0,
+            uniforms=uniforms, advance_focus=False,
+        )
+        assert a.clicks == b.clicks
+
+    def test_position_discount(self):
+        """The same item clicked more at position 0 than at position 9."""
+        catalog, population, behavior, model = self.make_clicks(
+            ClickConfig(base_click_probability=0.8, position_discount=0.5)
+        )
+        user = population.users()[0]
+        behavior.focus_of(user, 0.0)
+        best = max(
+            catalog.all_items(),
+            key=lambda i: behavior.affinity(user, i, 0.0),
+        )
+        filler = [i.item_id for i in catalog.all_items()[:9]]
+        front, back = 0, 0
+        for __ in range(300):
+            front += len(
+                model.simulate(
+                    user, self.recs_for(catalog, [best.item_id]), 0.0,
+                    advance_focus=False,
+                ).clicks
+            )
+            recs = self.recs_for(catalog, filler + [best.item_id])
+            outcome = model.simulate(user, recs, 0.0, advance_focus=False)
+            back += sum(1 for c in outcome.clicks if c == best.item_id)
+        assert front > back

@@ -1,0 +1,107 @@
+"""Tests for the synthetic item catalog."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.catalog import CatalogConfig, ItemCatalog
+from repro.utils.rng import SeedSequenceFactory
+
+
+def make_catalog(**kwargs):
+    defaults = dict(num_topics=6, initial_items=50)
+    defaults.update(kwargs)
+    return ItemCatalog(CatalogConfig(**defaults), SeedSequenceFactory(1))
+
+
+class TestCatalogBasics:
+    def test_initial_items_exist(self):
+        catalog = make_catalog()
+        assert len(catalog) == 50
+        assert len(catalog.active_items(0.0)) == 50
+
+    def test_items_have_topic_tags(self):
+        catalog = make_catalog(tags_per_item=2)
+        for item in catalog.all_items():
+            assert f"topic-{item.topic}" in item.meta.tags
+            assert item.meta.category == f"topic-{item.topic}"
+
+    def test_topics_cover_range(self):
+        catalog = make_catalog(initial_items=200)
+        topics = {item.topic for item in catalog.all_items()}
+        assert topics == set(range(6))
+
+    def test_unknown_item_raises(self):
+        with pytest.raises(SimulationError):
+            make_catalog().get("ghost")
+
+    def test_deterministic(self):
+        a = make_catalog().all_items()
+        b = make_catalog().all_items()
+        assert [i.item_id for i in a] == [i.item_id for i in b]
+        assert [i.topic for i in a] == [i.topic for i in b]
+
+    def test_quality_in_unit_interval(self):
+        for item in make_catalog().all_items():
+            assert 0.0 < item.quality <= 1.0
+
+
+class TestArrivalsAndLifetime:
+    def test_arrivals_spawn_over_time(self):
+        catalog = make_catalog(arrivals_per_day=24)
+        born = catalog.advance_to(6 * 3600.0)  # a quarter day
+        assert len(born) == 6
+        assert len(catalog) == 56
+
+    def test_no_arrivals_when_disabled(self):
+        catalog = make_catalog(arrivals_per_day=0)
+        assert catalog.advance_to(86400.0) == []
+
+    def test_advance_is_incremental(self):
+        catalog = make_catalog(arrivals_per_day=24)
+        first = catalog.advance_to(3600.0)
+        second = catalog.advance_to(7200.0)
+        assert len(first) == 1
+        assert len(second) == 1
+
+    def test_items_expire(self):
+        catalog = make_catalog(item_lifetime=3600.0)
+        assert len(catalog.active_items(1800.0)) == 50
+        assert len(catalog.active_items(4000.0)) == 0
+
+    def test_new_items_outlive_old(self):
+        catalog = make_catalog(item_lifetime=3600.0, arrivals_per_day=24)
+        born = catalog.advance_to(5000.0)
+        active = catalog.active_items(5000.0)
+        assert all(item.meta.publish_time > 0 for item in active)
+        assert len(active) == len([b for b in born if b.meta.is_active(5000.0)])
+
+
+class TestPrices:
+    def test_no_prices_by_default(self):
+        for item in make_catalog().all_items():
+            assert item.meta.price is None
+
+    def test_prices_within_range(self):
+        catalog = make_catalog(price_range=(10.0, 1000.0), initial_items=100)
+        for item in catalog.all_items():
+            assert 10.0 <= item.meta.price <= 1000.0
+
+    def test_prices_cluster_by_topic(self):
+        """Topic-price niches: within-topic price spread is much smaller
+        than the catalog-wide spread (what makes the similar-price
+        position topically meaningful)."""
+        import numpy as np
+
+        catalog = make_catalog(price_range=(5.0, 2000.0), initial_items=300)
+        log_prices = {}
+        for item in catalog.all_items():
+            log_prices.setdefault(item.topic, []).append(np.log(item.meta.price))
+        within = np.mean([np.std(v) for v in log_prices.values() if len(v) > 3])
+        overall = np.std([p for v in log_prices.values() for p in v])
+        assert within < overall * 0.7
+
+    def test_config_validation(self):
+        with pytest.raises(SimulationError):
+            CatalogConfig(num_topics=0)
+        with pytest.raises(SimulationError):
+            CatalogConfig(initial_items=0)

@@ -1,0 +1,89 @@
+"""Tests for the synthetic population."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.population import Population, PopulationConfig
+from repro.utils.rng import SeedSequenceFactory
+
+
+def make_population(**kwargs):
+    defaults = dict(num_users=200, num_topics=8)
+    defaults.update(kwargs)
+    return Population(PopulationConfig(**defaults), SeedSequenceFactory(3))
+
+
+class TestPopulation:
+    def test_size(self):
+        assert len(make_population()) == 200
+
+    def test_preferences_are_distributions(self):
+        for user in make_population().users():
+            assert user.base_preferences.shape == (8,)
+            assert user.base_preferences.sum() == pytest.approx(1.0)
+            assert (user.base_preferences >= 0).all()
+
+    def test_anonymous_fraction(self):
+        population = make_population(num_users=1000, anonymous_fraction=0.2)
+        anonymous = sum(
+            1 for u in population.users() if u.profile.gender is None
+        )
+        assert 120 <= anonymous <= 280
+
+    def test_profiles_have_demographics(self):
+        population = make_population(anonymous_fraction=0.0)
+        for user in population.users():
+            assert user.profile.gender in ("male", "female")
+            assert 14 <= user.profile.age < 70
+            assert user.profile.region is not None
+
+    def test_activity_mean_normalized(self):
+        population = make_population(num_users=500)
+        activities = [u.activity for u in population.users()]
+        assert np.mean(activities) == pytest.approx(1.0)
+        assert max(activities) > 2.0  # heavy-tailed
+
+    def test_demographic_groups_share_tastes(self):
+        """Users in one demographic group correlate more with their group
+        mean than with the other groups' means — the premise of §4.2."""
+        population = make_population(num_users=800, anonymous_fraction=0.0)
+        groups: dict[int, list[np.ndarray]] = {}
+        for user in population.users():
+            index = Population._group_index(user.profile.gender, user.profile.age)
+            groups.setdefault(index, []).append(user.base_preferences)
+        means = {g: np.mean(v, axis=0) for g, v in groups.items() if len(v) > 20}
+        own_sims, other_sims = [], []
+        for g, members in groups.items():
+            if g not in means:
+                continue
+            for preferences in members[:30]:
+                for h, mean in means.items():
+                    sim = float(
+                        preferences @ mean
+                        / (np.linalg.norm(preferences) * np.linalg.norm(mean))
+                    )
+                    (own_sims if h == g else other_sims).append(sim)
+        assert np.mean(own_sims) > np.mean(other_sims)
+
+    def test_profile_lookup(self):
+        population = make_population()
+        user = population.users()[0]
+        assert population.profile(user.user_id) == user.profile
+        assert population.profile("ghost") is None
+
+    def test_unknown_user_raises(self):
+        with pytest.raises(SimulationError):
+            make_population().get("ghost")
+
+    def test_deterministic(self):
+        a = make_population().users()[0]
+        b = make_population().users()[0]
+        assert (a.base_preferences == b.base_preferences).all()
+        assert a.profile == b.profile
+
+    def test_config_validation(self):
+        with pytest.raises(SimulationError):
+            PopulationConfig(num_users=0)
+        with pytest.raises(SimulationError):
+            PopulationConfig(anonymous_fraction=1.5)

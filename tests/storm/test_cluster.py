@@ -1,0 +1,239 @@
+"""Integration tests for the simulated local cluster."""
+
+import pytest
+
+from repro.errors import ClusterStateError
+from repro.storm import (
+    FieldsGrouping,
+    GlobalGrouping,
+    LocalCluster,
+    ShuffleGrouping,
+    TopologyBuilder,
+)
+from repro.utils.clock import SimClock
+
+from tests.storm.helpers import (
+    CollectBolt,
+    CountBolt,
+    ExplodingBolt,
+    ListSpout,
+    SplitBolt,
+)
+
+SENTENCES = [
+    ("the cat sat on the mat",),
+    ("the dog sat on the log",),
+    ("the cat chased the dog",),
+]
+
+
+def wordcount_topology(count_parallelism=3):
+    builder = TopologyBuilder("wordcount")
+    builder.add_spout("spout", lambda: ListSpout(SENTENCES, ("sentence",)))
+    builder.add_bolt("split", SplitBolt, parallelism=2).grouping(
+        "spout", ShuffleGrouping()
+    )
+    builder.add_bolt("count", CountBolt, parallelism=count_parallelism).grouping(
+        "split", FieldsGrouping(["word"]), stream_id="words"
+    )
+    return builder.build()
+
+
+def merged_counts(cluster, topology_name, component, parallelism):
+    merged: dict[str, int] = {}
+    for index in range(parallelism):
+        bolt = cluster.task_instance(topology_name, component, index)
+        for key, value in bolt.counts.items():
+            merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+class TestWordCount:
+    def test_counts_are_correct(self):
+        cluster = LocalCluster()
+        cluster.submit(wordcount_topology())
+        cluster.run_until_idle()
+        counts = merged_counts(cluster, "wordcount", "count", 3)
+        assert counts["the"] == 6
+        assert counts["cat"] == 2
+        assert counts["sat"] == 2
+        assert counts["log"] == 1
+
+    def test_fields_grouping_pins_key_to_single_task(self):
+        cluster = LocalCluster()
+        cluster.submit(wordcount_topology(count_parallelism=4))
+        cluster.run_until_idle()
+        holders = []
+        for index in range(4):
+            bolt = cluster.task_instance("wordcount", "count", index)
+            if "the" in bolt.counts:
+                holders.append(index)
+        assert len(holders) == 1
+        only = cluster.task_instance("wordcount", "count", holders[0])
+        assert only.counts["the"] == 6
+
+    def test_metrics_track_execution(self):
+        cluster = LocalCluster()
+        metrics = cluster.submit(wordcount_topology())
+        cluster.run_until_idle()
+        assert metrics.component_executed("split") == 3
+        total_words = sum(len(s[0].split()) for s in SENTENCES)
+        assert metrics.component_executed("count") == total_words
+        assert metrics.component_emitted("spout") == 3
+
+    def test_run_is_deterministic(self):
+        results = []
+        for _ in range(2):
+            cluster = LocalCluster()
+            cluster.submit(wordcount_topology())
+            cluster.run_until_idle()
+            per_task = {
+                index: dict(
+                    cluster.task_instance("wordcount", "count", index).counts
+                )
+                for index in range(3)
+            }
+            results.append(per_task)
+        assert results[0] == results[1]
+
+
+class TestClusterLifecycle:
+    def test_double_submit_rejected(self):
+        cluster = LocalCluster()
+        cluster.submit(wordcount_topology())
+        with pytest.raises(ClusterStateError, match="already submitted"):
+            cluster.submit(wordcount_topology())
+
+    def test_kill_topology_removes_it(self):
+        cluster = LocalCluster()
+        cluster.submit(wordcount_topology())
+        cluster.kill_topology("wordcount")
+        with pytest.raises(KeyError):
+            cluster.metrics("wordcount")
+
+    def test_two_topologies_run_independently(self):
+        cluster = LocalCluster()
+        cluster.submit(wordcount_topology())
+        builder = TopologyBuilder("other")
+        builder.add_spout("s", lambda: ListSpout([("a",), ("b",)], ("word",)))
+        builder.add_bolt("c", CountBolt).grouping("s", GlobalGrouping())
+        cluster.submit(builder.build())
+        cluster.run_until_idle()
+        assert merged_counts(cluster, "wordcount", "count", 3)["the"] == 6
+        other = cluster.task_instance("other", "c", 0)
+        assert other.counts == {"a": 1, "b": 1}
+
+
+class TestAcking:
+    def ack_topology(self):
+        builder = TopologyBuilder("acked")
+        builder.add_spout(
+            "spout",
+            lambda: ListSpout(SENTENCES, ("sentence",), ack_ids=True),
+        )
+        builder.add_bolt("split", SplitBolt).grouping("spout", ShuffleGrouping())
+        builder.add_bolt("count", CountBolt).grouping(
+            "split", FieldsGrouping(["word"]), stream_id="words"
+        )
+        return builder.build()
+
+    def test_spout_receives_acks_for_complete_trees(self):
+        cluster = LocalCluster()
+        metrics = cluster.submit(self.ack_topology())
+        cluster.run_until_idle()
+        spout = cluster.task_instance("acked", "spout", 0)
+        assert sorted(spout.acked) == [0, 1, 2]
+        assert spout.failed == []
+        assert metrics.trees_completed == 3
+        assert metrics.trees_failed == 0
+
+    def test_exception_fails_tree(self):
+        builder = TopologyBuilder("failing")
+        builder.add_spout(
+            "spout", lambda: ListSpout([("ok",), ("bad",)], ("word",), ack_ids=True)
+        )
+        builder.add_bolt("boom", lambda: ExplodingBolt("bad")).grouping(
+            "spout", ShuffleGrouping()
+        )
+        cluster = LocalCluster()
+        cluster.submit(builder.build())
+        with pytest.raises(ValueError, match="boom"):
+            cluster.run_until_idle()
+        spout = cluster.task_instance("failing", "spout", 0)
+        assert 1 in spout.failed
+
+
+class TestFailureInjection:
+    def test_killed_task_loses_local_state(self):
+        cluster = LocalCluster()
+        cluster.submit(wordcount_topology(count_parallelism=1))
+        cluster.run_until_idle()
+        before = dict(cluster.task_instance("wordcount", "count", 0).counts)
+        assert before
+        cluster.kill_task("wordcount", "count", 0)
+        after = cluster.task_instance("wordcount", "count", 0).counts
+        assert after == {}
+        assert cluster.metrics("wordcount").task_restarts == 1
+
+    def test_kill_unknown_task_rejected(self):
+        cluster = LocalCluster()
+        cluster.submit(wordcount_topology())
+        with pytest.raises(ClusterStateError):
+            cluster.kill_task("wordcount", "count", 99)
+
+    def test_kill_worker_restarts_all_its_tasks(self):
+        cluster = LocalCluster(num_supervisors=1, slots_per_supervisor=1)
+        cluster.submit(wordcount_topology(count_parallelism=2))
+        cluster.run_until_idle()
+        worker = cluster.assignment_of("wordcount", "count", 0)
+        cluster.kill_worker(worker)
+        # single slot => everything was on it
+        assert cluster.metrics("wordcount").task_restarts == 5
+
+    def test_queued_tuples_survive_task_restart(self):
+        builder = TopologyBuilder("replay")
+        builder.add_spout("s", lambda: ListSpout([("a",), ("b",)], ("word",)))
+        builder.add_bolt("c", CollectBolt).grouping("s", GlobalGrouping())
+        cluster = LocalCluster()
+        cluster.submit(builder.build())
+        # poll the spout without draining, then kill the bolt
+        for run in cluster._running.values():
+            for task in run.tasks.values():
+                if task.component_name == "s":
+                    task.instance.next_tuple()
+                    task.instance.next_tuple()
+        cluster.kill_task("replay", "c", 0)
+        cluster.run_until_idle()
+        bolt = cluster.task_instance("replay", "c", 0)
+        assert bolt.seen == [("a",), ("b",)]
+
+
+class TestTicks:
+    def test_ticks_fire_when_clock_crosses_interval(self):
+        class TickingBolt(CollectBolt):
+            def __init__(self):
+                super().__init__()
+                self.ticks = []
+
+            def tick(self, now):
+                self.ticks.append(now)
+
+        clock = SimClock()
+
+        class AdvancingSpout(ListSpout):
+            def next_tuple(self):
+                clock.advance(10.0)
+                return super().next_tuple()
+
+        builder = TopologyBuilder("ticking")
+        builder.add_spout(
+            "s", lambda: AdvancingSpout([("a",)] * 5, ("word",))
+        )
+        builder.add_bolt("t", TickingBolt).grouping("s", GlobalGrouping())
+        cluster = LocalCluster(clock=clock, tick_interval=20.0)
+        cluster.submit(builder.build())
+        cluster.run_until_idle()
+        bolt = cluster.task_instance("ticking", "t", 0)
+        # 5 polls x 10s = 50s simulated; interval ticks at 20s and 40s,
+        # plus the final flush tick at end of stream.
+        assert len(bolt.ticks) >= 3

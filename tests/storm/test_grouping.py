@@ -1,0 +1,84 @@
+"""Unit tests for stream groupings."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.storm.grouping import (
+    AllGrouping,
+    FieldsGrouping,
+    GlobalGrouping,
+    ShuffleGrouping,
+)
+from repro.storm.tuples import StormTuple
+
+
+def tup(user, item="i1"):
+    return StormTuple((user, item), ("user", "item"), "s", "src")
+
+
+class TestFieldsGrouping:
+    def test_same_key_same_task(self):
+        g = FieldsGrouping(["user"])
+        first = g.select_tasks(tup("u1"), 8)
+        for _ in range(5):
+            assert g.select_tasks(tup("u1", item="other"), 8) == first
+
+    def test_different_keys_spread_over_tasks(self):
+        g = FieldsGrouping(["user"])
+        targets = {g.select_tasks(tup(f"u{i}"), 8)[0] for i in range(200)}
+        assert len(targets) == 8
+
+    def test_single_target_per_tuple(self):
+        g = FieldsGrouping(["user"])
+        assert len(g.select_tasks(tup("u1"), 4)) == 1
+
+    def test_multi_field_key(self):
+        g = FieldsGrouping(["user", "item"])
+        a = g.select_tasks(tup("u1", "i1"), 16)
+        b = g.select_tasks(tup("u1", "i2"), 16)
+        # keys differ, may or may not collide, but repeated key is stable
+        assert g.select_tasks(tup("u1", "i1"), 16) == a
+        assert g.select_tasks(tup("u1", "i2"), 16) == b
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(TopologyError):
+            FieldsGrouping([])
+
+    def test_validate_checks_upstream_fields(self):
+        g = FieldsGrouping(["missing"])
+        with pytest.raises(TopologyError, match="missing"):
+            g.validate(("user", "item"))
+
+    def test_deterministic_across_instances(self):
+        a = FieldsGrouping(["user"])
+        b = FieldsGrouping(["user"])
+        for i in range(50):
+            t = tup(f"u{i}")
+            assert a.select_tasks(t, 7) == b.select_tasks(t, 7)
+
+
+class TestShuffleGrouping:
+    def test_balances_load(self):
+        g = ShuffleGrouping()
+        counts = [0] * 4
+        for i in range(400):
+            counts[g.select_tasks(tup(f"u{i}"), 4)[0]] += 1
+        assert counts == [100, 100, 100, 100]
+
+    def test_deterministic_given_seed(self):
+        a = ShuffleGrouping(seed=7)
+        b = ShuffleGrouping(seed=7)
+        seq_a = [a.select_tasks(tup("u"), 5)[0] for _ in range(20)]
+        seq_b = [b.select_tasks(tup("u"), 5)[0] for _ in range(20)]
+        assert seq_a == seq_b
+
+
+class TestGlobalAndAll:
+    def test_global_always_task_zero(self):
+        g = GlobalGrouping()
+        assert g.select_tasks(tup("u1"), 9) == (0,)
+        assert g.select_tasks(tup("u2"), 9) == (0,)
+
+    def test_all_replicates_to_every_task(self):
+        g = AllGrouping()
+        assert g.select_tasks(tup("u1"), 5) == (0, 1, 2, 3, 4)

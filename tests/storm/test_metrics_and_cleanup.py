@@ -1,0 +1,66 @@
+"""Metrics summaries and topology cleanup behaviour."""
+
+from repro.storm import GlobalGrouping, LocalCluster, TopologyBuilder
+
+from tests.storm.helpers import CountBolt, ListSpout
+
+
+class CleanupTrackingBolt(CountBolt):
+    cleaned = []
+
+    def cleanup(self):
+        CleanupTrackingBolt.cleaned.append(self.context.component_name)
+
+
+class TestMetricsSummary:
+    def test_summary_lists_components_and_totals(self):
+        builder = TopologyBuilder("t")
+        builder.add_spout("s", lambda: ListSpout([("a",), ("b",)], ("word",)))
+        builder.add_bolt("c", CountBolt).grouping("s", GlobalGrouping())
+        cluster = LocalCluster()
+        metrics = cluster.submit(builder.build())
+        cluster.run_until_idle()
+        text = metrics.summary()
+        assert "c[0]" in text
+        assert "transferred=2" in text
+        assert metrics.total_executed() == 2
+
+    def test_executed_by_task(self):
+        builder = TopologyBuilder("t")
+        builder.add_spout("s", lambda: ListSpout([("a",)] * 6, ("word",)))
+        builder.add_bolt("c", CountBolt, parallelism=2).grouping(
+            "s", GlobalGrouping()
+        )
+        cluster = LocalCluster()
+        metrics = cluster.submit(builder.build())
+        cluster.run_until_idle()
+        by_task = metrics.executed_by_task("c")
+        assert by_task[0] == 6  # global grouping pins to task zero
+        assert by_task.get(1, 0) == 0
+
+
+class TestKillTopology:
+    def test_cleanup_called_on_all_tasks(self):
+        CleanupTrackingBolt.cleaned = []
+        builder = TopologyBuilder("t")
+        builder.add_spout("s", lambda: ListSpout([("a",)], ("word",)))
+        builder.add_bolt("c", CleanupTrackingBolt, parallelism=3).grouping(
+            "s", GlobalGrouping()
+        )
+        cluster = LocalCluster()
+        cluster.submit(builder.build())
+        cluster.run_until_idle()
+        cluster.kill_topology("t")
+        assert CleanupTrackingBolt.cleaned.count("c") == 3
+
+    def test_resubmit_after_kill(self):
+        builder = TopologyBuilder("t")
+        builder.add_spout("s", lambda: ListSpout([("a",)], ("word",)))
+        builder.add_bolt("c", CountBolt).grouping("s", GlobalGrouping())
+        topo = builder.build()
+        cluster = LocalCluster()
+        cluster.submit(topo)
+        cluster.run_until_idle()
+        cluster.kill_topology("t")
+        cluster.submit(topo)  # no "already submitted" error
+        cluster.run_until_idle()

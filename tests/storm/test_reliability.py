@@ -1,0 +1,78 @@
+"""Tests for at-least-once delivery with the replaying spout."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.storm import GlobalGrouping, LocalCluster, TopologyBuilder
+from repro.storm.component import Bolt
+from repro.storm.reliability import ReplayingSpout
+
+
+class FlakyBolt(Bolt):
+    """Manually acks; fails each value a configurable number of times."""
+
+    manual_ack = True
+
+    def __init__(self, failures_per_value=1, poison=None):
+        self._failures_per_value = failures_per_value
+        self._poison = poison
+        self._seen: dict[object, int] = {}
+        self.processed: list[object] = []
+
+    def execute(self, tup):
+        value = tup["value"]
+        count = self._seen.get(value, 0) + 1
+        self._seen[value] = count
+        always_fails = self._poison is not None and value == self._poison
+        if always_fails or count <= self._failures_per_value:
+            self.collector.fail(tup)
+            return
+        self.processed.append(value)
+        self.collector.ack(tup)
+
+
+def run_reliable(rows, bolt_factory, max_retries=3):
+    builder = TopologyBuilder("reliable")
+    builder.add_spout(
+        "spout",
+        lambda: ReplayingSpout(rows, ("value",), max_retries=max_retries),
+    )
+    builder.add_bolt("flaky", bolt_factory).grouping("spout", GlobalGrouping())
+    cluster = LocalCluster()
+    cluster.submit(builder.build())
+    cluster.run_until_idle()
+    spout = cluster.task_instance("reliable", "spout", 0)
+    bolt = cluster.task_instance("reliable", "flaky", 0)
+    return spout, bolt
+
+
+class TestReplayingSpout:
+    def test_failed_tuples_are_replayed_until_processed(self):
+        rows = [("a",), ("b",), ("c",)]
+        spout, bolt = run_reliable(rows, lambda: FlakyBolt(failures_per_value=2))
+        assert sorted(bolt.processed) == ["a", "b", "c"]
+        assert spout.replays == 6  # two failures per value
+        assert spout.completed == 3
+        assert spout.fully_processed()
+
+    def test_poison_message_goes_to_dead_letters(self):
+        rows = [("ok",), ("poison",)]
+        spout, bolt = run_reliable(
+            rows,
+            lambda: FlakyBolt(failures_per_value=0, poison="poison"),
+            max_retries=2,
+        )
+        assert bolt.processed == ["ok"]
+        assert spout.dead_letters == [("poison",)]
+        assert spout.fully_processed()
+
+    def test_clean_stream_no_replays(self):
+        rows = [(n,) for n in range(5)]
+        spout, bolt = run_reliable(rows, lambda: FlakyBolt(failures_per_value=0))
+        assert spout.replays == 0
+        assert spout.completed == 5
+        assert bolt.processed == [0, 1, 2, 3, 4]
+
+    def test_invalid_retries(self):
+        with pytest.raises(ConfigurationError):
+            ReplayingSpout([], ("value",), max_retries=-1)

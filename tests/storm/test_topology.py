@@ -1,0 +1,110 @@
+"""Unit tests for topology building and validation."""
+
+import pytest
+
+from repro.errors import TopologyError, TopologyValidationError
+from repro.storm import FieldsGrouping, ShuffleGrouping, TopologyBuilder
+from repro.storm.component import Bolt
+
+from tests.storm.helpers import CountBolt, ListSpout, SplitBolt
+
+
+def simple_builder():
+    builder = TopologyBuilder("t")
+    builder.add_spout("spout", lambda: ListSpout([("hello world",)], ("sentence",)))
+    return builder
+
+
+class TestTopologyBuilder:
+    def test_duplicate_component_name_rejected(self):
+        builder = simple_builder()
+        with pytest.raises(TopologyError, match="twice"):
+            builder.add_spout(
+                "spout", lambda: ListSpout([("x",)], ("sentence",))
+            )
+
+    def test_zero_parallelism_rejected(self):
+        builder = TopologyBuilder("t")
+        with pytest.raises(TopologyError, match="parallelism"):
+            builder.add_spout(
+                "spout", lambda: ListSpout([], ("a",)), parallelism=0
+            )
+
+    def test_spout_factory_must_build_spout(self):
+        builder = TopologyBuilder("t")
+        with pytest.raises(TopologyError, match="expected a Spout"):
+            builder.add_spout("s", CountBolt)
+
+    def test_bolt_factory_must_build_bolt(self):
+        builder = simple_builder()
+        with pytest.raises(TopologyError, match="expected a Bolt"):
+            builder.add_bolt("b", lambda: ListSpout([], ("a",)))
+
+    def test_invalid_component_name(self):
+        builder = TopologyBuilder("t")
+        with pytest.raises(TopologyError, match="invalid component name"):
+            builder.add_spout("bad name!", lambda: ListSpout([], ("a",)))
+
+
+class TestTopologyValidation:
+    def test_no_spout_rejected(self):
+        builder = TopologyBuilder("t")
+        with pytest.raises(TopologyValidationError, match="no spout"):
+            builder.build()
+
+    def test_bolt_without_subscription_rejected(self):
+        builder = simple_builder()
+        builder.add_bolt("orphan", SplitBolt)
+        with pytest.raises(TopologyValidationError, match="no input"):
+            builder.build()
+
+    def test_unknown_source_rejected(self):
+        builder = simple_builder()
+        builder.add_bolt("split", SplitBolt).grouping("ghost", ShuffleGrouping())
+        with pytest.raises(TopologyValidationError, match="ghost"):
+            builder.build()
+
+    def test_undeclared_stream_rejected(self):
+        builder = simple_builder()
+        builder.add_bolt("split", SplitBolt).grouping(
+            "spout", ShuffleGrouping(), stream_id="nope"
+        )
+        with pytest.raises(TopologyValidationError, match="undeclared stream"):
+            builder.build()
+
+    def test_fields_grouping_checked_against_stream_schema(self):
+        builder = simple_builder()
+        builder.add_bolt("split", SplitBolt).grouping(
+            "spout", FieldsGrouping(["user"])
+        )
+        with pytest.raises(TopologyError, match="user"):
+            builder.build()
+
+    def test_cycle_rejected(self):
+        class Echo(Bolt):
+            def declare_outputs(self, declarer):
+                declarer.declare(("sentence",), "echo")
+
+            def execute(self, tup):
+                pass
+
+        builder = simple_builder()
+        builder.add_bolt("a", Echo).grouping("spout", ShuffleGrouping()).grouping(
+            "b", ShuffleGrouping(), stream_id="echo"
+        )
+        builder.add_bolt("b", Echo).grouping("a", ShuffleGrouping(), "echo")
+        with pytest.raises(TopologyValidationError, match="cycle"):
+            builder.build()
+
+    def test_valid_pipeline_builds(self):
+        builder = simple_builder()
+        builder.add_bolt("split", SplitBolt, parallelism=2).grouping(
+            "spout", ShuffleGrouping()
+        )
+        builder.add_bolt("count", CountBolt, parallelism=3).grouping(
+            "split", FieldsGrouping(["word"]), stream_id="words"
+        )
+        topo = builder.build()
+        assert topo.total_tasks() == 6
+        assert [s.name for s in topo.spouts()] == ["spout"]
+        assert sorted(b.name for b in topo.bolts()) == ["count", "split"]

@@ -1,0 +1,82 @@
+"""Unit tests for StormTuple and stream declarations."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.storm.streams import DEFAULT_STREAM, OutputDeclaration, StreamDef
+from repro.storm.tuples import StormTuple
+
+
+def make_tuple(values=(1, "news-1", "click"), fields=("user", "item", "action")):
+    return StormTuple(values, fields, "user_action", "spout")
+
+
+class TestStormTuple:
+    def test_field_access_by_name(self):
+        tup = make_tuple()
+        assert tup.value("user") == 1
+        assert tup["item"] == "news-1"
+        assert tup["action"] == "click"
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(TopologyError, match="nope"):
+            make_tuple().value("nope")
+
+    def test_value_count_must_match_fields(self):
+        with pytest.raises(TopologyError, match="2 values for 3 fields"):
+            StormTuple((1, 2), ("a", "b", "c"), "s", "src")
+
+    def test_select_returns_values_in_requested_order(self):
+        tup = make_tuple()
+        assert tup.select(("action", "user")) == ("click", 1)
+
+    def test_as_dict_round_trip(self):
+        tup = make_tuple()
+        assert tup.as_dict() == {"user": 1, "item": "news-1", "action": "click"}
+
+    def test_iteration_and_length(self):
+        tup = make_tuple()
+        assert list(tup) == [1, "news-1", "click"]
+        assert len(tup) == 3
+
+    def test_values_are_immutable_tuple(self):
+        assert isinstance(make_tuple().values, tuple)
+
+    def test_repr_mentions_source_and_stream(self):
+        rep = repr(make_tuple())
+        assert "user_action" in rep
+        assert "spout" in rep
+
+
+class TestStreamDef:
+    def test_rejects_empty_stream_id(self):
+        with pytest.raises(TopologyError):
+            StreamDef("", ("a",))
+
+    def test_rejects_empty_fields(self):
+        with pytest.raises(TopologyError):
+            StreamDef("s", ())
+
+    def test_rejects_duplicate_fields(self):
+        with pytest.raises(TopologyError, match="duplicate"):
+            StreamDef("s", ("a", "a"))
+
+
+class TestOutputDeclaration:
+    def test_declare_and_fetch(self):
+        decl = OutputDeclaration()
+        decl.declare(("user", "item"))
+        stream = decl.stream(DEFAULT_STREAM)
+        assert stream.fields == ("user", "item")
+
+    def test_duplicate_stream_rejected(self):
+        decl = OutputDeclaration()
+        decl.declare(("a",), "s")
+        with pytest.raises(TopologyError, match="declared twice"):
+            decl.declare(("b",), "s")
+
+    def test_missing_stream_raises_with_known_streams(self):
+        decl = OutputDeclaration()
+        decl.declare(("a",), "known")
+        with pytest.raises(TopologyError, match="known"):
+            decl.stream("missing")

@@ -1,0 +1,103 @@
+"""Tests for the XML topology loader (Figure 7)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.storm import LocalCluster, topology_from_xml
+from repro.storm.xml_config import topology_from_xml_file
+
+from tests.storm.helpers import CountBolt, ListSpout, SplitBolt
+
+REGISTRY = {
+    "Spout": lambda: ListSpout(
+        [("the cat sat",), ("the dog sat",)], ("sentence",), stream_id="user_action"
+    ),
+    "Split": SplitBolt,
+    "Count": CountBolt,
+}
+
+FIGURE7_STYLE_XML = """
+<topology name="cf-test">
+  <spout name="spout" class="Spout">
+    <output_fields>
+      <stream_id>user_action</stream_id>
+      <fields>sentence</fields>
+    </output_fields>
+  </spout>
+  <bolts>
+    <bolt name="split" class="Split" parallelism="2">
+      <grouping type="shuffle">
+        <stream_id>user_action</stream_id>
+      </grouping>
+    </bolt>
+    <bolt name="count" class="Count" parallelism="3">
+      <grouping type="field">
+        <fields>word</fields>
+        <stream_id>words</stream_id>
+      </grouping>
+    </bolt>
+  </bolts>
+</topology>
+"""
+
+
+class TestXmlParsing:
+    def test_builds_and_runs(self):
+        topo = topology_from_xml(FIGURE7_STYLE_XML, REGISTRY)
+        assert topo.name == "cf-test"
+        cluster = LocalCluster()
+        cluster.submit(topo)
+        cluster.run_until_idle()
+        merged = {}
+        for index in range(3):
+            bolt = cluster.task_instance("cf-test", "count", index)
+            merged.update(bolt.counts)
+        assert merged["the"] == 2
+        assert merged["sat"] == 2
+
+    def test_parallelism_attribute_respected(self):
+        topo = topology_from_xml(FIGURE7_STYLE_XML, REGISTRY)
+        assert topo.specs["split"].parallelism == 2
+        assert topo.specs["count"].parallelism == 3
+
+    def test_source_defaults_to_previous_component(self):
+        topo = topology_from_xml(FIGURE7_STYLE_XML, REGISTRY)
+        subs = topo.specs["count"].subscriptions
+        assert subs[0].source == "split"
+
+    def test_unknown_class_reports_registry(self):
+        xml = FIGURE7_STYLE_XML.replace('class="Split"', 'class="Nope"')
+        with pytest.raises(ConfigurationError, match="Nope"):
+            topology_from_xml(xml, REGISTRY)
+
+    def test_wrong_declared_fields_rejected(self):
+        xml = FIGURE7_STYLE_XML.replace(
+            "<fields>sentence</fields>", "<fields>user, item</fields>"
+        )
+        with pytest.raises(ConfigurationError, match="disagree"):
+            topology_from_xml(xml, REGISTRY)
+
+    def test_unknown_grouping_type_rejected(self):
+        xml = FIGURE7_STYLE_XML.replace('type="field"', 'type="rainbow"')
+        with pytest.raises(ConfigurationError, match="rainbow"):
+            topology_from_xml(xml, REGISTRY)
+
+    def test_missing_topology_name_rejected(self):
+        xml = FIGURE7_STYLE_XML.replace(' name="cf-test"', "", 1)
+        with pytest.raises(ConfigurationError, match="name"):
+            topology_from_xml(xml, REGISTRY)
+
+    def test_no_spout_rejected(self):
+        xml = """<topology name="t"><bolts></bolts></topology>"""
+        with pytest.raises(ConfigurationError, match="no <spout>"):
+            topology_from_xml(xml, REGISTRY)
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(ConfigurationError, match="invalid topology XML"):
+            topology_from_xml("<topology", REGISTRY)
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "topo.xml"
+        path.write_text(FIGURE7_STYLE_XML, encoding="utf-8")
+        topo = topology_from_xml_file(str(path), REGISTRY)
+        assert topo.name == "cf-test"

@@ -1,0 +1,152 @@
+"""Integration tests for the TDAccess cluster: pub/sub, balance, failover."""
+
+import pytest
+
+from repro.errors import (
+    ConsumerGroupError,
+    PartitionUnavailableError,
+    TDAccessError,
+    UnknownTopicError,
+)
+from repro.tdaccess import TDAccessCluster
+from repro.utils.clock import SimClock
+
+
+def make_cluster(servers=3, partitions=6, topic="actions"):
+    cluster = TDAccessCluster(SimClock(), num_data_servers=servers)
+    cluster.create_topic(topic, partitions)
+    return cluster
+
+
+class TestPublishSubscribe:
+    def test_round_trip(self):
+        cluster = make_cluster()
+        producer = cluster.producer()
+        for i in range(20):
+            producer.send("actions", {"n": i})
+        consumer = cluster.consumer("actions")
+        values = sorted(m.value["n"] for m in consumer.drain())
+        assert values == list(range(20))
+
+    def test_keyed_messages_land_in_one_partition(self):
+        cluster = make_cluster()
+        producer = cluster.producer()
+        for i in range(10):
+            producer.send("actions", i, key="user-42")
+        partitions = {
+            m.partition for m in cluster.consumer("actions").drain()
+        }
+        assert len(partitions) == 1
+
+    def test_unkeyed_messages_round_robin(self):
+        cluster = make_cluster(partitions=4)
+        producer = cluster.producer()
+        for i in range(8):
+            producer.send("actions", i)
+        by_partition = {}
+        for m in cluster.consumer("actions").drain():
+            by_partition.setdefault(m.partition, []).append(m.value)
+        assert all(len(v) == 2 for v in by_partition.values())
+
+    def test_consumer_resumes_from_offset(self):
+        cluster = make_cluster(partitions=1)
+        producer = cluster.producer()
+        producer.send_batch("actions", [1, 2, 3])
+        consumer = cluster.consumer("actions")
+        assert [m.value for m in consumer.drain()] == [1, 2, 3]
+        producer.send_batch("actions", [4, 5])
+        assert [m.value for m in consumer.drain()] == [4, 5]
+
+    def test_late_consumer_replays_history(self):
+        cluster = make_cluster(partitions=1)
+        cluster.producer().send_batch("actions", list(range(5)))
+        late = cluster.consumer("actions")
+        assert [m.value for m in late.drain()] == [0, 1, 2, 3, 4]
+
+    def test_lag_reporting(self):
+        cluster = make_cluster(partitions=2)
+        cluster.producer().send_batch("actions", list(range(10)))
+        consumer = cluster.consumer("actions")
+        assert consumer.lag() == 10
+        consumer.drain()
+        assert consumer.lag() == 0
+
+    def test_unknown_topic_raises(self):
+        cluster = make_cluster()
+        with pytest.raises(UnknownTopicError):
+            cluster.producer().send("ghost", 1)
+
+
+class TestBalanceAndGroups:
+    def test_partitions_balanced_across_servers(self):
+        cluster = make_cluster(servers=3, partitions=6)
+        balance = cluster.partition_balance("actions")
+        assert sorted(balance.values()) == [2, 2, 2]
+
+    def test_consumer_group_covers_all_partitions_disjointly(self):
+        cluster = make_cluster(partitions=6)
+        group = cluster.consumer_group("actions", 3)
+        owned = [p for member in group.members for p in member.partitions]
+        assert sorted(owned) == list(range(6))
+
+    def test_group_poll_sees_everything_once(self):
+        cluster = make_cluster(partitions=6)
+        cluster.producer().send_batch("actions", list(range(30)))
+        group = cluster.consumer_group("actions", 3)
+        values = sorted(m.value for m in group.poll_all(max_per_partition=100))
+        assert values == list(range(30))
+
+    def test_too_many_consumers_rejected(self):
+        cluster = make_cluster(partitions=2)
+        with pytest.raises(ConsumerGroupError, match="idle"):
+            cluster.consumer_group("actions", 3)
+
+    def test_duplicate_topic_rejected(self):
+        cluster = make_cluster()
+        with pytest.raises(TDAccessError, match="already exists"):
+            cluster.create_topic("actions", 2)
+
+
+class TestFailures:
+    def test_dead_server_partitions_skipped_then_recovered(self):
+        cluster = make_cluster(servers=3, partitions=6)
+        producer = cluster.producer()
+        producer.send_batch("actions", list(range(12)))
+        victim = cluster.data_servers[0].server_id
+        cluster.crash_data_server(victim)
+        consumer = cluster.consumer("actions")
+        partial = consumer.drain()
+        assert len(partial) < 12
+        cluster.recover_data_server(victim)
+        rest = consumer.drain()
+        assert len(partial) + len(rest) == 12
+
+    def test_producing_to_dead_partition_raises(self):
+        cluster = make_cluster(servers=1, partitions=1)
+        cluster.crash_data_server(0)
+        with pytest.raises(PartitionUnavailableError):
+            cluster.producer().send("actions", 1, key="k")
+
+    def test_master_failover_preserves_routing(self):
+        cluster = make_cluster()
+        producer = cluster.producer()
+        producer.send_batch("actions", [1, 2, 3])
+        cluster.failover_master()
+        producer.send_batch("actions", [4, 5])
+        values = sorted(m.value for m in cluster.consumer("actions").drain())
+        assert values == [1, 2, 3, 4, 5]
+        assert cluster.masters.failovers == 1
+
+    def test_topic_created_after_failover(self):
+        cluster = make_cluster()
+        cluster.failover_master()
+        cluster.create_topic("new-topic", 3)
+        cluster.producer().send("new-topic", "x")
+        assert len(cluster.consumer("new-topic").drain()) == 1
+
+    def test_revive_returns_old_active_as_standby(self):
+        cluster = make_cluster()
+        cluster.failover_master()
+        cluster.masters.revive()
+        cluster.producer().send("actions", 9)
+        assert len(cluster.consumer("actions").drain()) == 1

@@ -1,0 +1,99 @@
+"""Unit tests for the partition log."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TDAccessError
+from repro.tdaccess.log import PartitionLog
+
+
+def filled_log(n, **kwargs):
+    log = PartitionLog("t", 0, **kwargs)
+    for i in range(n):
+        log.append(key=f"k{i}", value=i, timestamp=float(i))
+    return log
+
+
+class TestAppendAndRead:
+    def test_offsets_are_dense_from_zero(self):
+        log = filled_log(5)
+        messages = log.read(0, 10)
+        assert [m.offset for m in messages] == [0, 1, 2, 3, 4]
+
+    def test_read_from_middle(self):
+        log = filled_log(10)
+        messages = log.read(4, 3)
+        assert [m.value for m in messages] == [4, 5, 6]
+
+    def test_read_at_head_returns_empty(self):
+        log = filled_log(3)
+        assert log.read(3, 10) == []
+
+    def test_read_past_head_returns_empty(self):
+        log = filled_log(3)
+        assert log.read(99, 10) == []
+
+    def test_messages_carry_identity_and_timestamp(self):
+        log = filled_log(1)
+        msg = log.read(0, 1)[0]
+        assert (msg.topic, msg.partition) == ("t", 0)
+        assert msg.timestamp == 0.0
+
+    def test_zero_max_messages(self):
+        assert filled_log(3).read(0, 0) == []
+
+
+class TestSegments:
+    def test_segments_roll_at_segment_size(self):
+        log = filled_log(10, segment_size=4)
+        assert log.segment_count() == 3
+
+    def test_read_spans_segment_boundary(self):
+        log = filled_log(10, segment_size=4)
+        assert [m.value for m in log.read(2, 5)] == [2, 3, 4, 5, 6]
+
+    def test_retention_drops_oldest_segments(self):
+        log = filled_log(20, segment_size=4, retention_segments=2)
+        assert log.start_offset > 0
+        assert log.next_offset == 20
+
+    def test_reading_expired_offset_raises(self):
+        log = filled_log(20, segment_size=4, retention_segments=2)
+        with pytest.raises(TDAccessError, match="below retained start"):
+            log.read(0, 5)
+
+    def test_scan_replays_everything_retained(self):
+        log = filled_log(10, segment_size=3)
+        assert [m.value for m in log.scan()] == list(range(10))
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(TDAccessError):
+            PartitionLog("t", 0, segment_size=0)
+        with pytest.raises(TDAccessError):
+            PartitionLog("t", 0, retention_segments=0)
+
+
+class TestLogProperties:
+    @given(
+        st.lists(st.integers(), min_size=0, max_size=200),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_scan_equals_appended_sequence(self, values, segment_size):
+        log = PartitionLog("t", 0, segment_size=segment_size)
+        for i, value in enumerate(values):
+            log.append(key=None, value=value, timestamp=float(i))
+        assert [m.value for m in log.scan()] == values
+
+    @given(
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=1, max_value=50),
+    )
+    def test_read_window_is_contiguous(self, n, start, width):
+        log = filled_log(n, segment_size=7)
+        if start > n:
+            start = n
+        messages = log.read(start, width)
+        expected = list(range(start, min(n, start + width)))
+        assert [m.offset for m in messages] == expected

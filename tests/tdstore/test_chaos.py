@@ -1,0 +1,81 @@
+"""Property-based chaos testing for TDStore.
+
+A random interleaving of puts, deletes, idle syncs, server crashes (with
+failover) and recoveries must never lose an acknowledged write: the
+cluster must always agree with a plain-dict reference model.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tdstore import TDStoreCluster
+
+KEYS = [f"key-{n}" for n in range(12)]
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.sampled_from(KEYS), st.integers()),
+        st.tuples(st.just("delete"), st.sampled_from(KEYS), st.none()),
+        st.tuples(st.just("sync"), st.none(), st.none()),
+        st.tuples(st.just("crash"), st.sampled_from([0, 1, 2, 3]), st.none()),
+    ),
+    max_size=60,
+)
+
+
+class TestTDStoreChaos:
+    @settings(max_examples=60, deadline=None)
+    @given(operations)
+    def test_never_loses_acknowledged_writes(self, ops):
+        cluster = TDStoreCluster(num_data_servers=4, num_instances=8)
+        client = cluster.client()
+        reference: dict[str, int] = {}
+        down: set[int] = set()
+        for op, arg, value in ops:
+            if op == "put":
+                client.put(arg, value)
+                reference[arg] = value
+            elif op == "delete":
+                client.delete(arg)
+                reference.pop(arg, None)
+            elif op == "sync":
+                cluster.sync_replicas()
+            elif op == "crash":
+                # replication factor is two: the cluster tolerates one
+                # concurrent failure (two simultaneous crashes can take
+                # both copies of an instance, which is genuine data loss)
+                if arg not in down and len(down) < 1:
+                    cluster.crash_data_server(arg)
+                    down.add(arg)
+                elif arg in down:
+                    cluster.recover_data_server(arg)
+                    down.discard(arg)
+        for key in KEYS:
+            expected = reference.get(key, "__absent__")
+            assert client.get(key, "__absent__") == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(operations)
+    def test_fresh_client_sees_same_state(self, ops):
+        """Route-table refreshes are client-local: a brand-new client must
+        observe identical data after any history."""
+        cluster = TDStoreCluster(num_data_servers=4, num_instances=8)
+        client = cluster.client()
+        reference: dict[str, int] = {}
+        down: set[int] = set()
+        for op, arg, value in ops:
+            if op == "put":
+                client.put(arg, value)
+                reference[arg] = value
+            elif op == "delete":
+                client.delete(arg)
+                reference.pop(arg, None)
+            elif op == "sync":
+                cluster.sync_replicas()
+            elif op == "crash":
+                if arg not in down and len(down) < 1:
+                    cluster.crash_data_server(arg)
+                    down.add(arg)
+        fresh = cluster.client()
+        for key, value in reference.items():
+            assert fresh.get(key) == value

@@ -1,0 +1,212 @@
+"""Unit and property tests for the four TDStore storage engines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EngineError
+from repro.tdstore.engines import (
+    FDBEngine,
+    LDBEngine,
+    MDBEngine,
+    RDBEngine,
+    make_engine,
+)
+from repro.utils.clock import SimClock
+
+
+def engine_cases(tmp_path):
+    return [
+        MDBEngine(),
+        LDBEngine(memtable_limit=4, max_runs=2),
+        RDBEngine(SimClock()),
+        FDBEngine(str(tmp_path / "fdb")),
+    ]
+
+
+class TestCommonEngineBehaviour:
+    def test_put_get_delete(self, tmp_path):
+        for engine in engine_cases(tmp_path):
+            engine.put("a", 1)
+            engine.put("b", {"x": 2})
+            assert engine.get("a") == 1
+            assert engine.get("b") == {"x": 2}
+            assert engine.get("missing", "dflt") == "dflt"
+            assert engine.delete("a") is True
+            assert engine.delete("a") is False
+            assert engine.get("a") is None
+
+    def test_overwrite(self, tmp_path):
+        for engine in engine_cases(tmp_path):
+            engine.put("k", 1)
+            engine.put("k", 2)
+            assert engine.get("k") == 2
+            assert len(engine) == 1
+
+    def test_keys_and_len(self, tmp_path):
+        for engine in engine_cases(tmp_path):
+            for i in range(10):
+                engine.put(f"key-{i}", i)
+            engine.delete("key-3")
+            assert len(engine) == 9
+            assert "key-3" not in set(engine.keys())
+
+    def test_snapshot_restore(self, tmp_path):
+        for source, target in zip(engine_cases(tmp_path / "a"),
+                                  engine_cases(tmp_path / "b")):
+            source.put("x", 1)
+            source.put("y", [1, 2])
+            target.put("stale", 99)
+            target.restore(source.snapshot())
+            assert target.get("x") == 1
+            assert target.get("y") == [1, 2]
+            assert target.get("stale") is None
+
+
+class TestLDBEngine:
+    def test_memtable_flushes_to_runs(self):
+        engine = LDBEngine(memtable_limit=4, max_runs=8)
+        for i in range(10):
+            engine.put(f"k{i}", i)
+        assert engine.flushes >= 2
+        assert engine.get("k0") == 0
+        assert engine.get("k9") == 9
+
+    def test_compaction_bounds_run_count(self):
+        engine = LDBEngine(memtable_limit=2, max_runs=3)
+        for i in range(40):
+            engine.put(f"k{i % 7}", i)
+        assert engine.run_count() <= 3 + 1
+        assert engine.compactions >= 1
+
+    def test_newest_value_wins_across_runs(self):
+        engine = LDBEngine(memtable_limit=2, max_runs=10)
+        engine.put("k", "old")
+        engine.put("pad1", 0)  # force flush
+        engine.put("k", "new")
+        engine.put("pad2", 0)
+        assert engine.get("k") == "new"
+
+    def test_tombstones_survive_flush(self):
+        engine = LDBEngine(memtable_limit=2, max_runs=10)
+        engine.put("k", 1)
+        engine.put("pad", 0)
+        engine.delete("k")
+        engine.put("pad2", 0)
+        assert engine.get("k") is None
+        assert "k" not in set(engine.keys())
+
+    def test_scan_prefix(self):
+        engine = LDBEngine(memtable_limit=100)
+        engine.put("user:1", "a")
+        engine.put("user:2", "b")
+        engine.put("item:1", "c")
+        result = dict(engine.scan_prefix("user:"))
+        assert result == {"user:1": "a", "user:2": "b"}
+
+    def test_invalid_params(self):
+        with pytest.raises(EngineError):
+            LDBEngine(memtable_limit=0)
+        with pytest.raises(EngineError):
+            LDBEngine(max_runs=0)
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["put", "delete"]),
+                st.integers(min_value=0, max_value=20),
+                st.integers(),
+            ),
+            max_size=120,
+        )
+    )
+    def test_matches_dict_reference(self, operations):
+        engine = LDBEngine(memtable_limit=5, max_runs=2)
+        reference: dict[str, int] = {}
+        for op, key_n, value in operations:
+            key = f"k{key_n}"
+            if op == "put":
+                engine.put(key, value)
+                reference[key] = value
+            else:
+                engine.delete(key)
+                reference.pop(key, None)
+        assert sorted(engine.keys()) == sorted(reference.keys())
+        for key, value in reference.items():
+            assert engine.get(key) == value
+
+
+class TestRDBEngine:
+    def test_ttl_expiry(self):
+        clock = SimClock()
+        engine = RDBEngine(clock)
+        engine.put("session", "data", ttl=10.0)
+        assert engine.get("session") == "data"
+        clock.advance(9.9)
+        assert engine.get("session") == "data"
+        clock.advance(0.2)
+        assert engine.get("session") is None
+
+    def test_ttl_reported(self):
+        clock = SimClock()
+        engine = RDBEngine(clock)
+        engine.put("k", 1, ttl=10.0)
+        clock.advance(4.0)
+        assert engine.ttl("k") == pytest.approx(6.0)
+
+    def test_overwrite_clears_ttl(self):
+        clock = SimClock()
+        engine = RDBEngine(clock)
+        engine.put("k", 1, ttl=5.0)
+        engine.put("k", 2)
+        clock.advance(100.0)
+        assert engine.get("k") == 2
+
+    def test_expired_keys_not_listed(self):
+        clock = SimClock()
+        engine = RDBEngine(clock)
+        engine.put("a", 1, ttl=1.0)
+        engine.put("b", 2)
+        clock.advance(2.0)
+        assert list(engine.keys()) == ["b"]
+        assert len(engine) == 1
+
+    def test_bad_ttl_rejected(self):
+        with pytest.raises(EngineError):
+            RDBEngine(SimClock()).put("k", 1, ttl=0)
+
+
+class TestFDBEngine:
+    def test_survives_process_restart(self, tmp_path):
+        path = str(tmp_path / "store")
+        first = FDBEngine(path)
+        first.put("persistent", {"v": 42})
+        second = FDBEngine(path)
+        assert second.get("persistent") == {"v": 42}
+
+    def test_buckets_created_on_demand(self, tmp_path):
+        path = tmp_path / "store"
+        engine = FDBEngine(str(path), num_buckets=4)
+        for i in range(20):
+            engine.put(f"k{i}", i)
+        files = [p for p in path.iterdir() if p.name.startswith("bucket-")]
+        assert 1 <= len(files) <= 4
+
+    def test_invalid_buckets(self, tmp_path):
+        with pytest.raises(EngineError):
+            FDBEngine(str(tmp_path), num_buckets=0)
+
+
+class TestMakeEngine:
+    def test_all_kinds(self, tmp_path):
+        assert isinstance(make_engine("mdb"), MDBEngine)
+        assert isinstance(make_engine("LDB"), LDBEngine)
+        assert isinstance(make_engine("rdb"), RDBEngine)
+        assert isinstance(
+            make_engine("fdb", directory=str(tmp_path / "f")), FDBEngine
+        )
+
+    def test_unknown_kind(self):
+        with pytest.raises(EngineError, match="unknown engine"):
+            make_engine("tokyo-cabinet")

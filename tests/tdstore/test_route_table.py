@@ -1,0 +1,71 @@
+"""Tests for the TDStore route table."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RouteError
+from repro.tdstore.route_table import InstanceRoute, RouteTable
+
+
+class TestBalancedTable:
+    def test_every_server_hosts_and_backs_up(self):
+        table = RouteTable.balanced(12, [0, 1, 2, 3])
+        for server in range(4):
+            assert table.instances_hosted_by(server)
+            assert table.instances_backed_by(server)
+
+    def test_host_and_slave_differ(self):
+        table = RouteTable.balanced(16, [0, 1, 2])
+        for instance in range(16):
+            route = table.route(instance)
+            assert route.host != route.slave
+
+    def test_host_load_is_balanced(self):
+        table = RouteTable.balanced(12, [0, 1, 2, 3])
+        assert sorted(table.host_load().values()) == [3, 3, 3, 3]
+
+    def test_needs_two_servers(self):
+        with pytest.raises(RouteError, match="two servers"):
+            RouteTable.balanced(4, [0])
+
+    @given(st.text(min_size=1))
+    def test_key_routing_is_total_and_stable(self, key):
+        table = RouteTable.balanced(8, [0, 1, 2])
+        route = table.route_for_key(key)
+        assert 0 <= route.instance < 8
+        assert table.route_for_key(key) == route
+
+
+class TestPromotion:
+    def test_promote_swaps_roles(self):
+        table = RouteTable.balanced(4, [0, 1, 2])
+        old = table.route(0)
+        new_table = table.promote_slave(0, new_slave=old.host)
+        updated = new_table.route(0)
+        assert updated.host == old.slave
+        assert updated.slave == old.host
+        assert new_table.version == table.version + 1
+
+    def test_promote_rejects_same_slave(self):
+        table = RouteTable.balanced(4, [0, 1, 2])
+        route = table.route(0)
+        with pytest.raises(RouteError, match="must differ"):
+            table.promote_slave(0, new_slave=route.slave)
+
+    def test_original_table_unchanged(self):
+        table = RouteTable.balanced(4, [0, 1, 2])
+        old = table.route(0)
+        table.promote_slave(0, new_slave=old.host)
+        assert table.route(0) == old
+
+
+class TestValidation:
+    def test_missing_instances_rejected(self):
+        with pytest.raises(RouteError, match="missing"):
+            RouteTable({0: InstanceRoute(0, 0, 1)}, num_instances=2)
+
+    def test_unknown_instance_lookup(self):
+        table = RouteTable.balanced(2, [0, 1])
+        with pytest.raises(RouteError, match="unknown"):
+            table.route(99)

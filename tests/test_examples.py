@@ -1,0 +1,49 @@
+"""Smoke tests: the fast example scripts must run end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "similarity(phone, headphones)" in out
+        assert "recommendations for 'newcomer'" in out
+
+    def test_situational_ctr(self):
+        out = run_example("situational_ctr.py")
+        assert "Beijing males 25-34" in out
+        assert "predicted CTR" in out
+
+    @pytest.mark.slow
+    def test_ecommerce_positions(self):
+        out = run_example("ecommerce_positions.py")
+        assert "similar-purchase position" in out
+        assert "similar-price position" in out
+
+    @pytest.mark.slow
+    def test_full_system_topology(self):
+        out = run_example("full_system_topology.py")
+        assert "state survived the crash" in out
+
+    @pytest.mark.slow
+    def test_offline_platform(self):
+        out = run_example("offline_platform.py")
+        assert "offline-model recommendations" in out
+        assert "[critical] tdaccess" in out

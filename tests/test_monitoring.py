@@ -1,0 +1,108 @@
+"""Tests for the system monitor (Figure 9's Monitor box)."""
+
+import pytest
+
+from repro.monitoring import SystemMonitor
+from repro.storm import GlobalGrouping, LocalCluster, TopologyBuilder
+from repro.tdaccess import TDAccessCluster
+from repro.tdstore import TDStoreCluster
+from repro.utils.clock import SimClock
+
+from tests.storm.helpers import CountBolt, ListSpout
+
+
+@pytest.fixture
+def deployment():
+    clock = SimClock()
+    tdaccess = TDAccessCluster(clock, num_data_servers=2)
+    tdaccess.create_topic("actions", 2)
+    tdstore = TDStoreCluster(num_data_servers=3, num_instances=8)
+    storm = LocalCluster(clock=clock)
+    builder = TopologyBuilder("app")
+    builder.add_spout("s", lambda: ListSpout([("a",), ("b",)], ("word",)))
+    builder.add_bolt("c", CountBolt).grouping("s", GlobalGrouping())
+    storm.submit(builder.build())
+    storm.run_until_idle()
+    monitor = SystemMonitor(
+        clock.now, tdaccess=tdaccess, tdstore=tdstore, storm=storm,
+        max_consumer_lag=5,
+    )
+    return clock, tdaccess, tdstore, storm, monitor
+
+
+class TestSnapshot:
+    def test_healthy_deployment_no_alerts(self, deployment):
+        __, ___, ____, _____, monitor = deployment
+        assert monitor.evaluate() == []
+
+    def test_snapshot_counts_servers_and_executions(self, deployment):
+        __, tdaccess, tdstore, ____, monitor = deployment
+        snap = monitor.snapshot()
+        assert snap.tdaccess_servers_up == 2
+        assert snap.tdstore_servers_total == 3
+        assert snap.topology_executed["app"] == 2
+
+    def test_consumer_lag_tracked(self, deployment):
+        __, tdaccess, ___, ____, monitor = deployment
+        consumer = tdaccess.consumer("actions")
+        monitor.watch_consumer("etl", consumer)
+        tdaccess.producer().send_batch("actions", list(range(10)))
+        snap = monitor.snapshot()
+        assert snap.consumer_lag["etl"] == 10
+
+
+class TestAlerts:
+    def test_tdaccess_server_down_is_critical(self, deployment):
+        __, tdaccess, ___, ____, monitor = deployment
+        tdaccess.crash_data_server(0)
+        alerts = monitor.evaluate()
+        assert any(
+            a.severity == "critical" and a.component == "tdaccess"
+            for a in alerts
+        )
+
+    def test_consumer_lag_warning(self, deployment):
+        __, tdaccess, ___, ____, monitor = deployment
+        monitor.watch_consumer("etl", tdaccess.consumer("actions"))
+        tdaccess.producer().send_batch("actions", list(range(20)))
+        alerts = monitor.evaluate()
+        assert any("lag" in a.message for a in alerts)
+
+    def test_tdstore_server_down_is_critical(self, deployment):
+        __, ___, tdstore, ____, monitor = deployment
+        tdstore.crash_data_server(1)
+        alerts = monitor.evaluate()
+        assert any(
+            a.severity == "critical" and a.component == "tdstore"
+            for a in alerts
+        )
+
+    def test_task_restart_warning_fires_once(self, deployment):
+        __, ___, ____, storm, monitor = deployment
+        monitor.snapshot()  # baseline
+        storm.kill_task("app", "c", 0)
+        alerts = monitor.evaluate()
+        assert any("restart" in a.message for a in alerts)
+        # next evaluation: no new restarts, no repeated alert
+        assert not any("restart" in a.message for a in monitor.evaluate())
+
+    def test_replication_backlog_warning(self, deployment):
+        __, ___, tdstore, ____, monitor = deployment
+        monitor.max_replication_backlog = 3
+        client = tdstore.client()
+        for index in range(10):
+            client.put(f"k{index}", index)
+        alerts = monitor.evaluate()
+        assert any("backlog" in a.message for a in alerts)
+        tdstore.sync_replicas()
+        assert not any("backlog" in a.message for a in monitor.evaluate())
+
+
+class TestSummary:
+    def test_summary_mentions_every_layer(self, deployment):
+        __, tdaccess, ___, ____, monitor = deployment
+        monitor.watch_consumer("etl", tdaccess.consumer("actions"))
+        text = monitor.summary()
+        assert "tdaccess" in text
+        assert "tdstore" in text
+        assert "topology app" in text

@@ -1,0 +1,116 @@
+"""Tests for the offline computation platform."""
+
+import pytest
+
+from repro.engine import RecommenderEngine
+from repro.errors import ConfigurationError
+from repro.offline import BatchCFJob, JobScheduler
+from repro.tdaccess import TDAccessCluster
+from repro.tdstore import TDStoreCluster
+from repro.topology import StateKeys
+from repro.utils.clock import SimClock
+
+
+def payload(user, item, action, ts):
+    return {"user": user, "item": item, "action": action, "timestamp": ts}
+
+
+@pytest.fixture
+def platform():
+    clock = SimClock()
+    tdaccess = TDAccessCluster(clock, num_data_servers=2)
+    tdaccess.create_topic("actions", 2)
+    tdstore = TDStoreCluster(num_data_servers=2, num_instances=8)
+    job = BatchCFJob(tdaccess, "actions", tdstore.client())
+    return clock, tdaccess, tdstore, job
+
+
+def co_click_payloads(count=8, t0=0.0):
+    rows = []
+    t = t0
+    for n in range(count):
+        rows.append(payload(f"u{n}", "A", "click", t))
+        rows.append(payload(f"u{n}", "B", "click", t + 1))
+        t += 2
+    rows.append(payload("target", "A", "click", t))
+    return rows
+
+
+class TestBatchCFJob:
+    def test_publishes_model_into_tdstore(self, platform):
+        clock, tdaccess, tdstore, job = platform
+        producer = tdaccess.producer()
+        for row in co_click_payloads():
+            producer.send("actions", row, key=row["user"])
+        stats = job.run(now=1000.0)
+        assert stats["events"] == 17
+        client = tdstore.client()
+        sim_list = client.get(StateKeys.sim_list("A"))
+        # Eq 4: pairCount 8*2 over sqrt(9*2) * sqrt(8*2)
+        assert sim_list["B"] == pytest.approx(16 / (18**0.5 * 4))
+        assert client.get(StateKeys.recent("target"))[0][0] == "A"
+
+    def test_engine_serves_from_offline_model(self, platform):
+        clock, tdaccess, tdstore, job = platform
+        producer = tdaccess.producer()
+        for row in co_click_payloads():
+            producer.send("actions", row, key=row["user"])
+        job.run(now=1000.0)
+        engine = RecommenderEngine(tdstore.client())
+        recs = engine.recommend_cf("target", 3, now=1000.0)
+        assert recs and recs[0].item_id == "B"
+
+    def test_events_after_job_start_excluded(self, platform):
+        clock, tdaccess, tdstore, job = platform
+        producer = tdaccess.producer()
+        producer.send("actions", payload("u1", "A", "click", 0.0), key="u1")
+        producer.send("actions", payload("u1", "FUTURE", "click", 999.0),
+                      key="u1")
+        job.run(now=100.0)
+        client = tdstore.client()
+        assert client.get(StateKeys.history("u1")) == {"A": (2.0, 0.0)}
+
+    def test_garbage_payloads_skipped(self, platform):
+        clock, tdaccess, tdstore, job = platform
+        producer = tdaccess.producer()
+        producer.send("actions", "not-a-dict")
+        producer.send("actions", payload("u1", "A", "teleport", 0.0))
+        producer.send("actions", payload("u1", "A", "click", 0.0), key="u1")
+        stats = job.run(now=100.0)
+        assert stats["events"] == 1
+
+    def test_rerun_reflects_new_data(self, platform):
+        clock, tdaccess, tdstore, job = platform
+        producer = tdaccess.producer()
+        for row in co_click_payloads(count=4):
+            producer.send("actions", row, key=row["user"])
+        job.run(now=100.0)
+        # a new co-click pattern arrives: A with C
+        t = 200.0
+        for n in range(10):
+            producer.send("actions", payload(f"v{n}", "A", "click", t),
+                          key=f"v{n}")
+            producer.send("actions", payload(f"v{n}", "C", "click", t + 1),
+                          key=f"v{n}")
+            t += 2
+        job.run(now=1000.0)
+        sim_list = tdstore.client().get(StateKeys.sim_list("A"))
+        assert "C" in sim_list
+        assert job.runs == 2
+
+
+class TestJobScheduler:
+    def test_runs_once_per_interval(self, platform):
+        clock, tdaccess, tdstore, job = platform
+        producer = tdaccess.producer()
+        producer.send("actions", payload("u1", "A", "click", 0.0), key="u1")
+        scheduler = JobScheduler(interval=3600.0)
+        scheduler.register(job)
+        assert scheduler.maybe_run(3700.0) == 1
+        assert scheduler.maybe_run(3800.0) == 0  # same interval
+        assert scheduler.maybe_run(7300.0) == 1  # next boundary
+        assert len(scheduler.log) == 2
+
+    def test_invalid_interval(self):
+        with pytest.raises(ConfigurationError):
+            JobScheduler(interval=0.0)

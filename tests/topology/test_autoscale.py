@@ -1,0 +1,89 @@
+"""Tests for automatic parallelism selection (Section 7 future work)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology.autoscale import (
+    ParallelismPlan,
+    WorkloadProfile,
+    plan_parallelism,
+)
+from repro.types import UserAction
+
+
+def profile(**kwargs):
+    defaults = dict(
+        events_per_second=1000.0,
+        distinct_users=10_000,
+        distinct_items=5_000,
+        pairs_per_event=10.0,
+    )
+    defaults.update(kwargs)
+    return WorkloadProfile(**defaults)
+
+
+class TestPlanParallelism:
+    def test_layers_scale_with_their_tuple_rates(self):
+        plan = plan_parallelism(profile(), events_per_task_per_second=500.0)
+        # user history: 1000/500 = 2 tasks; pair layers see 10x the rate
+        assert plan.user_history == 2
+        assert plan.pair_count == 20
+        assert plan.sim_list == 40
+
+    def test_small_stream_gets_single_tasks(self):
+        plan = plan_parallelism(
+            profile(events_per_second=10.0, pairs_per_event=2.0),
+            events_per_task_per_second=500.0,
+        )
+        assert plan == ParallelismPlan(1, 1, 1, 1)
+
+    def test_capped_by_key_cardinality(self):
+        # three distinct users can keep at most three userHistory tasks busy
+        plan = plan_parallelism(
+            profile(events_per_second=100_000.0, distinct_users=3),
+            events_per_task_per_second=100.0,
+        )
+        assert plan.user_history == 3
+
+    def test_capped_by_max_parallelism(self):
+        plan = plan_parallelism(
+            profile(events_per_second=10**6), max_parallelism=16
+        )
+        assert max(plan.as_dict().values()) <= 16
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            plan_parallelism(profile(), events_per_task_per_second=0.0)
+        with pytest.raises(ConfigurationError):
+            plan_parallelism(profile(), max_parallelism=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile(events_per_second=0.0, distinct_users=1,
+                            distinct_items=1)
+
+
+class TestProfileFromSample:
+    def test_measures_rate_and_cardinalities(self):
+        actions = [
+            UserAction(f"u{n % 5}", f"i{n % 3}", "click", float(n))
+            for n in range(100)
+        ]
+        measured = WorkloadProfile.from_sample(actions)
+        assert measured.events_per_second == pytest.approx(100 / 99.0)
+        assert measured.distinct_users == 5
+        assert measured.distinct_items == 3
+
+    def test_needs_two_events(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile.from_sample([UserAction("u", "i", "click", 0.0)])
+
+    def test_plan_from_sampled_stream_is_usable(self):
+        actions = [
+            UserAction(f"u{n % 50}", f"i{n % 30}", "click", float(n) / 100)
+            for n in range(2000)
+        ]
+        plan = plan_parallelism(
+            WorkloadProfile.from_sample(actions),
+            events_per_task_per_second=100.0,
+        )
+        assert plan.user_history >= 2
+        assert plan.user_history <= 50

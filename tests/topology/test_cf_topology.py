@@ -1,0 +1,206 @@
+"""Integration tests: the distributed CF topology vs. the reference.
+
+The distributed pipeline (UserHistory -> ItemCount/PairCount -> SimList
+over TDStore) must produce exactly the counts and similarities of the
+standalone PracticalItemCF — Figure 4 is a parallelization of the same
+equations, not a different algorithm.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.itemcf import PracticalItemCF
+from repro.storm import LocalCluster
+from repro.topology import StateKeys
+from repro.topology.framework import CFTopologyConfig, build_cf_topology
+from repro.types import UserAction
+
+
+def random_actions(seed, n_users=15, n_items=12, n_events=250):
+    rng = np.random.default_rng(seed)
+    actions = []
+    t = 0.0
+    kinds = ["browse", "click", "share", "purchase"]
+    for __ in range(n_events):
+        actions.append(
+            UserAction(
+                f"u{rng.integers(n_users)}",
+                f"i{rng.integers(n_items)}",
+                kinds[rng.integers(len(kinds))],
+                t,
+            )
+        )
+        t += 10.0
+    return actions
+
+
+def run_topology(actions, clock, client_factory, config):
+    topo = build_cf_topology("cf", actions, clock, client_factory, config)
+    cluster = LocalCluster(clock=clock)
+    metrics = cluster.submit(topo)
+    cluster.run_until_idle()
+    return cluster, metrics
+
+
+BIG = 10**12
+
+
+class TestEquivalenceWithReference:
+    def test_counts_and_similarities_match(self, clock, tdstore, client_factory):
+        actions = random_actions(seed=7)
+        config = CFTopologyConfig(linked_time=BIG, parallelism=3)
+        run_topology(actions, clock, client_factory, config)
+        reference = PracticalItemCF(linked_time=BIG)
+        reference.observe_many(actions)
+        client = client_factory()
+        for item in reference.table.known_items():
+            assert client.get(StateKeys.item_count(item), 0.0) == pytest.approx(
+                reference.table.item_count(item)
+            )
+        items = reference.table.known_items()
+        for i, p in enumerate(items):
+            for q in items[i + 1 :]:
+                expected = reference.table.pair_count(p, q)
+                if expected > 0:
+                    assert client.get(
+                        StateKeys.pair_count(p, q), 0.0
+                    ) == pytest.approx(expected)
+
+    def test_sim_lists_match_reference(self, clock, tdstore, client_factory):
+        actions = random_actions(seed=11)
+        config = CFTopologyConfig(linked_time=BIG, parallelism=2, k=5)
+        run_topology(actions, clock, client_factory, config)
+        reference = PracticalItemCF(linked_time=BIG, k=5)
+        reference.observe_many(actions)
+        client = client_factory()
+        for item in reference.table.known_items():
+            expected = dict(reference.table.top_similar(item))
+            stored = client.get(StateKeys.sim_list(item), None) or {}
+            assert set(stored) == set(expected)
+            for other, sim in expected.items():
+                assert stored[other] == pytest.approx(sim)
+
+    def test_parallelism_does_not_change_results(self, clock, client_factory):
+        actions = random_actions(seed=3, n_events=120)
+        results = []
+        for parallelism in (1, 4):
+            from repro.tdstore import TDStoreCluster
+            from repro.utils.clock import SimClock
+
+            local_clock = SimClock()
+            store = TDStoreCluster(num_data_servers=3, num_instances=16)
+            config = CFTopologyConfig(linked_time=BIG, parallelism=parallelism)
+            run_topology(list(actions), local_clock, store.client, config)
+            client = store.client()
+            snapshot = {
+                item: client.get(StateKeys.item_count(item), 0.0)
+                for item in (f"i{i}" for i in range(12))
+            }
+            results.append(snapshot)
+        assert results[0] == results[1]
+
+
+class TestHistoryAndRecent:
+    def test_user_history_stored(self, clock, client_factory):
+        actions = [
+            UserAction("u1", "A", "browse", 0.0),
+            UserAction("u1", "A", "purchase", 1.0),
+            UserAction("u1", "B", "click", 2.0),
+        ]
+        run_topology(actions, clock, client_factory, CFTopologyConfig(linked_time=BIG))
+        client = client_factory()
+        history = client.get(StateKeys.history("u1"))
+        assert history["A"][0] == 5.0  # purchase weight
+        assert history["B"][0] == 2.0
+
+    def test_recent_list_bounded_and_ordered(self, clock, client_factory):
+        actions = [
+            UserAction("u1", f"i{n}", "click", float(n)) for n in range(15)
+        ]
+        config = CFTopologyConfig(linked_time=BIG, recent_k=5)
+        run_topology(actions, clock, client_factory, config)
+        recent = client_factory().get(StateKeys.recent("u1"))
+        assert [entry[0] for entry in recent] == [
+            "i14", "i13", "i12", "i11", "i10"
+        ]
+
+
+class TestGroupCounting:
+    def test_multi_hash_group_counts(self, clock, client_factory):
+        """§5.4: actions hashed by user, rating deltas re-hashed by group."""
+        groups = {"u1": "male", "u2": "male", "u3": "female"}
+        actions = [
+            UserAction("u1", "game", "click", 0.0),
+            UserAction("u2", "game", "click", 1.0),
+            UserAction("u3", "recipe", "click", 2.0),
+        ]
+        config = CFTopologyConfig(
+            linked_time=BIG, group_of=lambda user: groups[user]
+        )
+        run_topology(actions, clock, client_factory, config)
+        client = client_factory()
+        male_hot = client.get(StateKeys.hot("male"))
+        female_hot = client.get(StateKeys.hot("female"))
+        assert male_hot["game"] == 4.0  # two clicks at weight 2
+        assert female_hot == {"recipe": 2.0}
+
+
+class TestPruningInTopology:
+    def make_clustered_actions(self):
+        actions = []
+        t = 0.0
+        for n in range(40):
+            for item in ("A", "B", "C"):
+                actions.append(UserAction(f"a{n}", item, "click", t))
+                t += 1.0
+            for item in ("X", "Y", "Z"):
+                actions.append(UserAction(f"x{n}", item, "click", t))
+                t += 1.0
+            if n % 3 == 0:
+                actions.append(UserAction(f"a{n}", "X", "browse", t))
+                t += 1.0
+        return actions
+
+    def test_pruned_pairs_recorded_and_skipped(self, clock, client_factory):
+        actions = self.make_clustered_actions()
+        config = CFTopologyConfig(linked_time=BIG, k=2, pruning_delta=0.05)
+        cluster, __ = run_topology(actions, clock, client_factory, config)
+        client = client_factory()
+        pruned_of_x = client.get(StateKeys.pruned("X"), None) or set()
+        assert pruned_of_x & {"A", "B", "C"}
+        # strong in-cluster pairs survive in the lists
+        sim_list_a = client.get(StateKeys.sim_list("A"), None) or {}
+        assert set(sim_list_a) <= {"B", "C"}
+
+
+class TestCombinerInTopology:
+    def test_combiner_reduces_writes_same_final_counts(self, clock):
+        from repro.tdstore import TDStoreCluster
+        from repro.utils.clock import SimClock
+
+        actions = [
+            UserAction(f"u{n}", "hot-item", "click", float(n)) for n in range(50)
+        ]
+
+        def run(use_combiner):
+            local_clock = SimClock()
+            store = TDStoreCluster(num_data_servers=2, num_instances=8)
+            topo = build_cf_topology(
+                "cf",
+                list(actions),
+                local_clock,
+                store.client,
+                CFTopologyConfig(linked_time=BIG, use_combiner=use_combiner,
+                                 parallelism=1),
+            )
+            cluster = LocalCluster(clock=local_clock, tick_interval=10.0)
+            cluster.submit(topo)
+            cluster.run_until_idle()
+            count = store.client().get(StateKeys.item_count("hot-item"), 0.0)
+            writes = sum(store.write_stats().values())
+            return count, writes
+
+        exact_count, exact_writes = run(use_combiner=False)
+        combined_count, combined_writes = run(use_combiner=True)
+        assert combined_count == exact_count == 100.0  # 50 clicks x weight 2
+        assert combined_writes < exact_writes

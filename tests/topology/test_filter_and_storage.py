@@ -1,0 +1,105 @@
+"""Tests for the storage-layer units: FilterBolt and ResultStorageBolt."""
+
+from repro.storm import (
+    FieldsGrouping,
+    GlobalGrouping,
+    LocalCluster,
+    ShuffleGrouping,
+    TopologyBuilder,
+)
+from repro.storm.component import FunctionBolt, Spout
+from repro.topology import FilterBolt, ResultStorageBolt, StateKeys
+
+
+class RowSpout(Spout):
+    """Emits (item, price) rows."""
+
+    def __init__(self, rows):
+        self._rows = list(rows)
+        self._cursor = 0
+
+    def declare_outputs(self, declarer):
+        declarer.declare(("item", "price"), "rows")
+
+    def next_tuple(self):
+        if self._cursor >= len(self._rows):
+            return False
+        self.collector.emit(self._rows[self._cursor], stream_id="rows")
+        self._cursor += 1
+        return True
+
+
+class TestFilterBolt:
+    def run_filter(self, rows, predicate):
+        builder = TopologyBuilder("filtering")
+        builder.add_spout("spout", lambda: RowSpout(rows))
+        builder.add_bolt(
+            "filter",
+            lambda: FilterBolt(predicate, "kept", ("item", "price")),
+        ).grouping("spout", ShuffleGrouping(), "rows")
+        builder.add_bolt(
+            "sink",
+            lambda: FunctionBolt(lambda tup, col: None),
+        ).grouping("filter", GlobalGrouping(), "kept")
+        cluster = LocalCluster()
+        metrics = cluster.submit(builder.build())
+        cluster.run_until_idle()
+        bolt = cluster.task_instance("filtering", "filter", 0)
+        return bolt, metrics
+
+    def test_price_range_filter(self):
+        rows = [("cheap", 5.0), ("mid", 50.0), ("lux", 500.0)]
+        bolt, metrics = self.run_filter(
+            rows, lambda row: 10.0 <= row["price"] <= 100.0
+        )
+        assert bolt.passed == 1
+        assert bolt.filtered == 2
+        assert metrics.component_executed("sink") == 1
+
+    def test_pass_all(self):
+        rows = [("a", 1.0), ("b", 2.0)]
+        bolt, __ = self.run_filter(rows, lambda row: True)
+        assert bolt.passed == 2
+
+
+class TestResultStorageBolt:
+    def test_results_written_under_result_keys(self, tdstore, client_factory):
+        builder = TopologyBuilder("storing")
+        builder.add_spout("spout", lambda: RowSpout([("item-1", 9.5)]))
+        builder.add_bolt(
+            "store",
+            lambda: ResultStorageBolt(
+                client_factory,
+                kind="price",
+                key_fields=("item",),
+                value_fields=("price",),
+            ),
+        ).grouping("spout", FieldsGrouping(["item"]), "rows")
+        cluster = LocalCluster()
+        cluster.submit(builder.build())
+        cluster.run_until_idle()
+        stored = client_factory().get(StateKeys.result("price", "item-1"))
+        assert stored == {"price": 9.5}
+
+
+class TestFunctionBolt:
+    def test_wraps_callable_with_declared_streams(self):
+        seen = []
+
+        def double(tup, collector):
+            collector.emit((tup["item"], tup["price"] * 2), stream_id="doubled")
+
+        builder = TopologyBuilder("fn")
+        builder.add_spout("spout", lambda: RowSpout([("a", 2.0)]))
+        builder.add_bolt(
+            "double",
+            lambda: FunctionBolt(double, [("doubled", ("item", "price"))]),
+        ).grouping("spout", ShuffleGrouping(), "rows")
+        builder.add_bolt(
+            "collect",
+            lambda: FunctionBolt(lambda tup, col: seen.append(tup.values)),
+        ).grouping("double", GlobalGrouping(), "doubled")
+        cluster = LocalCluster()
+        cluster.submit(builder.build())
+        cluster.run_until_idle()
+        assert seen == [("a", 4.0)]

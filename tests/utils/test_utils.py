@@ -1,0 +1,85 @@
+"""Tests for the clock, hashing and RNG utilities."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.utils import SeedSequenceFactory, SimClock, partition_for_key, stable_hash
+from repro.utils.clock import SECONDS_PER_DAY
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now() == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        clock.advance(2.5)
+        assert clock.now() == 7.5
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimClock().advance(-1.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimClock(start=-5.0)
+
+    def test_advance_to_never_goes_backwards(self):
+        clock = SimClock(start=100.0)
+        clock.advance_to(50.0)
+        assert clock.now() == 100.0
+        clock.advance_to(150.0)
+        assert clock.now() == 150.0
+
+    def test_day_and_hour(self):
+        clock = SimClock(start=SECONDS_PER_DAY * 2 + 3600 * 6)
+        assert clock.day() == 2
+        assert clock.hour_of_day() == pytest.approx(6.0)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash(("u1", "i1")) == stable_hash(("u1", "i1"))
+
+    def test_distinct_keys_differ(self):
+        values = {stable_hash(f"key-{i}") for i in range(1000)}
+        assert len(values) == 1000
+
+    @given(st.integers(min_value=1, max_value=64), st.text())
+    def test_partition_always_in_range(self, n, key):
+        assert 0 <= partition_for_key(key, n) < n
+
+    def test_zero_partitions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            partition_for_key("k", 0)
+
+
+class TestSeedSequenceFactory:
+    def test_same_name_same_stream(self):
+        f = SeedSequenceFactory(42)
+        a = f.generator("users").integers(0, 1000, size=10)
+        b = SeedSequenceFactory(42).generator("users").integers(0, 1000, size=10)
+        assert list(a) == list(b)
+
+    def test_different_names_independent(self):
+        f = SeedSequenceFactory(42)
+        a = f.generator("users").integers(0, 1000, size=10)
+        b = f.generator("items").integers(0, 1000, size=10)
+        assert list(a) != list(b)
+
+    def test_request_order_does_not_matter(self):
+        f1 = SeedSequenceFactory(7)
+        __ = f1.generator("first")
+        late = f1.generator("second").integers(0, 10**6, size=5)
+        f2 = SeedSequenceFactory(7)
+        early = f2.generator("second").integers(0, 10**6, size=5)
+        assert list(late) == list(early)
+
+    def test_spawn_namespacing(self):
+        f = SeedSequenceFactory(7)
+        child_a = f.spawn("news").generator("clicks").integers(0, 10**6, size=5)
+        child_b = f.spawn("video").generator("clicks").integers(0, 10**6, size=5)
+        assert list(child_a) != list(child_b)

@@ -53,7 +53,7 @@ def test_cf_ingest_throughput(stream, benchmark):
     def ingest_one():
         engine.observe(next(cursor))
 
-    result = benchmark(ingest_one)
+    benchmark(ingest_one)
     # the paper's bar: each event updates in well under a second
     assert benchmark.stats["mean"] < 0.01
 

@@ -15,7 +15,7 @@ from repro.storm import LocalCluster
 from repro.tdaccess import TDAccessCluster
 from repro.tdstore import TDStoreCluster
 from repro.topology import StateKeys
-from repro.topology.framework import CFTopologyConfig, build_cf_topology
+from repro.topology.framework import build_cf_topology
 from repro.topology.spouts import TDAccessSpout
 from repro.storm.topology import TopologyBuilder
 from repro.storm.grouping import FieldsGrouping, ShuffleGrouping

@@ -7,6 +7,7 @@ back into the data stream.
 """
 
 from repro.engine.engine import RecommenderEngine, EngineConfig
+from repro.engine.degraded import ServeThroughRecovery
 from repro.engine.front_end import RecommenderFrontEnd, QueryLog
 
 __all__ = [
@@ -14,4 +15,5 @@ __all__ = [
     "EngineConfig",
     "RecommenderFrontEnd",
     "QueryLog",
+    "ServeThroughRecovery",
 ]

@@ -47,6 +47,18 @@ class ConsumerGroupError(TDAccessError):
     """Consumer-group bookkeeping was violated (duplicate ids, bad offsets)."""
 
 
+class OffsetOutOfRangeError(TDAccessError):
+    """A read referenced an offset already truncated by log retention.
+
+    Carries ``earliest``, the oldest offset still retained, so callers
+    (replay, recovery) can decide whether to reseek or abort.
+    """
+
+    def __init__(self, message: str, earliest: int):
+        super().__init__(message)
+        self.earliest = earliest
+
+
 class TDStoreError(ReproError):
     """Base error for the TDStore distributed key-value store."""
 
@@ -67,6 +79,15 @@ class DataServerDownError(TDStoreError):
     """The addressed data server is not alive and no failover was possible."""
 
 
+class StaleRouteError(TDStoreError):
+    """The addressed server no longer hosts the instance (stale route table).
+
+    Raised by the host-fencing check: after a failover moves an instance,
+    a client still holding the old route table must refresh and retry
+    rather than split-brain the instance between old and new hosts.
+    """
+
+
 class AlgorithmError(ReproError):
     """A recommendation algorithm was misused or given invalid input."""
 
@@ -81,3 +102,23 @@ class SimulationError(ReproError):
 
 class EvaluationError(ReproError):
     """An experiment harness was configured or run incorrectly."""
+
+
+class RecoveryError(ReproError):
+    """Coordinated checkpoint/restore could not produce a consistent state."""
+
+
+class CheckpointError(RecoveryError):
+    """A checkpoint manifest is missing, malformed, or failed verification."""
+
+
+class FaultPlanError(RecoveryError):
+    """A fault-injection plan is malformed (unknown kind, bad round)."""
+
+
+class SimulatedCrash(ReproError):
+    """Raised by the fault injector to model a whole-process crash.
+
+    Not an error in the library itself: harnesses catch it at the top of
+    the run loop and hand control to the recovery path.
+    """

@@ -142,7 +142,6 @@ class ABTestRunner:
         scenario = self.scenario
         user = scenario.population.get(user_id)
         engine_name = self.cohort_of(user_id)
-        engine = self.engines[engine_name]
         slate = self.config.slate_size or scenario.slate_size
         context = None
         if self.config.anchored:

@@ -11,12 +11,16 @@ overview.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.storm.cluster import LocalCluster
 from repro.tdaccess.cluster import TDAccessCluster
 from repro.tdaccess.consumer import Consumer
 from repro.tdstore.cluster import TDStoreCluster
+
+if TYPE_CHECKING:
+    from repro.recovery.coordinator import CheckpointCoordinator
+    from repro.recovery.recovery import RecoveryManager
 
 
 @dataclass
@@ -43,6 +47,11 @@ class SystemSnapshot:
     replication_backlog: int = 0
     topology_executed: dict[str, int] = field(default_factory=dict)
     topology_restarts: dict[str, int] = field(default_factory=dict)
+    checkpoints_taken: int = 0
+    checkpoint_age: float | None = None
+    recoveries: int = 0
+    recovery_in_progress: bool = False
+    last_recovery_duration: float | None = None
 
     def read_imbalance(self) -> float:
         """Max/mean read ratio across TDStore servers (1.0 = perfectly
@@ -64,22 +73,40 @@ class SystemMonitor:
         tdaccess: TDAccessCluster | None = None,
         tdstore: TDStoreCluster | None = None,
         storm: LocalCluster | None = None,
+        coordinator: "CheckpointCoordinator | None" = None,
+        recovery: "RecoveryManager | None" = None,
         max_consumer_lag: int = 10_000,
         max_replication_backlog: int = 10_000,
         max_read_imbalance: float = 3.0,
+        max_checkpoint_age: float | None = None,
     ):
         self._now = clock_now
         self._tdaccess = tdaccess
         self._tdstore = tdstore
         self._storm = storm
+        self._coordinator = coordinator
+        self._recovery = recovery
         self._consumers: dict[str, Consumer] = {}
         self.max_consumer_lag = max_consumer_lag
         self.max_replication_backlog = max_replication_backlog
         self.max_read_imbalance = max_read_imbalance
+        self.max_checkpoint_age = max_checkpoint_age
         self.history: list[SystemSnapshot] = []
 
     def watch_consumer(self, name: str, consumer: Consumer):
         self._consumers[name] = consumer
+
+    def watch_recovery(
+        self,
+        coordinator: "CheckpointCoordinator | None" = None,
+        recovery: "RecoveryManager | None" = None,
+    ):
+        """(Re)wire the checkpoint/recovery signal sources; recovery
+        rebuilds the coordinator, so the monitor must be repointable."""
+        if coordinator is not None:
+            self._coordinator = coordinator
+        if recovery is not None:
+            self._recovery = recovery
 
     # -- collection ---------------------------------------------------------
 
@@ -104,6 +131,15 @@ class SystemMonitor:
             for name, run in self._storm._running.items():
                 snap.topology_executed[name] = run.metrics.total_executed()
                 snap.topology_restarts[name] = run.metrics.task_restarts
+        if self._coordinator is not None:
+            snap.checkpoints_taken = self._coordinator.checkpoints_taken
+            snap.checkpoint_age = self._coordinator.checkpoint_age(
+                snap.timestamp
+            )
+        if self._recovery is not None:
+            snap.recoveries = self._recovery.recoveries
+            snap.recovery_in_progress = self._recovery.in_progress
+            snap.last_recovery_duration = self._recovery.last_recovery_duration
         self.history.append(snap)
         return snap
 
@@ -149,6 +185,30 @@ class SystemMonitor:
                     f"{self.max_read_imbalance:.1f}x",
                 )
             )
+        if self.max_checkpoint_age is not None and self._coordinator is not None:
+            if snap.checkpoint_age is None:
+                if snap.timestamp > self.max_checkpoint_age:
+                    alerts.append(
+                        Alert(
+                            "warning", "recovery",
+                            "no checkpoint has ever been taken",
+                        )
+                    )
+            elif snap.checkpoint_age > self.max_checkpoint_age:
+                alerts.append(
+                    Alert(
+                        "warning", "recovery",
+                        f"checkpoint age {snap.checkpoint_age:.0f}s exceeds "
+                        f"{self.max_checkpoint_age:.0f}s",
+                    )
+                )
+        if snap.recovery_in_progress:
+            alerts.append(
+                Alert(
+                    "warning", "recovery",
+                    "recovery replay in progress: serving degraded",
+                )
+            )
         for name, restarts in snap.topology_restarts.items():
             previous = self._previous_restarts(name)
             if restarts > previous:
@@ -189,5 +249,16 @@ class SystemMonitor:
             lines.append(
                 f"  topology {name}: {executed} executions, "
                 f"{snap.topology_restarts.get(name, 0)} restarts"
+            )
+        if self._coordinator is not None or self._recovery is not None:
+            age = (
+                "never"
+                if snap.checkpoint_age is None
+                else f"{snap.checkpoint_age:.0f}s ago"
+            )
+            status = "replaying" if snap.recovery_in_progress else "steady"
+            lines.append(
+                f"  recovery: {snap.checkpoints_taken} checkpoint(s), "
+                f"last {age}, {snap.recoveries} recoveries, {status}"
             )
         return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""The checkpoint coordinator.
+
+Checkpoints piggyback on the cluster's barrier hook: ``LocalCluster``
+invokes the coordinator at the end of every scheduling round, *after*
+draining to quiescence. At that instant no tuple is in flight anywhere in
+the topology, so system state is a pure function of the source offsets
+already consumed — capturing offsets, bolt state, and TDStore contents
+together yields a globally consistent cut without any Chandy–Lamport
+marker machinery. This is the simulated equivalent of an aligned
+checkpoint barrier flowing through the dataflow graph.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import CheckpointError
+from repro.recovery.manifest import CheckpointManifest, CheckpointStore
+
+if TYPE_CHECKING:  # wiring is duck-typed; imports only for annotations
+    from repro.storm.cluster import LocalCluster
+    from repro.tdaccess.consumer import Consumer
+    from repro.tdstore.cluster import TDStoreCluster
+    from repro.utils.clock import SimClock
+
+
+class CheckpointCoordinator:
+    """Captures coordinated checkpoints of one running deployment.
+
+    Parameters
+    ----------
+    store:
+        Destination :class:`CheckpointStore`.
+    cluster:
+        The :class:`LocalCluster` running the topology.
+    topology:
+        Name of the topology to checkpoint.
+    tdstore:
+        The :class:`TDStoreCluster` holding recommendation state.
+    consumers:
+        name -> :class:`Consumer`; names are stable identifiers that let
+        recovery match saved offsets back to rebuilt consumers.
+    clock:
+        The deployment's :class:`SimClock`.
+    every_rounds:
+        Take a checkpoint every N barrier rounds.
+    interval_seconds:
+        Take a checkpoint when at least this much simulated time has
+        passed since the previous one. Either policy (or both, or
+        neither for manual-only checkpointing) may be set.
+    """
+
+    def __init__(
+        self,
+        store: CheckpointStore,
+        cluster: "LocalCluster",
+        topology: str,
+        tdstore: "TDStoreCluster",
+        consumers: "dict[str, Consumer]",
+        clock: "SimClock",
+        every_rounds: int | None = None,
+        interval_seconds: float | None = None,
+    ):
+        if every_rounds is not None and every_rounds <= 0:
+            raise CheckpointError(f"every_rounds must be positive: {every_rounds}")
+        if interval_seconds is not None and interval_seconds <= 0:
+            raise CheckpointError(
+                f"interval_seconds must be positive: {interval_seconds}"
+            )
+        self._store = store
+        self._cluster = cluster
+        self._topology = topology
+        self._tdstore = tdstore
+        self._consumers = consumers
+        self._clock = clock
+        self._every_rounds = every_rounds
+        self._interval_seconds = interval_seconds
+        self._attached = False
+        self.checkpoints_taken = 0
+        self.last_checkpoint_time: float | None = None
+        self.last_checkpoint_id: int | None = None
+
+    # -- barrier wiring ---------------------------------------------------
+
+    def attach(self):
+        if not self._attached:
+            self._cluster.add_barrier_hook(self._on_barrier)
+            self._attached = True
+
+    def detach(self):
+        if self._attached:
+            self._cluster.remove_barrier_hook(self._on_barrier)
+            self._attached = False
+
+    def _on_barrier(self, barrier_round: int):
+        if self._due(barrier_round):
+            self.checkpoint(barrier_round)
+
+    def _due(self, barrier_round: int) -> bool:
+        if self._every_rounds is not None and (
+            barrier_round % self._every_rounds == 0
+        ):
+            return True
+        if self._interval_seconds is not None:
+            last = self.last_checkpoint_time
+            reference = last if last is not None else 0.0
+            if self._clock.now() - reference >= self._interval_seconds:
+                return True
+        return False
+
+    # -- capture ----------------------------------------------------------
+
+    def checkpoint(self, barrier_round: int | None = None) -> CheckpointManifest:
+        """Capture one coordinated checkpoint right now.
+
+        Callers outside a barrier hook must only call this while the
+        topology is quiescent (between ``step()`` calls); mid-drain the
+        cut would not be consistent.
+        """
+        if barrier_round is None:
+            barrier_round = self._cluster.barrier_rounds
+        manifest = CheckpointManifest(
+            checkpoint_id=self._store.next_checkpoint_id(),
+            topology=self._topology,
+            clock_time=self._clock.now(),
+            next_tick=self._cluster.next_tick,
+            barrier_round=barrier_round,
+            offsets={
+                name: consumer.positions()
+                for name, consumer in self._consumers.items()
+            },
+            bolt_states=self._cluster.capture_component_states(self._topology),
+            tdstore_contents=self._tdstore.snapshot_contents(),
+        )
+        self._store.save(manifest)
+        self.checkpoints_taken += 1
+        self.last_checkpoint_time = manifest.clock_time
+        self.last_checkpoint_id = manifest.checkpoint_id
+        return manifest
+
+    # -- monitoring surface ----------------------------------------------
+
+    def checkpoint_age(self, now: float | None = None) -> float | None:
+        """Simulated seconds since the last checkpoint; None if never."""
+        if self.last_checkpoint_time is None:
+            return None
+        if now is None:
+            now = self._clock.now()
+        return max(0.0, now - self.last_checkpoint_time)

@@ -1,0 +1,236 @@
+"""Fault injection for the checkpoint/recovery subsystem.
+
+The injector is a chaos driver wired into the same quiescent barrier the
+checkpoint coordinator uses: at the end of each scheduling round it fires
+every fault whose round has come. Faults cover all three layers of the
+deployment — Storm task kills, TDStore data-server crashes/recoveries,
+TDAccess server crashes and master failovers — plus ``crash_process``,
+which raises :class:`~repro.errors.SimulatedCrash` to model the whole
+computation process dying (taking Storm task state and the memory-based
+TDStore with it; only the TDAccess logs and the checkpoint store
+survive).
+
+Plans are either scripted (an explicit list of :class:`Fault`) or
+generated deterministically from a seed with :func:`seeded_plan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import FaultPlanError, SimulatedCrash
+from repro.utils.rng import SeedSequenceFactory
+
+if TYPE_CHECKING:
+    from repro.storm.cluster import LocalCluster
+    from repro.tdaccess.cluster import TDAccessCluster
+    from repro.tdstore.cluster import TDStoreCluster
+
+KINDS = frozenset(
+    {
+        "kill_task",
+        "crash_tdstore",
+        "recover_tdstore",
+        "crash_tdaccess_server",
+        "recover_tdaccess_server",
+        "failover_tdaccess_master",
+        "crash_process",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault.
+
+    ``round`` is the barrier round at (or after) which the fault fires.
+    ``target`` depends on the kind: ``(component, task_index)`` for
+    ``kill_task``, ``(server_id,)`` for the TDStore/TDAccess server
+    kinds, and empty for master failover and process crash.
+    """
+
+    round: int
+    kind: str
+    target: tuple = ()
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{sorted(KINDS)}"
+            )
+        if self.round < 1:
+            raise FaultPlanError(
+                f"fault rounds start at 1 (first barrier): {self.round}"
+            )
+
+
+class FaultInjector:
+    """Fires a fault plan against a live deployment at barrier points.
+
+    Attach with :meth:`attach`; every fired fault is appended to
+    :attr:`injected` so tests and the harness can assert what actually
+    happened. The plan cursor survives a detach/re-attach, which is how a
+    plan keeps going across a process crash and recovery: faults already
+    fired are not replayed against the recovered deployment.
+    """
+
+    def __init__(
+        self,
+        plan: list[Fault],
+        *,
+        storm: "LocalCluster | None" = None,
+        topology: str | None = None,
+        tdstore: "TDStoreCluster | None" = None,
+        tdaccess: "TDAccessCluster | None" = None,
+    ):
+        self._plan = sorted(plan, key=lambda fault: fault.round)
+        self._cursor = 0
+        self.injected: list[Fault] = []
+        self._storm = storm
+        self._topology = topology
+        self._tdstore = tdstore
+        self._tdaccess = tdaccess
+        self._attached_to: "LocalCluster | None" = None
+
+    # -- wiring -----------------------------------------------------------
+
+    def rewire(
+        self,
+        *,
+        storm: "LocalCluster | None" = None,
+        topology: str | None = None,
+        tdstore: "TDStoreCluster | None" = None,
+        tdaccess: "TDAccessCluster | None" = None,
+    ):
+        """Point the injector at a rebuilt deployment after recovery."""
+        if storm is not None:
+            self._storm = storm
+        if topology is not None:
+            self._topology = topology
+        if tdstore is not None:
+            self._tdstore = tdstore
+        if tdaccess is not None:
+            self._tdaccess = tdaccess
+
+    def attach(self, cluster: "LocalCluster"):
+        self.detach()
+        self._storm = cluster
+        cluster.add_barrier_hook(self.on_barrier)
+        self._attached_to = cluster
+
+    def detach(self):
+        if self._attached_to is not None:
+            self._attached_to.remove_barrier_hook(self.on_barrier)
+            self._attached_to = None
+
+    # -- firing -----------------------------------------------------------
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._plan)
+
+    @property
+    def remaining(self) -> list[Fault]:
+        return self._plan[self._cursor :]
+
+    def on_barrier(self, barrier_round: int):
+        while (
+            self._cursor < len(self._plan)
+            and self._plan[self._cursor].round <= barrier_round
+        ):
+            fault = self._plan[self._cursor]
+            self._cursor += 1
+            self._fire(fault)
+
+    def _fire(self, fault: Fault):
+        self.injected.append(fault)
+        if fault.kind == "kill_task":
+            component, task_index = fault.target
+            self._storm.kill_task(self._topology, component, task_index)
+        elif fault.kind == "crash_tdstore":
+            self._tdstore.crash_data_server(fault.target[0])
+        elif fault.kind == "recover_tdstore":
+            self._tdstore.recover_data_server(fault.target[0])
+        elif fault.kind == "crash_tdaccess_server":
+            self._tdaccess.crash_data_server(fault.target[0])
+        elif fault.kind == "recover_tdaccess_server":
+            self._tdaccess.recover_data_server(fault.target[0])
+        elif fault.kind == "failover_tdaccess_master":
+            self._tdaccess.failover_master()
+        elif fault.kind == "crash_process":
+            raise SimulatedCrash(
+                f"fault plan crashed the computation process at round "
+                f"{fault.round}"
+            )
+
+
+def seeded_plan(
+    seed: int,
+    *,
+    horizon: int,
+    kill_components: list[tuple[str, int]] | None = None,
+    tdstore_servers: list[int] | None = None,
+    tdaccess_servers: list[int] | None = None,
+    task_kills: int = 2,
+    tdstore_crashes: int = 1,
+    tdaccess_crashes: int = 0,
+    master_failovers: int = 0,
+    process_crashes: int = 1,
+) -> list[Fault]:
+    """Generate a deterministic fault plan from ``seed``.
+
+    ``horizon`` is the number of barrier rounds the run is expected to
+    last; faults are scheduled inside it. ``kill_components`` lists
+    ``(component, parallelism)`` choices for task kills. Server crashes
+    are paired with a recovery a few rounds later so at most one replica
+    of anything is down at a time. Process crashes are placed in the
+    second half of the horizon so checkpoints exist to recover from.
+    """
+    if horizon < 4:
+        raise FaultPlanError(f"horizon too short to schedule faults: {horizon}")
+    rng = SeedSequenceFactory(seed).generator("fault-plan")
+    plan: list[Fault] = []
+
+    def _round(lo: int, hi: int) -> int:
+        return int(rng.integers(lo, max(lo + 1, hi)))
+
+    if kill_components:
+        for _ in range(task_kills):
+            component, parallelism = kill_components[
+                int(rng.integers(0, len(kill_components)))
+            ]
+            task_index = int(rng.integers(0, parallelism))
+            plan.append(
+                Fault(_round(1, horizon), "kill_task", (component, task_index))
+            )
+    if tdstore_servers:
+        for _ in range(tdstore_crashes):
+            server = tdstore_servers[int(rng.integers(0, len(tdstore_servers)))]
+            crash_at = _round(1, horizon - 2)
+            plan.append(Fault(crash_at, "crash_tdstore", (server,)))
+            plan.append(
+                Fault(
+                    crash_at + _round(1, 3), "recover_tdstore", (server,)
+                )
+            )
+    if tdaccess_servers:
+        for _ in range(tdaccess_crashes):
+            server = tdaccess_servers[
+                int(rng.integers(0, len(tdaccess_servers)))
+            ]
+            crash_at = _round(1, horizon - 2)
+            plan.append(Fault(crash_at, "crash_tdaccess_server", (server,)))
+            plan.append(
+                Fault(
+                    crash_at + _round(1, 3),
+                    "recover_tdaccess_server",
+                    (server,),
+                )
+            )
+    for _ in range(master_failovers):
+        plan.append(Fault(_round(1, horizon), "failover_tdaccess_master"))
+    for _ in range(process_crashes):
+        plan.append(Fault(_round(horizon // 2, horizon), "crash_process"))
+    return sorted(plan, key=lambda fault: fault.round)

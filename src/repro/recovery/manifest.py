@@ -1,0 +1,206 @@
+"""Versioned checkpoint manifests and the store that seals them.
+
+A checkpoint manifest is the unit of coordinated recovery: one
+atomically captured, self-describing record of everything a restarted
+deployment needs — the simulated clock, the tick schedule, every
+TDAccess consumer offset, every stateful bolt's process-local state, and
+the full contents of every TDStore data instance. Manifests are sealed
+by pickling at save time, so later in-place mutation of the live objects
+they were captured from can never corrupt a checkpoint, and fingerprints
+are verified at load time so a corrupted manifest is rejected instead of
+silently restoring garbage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import CheckpointError
+
+MANIFEST_FORMAT_VERSION = 1
+
+_FILE_PREFIX = "checkpoint-"
+_FILE_SUFFIX = ".ckpt"
+
+
+@dataclass(frozen=True)
+class CheckpointManifest:
+    """One consistent, whole-system checkpoint.
+
+    Attributes
+    ----------
+    checkpoint_id:
+        Monotonic sequence number assigned by the store.
+    topology:
+        Name of the checkpointed topology (restore validates the shape).
+    clock_time:
+        Simulated time at the barrier; recovery re-advances a fresh
+        clock to this instant.
+    next_tick:
+        The cluster's next scheduled tick, or None when not ticking;
+        restoring it keeps combiner flushes phase-aligned with the
+        original run.
+    barrier_round:
+        Scheduling round at which the barrier fired (diagnostics).
+    offsets:
+        consumer name -> {partition -> next offset to read}. Replay
+        starts here, so incremental counts rebuild to exactly the
+        pre-crash values.
+    bolt_states:
+        (component, task_index) -> state dict for every task whose
+        ``snapshot_state`` returned one.
+    tdstore_contents:
+        data instance -> full key/value snapshot.
+    """
+
+    checkpoint_id: int
+    topology: str
+    clock_time: float
+    next_tick: float | None
+    barrier_round: int
+    offsets: dict[str, dict[int, int]]
+    bolt_states: dict[tuple[str, int], dict]
+    tdstore_contents: dict[int, dict[str, Any]]
+    format_version: int = MANIFEST_FORMAT_VERSION
+
+    def replay_span(self, head_offsets: dict[str, dict[int, int]]) -> int:
+        """Messages between this checkpoint and ``head_offsets`` (same
+        shape as :attr:`offsets`) — the replay cost of recovering here."""
+        span = 0
+        for name, partitions in self.offsets.items():
+            for partition, offset in partitions.items():
+                head = head_offsets.get(name, {}).get(partition, offset)
+                span += max(0, head - offset)
+        return span
+
+
+def _fingerprint(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+class CheckpointStore:
+    """Holds sealed checkpoint manifests, in memory and optionally on disk.
+
+    Parameters
+    ----------
+    directory:
+        When set, every manifest is also written to
+        ``checkpoint-<id>.ckpt`` under this directory, and manifests
+        already present there are loaded at construction — which is how
+        checkpoints survive a whole-process restart.
+    keep:
+        When set, only the newest ``keep`` checkpoints are retained;
+        older ones are pruned from memory and disk.
+    """
+
+    def __init__(self, directory: str | None = None, keep: int | None = None):
+        if keep is not None and keep < 1:
+            raise CheckpointError(f"keep must be >= 1: {keep}")
+        self._directory = directory
+        self._keep = keep
+        self._sealed: dict[int, tuple[str, bytes]] = {}
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+            self._load_directory()
+
+    def _load_directory(self):
+        for name in sorted(os.listdir(self._directory)):
+            if not (name.startswith(_FILE_PREFIX) and name.endswith(_FILE_SUFFIX)):
+                continue
+            path = os.path.join(self._directory, name)
+            with open(path, "rb") as handle:
+                record = pickle.load(handle)
+            checkpoint_id = record["checkpoint_id"]
+            self._sealed[checkpoint_id] = (record["fingerprint"], record["payload"])
+
+    def _path(self, checkpoint_id: int) -> str:
+        return os.path.join(
+            self._directory, f"{_FILE_PREFIX}{checkpoint_id:06d}{_FILE_SUFFIX}"
+        )
+
+    # -- write side -------------------------------------------------------
+
+    def next_checkpoint_id(self) -> int:
+        return max(self._sealed, default=-1) + 1
+
+    def save(self, manifest: CheckpointManifest) -> CheckpointManifest:
+        """Seal ``manifest`` (deep-copy via pickle) and retain it."""
+        if manifest.checkpoint_id in self._sealed:
+            raise CheckpointError(
+                f"checkpoint id {manifest.checkpoint_id} already saved"
+            )
+        payload = pickle.dumps(manifest)
+        fingerprint = _fingerprint(payload)
+        self._sealed[manifest.checkpoint_id] = (fingerprint, payload)
+        if self._directory is not None:
+            record = {
+                "checkpoint_id": manifest.checkpoint_id,
+                "fingerprint": fingerprint,
+                "payload": payload,
+            }
+            with open(self._path(manifest.checkpoint_id), "wb") as handle:
+                pickle.dump(record, handle)
+        self._prune()
+        return manifest
+
+    def _prune(self):
+        if self._keep is None:
+            return
+        while len(self._sealed) > self._keep:
+            oldest = min(self._sealed)
+            del self._sealed[oldest]
+            if self._directory is not None:
+                path = self._path(oldest)
+                if os.path.exists(path):
+                    os.remove(path)
+
+    # -- read side --------------------------------------------------------
+
+    def checkpoint_ids(self) -> list[int]:
+        return sorted(self._sealed)
+
+    def __len__(self) -> int:
+        return len(self._sealed)
+
+    def load(self, checkpoint_id: int) -> CheckpointManifest:
+        """Unseal one manifest; a fingerprint mismatch means corruption."""
+        try:
+            fingerprint, payload = self._sealed[checkpoint_id]
+        except KeyError:
+            raise CheckpointError(
+                f"no checkpoint {checkpoint_id}; have {self.checkpoint_ids()}"
+            ) from None
+        if _fingerprint(payload) != fingerprint:
+            raise CheckpointError(
+                f"checkpoint {checkpoint_id} failed fingerprint verification"
+            )
+        manifest = pickle.loads(payload)
+        if manifest.format_version != MANIFEST_FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {checkpoint_id} has format version "
+                f"{manifest.format_version}; this build reads "
+                f"{MANIFEST_FORMAT_VERSION}"
+            )
+        return manifest
+
+    def latest(self) -> CheckpointManifest | None:
+        if not self._sealed:
+            return None
+        return self.load(max(self._sealed))
+
+    def sealed_size(self, checkpoint_id: int) -> int:
+        """Serialized byte size of one checkpoint (benchmark metric)."""
+        try:
+            return len(self._sealed[checkpoint_id][1])
+        except KeyError:
+            raise CheckpointError(f"no checkpoint {checkpoint_id}") from None
+
+    def corrupt(self, checkpoint_id: int):
+        """Flip a byte of a sealed payload (test hook for verification)."""
+        fingerprint, payload = self._sealed[checkpoint_id]
+        mutated = bytes([payload[0] ^ 0xFF]) + payload[1:]
+        self._sealed[checkpoint_id] = (fingerprint, mutated)

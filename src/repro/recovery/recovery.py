@@ -1,0 +1,167 @@
+"""Restoring a deployment from its latest consistent checkpoint.
+
+Recovery mirrors what the checkpoint captured, in dependency order:
+re-advance the clock, adopt TDStore contents, reinstall bolt state,
+realign the tick schedule, and seek every consumer back to its saved
+offsets. The TDAccess partition logs (which survive the crash on disk)
+then replay everything after the checkpoint through the normal topology
+path, so the incremental ItemCF counts (Eq 6–8) and CTR statistics
+rebuild to exactly the values an uninterrupted run would have produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import RecoveryError
+from repro.recovery.manifest import CheckpointManifest, CheckpointStore
+
+if TYPE_CHECKING:
+    from repro.storm.cluster import LocalCluster
+    from repro.tdaccess.consumer import Consumer
+    from repro.tdstore.cluster import TDStoreCluster
+    from repro.utils.clock import SimClock
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What one restore did: where it resumed and what it must replay."""
+
+    checkpoint_id: int
+    checkpoint_time: float
+    resumed_offsets: dict[str, dict[int, int]]
+    replay_backlog: int
+    truncated_messages: int
+
+    @property
+    def truncated(self) -> bool:
+        return self.truncated_messages > 0
+
+
+class RecoveryManager:
+    """Restores checkpoints and tracks recovery status for monitoring.
+
+    Parameters
+    ----------
+    store:
+        The :class:`CheckpointStore` to restore from.
+    allow_truncated_replay:
+        When the saved offsets predate the logs' retention horizon, a
+        strict manager (the default) raises :class:`RecoveryError` —
+        replaying from the earliest retained offset would silently drop
+        acknowledged history. With this flag, recovery instead reseeks to
+        the earliest available offset and reports how many messages were
+        lost to truncation.
+    """
+
+    def __init__(
+        self, store: CheckpointStore, allow_truncated_replay: bool = False
+    ):
+        self._store = store
+        self.allow_truncated_replay = allow_truncated_replay
+        self.recoveries = 0
+        self.in_progress = False
+        self.last_report: RecoveryReport | None = None
+        self.last_recovery_duration: float | None = None
+        self._replay_started_at: float | None = None
+
+    @property
+    def store(self) -> CheckpointStore:
+        return self._store
+
+    def latest_checkpoint(self) -> CheckpointManifest:
+        manifest = self._store.latest()
+        if manifest is None:
+            raise RecoveryError("no checkpoint to restore from")
+        return manifest
+
+    def restore_latest(self, **deployment) -> RecoveryReport:
+        """Restore the most recent checkpoint; see :meth:`restore`."""
+        return self.restore(self.latest_checkpoint(), **deployment)
+
+    def restore(
+        self,
+        manifest: CheckpointManifest,
+        *,
+        cluster: "LocalCluster",
+        topology: str,
+        tdstore: "TDStoreCluster",
+        consumers: "dict[str, Consumer]",
+        clock: "SimClock",
+    ) -> RecoveryReport:
+        """Install ``manifest`` into a freshly built deployment.
+
+        The deployment must have the same topology shape and consumer
+        names as the checkpointed one; after this returns, running the
+        cluster replays the log suffix and converges on the pre-crash
+        state. ``in_progress`` stays True until :meth:`replay_complete`
+        is called (the harness does this when the replay catches up), so
+        the serving layer can degrade during the window.
+        """
+        if manifest.topology != topology:
+            raise RecoveryError(
+                f"checkpoint is for topology {manifest.topology!r}, "
+                f"not {topology!r}"
+            )
+        clock.advance_to(manifest.clock_time)
+        tdstore.restore_contents(manifest.tdstore_contents)
+        cluster.restore_component_states(topology, manifest.bolt_states)
+        if manifest.next_tick is not None:
+            cluster.set_next_tick(manifest.next_tick)
+        resumed, truncated = self._seek_consumers(manifest, consumers)
+        backlog = sum(consumers[name].lag() for name in resumed)
+        report = RecoveryReport(
+            checkpoint_id=manifest.checkpoint_id,
+            checkpoint_time=manifest.clock_time,
+            resumed_offsets=resumed,
+            replay_backlog=backlog,
+            truncated_messages=truncated,
+        )
+        self.recoveries += 1
+        self.in_progress = True
+        self._replay_started_at = manifest.clock_time
+        self.last_report = report
+        return report
+
+    def _seek_consumers(
+        self,
+        manifest: CheckpointManifest,
+        consumers: "dict[str, Consumer]",
+    ) -> tuple[dict[str, dict[int, int]], int]:
+        resumed: dict[str, dict[int, int]] = {}
+        truncated = 0
+        for name, saved in manifest.offsets.items():
+            consumer = consumers.get(name)
+            if consumer is None:
+                raise RecoveryError(
+                    f"checkpoint names consumer {name!r} but the rebuilt "
+                    f"deployment only has {sorted(consumers)}"
+                )
+            adjusted: dict[int, int] = {}
+            for partition, offset in saved.items():
+                earliest = consumer.earliest(partition)
+                if earliest is not None and offset < earliest:
+                    if not self.allow_truncated_replay:
+                        raise RecoveryError(
+                            f"checkpoint {manifest.checkpoint_id} needs "
+                            f"{consumer.topic}[{partition}] from offset "
+                            f"{offset} but retention starts at {earliest}; "
+                            "pass allow_truncated_replay=True to resume "
+                            "with data loss"
+                        )
+                    truncated += earliest - offset
+                    offset = earliest
+                adjusted[partition] = offset
+            consumer.seek_all(adjusted)
+            resumed[name] = adjusted
+        return resumed, truncated
+
+    def replay_complete(self, now: float):
+        """Mark the post-restore replay as caught up (ends degradation)."""
+        if self.in_progress and self._replay_started_at is not None:
+            self.last_recovery_duration = max(
+                0.0, now - self._replay_started_at
+            )
+        self.in_progress = False
+        self._replay_started_at = None

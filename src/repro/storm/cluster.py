@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.errors import ClusterError, ClusterStateError
 from repro.storm.acking import Acker
@@ -141,6 +141,8 @@ class LocalCluster:
         self._next_tick = (
             None if tick_interval is None else self.clock.now() + tick_interval
         )
+        self._barrier_hooks: list[Callable[[int], None]] = []
+        self._barrier_rounds = 0
 
     # ------------------------------------------------------------------
     # submission
@@ -264,6 +266,12 @@ class LocalCluster:
                         progressed = True
         if self.drain() > 0:
             progressed = True
+        # barrier point: every input queue has drained, so the system state
+        # is a pure function of the source positions consumed so far — the
+        # consistency point checkpoint and fault-injection hooks rely on
+        self._barrier_rounds += 1
+        for hook in list(self._barrier_hooks):
+            hook(self._barrier_rounds)
         return progressed
 
     def drain(self) -> int:
@@ -317,6 +325,86 @@ class LocalCluster:
             for task in run.tasks.values():
                 if isinstance(task.instance, Bolt):
                     task.instance.tick(now)
+
+    # ------------------------------------------------------------------
+    # checkpoint support (repro.recovery)
+    # ------------------------------------------------------------------
+
+    def add_barrier_hook(self, hook: Callable[[int], None]):
+        """Register ``hook(round)`` to fire at each quiescent barrier.
+
+        Hooks run at the end of every scheduling round, after all input
+        queues have drained — the point where a checkpoint is consistent
+        and where the fault injector strikes. A hook may raise
+        :class:`~repro.errors.SimulatedCrash` to abort the run loop.
+        """
+        self._barrier_hooks.append(hook)
+
+    def remove_barrier_hook(self, hook: Callable[[int], None]):
+        if hook in self._barrier_hooks:
+            self._barrier_hooks.remove(hook)
+
+    @property
+    def barrier_rounds(self) -> int:
+        return self._barrier_rounds
+
+    def capture_component_states(
+        self, topology_name: str
+    ) -> dict[tuple[str, int], dict]:
+        """Snapshot the process-local state of every stateful task.
+
+        Tasks whose :meth:`~repro.storm.component.Component.snapshot_state`
+        returns ``None`` (state entirely in TDStore) are omitted.
+        """
+        run = self._running.get(topology_name)
+        if run is None:
+            raise ClusterStateError(f"unknown topology {topology_name!r}")
+        states: dict[tuple[str, int], dict] = {}
+        for key, task in run.tasks.items():
+            state = task.instance.snapshot_state()
+            if state is not None:
+                states[key] = state
+        return states
+
+    def restore_component_states(
+        self, topology_name: str, states: dict[tuple[str, int], dict]
+    ):
+        """Reinstall captured task states into a freshly submitted topology.
+
+        The topology must have the same component names and task counts
+        as at checkpoint time; recovery does not resize topologies.
+        """
+        run = self._running.get(topology_name)
+        if run is None:
+            raise ClusterStateError(f"unknown topology {topology_name!r}")
+        for key, state in states.items():
+            task = run.tasks.get(key)
+            if task is None:
+                raise ClusterStateError(
+                    f"checkpoint names task {key[0]!r}[{key[1]}] which does "
+                    f"not exist in {topology_name!r}; recovery requires the "
+                    "same topology shape"
+                )
+            task.instance.restore_state(state)
+
+    @property
+    def next_tick(self) -> float | None:
+        """The simulated time of the next scheduled tick, if ticking."""
+        return self._next_tick
+
+    def set_next_tick(self, when: float | None):
+        """Restore the tick schedule from a checkpoint.
+
+        Without this, a recovered cluster would phase-shift its ticks to
+        ``recovery_time + interval``, flushing combiner buffers at
+        different moments than the original run and breaking exactness.
+        """
+        if when is not None and self.tick_interval is None:
+            raise ClusterStateError(
+                "cannot restore a tick schedule on a cluster without a "
+                "tick_interval"
+            )
+        self._next_tick = when
 
     # ------------------------------------------------------------------
     # failure injection (Section 3.1 / 3.3 failure model)

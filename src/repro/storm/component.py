@@ -114,6 +114,27 @@ class Component(ABC):
     def cleanup(self):
         """Called when the topology is shut down."""
 
+    # -- checkpoint protocol (repro.recovery) ------------------------------
+
+    def snapshot_state(self) -> "dict | None":
+        """Return this task's in-memory state for a checkpoint.
+
+        Components whose state lives entirely in TDStore (rebuilt lazily
+        through their caches) return ``None`` — there is nothing beyond
+        the store to capture. Components with genuine process-local state
+        (combiner buffers, open sessions, observation counters) return a
+        picklable dict that :meth:`restore_state` can consume.
+        """
+        return None
+
+    def restore_state(self, state: dict):
+        """Reinstall a state dict captured by :meth:`snapshot_state`.
+
+        Called after :meth:`prepare` on a freshly constructed instance
+        during recovery; the default ignores the state, matching the
+        default :meth:`snapshot_state` of ``None``.
+        """
+
 
 class Spout(Component):
     """A source of streams.

@@ -30,6 +30,13 @@ class ReplayingSpout(Spout):
         Output stream declaration.
     max_retries:
         After this many failures a row is moved to ``dead_letters``.
+    max_in_flight:
+        Cap on unacked emitted tuples. When reached the spout stops
+        emitting (``throttled`` counts the skipped polls) until acks or
+        failures shrink the pending buffer — Storm's
+        ``topology.max.spout.pending`` backpressure. Without a cap,
+        repeated downstream failures let the pending buffer grow with
+        the whole remaining input.
     """
 
     def __init__(
@@ -38,18 +45,26 @@ class ReplayingSpout(Spout):
         fields: tuple[str, ...],
         stream_id: str = "default",
         max_retries: int = 3,
+        max_in_flight: int | None = None,
     ):
         if max_retries < 0:
             raise ConfigurationError(f"max_retries must be >= 0: {max_retries}")
+        if max_in_flight is not None and max_in_flight <= 0:
+            raise ConfigurationError(
+                f"max_in_flight must be positive: {max_in_flight}"
+            )
         self._queue: deque[tuple[int, tuple]] = deque(enumerate(rows))
         self._fields = fields
         self._stream_id = stream_id
         self._max_retries = max_retries
+        self._max_in_flight = max_in_flight
         self._pending: dict[int, tuple] = {}
         self._failures: dict[int, int] = {}
         self.dead_letters: list[tuple] = []
         self.replays = 0
         self.completed = 0
+        self.throttled = 0
+        self.max_in_flight_seen = 0
 
     def declare_outputs(self, declarer):
         declarer.declare(self._fields, self._stream_id)
@@ -57,10 +72,20 @@ class ReplayingSpout(Spout):
     def next_tuple(self) -> bool:
         if not self._queue:
             return False
+        if (
+            self._max_in_flight is not None
+            and len(self._pending) >= self._max_in_flight
+        ):
+            # backpressure: rows remain queued, so report "more to come"
+            # without emitting; pending tuples resolve during the drain
+            # that follows every poll, reopening the window
+            self.throttled += 1
+            return True
         message_id, row = self._queue.popleft()
         self._pending[message_id] = row
         self.collector.emit(row, stream_id=self._stream_id,
                             message_id=message_id)
+        self.max_in_flight_seen = max(self.max_in_flight_seen, len(self._pending))
         return True
 
     def on_ack(self, message_id: Any):

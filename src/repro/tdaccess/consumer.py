@@ -89,12 +89,37 @@ class Consumer:
     def position(self, partition: int) -> int:
         return self._offsets[partition]
 
+    def positions(self) -> dict[int, int]:
+        """Offset snapshot of every owned partition (checkpoint capture)."""
+        return dict(self._offsets)
+
     def seek(self, partition: int, offset: int):
         if partition not in self._offsets:
             raise ConsumerGroupError(
                 f"consumer does not own partition {partition}"
             )
         self._offsets[partition] = offset
+
+    def seek_all(self, offsets: dict[int, int]):
+        """Restore every partition position from a checkpoint snapshot."""
+        for partition, offset in offsets.items():
+            self.seek(partition, offset)
+
+    def earliest(self, partition: int) -> int | None:
+        """Oldest retained offset of ``partition``, or None if it is down.
+
+        Recovery uses this to detect checkpoints whose replay range has
+        been truncated by retention before replaying a single message.
+        """
+        if partition not in self._offsets:
+            raise ConsumerGroupError(
+                f"consumer does not own partition {partition}"
+            )
+        try:
+            server = self._masters.active.route(self.topic, partition)
+        except PartitionUnavailableError:
+            return None
+        return server.start_offset(self.topic, partition)
 
     def poll(self, max_per_partition: int = 256) -> list[Message]:
         """Fetch new messages from every owned, live partition.

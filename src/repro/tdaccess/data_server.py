@@ -62,6 +62,10 @@ class DataServer:
     def head_offset(self, topic: str, partition: int) -> int:
         return self._log(topic, partition).next_offset
 
+    def start_offset(self, topic: str, partition: int) -> int:
+        """Oldest retained offset (retention may have truncated earlier)."""
+        return self._log(topic, partition).start_offset
+
     def crash(self):
         """Simulate a machine failure; logs are retained (disk survives)."""
         self.alive = False

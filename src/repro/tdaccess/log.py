@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
-from repro.errors import TDAccessError
+from repro.errors import OffsetOutOfRangeError, TDAccessError
 from repro.tdaccess.message import Message
 
 
@@ -107,13 +107,16 @@ class PartitionLog:
     def read(self, from_offset: int, max_messages: int) -> list[Message]:
         """Read up to ``max_messages`` starting at ``from_offset``.
 
-        Offsets older than retention raise; reading at or past the head
-        returns an empty list (nothing new yet).
+        Offsets older than retention raise :class:`OffsetOutOfRangeError`
+        carrying the earliest retained offset, so replay callers can
+        decide to reseek or abort; reading at or past the head returns an
+        empty list (nothing new yet).
         """
         if from_offset < self.start_offset:
-            raise TDAccessError(
+            raise OffsetOutOfRangeError(
                 f"offset {from_offset} below retained start "
-                f"{self.start_offset} for {self.topic}[{self.partition}]"
+                f"{self.start_offset} for {self.topic}[{self.partition}]",
+                earliest=self.start_offset,
             )
         if max_messages <= 0:
             return []
@@ -131,7 +134,20 @@ class PartitionLog:
         return out
 
     def scan(self, from_offset: int = 0) -> Iterator[Message]:
-        """Iterate all retained messages from ``from_offset`` (offline reads)."""
+        """Iterate all retained messages from ``from_offset`` (offline reads).
+
+        ``from_offset=0`` (the default) means "everything retained". An
+        explicit positive offset that retention already truncated raises
+        :class:`OffsetOutOfRangeError` rather than silently skipping the
+        missing range — a replay that cannot see every message it asked
+        for must know, not guess.
+        """
+        if 0 < from_offset < self.start_offset:
+            raise OffsetOutOfRangeError(
+                f"scan from offset {from_offset} below retained start "
+                f"{self.start_offset} for {self.topic}[{self.partition}]",
+                earliest=self.start_offset,
+            )
         cursor = max(from_offset, self.start_offset)
         while True:
             batch = self.read(cursor, 1024)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.errors import DataServerDownError
+from repro.errors import DataServerDownError, StaleRouteError
 from repro.tdstore.config_server import ConfigServerPair
 
 
@@ -32,6 +32,13 @@ class TDStoreClient:
         route = self._table.route_for_key(key)
         try:
             return operation(route.host, route.instance)
+        except StaleRouteError:
+            # fenced: another client already failed this instance over
+            # (or the server restarted and lost the host role) — the
+            # route table moved on without us
+            self._refresh_table()
+            route = self._table.route_for_key(key)
+            return operation(route.host, route.instance)
         except DataServerDownError:
             self._config.handle_server_failure(route.host)
             self._refresh_table()
@@ -49,10 +56,7 @@ class TDStoreClient:
     def put(self, key: str, value: Any):
         def op(server_id: int, instance: int):
             record = self._config.server(server_id).put(instance, key, value)
-            route = self._table.route(instance)
-            slave = self._config.server(route.slave)
-            if slave.alive:
-                slave.enqueue_sync(instance, record)
+            self._sync_to_slave(instance, record)
             return None
 
         return self._with_failover(key, op)
@@ -60,13 +64,19 @@ class TDStoreClient:
     def delete(self, key: str):
         def op(server_id: int, instance: int):
             record = self._config.server(server_id).delete(instance, key)
-            route = self._table.route(instance)
-            slave = self._config.server(route.slave)
-            if slave.alive:
-                slave.enqueue_sync(instance, record)
+            self._sync_to_slave(instance, record)
             return None
 
         return self._with_failover(key, op)
+
+    def _sync_to_slave(self, instance: int, record: Any):
+        # the host forwards the record to its slave; it always knows the
+        # *current* slave, so consult the authoritative table rather than
+        # this client's cached copy (which may predate a failover)
+        route = self._config.route_table().route(instance)
+        slave = self._config.server(route.slave)
+        if slave.alive:
+            slave.enqueue_sync(instance, record)
 
     def incr(self, key: str, delta: float = 1.0) -> float:
         """Atomic-within-the-simulation numeric increment; returns new value."""

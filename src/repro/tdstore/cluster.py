@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Callable
+import copy
+from typing import Any, Callable
 
+from repro.errors import TDStoreError
 from repro.tdstore.client import TDStoreClient
 from repro.tdstore.config_server import ConfigServerPair
 from repro.tdstore.data_server import TDStoreDataServer
@@ -51,6 +53,47 @@ class TDStoreCluster:
         for server in self.data_servers:
             if server.alive:
                 server.apply_pending()
+
+    # -- checkpoint integration (repro.recovery) -------------------------
+
+    def snapshot_contents(self) -> dict[int, dict[str, Any]]:
+        """Capture every data instance's full contents.
+
+        The host copy of each instance is authoritative (slaves lag by
+        their sync queue); when the host is down and failover has not run
+        yet, the slave catches up its pending queue first so no
+        acknowledged write is missing from the checkpoint.
+        """
+        table = self.config.route_table()
+        contents: dict[int, dict[str, Any]] = {}
+        for instance in range(table.num_instances):
+            route = table.route(instance)
+            source = self.config.server(route.host)
+            if not source.alive:
+                source = self.config.server(route.slave)
+                if not source.alive:
+                    raise TDStoreError(
+                        f"instance {instance}: host and slave both down; "
+                        "cannot checkpoint"
+                    )
+                source.apply_pending(instance)
+            contents[instance] = source.snapshot_instance(instance)
+        return contents
+
+    def restore_contents(self, contents: dict[int, dict[str, Any]]):
+        """Adopt checkpointed instance contents onto host and slave.
+
+        Each live replica adopts its own deep copy so the restored pair
+        does not share mutable values — replication divergence stays
+        observable after recovery exactly as it was before.
+        """
+        table = self.config.route_table()
+        for instance, data in contents.items():
+            route = table.route(instance)
+            for server_id in (route.host, route.slave):
+                server = self.config.server(server_id)
+                if server.alive:
+                    server.adopt_snapshot(instance, copy.deepcopy(data))
 
     def read_stats(self) -> dict[int, int]:
         """server id -> reads served; shows load spread across the pool."""

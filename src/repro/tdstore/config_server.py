@@ -31,7 +31,7 @@ class ConfigServerPair:
     def _provision_instances(self):
         for instance in range(self._table.num_instances):
             route = self._table.route(instance)
-            self._servers[route.host].ensure_instance(instance)
+            self._servers[route.host].set_host_role(instance, True)
             self._servers[route.slave].ensure_instance(instance)
 
     # -- queries -------------------------------------------------------------
@@ -79,6 +79,10 @@ class ConfigServerPair:
             snapshot = promoted.engine(instance).snapshot()
             self.server(new_slave).adopt_snapshot(instance, snapshot)
             table = table.promote_slave(instance, new_slave)
+            # fencing handoff: the promoted slave now owns the instance;
+            # the crashed server must not serve it if it ever revives
+            promoted.set_host_role(instance, True)
+            failed.set_host_role(instance, False)
         # instances where the failed server was the *slave* need a new slave
         for instance in table.instances_backed_by(failed_id):
             route = table.route(instance)
@@ -118,6 +122,9 @@ class ConfigServerPair:
             route = table.route(instance)
             if server_id == route.host:
                 peer = self.server(route.slave)
+                # restart cleared the roles; re-grant what the current
+                # table still assigns to this server
+                server.set_host_role(instance, True)
             elif server_id == route.slave:
                 peer = self.server(route.host)
             else:

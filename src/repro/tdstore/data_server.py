@@ -13,7 +13,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.errors import DataServerDownError, TDStoreError
+from repro.errors import DataServerDownError, StaleRouteError, TDStoreError
 from repro.tdstore.engines import StorageEngine
 
 _DELETE = "__delete__"
@@ -39,6 +39,9 @@ class TDStoreDataServer:
         self._engines: dict[int, StorageEngine] = {}
         # replication inbox per instance this server backs up
         self._sync_inbox: dict[int, deque[SyncRecord]] = {}
+        # instances this server currently *hosts* (fencing: client traffic
+        # for any other instance means the client's route table is stale)
+        self._hosted: set[int] = set()
         self.reads = 0
         self.writes = 0
         self.syncs_applied = 0
@@ -65,24 +68,48 @@ class TDStoreDataServer:
     def instances(self) -> list[int]:
         return sorted(self._engines)
 
+    def set_host_role(self, instance: int, hosting: bool):
+        """Config server grants/revokes the host role for ``instance``."""
+        self.ensure_instance(instance)
+        if hosting:
+            self._hosted.add(instance)
+        else:
+            self._hosted.discard(instance)
+
+    def hosts(self, instance: int) -> bool:
+        return instance in self._hosted
+
     def _check_alive(self):
         if not self.alive:
             raise DataServerDownError(f"data server {self.server_id} is down")
 
+    def _check_host(self, instance: int):
+        if instance not in self._hosted:
+            raise StaleRouteError(
+                f"server {self.server_id} no longer hosts instance "
+                f"{instance}; refresh the route table"
+            )
+
     # -- host-side operations -----------------------------------------------
 
     def get(self, instance: int, key: str, default: Any = None) -> Any:
-        value = self.engine(instance).get(key, default)
+        engine = self.engine(instance)
+        self._check_host(instance)
+        value = engine.get(key, default)
         self.reads += 1
         return value
 
     def put(self, instance: int, key: str, value: Any) -> SyncRecord:
-        self.engine(instance).put(key, value)
+        engine = self.engine(instance)
+        self._check_host(instance)
+        engine.put(key, value)
         self.writes += 1
         return SyncRecord(_PUT, key, value)
 
     def delete(self, instance: int, key: str) -> SyncRecord:
-        self.engine(instance).delete(key)
+        engine = self.engine(instance)
+        self._check_host(instance)
+        engine.delete(key)
         self.writes += 1
         return SyncRecord(_DELETE, key)
 
@@ -117,6 +144,11 @@ class TDStoreDataServer:
                     raise TDStoreError(f"unknown sync op {record.op!r}")
                 self.syncs_applied += 1
 
+    def snapshot_instance(self, instance: int) -> dict[str, Any]:
+        """Full contents of one instance (checkpoint / replica bootstrap)."""
+        self._check_alive()
+        return self.engine(instance).snapshot()
+
     def adopt_snapshot(self, instance: int, data: dict[str, Any]):
         """Bootstrap a fresh replica of ``instance`` from a full snapshot."""
         engine = self.ensure_instance(instance)
@@ -133,12 +165,18 @@ class TDStoreDataServer:
 
         (Engines with real persistence, like FDB, keep their data because
         the factory points at the same directory.)
+
+        Host roles are forgotten too — the config server re-grants them
+        from the current route table, which may have moved every instance
+        elsewhere while this server was down. Until then the fencing
+        check bounces any client still routing traffic here.
         """
         self.alive = True
         self._engines = {
             instance: self._engine_factory() for instance in self._engines
         }
         self._sync_inbox = {instance: deque() for instance in self._sync_inbox}
+        self._hosted = set()
 
     def __repr__(self) -> str:
         state = "up" if self.alive else "DOWN"

@@ -41,6 +41,22 @@ class ARSessionBolt(Bolt):
             session_items = session_items | {item}
         self._sessions[user] = (session_items, now)
 
+    def snapshot_state(self) -> dict | None:
+        # open sessions exist only in task memory; a restored task must
+        # keep extending them rather than re-opening every session
+        return {
+            "sessions": {
+                user: (set(items), last_seen)
+                for user, (items, last_seen) in self._sessions.items()
+            }
+        }
+
+    def restore_state(self, state: dict):
+        self._sessions = {
+            user: (set(items), last_seen)
+            for user, (items, last_seen) in state["sessions"].items()
+        }
+
 
 class ARCountBolt(Bolt):
     """Owns AR support counters.

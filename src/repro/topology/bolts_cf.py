@@ -137,6 +137,15 @@ class ItemCountBolt(Bolt):
     def combiner(self) -> Combiner | None:
         return self._combiner
 
+    def snapshot_state(self) -> dict | None:
+        if self._combiner is None:
+            return None  # write-through: everything already in TDStore
+        return {"combiner": self._combiner.snapshot_buffer()}
+
+    def restore_state(self, state: dict):
+        if self._combiner is not None:
+            self._combiner.restore_buffer(state["combiner"])
+
 
 class PairCountBolt(Bolt):
     """Grouped by (pair_a, pair_b): pairCount, similarity, pruning check.
@@ -164,6 +173,14 @@ class PairCountBolt(Bolt):
         super().prepare(context, collector)
         self._store = CachedStore(self._client_factory())
         self._observations: dict[tuple[str, str], int] = {}
+
+    def snapshot_state(self) -> dict | None:
+        # the Hoeffding observation counters (Algorithm 1's n) live only
+        # in this task's memory; losing them resets pruning confidence
+        return {"observations": dict(self._observations)}
+
+    def restore_state(self, state: dict):
+        self._observations = dict(state["observations"])
 
     def execute(self, tup: StormTuple):
         a, b, delta = tup["pair_a"], tup["pair_b"], tup["delta"]

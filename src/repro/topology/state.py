@@ -197,6 +197,14 @@ class Combiner:
         """Buffered (not yet flushed) value for ``key``, if any."""
         return self._buffer.get(key)
 
+    def snapshot_buffer(self) -> dict[str, float]:
+        """Unflushed deltas, for the checkpoint protocol: a crash between
+        ticks must not lose partial aggregates."""
+        return dict(self._buffer)
+
+    def restore_buffer(self, buffer: dict[str, float]):
+        self._buffer = dict(buffer)
+
     def flush(self):
         """Apply all buffered values to the store."""
         for key, value in self._buffer.items():

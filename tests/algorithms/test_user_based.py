@@ -24,7 +24,6 @@ class TestUserSimilarity:
         cf = UserBasedCF(linked_time=BIG)
         feed(cf, [("alice", "A", "click"), ("bob", "A", "click"),
                   ("alice", "B", "click"), ("bob", "B", "click")])
-        w = DEFAULT_ACTION_WEIGHTS.weight("click")
         # pairCount = min co-ratings over both items = 2w;
         # userCounts = 2w each -> sim = 2w / (sqrt(2w)sqrt(2w)) = 1
         assert cf.similarity("alice", "bob") == pytest.approx(1.0)
@@ -52,7 +51,6 @@ class TestUserSimilarity:
         cf = UserBasedCF(linked_time=BIG)
         feed(cf, [("alice", "A", "click"), ("bob", "A", "click"),
                   ("alice", "A", "click")])
-        w = DEFAULT_ACTION_WEIGHTS.weight("click")
         assert cf.similarity("alice", "bob") == pytest.approx(1.0)
 
     def test_neighbour_list_bounded(self):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine import EngineConfig, RecommenderEngine, RecommenderFrontEnd
+from repro.engine import RecommenderEngine, RecommenderFrontEnd
 from repro.storm import LocalCluster
 from repro.tdstore import TDStoreCluster
 from repro.topology import StateKeys

@@ -7,7 +7,6 @@ from repro.evaluation import (
     ABTestConfig,
     ABTestRunner,
     TencentRecCBEngine,
-    TencentRecCFEngine,
     make_original,
 )
 from repro.simulation import news_scenario, video_scenario

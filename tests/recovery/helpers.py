@@ -1,0 +1,154 @@
+"""Shared fixtures for the checkpoint/recovery test suite.
+
+Builds the Figure-6 stack the harness expects: a TDAccess topic filled
+with a deterministic action stream, and a topology factory wiring
+TDAccessSpout -> Pretreatment -> the multi-layer CF pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.engine import RecommenderEngine
+from repro.storm.grouping import FieldsGrouping, ShuffleGrouping
+from repro.storm.topology import TopologyBuilder
+from repro.tdaccess.cluster import TDAccessCluster
+from repro.topology.bolts_cf import (
+    ItemCountBolt,
+    PairCountBolt,
+    SimListBolt,
+    UserHistoryBolt,
+)
+from repro.topology.bolts_common import PretreatmentBolt
+from repro.topology.spouts import TDAccessSpout
+from repro.topology.state import StateKeys
+from repro.utils.clock import SimClock
+from repro.utils.rng import SeedSequenceFactory
+
+TOPIC = "user_actions"
+
+USERS = [f"u{i}" for i in range(6)]
+ITEMS = [f"i{i}" for i in range(8)]
+
+
+def make_payloads(n: int, seed: int = 7, step_seconds: float = 30.0):
+    """Deterministic raw action payloads with increasing timestamps."""
+    rng = SeedSequenceFactory(seed).generator("actions")
+    payloads = []
+    now = 0.0
+    for _ in range(n):
+        now += step_seconds
+        payloads.append(
+            {
+                "user": USERS[int(rng.integers(0, len(USERS)))],
+                "item": ITEMS[int(rng.integers(0, len(ITEMS)))],
+                "action": "click",
+                "timestamp": now,
+            }
+        )
+    return payloads
+
+
+def make_tdaccess(
+    payloads,
+    num_partitions: int = 2,
+    segment_size: int = 1024,
+    retention_segments: int | None = None,
+) -> TDAccessCluster:
+    """A TDAccess cluster whose topic already holds ``payloads``."""
+    clock = SimClock()
+    tdaccess = TDAccessCluster(clock, num_data_servers=2)
+    tdaccess.create_topic(
+        TOPIC, num_partitions,
+        segment_size=segment_size,
+        retention_segments=retention_segments,
+    )
+    producer = tdaccess.producer()
+    for payload in payloads:
+        clock.advance_to(payload["timestamp"])
+        producer.send(TOPIC, payload, key=payload["user"])
+    return tdaccess
+
+
+def cf_topology_factory(
+    batch_size: int = 4,
+    use_combiner: bool = False,
+    pruning_delta: float | None = None,
+    parallelism: int = 2,
+):
+    """A harness-compatible topology factory for the CF pipeline."""
+
+    def factory(clock, client_factory, consumer):
+        builder = TopologyBuilder("cf-stream")
+        builder.add_spout(
+            "source", lambda: TDAccessSpout(consumer, clock, batch_size)
+        )
+        builder.add_bolt(
+            "pretreatment", PretreatmentBolt, parallelism=1
+        ).grouping("source", ShuffleGrouping(), "raw_action")
+        builder.add_bolt(
+            "userHistory",
+            lambda: UserHistoryBolt(client_factory),
+            parallelism=parallelism,
+        ).grouping("pretreatment", FieldsGrouping(["user"]), "user_action")
+        builder.add_bolt(
+            "itemCount",
+            lambda: ItemCountBolt(client_factory, use_combiner=use_combiner),
+            parallelism=parallelism,
+        ).grouping("userHistory", FieldsGrouping(["item"]), "item_delta")
+        builder.add_bolt(
+            "pairCount",
+            lambda: PairCountBolt(client_factory, pruning_delta=pruning_delta),
+            parallelism=parallelism,
+        ).grouping(
+            "userHistory", FieldsGrouping(["pair_a", "pair_b"]), "pair_delta"
+        )
+        builder.add_bolt(
+            "simList",
+            lambda: SimListBolt(client_factory),
+            parallelism=parallelism,
+        ).grouping(
+            "pairCount", FieldsGrouping(["item"]), "sim_update"
+        ).grouping("pairCount", FieldsGrouping(["item"]), "prune")
+        return builder.build()
+
+    return factory
+
+
+def recommendations_bytes(client, now: float) -> bytes:
+    """Serialized top-5 CF recommendations for every user — the
+    byte-identity check of the headline recovery test.
+
+    Canonical JSON, not pickle: pickle memoizes by object identity, so
+    two value-identical result sets can pickle to different bytes when
+    one run happens to share float objects and the other does not.
+    """
+    engine = RecommenderEngine(client)
+    recs = {
+        user: [
+            [r.item_id, r.score, r.source]
+            for r in engine.recommend_cf(user, 5, now)
+        ]
+        for user in USERS
+    }
+    return json.dumps(recs, sort_keys=True).encode()
+
+
+def state_digest(client) -> dict:
+    """The raw incremental state (Eq 6-8 counts + similarity lists)."""
+    digest = {
+        "item_counts": {
+            item: client.get(StateKeys.item_count(item), 0.0)
+            for item in ITEMS
+        },
+        "sim_lists": {
+            item: client.get(StateKeys.sim_list(item), None) for item in ITEMS
+        },
+        "pair_counts": {},
+    }
+    for i, a in enumerate(ITEMS):
+        for b in ITEMS[i + 1 :]:
+            value = client.get(StateKeys.pair_count(a, b), None)
+            if value is not None:
+                digest["pair_counts"][(a, b)] = value
+    return digest

@@ -1,0 +1,162 @@
+"""Tests for the checkpoint coordinator over a live deployment."""
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.recovery import CONSUMER_NAME, RecoveryHarness
+from repro.topology.state import StateKeys
+
+from tests.recovery.helpers import (
+    TOPIC,
+    cf_topology_factory,
+    make_payloads,
+    make_tdaccess,
+)
+
+
+def make_harness(n_messages=24, every_rounds=2, **harness_kwargs):
+    tdaccess = make_tdaccess(make_payloads(n_messages))
+    return RecoveryHarness(
+        tdaccess,
+        TOPIC,
+        cf_topology_factory(batch_size=4),
+        checkpoint_every_rounds=every_rounds,
+        **harness_kwargs,
+    )
+
+
+class TestCheckpointPolicy:
+    def test_barrier_hook_takes_periodic_checkpoints(self):
+        harness = make_harness(every_rounds=2)
+        harness.start()
+        assert harness.run() == "completed"
+        coordinator = harness.coordinator
+        assert coordinator.checkpoints_taken >= 2
+        assert len(harness.store) == coordinator.checkpoints_taken
+        rounds = [
+            harness.store.load(i).barrier_round
+            for i in harness.store.checkpoint_ids()
+        ]
+        assert all(r % 2 == 0 for r in rounds)
+        assert rounds == sorted(rounds)
+
+    def test_interval_policy_uses_simulated_time(self):
+        # one partition so message timestamps reach the clock in order
+        tdaccess = make_tdaccess(
+            make_payloads(24, step_seconds=30.0), num_partitions=1
+        )
+        harness = RecoveryHarness(
+            tdaccess,
+            TOPIC,
+            cf_topology_factory(batch_size=4),
+            checkpoint_interval_seconds=120.0,
+        )
+        harness.start()
+        harness.run()
+        times = [
+            harness.store.load(i).clock_time
+            for i in harness.store.checkpoint_ids()
+        ]
+        assert len(times) >= 2
+        assert all(b - a >= 120.0 for a, b in zip(times, times[1:]))
+
+    def test_invalid_policies_rejected(self):
+        from repro.recovery import CheckpointCoordinator, CheckpointStore
+        from repro.utils.clock import SimClock
+
+        store, clock = CheckpointStore(), SimClock()
+        with pytest.raises(CheckpointError, match="every_rounds"):
+            CheckpointCoordinator(
+                store, None, "t", None, {}, clock, every_rounds=0
+            )
+        with pytest.raises(CheckpointError, match="interval_seconds"):
+            CheckpointCoordinator(
+                store, None, "t", None, {}, clock, interval_seconds=-1.0
+            )
+
+    def test_checkpoint_age_tracks_clock(self):
+        harness = make_harness()
+        harness.start()
+        coordinator = harness.coordinator
+        assert coordinator.checkpoint_age() is None
+        harness.run()
+        assert coordinator.checkpoint_age() is not None
+        later = harness.clock.now() + 500.0
+        age = coordinator.checkpoint_age(later)
+        assert age == pytest.approx(
+            later - coordinator.last_checkpoint_time
+        )
+
+    def test_detach_stops_checkpointing(self):
+        harness = make_harness(every_rounds=1)
+        harness.start()
+        harness.coordinator.detach()
+        harness.run()
+        assert len(harness.store) == 0
+
+
+class TestCheckpointContents:
+    def test_manifest_captures_offsets_and_state(self):
+        harness = make_harness(n_messages=24, every_rounds=2)
+        harness.start()
+        harness.run()
+        manifest = harness.store.latest()
+        # all 24 messages were consumed by the time of the last checkpoint
+        # or earlier; offsets must be non-decreasing and within the log
+        saved = manifest.offsets[CONSUMER_NAME]
+        assert sum(saved.values()) <= 24
+        assert manifest.topology == "cf-stream"
+        assert manifest.clock_time <= harness.clock.now()
+        # some item counts made it into the checkpointed TDStore contents
+        all_keys = set()
+        for data in manifest.tdstore_contents.values():
+            all_keys.update(data)
+        assert any(key.startswith("itemCount:") for key in all_keys)
+
+    def test_combiner_buffers_are_checkpointed(self):
+        tdaccess = make_tdaccess(make_payloads(24, step_seconds=30.0))
+        harness = RecoveryHarness(
+            tdaccess,
+            TOPIC,
+            cf_topology_factory(batch_size=4, use_combiner=True),
+            tick_interval=10_000.0,  # never ticks: buffers stay unflushed
+            checkpoint_every_rounds=1,
+        )
+        harness.start()
+        harness.run()
+        manifests = [
+            harness.store.load(i) for i in harness.store.checkpoint_ids()
+        ]
+        buffered = [
+            state["combiner"]
+            for manifest in manifests
+            for (component, _), state in manifest.bolt_states.items()
+            if component == "itemCount"
+        ]
+        assert any(buffer for buffer in buffered)
+        assert all(
+            key.startswith("itemCount:")
+            for buffer in buffered
+            for key in buffer
+        )
+
+    def test_checkpoint_does_not_perturb_the_run(self):
+        # identical inputs with and without checkpointing must produce
+        # identical TDStore state: capture is strictly read-only
+        results = {}
+        for label, every in (("with", 1), ("without", None)):
+            tdaccess = make_tdaccess(make_payloads(24))
+            harness = RecoveryHarness(
+                tdaccess,
+                TOPIC,
+                cf_topology_factory(batch_size=4),
+                checkpoint_every_rounds=every,
+            )
+            harness.start()
+            harness.run()
+            client = harness.client()
+            results[label] = {
+                key: client.get(StateKeys.item_count(key), 0.0)
+                for key in [f"i{i}" for i in range(8)]
+            }
+        assert results["with"] == results["without"]

@@ -1,0 +1,133 @@
+"""Tests for the fault-injection chaos driver."""
+
+import pytest
+
+from repro.errors import FaultPlanError, SimulatedCrash
+from repro.recovery import Fault, FaultInjector, RecoveryHarness, seeded_plan
+
+from tests.recovery.helpers import (
+    TOPIC,
+    cf_topology_factory,
+    make_payloads,
+    make_tdaccess,
+)
+
+
+def make_harness(n_messages=24, **kwargs):
+    tdaccess = make_tdaccess(make_payloads(n_messages))
+    return RecoveryHarness(
+        tdaccess,
+        TOPIC,
+        cf_topology_factory(batch_size=4),
+        checkpoint_every_rounds=2,
+        **kwargs,
+    )
+
+
+class TestFaultValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            Fault(1, "set_fire_to_rack")
+
+    def test_round_zero_rejected(self):
+        with pytest.raises(FaultPlanError, match="rounds start at 1"):
+            Fault(0, "crash_process")
+
+
+class TestScriptedInjection:
+    def test_faults_fire_at_their_rounds(self):
+        harness = make_harness()
+        plan = [
+            Fault(1, "kill_task", ("userHistory", 0)),
+            Fault(2, "crash_tdstore", (0,)),
+            Fault(3, "recover_tdstore", (0,)),
+        ]
+        harness.start(fault_plan=plan)
+        assert harness.run() == "completed"
+        injector = harness.injector
+        assert [f.kind for f in injector.injected] == [
+            "kill_task", "crash_tdstore", "recover_tdstore",
+        ]
+        assert injector.exhausted
+        metrics = harness.cluster.metrics("cf-stream")
+        assert metrics.task_restarts == 1
+
+    def test_crash_process_aborts_the_run(self):
+        harness = make_harness()
+        harness.start(fault_plan=[Fault(2, "crash_process")])
+        assert harness.run() == "crashed"
+        assert harness.crashes == 1
+        assert harness.injector.injected[-1].kind == "crash_process"
+        # the computation layer is gone until recover() rebuilds it
+        with pytest.raises(Exception, match="no deployment"):
+            harness.cluster
+
+    def test_fired_faults_are_not_replayed_after_recovery(self):
+        harness = make_harness()
+        plan = [
+            Fault(1, "kill_task", ("userHistory", 0)),
+            Fault(3, "crash_process"),
+        ]
+        harness.start(fault_plan=plan)
+        assert harness.run() == "crashed"
+        fired = list(harness.injector.injected)
+        harness.recover()
+        assert harness.run() == "completed"
+        # the recovered run replayed no already-fired fault: the cursor
+        # survived the crash, so the plan continued, not restarted
+        assert harness.injector.injected == fired
+        assert harness.crashes == 1
+
+    def test_master_failover_is_transparent(self):
+        harness = make_harness()
+        harness.start(fault_plan=[Fault(2, "failover_tdaccess_master")])
+        assert harness.run() == "completed"
+        # every message still reached the topology exactly once
+        assert harness.consumer.lag() == 0
+
+    def test_plan_requires_wiring_for_its_kinds(self):
+        injector = FaultInjector([Fault(1, "crash_tdstore", (0,))])
+        with pytest.raises(AttributeError):
+            injector.on_barrier(1)
+
+
+class TestSeededPlans:
+    def test_same_seed_same_plan(self):
+        kwargs = dict(
+            horizon=12,
+            kill_components=[("userHistory", 2), ("itemCount", 2)],
+            tdstore_servers=[0, 1, 2],
+            task_kills=2,
+            tdstore_crashes=1,
+        )
+        assert seeded_plan(11, **kwargs) == seeded_plan(11, **kwargs)
+        assert seeded_plan(11, **kwargs) != seeded_plan(12, **kwargs)
+
+    def test_plan_shape(self):
+        plan = seeded_plan(
+            3,
+            horizon=10,
+            kill_components=[("userHistory", 2)],
+            tdstore_servers=[0, 1],
+            task_kills=2,
+            tdstore_crashes=1,
+            master_failovers=1,
+            process_crashes=1,
+        )
+        kinds = [fault.round for fault in plan]
+        assert kinds == sorted(kinds)
+        by_kind = {}
+        for fault in plan:
+            by_kind.setdefault(fault.kind, []).append(fault)
+        assert len(by_kind["kill_task"]) == 2
+        assert len(by_kind["crash_tdstore"]) == 1
+        assert len(by_kind["recover_tdstore"]) == 1
+        assert len(by_kind["failover_tdaccess_master"]) == 1
+        crash = by_kind["crash_process"][0]
+        assert crash.round >= 5  # second half of the horizon
+        recover = by_kind["recover_tdstore"][0]
+        assert recover.round > by_kind["crash_tdstore"][0].round
+
+    def test_short_horizon_rejected(self):
+        with pytest.raises(FaultPlanError, match="horizon"):
+            seeded_plan(1, horizon=2)

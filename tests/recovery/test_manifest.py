@@ -1,0 +1,130 @@
+"""Tests for checkpoint manifests and the sealing store."""
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.recovery import (
+    MANIFEST_FORMAT_VERSION,
+    CheckpointManifest,
+    CheckpointStore,
+)
+
+
+def make_manifest(checkpoint_id=0, **overrides):
+    base = dict(
+        checkpoint_id=checkpoint_id,
+        topology="topo",
+        clock_time=12.5,
+        next_tick=20.0,
+        barrier_round=3,
+        offsets={"source": {0: 7, 1: 4}},
+        bolt_states={("itemCount", 0): {"combiner": {"itemCount:a": 1.0}}},
+        tdstore_contents={0: {"itemCount:a": 3.0}, 1: {}},
+    )
+    base.update(overrides)
+    return CheckpointManifest(**base)
+
+
+class TestCheckpointStore:
+    def test_save_and_load_round_trip(self):
+        store = CheckpointStore()
+        store.save(make_manifest())
+        loaded = store.load(0)
+        assert loaded.offsets == {"source": {0: 7, 1: 4}}
+        assert loaded.bolt_states[("itemCount", 0)] == {
+            "combiner": {"itemCount:a": 1.0}
+        }
+        assert loaded.format_version == MANIFEST_FORMAT_VERSION
+
+    def test_sealing_isolates_from_later_mutation(self):
+        # the manifest references live dicts; mutating them after save()
+        # must not leak into what load() returns
+        contents = {0: {"k": 1.0}}
+        store = CheckpointStore()
+        store.save(make_manifest(tdstore_contents=contents))
+        contents[0]["k"] = 999.0
+        assert store.load(0).tdstore_contents[0]["k"] == 1.0
+
+    def test_loads_are_independent_copies(self):
+        store = CheckpointStore()
+        store.save(make_manifest())
+        first = store.load(0)
+        first.tdstore_contents[0]["itemCount:a"] = -1.0
+        assert store.load(0).tdstore_contents[0]["itemCount:a"] == 3.0
+
+    def test_ids_are_monotonic(self):
+        store = CheckpointStore()
+        assert store.next_checkpoint_id() == 0
+        store.save(make_manifest(0))
+        store.save(make_manifest(1))
+        assert store.next_checkpoint_id() == 2
+        assert store.checkpoint_ids() == [0, 1]
+        assert store.latest().checkpoint_id == 1
+
+    def test_duplicate_id_rejected(self):
+        store = CheckpointStore()
+        store.save(make_manifest(0))
+        with pytest.raises(CheckpointError, match="already saved"):
+            store.save(make_manifest(0))
+
+    def test_missing_checkpoint_raises(self):
+        store = CheckpointStore()
+        with pytest.raises(CheckpointError, match="no checkpoint 5"):
+            store.load(5)
+        assert store.latest() is None
+
+    def test_corruption_fails_fingerprint_verification(self):
+        store = CheckpointStore()
+        store.save(make_manifest())
+        store.corrupt(0)
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            store.load(0)
+
+    def test_keep_prunes_oldest(self):
+        store = CheckpointStore(keep=2)
+        for checkpoint_id in range(5):
+            store.save(make_manifest(checkpoint_id))
+        assert store.checkpoint_ids() == [3, 4]
+        assert store.latest().checkpoint_id == 4
+
+    def test_keep_must_be_positive(self):
+        with pytest.raises(CheckpointError, match="keep"):
+            CheckpointStore(keep=0)
+
+    def test_directory_persistence_survives_restart(self, tmp_path):
+        directory = str(tmp_path / "checkpoints")
+        store = CheckpointStore(directory=directory)
+        store.save(make_manifest(0))
+        store.save(make_manifest(1, clock_time=99.0))
+        # a brand-new store over the same directory sees both manifests
+        reopened = CheckpointStore(directory=directory)
+        assert reopened.checkpoint_ids() == [0, 1]
+        assert reopened.latest().clock_time == 99.0
+        assert reopened.next_checkpoint_id() == 2
+
+    def test_directory_pruning_removes_files(self, tmp_path):
+        directory = str(tmp_path / "checkpoints")
+        store = CheckpointStore(directory=directory, keep=1)
+        store.save(make_manifest(0))
+        store.save(make_manifest(1))
+        reopened = CheckpointStore(directory=directory)
+        assert reopened.checkpoint_ids() == [1]
+
+    def test_sealed_size_reports_bytes(self):
+        store = CheckpointStore()
+        store.save(make_manifest())
+        assert store.sealed_size(0) > 0
+        with pytest.raises(CheckpointError):
+            store.sealed_size(9)
+
+
+class TestReplaySpan:
+    def test_counts_messages_between_checkpoint_and_head(self):
+        manifest = make_manifest()
+        head = {"source": {0: 10, 1: 4}}
+        assert manifest.replay_span(head) == 3
+
+    def test_missing_partitions_contribute_nothing(self):
+        manifest = make_manifest()
+        assert manifest.replay_span({}) == 0
+        assert manifest.replay_span({"source": {0: 5}}) == 0

@@ -76,3 +76,98 @@ class TestReplayingSpout:
     def test_invalid_retries(self):
         with pytest.raises(ConfigurationError):
             ReplayingSpout([], ("value",), max_retries=-1)
+
+
+class HoldingBolt(Bolt):
+    """Manually acks, but only when told to: holds every tuple it gets."""
+
+    manual_ack = True
+
+    def __init__(self):
+        self.held: list = []
+
+    def execute(self, tup):
+        self.held.append(tup)
+
+    def release_all(self):
+        for tup in self.held:
+            self.collector.ack(tup)
+        self.held.clear()
+
+
+def run_capped(rows, bolt_factory, max_in_flight, max_rounds):
+    builder = TopologyBuilder("capped")
+    builder.add_spout(
+        "spout",
+        lambda: ReplayingSpout(rows, ("value",), max_in_flight=max_in_flight),
+    )
+    builder.add_bolt("sink", bolt_factory).grouping("spout", GlobalGrouping())
+    cluster = LocalCluster()
+    cluster.submit(builder.build())
+    cluster.run_until_idle(max_rounds=max_rounds)
+    spout = cluster.task_instance("capped", "spout", 0)
+    bolt = cluster.task_instance("capped", "sink", 0)
+    return cluster, spout, bolt
+
+
+class TestMaxInFlightBackpressure:
+    def test_cap_bounds_pending_while_acks_are_withheld(self):
+        rows = [(n,) for n in range(10)]
+        cluster, spout, bolt = run_capped(
+            rows, HoldingBolt, max_in_flight=2, max_rounds=8
+        )
+        # the window filled and stayed full: no further emissions, only
+        # throttled polls, regardless of how many rounds the cluster ran
+        assert spout.in_flight() == 2
+        assert len(bolt.held) == 2
+        assert spout.max_in_flight_seen == 2
+        assert spout.throttled >= 6
+
+        # acking reopens the window two tuples at a time; the stream
+        # still finishes completely under the cap
+        for _ in range(20):
+            bolt.release_all()
+            cluster.run_until_idle(max_rounds=4)
+            if spout.fully_processed():
+                break
+        bolt.release_all()
+        cluster.run_until_idle(max_rounds=4)
+        assert spout.fully_processed()
+        assert spout.completed == 10
+        assert spout.max_in_flight_seen == 2
+
+    def test_uncapped_pending_grows_with_the_whole_input(self):
+        # the regression the cap exists to prevent: with acks withheld
+        # and no cap, every remaining row ends up in flight at once
+        rows = [(n,) for n in range(10)]
+        __, spout, bolt = run_capped(
+            rows, HoldingBolt, max_in_flight=None, max_rounds=15
+        )
+        assert spout.in_flight() == 10
+        assert len(bolt.held) == 10
+        assert spout.throttled == 0
+
+    def test_cap_with_failures_still_completes(self):
+        rows = [("a",), ("b",), ("c",), ("d",)]
+        builder = TopologyBuilder("capped-flaky")
+        builder.add_spout(
+            "spout",
+            lambda: ReplayingSpout(rows, ("value",), max_in_flight=1),
+        )
+        builder.add_bolt(
+            "flaky", lambda: FlakyBolt(failures_per_value=1)
+        ).grouping("spout", GlobalGrouping())
+        cluster = LocalCluster()
+        cluster.submit(builder.build())
+        cluster.run_until_idle()
+        spout = cluster.task_instance("capped-flaky", "spout", 0)
+        bolt = cluster.task_instance("capped-flaky", "flaky", 0)
+        # fails free the window just like acks: no deadlock under the cap
+        assert spout.fully_processed()
+        assert sorted(bolt.processed) == ["a", "b", "c", "d"]
+        assert spout.replays == 4
+        assert spout.max_in_flight_seen == 1
+
+    def test_invalid_max_in_flight(self):
+        with pytest.raises(ConfigurationError, match="max_in_flight"):
+            ReplayingSpout([], ("value",), max_in_flight=0)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import (
     ConsumerGroupError,
+    OffsetOutOfRangeError,
     PartitionUnavailableError,
     TDAccessError,
     UnknownTopicError,
@@ -105,6 +106,48 @@ class TestBalanceAndGroups:
         cluster = make_cluster()
         with pytest.raises(TDAccessError, match="already exists"):
             cluster.create_topic("actions", 2)
+
+
+class TestRetentionTruncatedReplay:
+    """Consumer-level view of retention: earliest() and typed reseek."""
+
+    @staticmethod
+    def make_retained():
+        cluster = TDAccessCluster(SimClock(), num_data_servers=1)
+        cluster.create_topic(
+            "actions", 1, segment_size=4, retention_segments=1
+        )
+        cluster.producer().send_batch("actions", list(range(20)))
+        return cluster
+
+    def test_earliest_reflects_retention(self):
+        cluster = self.make_retained()
+        consumer = cluster.consumer("actions")
+        earliest = consumer.earliest(0)
+        assert earliest is not None and earliest > 0
+
+    def test_poll_below_retention_raises_then_reseek_resumes(self):
+        cluster = self.make_retained()
+        consumer = cluster.consumer("actions")  # position 0: truncated
+        with pytest.raises(OffsetOutOfRangeError) as exc:
+            consumer.poll()
+        earliest = exc.value.earliest
+        assert earliest == consumer.earliest(0)
+        consumer.seek(0, earliest)
+        values = [m.value for m in consumer.drain()]
+        assert values == list(range(earliest, 20))
+
+    def test_earliest_is_none_while_partition_down(self):
+        cluster = self.make_retained()
+        consumer = cluster.consumer("actions")
+        cluster.crash_data_server(cluster.data_servers[0].server_id)
+        assert consumer.earliest(0) is None
+
+    def test_earliest_requires_owned_partition(self):
+        cluster = self.make_retained()
+        consumer = cluster.consumer("actions")
+        with pytest.raises(ConsumerGroupError, match="does not own"):
+            consumer.earliest(5)
 
 
 class TestFailures:

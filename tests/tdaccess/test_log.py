@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.errors import TDAccessError
+from repro.errors import OffsetOutOfRangeError, TDAccessError
 from repro.tdaccess.log import PartitionLog
 
 
@@ -72,6 +72,38 @@ class TestSegments:
             PartitionLog("t", 0, segment_size=0)
         with pytest.raises(TDAccessError):
             PartitionLog("t", 0, retention_segments=0)
+
+
+class TestTruncatedReplay:
+    """The typed error replay callers need to survive retention."""
+
+    def test_error_is_a_tdaccess_error(self):
+        assert issubclass(OffsetOutOfRangeError, TDAccessError)
+
+    def test_read_error_carries_earliest_retained_offset(self):
+        log = filled_log(20, segment_size=4, retention_segments=2)
+        with pytest.raises(OffsetOutOfRangeError) as exc:
+            log.read(0, 5)
+        assert exc.value.earliest == log.start_offset
+        # reseeking at the reported offset succeeds
+        resumed = log.read(exc.value.earliest, 5)
+        assert resumed[0].offset == log.start_offset
+
+    def test_scan_from_truncated_offset_raises(self):
+        log = filled_log(20, segment_size=4, retention_segments=2)
+        with pytest.raises(OffsetOutOfRangeError) as exc:
+            list(log.scan(1))
+        assert exc.value.earliest == log.start_offset
+
+    def test_scan_default_means_everything_retained(self):
+        log = filled_log(20, segment_size=4, retention_segments=2)
+        values = [m.value for m in log.scan()]
+        assert values == list(range(log.start_offset, 20))
+
+    def test_scan_from_exact_start_offset_allowed(self):
+        log = filled_log(20, segment_size=4, retention_segments=2)
+        offsets = [m.offset for m in log.scan(log.start_offset)]
+        assert offsets == list(range(log.start_offset, 20))
 
 
 class TestLogProperties:

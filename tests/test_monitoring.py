@@ -98,6 +98,85 @@ class TestAlerts:
         assert not any("backlog" in a.message for a in monitor.evaluate())
 
 
+class TestRecoverySignals:
+    """Checkpoint age and recovery status flowing into the monitor."""
+
+    @staticmethod
+    def _harness(**kwargs):
+        from repro.recovery import RecoveryHarness
+        from tests.recovery.helpers import (
+            TOPIC, cf_topology_factory, make_payloads, make_tdaccess,
+        )
+
+        return RecoveryHarness(
+            make_tdaccess(make_payloads(32)),
+            TOPIC,
+            cf_topology_factory(batch_size=4),
+            **kwargs,
+        )
+
+    def test_checkpoint_signals_flow_into_snapshot(self):
+        harness = self._harness(checkpoint_every_rounds=2)
+        harness.start()
+        assert harness.run() == "completed"
+        monitor = SystemMonitor(harness.clock.now, max_checkpoint_age=1e9)
+        monitor.watch_recovery(harness.coordinator, harness.recovery)
+        snap = monitor.snapshot()
+        assert snap.checkpoints_taken >= 1
+        assert snap.checkpoint_age is not None and snap.checkpoint_age >= 0
+        assert snap.recoveries == 0
+        assert not snap.recovery_in_progress
+        assert not any(a.component == "recovery" for a in monitor.evaluate(snap))
+
+    def test_stale_checkpoint_warns(self):
+        harness = self._harness(checkpoint_every_rounds=2)
+        harness.start()
+        harness.run()
+        monitor = SystemMonitor(
+            lambda: harness.clock.now() + 10_000.0, max_checkpoint_age=60.0
+        )
+        monitor.watch_recovery(coordinator=harness.coordinator)
+        alerts = monitor.evaluate()
+        assert any(
+            a.component == "recovery" and "checkpoint age" in a.message
+            for a in alerts
+        )
+
+    def test_never_checkpointed_warns(self):
+        harness = self._harness()  # no checkpoint policy: never checkpoints
+        harness.start()
+        harness.run()
+        monitor = SystemMonitor(
+            lambda: harness.clock.now() + 10_000.0, max_checkpoint_age=60.0
+        )
+        monitor.watch_recovery(coordinator=harness.coordinator)
+        alerts = monitor.evaluate()
+        assert any("no checkpoint has ever been taken" in a.message for a in alerts)
+
+    def test_recovery_in_progress_warning_clears_after_replay(self):
+        from repro.recovery import Fault
+
+        harness = self._harness(checkpoint_every_rounds=2)
+        harness.start(fault_plan=[Fault(4, "crash_process")])
+        assert harness.run() == "crashed"
+        harness.recover()
+        monitor = SystemMonitor(harness.clock.now)
+        monitor.watch_recovery(harness.coordinator, harness.recovery)
+        alerts = monitor.evaluate()
+        assert any("replay in progress" in a.message for a in alerts)
+        assert "replaying" in monitor.summary()
+
+        assert harness.run() == "completed"
+        snap = monitor.snapshot()
+        assert snap.recoveries == 1
+        assert not snap.recovery_in_progress
+        assert snap.last_recovery_duration is not None
+        assert not any(
+            "replay in progress" in a.message for a in monitor.evaluate(snap)
+        )
+        assert "steady" in monitor.summary()
+
+
 class TestSummary:
     def test_summary_mentions_every_layer(self, deployment):
         __, tdaccess, ___, ____, monitor = deployment

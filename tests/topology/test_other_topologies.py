@@ -114,7 +114,7 @@ class TestCtrTopology:
             PROFILES.get,
         )
         cluster = LocalCluster(clock=clock)
-        metrics = cluster.submit(topo)
+        cluster.submit(topo)
         cluster.run_until_idle()
         dropped = 0
         for index in range(2):

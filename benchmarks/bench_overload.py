@@ -1,0 +1,145 @@
+"""Offered load vs. p99 latency, shed rate, and rung distribution.
+
+The serving front end's answer to overload is admission control plus the
+degradation ladder: beyond the admission capacity, low-priority queries
+are shed to the static rung (instant, dependency-free) instead of
+queueing behind everyone else. This benchmark sweeps offered load
+against a fixed admission capacity and records, per level, the simulated
+p50/p99 query latency, the shed rate by priority class, and which rung
+answered — the curve that shows latency staying flat while the shed rate
+absorbs the overload.
+
+Latency is simulated: every TDStore data server advertises a small
+per-op latency which the resilient client charges against the shared
+clock, so a live CF serve costs a few milliseconds of simulated time and
+a shed (static) serve costs none.
+
+Run with: PYTHONPATH=src python -m pytest benchmarks/bench_overload.py -q -s
+"""
+
+from __future__ import annotations
+
+from repro.engine.engine import EngineConfig, RecommenderEngine
+from repro.engine.front_end import RUNGS, RecommenderFrontEnd
+from repro.resilience import CircuitBreaker, LoadShedder
+from repro.tdstore.cluster import TDStoreCluster
+from repro.topology.state import StateKeys
+from repro.utils.clock import SimClock
+
+from benchmarks.conftest import report
+
+NUM_USERS = 50
+PER_OP_LATENCY = 0.0005  # seconds charged per store op
+DEADLINE = 0.05
+CAPACITY = 100  # admissions per 1-second shedder window
+WINDOWS = 5
+LOADS = [50, 100, 200, 400]  # offered queries per window
+# deterministic priority mix: 20% high, 60% normal, 20% low
+PRIORITY_MIX = ("high", "normal", "normal", "normal", "low")
+
+
+def seeded_store() -> TDStoreCluster:
+    store = TDStoreCluster(num_data_servers=4, num_instances=32)
+    client = store.client()
+    for i in range(NUM_USERS):
+        liked = f"i{i % 10}"
+        client.put(StateKeys.recent(f"u{i}"), [(liked, 5.0, 0.0)])
+        client.put(StateKeys.history(f"u{i}"), {liked: 5.0})
+    for i in range(10):
+        client.put(
+            StateKeys.sim_list(f"i{i}"),
+            {f"c{i}-{j}": 0.9 - 0.1 * j for j in range(5)},
+        )
+    client.put(
+        StateKeys.hot("global"), {f"h{j}": 10.0 - j for j in range(10)}
+    )
+    return store
+
+
+def percentile(values: list[float], p: float) -> float:
+    ranked = sorted(values)
+    return ranked[int(p * (len(ranked) - 1))]
+
+
+def run_level(store: TDStoreCluster, offered: int) -> dict:
+    clock = SimClock()
+    for server in store.data_servers:
+        server.set_degradation(latency=PER_OP_LATENCY)
+    breaker = CircuitBreaker(clock.now, name="tdstore")
+    client = store.client(clock=clock, breaker=breaker)
+    engine = RecommenderEngine(client, EngineConfig())
+    shedder = LoadShedder(clock.now, capacity=CAPACITY, window=1.0)
+    front_end = RecommenderFrontEnd(
+        engine,
+        static_items=tuple(f"s{j}" for j in range(5)),
+        shedder=shedder,
+        deadline_budget=DEADLINE,
+        clock=clock,
+    )
+    latencies: list[float] = []
+    for window in range(WINDOWS):
+        window_start = window * 1.0
+        if clock.now() < window_start:
+            clock.advance(window_start - clock.now())
+        for q in range(offered):
+            user = f"u{(window * offered + q) % NUM_USERS}"
+            priority = PRIORITY_MIX[q % len(PRIORITY_MIX)]
+            started = clock.now()
+            results = front_end.query(user, 5, started, priority=priority)
+            latencies.append(clock.now() - started)
+            assert results, "overload must never leave a query unanswered"
+    log = front_end.log
+    return {
+        "offered": offered * WINDOWS,
+        "shed_rate": shedder.shed_rate(),
+        "shed_by_class": dict(shedder.shed),
+        "p50": percentile(latencies, 0.50),
+        "p99": percentile(latencies, 0.99),
+        "rungs": {rung: log.rungs.get(rung, 0) for rung in RUNGS},
+        "breaker": breaker.state,
+    }
+
+
+def test_overload_sweep():
+    store = seeded_store()
+    rows = [run_level(store, offered) for offered in LOADS]
+
+    lines = [
+        "Overload ladder: offered load vs latency / shed rate / rungs",
+        f"(capacity {CAPACITY}/window, {WINDOWS} windows, "
+        f"deadline {DEADLINE * 1000:.0f}ms, "
+        f"{PER_OP_LATENCY * 1000:.1f}ms/op)",
+        "",
+        f"{'offered':>8} {'shed%':>7} {'p50 ms':>8} {'p99 ms':>8} "
+        f"{'live':>6} {'static':>7}  shed by class",
+    ]
+    for row in rows:
+        shed = ", ".join(
+            f"{cls}={count}"
+            for cls, count in sorted(row["shed_by_class"].items())
+            if count
+        ) or "-"
+        lines.append(
+            f"{row['offered']:>8} {row['shed_rate'] * 100:>6.1f}% "
+            f"{row['p50'] * 1000:>7.2f} {row['p99'] * 1000:>7.2f} "
+            f"{row['rungs']['live']:>6} {row['rungs']['static']:>7}  {shed}"
+        )
+    report("overload", "\n".join(lines))
+
+    # under capacity: nothing shed, everything live
+    assert rows[0]["shed_rate"] == 0.0
+    assert rows[0]["rungs"]["static"] == 0
+    # over capacity: overload absorbed by shedding, not by latency
+    overloaded = rows[-1]
+    assert overloaded["shed_rate"] > 0.3
+    assert overloaded["rungs"]["static"] > 0
+    # low priority is squeezed out before high
+    assert overloaded["shed_by_class"]["low"] > 0
+    assert (
+        overloaded["shed_by_class"]["low"] / (overloaded["offered"] * 0.2)
+        >= overloaded["shed_by_class"]["high"] / (overloaded["offered"] * 0.2)
+    )
+    # p99 stays bounded by the deadline at every load level
+    for row in rows:
+        assert row["p99"] <= DEADLINE + PER_OP_LATENCY
+        assert row["breaker"] == "closed"

@@ -64,6 +64,23 @@ class ServeThroughRecovery:
     def engine(self) -> RecommenderEngine:
         return self._engine
 
+    def in_recovery(self) -> bool:
+        """Is the wrapped engine currently serving through a recovery?"""
+        return self._in_recovery()
+
+    def cached(self, algorithm: str, user_id: str) -> "list[Recommendation] | None":
+        """Last-known-good answer for ``(algorithm, user)``, or None.
+
+        The degradation ladder peeks here directly when the live rung
+        fails for reasons other than recovery (deadline blown, breaker
+        open, store down)."""
+        key = (algorithm, user_id)
+        cached = self._cache.get(key)
+        if cached is None:
+            return None
+        self._cache.move_to_end(key)
+        return list(cached)
+
     def recommend_cf(
         self, user_id: str, n: int, now: float
     ) -> list[Recommendation]:

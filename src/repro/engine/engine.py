@@ -45,6 +45,12 @@ class RecommenderEngine:
         self._store = client
         self._config = config if config is not None else EngineConfig()
 
+    @property
+    def store(self) -> TDStoreClient:
+        """The TDStore client queries read through (the serving front end
+        scopes per-query deadlines onto it)."""
+        return self._store
+
     # -- item-based CF (Eq 2 + Section 4.3) ---------------------------------
 
     def recommend_cf(self, user_id: str, n: int, now: float) -> list[Recommendation]:

@@ -31,8 +31,51 @@ class ClusterStateError(ClusterError):
     """The cluster was asked to do something invalid in its current state."""
 
 
+class ResilienceError(ReproError):
+    """Base error for the resilience layer (deadlines, breakers, shedding)."""
+
+
+class DeadlineExceededError(ResilienceError):
+    """An operation ran out of its propagated time budget.
+
+    Carries ``elapsed`` and ``budget`` so callers can log how far over
+    the line the operation was when it was cut off.
+    """
+
+    def __init__(self, message: str, elapsed: float, budget: float):
+        super().__init__(message)
+        self.elapsed = elapsed
+        self.budget = budget
+
+
+class CircuitOpenError(ResilienceError):
+    """A circuit breaker is open: the call was rejected without being tried.
+
+    Fast failure is the point — callers should take their degraded path
+    immediately instead of queueing behind a dependency that is known to
+    be unhealthy.
+    """
+
+
+class RetryBudgetExhaustedError(ResilienceError):
+    """A caller's retry budget is spent; the failure surfaces un-retried.
+
+    Prevents retry storms: when a dependency is broadly unhealthy,
+    per-caller budgets stop every caller from multiplying the load.
+    """
+
+
+class OverloadError(ResilienceError):
+    """The load shedder rejected admission for this priority class."""
+
+
 class TDAccessError(ReproError):
     """Base error for the TDAccess publish/subscribe layer."""
+
+
+class MasterUnavailableError(TDAccessError):
+    """The addressed master server is dead; re-query the pair for the
+    acting master and retry."""
 
 
 class UnknownTopicError(TDAccessError):

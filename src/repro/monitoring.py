@@ -19,8 +19,11 @@ from repro.tdaccess.consumer import Consumer
 from repro.tdstore.cluster import TDStoreCluster
 
 if TYPE_CHECKING:
+    from repro.engine.front_end import RecommenderFrontEnd
     from repro.recovery.coordinator import CheckpointCoordinator
     from repro.recovery.recovery import RecoveryManager
+    from repro.resilience.breaker import CircuitBreaker
+    from repro.resilience.shedder import LoadShedder
 
 
 @dataclass
@@ -52,6 +55,15 @@ class SystemSnapshot:
     recoveries: int = 0
     recovery_in_progress: bool = False
     last_recovery_duration: float | None = None
+    # resilience layer
+    breaker_states: dict[str, str] = field(default_factory=dict)
+    breaker_rejections: dict[str, int] = field(default_factory=dict)
+    shed_counts: dict[str, int] = field(default_factory=dict)
+    shed_rate: float = 0.0
+    serving_rungs: dict[str, int] = field(default_factory=dict)
+    queries_shed: int = 0
+    degraded_tdstore_servers: list[int] = field(default_factory=list)
+    degraded_tdaccess_servers: list[int] = field(default_factory=list)
 
     def read_imbalance(self) -> float:
         """Max/mean read ratio across TDStore servers (1.0 = perfectly
@@ -87,6 +99,9 @@ class SystemMonitor:
         self._coordinator = coordinator
         self._recovery = recovery
         self._consumers: dict[str, Consumer] = {}
+        self._breakers: dict[str, "CircuitBreaker"] = {}
+        self._shedder: "LoadShedder | None" = None
+        self._front_end: "RecommenderFrontEnd | None" = None
         self.max_consumer_lag = max_consumer_lag
         self.max_replication_backlog = max_replication_backlog
         self.max_read_imbalance = max_read_imbalance
@@ -95,6 +110,15 @@ class SystemMonitor:
 
     def watch_consumer(self, name: str, consumer: Consumer):
         self._consumers[name] = consumer
+
+    def watch_breaker(self, name: str, breaker: "CircuitBreaker"):
+        self._breakers[name] = breaker
+
+    def watch_shedder(self, shedder: "LoadShedder"):
+        self._shedder = shedder
+
+    def watch_front_end(self, front_end: "RecommenderFrontEnd"):
+        self._front_end = front_end
 
     def watch_recovery(
         self,
@@ -140,6 +164,23 @@ class SystemMonitor:
             snap.recoveries = self._recovery.recoveries
             snap.recovery_in_progress = self._recovery.in_progress
             snap.last_recovery_duration = self._recovery.last_recovery_duration
+        for name, breaker in self._breakers.items():
+            snap.breaker_states[name] = breaker.state
+            snap.breaker_rejections[name] = breaker.rejections
+        if self._shedder is not None:
+            snap.shed_counts = dict(self._shedder.shed)
+            snap.shed_rate = self._shedder.shed_rate()
+        if self._front_end is not None:
+            snap.serving_rungs = dict(self._front_end.log.rungs)
+            snap.queries_shed = self._front_end.log.shed
+        if self._tdstore is not None and hasattr(
+            self._tdstore, "degraded_servers"
+        ):
+            snap.degraded_tdstore_servers = self._tdstore.degraded_servers()
+        if self._tdaccess is not None and hasattr(
+            self._tdaccess, "degraded_servers"
+        ):
+            snap.degraded_tdaccess_servers = self._tdaccess.degraded_servers()
         self.history.append(snap)
         return snap
 
@@ -219,13 +260,79 @@ class SystemMonitor:
                         f"{restarts - previous} task restart(s)",
                     )
                 )
+        for name, state in snap.breaker_states.items():
+            if state == "open":
+                alerts.append(
+                    Alert(
+                        "critical", "resilience",
+                        f"circuit breaker {name!r} is open: dependency "
+                        "unhealthy, callers failing fast",
+                    )
+                )
+            elif state == "half_open":
+                alerts.append(
+                    Alert(
+                        "warning", "resilience",
+                        f"circuit breaker {name!r} is half-open: probing "
+                        "recovery",
+                    )
+                )
+        shed_delta = snap.queries_shed - self._previous_shed()
+        if shed_delta > 0:
+            alerts.append(
+                Alert(
+                    "warning", "resilience",
+                    f"{shed_delta} query(ies) shed since last snapshot "
+                    f"(total shed rate {snap.shed_rate:.1%})",
+                )
+            )
+        degraded_delta = self._degraded_serves(snap) - self._degraded_serves(
+            self._previous_snapshot()
+        )
+        if degraded_delta > 0:
+            alerts.append(
+                Alert(
+                    "warning", "serving",
+                    f"{degraded_delta} query(ies) served below the live "
+                    "rung since last snapshot",
+                )
+            )
+        for layer, degraded in (
+            ("tdstore", snap.degraded_tdstore_servers),
+            ("tdaccess", snap.degraded_tdaccess_servers),
+        ):
+            if degraded:
+                alerts.append(
+                    Alert(
+                        "warning", layer,
+                        f"server(s) {degraded} degraded (latency spike or "
+                        "brownout)",
+                    )
+                )
         return alerts
+
+    def _previous_snapshot(self) -> SystemSnapshot | None:
+        return self.history[-2] if len(self.history) >= 2 else None
 
     def _previous_restarts(self, name: str) -> int:
         for snap in reversed(self.history[:-1]):
             if name in snap.topology_restarts:
                 return snap.topology_restarts[name]
         return 0
+
+    def _previous_shed(self) -> int:
+        previous = self._previous_snapshot()
+        return previous.queries_shed if previous is not None else 0
+
+    @staticmethod
+    def _degraded_serves(snap: SystemSnapshot | None) -> int:
+        if snap is None:
+            return 0
+        return sum(
+            count
+            for rung, count in snap.serving_rungs.items()
+            if rung != "live"
+        )
 
     def summary(self) -> str:
         """Human-readable one-page overview of the latest snapshot."""
@@ -261,4 +368,23 @@ class SystemMonitor:
                 f"  recovery: {snap.checkpoints_taken} checkpoint(s), "
                 f"last {age}, {snap.recoveries} recoveries, {status}"
             )
+        for name in sorted(snap.breaker_states):
+            lines.append(
+                f"  breaker {name}: {snap.breaker_states[name]}, "
+                f"{snap.breaker_rejections.get(name, 0)} rejection(s)"
+            )
+        if self._shedder is not None:
+            sheds = ", ".join(
+                f"{priority}={count}"
+                for priority, count in sorted(snap.shed_counts.items())
+            )
+            lines.append(
+                f"  shedder: rate {snap.shed_rate:.1%} ({sheds})"
+            )
+        if self._front_end is not None and snap.serving_rungs:
+            rungs = ", ".join(
+                f"{rung}={count}"
+                for rung, count in sorted(snap.serving_rungs.items())
+            )
+            lines.append(f"  serving rungs: {rungs}")
         return "\n".join(lines)

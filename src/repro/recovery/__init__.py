@@ -11,7 +11,14 @@ fault-injection harness to prove it under scripted or seeded chaos.
 """
 
 from repro.recovery.coordinator import CheckpointCoordinator
-from repro.recovery.faults import Fault, FaultInjector, seeded_plan
+from repro.recovery.faults import (
+    BROWNOUT_ERROR_EVERY,
+    BROWNOUT_LATENCY,
+    LAYERS,
+    Fault,
+    FaultInjector,
+    seeded_plan,
+)
 from repro.recovery.harness import CONSUMER_NAME, RecoveryHarness
 from repro.recovery.manifest import (
     MANIFEST_FORMAT_VERSION,
@@ -21,7 +28,10 @@ from repro.recovery.manifest import (
 from repro.recovery.recovery import RecoveryManager, RecoveryReport
 
 __all__ = [
+    "BROWNOUT_ERROR_EVERY",
+    "BROWNOUT_LATENCY",
     "CONSUMER_NAME",
+    "LAYERS",
     "MANIFEST_FORMAT_VERSION",
     "CheckpointCoordinator",
     "CheckpointManifest",

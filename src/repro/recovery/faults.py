@@ -36,8 +36,21 @@ KINDS = frozenset(
         "recover_tdaccess_server",
         "failover_tdaccess_master",
         "crash_process",
+        # degradation faults: the server stays up but misbehaves
+        "latency_spike",
+        "error_rate",
+        "brownout",
+        "clear_degradation",
     }
 )
+
+# layers the degradation faults can target
+LAYERS = frozenset({"tdstore", "tdaccess"})
+
+# a brownout models an overloaded-but-alive server: it answers slowly
+# and drops a deterministic fraction of requests
+BROWNOUT_LATENCY = 0.1
+BROWNOUT_ERROR_EVERY = 2
 
 
 @dataclass(frozen=True)
@@ -47,7 +60,12 @@ class Fault:
     ``round`` is the barrier round at (or after) which the fault fires.
     ``target`` depends on the kind: ``(component, task_index)`` for
     ``kill_task``, ``(server_id,)`` for the TDStore/TDAccess server
-    kinds, and empty for master failover and process crash.
+    kinds, and empty for master failover and process crash. The
+    degradation kinds target a layer: ``(layer, server_id, seconds)``
+    for ``latency_spike``, ``(layer, server_id, every_n)`` for
+    ``error_rate``, and ``(layer, server_id)`` for ``brownout`` and
+    ``clear_degradation``, with ``layer`` one of ``tdstore`` /
+    ``tdaccess``.
     """
 
     round: int
@@ -64,6 +82,18 @@ class Fault:
             raise FaultPlanError(
                 f"fault rounds start at 1 (first barrier): {self.round}"
             )
+        if self.kind in ("latency_spike", "error_rate", "brownout",
+                         "clear_degradation"):
+            if not self.target or self.target[0] not in LAYERS:
+                raise FaultPlanError(
+                    f"{self.kind} target must start with a layer in "
+                    f"{sorted(LAYERS)}: {self.target}"
+                )
+            want = 2 if self.kind in ("brownout", "clear_degradation") else 3
+            if len(self.target) != want:
+                raise FaultPlanError(
+                    f"{self.kind} target needs {want} fields: {self.target}"
+                )
 
 
 class FaultInjector:
@@ -159,11 +189,36 @@ class FaultInjector:
             self._tdaccess.recover_data_server(fault.target[0])
         elif fault.kind == "failover_tdaccess_master":
             self._tdaccess.failover_master()
+        elif fault.kind == "latency_spike":
+            layer, server_id, seconds = fault.target
+            self._layer(layer).set_degradation(server_id, latency=seconds)
+        elif fault.kind == "error_rate":
+            layer, server_id, every = fault.target
+            self._layer(layer).set_degradation(server_id, error_every=every)
+        elif fault.kind == "brownout":
+            layer, server_id = fault.target
+            self._layer(layer).set_degradation(
+                server_id,
+                latency=BROWNOUT_LATENCY,
+                error_every=BROWNOUT_ERROR_EVERY,
+            )
+        elif fault.kind == "clear_degradation":
+            layer, server_id = fault.target
+            self._layer(layer).clear_degradation(server_id)
         elif fault.kind == "crash_process":
             raise SimulatedCrash(
                 f"fault plan crashed the computation process at round "
                 f"{fault.round}"
             )
+
+    def _layer(self, layer: str):
+        cluster = self._tdstore if layer == "tdstore" else self._tdaccess
+        if cluster is None:
+            raise FaultPlanError(
+                f"fault targets the {layer} layer but the injector has no "
+                f"{layer} cluster wired"
+            )
+        return cluster
 
 
 def seeded_plan(
@@ -178,6 +233,11 @@ def seeded_plan(
     tdaccess_crashes: int = 0,
     master_failovers: int = 0,
     process_crashes: int = 1,
+    latency_spikes: int = 0,
+    spike_seconds: float = 0.25,
+    error_rates: int = 0,
+    error_every: int = 3,
+    brownouts: int = 0,
 ) -> list[Fault]:
     """Generate a deterministic fault plan from ``seed``.
 
@@ -187,6 +247,12 @@ def seeded_plan(
     are paired with a recovery a few rounds later so at most one replica
     of anything is down at a time. Process crashes are placed in the
     second half of the horizon so checkpoints exist to recover from.
+
+    Degradation faults ride the same seed: ``latency_spikes`` and
+    ``error_rates`` pick TDStore servers, ``brownouts`` pick TDAccess
+    servers, and each is paired with a ``clear_degradation`` a few
+    rounds later so the plan proves recovery (breakers re-closing, the
+    ladder climbing back up) and not just survival.
     """
     if horizon < 4:
         raise FaultPlanError(f"horizon too short to schedule faults: {horizon}")
@@ -229,6 +295,28 @@ def seeded_plan(
                     (server,),
                 )
             )
+    def _degradation_pair(kind: str, layer: str, servers: list[int], extra: tuple):
+        server = servers[int(rng.integers(0, len(servers)))]
+        start = _round(1, horizon - 2)
+        plan.append(Fault(start, kind, (layer, server) + extra))
+        plan.append(
+            Fault(
+                start + _round(1, 3), "clear_degradation", (layer, server)
+            )
+        )
+
+    if tdstore_servers:
+        for _ in range(latency_spikes):
+            _degradation_pair(
+                "latency_spike", "tdstore", tdstore_servers, (spike_seconds,)
+            )
+        for _ in range(error_rates):
+            _degradation_pair(
+                "error_rate", "tdstore", tdstore_servers, (error_every,)
+            )
+    if tdaccess_servers:
+        for _ in range(brownouts):
+            _degradation_pair("brownout", "tdaccess", tdaccess_servers, ())
     for _ in range(master_failovers):
         plan.append(Fault(_round(1, horizon), "failover_tdaccess_master"))
     for _ in range(process_crashes):

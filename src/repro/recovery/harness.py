@@ -233,6 +233,10 @@ class RecoveryHarness:
         return self._require_stack().tdstore
 
     @property
+    def tdaccess(self) -> TDAccessCluster:
+        return self._tdaccess
+
+    @property
     def consumer(self) -> Consumer:
         return self._require_stack().consumer
 

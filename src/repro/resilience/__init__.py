@@ -1,0 +1,47 @@
+"""Resilience primitives: the system degrades instead of dying.
+
+The paper's operational premise (Sections 3 and 6) is that failures and
+load spikes are routine at Tencent scale. This package supplies the four
+reusable guards the serving and ingestion paths are built on:
+
+* :class:`Deadline` — a time budget created at the top of a request and
+  propagated through nested calls, so slow dependencies are cut off
+  instead of waited out.
+* :class:`RetryPolicy` / :class:`RetryBudget` — exponential backoff with
+  deterministic jitter and per-caller budgets, so transient failures
+  (master failover, data-server restarts) are absorbed without retry
+  storms.
+* :class:`CircuitBreaker` — closed/open/half-open with probe recovery,
+  so known-unhealthy dependencies fail fast and are re-admitted
+  gradually.
+* :class:`LoadShedder` — bounded admission per window with priority
+  classes and drop accounting, so overload squeezes out low-priority
+  traffic first.
+
+Everything takes injected clocks/seeds, so chaos runs replay
+deterministically.
+"""
+
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    Transition,
+)
+from repro.resilience.deadline import Deadline
+from repro.resilience.retry import RetryBudget, RetryPolicy
+from repro.resilience.shedder import DEFAULT_THRESHOLDS, LoadShedder
+
+__all__ = [
+    "CLOSED",
+    "DEFAULT_THRESHOLDS",
+    "HALF_OPEN",
+    "OPEN",
+    "CircuitBreaker",
+    "Deadline",
+    "LoadShedder",
+    "RetryBudget",
+    "RetryPolicy",
+    "Transition",
+]

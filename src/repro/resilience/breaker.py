@@ -1,0 +1,164 @@
+"""Circuit breakers: fast failure for known-unhealthy dependencies.
+
+Retries handle blips; breakers handle outages. Once a dependency has
+failed enough times in a row, continuing to call it buys nothing except
+latency (each caller waits out its deadline before degrading) and load
+(the struggling dependency is hammered hardest exactly when it is
+trying to recover). The breaker trades those calls for an immediate
+:class:`~repro.errors.CircuitOpenError`, which the serving ladder turns
+into a degraded-but-instant answer.
+
+States follow the classic three-way machine:
+
+* **closed** — calls flow; ``failure_threshold`` consecutive failures
+  open the breaker.
+* **open** — calls are rejected without being tried until
+  ``recovery_time`` has elapsed.
+* **half-open** — up to ``probe_count`` trial calls are let through;
+  the first failure re-opens, ``probe_count`` successes re-close.
+
+Time comes from an injected ``now`` so chaos runs are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import CircuitOpenError, ConfigurationError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One state change, for monitoring and post-hoc chaos assertions."""
+
+    at: float
+    from_state: str
+    to_state: str
+
+
+class CircuitBreaker:
+    """Closed/open/half-open breaker with probe-based recovery."""
+
+    def __init__(
+        self,
+        now: Callable[[], float],
+        failure_threshold: int = 5,
+        recovery_time: float = 30.0,
+        probe_count: int = 1,
+        name: str = "breaker",
+    ):
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1: {failure_threshold}"
+            )
+        if recovery_time <= 0:
+            raise ConfigurationError(
+                f"recovery_time must be positive: {recovery_time}"
+            )
+        if probe_count < 1:
+            raise ConfigurationError(f"probe_count must be >= 1: {probe_count}")
+        self._now = now
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_time = float(recovery_time)
+        self.probe_count = probe_count
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self.rejections = 0
+        self.opens = 0
+        self.transitions: list[Transition] = []
+
+    # -- state machine -----------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state, with the time-based open -> half-open edge
+        applied (reading the state can move it, never the counters)."""
+        self._maybe_enter_half_open()
+        return self._state
+
+    def _set_state(self, to_state: str):
+        if to_state == self._state:
+            return
+        self.transitions.append(Transition(self._now(), self._state, to_state))
+        self._state = to_state
+
+    def _maybe_enter_half_open(self):
+        if (
+            self._state == OPEN
+            and self._now() >= self._opened_at + self.recovery_time
+        ):
+            self._set_state(HALF_OPEN)
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+
+    def allow(self) -> bool:
+        """May a call proceed right now? Half-open reserves a probe slot."""
+        self._maybe_enter_half_open()
+        if self._state == OPEN:
+            self.rejections += 1
+            return False
+        if self._state == HALF_OPEN:
+            if self._probes_in_flight >= self.probe_count:
+                self.rejections += 1
+                return False
+            self._probes_in_flight += 1
+        return True
+
+    def record_success(self):
+        if self._state == HALF_OPEN:
+            self._probe_successes += 1
+            if self._probe_successes >= self.probe_count:
+                self._set_state(CLOSED)
+                self._consecutive_failures = 0
+        elif self._state == CLOSED:
+            self._consecutive_failures = 0
+
+    def record_failure(self):
+        if self._state == HALF_OPEN:
+            self._trip()
+        elif self._state == CLOSED:
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.failure_threshold:
+                self._trip()
+
+    def _trip(self):
+        self._set_state(OPEN)
+        self._opened_at = self._now()
+        self.opens += 1
+        self._consecutive_failures = 0
+
+    # -- convenience -------------------------------------------------------
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        failure_types: tuple[type[BaseException], ...] = (Exception,),
+    ) -> Any:
+        """Run ``fn`` through the breaker."""
+        if not self.allow():
+            raise CircuitOpenError(
+                f"circuit breaker {self.name!r} is {self._state}; "
+                f"call rejected"
+            )
+        try:
+            result = fn()
+        except failure_types:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.name!r}, {self.state}, "
+            f"opens={self.opens}, rejections={self.rejections})"
+        )

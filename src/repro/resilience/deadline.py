@@ -1,0 +1,83 @@
+"""Time budgets propagated through nested calls.
+
+A serving path that waits on a slow dependency for longer than the user
+would wait for the answer has already failed; it just has not noticed
+yet. A :class:`Deadline` makes the remaining budget explicit: it is
+created once at the top of a request with the whole budget, handed down
+through nested calls (client -> failover -> storage op), and every layer
+checks it *before* doing more work. Child deadlines (:meth:`child`) can
+only shrink the window, never extend it, so a sub-operation can bound
+its own slice without breaking the caller's promise.
+
+All timing runs against an injected ``now`` callable — the simulated
+clock in tests and chaos runs — so deadline behaviour is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError, DeadlineExceededError
+
+Now = Callable[[], float]
+
+
+class Deadline:
+    """A fixed point in time by which an operation must finish.
+
+    Parameters
+    ----------
+    now:
+        Clock source (e.g. ``SimClock.now``); shared with whatever is
+        charging time against the budget.
+    budget:
+        Seconds from now until expiry; must be positive.
+    """
+
+    def __init__(self, now: Now, budget: float):
+        if budget <= 0:
+            raise ConfigurationError(f"deadline budget must be positive: {budget}")
+        self._now = now
+        self.budget = float(budget)
+        self.started_at = now()
+        self.expires_at = self.started_at + self.budget
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (negative once blown)."""
+        return self.expires_at - self._now()
+
+    @property
+    def expired(self) -> bool:
+        return self._now() >= self.expires_at
+
+    def elapsed(self) -> float:
+        return self._now() - self.started_at
+
+    def check(self, what: str = "operation"):
+        """Raise :class:`DeadlineExceededError` if the budget is spent."""
+        if self.expired:
+            raise DeadlineExceededError(
+                f"{what} exceeded its {self.budget:.3f}s deadline "
+                f"({self.elapsed():.3f}s elapsed)",
+                elapsed=self.elapsed(),
+                budget=self.budget,
+            )
+
+    def allows(self, cost: float) -> bool:
+        """Would spending ``cost`` more seconds still meet the deadline?"""
+        return cost <= self.remaining()
+
+    def child(self, budget: float) -> "Deadline":
+        """A sub-deadline: at most ``budget`` more seconds, and never
+        later than this deadline itself."""
+        sub = Deadline(self._now, budget)
+        if sub.expires_at > self.expires_at:
+            sub.expires_at = self.expires_at
+            sub.budget = max(0.0, self.expires_at - sub.started_at)
+        return sub
+
+    def __repr__(self) -> str:
+        return (
+            f"Deadline(remaining={self.remaining():.3f}s, "
+            f"budget={self.budget:.3f}s)"
+        )

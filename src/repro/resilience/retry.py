@@ -1,0 +1,164 @@
+"""Retries with exponential backoff, deterministic jitter, and budgets.
+
+Retrying is the cheapest availability lever — a master failover or a
+data-server restart is invisible if the caller simply tries again — but
+unbounded retries turn a partial outage into a total one by multiplying
+load exactly when the system can least afford it. Two guards bound them:
+
+* backoff with *deterministic* jitter (drawn from
+  :class:`~repro.utils.rng.SeedSequenceFactory`, so chaos runs replay
+  byte-identically) spreads retries out in time, and
+* a per-caller :class:`RetryBudget` (token bucket: successes deposit a
+  fraction of a token, each retry withdraws one) caps the *ratio* of
+  retries to useful work, which is what stops retry storms.
+
+Sleeping is an injected callable — ``SimClock.advance`` in this
+repository — so backoff consumes simulated time that deadlines observe.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import (
+    ConfigurationError,
+    RetryBudgetExhaustedError,
+)
+from repro.resilience.deadline import Deadline
+from repro.utils.rng import SeedSequenceFactory
+
+
+class RetryBudget:
+    """Token bucket capping retries to a fraction of successful calls.
+
+    Parameters
+    ----------
+    ratio:
+        Tokens deposited per recorded success; with ``ratio=0.1`` the
+        caller earns one retry per ten successes.
+    initial:
+        Tokens available before any success (lets a cold caller retry).
+    max_tokens:
+        Bucket cap, so a long healthy stretch cannot bank an unbounded
+        retry burst.
+    """
+
+    def __init__(
+        self, ratio: float = 0.1, initial: float = 5.0, max_tokens: float = 20.0
+    ):
+        if ratio < 0:
+            raise ConfigurationError(f"ratio must be >= 0: {ratio}")
+        if max_tokens <= 0:
+            raise ConfigurationError(f"max_tokens must be positive: {max_tokens}")
+        self.ratio = float(ratio)
+        self.max_tokens = float(max_tokens)
+        self.tokens = min(float(initial), self.max_tokens)
+        self.spent = 0
+        self.denied = 0
+
+    def record_success(self):
+        self.tokens = min(self.max_tokens, self.tokens + self.ratio)
+
+    def try_spend(self) -> bool:
+        """Withdraw one retry token; False when the budget is dry."""
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.spent += 1
+            return True
+        self.denied += 1
+        return False
+
+
+class RetryPolicy:
+    """Exponential backoff with full deterministic jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries including the first; ``1`` disables retrying.
+    base_delay / multiplier / max_delay:
+        attempt ``k`` (1-based retry index) backs off
+        ``min(max_delay, base_delay * multiplier**(k-1))`` scaled by a
+        jitter factor drawn uniformly from [0.5, 1.0].
+    seed:
+        Root seed for the jitter stream.
+    sleep:
+        How to spend the backoff delay — ``SimClock.advance`` in
+        simulation. ``None`` computes delays without consuming time.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.05,
+        multiplier: float = 2.0,
+        max_delay: float = 5.0,
+        seed: int = 0,
+        sleep: Callable[[float], None] | None = None,
+    ):
+        if max_attempts < 1:
+            raise ConfigurationError(f"max_attempts must be >= 1: {max_attempts}")
+        if base_delay < 0 or max_delay < 0:
+            raise ConfigurationError("delays must be >= 0")
+        if multiplier < 1.0:
+            raise ConfigurationError(f"multiplier must be >= 1: {multiplier}")
+        self.max_attempts = max_attempts
+        self.base_delay = float(base_delay)
+        self.multiplier = float(multiplier)
+        self.max_delay = float(max_delay)
+        self._rng = SeedSequenceFactory(seed).generator("retry-jitter")
+        self._sleep = sleep
+        self.retries = 0
+        self.gave_up = 0
+
+    def delay_for(self, retry_index: int) -> float:
+        """Jittered backoff for the ``retry_index``-th retry (1-based)."""
+        raw = min(
+            self.max_delay, self.base_delay * self.multiplier ** (retry_index - 1)
+        )
+        return raw * (0.5 + 0.5 * float(self._rng.random()))
+
+    def run(
+        self,
+        fn: Callable[[], Any],
+        *,
+        retryable: tuple[type[BaseException], ...],
+        deadline: Deadline | None = None,
+        budget: RetryBudget | None = None,
+        on_retry: Callable[[int, BaseException], None] | None = None,
+    ) -> Any:
+        """Call ``fn`` until it succeeds, retries run out, the budget is
+        exhausted, or the deadline cannot absorb the next backoff."""
+        attempt = 0
+        while True:
+            if deadline is not None:
+                deadline.check("retryable operation")
+            try:
+                result = fn()
+            except retryable as exc:
+                attempt += 1
+                if attempt >= self.max_attempts:
+                    self.gave_up += 1
+                    raise
+                if budget is not None and not budget.try_spend():
+                    self.gave_up += 1
+                    raise RetryBudgetExhaustedError(
+                        f"retry budget exhausted after {attempt} attempt(s): "
+                        f"{exc}"
+                    ) from exc
+                delay = self.delay_for(attempt)
+                if deadline is not None and not deadline.allows(delay):
+                    # the backoff alone would blow the budget: surface the
+                    # underlying failure rather than sleeping into a
+                    # guaranteed deadline miss
+                    self.gave_up += 1
+                    raise
+                if self._sleep is not None and delay > 0:
+                    self._sleep(delay)
+                self.retries += 1
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                continue
+            if budget is not None:
+                budget.record_success()
+            return result

@@ -1,0 +1,135 @@
+"""Load shedding: bounded admission with priority classes.
+
+A front end that admits every query during a spike serves all of them
+badly; one that sheds the overflow serves the admitted ones within
+their deadlines and answers the shed ones from the cheap end of the
+degradation ladder. :class:`LoadShedder` models the bounded admission
+queue as a per-window token pool (the window standing in for the queue
+drain rate): each window admits at most ``capacity`` queries, and each
+priority class is cut off at its own fraction of that capacity, so low
+priority traffic is shed first and high priority traffic can always use
+the full queue.
+
+Every decision is accounted per class — shed counts are a first-class
+monitoring signal, not a side effect.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.errors import ConfigurationError, OverloadError
+
+DEFAULT_THRESHOLDS: dict[str, float] = {
+    "high": 1.0,
+    "normal": 0.8,
+    "low": 0.5,
+}
+
+
+class LoadShedder:
+    """Admits at most ``capacity`` requests per ``window`` seconds.
+
+    Parameters
+    ----------
+    now:
+        Clock source; window roll-over is purely time-based.
+    capacity:
+        Admission slots per window across all classes.
+    window:
+        Window length in seconds.
+    thresholds:
+        priority -> fraction of ``capacity`` that class may fill the
+        window up to. A class is shed once current admissions reach its
+        fraction, so classes with lower fractions are squeezed out
+        first.
+    """
+
+    def __init__(
+        self,
+        now: Callable[[], float],
+        capacity: int,
+        window: float = 1.0,
+        thresholds: Mapping[str, float] | None = None,
+    ):
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1: {capacity}")
+        if window <= 0:
+            raise ConfigurationError(f"window must be positive: {window}")
+        thresholds = dict(
+            DEFAULT_THRESHOLDS if thresholds is None else thresholds
+        )
+        if not thresholds:
+            raise ConfigurationError("need at least one priority class")
+        for priority, fraction in thresholds.items():
+            if not 0.0 < fraction <= 1.0:
+                raise ConfigurationError(
+                    f"threshold for {priority!r} must be in (0, 1]: {fraction}"
+                )
+        self._now = now
+        self.capacity = capacity
+        self.window = float(window)
+        self.thresholds = thresholds
+        self._window_started = now()
+        self._window_admitted = 0
+        self.windows = 1
+        self.admitted: dict[str, int] = {p: 0 for p in thresholds}
+        self.shed: dict[str, int] = {p: 0 for p in thresholds}
+
+    def _roll_window(self):
+        elapsed = self._now() - self._window_started
+        if elapsed >= self.window:
+            # skip forward in whole windows so long idle gaps do not bank
+            # admission slots
+            skipped = int(elapsed // self.window)
+            self._window_started += skipped * self.window
+            self._window_admitted = 0
+            self.windows += skipped
+
+    def _limit_for(self, priority: str) -> int:
+        try:
+            fraction = self.thresholds[priority]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown priority {priority!r}; known: "
+                f"{sorted(self.thresholds)}"
+            ) from None
+        return max(1, int(self.capacity * fraction))
+
+    def try_admit(self, priority: str = "normal") -> bool:
+        """Admit one request of ``priority``; False means shed it."""
+        limit = self._limit_for(priority)
+        self._roll_window()
+        if self._window_admitted >= limit:
+            self.shed[priority] += 1
+            return False
+        self._window_admitted += 1
+        self.admitted[priority] += 1
+        return True
+
+    def admit(self, priority: str = "normal"):
+        """Like :meth:`try_admit` but raises :class:`OverloadError`."""
+        if not self.try_admit(priority):
+            raise OverloadError(
+                f"shed {priority!r} request: window at "
+                f"{self._window_admitted}/{self._limit_for(priority)}"
+            )
+
+    # -- accounting --------------------------------------------------------
+
+    def total_admitted(self) -> int:
+        return sum(self.admitted.values())
+
+    def total_shed(self) -> int:
+        return sum(self.shed.values())
+
+    def shed_rate(self) -> float:
+        """Fraction of all offered requests that were shed."""
+        offered = self.total_admitted() + self.total_shed()
+        return self.total_shed() / offered if offered else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"LoadShedder(capacity={self.capacity}/{self.window}s, "
+            f"admitted={self.total_admitted()}, shed={self.total_shed()})"
+        )

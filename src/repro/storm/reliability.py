@@ -63,6 +63,7 @@ class ReplayingSpout(Spout):
         self.dead_letters: list[tuple] = []
         self.replays = 0
         self.completed = 0
+        self.duplicate_acks = 0
         self.throttled = 0
         self.max_in_flight_seen = 0
 
@@ -89,7 +90,12 @@ class ReplayingSpout(Spout):
         return True
 
     def on_ack(self, message_id: Any):
-        self._pending.pop(message_id, None)
+        if self._pending.pop(message_id, None) is None:
+            # duplicate or unknown ack (e.g. an acker double-delivering):
+            # counting it would inflate the completion metric past the
+            # number of rows actually processed
+            self.duplicate_acks += 1
+            return
         self._failures.pop(message_id, None)
         self.completed += 1
 

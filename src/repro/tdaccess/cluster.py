@@ -43,8 +43,9 @@ class TDAccessCluster:
         )
         self.masters.sync_standby()
 
-    def producer(self) -> Producer:
-        return Producer(self.masters, self.clock)
+    def producer(self, **resilience) -> Producer:
+        """A new producer; ``retry`` / ``retry_budget`` forward to it."""
+        return Producer(self.masters, self.clock, **resilience)
 
     def consumer(
         self,
@@ -76,6 +77,22 @@ class TDAccessCluster:
     def failover_master(self):
         """Kill the active master; the standby takes over transparently."""
         self.masters.kill_active()
+
+    # -- degradation (chaos: brownouts, latency spikes) -------------------
+
+    def set_degradation(
+        self,
+        server_id: int,
+        latency: float | None = None,
+        error_every: int | None = None,
+    ):
+        self._server(server_id).set_degradation(latency, error_every)
+
+    def clear_degradation(self, server_id: int):
+        self._server(server_id).clear_degradation()
+
+    def degraded_servers(self) -> list[int]:
+        return [s.server_id for s in self.data_servers if s.degraded]
 
     def partition_balance(self, topic: str) -> dict[int, int]:
         """server id -> number of partitions of ``topic`` it hosts."""

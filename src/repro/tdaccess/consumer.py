@@ -9,9 +9,16 @@ topic's partitions across member consumers so they poll in parallel.
 
 from __future__ import annotations
 
-from repro.errors import ConsumerGroupError, PartitionUnavailableError
+from repro.errors import (
+    ConsumerGroupError,
+    MasterUnavailableError,
+    PartitionUnavailableError,
+)
+from repro.tdaccess.data_server import DataServer
 from repro.tdaccess.master import MasterPair
 from repro.tdaccess.message import Message
+
+_ROUTING_FAILURES = (MasterUnavailableError, PartitionUnavailableError)
 
 
 class OffsetStore:
@@ -74,6 +81,7 @@ class Consumer:
                 committed if committed is not None else start_offset
             )
         self.received = 0
+        self.poll_retries = 0
 
     def commit(self):
         """Persist current positions to the cluster's offset store."""
@@ -121,22 +129,54 @@ class Consumer:
             return None
         return server.start_offset(self.topic, partition)
 
+    def _route_with_retry(self, partition: int) -> "DataServer | None":
+        """Route through the acting master, retrying once through failover.
+
+        A first failure may be a stale master (mid-failover) or a
+        just-died data server: re-querying :attr:`MasterPair.active`
+        picks up the standby's mirrored placement. A second failure
+        means the partition is genuinely down right now.
+        """
+        for attempt in range(2):
+            try:
+                return self._masters.active.route(self.topic, partition)
+            except _ROUTING_FAILURES:
+                if attempt == 0:
+                    self.poll_retries += 1
+        return None
+
+    def _read_with_retry(
+        self, partition: int, max_messages: int
+    ) -> list[Message] | None:
+        """Read a batch, re-routing and retrying once on failure (a
+        browned-out server drops some requests; a retry usually lands)."""
+        server = self._route_with_retry(partition)
+        if server is None:
+            return None
+        for attempt in range(2):
+            try:
+                return server.read(
+                    self.topic, partition, self._offsets[partition], max_messages
+                )
+            except PartitionUnavailableError:
+                if attempt == 1:
+                    return None
+                self.poll_retries += 1
+                server = self._route_with_retry(partition)
+                if server is None:
+                    return None
+        return None
+
     def poll(self, max_per_partition: int = 256) -> list[Message]:
         """Fetch new messages from every owned, live partition.
 
-        Dead partitions are skipped (their messages are delivered after the
-        hosting server recovers), matching the availability story of §3.2.
+        Dead partitions are skipped after one retried route (their
+        messages are delivered after the hosting server recovers),
+        matching the availability story of §3.2.
         """
-        master = self._masters.active
         out: list[Message] = []
         for partition in self.partitions:
-            try:
-                server = master.route(self.topic, partition)
-            except PartitionUnavailableError:
-                continue
-            batch = server.read(
-                self.topic, partition, self._offsets[partition], max_per_partition
-            )
+            batch = self._read_with_retry(partition, max_per_partition)
             if batch:
                 self._offsets[partition] = batch[-1].offset + 1
                 out.extend(batch)

@@ -22,6 +22,12 @@ class DataServer:
         self.server_id = server_id
         self.alive = True
         self._logs: dict[tuple[str, int], PartitionLog] = {}
+        # degradation state (chaos injection): advertised extra latency
+        # per request and a deterministic request-drop cadence (brownout)
+        self.latency = 0.0
+        self.error_every = 0
+        self._degraded_ops = 0
+        self.injected_errors = 0
 
     def host_partition(self, log: PartitionLog):
         key = (log.topic, log.partition)
@@ -49,15 +55,54 @@ class DataServer:
                 f"server {self.server_id} does not host {topic}[{partition}]"
             ) from None
 
+    # -- degradation (brownouts) ---------------------------------------------
+
+    def set_degradation(
+        self, latency: float | None = None, error_every: int | None = None
+    ):
+        """Enter a degraded (browned-out) mode: advertised extra latency
+        and/or dropping every ``error_every``-th request."""
+        if latency is not None:
+            if latency < 0:
+                raise TDAccessError(f"latency must be >= 0: {latency}")
+            self.latency = float(latency)
+        if error_every is not None:
+            if error_every < 0:
+                raise TDAccessError(f"error_every must be >= 0: {error_every}")
+            self.error_every = int(error_every)
+
+    def clear_degradation(self):
+        self.latency = 0.0
+        self.error_every = 0
+
+    @property
+    def degraded(self) -> bool:
+        return self.latency > 0.0 or self.error_every > 0
+
+    def _check_degraded(self, topic: str, partition: int):
+        if self.error_every:
+            self._degraded_ops += 1
+            if self._degraded_ops % self.error_every == 0:
+                self.injected_errors += 1
+                raise PartitionUnavailableError(
+                    f"server {self.server_id} browned out "
+                    f"{topic}[{partition}] (drops 1/{self.error_every} "
+                    f"requests)"
+                )
+
     def append(
         self, topic: str, partition: int, key: Any, value: Any, timestamp: float
     ) -> Message:
-        return self._log(topic, partition).append(key, value, timestamp)
+        log = self._log(topic, partition)
+        self._check_degraded(topic, partition)
+        return log.append(key, value, timestamp)
 
     def read(
         self, topic: str, partition: int, from_offset: int, max_messages: int
     ) -> list[Message]:
-        return self._log(topic, partition).read(from_offset, max_messages)
+        log = self._log(topic, partition)
+        self._check_degraded(topic, partition)
+        return log.read(from_offset, max_messages)
 
     def head_offset(self, topic: str, partition: int) -> int:
         return self._log(topic, partition).next_offset
@@ -73,6 +118,7 @@ class DataServer:
     def recover(self):
         """Bring the server back; its on-disk logs are intact."""
         self.alive = True
+        self.clear_degradation()  # a restarted process is healthy again
 
     def __repr__(self) -> str:
         state = "up" if self.alive else "DOWN"

@@ -9,6 +9,7 @@ a standby master mirrors its state and takes over if the active one dies
 from __future__ import annotations
 
 from repro.errors import (
+    MasterUnavailableError,
     PartitionUnavailableError,
     TDAccessError,
     UnknownTopicError,
@@ -22,10 +23,24 @@ class MasterServer:
 
     def __init__(self, name: str = "master"):
         self.name = name
+        self.alive = True
         self._servers: list[DataServer] = []
         # (topic, partition) -> data server id
         self._placement: dict[tuple[str, int], int] = {}
         self._topics: dict[str, int] = {}
+
+    def _check_alive(self):
+        """Routing queries against a dead master must fail loudly.
+
+        Producers cache the master they resolved a topic against; after
+        a failover that cached reference is a dead process, and the
+        client-visible signal is this error — the cue to re-query the
+        pair for the acting master and retry.
+        """
+        if not self.alive:
+            raise MasterUnavailableError(
+                f"master {self.name!r} is down; re-query the pair"
+            )
 
     # -- cluster membership -------------------------------------------------
 
@@ -68,6 +83,7 @@ class MasterServer:
             self._placement[(topic, partition)] = target.server_id
 
     def num_partitions(self, topic: str) -> int:
+        self._check_alive()
         try:
             return self._topics[topic]
         except KeyError:
@@ -82,6 +98,7 @@ class MasterServer:
 
     def route(self, topic: str, partition: int) -> DataServer:
         """Return the live data server hosting ``topic[partition]``."""
+        self._check_alive()
         self.num_partitions(topic)  # validates topic
         server_id = self._placement.get((topic, partition))
         if server_id is None:
@@ -148,6 +165,7 @@ class MasterPair:
         if not self._active_alive:
             raise TDAccessError("active master already down")
         self._active_alive = False
+        self._active.alive = False
         self.failovers += 1
 
     def revive(self):
@@ -156,4 +174,6 @@ class MasterPair:
             return
         self._active.restore(self._standby.snapshot())
         self._active, self._standby = self._standby, self._active
+        self._active.alive = True
+        self._standby.alive = True
         self._active_alive = True

@@ -5,31 +5,149 @@ directly to data servers (Section 3.3). Mutations are applied at the
 host and queued to the slave. On a data-server failure the client asks
 the config pair to fail over, refreshes its route table, and retries —
 invisible to the caller.
+
+The client is also where the resilience layer meets storage: every
+operation can run under a propagated :class:`~repro.resilience.Deadline`
+(ambient scopes nest, so an engine query's budget bounds every store
+read it fans out into), behind a :class:`~repro.resilience.CircuitBreaker`
+shared by all operations of this client, and through a
+:class:`~repro.resilience.RetryPolicy` that absorbs transient injected
+errors. Degraded servers advertise per-op latency which the client
+charges against its clock, so latency spikes consume real (simulated)
+time that deadlines observe.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Any, Callable
 
-from repro.errors import DataServerDownError, StaleRouteError
+from repro.errors import (
+    CircuitOpenError,
+    DataServerDownError,
+    DeadlineExceededError,
+    RetryBudgetExhaustedError,
+    StaleRouteError,
+)
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.deadline import Deadline
+from repro.resilience.retry import RetryBudget, RetryPolicy
 from repro.tdstore.config_server import ConfigServerPair
+from repro.utils.clock import SimClock
+
+# failures the breaker counts against the dependency's health
+_DEPENDENCY_FAILURES = (
+    DataServerDownError,
+    StaleRouteError,
+    RetryBudgetExhaustedError,
+)
 
 
 class TDStoreClient:
-    """Application-facing handle to a TDStore cluster."""
+    """Application-facing handle to a TDStore cluster.
 
-    def __init__(self, config: ConfigServerPair):
+    Parameters
+    ----------
+    config:
+        The config-server pair to route through.
+    clock:
+        When given, server-advertised degradation latency is charged
+        here per operation, which is what makes latency spikes visible
+        to deadlines.
+    breaker:
+        Optional circuit breaker guarding every operation of this
+        client; open means :class:`~repro.errors.CircuitOpenError`
+        without touching a server.
+    retry:
+        Optional policy retrying transient per-op failures (injected
+        error rates, crash/failover races) beyond the single built-in
+        failover attempt.
+    retry_budget:
+        Optional per-client cap on the retry ratio.
+    deadline_budget:
+        When set, every operation outside an explicit
+        :meth:`deadline_scope` gets a fresh deadline of this many
+        seconds.
+    """
+
+    def __init__(
+        self,
+        config: ConfigServerPair,
+        *,
+        clock: SimClock | None = None,
+        breaker: CircuitBreaker | None = None,
+        retry: RetryPolicy | None = None,
+        retry_budget: RetryBudget | None = None,
+        deadline_budget: float | None = None,
+    ):
         self._config = config
         self._table = config.route_table()
+        self._clock = clock
+        self._breaker = breaker
+        self._retry = retry
+        self._retry_budget = retry_budget
+        self._deadline_budget = deadline_budget
+        self._deadline_stack: list[Deadline] = []
         self.route_refreshes = 0
+        self.breaker_rejections = 0
+        self.deadline_misses = 0
+        self.latency_absorbed = 0.0
+
+    # -- deadline propagation ----------------------------------------------
+
+    @contextmanager
+    def deadline_scope(self, deadline: Deadline):
+        """Make ``deadline`` ambient for every nested operation.
+
+        Scopes nest: an inner scope created with
+        :meth:`Deadline.child` cannot outlive the outer one.
+        """
+        self._deadline_stack.append(deadline)
+        try:
+            yield deadline
+        finally:
+            self._deadline_stack.pop()
+
+    def _current_deadline(self) -> Deadline | None:
+        if self._deadline_stack:
+            return self._deadline_stack[-1]
+        if self._deadline_budget is not None and self._clock is not None:
+            return Deadline(self._clock.now, self._deadline_budget)
+        return None
+
+    @contextmanager
+    def _op_scope(self):
+        """One deadline shared by a compound op (incr/update = get+put)."""
+        deadline = self._current_deadline()
+        if deadline is None or self._deadline_stack:
+            yield  # ambient scope (or none) already covers the compound op
+        else:
+            with self.deadline_scope(deadline):
+                yield
+
+    # -- core operation path -----------------------------------------------
 
     def _refresh_table(self):
         self._table = self._config.route_table()
         self.route_refreshes += 1
 
-    def _with_failover(self, key: str, operation: Callable[[int, int], Any]) -> Any:
-        """Run ``operation(host_server_id, instance)``, failing over once."""
+    def _charge_latency(self, server_id: int, deadline: Deadline | None):
+        """Spend the degraded server's advertised per-op latency."""
+        latency = self._config.server(server_id).latency
+        if latency > 0.0:
+            self.latency_absorbed += latency
+            if self._clock is not None:
+                self._clock.advance(latency)
+        if deadline is not None:
+            deadline.check(f"tdstore op on server {server_id}")
+
+    def _attempt(
+        self, key: str, operation: Callable[[int, int], Any],
+        deadline: Deadline | None,
+    ) -> Any:
+        """Run ``operation(host, instance)`` with one failover retry."""
         route = self._table.route_for_key(key)
+        self._charge_latency(route.host, deadline)
         try:
             return operation(route.host, route.instance)
         except StaleRouteError:
@@ -38,12 +156,55 @@ class TDStoreClient:
             # route table moved on without us
             self._refresh_table()
             route = self._table.route_for_key(key)
+            self._charge_latency(route.host, deadline)
             return operation(route.host, route.instance)
         except DataServerDownError:
+            if self._config.server(route.host).alive:
+                # the server answered with an error but is not down (an
+                # injected error rate, or it recovered under us): there
+                # is nothing to fail over, so retry in place
+                self._charge_latency(route.host, deadline)
+                return operation(route.host, route.instance)
             self._config.handle_server_failure(route.host)
             self._refresh_table()
             route = self._table.route_for_key(key)
+            self._charge_latency(route.host, deadline)
             return operation(route.host, route.instance)
+
+    def _with_failover(self, key: str, operation: Callable[[int, int], Any]) -> Any:
+        """Run ``operation(host_server_id, instance)`` under the full
+        resilience stack: breaker gate, deadline, retry, failover."""
+        if self._breaker is not None and not self._breaker.allow():
+            self.breaker_rejections += 1
+            raise CircuitOpenError(
+                f"circuit breaker {self._breaker.name!r} is open; "
+                f"tdstore op for key {key!r} rejected"
+            )
+        deadline = self._current_deadline()
+        try:
+            if deadline is not None:
+                deadline.check(f"tdstore op for key {key!r}")
+            if self._retry is not None:
+                result = self._retry.run(
+                    lambda: self._attempt(key, operation, deadline),
+                    retryable=(DataServerDownError, StaleRouteError),
+                    deadline=deadline,
+                    budget=self._retry_budget,
+                )
+            else:
+                result = self._attempt(key, operation, deadline)
+        except DeadlineExceededError:
+            self.deadline_misses += 1
+            if self._breaker is not None:
+                self._breaker.record_failure()
+            raise
+        except _DEPENDENCY_FAILURES:
+            if self._breaker is not None:
+                self._breaker.record_failure()
+            raise
+        if self._breaker is not None:
+            self._breaker.record_success()
+        return result
 
     # -- public API ------------------------------------------------------------
 
@@ -80,15 +241,17 @@ class TDStoreClient:
 
     def incr(self, key: str, delta: float = 1.0) -> float:
         """Atomic-within-the-simulation numeric increment; returns new value."""
-        value = self.get(key, 0.0) + delta
-        self.put(key, value)
-        return value
+        with self._op_scope():
+            value = self.get(key, 0.0) + delta
+            self.put(key, value)
+            return value
 
     def update(self, key: str, fn: Callable[[Any], Any], default: Any = None) -> Any:
         """Read-modify-write helper; returns the stored result."""
-        value = fn(self.get(key, default))
-        self.put(key, value)
-        return value
+        with self._op_scope():
+            value = fn(self.get(key, default))
+            self.put(key, value)
+            return value
 
     def contains(self, key: str) -> bool:
         sentinel = object()

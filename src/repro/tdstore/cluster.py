@@ -37,8 +37,10 @@ class TDStoreCluster:
         ]
         self.config = ConfigServerPair(self.data_servers, num_instances)
 
-    def client(self) -> TDStoreClient:
-        return TDStoreClient(self.config)
+    def client(self, **resilience: Any) -> TDStoreClient:
+        """A new client; keyword args (clock, breaker, retry,
+        retry_budget, deadline_budget) are forwarded to it."""
+        return TDStoreClient(self.config, **resilience)
 
     def crash_data_server(self, server_id: int):
         self.config.server(server_id).crash()
@@ -47,6 +49,22 @@ class TDStoreCluster:
         """Restart a server and resync its replicas from live peers."""
         self.config.server(server_id).recover()
         self.config.handle_server_recovery(server_id)
+
+    # -- degradation (chaos: latency spikes, error rates, brownouts) ------
+
+    def set_degradation(
+        self,
+        server_id: int,
+        latency: float | None = None,
+        error_every: int | None = None,
+    ):
+        self.config.server(server_id).set_degradation(latency, error_every)
+
+    def clear_degradation(self, server_id: int):
+        self.config.server(server_id).clear_degradation()
+
+    def degraded_servers(self) -> list[int]:
+        return [s.server_id for s in self.data_servers if s.degraded]
 
     def sync_replicas(self):
         """Let every slave apply its pending queue (the idle-time sync)."""

@@ -45,6 +45,12 @@ class TDStoreDataServer:
         self.reads = 0
         self.writes = 0
         self.syncs_applied = 0
+        # degradation state (chaos injection): extra seconds a client
+        # should charge per operation, and a deterministic error cadence
+        self.latency = 0.0
+        self.error_every = 0
+        self._degraded_ops = 0
+        self.injected_errors = 0
 
     # -- instance management ------------------------------------------------
 
@@ -90,11 +96,46 @@ class TDStoreDataServer:
                 f"{instance}; refresh the route table"
             )
 
+    # -- degradation (latency spikes, error rates, brownouts) -----------------
+
+    def set_degradation(
+        self, latency: float | None = None, error_every: int | None = None
+    ):
+        """Enter a degraded mode: per-op added latency and/or a
+        deterministic failure cadence (every ``error_every``-th op)."""
+        if latency is not None:
+            if latency < 0:
+                raise TDStoreError(f"latency must be >= 0: {latency}")
+            self.latency = float(latency)
+        if error_every is not None:
+            if error_every < 0:
+                raise TDStoreError(f"error_every must be >= 0: {error_every}")
+            self.error_every = int(error_every)
+
+    def clear_degradation(self):
+        self.latency = 0.0
+        self.error_every = 0
+
+    @property
+    def degraded(self) -> bool:
+        return self.latency > 0.0 or self.error_every > 0
+
+    def _check_degraded(self):
+        if self.error_every:
+            self._degraded_ops += 1
+            if self._degraded_ops % self.error_every == 0:
+                self.injected_errors += 1
+                raise DataServerDownError(
+                    f"data server {self.server_id} dropped the request "
+                    f"(injected error rate 1/{self.error_every})"
+                )
+
     # -- host-side operations -----------------------------------------------
 
     def get(self, instance: int, key: str, default: Any = None) -> Any:
         engine = self.engine(instance)
         self._check_host(instance)
+        self._check_degraded()
         value = engine.get(key, default)
         self.reads += 1
         return value
@@ -102,6 +143,7 @@ class TDStoreDataServer:
     def put(self, instance: int, key: str, value: Any) -> SyncRecord:
         engine = self.engine(instance)
         self._check_host(instance)
+        self._check_degraded()
         engine.put(key, value)
         self.writes += 1
         return SyncRecord(_PUT, key, value)
@@ -109,6 +151,7 @@ class TDStoreDataServer:
     def delete(self, instance: int, key: str) -> SyncRecord:
         engine = self.engine(instance)
         self._check_host(instance)
+        self._check_degraded()
         engine.delete(key)
         self.writes += 1
         return SyncRecord(_DELETE, key)
@@ -177,6 +220,7 @@ class TDStoreDataServer:
         }
         self._sync_inbox = {instance: deque() for instance in self._sync_inbox}
         self._hosted = set()
+        self.clear_degradation()  # a restarted process is healthy again
 
     def __repr__(self) -> str:
         state = "up" if self.alive else "DOWN"

@@ -1,0 +1,151 @@
+"""Degradation faults (latency spikes, error rates, brownouts) under the
+recovery harness: the pipeline must converge to the exact same state as
+an undisturbed run — grey failures slow the system down, they never
+corrupt it or lose a message."""
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.recovery import (
+    BROWNOUT_ERROR_EVERY,
+    BROWNOUT_LATENCY,
+    Fault,
+    RecoveryHarness,
+    seeded_plan,
+)
+
+from tests.recovery.helpers import (
+    TOPIC,
+    cf_topology_factory,
+    make_payloads,
+    make_tdaccess,
+    recommendations_bytes,
+    state_digest,
+)
+
+N_MESSAGES = 48
+
+
+def run_harness(payloads, fault_plan=None):
+    harness = RecoveryHarness(
+        make_tdaccess(payloads),
+        TOPIC,
+        cf_topology_factory(batch_size=4),
+        tick_interval=240.0,
+        checkpoint_every_rounds=2,
+    )
+    harness.start(fault_plan=fault_plan)
+    summary = harness.run_to_completion()
+    client = harness.client()
+    return harness, summary, (
+        recommendations_bytes(client, harness.clock.now()),
+        state_digest(client),
+    )
+
+
+class TestDegradationUnderHarness:
+    def test_grey_failures_converge_byte_identical(self):
+        payloads = make_payloads(N_MESSAGES)
+        __, ___, want = run_harness(payloads)
+
+        plan = [
+            Fault(2, "latency_spike", ("tdstore", 0, 0.25)),
+            Fault(3, "brownout", ("tdaccess", 0)),
+            Fault(4, "error_rate", ("tdstore", 1, 3)),
+            Fault(6, "clear_degradation", ("tdstore", 0)),
+            Fault(6, "clear_degradation", ("tdaccess", 0)),
+            Fault(7, "clear_degradation", ("tdstore", 1)),
+        ]
+        harness, summary, got = run_harness(payloads, fault_plan=plan)
+        assert summary["crashes"] == 0
+        assert got == want
+        assert harness.injector.exhausted
+        # the faults genuinely fired and cleared
+        assert harness.tdstore.degraded_servers() == []
+        assert harness.tdaccess.degraded_servers() == []
+
+    def test_brownout_plus_process_crash(self):
+        # a grey failure overlapping a hard crash: recovery replays
+        # through the browned-out TDAccess server and still converges
+        payloads = make_payloads(N_MESSAGES)
+        __, ___, want = run_harness(payloads)
+        plan = [
+            Fault(2, "brownout", ("tdaccess", 1)),
+            Fault(4, "crash_process"),
+            Fault(6, "clear_degradation", ("tdaccess", 1)),
+        ]
+        harness, summary, got = run_harness(payloads, fault_plan=plan)
+        assert summary["crashes"] == 1
+        assert summary["recoveries"] == 1
+        assert got == want
+
+    def test_brownout_sets_documented_levels(self):
+        payloads = make_payloads(8)
+        harness = RecoveryHarness(
+            make_tdaccess(payloads),
+            TOPIC,
+            cf_topology_factory(batch_size=4),
+            tick_interval=240.0,
+        )
+        harness.start(fault_plan=[Fault(1, "brownout", ("tdaccess", 0))])
+        harness.injector.on_barrier(1)
+        server = harness.tdaccess.data_servers[0]
+        assert server.latency == BROWNOUT_LATENCY
+        assert server.error_every == BROWNOUT_ERROR_EVERY
+
+
+class TestPlanValidation:
+    def test_degradation_target_needs_layer(self):
+        with pytest.raises(FaultPlanError):
+            Fault(1, "latency_spike", (0, 0.25))
+        with pytest.raises(FaultPlanError):
+            Fault(1, "brownout", ("storm", 0))
+
+    def test_degradation_target_arity(self):
+        with pytest.raises(FaultPlanError):
+            Fault(1, "latency_spike", ("tdstore", 0))
+        with pytest.raises(FaultPlanError):
+            Fault(1, "clear_degradation", ("tdstore", 0, 1))
+
+    def test_seeded_plan_pairs_degradations_with_clears(self):
+        plan = seeded_plan(
+            11,
+            horizon=12,
+            tdstore_servers=[0, 1, 2],
+            tdaccess_servers=[0, 1],
+            task_kills=0,
+            tdstore_crashes=0,
+            process_crashes=0,
+            latency_spikes=2,
+            error_rates=1,
+            brownouts=1,
+        )
+        kinds = [f.kind for f in plan]
+        assert kinds.count("latency_spike") == 2
+        assert kinds.count("error_rate") == 1
+        assert kinds.count("brownout") == 1
+        assert kinds.count("clear_degradation") == 4
+        for fault in plan:
+            if fault.kind == "clear_degradation":
+                continue
+            cleared = [
+                c for c in plan
+                if c.kind == "clear_degradation"
+                and c.target[:2] == fault.target[:2]
+                and c.round > fault.round
+            ]
+            assert cleared, f"{fault} never cleared"
+        assert plan == sorted(plan, key=lambda f: f.round)
+
+    def test_seeded_degradation_plan_is_deterministic(self):
+        kwargs = dict(
+            horizon=10,
+            tdstore_servers=[0, 1],
+            tdaccess_servers=[0],
+            task_kills=0,
+            tdstore_crashes=0,
+            process_crashes=0,
+            latency_spikes=1,
+            brownouts=1,
+        )
+        assert seeded_plan(5, **kwargs) == seeded_plan(5, **kwargs)

@@ -1,0 +1,272 @@
+"""Unit tests for the resilience primitives."""
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    DeadlineExceededError,
+    OverloadError,
+    RetryBudgetExhaustedError,
+)
+from repro.resilience import (
+    CircuitBreaker,
+    Deadline,
+    LoadShedder,
+    RetryBudget,
+    RetryPolicy,
+)
+from repro.utils.clock import SimClock
+
+
+class TestDeadline:
+    def test_remaining_tracks_clock(self):
+        clock = SimClock()
+        deadline = Deadline(clock.now, 2.0)
+        assert deadline.remaining() == pytest.approx(2.0)
+        clock.advance(1.5)
+        assert deadline.remaining() == pytest.approx(0.5)
+        assert not deadline.expired
+        deadline.check()  # still inside budget
+
+    def test_check_raises_once_expired(self):
+        clock = SimClock()
+        deadline = Deadline(clock.now, 1.0)
+        clock.advance(1.0)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceededError) as err:
+            deadline.check("slow read")
+        assert err.value.budget == pytest.approx(1.0)
+        assert err.value.elapsed >= 1.0
+
+    def test_child_cannot_outlive_parent(self):
+        clock = SimClock()
+        parent = Deadline(clock.now, 1.0)
+        child = parent.child(5.0)
+        assert child.expires_at == parent.expires_at
+        tight = parent.child(0.25)
+        assert tight.remaining() == pytest.approx(0.25)
+
+    def test_allows_costs(self):
+        clock = SimClock()
+        deadline = Deadline(clock.now, 1.0)
+        assert deadline.allows(0.9)
+        assert not deadline.allows(1.1)
+
+    def test_nonpositive_budget_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ConfigurationError):
+            Deadline(clock.now, 0.0)
+
+
+class TestRetryPolicy:
+    def test_retries_until_success(self):
+        clock = SimClock()
+        policy = RetryPolicy(max_attempts=4, sleep=clock.advance, seed=3)
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ValueError("transient")
+            return "ok"
+
+        assert policy.run(flaky, retryable=(ValueError,)) == "ok"
+        assert policy.retries == 2
+        assert clock.now() > 0.0  # backoff consumed simulated time
+
+    def test_gives_up_after_max_attempts(self):
+        policy = RetryPolicy(max_attempts=2)
+
+        def always_fails():
+            raise ValueError("permanent")
+
+        with pytest.raises(ValueError):
+            policy.run(always_fails, retryable=(ValueError,))
+        assert policy.gave_up == 1
+
+    def test_non_retryable_surfaces_immediately(self):
+        policy = RetryPolicy(max_attempts=5)
+        calls = []
+
+        def wrong_kind():
+            calls.append(1)
+            raise KeyError("not retryable")
+
+        with pytest.raises(KeyError):
+            policy.run(wrong_kind, retryable=(ValueError,))
+        assert len(calls) == 1
+
+    def test_jitter_is_deterministic(self):
+        a = RetryPolicy(seed=42)
+        b = RetryPolicy(seed=42)
+        assert [a.delay_for(i) for i in (1, 2, 3)] == [
+            b.delay_for(i) for i in (1, 2, 3)
+        ]
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            base_delay=1.0, multiplier=2.0, max_delay=3.0, seed=0
+        )
+        # jitter scales by [0.5, 1.0], so compare against raw bounds
+        assert policy.delay_for(1) <= 1.0
+        assert policy.delay_for(5) <= 3.0
+
+    def test_deadline_stops_hopeless_backoff(self):
+        clock = SimClock()
+        deadline = Deadline(clock.now, 0.01)
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=1.0, sleep=clock.advance
+        )
+
+        def always_fails():
+            raise ValueError("down")
+
+        # the first backoff alone would blow the 10ms budget: the
+        # underlying failure surfaces instead of sleeping into a miss
+        with pytest.raises(ValueError):
+            policy.run(always_fails, retryable=(ValueError,), deadline=deadline)
+        assert clock.now() == 0.0
+
+    def test_retry_budget_exhaustion(self):
+        policy = RetryPolicy(max_attempts=10)
+        budget = RetryBudget(ratio=0.0, initial=1.0)
+
+        def always_fails():
+            raise ValueError("down")
+
+        # one token: first retry spends it, second is denied
+        with pytest.raises(RetryBudgetExhaustedError):
+            policy.run(always_fails, retryable=(ValueError,), budget=budget)
+        assert budget.spent == 1
+        assert budget.denied == 1
+
+    def test_budget_refills_on_success(self):
+        budget = RetryBudget(ratio=0.5, initial=0.0, max_tokens=2.0)
+        assert not budget.try_spend()
+        budget.record_success()
+        budget.record_success()
+        assert budget.try_spend()
+
+
+class TestCircuitBreaker:
+    def make(self, clock, threshold=3, recovery=10.0, probes=1):
+        return CircuitBreaker(
+            clock.now,
+            failure_threshold=threshold,
+            recovery_time=recovery,
+            probe_count=probes,
+            name="test",
+        )
+
+    def test_opens_after_consecutive_failures(self):
+        clock = SimClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.rejections == 1
+
+    def test_success_resets_failure_streak(self):
+        clock = SimClock()
+        breaker = self.make(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_recloses(self):
+        clock = SimClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(10.0)
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # only one probe slot
+        breaker.record_success()
+        assert breaker.state == "closed"
+        states = [(t.from_state, t.to_state) for t in breaker.transitions]
+        assert states == [
+            ("closed", "open"), ("open", "half_open"), ("half_open", "closed")
+        ]
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = SimClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.opens == 2
+        # the clock has not moved since the re-open: still rejecting
+        assert not breaker.allow()
+
+    def test_call_wraps_the_state_machine(self):
+        clock = SimClock()
+        breaker = self.make(clock, threshold=1)
+        with pytest.raises(ValueError):
+            breaker.call(lambda: (_ for _ in ()).throw(ValueError("boom")))
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "never runs")
+
+
+class TestLoadShedder:
+    def test_capacity_bounds_admissions(self):
+        clock = SimClock()
+        shedder = LoadShedder(clock.now, capacity=10, window=1.0)
+        admitted = sum(shedder.try_admit("high") for _ in range(15))
+        assert admitted == 10
+        assert shedder.shed["high"] == 5
+
+    def test_low_priority_shed_first(self):
+        clock = SimClock()
+        shedder = LoadShedder(
+            clock.now, capacity=10,
+            thresholds={"high": 1.0, "low": 0.5},
+        )
+        for _ in range(5):
+            assert shedder.try_admit("low")
+        assert not shedder.try_admit("low")  # low cut off at 50%
+        for _ in range(5):
+            assert shedder.try_admit("high")  # high may fill the queue
+        assert not shedder.try_admit("high")
+        assert shedder.shed == {"high": 1, "low": 1}
+
+    def test_window_rolls_with_clock(self):
+        clock = SimClock()
+        shedder = LoadShedder(clock.now, capacity=2, window=1.0)
+        assert shedder.try_admit("high") and shedder.try_admit("high")
+        assert not shedder.try_admit("high")
+        clock.advance(1.0)
+        assert shedder.try_admit("high")
+        assert shedder.windows == 2
+
+    def test_idle_gap_does_not_bank_slots(self):
+        clock = SimClock()
+        shedder = LoadShedder(clock.now, capacity=2, window=1.0)
+        clock.advance(7.5)
+        for _ in range(2):
+            assert shedder.try_admit("high")
+        assert not shedder.try_admit("high")
+
+    def test_admit_raises_and_rates(self):
+        clock = SimClock()
+        shedder = LoadShedder(clock.now, capacity=1)
+        shedder.admit()
+        with pytest.raises(OverloadError):
+            shedder.admit()
+        assert shedder.shed_rate() == pytest.approx(0.5)
+
+    def test_unknown_priority_rejected(self):
+        clock = SimClock()
+        shedder = LoadShedder(clock.now, capacity=1)
+        with pytest.raises(ConfigurationError):
+            shedder.try_admit("vip")

@@ -171,3 +171,25 @@ class TestMaxInFlightBackpressure:
     def test_invalid_max_in_flight(self):
         with pytest.raises(ConfigurationError, match="max_in_flight"):
             ReplayingSpout([], ("value",), max_in_flight=0)
+
+    def test_duplicate_acks_counted_not_completed(self):
+        spout = ReplayingSpout([("a",), ("b",)], ("value",))
+        emitted = []
+        spout.collector = type(
+            "Collector", (), {
+                "emit": lambda self, row, stream_id, message_id:
+                    emitted.append(message_id),
+            }
+        )()
+        while spout.next_tuple():
+            pass
+        for message_id in emitted:
+            spout.on_ack(message_id)
+        assert spout.completed == 2
+        assert spout.fully_processed()
+        # an acker double-delivering (or acking an unknown id) must not
+        # inflate the completion count past the rows actually processed
+        spout.on_ack(emitted[0])
+        spout.on_ack("never-emitted")
+        assert spout.completed == 2
+        assert spout.duplicate_acks == 2

@@ -2,7 +2,10 @@
 
 import pytest
 
+from repro.engine.engine import RecommenderEngine
+from repro.engine.front_end import RecommenderFrontEnd
 from repro.monitoring import SystemMonitor
+from repro.resilience import CircuitBreaker, LoadShedder
 from repro.storm import GlobalGrouping, LocalCluster, TopologyBuilder
 from repro.tdaccess import TDAccessCluster
 from repro.tdstore import TDStoreCluster
@@ -185,3 +188,99 @@ class TestSummary:
         assert "tdaccess" in text
         assert "tdstore" in text
         assert "topology app" in text
+
+
+class TestResilienceSignals:
+    def test_breaker_lifecycle_alerts(self, deployment):
+        clock, __, ___, ____, monitor = deployment
+        breaker = CircuitBreaker(
+            clock.now, failure_threshold=1, recovery_time=5.0, name="tdstore"
+        )
+        monitor.watch_breaker("tdstore", breaker)
+        assert monitor.evaluate() == []
+        breaker.record_failure()
+        alerts = monitor.evaluate()
+        assert any(
+            a.severity == "critical" and a.component == "resilience"
+            and "open" in a.message
+            for a in alerts
+        )
+        clock.advance(5.0)
+        alerts = monitor.evaluate()
+        assert any(
+            a.severity == "warning" and "half-open" in a.message
+            for a in alerts
+        )
+        assert breaker.allow()
+        breaker.record_success()
+        assert monitor.evaluate() == []
+
+    def test_shed_delta_warns_then_clears(self, deployment):
+        clock, __, tdstore, ____, monitor = deployment
+        engine = RecommenderEngine(tdstore.client())
+        shedder = LoadShedder(clock.now, capacity=1, window=1.0)
+        front_end = RecommenderFrontEnd(
+            engine, static_items=("s1",), shedder=shedder
+        )
+        monitor.watch_shedder(shedder)
+        monitor.watch_front_end(front_end)
+        monitor.snapshot()  # baseline
+        front_end.query("u1", 1, 0.0)
+        front_end.query("u1", 1, 0.0)  # second query of the window: shed
+        alerts = monitor.evaluate()
+        assert any(
+            a.component == "resilience" and "shed" in a.message
+            for a in alerts
+        )
+        # no new sheds since the last snapshot: the warning clears
+        assert not any("shed" in a.message for a in monitor.evaluate())
+
+    def test_below_live_serves_warn(self, deployment):
+        clock, __, tdstore, ____, monitor = deployment
+        breaker = CircuitBreaker(clock.now, failure_threshold=1, name="store")
+        breaker.record_failure()
+        engine = RecommenderEngine(tdstore.client(breaker=breaker))
+        front_end = RecommenderFrontEnd(engine, static_items=("s1",))
+        monitor.watch_front_end(front_end)
+        monitor.snapshot()  # baseline
+        front_end.query("u1", 1, 0.0)
+        alerts = monitor.evaluate()
+        assert any(
+            a.component == "serving" and "below the live rung" in a.message
+            for a in alerts
+        )
+
+    def test_degraded_servers_warn_per_layer(self, deployment):
+        __, tdaccess, tdstore, ____, monitor = deployment
+        tdstore.set_degradation(0, latency=0.2)
+        tdaccess.set_degradation(1, error_every=2)
+        alerts = monitor.evaluate()
+        assert any(
+            a.component == "tdstore" and "degraded" in a.message
+            for a in alerts
+        )
+        assert any(
+            a.component == "tdaccess" and "degraded" in a.message
+            for a in alerts
+        )
+        snap = monitor.history[-1]
+        assert snap.degraded_tdstore_servers == [0]
+        assert snap.degraded_tdaccess_servers == [1]
+        tdstore.clear_degradation(0)
+        tdaccess.clear_degradation(1)
+        assert monitor.evaluate() == []
+
+    def test_summary_mentions_resilience_state(self, deployment):
+        clock, __, tdstore, ____, monitor = deployment
+        breaker = CircuitBreaker(clock.now, name="store")
+        shedder = LoadShedder(clock.now, capacity=4)
+        engine = RecommenderEngine(tdstore.client())
+        front_end = RecommenderFrontEnd(engine, shedder=shedder)
+        monitor.watch_breaker("store", breaker)
+        monitor.watch_shedder(shedder)
+        monitor.watch_front_end(front_end)
+        front_end.query("u1", 1, 0.0)
+        text = monitor.summary()
+        assert "breaker store: closed" in text
+        assert "shedder" in text
+        assert "rungs" in text

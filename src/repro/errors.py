@@ -131,6 +131,18 @@ class StaleRouteError(TDStoreError):
     """
 
 
+class VersionConflictError(TDStoreError):
+    """A conditional write lost the race: the key's version moved on.
+
+    Carries the version the store holds now, so the caller can re-read,
+    re-apply its update, and retry the ``check_and_set``.
+    """
+
+    def __init__(self, message: str, current: int):
+        super().__init__(message)
+        self.current = current
+
+
 class AlgorithmError(ReproError):
     """A recommendation algorithm was misused or given invalid input."""
 

@@ -64,6 +64,15 @@ class SystemSnapshot:
     queries_shed: int = 0
     degraded_tdstore_servers: list[int] = field(default_factory=list)
     degraded_tdaccess_servers: list[int] = field(default_factory=list)
+    # exactly-once layer: per "task" (e.g. "itemCount[0]") ledger stats
+    ledger_entries: dict[str, int] = field(default_factory=dict)
+    dedup_hits: dict[str, int] = field(default_factory=dict)
+    ledgers_over_bound: list[str] = field(default_factory=list)
+
+    def total_dedup_hits(self) -> int:
+        """Replayed tuples suppressed so far — each one is a counter
+        corruption that the dedup ledger averted."""
+        return sum(self.dedup_hits.values())
 
     def read_imbalance(self) -> float:
         """Max/mean read ratio across TDStore servers (1.0 = perfectly
@@ -155,6 +164,11 @@ class SystemMonitor:
             for name, run in self._storm._running.items():
                 snap.topology_executed[name] = run.metrics.total_executed()
                 snap.topology_restarts[name] = run.metrics.task_restarts
+                for task, stats in self._storm.exactly_once_stats(name).items():
+                    snap.ledger_entries[task] = stats["entries"]
+                    snap.dedup_hits[task] = stats["dedup_hits"]
+                    if not stats["within_bound"]:
+                        snap.ledgers_over_bound.append(task)
         if self._coordinator is not None:
             snap.checkpoints_taken = self._coordinator.checkpoints_taken
             snap.checkpoint_age = self._coordinator.checkpoint_age(
@@ -260,6 +274,24 @@ class SystemMonitor:
                         f"{restarts - previous} task restart(s)",
                     )
                 )
+        for task in snap.ledgers_over_bound:
+            alerts.append(
+                Alert(
+                    "critical", "storm",
+                    f"dedup ledger of {task} exceeds its watermark bound: "
+                    "memory no longer O(in-flight)",
+                )
+            )
+        dedup_delta = snap.total_dedup_hits() - self._previous_dedup_hits()
+        if dedup_delta > 0:
+            alerts.append(
+                Alert(
+                    "warning", "storm",
+                    f"{dedup_delta} replayed tuple(s) suppressed since last "
+                    "snapshot (counter corruption averted; check source "
+                    "replays)",
+                )
+            )
         for name, state in snap.breaker_states.items():
             if state == "open":
                 alerts.append(
@@ -324,6 +356,10 @@ class SystemMonitor:
         previous = self._previous_snapshot()
         return previous.queries_shed if previous is not None else 0
 
+    def _previous_dedup_hits(self) -> int:
+        previous = self._previous_snapshot()
+        return previous.total_dedup_hits() if previous is not None else 0
+
     @staticmethod
     def _degraded_serves(snap: SystemSnapshot | None) -> int:
         if snap is None:
@@ -356,6 +392,13 @@ class SystemMonitor:
             lines.append(
                 f"  topology {name}: {executed} executions, "
                 f"{snap.topology_restarts.get(name, 0)} restarts"
+            )
+        if snap.ledger_entries:
+            lines.append(
+                f"  exactly-once: {sum(snap.ledger_entries.values())} ledger "
+                f"entrie(s) across {len(snap.ledger_entries)} task(s), "
+                f"{snap.total_dedup_hits()} replay(s) suppressed, "
+                f"{len(snap.ledgers_over_bound)} over bound"
             )
         if self._coordinator is not None or self._recovery is not None:
             age = (

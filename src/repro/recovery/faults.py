@@ -25,6 +25,7 @@ from repro.utils.rng import SeedSequenceFactory
 if TYPE_CHECKING:
     from repro.storm.cluster import LocalCluster
     from repro.tdaccess.cluster import TDAccessCluster
+    from repro.tdaccess.consumer import Consumer
     from repro.tdstore.cluster import TDStoreCluster
 
 KINDS = frozenset(
@@ -41,6 +42,9 @@ KINDS = frozenset(
         "error_rate",
         "brownout",
         "clear_degradation",
+        # replay faults: at-least-once delivery showing its teeth
+        "duplicate_delivery",
+        "worker_kill_midtree",
     }
 )
 
@@ -66,6 +70,17 @@ class Fault:
     ``error_rate``, and ``(layer, server_id)`` for ``brownout`` and
     ``clear_degradation``, with ``layer`` one of ``tdstore`` /
     ``tdaccess``.
+
+    The replay kinds: ``duplicate_delivery`` targets
+    ``(consumer_name, rewind)`` — at the barrier the named source
+    consumer seeks back ``rewind`` offsets per partition, so the spout
+    re-delivers messages whose trees already completed.
+    ``worker_kill_midtree`` targets
+    ``(component, task_index, after_executions, rewind)`` — armed at the
+    barrier, it fires *mid-drain* once ``after_executions`` more bolt
+    executions have run: the task is killed (losing its in-memory dedup
+    ledger) and every wired consumer rewinds, the worst replay case the
+    store-side op journal exists for.
     """
 
     round: int
@@ -94,6 +109,26 @@ class Fault:
                 raise FaultPlanError(
                     f"{self.kind} target needs {want} fields: {self.target}"
                 )
+        if self.kind == "duplicate_delivery":
+            if len(self.target) != 2 or not isinstance(self.target[1], int) \
+                    or self.target[1] < 1:
+                raise FaultPlanError(
+                    "duplicate_delivery target must be "
+                    f"(consumer_name, rewind >= 1): {self.target}"
+                )
+        if self.kind == "worker_kill_midtree":
+            if len(self.target) != 4:
+                raise FaultPlanError(
+                    "worker_kill_midtree target must be (component, "
+                    f"task_index, after_executions, rewind): {self.target}"
+                )
+            __, __, after, rewind = self.target
+            if not isinstance(after, int) or after < 1:
+                raise FaultPlanError(
+                    f"after_executions must be >= 1: {after}"
+                )
+            if not isinstance(rewind, int) or rewind < 1:
+                raise FaultPlanError(f"rewind must be >= 1: {rewind}")
 
 
 class FaultInjector:
@@ -114,6 +149,7 @@ class FaultInjector:
         topology: str | None = None,
         tdstore: "TDStoreCluster | None" = None,
         tdaccess: "TDAccessCluster | None" = None,
+        consumers: "dict[str, Consumer] | None" = None,
     ):
         self._plan = sorted(plan, key=lambda fault: fault.round)
         self._cursor = 0
@@ -122,7 +158,13 @@ class FaultInjector:
         self._topology = topology
         self._tdstore = tdstore
         self._tdaccess = tdaccess
+        self._consumers = consumers
         self._attached_to: "LocalCluster | None" = None
+        # worker_kill_midtree faults armed at a barrier, waiting for
+        # their execution countdown to hit zero mid-drain
+        self._armed: list[dict] = []
+        self.midtree_fired = 0
+        self.rewinds = 0
 
     # -- wiring -----------------------------------------------------------
 
@@ -133,6 +175,7 @@ class FaultInjector:
         topology: str | None = None,
         tdstore: "TDStoreCluster | None" = None,
         tdaccess: "TDAccessCluster | None" = None,
+        consumers: "dict[str, Consumer] | None" = None,
     ):
         """Point the injector at a rebuilt deployment after recovery."""
         if storm is not None:
@@ -143,17 +186,22 @@ class FaultInjector:
             self._tdstore = tdstore
         if tdaccess is not None:
             self._tdaccess = tdaccess
+        if consumers is not None:
+            self._consumers = consumers
 
     def attach(self, cluster: "LocalCluster"):
         self.detach()
         self._storm = cluster
         cluster.add_barrier_hook(self.on_barrier)
+        cluster.add_execute_hook(self.on_execute)
         self._attached_to = cluster
 
     def detach(self):
         if self._attached_to is not None:
             self._attached_to.remove_barrier_hook(self.on_barrier)
+            self._attached_to.remove_execute_hook(self.on_execute)
             self._attached_to = None
+        self._armed = []  # armed kills die with the deployment they aimed at
 
     # -- firing -----------------------------------------------------------
 
@@ -205,11 +253,61 @@ class FaultInjector:
         elif fault.kind == "clear_degradation":
             layer, server_id = fault.target
             self._layer(layer).clear_degradation(server_id)
+        elif fault.kind == "duplicate_delivery":
+            consumer_name, rewind = fault.target
+            self._rewind_consumer(consumer_name, rewind)
+        elif fault.kind == "worker_kill_midtree":
+            component, task_index, after, rewind = fault.target
+            self._armed.append(
+                {
+                    "component": component,
+                    "task_index": task_index,
+                    "countdown": after,
+                    "rewind": rewind,
+                }
+            )
         elif fault.kind == "crash_process":
             raise SimulatedCrash(
                 f"fault plan crashed the computation process at round "
                 f"{fault.round}"
             )
+
+    def on_execute(self, topology_name: str):
+        """Countdown hook for armed mid-tree kills (fires mid-drain)."""
+        if not self._armed or topology_name != self._topology:
+            return
+        still_armed = []
+        for armed in self._armed:
+            armed["countdown"] -= 1
+            if armed["countdown"] > 0:
+                still_armed.append(armed)
+                continue
+            # the kill: the task's in-memory state (dedup ledger included)
+            # is gone; its queued tuples survive to the fresh instance
+            self._storm.kill_task(
+                self._topology, armed["component"], armed["task_index"]
+            )
+            self.midtree_fired += 1
+            # ...and the replay: every wired source consumer rewinds, so
+            # already-processed offsets are re-delivered into the half
+            # finished drain
+            for consumer_name in self._consumers or {}:
+                self._rewind_consumer(consumer_name, armed["rewind"])
+        self._armed = still_armed
+
+    def _rewind_consumer(self, consumer_name: str, rewind: int):
+        consumer = (self._consumers or {}).get(consumer_name)
+        if consumer is None:
+            raise FaultPlanError(
+                f"fault rewinds consumer {consumer_name!r} but the injector "
+                "has no such consumer wired"
+            )
+        for partition, position in sorted(consumer.positions().items()):
+            consumer.seek(partition, max(0, position - rewind))
+        self.rewinds += 1
+        if self._storm is not None and self._topology is not None:
+            # spouts that had reported exhaustion have input again
+            self._storm.reactivate_spouts(self._topology)
 
     def _layer(self, layer: str):
         cluster = self._tdstore if layer == "tdstore" else self._tdaccess
@@ -238,6 +336,11 @@ def seeded_plan(
     error_rates: int = 0,
     error_every: int = 3,
     brownouts: int = 0,
+    duplicate_deliveries: int = 0,
+    midtree_kills: int = 0,
+    rewind_depth: int = 8,
+    midtree_after: int = 3,
+    consumer_name: str = "source",
 ) -> list[Fault]:
     """Generate a deterministic fault plan from ``seed``.
 
@@ -319,6 +422,27 @@ def seeded_plan(
             _degradation_pair("brownout", "tdaccess", tdaccess_servers, ())
     for _ in range(master_failovers):
         plan.append(Fault(_round(1, horizon), "failover_tdaccess_master"))
+    for _ in range(duplicate_deliveries):
+        plan.append(
+            Fault(
+                _round(1, horizon),
+                "duplicate_delivery",
+                (consumer_name, rewind_depth),
+            )
+        )
+    if kill_components:
+        for _ in range(midtree_kills):
+            component, parallelism = kill_components[
+                int(rng.integers(0, len(kill_components)))
+            ]
+            task_index = int(rng.integers(0, parallelism))
+            plan.append(
+                Fault(
+                    _round(1, horizon),
+                    "worker_kill_midtree",
+                    (component, task_index, midtree_after, rewind_depth),
+                )
+            )
     for _ in range(process_crashes):
         plan.append(Fault(_round(horizon // 2, horizon), "crash_process"))
     return sorted(plan, key=lambda fault: fault.round)

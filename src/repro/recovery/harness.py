@@ -141,7 +141,10 @@ class RecoveryHarness:
         coordinator.attach()
         if self.injector is not None:
             self.injector.rewire(
-                topology=topology.name, tdstore=tdstore, tdaccess=self._tdaccess
+                topology=topology.name,
+                tdstore=tdstore,
+                tdaccess=self._tdaccess,
+                consumers={CONSUMER_NAME: consumer},
             )
             self.injector.attach(cluster)
         return _Stack(clock, tdstore, consumer, topology, cluster, coordinator)

@@ -12,8 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.errors import ClusterStateError
-
 
 @dataclass
 class _Root:
@@ -31,6 +29,7 @@ class Acker:
         self._next_id = 0
         self.completed = 0
         self.failed = 0
+        self.anomalies = 0
 
     def register_root(self, message_id: Any, spout_name: str) -> int:
         """Register a new spout tuple; returns its internal root id."""
@@ -60,9 +59,12 @@ class Acker:
             if root is None:
                 continue
             if root.pending <= 0:
-                raise ClusterStateError(
-                    f"tuple tree {root_id} acked more times than it has tuples"
-                )
+                # an over-acked tree (a bolt double-acking, or a replayed
+                # tuple acked against an already-settled root): raising
+                # here would wedge the acker mid-notify and leak the
+                # remaining roots, so count the anomaly and keep draining
+                self.anomalies += 1
+                continue
             root.pending -= 1
             if root.pending == 0:
                 del self._roots[root_id]

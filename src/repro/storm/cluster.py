@@ -143,6 +143,7 @@ class LocalCluster:
         )
         self._barrier_hooks: list[Callable[[int], None]] = []
         self._barrier_rounds = 0
+        self._execute_hooks: list[Callable[[str], None]] = []
 
     # ------------------------------------------------------------------
     # submission
@@ -280,8 +281,15 @@ class LocalCluster:
         while True:
             batch = 0
             for run in self._running.values():
-                for task in list(run.tasks.values()):
-                    while task.queue:
+                for key in list(run.tasks):
+                    # re-look-up per tuple: an execute hook may kill_task
+                    # mid-drain, swapping in a fresh instance that shares
+                    # the old queue — the dead instance must not keep
+                    # processing it
+                    while True:
+                        task = run.tasks.get(key)
+                        if task is None or not task.queue:
+                            break
                         tup = task.queue.popleft()
                         self._execute(run, task, tup)
                         batch += 1
@@ -297,16 +305,18 @@ class LocalCluster:
                 f"tuple routed to non-bolt {task.component_name!r}"
             )
         run.metrics.task(task.component_name, task.task_index).executed += 1
-        task.collector.set_anchor_roots(tup.root_ids)
+        task.collector.set_input_context(tup.root_ids, tup.op_id)
         try:
             bolt.execute(tup)
         except Exception:
             task.collector.fail(tup)
             raise
         finally:
-            task.collector.set_anchor_roots(frozenset())
+            task.collector.set_input_context(frozenset(), None)
         if not getattr(bolt, "manual_ack", False):
             task.collector.ack(tup)
+        for hook in list(self._execute_hooks):
+            hook(run.topology.name)
 
     def _maybe_tick(self):
         if self._next_tick is None:
@@ -343,6 +353,35 @@ class LocalCluster:
     def remove_barrier_hook(self, hook: Callable[[int], None]):
         if hook in self._barrier_hooks:
             self._barrier_hooks.remove(hook)
+
+    def add_execute_hook(self, hook: Callable[[str], None]):
+        """Register ``hook(topology_name)`` to fire after every bolt execute.
+
+        Unlike barrier hooks, execute hooks fire mid-drain, while tuple
+        trees are still open — the point where a worker crash interrupts
+        processing. The fault injector uses this to kill tasks
+        mid-tuple-tree (``worker_kill_midtree``).
+        """
+        self._execute_hooks.append(hook)
+
+    def remove_execute_hook(self, hook: Callable[[str], None]):
+        if hook in self._execute_hooks:
+            self._execute_hooks.remove(hook)
+
+    def reactivate_spouts(self, topology_name: str):
+        """Clear the done flag on every spout of ``topology_name``.
+
+        After a source rewind (e.g. a consumer seeking back for a
+        duplicate-delivery fault) spouts that had reported exhaustion
+        have input again; without this the run loop would never poll
+        them.
+        """
+        run = self._running.get(topology_name)
+        if run is None:
+            raise ClusterStateError(f"unknown topology {topology_name!r}")
+        for task in run.tasks.values():
+            if isinstance(task.instance, Spout):
+                task.spout_done = False
 
     @property
     def barrier_rounds(self) -> int:
@@ -507,6 +546,23 @@ class LocalCluster:
 
     def metrics(self, topology_name: str) -> ClusterMetrics:
         return self._running[topology_name].metrics
+
+    def exactly_once_stats(self, topology_name: str) -> dict[str, dict]:
+        """Per-task dedup-ledger statistics for monitoring.
+
+        Returns ``{"component[task]": ledger_stats_dict}`` for every task
+        whose instance exposes ``ledger_stats()`` (i.e. subclasses of
+        :class:`~repro.storm.reliability.ExactlyOnceBolt`).
+        """
+        run = self._running.get(topology_name)
+        if run is None:
+            raise ClusterStateError(f"unknown topology {topology_name!r}")
+        stats: dict[str, dict] = {}
+        for (name, index), task in sorted(run.tasks.items()):
+            ledger_stats = getattr(task.instance, "ledger_stats", None)
+            if callable(ledger_stats):
+                stats[f"{name}[{index}]"] = ledger_stats()
+        return stats
 
     def task_instance(
         self, topology_name: str, component: str, task_index: int

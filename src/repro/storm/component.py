@@ -66,19 +66,46 @@ class OutputCollector:
         self._fail_fn = fail_fn
         self._clock_now = clock_now
         self._anchor_roots: frozenset[int] = frozenset()
+        self._input_op_id: str | None = None
+        self._emit_seq = 0
 
     def set_anchor_roots(self, roots: frozenset[int]):
         """Set the tuple-tree roots for tuples emitted during this execute."""
         self._anchor_roots = roots
+
+    def set_input_context(self, roots: frozenset[int], op_id: str | None):
+        """Install the input tuple's identity for the current execute.
+
+        Emissions during the execute derive replay-stable op ids
+        ``"{op_id}>{component}.{task}:{seq}"`` with ``seq`` counting
+        emissions within this execute — so re-executing the same input
+        tuple reproduces exactly the same downstream identities.
+        """
+        self._anchor_roots = roots
+        self._input_op_id = op_id
+        self._emit_seq = 0
 
     def emit(
         self,
         values: Sequence[Any],
         stream_id: str = DEFAULT_STREAM,
         message_id: Any = None,
+        op_id: str | None = None,
     ) -> StormTuple:
-        """Emit ``values`` on ``stream_id`` and return the created tuple."""
+        """Emit ``values`` on ``stream_id`` and return the created tuple.
+
+        ``op_id`` gives the tuple an explicit replay-stable identity
+        (spouts derive it from their source position). Bolts normally
+        leave it ``None``: anchored emissions inherit a derived identity
+        from the input tuple being executed.
+        """
         stream = self._declaration.stream(stream_id)
+        if op_id is None and self._input_op_id is not None:
+            op_id = (
+                f"{self._input_op_id}>"
+                f"{self._component_name}.{self._task_index}:{self._emit_seq}"
+            )
+            self._emit_seq += 1
         tup = StormTuple(
             values,
             stream.fields,
@@ -87,6 +114,7 @@ class OutputCollector:
             self._task_index,
             root_ids=self._anchor_roots,
             timestamp=self._clock_now(),
+            op_id=op_id,
         )
         self._emit_fn(tup, message_id)
         return tup

@@ -1,22 +1,270 @@
-"""At-least-once delivery helpers.
+"""Delivery-guarantee helpers: at-least-once replay and exactly-once dedup.
 
-Storm's guarantee: a spout tuple whose tree fails (or times out) is
-replayed. :class:`ReplayingSpout` wraps any pull-based source with the
-standard pending-buffer pattern — emitted tuples are remembered until
-acked, failed ones re-enter the front of the queue, and a bounded retry
-count routes poison messages to a dead-letter list instead of looping
-forever.
+Storm's native guarantee is at-least-once: a spout tuple whose tree fails
+(or times out) is replayed. :class:`ReplayingSpout` wraps any pull-based
+source with the standard pending-buffer pattern — emitted tuples are
+remembered until acked, failed ones re-enter the front of the queue, and
+a bounded retry count routes poison messages to a dead-letter record
+(optionally published to a TDAccess topic) instead of looping forever.
+
+On top of that, :class:`ExactlyOnceBolt` upgrades a bolt to effectively
+exactly-once processing: every spout tuple carries a stable
+``(source, offset)`` identity (``StormTuple.op_id``), bolt emissions
+derive child identities deterministically, and a bounded
+:class:`DedupLedger` drops re-deliveries before they touch state. The
+ledger is watermark-pruned — memory stays O(in-flight window), not
+O(stream) — and is captured by ``snapshot_state`` so the recovery
+subsystem's checkpoints include it.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.errors import ConfigurationError
-from repro.storm.component import Spout
+from repro.storm.component import Bolt, Spout
+from repro.storm.tuples import StormTuple
 
 PullFn = Callable[[], "Sequence[tuple] | None"]
+
+# Offsets retained per source behind the highest offset seen. Must exceed
+# the largest burst of first deliveries that can arrive out of order at
+# one task (a poll batch per round) and the deepest rewind a fault or
+# recovery replays; anything older showing up again can only be a
+# duplicate.
+DEFAULT_RETAIN_DEPTH = 256
+
+
+class _SourceWindow:
+    """Seen-offset tracking for one source, pruned by a low watermark.
+
+    Offsets at or below ``watermark`` are treated as already seen — by
+    the time the watermark passes an offset, its first delivery has long
+    been processed, so a later arrival can only be a replay. Offsets in
+    ``(watermark, max_seen]`` are tracked exactly, per derived-op suffix,
+    in ``detail``.
+    """
+
+    __slots__ = ("watermark", "max_seen", "detail")
+
+    def __init__(self):
+        self.watermark = -1
+        self.max_seen = -1
+        self.detail: dict[int, set[str]] = {}
+
+    def observe(self, offset: int, suffix: str, retain_depth: int) -> bool:
+        """Record ``(offset, suffix)``; return True if seen for the first time."""
+        if offset <= self.watermark:
+            return False
+        ops = self.detail.get(offset)
+        if ops is not None and suffix in ops:
+            return False
+        if ops is None:
+            self.detail[offset] = {suffix}
+        else:
+            ops.add(suffix)
+        if offset > self.max_seen:
+            self.max_seen = offset
+            floor = self.max_seen - retain_depth
+            if floor > self.watermark:
+                self.watermark = floor
+                for old in [o for o in self.detail if o <= floor]:
+                    del self.detail[old]
+        return True
+
+
+class DedupLedger:
+    """Bounded per-task ledger of seen operation ids.
+
+    Parses op ids of the shape ``"{source}@{offset}"`` (optionally
+    followed by ``">..."`` derivation suffixes) and tracks them per
+    source in a watermark-pruned window of ``retain_depth`` offsets.
+    Op ids that do not parse are kept verbatim (unbounded, but only
+    hand-crafted ids ever take that path).
+    """
+
+    def __init__(self, retain_depth: int = DEFAULT_RETAIN_DEPTH):
+        if retain_depth <= 0:
+            raise ConfigurationError(
+                f"retain_depth must be positive: {retain_depth}"
+            )
+        self.retain_depth = retain_depth
+        self._sources: dict[str, _SourceWindow] = {}
+        self._odd: set[str] = set()
+        self.first_seen = 0
+        self.duplicates = 0
+
+    @staticmethod
+    def _parse(op_id: str) -> "tuple[str, int, str] | None":
+        root, sep, suffix = op_id.partition(">")
+        source, at, offset = root.rpartition("@")
+        if not at or not source:
+            return None
+        try:
+            return source, int(offset), suffix
+        except ValueError:
+            return None
+
+    def observe(self, op_id: str) -> bool:
+        """Record ``op_id``; return True the first time, False on replays."""
+        parsed = self._parse(op_id)
+        if parsed is None:
+            if op_id in self._odd:
+                self.duplicates += 1
+                return False
+            self._odd.add(op_id)
+            self.first_seen += 1
+            return True
+        source, offset, suffix = parsed
+        window = self._sources.get(source)
+        if window is None:
+            window = self._sources[source] = _SourceWindow()
+        if window.observe(offset, suffix, self.retain_depth):
+            self.first_seen += 1
+            return True
+        self.duplicates += 1
+        return False
+
+    # -- introspection -----------------------------------------------------
+
+    def offsets_retained(self) -> int:
+        """Distinct offsets currently tracked exactly (above watermarks)."""
+        return sum(len(w.detail) for w in self._sources.values())
+
+    def entries(self) -> int:
+        """Total (offset, suffix) pairs held, plus unparseable ids."""
+        return len(self._odd) + sum(
+            len(ops) for w in self._sources.values() for ops in w.detail.values()
+        )
+
+    def within_bound(self) -> bool:
+        """True while every source window respects the watermark bound."""
+        return all(
+            len(w.detail) <= self.retain_depth
+            and all(o > w.watermark for o in w.detail)
+            for w in self._sources.values()
+        )
+
+    def stats(self) -> dict:
+        return {
+            "sources": len(self._sources),
+            "offsets": self.offsets_retained(),
+            "entries": self.entries(),
+            "retain_depth": self.retain_depth,
+            "within_bound": self.within_bound(),
+            "first_seen": self.first_seen,
+            "duplicates": self.duplicates,
+        }
+
+    # -- checkpoint support ------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "retain_depth": self.retain_depth,
+            "first_seen": self.first_seen,
+            "duplicates": self.duplicates,
+            "odd": sorted(self._odd),
+            "sources": {
+                name: {
+                    "watermark": w.watermark,
+                    "max_seen": w.max_seen,
+                    "detail": {o: sorted(ops) for o, ops in w.detail.items()},
+                }
+                for name, w in sorted(self._sources.items())
+            },
+        }
+
+    def restore(self, state: dict):
+        self.retain_depth = state["retain_depth"]
+        self.first_seen = state["first_seen"]
+        self.duplicates = state["duplicates"]
+        self._odd = set(state["odd"])
+        self._sources = {}
+        for name, ws in state["sources"].items():
+            window = _SourceWindow()
+            window.watermark = ws["watermark"]
+            window.max_seen = ws["max_seen"]
+            window.detail = {
+                int(o): set(ops) for o, ops in ws["detail"].items()
+            }
+            self._sources[name] = window
+
+
+class ExactlyOnceBolt(Bolt):
+    """A bolt that processes each identified tuple exactly once.
+
+    Subclasses implement :meth:`process` instead of ``execute``; input
+    tuples whose ``op_id`` the ledger has already seen are dropped before
+    any state is touched (and before any emission, so the whole subtree
+    of a replayed tuple is suppressed). Tuples without an ``op_id`` fall
+    back to at-least-once processing.
+
+    The ledger rides along in ``snapshot_state``/``restore_state`` so
+    recovery checkpoints capture it; subclasses keep their own
+    checkpointed state through :meth:`snapshot_app_state` /
+    :meth:`restore_app_state` rather than overriding the base protocol.
+    """
+
+    def __init__(self, dedup_retain: int = DEFAULT_RETAIN_DEPTH):
+        self._ledger = DedupLedger(retain_depth=dedup_retain)
+        self.dedup_hits = 0
+
+    @property
+    def ledger(self) -> DedupLedger:
+        return self._ledger
+
+    def execute(self, tup: StormTuple):
+        if tup.op_id is not None and not self._ledger.observe(tup.op_id):
+            self.dedup_hits += 1
+            return
+        self.process(tup)
+
+    def process(self, tup: StormTuple):
+        """Handle one input tuple, guaranteed unseen. Override."""
+        raise NotImplementedError
+
+    def ledger_stats(self) -> dict:
+        stats = self._ledger.stats()
+        stats["dedup_hits"] = self.dedup_hits
+        return stats
+
+    # -- checkpoint protocol ----------------------------------------------
+
+    def snapshot_app_state(self) -> "dict | None":
+        """Subclass hook: process-local state beyond the dedup ledger."""
+        return None
+
+    def restore_app_state(self, state: dict):
+        """Subclass hook: reinstall state from :meth:`snapshot_app_state`."""
+
+    def snapshot_state(self) -> "dict | None":
+        app = self.snapshot_app_state()
+        ledger = self._ledger.snapshot()
+        if app is None and not ledger["sources"] and not ledger["odd"]:
+            return None
+        return {"exactly_once": ledger, "app": app}
+
+    def restore_state(self, state: dict):
+        if "exactly_once" in state:
+            self._ledger.restore(state["exactly_once"])
+            app = state.get("app")
+        else:
+            # manifest from before the exactly-once layer: the whole dict
+            # is application state
+            app = state
+        if app is not None:
+            self.restore_app_state(app)
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """A row abandoned after exhausting its retries."""
+
+    row: tuple
+    message_id: Any
+    failures: int
 
 
 class ReplayingSpout(Spout):
@@ -37,6 +285,13 @@ class ReplayingSpout(Spout):
         ``topology.max.spout.pending`` backpressure. Without a cap,
         repeated downstream failures let the pending buffer grow with
         the whole remaining input.
+    source_name:
+        Identity prefix for emitted tuples: row ``i`` carries
+        ``op_id="{source_name}@{i}"``, stable across replays.
+    dead_letter_producer / dead_letter_topic:
+        When a producer is given, each dead letter is also published to the
+        TDAccess topic so it survives the process (the topic must already
+        exist on the producer's cluster).
     """
 
     def __init__(
@@ -46,6 +301,9 @@ class ReplayingSpout(Spout):
         stream_id: str = "default",
         max_retries: int = 3,
         max_in_flight: int | None = None,
+        source_name: str = "rows",
+        dead_letter_producer: Any = None,
+        dead_letter_topic: str = "dead-letters",
     ):
         if max_retries < 0:
             raise ConfigurationError(f"max_retries must be >= 0: {max_retries}")
@@ -58,9 +316,12 @@ class ReplayingSpout(Spout):
         self._stream_id = stream_id
         self._max_retries = max_retries
         self._max_in_flight = max_in_flight
+        self._source_name = source_name
+        self._dead_letter_producer = dead_letter_producer
+        self._dead_letter_topic = dead_letter_topic
         self._pending: dict[int, tuple] = {}
         self._failures: dict[int, int] = {}
-        self.dead_letters: list[tuple] = []
+        self.dead_letters: list[DeadLetter] = []
         self.replays = 0
         self.completed = 0
         self.duplicate_acks = 0
@@ -84,8 +345,12 @@ class ReplayingSpout(Spout):
             return True
         message_id, row = self._queue.popleft()
         self._pending[message_id] = row
-        self.collector.emit(row, stream_id=self._stream_id,
-                            message_id=message_id)
+        self.collector.emit(
+            row,
+            stream_id=self._stream_id,
+            message_id=message_id,
+            op_id=f"{self._source_name}@{message_id}",
+        )
         self.max_in_flight_seen = max(self.max_in_flight_seen, len(self._pending))
         return True
 
@@ -105,8 +370,20 @@ class ReplayingSpout(Spout):
             return
         failures = self._failures.get(message_id, 0) + 1
         if failures > self._max_retries:
-            self.dead_letters.append(row)
+            letter = DeadLetter(row, message_id, failures)
+            self.dead_letters.append(letter)
             self._failures.pop(message_id, None)
+            if self._dead_letter_producer is not None:
+                self._dead_letter_producer.send(
+                    self._dead_letter_topic,
+                    {
+                        "row": list(row),
+                        "message_id": message_id,
+                        "failures": failures,
+                        "source": self._source_name,
+                    },
+                    key=str(message_id),
+                )
             return
         self._failures[message_id] = failures
         self.replays += 1

@@ -34,6 +34,14 @@ class StormTuple:
         Ids of the spout tuple trees this tuple belongs to (for acking).
     timestamp:
         Simulated emission time in seconds.
+    op_id:
+        Stable identity of the operation that produced this tuple. Spout
+        tuples carry ``"{source}@{offset}"``; bolt emissions derive
+        ``"{parent_op}>{component}.{task}:{seq}"`` so a replayed spout
+        tuple regenerates byte-identical ids all the way down its tree —
+        the property dedup ledgers and the TDStore op journal rely on.
+        ``None`` means the tuple has no replay-stable identity and is
+        processed at-least-once.
     """
 
     __slots__ = (
@@ -44,6 +52,7 @@ class StormTuple:
         "source_task",
         "root_ids",
         "timestamp",
+        "op_id",
     )
 
     def __init__(
@@ -55,6 +64,7 @@ class StormTuple:
         source_task: int = 0,
         root_ids: frozenset[int] = frozenset(),
         timestamp: float = 0.0,
+        op_id: str | None = None,
     ):
         if len(values) != len(fields):
             raise TopologyError(
@@ -68,6 +78,7 @@ class StormTuple:
         self.source_task = source_task
         self.root_ids = root_ids
         self.timestamp = timestamp
+        self.op_id = op_id
 
     @property
     def values(self) -> tuple:

@@ -92,6 +92,8 @@ class TDStoreClient:
         self.breaker_rejections = 0
         self.deadline_misses = 0
         self.latency_absorbed = 0.0
+        self.ops_applied = 0
+        self.ops_deduped = 0
 
     # -- deadline propagation ----------------------------------------------
 
@@ -238,6 +240,79 @@ class TDStoreClient:
         slave = self._config.server(route.slave)
         if slave.alive:
             slave.enqueue_sync(instance, record)
+
+    # -- transactional API (exactly-once support) ---------------------------
+
+    def get_versioned(self, key: str, default: Any = None) -> tuple[Any, int]:
+        """Return ``(value, version)``; version 0 means never CAS-written."""
+        def op(server_id: int, instance: int):
+            return self._config.server(server_id).get_versioned(
+                instance, key, default
+            )
+
+        return self._with_failover(key, op)
+
+    def check_and_set(self, key: str, value: Any, expected_version: int) -> int:
+        """Conditional write: succeed only at ``expected_version``.
+
+        Returns the new version. On a lost race
+        :class:`~repro.errors.VersionConflictError` propagates (it is not
+        a transport failure, so no failover/retry is spent on it); the
+        caller re-reads with :meth:`get_versioned` and retries.
+        """
+        def op(server_id: int, instance: int):
+            new_version, records = self._config.server(server_id).check_and_set(
+                instance, key, value, expected_version
+            )
+            for record in records:
+                self._sync_to_slave(instance, record)
+            return new_version
+
+        return self._with_failover(key, op)
+
+    def apply(self, key: str, op_id: str, delta: float = 1.0) -> tuple[float, bool]:
+        """Idempotent increment: ``op_id`` lands on ``key`` at most once.
+
+        Returns ``(value, applied)``. Safe to replay — including across a
+        host→slave failover, because the op journal replicates with the
+        value — and safe to retry after an ambiguous transport failure.
+        """
+        def op(server_id: int, instance: int):
+            value, applied, records = self._config.server(server_id).apply_op(
+                instance, key, op_id, delta
+            )
+            for record in records:
+                self._sync_to_slave(instance, record)
+            return value, applied
+
+        value, applied = self._with_failover(key, op)
+        if applied:
+            self.ops_applied += 1
+        else:
+            self.ops_deduped += 1
+        return value, applied
+
+    def run_once(self, key: str, op_id: str) -> bool:
+        """Journal ``op_id`` against ``key``; True the first time only.
+
+        The guard for read-modify-write updates that are not simple
+        deltas: callers perform the whole update only when this returns
+        True, making the update idempotent under replay.
+        """
+        def op(server_id: int, instance: int):
+            recorded, records = self._config.server(server_id).record_once(
+                instance, key, op_id
+            )
+            for record in records:
+                self._sync_to_slave(instance, record)
+            return recorded
+
+        recorded = self._with_failover(key, op)
+        if recorded:
+            self.ops_applied += 1
+        else:
+            self.ops_deduped += 1
+        return recorded
 
     def incr(self, key: str, delta: float = 1.0) -> float:
         """Atomic-within-the-simulation numeric increment; returns new value."""

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.errors import DataServerDownError, StaleRouteError, TDStoreError
-from repro.tdstore.engines import StorageEngine
+from repro.tdstore.engines import JOURNAL_PREFIX, VERSION_PREFIX, StorageEngine
 
 _DELETE = "__delete__"
 _PUT = "__put__"
@@ -155,6 +155,67 @@ class TDStoreDataServer:
         engine.delete(key)
         self.writes += 1
         return SyncRecord(_DELETE, key)
+
+    # -- transactional host operations --------------------------------------
+    #
+    # These return the *list* of sync records that reproduce the mutation
+    # (value plus version/journal meta keys) so the slave converges to
+    # the same transactional state — which is what makes a replayed
+    # ``apply`` a no-op even after a host→slave failover.
+
+    def get_versioned(
+        self, instance: int, key: str, default: Any = None
+    ) -> tuple[Any, int]:
+        engine = self.engine(instance)
+        self._check_host(instance)
+        self._check_degraded()
+        self.reads += 1
+        return engine.get(key, default), engine.version(key)
+
+    def check_and_set(
+        self, instance: int, key: str, value: Any, expected_version: int
+    ) -> tuple[int, list[SyncRecord]]:
+        engine = self.engine(instance)
+        self._check_host(instance)
+        self._check_degraded()
+        new_version = engine.check_and_set(key, value, expected_version)
+        self.writes += 1
+        return new_version, [
+            SyncRecord(_PUT, key, value),
+            SyncRecord(_PUT, VERSION_PREFIX + key, new_version),
+        ]
+
+    def apply_op(
+        self, instance: int, key: str, op_id: str, delta: float
+    ) -> tuple[float, bool, list[SyncRecord]]:
+        engine = self.engine(instance)
+        self._check_host(instance)
+        self._check_degraded()
+        value, applied = engine.apply_op(key, op_id, delta)
+        self.writes += 1
+        if not applied:
+            return value, False, []
+        return value, True, [
+            SyncRecord(_PUT, key, value),
+            SyncRecord(_PUT, JOURNAL_PREFIX + key,
+                       engine.get(JOURNAL_PREFIX + key)),
+            SyncRecord(_PUT, VERSION_PREFIX + key, engine.version(key)),
+        ]
+
+    def record_once(
+        self, instance: int, key: str, op_id: str
+    ) -> tuple[bool, list[SyncRecord]]:
+        engine = self.engine(instance)
+        self._check_host(instance)
+        self._check_degraded()
+        recorded = engine.record_once(key, op_id)
+        self.writes += 1
+        if not recorded:
+            return False, []
+        return True, [
+            SyncRecord(_PUT, JOURNAL_PREFIX + key,
+                       engine.get(JOURNAL_PREFIX + key)),
+        ]
 
     # -- slave-side replication ----------------------------------------------
 

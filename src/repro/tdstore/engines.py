@@ -24,11 +24,23 @@ from abc import ABC, abstractmethod
 from bisect import bisect_left
 from typing import Any, Callable, Iterator
 
-from repro.errors import EngineError
+from repro.errors import EngineError, VersionConflictError
 from repro.utils.clock import SimClock
 from repro.utils.hashing import stable_hash
 
 _MISSING = object()
+
+# Reserved key prefixes for the transactional layer (Section 3.3 meets
+# exactly-once): a per-key write version and a per-key journal of applied
+# operation ids. Implemented as ordinary keys so every engine inherits
+# them and replication/snapshots carry them without special cases.
+VERSION_PREFIX = "__ver__:"
+JOURNAL_PREFIX = "__ops__:"
+
+# Ids remembered per key. Must exceed the number of distinct operations
+# that can target one key within any replay window (a rewound source
+# re-delivers at most a few batches); older ids can no longer reappear.
+JOURNAL_LIMIT = 128
 
 
 class StorageEngine(ABC):
@@ -76,6 +88,74 @@ class StorageEngine(ABC):
             self.delete(key)
         for key, value in data.items():
             self.put(key, value)
+
+    # -- transactional layer (versions + op journal) -----------------------
+    #
+    # Implemented on the base class in terms of get/put so all four
+    # engines share one behaviour. A plain ``put`` stays version-neutral:
+    # only the conditional/idempotent operations below maintain versions,
+    # so components that never use them pay nothing.
+
+    def version(self, key: str) -> int:
+        """Current write version of ``key`` (0 until first versioned write)."""
+        return self.get(VERSION_PREFIX + key, 0)
+
+    def check_and_set(self, key: str, value: Any, expected_version: int) -> int:
+        """Write ``value`` only if ``key`` is still at ``expected_version``.
+
+        Returns the new version; raises
+        :class:`~repro.errors.VersionConflictError` (carrying the current
+        version) when the key moved on — the caller re-reads and retries.
+        """
+        current = self.version(key)
+        if current != expected_version:
+            raise VersionConflictError(
+                f"key {key!r} is at version {current}, "
+                f"caller expected {expected_version}",
+                current=current,
+            )
+        self.put(key, value)
+        self.put(VERSION_PREFIX + key, current + 1)
+        return current + 1
+
+    def apply_op(
+        self, key: str, op_id: str, delta: float,
+        journal_limit: int = JOURNAL_LIMIT,
+    ) -> tuple[float, bool]:
+        """Idempotent increment: ``op_id`` is applied to ``key`` at most once.
+
+        Returns ``(value, applied)``; a replayed ``op_id`` leaves the
+        value untouched and reports ``applied=False``. The journal is
+        bounded to ``journal_limit`` ids per key.
+        """
+        journal = list(self.get(JOURNAL_PREFIX + key, ()))
+        if op_id in journal:
+            return self.get(key, 0.0), False
+        value = self.get(key, 0.0) + delta
+        self.put(key, value)
+        journal.append(op_id)
+        if len(journal) > journal_limit:
+            journal = journal[-journal_limit:]
+        self.put(JOURNAL_PREFIX + key, journal)
+        self.put(VERSION_PREFIX + key, self.version(key) + 1)
+        return value, True
+
+    def record_once(
+        self, key: str, op_id: str, journal_limit: int = JOURNAL_LIMIT,
+    ) -> bool:
+        """Journal ``op_id`` against ``key`` without touching the value.
+
+        Returns True the first time, False on a replay — the guard for
+        read-modify-write updates that are not simple deltas.
+        """
+        journal = list(self.get(JOURNAL_PREFIX + key, ()))
+        if op_id in journal:
+            return False
+        journal.append(op_id)
+        if len(journal) > journal_limit:
+            journal = journal[-journal_limit:]
+        self.put(JOURNAL_PREFIX + key, journal)
+        return True
 
 
 class MDBEngine(StorageEngine):

@@ -22,7 +22,8 @@ from repro.algorithms.itemcf.history import apply_action
 from repro.algorithms.itemcf.pruning import hoeffding_epsilon
 from repro.algorithms.itemcf.similarity import SimilarItemsList
 from repro.algorithms.ratings import ActionWeights, DEFAULT_ACTION_WEIGHTS
-from repro.storm.component import Bolt
+from repro.errors import VersionConflictError
+from repro.storm.reliability import ExactlyOnceBolt
 from repro.storm.tuples import StormTuple
 from repro.tdstore.client import TDStoreClient
 from repro.topology.state import CachedStore, Combiner, StateKeys
@@ -33,7 +34,7 @@ ClientFactory = Callable[[], TDStoreClient]
 ProfileLookup = Callable[[str], "UserProfile | None"]
 
 
-class UserHistoryBolt(Bolt):
+class UserHistoryBolt(ExactlyOnceBolt):
     """Grouped by user: histories, rating deltas, recent-k, group deltas.
 
     Emits:
@@ -43,6 +44,12 @@ class UserHistoryBolt(Bolt):
     * ``group_delta`` (group, item, delta) — the multi-hash hop of
       Section 5.4: demographic counting is re-keyed by group id here so a
       single downstream task owns each group's counters.
+
+    The history update is a read-modify-write, not a delta, so beyond
+    the dedup ledger each identified action is journaled against the
+    user's history key (``run_once``): a replay arriving after a task
+    kill wiped the ledger is still skipped — including its emissions,
+    whose first delivery already reached downstream.
     """
 
     def __init__(
@@ -53,6 +60,7 @@ class UserHistoryBolt(Bolt):
         recent_k: int = 10,
         group_of: Callable[[str], str] | None = None,
     ):
+        super().__init__()
         self._client_factory = client_factory
         self._weights = weights
         self._linked_time = linked_time
@@ -68,8 +76,12 @@ class UserHistoryBolt(Bolt):
         super().prepare(context, collector)
         self._store = CachedStore(self._client_factory())
 
-    def execute(self, tup: StormTuple):
+    def process(self, tup: StormTuple):
         user, item = tup["user"], tup["item"]
+        if tup.op_id is not None and not self._store.run_once(
+            StateKeys.history(user), tup.op_id
+        ):
+            return
         now = tup["timestamp"]
         weight = self._weights.weight(tup["action"])
         history = self._store.get(StateKeys.history(user), None)
@@ -105,15 +117,22 @@ class UserHistoryBolt(Bolt):
         self._store.put(StateKeys.recent(user), recent)
 
 
-class ItemCountBolt(Bolt):
+class ItemCountBolt(ExactlyOnceBolt):
     """Grouped by item: maintains itemCount (Eq 6) in TDStore.
 
     With ``use_combiner`` the deltas buffer in a combiner map and flush
     on tick — the Section 5.3 optimization for hot items; without it,
     every delta is written through immediately (exact, more writes).
+
+    Write-through deltas go through the store's op journal
+    (:meth:`CachedStore.apply`) so they are idempotent under replay even
+    when the dedup ledger did not survive a task kill; combiner-buffered
+    deltas rely on the ledger alone — a delta enters the buffer exactly
+    once, and the buffer itself is checkpointed.
     """
 
     def __init__(self, client_factory: ClientFactory, use_combiner: bool = False):
+        super().__init__()
         self._client_factory = client_factory
         self._use_combiner = use_combiner
 
@@ -122,10 +141,12 @@ class ItemCountBolt(Bolt):
         self._store = CachedStore(self._client_factory())
         self._combiner = Combiner(self._store, "add") if self._use_combiner else None
 
-    def execute(self, tup: StormTuple):
+    def process(self, tup: StormTuple):
         key = StateKeys.item_count(tup["item"])
         if self._combiner is not None:
             self._combiner.add(key, tup["delta"])
+        elif tup.op_id is not None:
+            self._store.apply(key, tup.op_id, tup["delta"])
         else:
             self._store.incr(key, tup["delta"])
 
@@ -137,17 +158,17 @@ class ItemCountBolt(Bolt):
     def combiner(self) -> Combiner | None:
         return self._combiner
 
-    def snapshot_state(self) -> dict | None:
+    def snapshot_app_state(self) -> dict | None:
         if self._combiner is None:
             return None  # write-through: everything already in TDStore
         return {"combiner": self._combiner.snapshot_buffer()}
 
-    def restore_state(self, state: dict):
+    def restore_app_state(self, state: dict):
         if self._combiner is not None:
             self._combiner.restore_buffer(state["combiner"])
 
 
-class PairCountBolt(Bolt):
+class PairCountBolt(ExactlyOnceBolt):
     """Grouped by (pair_a, pair_b): pairCount, similarity, pruning check.
 
     Emits ``sim_update`` (item, other, similarity) once per direction so
@@ -160,6 +181,7 @@ class PairCountBolt(Bolt):
         client_factory: ClientFactory,
         pruning_delta: float | None = None,
     ):
+        super().__init__()
         self._client_factory = client_factory
         self._pruning_delta = pruning_delta
         self.pair_updates = 0
@@ -174,18 +196,20 @@ class PairCountBolt(Bolt):
         self._store = CachedStore(self._client_factory())
         self._observations: dict[tuple[str, str], int] = {}
 
-    def snapshot_state(self) -> dict | None:
+    def snapshot_app_state(self) -> dict | None:
         # the Hoeffding observation counters (Algorithm 1's n) live only
         # in this task's memory; losing them resets pruning confidence
         return {"observations": dict(self._observations)}
 
-    def restore_state(self, state: dict):
+    def restore_app_state(self, state: dict):
         self._observations = dict(state["observations"])
 
-    def execute(self, tup: StormTuple):
+    def process(self, tup: StormTuple):
         a, b, delta = tup["pair_a"], tup["pair_b"], tup["delta"]
         key = StateKeys.pair_count(a, b)
-        if delta != 0.0:
+        if delta != 0.0 and tup.op_id is not None:
+            pair_count, __ = self._store.apply(key, tup.op_id, delta)
+        elif delta != 0.0:
             pair_count = self._store.incr(key, delta)
         else:
             pair_count = self._store.get(key, 0.0)
@@ -224,41 +248,78 @@ class PairCountBolt(Bolt):
             self.collector.emit((b, a), stream_id="prune")
 
 
-class SimListBolt(Bolt):
+class SimListBolt(ExactlyOnceBolt):
     """Grouped by item: owns simlist, threshold, and pruned set per item.
 
     Subscribes to both ``sim_update`` and ``prune`` streams (keyed by the
     ``item`` field in each, so one task owns all state for an item).
+
+    List rewrites are conditional writes (``check_and_set`` against the
+    version this task last observed), and each identified update is
+    journaled against the item's list key — so a replayed ``sim_update``
+    carrying a stale similarity can never overwrite a newer list, even
+    after the in-memory ledger died with its task.
     """
 
     def __init__(self, client_factory: ClientFactory, k: int = 20):
+        super().__init__()
         self._client_factory = client_factory
         self._k = k
 
     def prepare(self, context, collector):
         super().prepare(context, collector)
         self._store = CachedStore(self._client_factory())
+        self._versions: dict[str, int] = {}
 
     def _load_list(self, item: str) -> SimilarItemsList:
+        key = StateKeys.sim_list(item)
+        if item in self._versions:
+            stored = self._store.get(key, None)
+        else:
+            # first touch since (re)start: learn the stored version so
+            # the conditional write below has something to check against
+            stored, version = self._store.client.get_versioned(key)
+            self._versions[item] = version
+            self._store.prime(key, stored)
         lst = SimilarItemsList(self._k)
-        stored = self._store.get(StateKeys.sim_list(item), None)
         if stored:
             for other, sim in stored.items():
                 lst.update(other, sim)
         return lst
 
     def _save_list(self, item: str, lst: SimilarItemsList):
-        self._store.put(StateKeys.sim_list(item), dict(lst.top()))
+        key = StateKeys.sim_list(item)
+        payload = dict(lst.top())
+        try:
+            self._versions[item] = self._store.client.check_and_set(
+                key, payload, self._versions.get(item, 0)
+            )
+        except VersionConflictError as conflict:
+            # our cached version predates a failover replay or restore;
+            # this task is still the only writer, so adopt the stored
+            # version and reissue the write
+            self._versions[item] = self._store.client.check_and_set(
+                key, payload, conflict.current
+            )
+        self._store.prime(key, payload)
         self._store.put(StateKeys.threshold(item), lst.threshold())
 
-    def execute(self, tup: StormTuple):
+    def process(self, tup: StormTuple):
         if tup.stream_id == "sim_update":
             item, other, sim = tup["item"], tup["other"], tup["similarity"]
+            if tup.op_id is not None and not self._store.run_once(
+                StateKeys.sim_list(item), tup.op_id
+            ):
+                return
             lst = self._load_list(item)
             lst.update(other, sim)
             self._save_list(item, lst)
         elif tup.stream_id == "prune":
             item, other = tup["item"], tup["other"]
+            if tup.op_id is not None and not self._store.run_once(
+                StateKeys.sim_list(item), tup.op_id
+            ):
+                return
             pruned = self._store.get(StateKeys.pruned(item), None) or set()
             pruned.add(other)
             self._store.put(StateKeys.pruned(item), pruned)

@@ -13,7 +13,7 @@ from typing import Callable
 
 from repro.algorithms.ctr import BACKOFF_LEVELS, situation_key
 from repro.algorithms.demographic import age_band
-from repro.storm.component import Bolt
+from repro.storm.reliability import ExactlyOnceBolt
 from repro.storm.tuples import StormTuple
 from repro.tdstore.client import TDStoreClient
 from repro.topology.state import CachedStore, StateKeys
@@ -33,13 +33,17 @@ def profile_attributes(profile: UserProfile | None) -> dict[str, str | None]:
     }
 
 
-class CtrStoreBolt(Bolt):
+class CtrStoreBolt(ExactlyOnceBolt):
     """Grouped by item: impression/click counters per situation level.
 
     With ``session_seconds``/``window_sessions`` set, counters are
     bucketed by time session so CtrBolt can answer the introduction's
     "during the last ten seconds" query; without them, counters
     accumulate over the topic's lifetime.
+
+    One input action increments up to one counter per situation level;
+    each increment carries the action's op id suffixed with its level so
+    every single one is independently idempotent under replay.
     """
 
     def __init__(
@@ -55,6 +59,7 @@ class CtrStoreBolt(Bolt):
             raise ConfigurationError(
                 "session_seconds and window_sessions must be set together"
             )
+        super().__init__()
         self._client_factory = client_factory
         self._profiles = profiles
         self._session_seconds = session_seconds
@@ -67,7 +72,7 @@ class CtrStoreBolt(Bolt):
         super().prepare(context, collector)
         self._store = CachedStore(self._client_factory())
 
-    def execute(self, tup: StormTuple):
+    def process(self, tup: StormTuple):
         action = tup["action"]
         if action not in ("impression", "click"):
             return
@@ -90,17 +95,24 @@ class CtrStoreBolt(Bolt):
                     key = StateKeys.impressions(item, situation)
                 else:
                     key = StateKeys.clicks(item, situation)
-            self._store.incr(key, 1.0)
+            if tup.op_id is not None:
+                self._store.apply(key, f"{tup.op_id}#{level}", 1.0)
+            else:
+                self._store.incr(key, 1.0)
             self.collector.emit((item, situation, session),
                                 stream_id="ctr_update")
 
 
-class CtrBolt(Bolt):
+class CtrBolt(ExactlyOnceBolt):
     """Grouped by item: recomputes smoothed CTR for updated situations.
 
     ``window_sessions`` must match the upstream CtrStoreBolt: when set,
     the CTR sums the last W session buckets ending at the update's
     session — a sliding-window CTR.
+
+    The recompute-and-overwrite is naturally idempotent; the dedup
+    ledger still suppresses replays so a stale recompute cannot clobber
+    a newer CTR value.
     """
 
     def __init__(
@@ -110,6 +122,7 @@ class CtrBolt(Bolt):
         prior_strength: float = 20.0,
         window_sessions: int | None = None,
     ):
+        super().__init__()
         self._client_factory = client_factory
         self._prior_ctr = prior_ctr
         self._prior_strength = prior_strength
@@ -139,7 +152,7 @@ class CtrBolt(Bolt):
             )
         return impressions, clicks
 
-    def execute(self, tup: StormTuple):
+    def process(self, tup: StormTuple):
         item, situation = tup["item"], tup["situation"]
         session = tup["session"]
         impressions, clicks = self._counts(item, situation, session)

@@ -11,19 +11,21 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.storm.component import Bolt
+from repro.storm.reliability import ExactlyOnceBolt
 from repro.storm.tuples import StormTuple
 from repro.tdstore.client import TDStoreClient
 from repro.topology.state import CachedStore, StateKeys
 
 
-class GroupCountBolt(Bolt):
+class GroupCountBolt(ExactlyOnceBolt):
     """Grouped by demographic group id: windowless hot-item counters.
 
     ``decay`` is applied once per elapsed ``decay_interval`` of simulated
     time, geometrically forgetting old engagement — the topology-side
     stand-in for the sliding window; ``max_items`` bounds each group's
-    counter map by evicting the weakest entries.
+    counter map by evicting the weakest entries. The counter map is a
+    read-modify-write, so each identified delta is journaled against the
+    group's key before it is folded in.
     """
 
     def __init__(
@@ -33,6 +35,7 @@ class GroupCountBolt(Bolt):
         decay_interval: float = 1800.0,
         max_items: int = 200,
     ):
+        super().__init__()
         self._client_factory = client_factory
         self._decay = decay
         self._decay_interval = decay_interval
@@ -44,9 +47,11 @@ class GroupCountBolt(Bolt):
         super().prepare(context, collector)
         self._store = CachedStore(self._client_factory())
 
-    def execute(self, tup: StormTuple):
+    def process(self, tup: StormTuple):
         group, item, delta = tup["group"], tup["item"], tup["delta"]
         key = StateKeys.hot(group)
+        if tup.op_id is not None and not self._store.run_once(key, tup.op_id):
+            return
         hot = self._store.get(key, None) or {}
         hot[item] = hot.get(item, 0.0) + delta
         if len(hot) > self._max_items:

@@ -37,11 +37,13 @@ class ActionSpout(Spout):
         if self._cursor >= len(self._actions):
             return False
         action = self._actions[self._cursor]
+        op_id = f"actions@{self._cursor}"
         self._cursor += 1
         self._clock.advance_to(action.timestamp)
         self.collector.emit(
             (action.user_id, action.item_id, action.action, action.timestamp),
             stream_id="user_action",
+            op_id=op_id,
         )
         return True
 
@@ -69,5 +71,9 @@ class TDAccessSpout(Spout):
             return False
         for message in batch:
             self._clock.advance_to(message.timestamp)
-            self.collector.emit((message.value,), stream_id="raw_action")
+            self.collector.emit(
+                (message.value,),
+                stream_id="raw_action",
+                op_id=f"{message.topic}/{message.partition}@{message.offset}",
+            )
         return True

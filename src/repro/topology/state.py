@@ -144,6 +144,30 @@ class CachedStore:
         self.put(key, value)
         return value
 
+    def apply(self, key: str, op_id: str, delta: float) -> tuple[float, bool]:
+        """Idempotent increment through the store's op journal.
+
+        Like :meth:`incr` but replay-safe: a duplicate ``op_id`` leaves
+        the value untouched. The cache is primed with the authoritative
+        result either way.
+        """
+        value, applied = self._client.apply(key, op_id, delta)
+        self._cache[key] = value
+        return value, applied
+
+    def run_once(self, key: str, op_id: str) -> bool:
+        """Journal ``op_id`` against ``key``; True the first time only."""
+        return self._client.run_once(key, op_id)
+
+    def prime(self, key: str, value: Any):
+        """Install ``value`` in the cache without writing to TDStore.
+
+        For callers that wrote through another path (e.g. a
+        ``check_and_set`` on the client) and know the authoritative
+        value.
+        """
+        self._cache[key] = value
+
     def invalidate(self, key: str | None = None):
         if key is None:
             self._cache.clear()

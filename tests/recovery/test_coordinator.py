@@ -128,7 +128,7 @@ class TestCheckpointContents:
             harness.store.load(i) for i in harness.store.checkpoint_ids()
         ]
         buffered = [
-            state["combiner"]
+            state["app"]["combiner"]
             for manifest in manifests
             for (component, _), state in manifest.bolt_states.items()
             if component == "itemCount"

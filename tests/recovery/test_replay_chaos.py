@@ -1,0 +1,205 @@
+"""Replay-chaos acceptance tests for the exactly-once layer.
+
+The guarantee under test: with duplicate deliveries and mid-tree worker
+kills injected — the at-least-once failure modes that corrupt counters
+in a naive topology — the final TDStore item counts, pair counts and
+similarity lists are byte-identical to a failure-free run, and every
+dedup ledger stays within its watermark bound throughout.
+
+Rewind depths are multiples of the spout batch size. Counters are exact
+under any rewind (every delta applies exactly once), but similarity
+values are *sampled* from the live counts at pair-processing time, so
+they depend on which messages share a scheduling round; an unaligned
+rewind shifts the batch boundaries of messages that were never
+replayed. Checkpoint recovery replays are aligned for the same reason
+(offsets are captured at batch boundaries). The unaligned case is
+covered separately, asserting count exactness.
+"""
+
+from repro.recovery import Fault, RecoveryHarness, seeded_plan
+
+from tests.recovery.helpers import (
+    TOPIC,
+    cf_topology_factory,
+    make_payloads,
+    make_tdaccess,
+    recommendations_bytes,
+    state_digest,
+)
+
+N_MESSAGES = 48
+BATCH = 4
+
+
+def run_reference(payloads):
+    harness = RecoveryHarness(
+        make_tdaccess(payloads),
+        TOPIC,
+        cf_topology_factory(batch_size=BATCH),
+        tick_interval=240.0,
+        checkpoint_every_rounds=2,
+    )
+    harness.start()
+    assert harness.run() == "completed"
+    return recommendations_bytes(harness.client(), harness.clock.now()), (
+        state_digest(harness.client())
+    )
+
+
+def make_chaos_harness(payloads, plan):
+    harness = RecoveryHarness(
+        make_tdaccess(payloads),
+        TOPIC,
+        cf_topology_factory(batch_size=BATCH),
+        tick_interval=240.0,
+        checkpoint_every_rounds=2,
+    )
+    harness.start(fault_plan=plan)
+    return harness
+
+
+def watch_ledger_bounds(harness, violations):
+    """Barrier hook asserting the watermark bound at every round."""
+
+    def check(barrier_round):
+        stats = harness.cluster.exactly_once_stats(harness.topology_name)
+        for task, task_stats in stats.items():
+            if not task_stats["within_bound"]:
+                violations.append((barrier_round, task))
+
+    harness.cluster.add_barrier_hook(check)
+
+
+def total_dedup_hits(harness):
+    stats = harness.cluster.exactly_once_stats(harness.topology_name)
+    return sum(s["dedup_hits"] for s in stats.values())
+
+
+class TestDuplicateDelivery:
+    def test_redelivered_offsets_do_not_change_state(self):
+        payloads = make_payloads(N_MESSAGES)
+        want_recs, want_state = run_reference(payloads)
+
+        harness = make_chaos_harness(
+            payloads,
+            [
+                Fault(2, "duplicate_delivery", ("source", 2 * BATCH)),
+                Fault(4, "duplicate_delivery", ("source", 3 * BATCH)),
+            ],
+        )
+        violations = []
+        watch_ledger_bounds(harness, violations)
+        assert harness.run() == "completed"
+        assert harness.injector.rewinds == 2
+        # the replays actually reached the topology and were suppressed
+        assert total_dedup_hits(harness) > 0
+        assert violations == []
+        got = recommendations_bytes(harness.client(), harness.clock.now())
+        assert got == want_recs
+        assert state_digest(harness.client()) == want_state
+
+    def test_deep_rewind_replays_whole_prefix_exactly_once(self):
+        # rewind farther than anything still in flight: every replayed
+        # offset is below or inside the ledger window and must be dropped
+        payloads = make_payloads(N_MESSAGES)
+        want_recs, want_state = run_reference(payloads)
+        harness = make_chaos_harness(
+            payloads, [Fault(5, "duplicate_delivery", ("source", 100))]
+        )
+        assert harness.run() == "completed"
+        assert total_dedup_hits(harness) > 0
+        got = recommendations_bytes(harness.client(), harness.clock.now())
+        assert got == want_recs
+        assert state_digest(harness.client()) == want_state
+
+    def test_unaligned_rewind_keeps_counters_exact(self):
+        # a rewind that is not a whole number of batches regroups the
+        # scheduling rounds of later messages, so point-in-time
+        # similarity samples may differ — but every counter the deltas
+        # feed must still be exact to the last bit
+        payloads = make_payloads(N_MESSAGES)
+        __, want_state = run_reference(payloads)
+        harness = make_chaos_harness(
+            payloads,
+            [
+                Fault(2, "duplicate_delivery", ("source", 3)),
+                Fault(4, "duplicate_delivery", ("source", 7)),
+            ],
+        )
+        assert harness.run() == "completed"
+        assert total_dedup_hits(harness) > 0
+        got_state = state_digest(harness.client())
+        assert got_state["item_counts"] == want_state["item_counts"]
+        assert got_state["pair_counts"] == want_state["pair_counts"]
+
+
+class TestWorkerKillMidtree:
+    def test_kill_plus_rewind_is_invisible(self):
+        # the worst case: a stateful task dies mid-drain (losing its
+        # in-memory ledger) while the source rewinds — only the
+        # store-side op journal stands between the replay and the counters
+        payloads = make_payloads(N_MESSAGES)
+        want_recs, want_state = run_reference(payloads)
+
+        harness = make_chaos_harness(
+            payloads,
+            [Fault(3, "worker_kill_midtree", ("userHistory", 0, 3, 2 * BATCH))],
+        )
+        violations = []
+        watch_ledger_bounds(harness, violations)
+        assert harness.run() == "completed"
+        assert harness.injector.midtree_fired == 1
+        assert harness.injector.rewinds >= 1
+        assert violations == []
+        got = recommendations_bytes(harness.client(), harness.clock.now())
+        assert got == want_recs
+        assert state_digest(harness.client()) == want_state
+
+    def test_kill_each_stateful_layer(self):
+        payloads = make_payloads(N_MESSAGES)
+        want_recs, want_state = run_reference(payloads)
+        for component in ("userHistory", "itemCount", "pairCount", "simList"):
+            harness = make_chaos_harness(
+                payloads,
+                [Fault(2, "worker_kill_midtree", (component, 1, 2, 2 * BATCH))],
+            )
+            assert harness.run() == "completed", component
+            assert harness.injector.midtree_fired == 1
+            got = recommendations_bytes(
+                harness.client(), harness.clock.now()
+            )
+            assert got == want_recs, f"{component} kill diverged"
+            assert state_digest(harness.client()) == want_state, component
+
+
+class TestSeededReplayChaos:
+    def test_replay_faults_with_process_crashes_stay_exact(self):
+        # the full gauntlet: duplicate deliveries, mid-tree kills, task
+        # kills and a process crash/recovery in one seeded plan
+        payloads = make_payloads(N_MESSAGES)
+        want_recs, want_state = run_reference(payloads)
+        for seed in (11, 12):
+            harness = make_chaos_harness(
+                payloads,
+                seeded_plan(
+                    seed,
+                    horizon=8,
+                    kill_components=[("userHistory", 2), ("itemCount", 2)],
+                    task_kills=1,
+                    tdstore_crashes=0,
+                    process_crashes=1,
+                    duplicate_deliveries=2,
+                    midtree_kills=1,
+                    rewind_depth=2 * BATCH,
+                ),
+            )
+            harness.run_to_completion()
+            kinds = {f.kind for f in harness.injector.injected}
+            assert "duplicate_delivery" in kinds, f"seed {seed}"
+            stats = harness.cluster.exactly_once_stats(harness.topology_name)
+            assert all(s["within_bound"] for s in stats.values())
+            got = recommendations_bytes(
+                harness.client(), harness.clock.now()
+            )
+            assert got == want_recs, f"seed {seed} diverged"
+            assert state_digest(harness.client()) == want_state, f"seed {seed}"

@@ -63,7 +63,11 @@ class TestReplayingSpout:
             max_retries=2,
         )
         assert bolt.processed == ["ok"]
-        assert spout.dead_letters == [("poison",)]
+        assert [letter.row for letter in spout.dead_letters] == [("poison",)]
+        # retry metadata survives: which message, and how many attempts
+        letter = spout.dead_letters[0]
+        assert letter.message_id == 1
+        assert letter.failures == 3  # initial try + max_retries replays
         assert spout.fully_processed()
 
     def test_clean_stream_no_replays(self):
@@ -177,7 +181,7 @@ class TestMaxInFlightBackpressure:
         emitted = []
         spout.collector = type(
             "Collector", (), {
-                "emit": lambda self, row, stream_id, message_id:
+                "emit": lambda self, row, stream_id, message_id, op_id=None:
                     emitted.append(message_id),
             }
         )()

@@ -1,0 +1,119 @@
+"""Tests for the transactional TDStore layer: CAS and the op journal."""
+
+import pytest
+
+from repro.errors import VersionConflictError
+from repro.tdstore.cluster import TDStoreCluster
+from repro.tdstore.engines import (
+    JOURNAL_LIMIT,
+    LDBEngine,
+    MDBEngine,
+    RDBEngine,
+)
+
+
+class TestEngineCheckAndSet:
+    def test_versions_start_at_zero_and_bump(self):
+        engine = MDBEngine()
+        assert engine.version("k") == 0
+        assert engine.check_and_set("k", "v1", expected_version=0) == 1
+        assert engine.get("k") == "v1"
+        assert engine.check_and_set("k", "v2", expected_version=1) == 2
+        assert engine.version("k") == 2
+
+    def test_conflict_carries_current_version(self):
+        engine = MDBEngine()
+        engine.check_and_set("k", "v1", expected_version=0)
+        with pytest.raises(VersionConflictError) as excinfo:
+            engine.check_and_set("k", "stale", expected_version=0)
+        assert excinfo.value.current == 1
+        assert engine.get("k") == "v1"  # losing write left no trace
+
+    def test_plain_put_is_version_neutral(self):
+        engine = MDBEngine()
+        engine.put("k", "v")
+        assert engine.version("k") == 0
+
+    def test_shared_across_engines(self):
+        # implemented on the base class: every engine inherits it
+        for engine in (MDBEngine(), LDBEngine(), RDBEngine()):
+            assert engine.check_and_set("k", 1, expected_version=0) == 1
+            with pytest.raises(VersionConflictError):
+                engine.check_and_set("k", 2, expected_version=0)
+
+
+class TestEngineOpJournal:
+    def test_apply_op_is_idempotent(self):
+        engine = MDBEngine()
+        assert engine.apply_op("count", "src@0", 2.0) == (2.0, True)
+        assert engine.apply_op("count", "src@0", 2.0) == (2.0, False)
+        assert engine.apply_op("count", "src@1", 3.0) == (5.0, True)
+
+    def test_record_once(self):
+        engine = MDBEngine()
+        assert engine.record_once("k", "src@0")
+        assert not engine.record_once("k", "src@0")
+        assert engine.record_once("k", "src@1")
+
+    def test_journal_is_bounded(self):
+        engine = MDBEngine()
+        for i in range(JOURNAL_LIMIT * 2):
+            engine.apply_op("count", f"src@{i}", 1.0)
+        journal = engine.get("__ops__:count")
+        assert len(journal) == JOURNAL_LIMIT
+        # only the newest ids are remembered; they still dedup
+        assert engine.apply_op("count", f"src@{JOURNAL_LIMIT * 2 - 1}", 1.0) == (
+            float(JOURNAL_LIMIT * 2),
+            False,
+        )
+
+
+class TestClientTransactions:
+    def make(self):
+        cluster = TDStoreCluster(num_data_servers=3, num_instances=8)
+        return cluster, cluster.client()
+
+    def test_get_versioned_default(self):
+        __, client = self.make()
+        assert client.get_versioned("missing", default=[]) == ([], 0)
+
+    def test_check_and_set_roundtrip_and_conflict(self):
+        __, client = self.make()
+        assert client.check_and_set("simList:i1", ["a"], 0) == 1
+        assert client.get_versioned("simList:i1") == (["a"], 1)
+        with pytest.raises(VersionConflictError) as excinfo:
+            client.check_and_set("simList:i1", ["b"], 0)
+        assert excinfo.value.current == 1
+
+    def test_apply_counters(self):
+        __, client = self.make()
+        client.apply("itemCount:i1", "actions@0", 1.0)
+        client.apply("itemCount:i1", "actions@0", 1.0)
+        client.run_once("hist:u1", "actions@1")
+        client.run_once("hist:u1", "actions@1")
+        assert client.ops_applied == 2
+        assert client.ops_deduped == 2
+
+    def test_replay_deduped_across_failover(self):
+        # the journal replicates with the value, so a replayed op is a
+        # no-op even after the host dies and the slave is promoted
+        cluster, client = self.make()
+        key = "itemCount:i1"
+        value, applied = client.apply(key, "actions@7", 4.0)
+        assert (value, applied) == (4.0, True)
+        cluster.sync_replicas()
+        host = cluster.config.route_table().route_for_key(key).host
+        cluster.crash_data_server(host)
+        value, applied = client.apply(key, "actions@7", 4.0)
+        assert (value, applied) == (4.0, False)
+        assert client.get(key) == 4.0
+
+    def test_versions_survive_failover(self):
+        cluster, client = self.make()
+        key = "simList:i1"
+        client.check_and_set(key, ["a"], 0)
+        cluster.sync_replicas()
+        host = cluster.config.route_table().route_for_key(key).host
+        cluster.crash_data_server(host)
+        assert client.get_versioned(key) == (["a"], 1)
+        assert client.check_and_set(key, ["a", "b"], 1) == 2

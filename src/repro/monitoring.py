@@ -68,11 +68,23 @@ class SystemSnapshot:
     ledger_entries: dict[str, int] = field(default_factory=dict)
     dedup_hits: dict[str, int] = field(default_factory=dict)
     ledgers_over_bound: list[str] = field(default_factory=list)
+    # drops decided solely by the ledger watermark: a late *first*
+    # delivery below the watermark is lost indistinguishably from a
+    # replay, so these are tracked apart from ordinary dedup hits
+    watermark_rejections: dict[str, int] = field(default_factory=dict)
+    # over-acked tuple trees absorbed per topology (possible double-ack bug)
+    acker_anomalies: dict[str, int] = field(default_factory=dict)
+    # op-journal ids trimmed out across the TDStore pool: a rewind deep
+    # enough to re-deliver one would double-apply
+    journal_evictions: int = 0
 
     def total_dedup_hits(self) -> int:
         """Replayed tuples suppressed so far — each one is a counter
         corruption that the dedup ledger averted."""
         return sum(self.dedup_hits.values())
+
+    def total_watermark_rejections(self) -> int:
+        return sum(self.watermark_rejections.values())
 
     def read_imbalance(self) -> float:
         """Max/mean read ratio across TDStore servers (1.0 = perfectly
@@ -160,13 +172,18 @@ class SystemMonitor:
             snap.replication_backlog = sum(
                 s.pending_syncs() for s in servers if s.alive
             )
+            snap.journal_evictions = self._tdstore.journal_evictions()
         if self._storm is not None:
             for name, run in self._storm._running.items():
                 snap.topology_executed[name] = run.metrics.total_executed()
                 snap.topology_restarts[name] = run.metrics.task_restarts
+                snap.acker_anomalies[name] = run.acker.anomalies
                 for task, stats in self._storm.exactly_once_stats(name).items():
                     snap.ledger_entries[task] = stats["entries"]
                     snap.dedup_hits[task] = stats["dedup_hits"]
+                    snap.watermark_rejections[task] = stats.get(
+                        "watermark_rejections", 0
+                    )
                     if not stats["within_bound"]:
                         snap.ledgers_over_bound.append(task)
         if self._coordinator is not None:
@@ -292,6 +309,44 @@ class SystemMonitor:
                     "replays)",
                 )
             )
+        watermark_delta = (
+            snap.total_watermark_rejections()
+            - self._previous_watermark_rejections()
+        )
+        if watermark_delta > 0:
+            alerts.append(
+                Alert(
+                    "warning", "storm",
+                    f"{watermark_delta} delivery(ies) dropped below the "
+                    "ledger watermark since last snapshot (a late first "
+                    "delivery would be lost the same way; check "
+                    "retain_depth against stream skew)",
+                )
+            )
+        for name, anomalies in snap.acker_anomalies.items():
+            previous = self._previous_acker_anomalies(name)
+            if anomalies > previous:
+                alerts.append(
+                    Alert(
+                        "warning", "storm",
+                        f"topology {name!r} absorbed "
+                        f"{anomalies - previous} over-acked tuple tree(s) "
+                        "(possible double-ack bug in a bolt)",
+                    )
+                )
+        eviction_delta = (
+            snap.journal_evictions - self._previous_journal_evictions()
+        )
+        if eviction_delta > 0:
+            alerts.append(
+                Alert(
+                    "warning", "tdstore",
+                    f"{eviction_delta} op-journal id(s) trimmed since last "
+                    "snapshot; a rewind re-delivering them would "
+                    "double-apply (check JOURNAL_LIMIT against per-key op "
+                    "rates)",
+                )
+            )
         for name, state in snap.breaker_states.items():
             if state == "open":
                 alerts.append(
@@ -360,6 +415,24 @@ class SystemMonitor:
         previous = self._previous_snapshot()
         return previous.total_dedup_hits() if previous is not None else 0
 
+    def _previous_watermark_rejections(self) -> int:
+        previous = self._previous_snapshot()
+        return (
+            previous.total_watermark_rejections()
+            if previous is not None
+            else 0
+        )
+
+    def _previous_acker_anomalies(self, name: str) -> int:
+        for snap in reversed(self.history[:-1]):
+            if name in snap.acker_anomalies:
+                return snap.acker_anomalies[name]
+        return 0
+
+    def _previous_journal_evictions(self) -> int:
+        previous = self._previous_snapshot()
+        return previous.journal_evictions if previous is not None else 0
+
     @staticmethod
     def _degraded_serves(snap: SystemSnapshot | None) -> int:
         if snap is None:
@@ -398,7 +471,14 @@ class SystemMonitor:
                 f"  exactly-once: {sum(snap.ledger_entries.values())} ledger "
                 f"entrie(s) across {len(snap.ledger_entries)} task(s), "
                 f"{snap.total_dedup_hits()} replay(s) suppressed, "
-                f"{len(snap.ledgers_over_bound)} over bound"
+                f"{snap.total_watermark_rejections()} watermark "
+                f"rejection(s), {len(snap.ledgers_over_bound)} over bound, "
+                f"{snap.journal_evictions} journal eviction(s)"
+            )
+        anomalies = sum(snap.acker_anomalies.values())
+        if anomalies:
+            lines.append(
+                f"  acking: {anomalies} over-acked tree(s) absorbed"
             )
         if self._coordinator is not None or self._recovery is not None:
             age = (

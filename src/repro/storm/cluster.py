@@ -564,6 +564,25 @@ class LocalCluster:
                 stats[f"{name}[{index}]"] = ledger_stats()
         return stats
 
+    def acker_stats(self, topology_name: str) -> dict[str, int]:
+        """Tuple-tree accounting for monitoring.
+
+        ``anomalies`` counts over-acked trees (a bolt double-acking, or
+        an ack against an already-settled root) the acker absorbed
+        instead of raising — a genuine double-ack bug surfaces only
+        through this counter, so the monitor alerts on its delta.
+        """
+        run = self._running.get(topology_name)
+        if run is None:
+            raise ClusterStateError(f"unknown topology {topology_name!r}")
+        acker = run.acker
+        return {
+            "completed": acker.completed,
+            "failed": acker.failed,
+            "anomalies": acker.anomalies,
+            "pending": acker.pending_trees(),
+        }
+
     def task_instance(
         self, topology_name: str, component: str, task_index: int
     ) -> Component:

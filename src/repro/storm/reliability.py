@@ -54,13 +54,21 @@ class _SourceWindow:
         self.max_seen = -1
         self.detail: dict[int, set[str]] = {}
 
-    def observe(self, offset: int, suffix: str, retain_depth: int) -> bool:
-        """Record ``(offset, suffix)``; return True if seen for the first time."""
+    def below_watermark(self, offset: int) -> bool:
+        return offset <= self.watermark
+
+    def seen(self, offset: int, suffix: str) -> bool:
+        """Pure check: was ``(offset, suffix)`` observed (or pruned past)?"""
         if offset <= self.watermark:
-            return False
+            return True
         ops = self.detail.get(offset)
-        if ops is not None and suffix in ops:
-            return False
+        return ops is not None and suffix in ops
+
+    def record(self, offset: int, suffix: str, retain_depth: int):
+        """Record ``(offset, suffix)`` as seen and advance the watermark."""
+        if offset <= self.watermark:
+            return
+        ops = self.detail.get(offset)
         if ops is None:
             self.detail[offset] = {suffix}
         else:
@@ -72,7 +80,6 @@ class _SourceWindow:
                 self.watermark = floor
                 for old in [o for o in self.detail if o <= floor]:
                     del self.detail[old]
-        return True
 
 
 class DedupLedger:
@@ -95,6 +102,13 @@ class DedupLedger:
         self._odd: set[str] = set()
         self.first_seen = 0
         self.duplicates = 0
+        # drops decided solely by the watermark: the offset is so far
+        # behind max_seen that the exact detail was pruned. Almost always
+        # a replay, but a late *first* delivery (inter-stream skew beyond
+        # retain_depth) is indistinguishable — counted separately so that
+        # misconfiguration-driven data loss is observable, not folded
+        # into ordinary dedup hits.
+        self.watermark_rejections = 0
 
     @staticmethod
     def _parse(op_id: str) -> "tuple[str, int, str] | None":
@@ -107,25 +121,50 @@ class DedupLedger:
         except ValueError:
             return None
 
-    def observe(self, op_id: str) -> bool:
-        """Record ``op_id``; return True the first time, False on replays."""
+    def seen(self, op_id: str) -> bool:
+        """Is ``op_id`` a replay? Counts the duplicate but records nothing.
+
+        Callers pair this with :meth:`commit`: check first, run the
+        (fallible) work, and only then commit the id — so a failure in
+        between leaves the ledger unmarked and the replay is processed.
+        """
         parsed = self._parse(op_id)
         if parsed is None:
             if op_id in self._odd:
                 self.duplicates += 1
-                return False
+                return True
+            return False
+        source, offset, suffix = parsed
+        window = self._sources.get(source)
+        if window is None:
+            return False
+        if window.seen(offset, suffix):
+            self.duplicates += 1
+            if window.below_watermark(offset):
+                self.watermark_rejections += 1
+            return True
+        return False
+
+    def commit(self, op_id: str):
+        """Record ``op_id`` as processed (call after the work succeeded)."""
+        parsed = self._parse(op_id)
+        if parsed is None:
             self._odd.add(op_id)
             self.first_seen += 1
-            return True
+            return
         source, offset, suffix = parsed
         window = self._sources.get(source)
         if window is None:
             window = self._sources[source] = _SourceWindow()
-        if window.observe(offset, suffix, self.retain_depth):
-            self.first_seen += 1
-            return True
-        self.duplicates += 1
-        return False
+        window.record(offset, suffix, self.retain_depth)
+        self.first_seen += 1
+
+    def observe(self, op_id: str) -> bool:
+        """Record ``op_id``; return True the first time, False on replays."""
+        if self.seen(op_id):
+            return False
+        self.commit(op_id)
+        return True
 
     # -- introspection -----------------------------------------------------
 
@@ -156,6 +195,7 @@ class DedupLedger:
             "within_bound": self.within_bound(),
             "first_seen": self.first_seen,
             "duplicates": self.duplicates,
+            "watermark_rejections": self.watermark_rejections,
         }
 
     # -- checkpoint support ------------------------------------------------
@@ -165,6 +205,7 @@ class DedupLedger:
             "retain_depth": self.retain_depth,
             "first_seen": self.first_seen,
             "duplicates": self.duplicates,
+            "watermark_rejections": self.watermark_rejections,
             "odd": sorted(self._odd),
             "sources": {
                 name: {
@@ -180,6 +221,8 @@ class DedupLedger:
         self.retain_depth = state["retain_depth"]
         self.first_seen = state["first_seen"]
         self.duplicates = state["duplicates"]
+        # snapshots from before the counter existed restore to zero
+        self.watermark_rejections = state.get("watermark_rejections", 0)
         self._odd = set(state["odd"])
         self._sources = {}
         for name, ws in state["sources"].items():
@@ -201,6 +244,13 @@ class ExactlyOnceBolt(Bolt):
     of a replayed tuple is suppressed). Tuples without an ``op_id`` fall
     back to at-least-once processing.
 
+    The ledger is committed only *after* :meth:`process` returns: if the
+    work raises (a store deadline miss, an open breaker, an injected
+    server error) the tuple tree fails with the ledger unmarked, so the
+    spout's replay is processed rather than swallowed as a duplicate.
+    Marking first would silently degrade exactly-once to at-most-once
+    whenever an exception coincides with a replay.
+
     The ledger rides along in ``snapshot_state``/``restore_state`` so
     recovery checkpoints capture it; subclasses keep their own
     checkpointed state through :meth:`snapshot_app_state` /
@@ -216,10 +266,13 @@ class ExactlyOnceBolt(Bolt):
         return self._ledger
 
     def execute(self, tup: StormTuple):
-        if tup.op_id is not None and not self._ledger.observe(tup.op_id):
+        op_id = tup.op_id
+        if op_id is not None and self._ledger.seen(op_id):
             self.dedup_hits += 1
             return
         self.process(tup)
+        if op_id is not None:
+            self._ledger.commit(op_id)
 
     def process(self, tup: StormTuple):
         """Handle one input tuple, guaranteed unseen. Override."""

@@ -292,12 +292,50 @@ class TDStoreClient:
             self.ops_deduped += 1
         return value, applied
 
+    def put_once(self, key: str, op_id: str, value: Any) -> bool:
+        """Idempotent full-value write: ``op_id`` lands on ``key`` at most once.
+
+        The commit point for read-modify-write updates: compute the new
+        value (and emit any derived work) first, then call this *last* —
+        the value and the journal entry commit atomically at the host, so
+        a failure anywhere earlier leaves no journal entry and the
+        replayed op re-executes the whole update. Returns False on a
+        replay, leaving the stored value untouched.
+        """
+        def op(server_id: int, instance: int):
+            applied, records = self._config.server(server_id).put_once(
+                instance, key, op_id, value
+            )
+            for record in records:
+                self._sync_to_slave(instance, record)
+            return applied
+
+        applied = self._with_failover(key, op)
+        if applied:
+            self.ops_applied += 1
+        else:
+            self.ops_deduped += 1
+        return applied
+
+    def op_seen(self, key: str, op_id: str) -> bool:
+        """True when ``op_id`` was already committed against ``key``.
+
+        The replay probe paired with :meth:`put_once`: a pure read, so
+        probing never creates the journal entry — only a successful
+        commit does.
+        """
+        def op(server_id: int, instance: int):
+            return self._config.server(server_id).op_seen(instance, key, op_id)
+
+        return self._with_failover(key, op)
+
     def run_once(self, key: str, op_id: str) -> bool:
         """Journal ``op_id`` against ``key``; True the first time only.
 
-        The guard for read-modify-write updates that are not simple
-        deltas: callers perform the whole update only when this returns
-        True, making the update idempotent under replay.
+        Durably journals *before* the caller mutates anything, so a
+        failure mid-update makes the replay skip the lost work —
+        read-modify-write callers should use :meth:`op_seen` +
+        :meth:`put_once` instead and commit last.
         """
         def op(server_id: int, instance: int):
             recorded, records = self._config.server(server_id).record_once(

@@ -113,6 +113,15 @@ class TDStoreCluster:
                 if server.alive:
                     server.adopt_snapshot(instance, copy.deepcopy(data))
 
+    def journal_evictions(self) -> int:
+        """Total op-journal ids trimmed out across the pool.
+
+        Each trimmed id is a dedup decision forgotten: a rewind deep
+        enough to re-deliver it would double-apply. The monitor alerts on
+        a positive delta.
+        """
+        return sum(s.journal_evictions() for s in self.data_servers)
+
     def read_stats(self) -> dict[int, int]:
         """server id -> reads served; shows load spread across the pool."""
         return {s.server_id: s.reads for s in self.data_servers}

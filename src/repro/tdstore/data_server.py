@@ -202,6 +202,40 @@ class TDStoreDataServer:
             SyncRecord(_PUT, VERSION_PREFIX + key, engine.version(key)),
         ]
 
+    def put_once(
+        self, instance: int, key: str, op_id: str, value: Any
+    ) -> tuple[bool, list[SyncRecord]]:
+        """Atomic journaled write: value, journal and version land together.
+
+        The degradation/liveness checks run before the engine is touched,
+        so a failed request mutates nothing — the caller can replay the
+        whole update and this commit stays all-or-nothing.
+        """
+        engine = self.engine(instance)
+        self._check_host(instance)
+        self._check_degraded()
+        applied = engine.put_once(key, op_id, value)
+        self.writes += 1
+        if not applied:
+            return False, []
+        return True, [
+            SyncRecord(_PUT, key, value),
+            SyncRecord(_PUT, JOURNAL_PREFIX + key,
+                       engine.get(JOURNAL_PREFIX + key)),
+            SyncRecord(_PUT, VERSION_PREFIX + key, engine.version(key)),
+        ]
+
+    def op_seen(self, instance: int, key: str, op_id: str) -> bool:
+        engine = self.engine(instance)
+        self._check_host(instance)
+        self._check_degraded()
+        self.reads += 1
+        return engine.op_seen(key, op_id)
+
+    def journal_evictions(self) -> int:
+        """Op-journal ids trimmed across this server's engines (monitoring)."""
+        return sum(e.journal_evictions for e in self._engines.values())
+
     def record_once(
         self, instance: int, key: str, op_id: str
     ) -> tuple[bool, list[SyncRecord]]:

@@ -96,6 +96,17 @@ class StorageEngine(ABC):
     # only the conditional/idempotent operations below maintain versions,
     # so components that never use them pay nothing.
 
+    # ids trimmed out of per-key journals so far; a nonzero delta means a
+    # rewind re-delivering one of them would double-apply (class default;
+    # incrementing creates the instance counter)
+    journal_evictions = 0
+
+    def _trim_journal(self, journal: list, journal_limit: int) -> list:
+        if len(journal) > journal_limit:
+            self.journal_evictions += len(journal) - journal_limit
+            journal = journal[-journal_limit:]
+        return journal
+
     def version(self, key: str) -> int:
         """Current write version of ``key`` (0 until first versioned write)."""
         return self.get(VERSION_PREFIX + key, 0)
@@ -134,26 +145,59 @@ class StorageEngine(ABC):
         value = self.get(key, 0.0) + delta
         self.put(key, value)
         journal.append(op_id)
-        if len(journal) > journal_limit:
-            journal = journal[-journal_limit:]
+        journal = self._trim_journal(journal, journal_limit)
         self.put(JOURNAL_PREFIX + key, journal)
         self.put(VERSION_PREFIX + key, self.version(key) + 1)
         return value, True
+
+    def put_once(
+        self, key: str, op_id: str, value: Any,
+        journal_limit: int = JOURNAL_LIMIT,
+    ) -> bool:
+        """Idempotent full-value write: ``op_id`` lands on ``key`` at most once.
+
+        The value write, journal append and version bump happen in one
+        engine call with no observable intermediate state, so this is the
+        atomic commit point for read-modify-write updates: callers
+        compute the new value first (from copies, emitting any derived
+        work), then commit it here last. A replayed ``op_id`` leaves the
+        stored value untouched and returns False.
+        """
+        journal = list(self.get(JOURNAL_PREFIX + key, ()))
+        if op_id in journal:
+            return False
+        self.put(key, value)
+        journal.append(op_id)
+        journal = self._trim_journal(journal, journal_limit)
+        self.put(JOURNAL_PREFIX + key, journal)
+        self.put(VERSION_PREFIX + key, self.version(key) + 1)
+        return True
+
+    def op_seen(self, key: str, op_id: str) -> bool:
+        """True when ``op_id`` is already journaled against ``key``.
+
+        A pure read — the replay probe callers run *before* an update, so
+        the journal itself is only written by the commit
+        (:meth:`put_once` / :meth:`apply_op`) after the update succeeds.
+        """
+        return op_id in self.get(JOURNAL_PREFIX + key, ())
 
     def record_once(
         self, key: str, op_id: str, journal_limit: int = JOURNAL_LIMIT,
     ) -> bool:
         """Journal ``op_id`` against ``key`` without touching the value.
 
-        Returns True the first time, False on a replay — the guard for
-        read-modify-write updates that are not simple deltas.
+        Returns True the first time, False on a replay. Note the hazard
+        for read-modify-write callers: journaling *before* mutating means
+        a failure in between makes the replay skip the lost update. RMW
+        updates should probe with :meth:`op_seen` and commit the computed
+        value with :meth:`put_once` instead.
         """
         journal = list(self.get(JOURNAL_PREFIX + key, ()))
         if op_id in journal:
             return False
         journal.append(op_id)
-        if len(journal) > journal_limit:
-            journal = journal[-journal_limit:]
+        journal = self._trim_journal(journal, journal_limit)
         self.put(JOURNAL_PREFIX + key, journal)
         return True
 

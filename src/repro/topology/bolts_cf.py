@@ -22,7 +22,6 @@ from repro.algorithms.itemcf.history import apply_action
 from repro.algorithms.itemcf.pruning import hoeffding_epsilon
 from repro.algorithms.itemcf.similarity import SimilarItemsList
 from repro.algorithms.ratings import ActionWeights, DEFAULT_ACTION_WEIGHTS
-from repro.errors import VersionConflictError
 from repro.storm.reliability import ExactlyOnceBolt
 from repro.storm.tuples import StormTuple
 from repro.tdstore.client import TDStoreClient
@@ -46,10 +45,15 @@ class UserHistoryBolt(ExactlyOnceBolt):
       single downstream task owns each group's counters.
 
     The history update is a read-modify-write, not a delta, so beyond
-    the dedup ledger each identified action is journaled against the
-    user's history key (``run_once``): a replay arriving after a task
-    kill wiped the ledger is still skipped — including its emissions,
-    whose first delivery already reached downstream.
+    the dedup ledger it follows the commit protocol for RMW updates:
+    probe the store journal (``op_seen``), compute the update on copies,
+    emit the deltas, apply the idempotent side writes, and only then
+    commit the new history atomically with the journal entry
+    (``put_once``). A replay after a task kill wiped the ledger is
+    skipped by the probe; a replay after a failure *mid-update* finds no
+    journal entry, re-executes from the unchanged history and re-emits —
+    the derived op ids dedup downstream any emission whose first
+    delivery already got through.
     """
 
     def __init__(
@@ -78,36 +82,46 @@ class UserHistoryBolt(ExactlyOnceBolt):
 
     def process(self, tup: StormTuple):
         user, item = tup["user"], tup["item"]
-        if tup.op_id is not None and not self._store.run_once(
-            StateKeys.history(user), tup.op_id
-        ):
+        hist_key = StateKeys.history(user)
+        op_id = tup.op_id
+        if op_id is not None and self._store.op_seen(hist_key, op_id):
             return
         now = tup["timestamp"]
         weight = self._weights.weight(tup["action"])
-        history = self._store.get(StateKeys.history(user), None)
-        if history is None:
-            history = {}
+        # work on a copy: the cached history must stay at the committed
+        # state until put_once lands, so a failure below leaves nothing
+        # half-applied for the replay to read
+        history = dict(self._store.get(hist_key, None) or {})
         # pruned sets are owned by SimListBolt tasks: read fresh (§5.2)
         pruned = self._store.get_fresh(StateKeys.pruned(item), None) or set()
         update = apply_action(
             history, item, weight, now, self._linked_time, pruned
         )
-        self._store.put(StateKeys.history(user), history)
-        self._update_recent(user, item, update.new_rating, now)
-        if not update.rating_increased:
-            return
-        self.collector.emit((item, update.item_delta), stream_id="item_delta")
-        for other, delta in update.pair_deltas:
-            first, second = (item, other) if item < other else (other, item)
+        # emissions precede the commit: a replay after a partial failure
+        # recomputes the same deltas from the unchanged history, and the
+        # derived op ids dedup whatever already reached downstream
+        if update.rating_increased:
             self.collector.emit(
-                (first, second, item, delta), stream_id="pair_delta"
+                (item, update.item_delta), stream_id="item_delta"
             )
-        if self._group_of is not None:
-            group = self._group_of(user)
-            for target in {group, GLOBAL_GROUP}:
+            for other, delta in update.pair_deltas:
+                first, second = (item, other) if item < other else (other, item)
                 self.collector.emit(
-                    (target, item, update.item_delta), stream_id="group_delta"
+                    (first, second, item, delta), stream_id="pair_delta"
                 )
+            if self._group_of is not None:
+                group = self._group_of(user)
+                for target in {group, GLOBAL_GROUP}:
+                    self.collector.emit(
+                        (target, item, update.item_delta),
+                        stream_id="group_delta",
+                    )
+        # idempotent under re-execution (same inputs, same result)
+        self._update_recent(user, item, update.new_rating, now)
+        if op_id is not None:
+            self._store.put_once(hist_key, op_id, history)
+        else:
+            self._store.put(hist_key, history)
 
     def _update_recent(self, user: str, item: str, rating: float, now: float):
         recent = self._store.get(StateKeys.recent(user), None) or []
@@ -254,11 +268,14 @@ class SimListBolt(ExactlyOnceBolt):
     Subscribes to both ``sim_update`` and ``prune`` streams (keyed by the
     ``item`` field in each, so one task owns all state for an item).
 
-    List rewrites are conditional writes (``check_and_set`` against the
-    version this task last observed), and each identified update is
-    journaled against the item's list key — so a replayed ``sim_update``
-    carrying a stale similarity can never overwrite a newer list, even
-    after the in-memory ledger died with its task.
+    Each identified update probes the item's list journal (``op_seen``),
+    rebuilds the list from the stored payload, writes the derived state
+    (threshold, pruned set — idempotent, re-executable), and commits the
+    new list payload together with the journal entry (``put_once``) as
+    the final step. The journal replicates with the value, so a replayed
+    ``sim_update`` is a no-op even after the in-memory ledger died with
+    its task — and a failure mid-update leaves no journal entry, so the
+    replay re-runs the whole update instead of losing it.
     """
 
     def __init__(self, client_factory: ClientFactory, k: int = 20):
@@ -269,60 +286,47 @@ class SimListBolt(ExactlyOnceBolt):
     def prepare(self, context, collector):
         super().prepare(context, collector)
         self._store = CachedStore(self._client_factory())
-        self._versions: dict[str, int] = {}
 
     def _load_list(self, item: str) -> SimilarItemsList:
-        key = StateKeys.sim_list(item)
-        if item in self._versions:
-            stored = self._store.get(key, None)
-        else:
-            # first touch since (re)start: learn the stored version so
-            # the conditional write below has something to check against
-            stored, version = self._store.client.get_versioned(key)
-            self._versions[item] = version
-            self._store.prime(key, stored)
+        stored = self._store.get(StateKeys.sim_list(item), None)
         lst = SimilarItemsList(self._k)
         if stored:
             for other, sim in stored.items():
                 lst.update(other, sim)
         return lst
 
-    def _save_list(self, item: str, lst: SimilarItemsList):
+    def _save_list(self, item: str, lst: SimilarItemsList, op_id: "str | None"):
         key = StateKeys.sim_list(item)
         payload = dict(lst.top())
-        try:
-            self._versions[item] = self._store.client.check_and_set(
-                key, payload, self._versions.get(item, 0)
-            )
-        except VersionConflictError as conflict:
-            # our cached version predates a failover replay or restore;
-            # this task is still the only writer, so adopt the stored
-            # version and reissue the write
-            self._versions[item] = self._store.client.check_and_set(
-                key, payload, conflict.current
-            )
-        self._store.prime(key, payload)
+        # derived state first: if the commit below never lands, the
+        # replay recomputes and rewrites the same threshold
         self._store.put(StateKeys.threshold(item), lst.threshold())
+        if op_id is not None:
+            self._store.put_once(key, op_id, payload)
+        else:
+            self._store.put(key, payload)
 
     def process(self, tup: StormTuple):
         if tup.stream_id == "sim_update":
             item, other, sim = tup["item"], tup["other"], tup["similarity"]
-            if tup.op_id is not None and not self._store.run_once(
+            if tup.op_id is not None and self._store.op_seen(
                 StateKeys.sim_list(item), tup.op_id
             ):
                 return
             lst = self._load_list(item)
             lst.update(other, sim)
-            self._save_list(item, lst)
+            self._save_list(item, lst, tup.op_id)
         elif tup.stream_id == "prune":
             item, other = tup["item"], tup["other"]
-            if tup.op_id is not None and not self._store.run_once(
+            if tup.op_id is not None and self._store.op_seen(
                 StateKeys.sim_list(item), tup.op_id
             ):
                 return
-            pruned = self._store.get(StateKeys.pruned(item), None) or set()
+            # copy before mutating: the cached set must stay clean if a
+            # write below fails and the update re-executes
+            pruned = set(self._store.get(StateKeys.pruned(item), None) or ())
             pruned.add(other)
             self._store.put(StateKeys.pruned(item), pruned)
             lst = self._load_list(item)
             lst.remove(other)
-            self._save_list(item, lst)
+            self._save_list(item, lst, tup.op_id)

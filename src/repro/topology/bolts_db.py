@@ -24,8 +24,11 @@ class GroupCountBolt(ExactlyOnceBolt):
     time, geometrically forgetting old engagement — the topology-side
     stand-in for the sliding window; ``max_items`` bounds each group's
     counter map by evicting the weakest entries. The counter map is a
-    read-modify-write, so each identified delta is journaled against the
-    group's key before it is folded in.
+    read-modify-write, so each identified delta probes the group key's
+    journal (``op_seen``), folds into a copy, and commits the new map
+    atomically with the journal entry (``put_once``) — a failure before
+    the commit leaves no journal entry, so the replay redoes the whole
+    fold instead of losing the delta.
     """
 
     def __init__(
@@ -50,14 +53,20 @@ class GroupCountBolt(ExactlyOnceBolt):
     def process(self, tup: StormTuple):
         group, item, delta = tup["group"], tup["item"], tup["delta"]
         key = StateKeys.hot(group)
-        if tup.op_id is not None and not self._store.run_once(key, tup.op_id):
+        op_id = tup.op_id
+        if op_id is not None and self._store.op_seen(key, op_id):
+            self._groups_seen.add(group)
             return
-        hot = self._store.get(key, None) or {}
+        # fold into a copy so a failed commit leaves the cache clean
+        hot = dict(self._store.get(key, None) or {})
         hot[item] = hot.get(item, 0.0) + delta
         if len(hot) > self._max_items:
             ranked = sorted(hot.items(), key=lambda kv: (-kv[1], kv[0]))
             hot = dict(ranked[: self._max_items])
-        self._store.put(key, hot)
+        if op_id is not None:
+            self._store.put_once(key, op_id, hot)
+        else:
+            self._store.put(key, hot)
         self._groups_seen.add(group)
 
     def tick(self, now: float):

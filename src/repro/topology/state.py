@@ -155,8 +155,27 @@ class CachedStore:
         self._cache[key] = value
         return value, applied
 
+    def put_once(self, key: str, op_id: str, value: Any) -> bool:
+        """Write-through idempotent put — the atomic commit point for
+        read-modify-write updates (compute from copies, commit last)."""
+        applied = self._client.put_once(key, op_id, value)
+        if applied:
+            self._cache[key] = value
+        else:
+            # replay: the store kept the (authoritative) earlier value
+            self._cache.pop(key, None)
+        return applied
+
+    def op_seen(self, key: str, op_id: str) -> bool:
+        """True when ``op_id`` already committed against ``key`` (pure read)."""
+        return self._client.op_seen(key, op_id)
+
     def run_once(self, key: str, op_id: str) -> bool:
-        """Journal ``op_id`` against ``key``; True the first time only."""
+        """Journal ``op_id`` against ``key``; True the first time only.
+
+        Journals before the caller mutates — prefer :meth:`op_seen` +
+        :meth:`put_once` for read-modify-write updates.
+        """
         return self._client.run_once(key, op_id)
 
     def prime(self, key: str, value: Any):

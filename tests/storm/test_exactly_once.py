@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DataServerDownError
 from repro.storm import GlobalGrouping, LocalCluster, TopologyBuilder
 from repro.storm.component import Spout
 from repro.storm.reliability import DedupLedger, ExactlyOnceBolt
@@ -90,6 +90,46 @@ class TestDedupLedger:
         assert stats["first_seen"] == 1
         assert stats["duplicates"] == 1
         assert stats["within_bound"] is True
+        assert stats["watermark_rejections"] == 0
+
+    def test_seen_is_not_a_commit(self):
+        # the two-phase protocol: seen() must not record, so a failure
+        # between check and commit leaves the replay processable
+        ledger = DedupLedger()
+        assert not ledger.seen("src@0")
+        assert not ledger.seen("src@0")
+        ledger.commit("src@0")
+        assert ledger.seen("src@0")
+        assert ledger.first_seen == 1
+
+    def test_watermark_rejections_counted_separately(self):
+        # a drop decided solely by the watermark could be a late first
+        # delivery, not a replay — it must be distinguishable in metrics
+        ledger = DedupLedger(retain_depth=4)
+        ledger.observe("src@100")
+        assert not ledger.observe("src@1")  # below watermark 96
+        assert ledger.watermark_rejections == 1
+        assert ledger.duplicates == 1
+        ledger.observe("src@100")  # exact-detail duplicate, not watermark
+        assert ledger.watermark_rejections == 1
+        assert ledger.duplicates == 2
+
+    def test_watermark_rejections_survive_snapshot(self):
+        ledger = DedupLedger(retain_depth=4)
+        ledger.observe("src@100")
+        ledger.observe("src@1")
+        restored = DedupLedger()
+        restored.restore(ledger.snapshot())
+        assert restored.watermark_rejections == 1
+
+    def test_legacy_snapshot_without_watermark_rejections(self):
+        ledger = DedupLedger()
+        ledger.observe("src@0")
+        state = ledger.snapshot()
+        del state["watermark_rejections"]
+        restored = DedupLedger()
+        restored.restore(state)
+        assert restored.watermark_rejections == 0
 
 
 class CountingBolt(ExactlyOnceBolt):
@@ -150,6 +190,35 @@ class TestExactlyOnceBolt:
         bolt.execute(make_tuple("a", "src@0"))
         bolt.execute(make_tuple("a", "src@0"))
         assert bolt.ledger_stats()["dedup_hits"] == 1
+
+    def test_failed_process_leaves_ledger_unmarked(self):
+        # regression: the ledger used to be marked *before* process(),
+        # so an exception plus a replay lost the update permanently
+        # (exactly-once silently degraded to at-most-once)
+        class FlakyBolt(CountingBolt):
+            def __init__(self):
+                super().__init__()
+                self.boom = True
+
+            def process(self, tup):
+                if self.boom:
+                    self.boom = False
+                    raise DataServerDownError("store hiccup mid-process")
+                super().process(tup)
+
+        bolt = FlakyBolt()
+        with pytest.raises(DataServerDownError):
+            bolt.execute(make_tuple("a", "src@0"))
+        assert bolt.counts == {}
+        # the spout replays the failed tuple: it must be processed, not
+        # swallowed as a duplicate
+        bolt.execute(make_tuple("a", "src@0"))
+        assert bolt.counts == {"a": 1}
+        assert bolt.dedup_hits == 0
+        # a genuine second delivery still dedups
+        bolt.execute(make_tuple("a", "src@0"))
+        assert bolt.counts == {"a": 1}
+        assert bolt.dedup_hits == 1
 
 
 class DuplicatingSpout(Spout):

@@ -67,6 +67,35 @@ class TestEngineOpJournal:
             False,
         )
 
+    def test_journal_evictions_counted(self):
+        # every trimmed id is a forgotten dedup decision; the counter is
+        # what lets the monitor flag rewinds that could double-apply
+        engine = MDBEngine()
+        for i in range(JOURNAL_LIMIT):
+            engine.apply_op("count", f"src@{i}", 1.0)
+        assert engine.journal_evictions == 0
+        engine.apply_op("count", f"src@{JOURNAL_LIMIT}", 1.0)
+        assert engine.journal_evictions == 1
+        engine.put_once("other", "src@0", "v")
+        assert engine.journal_evictions == 1  # other key, nothing trimmed
+
+    def test_put_once_is_idempotent(self):
+        engine = MDBEngine()
+        assert engine.put_once("k", "src@0", {"a": 1.0})
+        assert not engine.put_once("k", "src@0", {"a": 999.0})
+        assert engine.get("k") == {"a": 1.0}  # replay left no trace
+        assert engine.put_once("k", "src@1", {"a": 2.0})
+        assert engine.get("k") == {"a": 2.0}
+        assert engine.version("k") == 2
+
+    def test_op_seen_is_a_pure_read(self):
+        engine = MDBEngine()
+        assert not engine.op_seen("k", "src@0")
+        assert not engine.op_seen("k", "src@0")  # probing records nothing
+        engine.put_once("k", "src@0", "v")
+        assert engine.op_seen("k", "src@0")
+        assert not engine.op_seen("k", "src@1")
+
 
 class TestClientTransactions:
     def make(self):
@@ -107,6 +136,41 @@ class TestClientTransactions:
         value, applied = client.apply(key, "actions@7", 4.0)
         assert (value, applied) == (4.0, False)
         assert client.get(key) == 4.0
+
+    def test_put_once_roundtrip_and_counters(self):
+        __, client = self.make()
+        assert client.put_once("hist:u1", "actions@0", {"i1": 1.0})
+        assert not client.put_once("hist:u1", "actions@0", {"i1": 9.0})
+        assert client.get("hist:u1") == {"i1": 1.0}
+        assert client.ops_applied == 1
+        assert client.ops_deduped == 1
+
+    def test_op_seen_probe_then_commit(self):
+        __, client = self.make()
+        assert not client.op_seen("hist:u1", "actions@0")
+        # the probe alone must not create the journal entry — only the
+        # commit does, or a failure in between would lose the update
+        assert not client.op_seen("hist:u1", "actions@0")
+        client.put_once("hist:u1", "actions@0", {"i1": 1.0})
+        assert client.op_seen("hist:u1", "actions@0")
+
+    def test_put_once_deduped_across_failover(self):
+        cluster, client = self.make()
+        key = "hist:u1"
+        assert client.put_once(key, "actions@3", {"i1": 2.0})
+        cluster.sync_replicas()
+        host = cluster.config.route_table().route_for_key(key).host
+        cluster.crash_data_server(host)
+        assert not client.put_once(key, "actions@3", {"i1": 8.0})
+        assert client.get(key) == {"i1": 2.0}
+        assert client.op_seen(key, "actions@3")
+
+    def test_cluster_aggregates_journal_evictions(self):
+        cluster, client = self.make()
+        assert cluster.journal_evictions() == 0
+        for i in range(JOURNAL_LIMIT + 5):
+            client.apply("itemCount:i1", f"actions@{i}", 1.0)
+        assert cluster.journal_evictions() == 5
 
     def test_versions_survive_failover(self):
         cluster, client = self.make()

@@ -101,6 +101,80 @@ class TestAlerts:
         assert not any("backlog" in a.message for a in monitor.evaluate())
 
 
+class TestExactlyOnceSignals:
+    def test_acker_anomalies_surface_and_warn_once(self, deployment):
+        __, ___, ____, storm, monitor = deployment
+        monitor.snapshot()
+        storm._running["app"].acker.anomalies += 2
+        snap = monitor.snapshot()
+        assert snap.acker_anomalies["app"] == 2
+        alerts = [
+            a for a in monitor.evaluate(snap) if "over-acked" in a.message
+        ]
+        assert len(alerts) == 1
+        assert "2" in alerts[0].message
+        # no new anomalies: the delta-based alert clears
+        snap = monitor.snapshot()
+        assert not [
+            a for a in monitor.evaluate(snap) if "over-acked" in a.message
+        ]
+
+    def test_acker_stats_accessor(self, deployment):
+        __, ___, ____, storm, _____ = deployment
+        stats = storm.acker_stats("app")
+        assert stats["anomalies"] == 0
+        assert stats["pending"] == 0
+        assert stats["completed"] >= 0
+
+    def test_watermark_rejections_surface_and_warn(self):
+        from repro.storm.reliability import ExactlyOnceBolt
+
+        class EchoBolt(ExactlyOnceBolt):
+            def process(self, tup):
+                pass
+
+        clock = SimClock()
+        storm = LocalCluster(clock=clock)
+        builder = TopologyBuilder("eo")
+        builder.add_spout("s", lambda: ListSpout([("a",)], ("word",)))
+        builder.add_bolt("c", EchoBolt).grouping("s", GlobalGrouping())
+        storm.submit(builder.build())
+        storm.run_until_idle()
+        monitor = SystemMonitor(clock.now, storm=storm)
+        monitor.snapshot()
+        bolt = storm.task_instance("eo", "c", 0)
+        bolt.ledger.observe("src@10000")
+        bolt.ledger.observe("src@1")  # dropped below the watermark
+        snap = monitor.snapshot()
+        assert snap.total_watermark_rejections() == 1
+        alerts = [
+            a for a in monitor.evaluate(snap) if "watermark" in a.message
+        ]
+        assert len(alerts) == 1
+        assert alerts[0].severity == "warning"
+
+    def test_journal_evictions_surface_and_warn(self, deployment):
+        from repro.tdstore.engines import JOURNAL_LIMIT
+
+        __, ___, tdstore, ____, monitor = deployment
+        monitor.snapshot()
+        client = tdstore.client()
+        for i in range(JOURNAL_LIMIT + 3):
+            client.apply("itemCount:i1", f"actions@{i}", 1.0)
+        snap = monitor.snapshot()
+        assert snap.journal_evictions == 3
+        alerts = [
+            a for a in monitor.evaluate(snap) if "op-journal" in a.message
+        ]
+        assert len(alerts) == 1
+        assert "double-apply" in alerts[0].message
+        # steady state: no further trims, no alert
+        snap = monitor.snapshot()
+        assert not [
+            a for a in monitor.evaluate(snap) if "op-journal" in a.message
+        ]
+
+
 class TestRecoverySignals:
     """Checkpoint age and recovery status flowing into the monitor."""
 

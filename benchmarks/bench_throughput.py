@@ -19,7 +19,7 @@ from repro.topology.framework import CFTopologyConfig, build_cf_topology
 from repro.types import UserAction
 from repro.utils.clock import SimClock
 
-from benchmarks.conftest import report
+from benchmarks.conftest import report, report_json
 
 
 def action_stream(num_events=4000, num_users=400, num_items=300, seed=8):
@@ -72,6 +72,7 @@ def test_cf_query_latency(stream, benchmark):
 
 
 _TOTALS_BY_PARALLELISM: dict[int, float] = {}
+_SCALING_JSON: dict[str, dict] = {}
 
 
 @pytest.mark.parametrize("parallelism", [1, 2, 4])
@@ -113,6 +114,14 @@ def test_topology_scaling(stream, parallelism, benchmark):
     )
     assert total > 0
     _TOTALS_BY_PARALLELISM[parallelism] = total
+    _SCALING_JSON[str(parallelism)] = {
+        "events": 1500,
+        "tuples_transferred": metrics.tuples_transferred,
+        "total_executed": metrics.total_executed(),
+        "item_count_sum": round(total, 3),
+        "wall_seconds": round(benchmark.stats["mean"], 4),
+    }
+    report_json("throughput", {"topology_scaling": _SCALING_JSON})
     # fields grouping makes results independent of the task count
     first = next(iter(_TOTALS_BY_PARALLELISM.values()))
     assert all(

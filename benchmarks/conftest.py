@@ -14,6 +14,7 @@ shape at laptop cost. Set REPRO_BENCH_DAYS / REPRO_BENCH_USERS to scale.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -42,6 +43,7 @@ BENCH_DAYS = int(os.environ.get("REPRO_BENCH_DAYS", "8"))
 USER_SCALE = float(os.environ.get("REPRO_BENCH_USERS", "1.0"))
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
 
 
 def users(base: int) -> int:
@@ -53,6 +55,16 @@ def report(name: str, text: str):
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
     print(f"\n{text}\n")
+
+
+def report_json(name: str, payload: dict):
+    """Machine-readable exhibit: ``BENCH_<name>.json`` at the repo root,
+    where CI jobs and downstream tooling pick it up without parsing
+    pytest output."""
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    (REPO_ROOT / f"BENCH_{name}.json").write_text(text, encoding="utf-8")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(text, encoding="utf-8")
 
 
 def alive_check(scenario):

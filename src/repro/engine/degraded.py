@@ -81,6 +81,16 @@ class ServeThroughRecovery:
         self._cache.move_to_end(key)
         return list(cached)
 
+    def remember(self, algorithm: str, user_id: str, results: list[Recommendation]):
+        """Refresh the last-known-good answer from an external live serve
+        (the serving layer's batched path answers without going through
+        :meth:`recommend_cf`, but its answers are just as good here)."""
+        key = (algorithm, user_id)
+        self._cache[key] = list(results)
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+
     def recommend_cf(
         self, user_id: str, n: int, now: float
     ) -> list[Recommendation]:

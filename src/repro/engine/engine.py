@@ -34,6 +34,17 @@ class EngineConfig:
     prior_ctr: float = 0.02
 
 
+@dataclass
+class CFAnswer:
+    """One user's answer from the batched CF path, with the state keys it
+    was computed from — the serving layer registers those as cache tags
+    so stream updates touching them invalidate the cached result."""
+
+    results: list[Recommendation]
+    dep_items: tuple[str, ...]
+    dep_groups: tuple[str, ...]
+
+
 class RecommenderEngine:
     """Answers top-N queries from TDStore state."""
 
@@ -57,10 +68,32 @@ class RecommenderEngine:
         recent = self._store.get(StateKeys.recent(user_id), None) or []
         history = self._store.get(StateKeys.history(user_id), None) or {}
         consumed = set(history)
+        results = self._score_cf(
+            recent,
+            consumed,
+            lambda item: self._store.get(StateKeys.sim_list(item), None),
+            n,
+        )
+        if len(results) < n and self._config.complement_with_db:
+            results = self._complement(
+                user_id, n, results, consumed,
+                lambda count: self.hot_items_for(user_id, count, now),
+            )
+        return results
+
+    def _score_cf(
+        self,
+        recent,
+        consumed: set[str],
+        sim_lookup: Callable[[str], "dict | None"],
+        n: int,
+    ) -> list[Recommendation]:
+        """Equation 2 scoring, shared by the per-key and batched paths so
+        the two can never diverge."""
         numerator: dict[str, float] = {}
         denominator: dict[str, float] = {}
         for item, rating, __ in recent:
-            sim_list = self._store.get(StateKeys.sim_list(item), None) or {}
+            sim_list = sim_lookup(item) or {}
             for candidate, similarity in sim_list.items():
                 if candidate in consumed:
                     continue
@@ -80,24 +113,21 @@ class RecommenderEngine:
             ),
             key=lambda row: (-row[0], -row[1], row[2]),
         )
-        results = [
+        return [
             Recommendation(item, score, source="cf")
             for score, __, item in scored[:n]
         ]
-        if len(results) < n and self._config.complement_with_db:
-            results = self._complement(user_id, n, now, results, consumed)
-        return results
 
     def _complement(
         self,
         user_id: str,
         n: int,
-        now: float,
         results: list[Recommendation],
         consumed: set[str],
+        hot_items: Callable[[int], "list[tuple[str, float]]"],
     ) -> list[Recommendation]:
         have = {r.item_id for r in results} | consumed
-        for item, score in self.hot_items_for(user_id, n * 2 + len(have), now):
+        for item, score in hot_items(n * 2 + len(have)):
             if item in have:
                 continue
             results.append(Recommendation(item, score, source="db"))
@@ -106,20 +136,114 @@ class RecommenderEngine:
                 break
         return results
 
+    # -- batched CF (serving layer) ----------------------------------------
+
+    def recommend_cf_batch(
+        self,
+        user_ids,
+        n: int,
+        now: float,
+        hot_lists: "dict[str, dict] | None" = None,
+    ) -> dict[str, CFAnswer]:
+        """Answer many CF queries from three batched reads.
+
+        One :meth:`~repro.tdstore.client.TDStoreClient.multi_get` fetches
+        every user's recent/history pair, a second fetches the sim lists
+        of every recent item across the whole batch, and (when the
+        complement is on) a third fetches the hot lists of every group
+        the batch touches — instead of the per-key path's
+        ``2 + R + G`` store round-trips *per user*.
+
+        ``hot_lists`` is in/out: groups already present are not fetched
+        (the serving layer's hot tier injects them), and groups this
+        call does fetch are added to the dict so the caller can cache
+        them. Scoring is shared with :meth:`recommend_cf`, so a batched
+        answer is identical to the per-key answer over the same state.
+        """
+        user_ids = list(dict.fromkeys(user_ids))
+        user_keys = [StateKeys.recent(u) for u in user_ids]
+        user_keys += [StateKeys.history(u) for u in user_ids]
+        snapshot = self._store.multi_get(user_keys)
+        recents = {
+            u: snapshot.get(StateKeys.recent(u)) or [] for u in user_ids
+        }
+        consumed = {
+            u: set(snapshot.get(StateKeys.history(u)) or {}) for u in user_ids
+        }
+        batch_items: list[str] = []
+        seen_items: set[str] = set()
+        for u in user_ids:
+            for item, __, __unused in recents[u]:
+                if item not in seen_items:
+                    seen_items.add(item)
+                    batch_items.append(item)
+        sim_lists = (
+            self._store.multi_get(
+                [StateKeys.sim_list(item) for item in batch_items]
+            )
+            if batch_items
+            else {}
+        )
+        hot_by_group: dict[str, dict] = (
+            hot_lists if hot_lists is not None else {}
+        )
+        if self._config.complement_with_db:
+            groups_needed: list[str] = []
+            for u in user_ids:
+                for group in self._groups_for(u):
+                    if group not in hot_by_group and group not in groups_needed:
+                        groups_needed.append(group)
+            if groups_needed:
+                fetched = self._store.multi_get(
+                    [StateKeys.hot(g) for g in groups_needed]
+                )
+                for group in groups_needed:
+                    hot_by_group[group] = fetched.get(StateKeys.hot(group)) or {}
+        answers: dict[str, CFAnswer] = {}
+        for u in user_ids:
+            results = self._score_cf(
+                recents[u],
+                consumed[u],
+                lambda item: sim_lists.get(StateKeys.sim_list(item)),
+                n,
+            )
+            dep_groups: tuple[str, ...] = ()
+            if len(results) < n and self._config.complement_with_db:
+                groups = self._groups_for(u)
+                results = self._complement(
+                    u, n, results, consumed[u],
+                    lambda count, groups=groups: self._merge_hot(
+                        groups, lambda g: hot_by_group.get(g) or {}, count
+                    ),
+                )
+                dep_groups = tuple(groups)
+            answers[u] = CFAnswer(
+                results=results,
+                dep_items=tuple(item for item, __, __u in recents[u]),
+                dep_groups=dep_groups,
+            )
+        return answers
+
     # -- demographic hot items ------------------------------------------------
 
-    def hot_items_for(
-        self, user_id: str, n: int, now: float
-    ) -> list[tuple[str, float]]:
+    def _groups_for(self, user_id: str) -> list[str]:
         groups = [GLOBAL_GROUP]
         if self._config.group_of is not None:
             group = self._config.group_of(user_id)
             if group != GLOBAL_GROUP:
                 groups.insert(0, group)
+        return groups
+
+    @staticmethod
+    def _merge_hot(
+        groups: list[str],
+        lookup: Callable[[str], dict],
+        n: int,
+    ) -> list[tuple[str, float]]:
         out: list[tuple[str, float]] = []
         seen: set[str] = set()
         for group in groups:
-            hot = self._store.get(StateKeys.hot(group), None) or {}
+            hot = lookup(group) or {}
             ranked = sorted(hot.items(), key=lambda kv: (-kv[1], kv[0]))
             for item, score in ranked:
                 if item not in seen:
@@ -128,6 +252,15 @@ class RecommenderEngine:
                 if len(out) >= n:
                     return out
         return out
+
+    def hot_items_for(
+        self, user_id: str, n: int, now: float
+    ) -> list[tuple[str, float]]:
+        return self._merge_hot(
+            self._groups_for(user_id),
+            lambda group: self._store.get(StateKeys.hot(group), None) or {},
+            n,
+        )
 
     # -- content-based ------------------------------------------------------------
 

@@ -28,7 +28,7 @@ first-class health signal.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.engine.degraded import ServeThroughRecovery
 from repro.engine.engine import RecommenderEngine
@@ -43,6 +43,9 @@ from repro.resilience.shedder import LoadShedder
 from repro.tdaccess.producer import Producer
 from repro.types import Recommendation
 from repro.utils.clock import SimClock
+
+if TYPE_CHECKING:
+    from repro.serving.layer import ServingLayer
 
 RUNGS = ("live", "cache", "demographic", "static")
 
@@ -101,6 +104,13 @@ class RecommenderFrontEnd:
     clock:
         Clock shared with the store client charging degraded-server
         latency.
+    serving:
+        A :class:`~repro.serving.layer.ServingLayer` (CF only). When
+        given, the live rung serves through its result cache and
+        batched reads instead of per-key engine reads, the cache rung
+        prefers its stale-but-present answers over the last-known-good
+        cache, and :meth:`query_batch` serves concurrent queries as one
+        coalesced fan-out.
     """
 
     def __init__(
@@ -116,6 +126,7 @@ class RecommenderFrontEnd:
         shedder: LoadShedder | None = None,
         deadline_budget: float | None = None,
         clock: SimClock | None = None,
+        serving: "ServingLayer | None" = None,
     ):
         known = ("cf", "cb")
         if algorithm not in known:
@@ -125,6 +136,10 @@ class RecommenderFrontEnd:
         if deadline_budget is not None and clock is None:
             raise EvaluationError(
                 "deadline_budget needs a clock to measure against"
+            )
+        if serving is not None and algorithm != "cf":
+            raise EvaluationError(
+                f"the serving layer only batches 'cf': {algorithm!r}"
             )
         self._engine = engine
         self._algorithm = algorithm
@@ -136,6 +151,7 @@ class RecommenderFrontEnd:
         self._shedder = shedder
         self._deadline_budget = deadline_budget
         self._clock = clock
+        self._serving = serving
         # last successfully fetched hot list: the demographic rung's own
         # fallback when the store cannot even serve hot items
         self._hot_fallback: list[tuple[str, float]] = []
@@ -155,6 +171,87 @@ class RecommenderFrontEnd:
         deadline = self._make_deadline()
         results, rung = self._climb(user_id, n, now, deadline)
         return self._finish(user_id, results, rung, now)
+
+    def query_batch(
+        self,
+        queries: Sequence[tuple[str, int]],
+        now: float,
+        priority: str = "normal",
+    ) -> dict[tuple[str, int], list[Recommendation]]:
+        """Serve concurrent queries as one coalesced fan-out.
+
+        ``queries`` is a sequence of ``(user_id, n)``; duplicates
+        coalesce onto one answer. Requires a serving layer. Admission
+        control still applies per query; admitted queries share one
+        deadline and one batched store fan-out, and if the live rung
+        fails for the batch, each query walks the lower rungs
+        individually — one slow shard degrades its keys, not every
+        query.
+        """
+        if self._serving is None:
+            raise EvaluationError("query_batch needs a serving layer")
+        requests = list(dict.fromkeys(queries))
+        out: dict[tuple[str, int], list[Recommendation]] = {}
+        admitted: list[tuple[str, int]] = []
+        for user_id, n in requests:
+            self.log.queries += 1
+            if self._shedder is not None and not self._shedder.try_admit(
+                priority
+            ):
+                self.log.shed += 1
+                out[(user_id, n)] = self._finish(
+                    user_id, self._static(n), "static", now
+                )
+            else:
+                admitted.append((user_id, n))
+        if not admitted:
+            return out
+        deadline = self._make_deadline()
+        if self._degraded is not None and self._degraded.in_recovery():
+            # same contract as query(): never batch-read half-replayed
+            # state — each query takes the ladder's recovery path
+            for user_id, n in admitted:
+                results, rung = self._climb(user_id, n, now, deadline)
+                out[(user_id, n)] = self._finish(user_id, results, rung, now)
+            return out
+        try:
+            answers = self._scoped(
+                lambda: self._serving.serve_many(
+                    [(user_id, n * 2) for user_id, n in admitted], now
+                ),
+                deadline,
+            )
+        except _RUNG_FAILURES:
+            answers = None
+        for user_id, n in admitted:
+            if answers is not None:
+                served, __tier = answers[(user_id, n * 2)]
+                if self._degraded is not None:
+                    self._degraded.remember(self._algorithm, user_id, served)
+                results = self._filtered(served, n)
+                if results:
+                    out[(user_id, n)] = self._finish(
+                        user_id, results, "live", now
+                    )
+                    continue
+            results, rung = self._descend(user_id, n, now, deadline)
+            out[(user_id, n)] = self._finish(user_id, results, rung, now)
+        return out
+
+    def _descend(
+        self, user_id: str, n: int, now: float, deadline: Deadline | None
+    ) -> tuple[list[Recommendation], str]:
+        """Rungs 2–4 for one query whose live rung already failed."""
+        results = self._filtered(self._stale_cached(user_id, n), n)
+        if results:
+            return results, "cache"
+        hot = self._hot_items(user_id, n, now, deadline)
+        results = self._filtered(
+            [Recommendation(item, score, source="db") for item, score in hot], n
+        )
+        if results:
+            return results, "demographic"
+        return self._static(n), "static"
 
     def _make_deadline(self) -> Deadline | None:
         if self._deadline_budget is None or self._clock is None:
@@ -190,13 +287,11 @@ class RecommenderFrontEnd:
                 if results:
                     return results, "live"
             except _RUNG_FAILURES:
-                # rung 2: last-known-good cache
-                if self._degraded is not None:
-                    cached = self._degraded.cached(self._algorithm, user_id)
-                    if cached:
-                        results = self._filtered(cached, n)
-                        if results:
-                            return results, "cache"
+                # rung 2: stale-but-present serving cache, then the
+                # last-known-good cache
+                results = self._filtered(self._stale_cached(user_id, n), n)
+                if results:
+                    return results, "cache"
         # rung 3: demographic hot items (§4.2), at worst from the front
         # end's own last fetched copy
         hot = self._hot_items(user_id, n, now, deadline)
@@ -209,10 +304,31 @@ class RecommenderFrontEnd:
         return self._static(n), "static"
 
     def _live(self, user_id: str, n: int, now: float) -> list[Recommendation]:
+        if self._serving is not None:
+            results, __tier = self._serving.serve(user_id, n, now)
+            if self._degraded is not None:
+                # the batched path bypasses the wrapper; keep the
+                # last-known-good cache fresh by hand
+                self._degraded.remember(self._algorithm, user_id, results)
+            return results
         target = self._degraded if self._degraded is not None else self._engine
         if self._algorithm == "cf":
             return target.recommend_cf(user_id, n, now)
         return target.recommend_cb(user_id, n, now)
+
+    def _stale_cached(self, user_id: str, n: int) -> list[Recommendation]:
+        """The cache rung's sources, in preference order: the serving
+        layer's stale-but-present result, then the last-known-good
+        answer."""
+        if self._serving is not None:
+            cached = self._serving.serve_stale(user_id, n * 2)
+            if cached:
+                return cached
+        if self._degraded is not None:
+            cached = self._degraded.cached(self._algorithm, user_id)
+            if cached:
+                return cached
+        return []
 
     def _hot_items(
         self, user_id: str, n: int, now: float, deadline: Deadline | None

@@ -24,6 +24,7 @@ if TYPE_CHECKING:
     from repro.recovery.recovery import RecoveryManager
     from repro.resilience.breaker import CircuitBreaker
     from repro.resilience.shedder import LoadShedder
+    from repro.serving.layer import ServingLayer
 
 
 @dataclass
@@ -77,6 +78,16 @@ class SystemSnapshot:
     # op-journal ids trimmed out across the TDStore pool: a rewind deep
     # enough to re-deliver one would double-apply
     journal_evictions: int = 0
+    # serving layer: cached/batched query pipeline
+    serving_tiers: dict[str, int] = field(default_factory=dict)
+    serving_stale_serves: int = 0
+    result_cache_hit_rate: float = 0.0
+    result_cache_invalidations: int = 0
+    result_cache_evictions: int = 0
+    coalescer_mean_batch: float = 0.0
+    store_batch_ops: int = 0
+    store_hedged_reads: int = 0
+    store_degraded_keys: int = 0
 
     def total_dedup_hits(self) -> int:
         """Replayed tuples suppressed so far — each one is a counter
@@ -123,6 +134,7 @@ class SystemMonitor:
         self._breakers: dict[str, "CircuitBreaker"] = {}
         self._shedder: "LoadShedder | None" = None
         self._front_end: "RecommenderFrontEnd | None" = None
+        self._serving: "ServingLayer | None" = None
         self.max_consumer_lag = max_consumer_lag
         self.max_replication_backlog = max_replication_backlog
         self.max_read_imbalance = max_read_imbalance
@@ -140,6 +152,9 @@ class SystemMonitor:
 
     def watch_front_end(self, front_end: "RecommenderFrontEnd"):
         self._front_end = front_end
+
+    def watch_serving(self, serving: "ServingLayer"):
+        self._serving = serving
 
     def watch_recovery(
         self,
@@ -204,6 +219,19 @@ class SystemMonitor:
         if self._front_end is not None:
             snap.serving_rungs = dict(self._front_end.log.rungs)
             snap.queries_shed = self._front_end.log.shed
+        if self._serving is not None:
+            stats = self._serving.stats()
+            snap.serving_tiers = dict(stats["tier_serves"])
+            snap.serving_stale_serves = stats["stale_serves"]
+            snap.result_cache_hit_rate = self._serving.result_cache.hit_rate()
+            snap.result_cache_invalidations = stats["result_cache"][
+                "invalidations"
+            ]
+            snap.result_cache_evictions = stats["result_cache"]["evictions"]
+            snap.coalescer_mean_batch = self._serving.coalescer.mean_batch_size()
+            snap.store_batch_ops = stats["batch_ops"]
+            snap.store_hedged_reads = stats["hedged_reads"]
+            snap.store_degraded_keys = stats["degraded_keys"]
         if self._tdstore is not None and hasattr(
             self._tdstore, "degraded_servers"
         ):
@@ -384,6 +412,42 @@ class SystemMonitor:
                     "rung since last snapshot",
                 )
             )
+        hedged_delta = snap.store_hedged_reads - self._previous_field(
+            "store_hedged_reads"
+        )
+        if hedged_delta > 0:
+            alerts.append(
+                Alert(
+                    "warning", "serving",
+                    f"{hedged_delta} hedged replica read(s) since last "
+                    "snapshot (primary shard slow or down; replica data "
+                    "may trail replication)",
+                )
+            )
+        shard_degraded_delta = snap.store_degraded_keys - self._previous_field(
+            "store_degraded_keys"
+        )
+        if shard_degraded_delta > 0:
+            alerts.append(
+                Alert(
+                    "critical", "serving",
+                    f"{shard_degraded_delta} key(s) served defaults after "
+                    "shard failure since last snapshot (partial-batch "
+                    "degradation active)",
+                )
+            )
+        stale_delta = snap.serving_stale_serves - self._previous_field(
+            "serving_stale_serves"
+        )
+        if stale_delta > 0:
+            alerts.append(
+                Alert(
+                    "warning", "serving",
+                    f"{stale_delta} stale cached answer(s) served since "
+                    "last snapshot (live rung failing; staleness bounded "
+                    "by the invalidation stream)",
+                )
+            )
         for layer, degraded in (
             ("tdstore", snap.degraded_tdstore_servers),
             ("tdaccess", snap.degraded_tdaccess_servers),
@@ -432,6 +496,10 @@ class SystemMonitor:
     def _previous_journal_evictions(self) -> int:
         previous = self._previous_snapshot()
         return previous.journal_evictions if previous is not None else 0
+
+    def _previous_field(self, name: str) -> int:
+        previous = self._previous_snapshot()
+        return getattr(previous, name) if previous is not None else 0
 
     @staticmethod
     def _degraded_serves(snap: SystemSnapshot | None) -> int:
@@ -510,4 +578,18 @@ class SystemMonitor:
                 for rung, count in sorted(snap.serving_rungs.items())
             )
             lines.append(f"  serving rungs: {rungs}")
+        if self._serving is not None:
+            tiers = ", ".join(
+                f"{tier}={count}"
+                for tier, count in sorted(snap.serving_tiers.items())
+            )
+            lines.append(
+                f"  serving: {tiers}, cache hit rate "
+                f"{snap.result_cache_hit_rate:.1%}, "
+                f"{snap.result_cache_invalidations} invalidation(s), "
+                f"mean batch {snap.coalescer_mean_batch:.1f}, "
+                f"{snap.store_batch_ops} batch op(s), "
+                f"{snap.store_hedged_reads} hedged read(s), "
+                f"{snap.store_degraded_keys} degraded key(s)"
+            )
         return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""High-throughput serving layer (`repro.serving`).
+
+Turns the one-request-one-key front end into a batched, cached,
+admission-aware query pipeline, the shape of the batch-query serving
+architectures in arXiv:2409.00400 (coalesce + batch by shard) and
+arXiv:1709.05278 (tiered read path with stream-driven freshness):
+
+* :class:`QueryCoalescer` — dedupes identical in-flight queries and
+  micro-batches concurrent ones into shared multi-get fan-outs;
+* :class:`ResultCache` / :class:`HotListCache` — the tiered result
+  caches, TTL-bounded and *invalidated by the stream* through the
+  :class:`InvalidationBus` the stateful bolts publish to;
+* :class:`ServingLayer` — wires coalescer, caches and the engine's
+  batched CF reads behind one ``serve``/``serve_many`` API the front
+  end's ``live``/``cache`` rungs route through;
+* :class:`ClosedLoopLoadGenerator` — the closed-loop driver the serving
+  benchmark uses to measure sustained queries/sec and tail latency.
+"""
+
+from repro.serving.cache import HotListCache, ResultCache
+from repro.serving.coalescer import QueryCoalescer
+from repro.serving.invalidation import InvalidationBus
+from repro.serving.layer import ServingLayer
+from repro.serving.loadgen import ClosedLoopLoadGenerator, LoadReport
+
+__all__ = [
+    "ClosedLoopLoadGenerator",
+    "HotListCache",
+    "InvalidationBus",
+    "LoadReport",
+    "QueryCoalescer",
+    "ResultCache",
+    "ServingLayer",
+]

@@ -1,0 +1,73 @@
+"""Request coalescing for the serving path.
+
+Under heavy traffic the same query shows up many times concurrently —
+hot users refreshing, fan-out from a shared page — and the naive path
+recomputes each copy. The coalescer does two things the batch-query
+architecture (arXiv:2409.00400) treats as one mechanism:
+
+* **dedup**: identical in-flight requests ``(user, n)`` collapse onto
+  one computation whose answer every submitter shares;
+* **micro-batching**: distinct concurrent requests drain together, up
+  to ``max_batch`` at a time, so the executor can fan them out as one
+  shared multi-get pipeline instead of per-query store reads.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import ConfigurationError
+
+
+class QueryCoalescer:
+    """Collects concurrent requests into deduplicated micro-batches."""
+
+    def __init__(self, max_batch: int = 64):
+        if max_batch <= 0:
+            raise ConfigurationError(f"max_batch must be positive: {max_batch}")
+        self._max_batch = max_batch
+        # insertion-ordered set: first submitter fixes batch position
+        self._pending: OrderedDict[tuple[str, int], None] = OrderedDict()
+        self.submitted = 0
+        self.coalesced = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.batch_sizes: dict[int, int] = {}
+
+    def submit(self, user: str, n: int):
+        """Queue one request; an identical pending one absorbs it."""
+        self.submitted += 1
+        request = (user, n)
+        if request in self._pending:
+            self.coalesced += 1
+        else:
+            self._pending[request] = None
+
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def drain(self) -> list[tuple[str, int]]:
+        """Take the next micro-batch (up to ``max_batch`` unique requests)."""
+        batch: list[tuple[str, int]] = []
+        while self._pending and len(batch) < self._max_batch:
+            batch.append(self._pending.popitem(last=False)[0])
+        if batch:
+            self.batches += 1
+            self.batched_requests += len(batch)
+            self.batch_sizes[len(batch)] = (
+                self.batch_sizes.get(len(batch), 0) + 1
+            )
+        return batch
+
+    def mean_batch_size(self) -> float:
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "submitted": self.submitted,
+            "coalesced": self.coalesced,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "mean_batch_size": self.mean_batch_size(),
+            "batch_sizes": dict(self.batch_sizes),
+        }

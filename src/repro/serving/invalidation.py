@@ -1,0 +1,57 @@
+"""Stream-driven cache invalidation.
+
+A TTL alone makes a result cache trade staleness for hit rate blindly:
+too short and the cache stops paying, too long and a user keeps seeing
+recommendations computed before their last click. TencentRec's whole
+point is that the Eq 6–8 state updates land in real time — so the
+serving caches are invalidated by the *stream*: every stateful bolt
+publishes a touched-key notification after it commits, and the caches
+drop exactly the answers that depended on that key.
+
+The bus is synchronous and in-process (like everything in this
+simulation); its unit of delivery is ``(kind, key)`` where ``kind``
+names the state family:
+
+``"user"``
+    the user's history/recent list changed (UserHistoryBolt committed);
+``"item"``
+    the item's similar-items list changed (SimListBolt committed);
+``"group"``
+    the group's hot-item counters changed (GroupCountBolt committed);
+``"ctr"``
+    the item's CTR value changed (CtrBolt wrote a new value).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+Subscriber = Callable[[str, str], None]
+
+KINDS = ("user", "item", "group", "ctr")
+
+
+class InvalidationBus:
+    """Fan-out of touched-key notifications from bolts to caches."""
+
+    def __init__(self):
+        self._subscribers: list[Subscriber] = []
+        self.published = 0
+        self.delivered = 0
+        self.by_kind: dict[str, int] = {}
+
+    def subscribe(self, subscriber: Subscriber):
+        self._subscribers.append(subscriber)
+
+    def publish(self, kind: str, key: str):
+        """Notify every subscriber that ``kind``-state ``key`` changed.
+
+        Bolts call this *after* their commit point (``put_once`` landed),
+        so a subscriber acting on the notification re-reads
+        post-commit state — never a value the replay could still change.
+        """
+        self.published += 1
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+        for subscriber in self._subscribers:
+            subscriber(kind, key)
+            self.delivered += 1

@@ -28,6 +28,7 @@ from repro.errors import (
     DeadlineExceededError,
     RetryBudgetExhaustedError,
     StaleRouteError,
+    TDStoreError,
 )
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.deadline import Deadline
@@ -94,6 +95,12 @@ class TDStoreClient:
         self.latency_absorbed = 0.0
         self.ops_applied = 0
         self.ops_deduped = 0
+        # batched read path (serving layer)
+        self.batch_ops = 0
+        self.batched_keys = 0
+        self.hedged_reads = 0
+        self.degraded_keys = 0
+        self.last_failed_keys: frozenset[str] = frozenset()
 
     # -- deadline propagation ----------------------------------------------
 
@@ -133,6 +140,18 @@ class TDStoreClient:
         self._table = self._config.route_table()
         self.route_refreshes += 1
 
+    def _maybe_refresh(self):
+        """Re-download the route table only when its epoch moved.
+
+        Route tables are immutable — every failover installs a *new*
+        table with a bumped version — so an equal epoch guarantees the
+        cached copy is byte-identical to the authoritative one. The
+        per-op cost collapses to one integer compare; the full fetch
+        happens only on an epoch change or a ``StaleRouteError`` fence.
+        """
+        if self._config.route_epoch != self._table.version:
+            self._refresh_table()
+
     def _charge_latency(self, server_id: int, deadline: Deadline | None):
         """Spend the degraded server's advertised per-op latency."""
         latency = self._config.server(server_id).latency
@@ -148,6 +167,7 @@ class TDStoreClient:
         deadline: Deadline | None,
     ) -> Any:
         """Run ``operation(host, instance)`` with one failover retry."""
+        self._maybe_refresh()
         route = self._table.route_for_key(key)
         self._charge_latency(route.host, deadline)
         try:
@@ -216,6 +236,171 @@ class TDStoreClient:
 
         return self._with_failover(key, op)
 
+    def multi_get(self, keys, default: Any = None) -> dict[str, Any]:
+        """Batched read: every key answered in one pass over the shards.
+
+        Keys are grouped by host server from **one** route-table snapshot
+        (one epoch check) and each server gets **one** batch op covering
+        all of its instances — the per-key route lookup, breaker gate and
+        failover bookkeeping of :meth:`get` are paid once per server
+        instead of once per key.
+
+        Failure semantics differ from the per-key path on purpose: a
+        shard that stays unreachable after one failover/re-route attempt
+        **degrades only its own keys** — first hedging to any live
+        replica (stale-but-served), then falling back to ``default`` —
+        rather than failing the whole query. The degraded keys are
+        reported in :attr:`last_failed_keys`; the breaker records a
+        failure for the batch when any key degraded to ``default``. A
+        blown :class:`~repro.resilience.Deadline` still aborts the whole
+        batch — time is a query-level budget, not a shard-level one.
+        """
+        keys = list(keys)
+        self.last_failed_keys = frozenset()
+        if not keys:
+            return {}
+        if self._breaker is not None and not self._breaker.allow():
+            self.breaker_rejections += 1
+            raise CircuitOpenError(
+                f"circuit breaker {self._breaker.name!r} is open; "
+                f"tdstore multi_get of {len(keys)} keys rejected"
+            )
+        deadline = self._current_deadline()
+        try:
+            if deadline is not None:
+                deadline.check(f"tdstore multi_get of {len(keys)} keys")
+            self._maybe_refresh()  # the one route snapshot for this batch
+            by_host: dict[int, dict[int, list[str]]] = {}
+            for key in keys:
+                route = self._table.route_for_key(key)
+                by_host.setdefault(route.host, {}).setdefault(
+                    route.instance, []
+                ).append(key)
+            results: dict[str, Any] = {}
+            failed: list[str] = []
+            for host in sorted(by_host):
+                got, bad = self._serve_batch(
+                    host, by_host[host], default, deadline
+                )
+                results.update(got)
+                failed.extend(bad)
+        except DeadlineExceededError:
+            self.deadline_misses += 1
+            if self._breaker is not None:
+                self._breaker.record_failure()
+            raise
+        self.batched_keys += len(keys)
+        if failed:
+            self.degraded_keys += len(failed)
+            self.last_failed_keys = frozenset(failed)
+            for key in failed:
+                results[key] = default
+            if self._breaker is not None:
+                self._breaker.record_failure()
+        elif self._breaker is not None:
+            self._breaker.record_success()
+        return results
+
+    def _batch_op(
+        self,
+        host: int,
+        batches: dict[int, list[str]],
+        default: Any,
+        deadline: Deadline | None,
+    ) -> dict[str, Any]:
+        """One per-server batch op; degraded latency charged once."""
+        self._charge_latency(host, deadline)
+        self.batch_ops += 1
+        return self._config.server(host).multi_get(batches, default)
+
+    def _serve_batch(
+        self,
+        host: int,
+        batches: dict[int, list[str]],
+        default: Any,
+        deadline: Deadline | None,
+    ) -> tuple[dict[str, Any], list[str]]:
+        """Serve one server's batch with one failover/re-route attempt.
+
+        Returns ``(results, degraded_keys)`` — shard failures degrade to
+        hedged replica reads and then to the caller's default instead of
+        propagating (Deadline misses excepted).
+        """
+        try:
+            return self._batch_op(host, batches, default, deadline), []
+        except StaleRouteError:
+            # fenced: a failover moved routes under us — epoch check
+            # below picks up the new table
+            pass
+        except DataServerDownError:
+            server = self._config.server(host)
+            if server.alive:
+                # injected error rate or recovered under us: one retry in
+                # place, mirroring the per-key path
+                try:
+                    return self._batch_op(host, batches, default, deadline), []
+                except (DataServerDownError, StaleRouteError):
+                    pass
+            else:
+                try:
+                    self._config.handle_server_failure(host)
+                except TDStoreError:
+                    # failover impossible right now (not enough live
+                    # servers); hedged replica reads below still answer
+                    pass
+        self._maybe_refresh()
+        # regroup this server's instances onto their current hosts
+        regrouped: dict[int, dict[int, list[str]]] = {}
+        for instance, instance_keys in batches.items():
+            route = self._table.route(instance)
+            regrouped.setdefault(route.host, {})[instance] = instance_keys
+        results: dict[str, Any] = {}
+        failed: list[str] = []
+        for new_host in sorted(regrouped):
+            try:
+                results.update(
+                    self._batch_op(new_host, regrouped[new_host], default, deadline)
+                )
+            except (DataServerDownError, StaleRouteError):
+                # this shard stays degraded: hedge each instance to any
+                # live replica; keys with no replica fall to the default
+                for instance, instance_keys in regrouped[new_host].items():
+                    got = self._hedge(
+                        instance, instance_keys, default, deadline, new_host
+                    )
+                    if got is None:
+                        failed.extend(instance_keys)
+                    else:
+                        results.update(got)
+        return results, failed
+
+    def _hedge(
+        self,
+        instance: int,
+        keys: list[str],
+        default: Any,
+        deadline: Deadline | None,
+        exclude: int,
+    ) -> "dict[str, Any] | None":
+        """Read ``instance`` from any live replica other than ``exclude``."""
+        route = self._table.route(instance)
+        for candidate in (route.slave, route.host):
+            if candidate == exclude:
+                continue
+            server = self._config.server(candidate)
+            if not server.alive:
+                continue
+            try:
+                self._charge_latency(candidate, deadline)
+                got = server.read_replica(instance, keys, default)
+            except DeadlineExceededError:
+                raise
+            except TDStoreError:
+                continue
+            self.hedged_reads += 1
+            return got
+        return None
+
     def put(self, key: str, value: Any):
         def op(server_id: int, instance: int):
             record = self._config.server(server_id).put(instance, key, value)
@@ -234,9 +419,11 @@ class TDStoreClient:
 
     def _sync_to_slave(self, instance: int, record: Any):
         # the host forwards the record to its slave; it always knows the
-        # *current* slave, so consult the authoritative table rather than
-        # this client's cached copy (which may predate a failover)
-        route = self._config.route_table().route(instance)
+        # *current* slave. The epoch-checked cached table is identical to
+        # the authoritative one whenever the epochs match, so this stays
+        # a local lookup instead of a per-mutation table download.
+        self._maybe_refresh()
+        route = self._table.route(instance)
         slave = self._config.server(route.slave)
         if slave.alive:
             slave.enqueue_sync(instance, record)

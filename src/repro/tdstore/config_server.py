@@ -40,6 +40,16 @@ class ConfigServerPair:
         """What a client downloads before talking to data servers."""
         return self._table
 
+    @property
+    def route_epoch(self) -> int:
+        """Monotonic version of the current route table.
+
+        Clients poll this cheap scalar per operation and re-download the
+        full table only when it moved (a failover bumped it) — the
+        route-table fetch is off the per-op hot path.
+        """
+        return self._table.version
+
     def server(self, server_id: int) -> TDStoreDataServer:
         try:
             return self._servers[server_id]

@@ -44,6 +44,8 @@ class TDStoreDataServer:
         self._hosted: set[int] = set()
         self.reads = 0
         self.writes = 0
+        self.batch_ops = 0
+        self.replica_reads = 0
         self.syncs_applied = 0
         # degradation state (chaos injection): extra seconds a client
         # should charge per operation, and a deterministic error cadence
@@ -139,6 +141,53 @@ class TDStoreDataServer:
         value = engine.get(key, default)
         self.reads += 1
         return value
+
+    def multi_get(
+        self, batches: dict[int, list[str]], default: Any = None
+    ) -> dict[str, Any]:
+        """One batch read covering every ``instance -> keys`` group.
+
+        This is one request on the wire: liveness and the degradation
+        cadence are checked once for the whole op (which is the batching
+        win — a 100-key batch is one error opportunity, not 100), while
+        host fencing is still enforced per instance so a stale route on
+        any shard fails the batch before data from a non-owned instance
+        can leak into the result.
+        """
+        self._check_alive()
+        engines = {}
+        for instance in batches:
+            engines[instance] = self.engine(instance)
+            self._check_host(instance)
+        self._check_degraded()
+        results: dict[str, Any] = {}
+        for instance, keys in batches.items():
+            results.update(engines[instance].multi_get(keys, default))
+            self.reads += len(keys)
+        self.batch_ops += 1
+        return results
+
+    def read_replica(
+        self, instance: int, keys: list[str], default: Any = None
+    ) -> dict[str, Any]:
+        """Hedged read from whatever copy of ``instance`` this server holds.
+
+        No host-fencing check: the caller knowingly accepts a replica
+        that may lag the host by its un-applied sync queue. Used by the
+        client when the host shard is unreachable and failover cannot
+        run — stale-but-served beats failing the whole query.
+        """
+        self._check_alive()
+        engine = self._engines.get(instance)
+        if engine is None:
+            raise TDStoreError(
+                f"server {self.server_id} holds no replica of instance "
+                f"{instance}"
+            )
+        self._check_degraded()
+        self.reads += len(keys)
+        self.replica_reads += 1
+        return engine.multi_get(keys, default)
 
     def put(self, instance: int, key: str, value: Any) -> SyncRecord:
         engine = self.engine(instance)

@@ -72,6 +72,15 @@ class StorageEngine(ABC):
     def contains(self, key: str) -> bool:
         return self.get(key, _MISSING) is not _MISSING
 
+    def multi_get(self, keys: "list[str]", default: Any = None) -> dict[str, Any]:
+        """Batched point lookup: one engine call for many keys.
+
+        The base implementation loops over :meth:`get`; engines with a
+        cheaper bulk path (e.g. one bucket load serving several keys)
+        may override it. Every requested key appears in the result.
+        """
+        return {key: self.get(key, default) for key in keys}
+
     def items(self) -> Iterator[tuple[str, Any]]:
         for key in list(self.keys()):
             value = self.get(key, _MISSING)
@@ -404,6 +413,18 @@ class FDBEngine(StorageEngine):
 
     def get(self, key: str, default: Any = None) -> Any:
         return self._load_bucket(self._bucket_path(key)).get(key, default)
+
+    def multi_get(self, keys: "list[str]", default: Any = None) -> dict[str, Any]:
+        # loading each bucket once serves every key hashed into it
+        by_bucket: dict[str, list[str]] = {}
+        for key in keys:
+            by_bucket.setdefault(self._bucket_path(key), []).append(key)
+        out: dict[str, Any] = {}
+        for path, bucket_keys in by_bucket.items():
+            data = self._load_bucket(path)
+            for key in bucket_keys:
+                out[key] = data.get(key, default)
+        return out
 
     def put(self, key: str, value: Any):
         path = self._bucket_path(key)

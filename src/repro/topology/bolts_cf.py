@@ -15,7 +15,7 @@ every piece of state has exactly one writing task.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.algorithms.demographic import GLOBAL_GROUP
 from repro.algorithms.itemcf.history import apply_action
@@ -28,6 +28,9 @@ from repro.tdstore.client import TDStoreClient
 from repro.topology.state import CachedStore, Combiner, StateKeys
 from repro.types import UserProfile
 from repro.utils.clock import SECONDS_PER_HOUR
+
+if TYPE_CHECKING:
+    from repro.serving.invalidation import InvalidationBus
 
 ClientFactory = Callable[[], TDStoreClient]
 ProfileLookup = Callable[[str], "UserProfile | None"]
@@ -54,6 +57,12 @@ class UserHistoryBolt(ExactlyOnceBolt):
     journal entry, re-executes from the unchanged history and re-emits —
     the derived op ids dedup downstream any emission whose first
     delivery already got through.
+
+    With ``bus`` set, a ``("user", user)`` invalidation is published
+    after the commit lands — never before, so a cache acting on it
+    re-reads post-commit state — telling the serving caches this user's
+    history/recent state changed. The dedup early-return does not
+    publish: the first delivery already did.
     """
 
     def __init__(
@@ -63,6 +72,7 @@ class UserHistoryBolt(ExactlyOnceBolt):
         linked_time: float = 6 * SECONDS_PER_HOUR,
         recent_k: int = 10,
         group_of: Callable[[str], str] | None = None,
+        bus: "InvalidationBus | None" = None,
     ):
         super().__init__()
         self._client_factory = client_factory
@@ -70,6 +80,7 @@ class UserHistoryBolt(ExactlyOnceBolt):
         self._linked_time = linked_time
         self._recent_k = recent_k
         self._group_of = group_of
+        self._bus = bus
 
     def declare_outputs(self, declarer):
         declarer.declare(("item", "delta"), "item_delta")
@@ -122,6 +133,8 @@ class UserHistoryBolt(ExactlyOnceBolt):
             self._store.put_once(hist_key, op_id, history)
         else:
             self._store.put(hist_key, history)
+        if self._bus is not None:
+            self._bus.publish("user", user)
 
     def _update_recent(self, user: str, item: str, rating: float, now: float):
         recent = self._store.get(StateKeys.recent(user), None) or []
@@ -276,12 +289,22 @@ class SimListBolt(ExactlyOnceBolt):
     ``sim_update`` is a no-op even after the in-memory ledger died with
     its task — and a failure mid-update leaves no journal entry, so the
     replay re-runs the whole update instead of losing it.
+
+    With ``bus`` set, an ``("item", item)`` invalidation is published
+    after the list commit so serving caches drop answers computed from
+    the old similar-items list.
     """
 
-    def __init__(self, client_factory: ClientFactory, k: int = 20):
+    def __init__(
+        self,
+        client_factory: ClientFactory,
+        k: int = 20,
+        bus: "InvalidationBus | None" = None,
+    ):
         super().__init__()
         self._client_factory = client_factory
         self._k = k
+        self._bus = bus
 
     def prepare(self, context, collector):
         super().prepare(context, collector)
@@ -305,6 +328,8 @@ class SimListBolt(ExactlyOnceBolt):
             self._store.put_once(key, op_id, payload)
         else:
             self._store.put(key, payload)
+        if self._bus is not None:
+            self._bus.publish("item", item)
 
     def process(self, tup: StormTuple):
         if tup.stream_id == "sim_update":

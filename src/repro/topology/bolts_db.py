@@ -9,12 +9,15 @@ have is gone without any locking.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.storm.reliability import ExactlyOnceBolt
 from repro.storm.tuples import StormTuple
 from repro.tdstore.client import TDStoreClient
 from repro.topology.state import CachedStore, StateKeys
+
+if TYPE_CHECKING:
+    from repro.serving.invalidation import InvalidationBus
 
 
 class GroupCountBolt(ExactlyOnceBolt):
@@ -29,6 +32,11 @@ class GroupCountBolt(ExactlyOnceBolt):
     atomically with the journal entry (``put_once``) — a failure before
     the commit leaves no journal entry, so the replay redoes the whole
     fold instead of losing the delta.
+
+    With ``bus`` set, a ``("group", group)`` invalidation is published
+    after each counter commit (and after each decay write), so serving
+    caches drop hot lists and complemented answers built on the old
+    counters.
     """
 
     def __init__(
@@ -37,12 +45,14 @@ class GroupCountBolt(ExactlyOnceBolt):
         decay: float = 0.5,
         decay_interval: float = 1800.0,
         max_items: int = 200,
+        bus: "InvalidationBus | None" = None,
     ):
         super().__init__()
         self._client_factory = client_factory
         self._decay = decay
         self._decay_interval = decay_interval
         self._max_items = max_items
+        self._bus = bus
         self._groups_seen: set[str] = set()
         self._last_decay: float | None = None
 
@@ -68,6 +78,8 @@ class GroupCountBolt(ExactlyOnceBolt):
         else:
             self._store.put(key, hot)
         self._groups_seen.add(group)
+        if self._bus is not None:
+            self._bus.publish("group", group)
 
     def tick(self, now: float):
         if self._last_decay is None:
@@ -89,3 +101,5 @@ class GroupCountBolt(ExactlyOnceBolt):
                 if value * factor > 1e-6
             }
             self._store.put(key, decayed)
+            if self._bus is not None:
+                self._bus.publish("group", group)

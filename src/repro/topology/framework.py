@@ -9,7 +9,7 @@ units by their class names for the XML configuration path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.algorithms.ratings import ActionWeights, DEFAULT_ACTION_WEIGHTS
 from repro.storm.grouping import FieldsGrouping, ShuffleGrouping
@@ -30,6 +30,9 @@ from repro.topology.spouts import ActionSpout, TDAccessSpout
 from repro.types import UserAction, UserProfile
 from repro.utils.clock import SECONDS_PER_HOUR, SimClock
 
+if TYPE_CHECKING:
+    from repro.serving.invalidation import InvalidationBus
+
 ClientFactory = Callable[[], TDStoreClient]
 ProfileLookup = Callable[[str], "UserProfile | None"]
 
@@ -44,6 +47,10 @@ class CFTopologyConfig:
     depends on it (fields grouping pins each key to one task), only
     throughput does — the paper's scalability claim, which the
     throughput bench exercises by sweeping this value.
+
+    ``invalidation_bus`` wires the stateful bolts to the serving
+    caches: each publishes a touched-key notification after its commit
+    point, and the serving layer drops the answers built on that state.
     """
 
     weights: ActionWeights = DEFAULT_ACTION_WEIGHTS
@@ -54,6 +61,7 @@ class CFTopologyConfig:
     use_combiner: bool = False
     parallelism: int = 2
     group_of: Callable[[str], str] | None = None
+    invalidation_bus: "InvalidationBus | None" = None
 
 
 def build_cf_topology(
@@ -75,6 +83,7 @@ def build_cf_topology(
             linked_time=cfg.linked_time,
             recent_k=cfg.recent_k,
             group_of=cfg.group_of,
+            bus=cfg.invalidation_bus,
         ),
         parallelism=cfg.parallelism,
     ).grouping("spout", FieldsGrouping(["user"]), "user_action")
@@ -94,7 +103,7 @@ def build_cf_topology(
     )
     builder.add_bolt(
         "simList",
-        lambda: SimListBolt(client_factory, k=cfg.k),
+        lambda: SimListBolt(client_factory, k=cfg.k, bus=cfg.invalidation_bus),
         parallelism=cfg.parallelism,
     ).grouping("pairCount", FieldsGrouping(["item"]), "sim_update").grouping(
         "pairCount", FieldsGrouping(["item"]), "prune"
@@ -102,7 +111,7 @@ def build_cf_topology(
     if cfg.group_of is not None:
         builder.add_bolt(
             "groupCount",
-            lambda: GroupCountBolt(client_factory),
+            lambda: GroupCountBolt(client_factory, bus=cfg.invalidation_bus),
             parallelism=cfg.parallelism,
         ).grouping("userHistory", FieldsGrouping(["group"]), "group_delta")
     return builder.build()
@@ -116,6 +125,7 @@ def build_ctr_topology(
     parallelism: int = 2,
     session_seconds: float | None = None,
     window_sessions: int | None = None,
+    invalidation_bus: "InvalidationBus | None" = None,
 ) -> Topology:
     """The Figure 7 topology: spout -> pretreatment -> ctrStore -> ctrBolt
     -> resultStorage.
@@ -142,7 +152,11 @@ def build_ctr_topology(
     ).grouping("pretreatment", FieldsGrouping(["item"]), "user_action")
     builder.add_bolt(
         "ctrBolt",
-        lambda: CtrBolt(client_factory, window_sessions=window_sessions),
+        lambda: CtrBolt(
+            client_factory,
+            window_sessions=window_sessions,
+            bus=invalidation_bus,
+        ),
         parallelism=parallelism,
     ).grouping("ctrStore", FieldsGrouping(["item"]), "ctr_update")
     builder.add_bolt(

@@ -1,0 +1,241 @@
+"""Serving caches under the replay/commit protocol.
+
+The invalidation bus is only allowed to fire *after* a bolt's commit
+lands (put_once succeeded). These tests drive the bolts through the
+same mid-commit failure + replay sequences as
+``tests/topology/test_replay_commit.py`` and assert the read path never
+acts on torn state: no invalidation before the commit, exactly one per
+committed op, none for dedup'd replays, and the cache converges to the
+failure-free answer once the replay commits.
+"""
+
+import pytest
+
+from repro.engine.engine import EngineConfig, RecommenderEngine
+from repro.errors import DataServerDownError
+from repro.serving import InvalidationBus, ServingLayer
+from repro.storm.component import OutputCollector, TopologyContext
+from repro.storm.streams import OutputDeclaration
+from repro.storm.tuples import StormTuple
+from repro.tdstore.cluster import TDStoreCluster
+from repro.topology.bolts_cf import SimListBolt, UserHistoryBolt
+from repro.topology.bolts_db import GroupCountBolt
+from repro.topology.state import StateKeys
+
+
+class FlakyClient:
+    """Client proxy that raises once on the first call of one method."""
+
+    def __init__(self, inner, fail_method):
+        self._inner = inner
+        self._fail_method = fail_method
+        self.failed = False
+
+    def __getattr__(self, name):
+        attr = getattr(self._inner, name)
+        if name == self._fail_method and not self.failed:
+            def boom(*args, **kwargs):
+                self.failed = True
+                raise DataServerDownError("injected mid-update failure")
+
+            return boom
+        return attr
+
+
+def prepare(bolt, name="bolt"):
+    declaration = OutputDeclaration()
+    bolt.declare_outputs(declaration)
+    emitted = []
+    collector = OutputCollector(
+        name, 0, declaration,
+        emit_fn=lambda tup, message_id: emitted.append(tup),
+        ack_fn=lambda tup: None,
+        fail_fn=lambda tup: None,
+        clock_now=lambda: 0.0,
+    )
+    bolt.prepare(TopologyContext(name, 0, 1, "test"), collector)
+    return emitted
+
+
+def deliver(bolt, tup):
+    bolt.collector.set_input_context(frozenset(), tup.op_id)
+    bolt.execute(tup)
+
+
+def action_tuple(user, item, offset, action="click", timestamp=0.0):
+    return StormTuple(
+        (user, item, action, timestamp),
+        ("user", "item", "action", "timestamp"),
+        "default",
+        "source",
+        op_id=f"actions@{offset}",
+    )
+
+
+def sim_tuple(item, other, similarity, offset):
+    return StormTuple(
+        (item, other, similarity),
+        ("item", "other", "similarity"),
+        "sim_update",
+        "pairCount",
+        op_id=f"actions@{offset}>pairCount.0:0",
+    )
+
+
+def group_tuple(group, item, delta, offset):
+    return StormTuple(
+        (group, item, delta),
+        ("group", "item", "delta"),
+        "group_delta",
+        "userHistory",
+        op_id=f"actions@{offset}>userHistory.0:1",
+    )
+
+
+def fresh_cluster():
+    return TDStoreCluster(num_data_servers=3, num_instances=8)
+
+
+def serving_over(cluster, bus):
+    clock = [0.0]
+    engine = RecommenderEngine(cluster.client(), EngineConfig())
+    return ServingLayer(engine, lambda: clock[0], bus=bus)
+
+
+def seed_sim_lists(cluster):
+    client = cluster.client()
+    client.put(StateKeys.sim_list("i1"), {"a": 0.9, "b": 0.8})
+    client.put(StateKeys.sim_list("i2"), {"c": 0.95})
+
+
+class TestCommitOrdering:
+    def test_no_invalidation_before_commit_no_torn_cached_state(self):
+        cluster = fresh_cluster()
+        bus = InvalidationBus()
+        seed_sim_lists(cluster)
+        healthy = UserHistoryBolt(client_factory=cluster.client, bus=bus)
+        prepare(healthy)
+        deliver(healthy, action_tuple("u1", "i1", 0, timestamp=1.0))
+        assert bus.published == 1
+
+        layer = serving_over(cluster, bus)
+        first, tier = layer.serve("u1", 2, 2.0)
+        assert tier == "batched_live"
+        assert [r.item_id for r in first] == ["a", "b"]
+
+        # second action fails mid-commit: the recent list already moved
+        # (idempotent side write) but the history commit did not land
+        flaky = FlakyClient(cluster.client(), "put_once")
+        flaky_bolt = UserHistoryBolt(client_factory=lambda: flaky, bus=bus)
+        prepare(flaky_bolt)
+        tup = action_tuple("u1", "i2", 1, timestamp=3.0)
+        with pytest.raises(DataServerDownError):
+            deliver(flaky_bolt, tup)
+        assert bus.published == 1  # nothing published before the commit
+        # so the cache keeps serving the committed answer, never a torn
+        # recompute over half-applied state
+        again, tier = layer.serve("u1", 2, 3.5)
+        assert tier == "result_cache"
+        assert [r.item_id for r in again] == ["a", "b"]
+
+        # the replay commits, publishes exactly once, and the staled
+        # entry recomputes from fully-committed state
+        deliver(flaky_bolt, tup)
+        assert bus.published == 2
+        assert layer.result_cache.get(("cf", "u1", 2)) is None
+        final, tier = layer.serve("u1", 2, 4.0)
+        assert tier == "batched_live"
+        assert [r.item_id for r in final] == self._reference()
+
+    def _reference(self):
+        """The failure-free answer for the same two actions."""
+        cluster = fresh_cluster()
+        bus = InvalidationBus()
+        seed_sim_lists(cluster)
+        bolt = UserHistoryBolt(client_factory=cluster.client, bus=bus)
+        prepare(bolt)
+        deliver(bolt, action_tuple("u1", "i1", 0, timestamp=1.0))
+        deliver(bolt, action_tuple("u1", "i2", 1, timestamp=3.0))
+        layer = serving_over(cluster, bus)
+        results, __ = layer.serve("u1", 2, 4.0)
+        return [r.item_id for r in results]
+
+
+class TestReplayPublishesOnce:
+    def test_dedup_ledger_replay_does_not_republish(self):
+        cluster = fresh_cluster()
+        bus = InvalidationBus()
+        bolt = UserHistoryBolt(client_factory=cluster.client, bus=bus)
+        prepare(bolt)
+        tup = action_tuple("u1", "i1", 0, timestamp=1.0)
+        deliver(bolt, tup)
+        assert bus.published == 1
+        deliver(bolt, tup)  # in-memory ledger catches it
+        assert bus.published == 1
+
+    def test_store_journal_replay_does_not_republish(self):
+        # the task died, the ledger with it: only op_seen stops the
+        # replay — and it must stop the publish too
+        cluster = fresh_cluster()
+        bus = InvalidationBus()
+        bolt = UserHistoryBolt(client_factory=cluster.client, bus=bus)
+        prepare(bolt)
+        tup = action_tuple("u1", "i1", 0, timestamp=1.0)
+        deliver(bolt, tup)
+        reborn = UserHistoryBolt(client_factory=cluster.client, bus=bus)
+        prepare(reborn)
+        deliver(reborn, tup)
+        assert bus.published == 1
+
+    def test_sim_list_failure_then_replay_publishes_once(self):
+        cluster = fresh_cluster()
+        bus = InvalidationBus()
+        flaky = FlakyClient(cluster.client(), "put_once")
+        bolt = SimListBolt(client_factory=lambda: flaky, k=4, bus=bus)
+        prepare(bolt)
+        tup = sim_tuple("i1", "a", 0.9, 0)
+        with pytest.raises(DataServerDownError):
+            deliver(bolt, tup)
+        assert bus.published == 0
+        deliver(bolt, tup)
+        assert bus.published == 1
+        assert bus.by_kind == {"item": 1}
+
+
+class TestStreamStalesTheRightEntries:
+    def test_sim_list_commit_stales_dependent_answers(self):
+        cluster = fresh_cluster()
+        bus = InvalidationBus()
+        client = cluster.client()
+        client.put(StateKeys.recent("u1"), [("i1", 5.0, 0.0)])
+        client.put(StateKeys.history("u1"), {"i1": 5.0})
+        client.put(StateKeys.sim_list("i1"), {"a": 0.9})
+        layer = serving_over(cluster, bus)
+        results, __ = layer.serve("u1", 1, 0.0)
+        assert [r.item_id for r in results] == ["a"]
+
+        bolt = SimListBolt(client_factory=cluster.client, k=4, bus=bus)
+        prepare(bolt)
+        deliver(bolt, sim_tuple("i1", "b", 0.95, 0))
+        # the answer depended on item i1's list; it staled immediately
+        assert layer.result_cache.get(("cf", "u1", 1)) is None
+        updated, tier = layer.serve("u1", 1, 0.0)
+        assert tier == "batched_live"
+        assert [r.item_id for r in updated] == ["b"]
+
+    def test_group_commit_stales_demographic_answers_and_hot_tier(self):
+        cluster = fresh_cluster()
+        bus = InvalidationBus()
+        cluster.client().put(StateKeys.hot("global"), {"h1": 4.0})
+        layer = serving_over(cluster, bus)
+        results, __ = layer.serve("cold-user", 1, 0.0)
+        assert [r.item_id for r in results] == ["h1"]
+        assert layer.hot_cache.get("global") == {"h1": 4.0}
+
+        bolt = GroupCountBolt(client_factory=cluster.client, bus=bus)
+        prepare(bolt)
+        deliver(bolt, group_tuple("global", "h2", 9.0, 0))
+        assert layer.result_cache.get(("cf", "cold-user", 1)) is None
+        assert layer.hot_cache.get("global") is None
+        updated, __ = layer.serve("cold-user", 1, 0.0)
+        assert [r.item_id for r in updated] == ["h2"]

@@ -1,0 +1,52 @@
+"""Tests for query dedup + micro-batching."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving import QueryCoalescer
+
+
+class TestDedup:
+    def test_identical_requests_coalesce(self):
+        coalescer = QueryCoalescer()
+        for __ in range(5):
+            coalescer.submit("u1", 10)
+        assert coalescer.pending() == 1
+        assert coalescer.submitted == 5
+        assert coalescer.coalesced == 4
+
+    def test_same_user_different_n_stay_distinct(self):
+        coalescer = QueryCoalescer()
+        coalescer.submit("u1", 10)
+        coalescer.submit("u1", 20)
+        assert coalescer.pending() == 2
+        assert coalescer.coalesced == 0
+
+
+class TestMicroBatching:
+    def test_drain_respects_max_batch_and_order(self):
+        coalescer = QueryCoalescer(max_batch=3)
+        for index in range(5):
+            coalescer.submit(f"u{index}", 10)
+        first = coalescer.drain()
+        assert first == [("u0", 10), ("u1", 10), ("u2", 10)]
+        second = coalescer.drain()
+        assert second == [("u3", 10), ("u4", 10)]
+        assert coalescer.drain() == []
+        assert coalescer.pending() == 0
+
+    def test_stats_track_batch_shape(self):
+        coalescer = QueryCoalescer(max_batch=4)
+        for index in range(6):
+            coalescer.submit(f"u{index}", 10)
+        coalescer.drain()
+        coalescer.drain()
+        stats = coalescer.stats()
+        assert stats["batches"] == 2
+        assert stats["batched_requests"] == 6
+        assert stats["mean_batch_size"] == pytest.approx(3.0)
+        assert stats["batch_sizes"] == {4: 1, 2: 1}
+
+    def test_invalid_max_batch(self):
+        with pytest.raises(ConfigurationError):
+            QueryCoalescer(max_batch=0)

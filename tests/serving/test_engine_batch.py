@@ -1,0 +1,99 @@
+"""Batched CF answers must be indistinguishable from per-key answers."""
+
+from repro.engine.engine import EngineConfig, RecommenderEngine
+from repro.tdstore import TDStoreCluster
+from repro.topology.state import StateKeys
+
+GROUPS = {"u_m": "male", "u_f": "female"}
+
+
+def seeded_cluster():
+    cluster = TDStoreCluster(num_data_servers=3, num_instances=16)
+    client = cluster.client()
+    client.put(StateKeys.recent("u1"), [("i1", 5.0, 0.0), ("i2", 3.0, 1.0)])
+    client.put(StateKeys.history("u1"), {"i1": 5.0, "i2": 3.0})
+    client.put(StateKeys.recent("u2"), [("i2", 4.0, 0.0)])
+    client.put(StateKeys.history("u2"), {"i2": 4.0})
+    client.put(StateKeys.sim_list("i1"), {"i3": 0.9, "i4": 0.7, "i2": 0.5})
+    client.put(StateKeys.sim_list("i2"), {"i4": 0.8, "i5": 0.6})
+    client.put(StateKeys.hot("global"), {"h1": 9.0, "h2": 5.0, "i3": 4.0})
+    client.put(StateKeys.hot("male"), {"hm": 7.0})
+    return cluster
+
+
+def engine_for(cluster, group_of=None):
+    return RecommenderEngine(
+        cluster.client(), EngineConfig(group_of=group_of)
+    )
+
+
+class TestBatchParity:
+    def test_batch_equals_per_key_for_every_user(self):
+        cluster = seeded_cluster()
+        engine = engine_for(cluster)
+        users = ["u1", "u2", "cold-user"]
+        batch = engine.recommend_cf_batch(users, 5, 100.0)
+        for user in users:
+            want = engine.recommend_cf(user, 5, 100.0)
+            got = batch[user].results
+            assert [(r.item_id, r.score, r.source) for r in got] == [
+                (r.item_id, r.score, r.source) for r in want
+            ], user
+
+    def test_batch_parity_with_groups(self):
+        cluster = seeded_cluster()
+        group_of = lambda user: GROUPS.get(user, "global")  # noqa: E731
+        engine = engine_for(cluster, group_of=group_of)
+        users = ["u1", "u_m", "u_f"]
+        batch = engine.recommend_cf_batch(users, 4, 100.0)
+        for user in users:
+            want = engine.recommend_cf(user, 4, 100.0)
+            assert [(r.item_id, r.score) for r in batch[user].results] == [
+                (r.item_id, r.score) for r in want
+            ], user
+
+    def test_three_multi_gets_for_any_batch_size(self):
+        cluster = seeded_cluster()
+        engine = engine_for(cluster)
+        client = engine.store
+        before = client.batch_ops
+        engine.recommend_cf_batch([f"u{i}" for i in range(20)], 5, 0.0)
+        # 3 batched fan-outs (users, sim lists, hot lists), each of
+        # which costs at most one batch op per data server
+        assert client.batch_ops - before <= 3 * len(cluster.data_servers)
+
+    def test_duplicate_users_answered_once(self):
+        cluster = seeded_cluster()
+        engine = engine_for(cluster)
+        batch = engine.recommend_cf_batch(["u1", "u1", "u2"], 5, 0.0)
+        assert set(batch) == {"u1", "u2"}
+
+
+class TestAnswerDependencies:
+    def test_dep_items_are_the_recent_items(self):
+        cluster = seeded_cluster()
+        engine = engine_for(cluster)
+        batch = engine.recommend_cf_batch(["u1", "u2"], 5, 0.0)
+        assert batch["u1"].dep_items == ("i1", "i2")
+        assert batch["u2"].dep_items == ("i2",)
+
+    def test_dep_groups_set_only_when_complement_ran(self):
+        cluster = seeded_cluster()
+        engine = engine_for(cluster)
+        full = engine.recommend_cf_batch(["u1"], 1, 0.0)
+        assert full["u1"].dep_groups == ()  # CF filled n without the DB
+        padded = engine.recommend_cf_batch(["cold"], 3, 0.0)
+        assert padded["cold"].dep_groups == ("global",)
+
+    def test_hot_lists_param_is_in_out(self):
+        cluster = seeded_cluster()
+        engine = engine_for(cluster)
+        hot_lists = {}
+        engine.recommend_cf_batch(["cold"], 3, 0.0, hot_lists=hot_lists)
+        assert "global" in hot_lists  # fetched groups handed back
+        # injected lists suppress the store fetch entirely
+        injected = {"global": {"only": 1.0}}
+        batch = engine.recommend_cf_batch(
+            ["cold"], 3, 0.0, hot_lists=injected
+        )
+        assert [r.item_id for r in batch["cold"].results] == ["only"]

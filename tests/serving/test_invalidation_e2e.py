@@ -1,0 +1,105 @@
+"""End-to-end: a cached recommendation reflects a stream update within
+one invalidation cycle.
+
+The acceptance scenario for the serving layer: run the full CF topology
+with the invalidation bus wired in, cache an answer through the serving
+layer, then stream new actions that change the similarity lists. The
+bolts publish their touched keys at commit time, so the very next query
+— no TTL wait, no manual flush — recomputes from the updated state.
+"""
+
+from repro.engine.engine import EngineConfig, RecommenderEngine
+from repro.serving import InvalidationBus, ServingLayer
+from repro.storm import LocalCluster
+from repro.tdstore import TDStoreCluster
+from repro.topology.framework import CFTopologyConfig, build_cf_topology
+from repro.types import UserAction
+from repro.utils.clock import SimClock
+
+BIG = 10**12
+
+
+def stream(store, clock, bus, actions, group_of=None):
+    """Run one batch of actions through the full CF topology."""
+    topo = build_cf_topology(
+        "cf",
+        actions,
+        clock,
+        store.client,
+        CFTopologyConfig(
+            linked_time=BIG, group_of=group_of, invalidation_bus=bus
+        ),
+    )
+    cluster = LocalCluster(clock=clock)
+    cluster.submit(topo)
+    cluster.run_until_idle()
+
+
+def co_click_actions(item, start, users=10):
+    """``users`` users click A then ``item``; "target" clicks only A."""
+    actions = []
+    t = start
+    for n in range(users):
+        actions.append(UserAction(f"u{n}", "A", "click", t))
+        actions.append(UserAction(f"u{n}", item, "click", t + 1))
+        t += 2
+    actions.append(UserAction("target", "A", "click", t))
+    return actions
+
+
+class TestStreamToCacheLoop:
+    def test_cached_answer_reflects_sim_list_update_next_query(self):
+        clock = SimClock()
+        store = TDStoreCluster(num_data_servers=3, num_instances=16)
+        bus = InvalidationBus()
+        engine = RecommenderEngine(store.client(), EngineConfig())
+        layer = ServingLayer(engine, clock.now, bus=bus)
+
+        # phase 1: B co-clicks with A; target's cached answer is B alone
+        stream(store, clock, bus, co_click_actions("B", 0.0))
+        results, tier = layer.serve("target", 2, clock.now())
+        assert tier == "batched_live"
+        assert [r.item_id for r in results] == ["B"]
+        results, tier = layer.serve("target", 2, clock.now())
+        assert tier == "result_cache"  # cached, would serve stale forever
+
+        # phase 2: a new co-click signal for C arrives on the stream;
+        # the sim-list commits publish ("item", "A") so the cached
+        # answer for target (which depends on A's list) stales
+        invalidations_before = layer.result_cache.stats()["invalidations"]
+        stream(store, clock, bus, co_click_actions("C", 1000.0, users=30))
+        assert layer.result_cache.stats()["invalidations"] > invalidations_before
+        assert layer.result_cache.get(("cf", "target", 2)) is None
+
+        # the very next query — one invalidation cycle later — serves
+        # the updated recommendation live, no TTL expiry involved
+        results, tier = layer.serve("target", 2, clock.now())
+        assert tier == "batched_live"
+        assert "C" in [r.item_id for r in results]
+        # and it matches a per-key read of the same state exactly
+        want = engine.recommend_cf("target", 2, clock.now())
+        assert [(r.item_id, r.score) for r in results] == [
+            (r.item_id, r.score) for r in want
+        ]
+
+    def test_user_history_update_stales_that_users_answer_only(self):
+        clock = SimClock()
+        store = TDStoreCluster(num_data_servers=3, num_instances=16)
+        bus = InvalidationBus()
+        engine = RecommenderEngine(store.client(), EngineConfig())
+        layer = ServingLayer(engine, clock.now, bus=bus)
+
+        stream(store, clock, bus, co_click_actions("B", 0.0))
+        layer.serve("target", 1, clock.now())
+        layer.serve("u0", 3, clock.now())
+        assert len(layer.result_cache) == 2
+
+        # target consumes B: their own history commit stales their entry
+        stream(
+            store, clock, bus,
+            [UserAction("target", "B", "click", 2000.0)],
+        )
+        assert layer.result_cache.get(("cf", "target", 1)) is None
+        results, tier = layer.serve("target", 1, clock.now())
+        assert tier == "batched_live"
+        assert all(r.item_id != "B" for r in results)  # consumed now

@@ -1,0 +1,248 @@
+"""Elastic-scaling cost: throughput across a live migration wave.
+
+A closed-loop read-heavy workload drives one TDStore client through
+three phases:
+
+* **before** — steady state on an identically seeded 3-server pool
+  that never migrates (the control);
+* **during** — the pool expands 3 -> 5 and a rebalance wave live-migrates
+  instances onto the new servers; each move is stepped (snapshot copy ->
+  dual-write catch-up -> held-open cutover fence) so the measured client
+  actually crosses ``MigrationInProgress`` windows, and every fence wait
+  is sampled for the cutover-stall distribution;
+* **after** — steady state on the rebalanced 5-server pool.
+
+Before/after blocks run the *same op sequence* in alternation and are
+compared per adjacent pair (median of pair ratios), so CPU-frequency
+drift across the run cancels instead of masquerading as a migration
+tax. The claims under test: steady-state throughput lands **within
+10%** of the never-migrated control (migration is not a tax), the
+simulated cutover stall p99 is **bounded** by the protocol's fixed +
+per-record cost, at least one migration completed, and **no key is
+lost** — every write acknowledged in any phase reads back exactly.
+Results land in ``BENCH_elastic.json`` at the repo root.
+
+Scale knobs: ``REPRO_BENCH_ELASTIC_OPS`` (default 6000; going much
+lower shrinks the timed blocks until scheduler noise swamps the 10%
+bar), ``REPRO_BENCH_ELASTIC_KEYS`` (default 512).
+"""
+
+import os
+import random
+import time
+
+from repro.elastic import InstanceMigrator, Migration
+from repro.elastic.migration import (
+    CUTOVER_FIXED_SECONDS,
+    CUTOVER_PER_RECORD_SECONDS,
+)
+from repro.tdstore import TDStoreCluster
+from repro.utils.clock import SimClock
+
+from benchmarks.conftest import report, report_json
+
+NUM_OPS = int(os.environ.get("REPRO_BENCH_ELASTIC_OPS", "6000"))
+NUM_KEYS = int(os.environ.get("REPRO_BENCH_ELASTIC_KEYS", "512"))
+NUM_INSTANCES = 32
+SERVERS_BEFORE = 3
+SERVERS_ADDED = 2
+WRITE_RATIO = 0.2
+# writes landed inside each move's dual-write window; they become the
+# catch-up records the cutover drains, so stalls vary move to move
+CATCHUP_WRITES = 12
+REPEATS = 9
+
+
+def percentile(samples, q):
+    ordered = sorted(samples)
+    return ordered[int(q * (len(ordered) - 1))]
+
+
+def seeded_world():
+    clock = SimClock()
+    cluster = TDStoreCluster(
+        num_data_servers=SERVERS_BEFORE, num_instances=NUM_INSTANCES
+    )
+    client = cluster.client(clock=clock)
+    table = cluster.config.route_table()
+    expected, keys_by_instance = {}, {}
+    for index in range(NUM_KEYS):
+        key = f"hist:u{index}"
+        client.put(key, {"seed": index})
+        expected[key] = {"seed": index}
+        instance = table.instance_for_key(key)
+        keys_by_instance.setdefault(instance, []).append(key)
+    return clock, cluster, client, expected, keys_by_instance
+
+
+def run_ops(client, keys, expected, rng, ops):
+    """One timed closed-loop block; returns wall-clock ops/sec."""
+    started = time.perf_counter()
+    for n in range(ops):
+        key = keys[rng.randrange(len(keys))]
+        if rng.random() < WRITE_RATIO:
+            value = {"n": n}
+            client.put(key, value)
+            expected[key] = value
+        else:
+            client.get(key)
+    return ops / (time.perf_counter() - started)
+
+
+def paired_steady(control, migrated, keys):
+    """Alternate identical op blocks over both worlds; judge by pairs.
+
+    Each round drains the replicas' pending sync queues (the idle-time
+    sync, so neither world is measured against the other's leftover
+    heap), then times one block on the control and one on the migrated
+    pool with the *same* rng. Adjacent blocks share whatever the CPU is
+    doing, so the median pair ratio isolates the migration cost from
+    clock drift; best-of blocks give the headline ops/s.
+    """
+    best = {"control": 0.0, "migrated": 0.0}
+    ratios = []
+    for r in range(REPEATS):
+        sample = {}
+        for name, (cluster, client, expected) in (
+            ("control", control), ("migrated", migrated),
+        ):
+            cluster.sync_replicas()
+            sample[name] = run_ops(
+                client, keys, expected, random.Random(101 + r), NUM_OPS
+            )
+            best[name] = max(best[name], sample[name])
+        ratios.append(sample["migrated"] / sample["control"])
+    return best["control"], best["migrated"], percentile(ratios, 0.5)
+
+
+def migration_wave(clock, cluster, client, expected, keys_by_instance):
+    """Expand 3 -> 5 and run the rebalance wave against live traffic.
+
+    Each move is held open at the cutover fence; the client's next read
+    of the moving shard is what completes it, so every stall sample is
+    a fence wait a real request experienced.
+    """
+    for _ in range(SERVERS_ADDED):
+        cluster.add_data_server()
+    migrator = InstanceMigrator(cluster, clock_now=clock.now)
+    plan = migrator.plan_rebalance()
+    stalls, ops_done = [], 0
+    started = time.perf_counter()
+    for instance, target in plan:
+        migration = Migration(
+            cluster.config, instance, target, clock_now=clock.now
+        )
+        migration.begin()
+        shard_keys = keys_by_instance.get(instance, [])
+        for n, key in enumerate(shard_keys[:CATCHUP_WRITES]):
+            value = {"catchup": n}
+            client.put(key, value)
+            expected[key] = value
+            ops_done += 1
+        migration.enter_cutover()
+        if shard_keys:
+            before = client.migration_stall_seconds
+            client.get(shard_keys[0])
+            ops_done += 1
+            stalls.append(client.migration_stall_seconds - before)
+        else:
+            migration.finish()
+            stalls.append(migration.stall_seconds)
+    elapsed = time.perf_counter() - started
+    during_qps = ops_done / elapsed if elapsed > 0 else 0.0
+    return plan, stalls, during_qps
+
+
+def test_throughput_across_a_live_migration_wave():
+    __, ctrl_cluster, ctrl_client, ctrl_expected, __ = seeded_world()
+    clock, cluster, client, expected, keys_by_instance = seeded_world()
+    keys = sorted(expected)
+
+    plan, stalls, during_qps = migration_wave(
+        clock, cluster, client, expected, keys_by_instance
+    )
+    before_qps, after_qps, ratio = paired_steady(
+        (ctrl_cluster, ctrl_client, ctrl_expected),
+        (cluster, client, expected),
+        keys,
+    )
+
+    stats = cluster.migration_stats()
+    lost_keys = sum(
+        1 for key in keys if client.get(key) != expected[key]
+    )
+    stall_p99 = percentile(stalls, 0.99)
+    # every catch-up write enqueues one sync record to the target; a
+    # cutover can never drain more than the dual-write window admitted
+    stall_bound = (
+        CUTOVER_FIXED_SECONDS
+        + CUTOVER_PER_RECORD_SECONDS * (2 * CATCHUP_WRITES + 16)
+    )
+
+    lines = [
+        "Elastic scaling: live migration wave under a closed-loop client "
+        f"({NUM_KEYS} keys over {NUM_INSTANCES} instances, "
+        f"{SERVERS_BEFORE} -> {SERVERS_BEFORE + SERVERS_ADDED} servers, "
+        f"write ratio {WRITE_RATIO:.0%})",
+        f"  before : {before_qps:9.0f} ops/s on {SERVERS_BEFORE} servers "
+        "(never-migrated control)",
+        f"  during : {during_qps:9.0f} ops/s across {len(plan)} live moves",
+        f"  after  : {after_qps:9.0f} ops/s on "
+        f"{SERVERS_BEFORE + SERVERS_ADDED} servers "
+        f"({ratio:.2f}x of control, median of paired blocks)",
+        f"  cutover stall: p50 {percentile(stalls, 0.50) * 1e3:.2f} ms, "
+        f"p99 {stall_p99 * 1e3:.2f} ms, max {max(stalls) * 1e3:.2f} ms "
+        f"(bound {stall_bound * 1e3:.2f} ms, simulated)",
+        f"  migrations completed {stats['completed']}, aborted "
+        f"{stats['aborted']}, route epoch {stats['route_epoch']}, "
+        f"fence waits {client.migration_stalls}, lost keys {lost_keys}",
+    ]
+    report("elastic_scaling", "\n".join(lines))
+    report_json(
+        "elastic",
+        {
+            "workload": {
+                "ops_per_phase": NUM_OPS,
+                "keys": NUM_KEYS,
+                "instances": NUM_INSTANCES,
+                "write_ratio": WRITE_RATIO,
+                "servers_before": SERVERS_BEFORE,
+                "servers_after": SERVERS_BEFORE + SERVERS_ADDED,
+            },
+            "throughput": {
+                "before_qps": round(before_qps),
+                "during_qps": round(during_qps),
+                "after_qps": round(after_qps),
+                "after_vs_before": round(ratio, 3),
+            },
+            "migrations": {
+                "planned": len(plan),
+                "completed": stats["completed"],
+                "aborted": stats["aborted"],
+                "route_epoch": stats["route_epoch"],
+                "fence_waits": client.migration_stalls,
+            },
+            "cutover_stall": {
+                "samples": len(stalls),
+                "p50_seconds": percentile(stalls, 0.50),
+                "p99_seconds": stall_p99,
+                "max_seconds": max(stalls),
+                "bound_seconds": stall_bound,
+            },
+            "lost_keys": lost_keys,
+        },
+    )
+
+    # the layer's bars: elasticity is live, bounded, and lossless
+    assert stats["completed"] >= len(plan) > 0
+    assert stats["aborted"] == 0
+    assert client.migration_stalls > 0, "no client ever crossed a fence"
+    assert lost_keys == 0
+    assert stall_p99 <= stall_bound, (
+        f"cutover stall p99 {stall_p99 * 1e3:.2f}ms exceeds the protocol "
+        f"bound {stall_bound * 1e3:.2f}ms"
+    )
+    assert 0.9 <= ratio <= 1.1, (
+        f"steady-state throughput moved {ratio:.2f}x across the wave "
+        "(must stay within 10%)"
+    )

@@ -131,6 +131,27 @@ class StaleRouteError(TDStoreError):
     """
 
 
+class MigrationError(TDStoreError):
+    """A live instance migration was requested or driven incorrectly."""
+
+
+class MigrationInProgressError(TDStoreError):
+    """The addressed instance is mid-cutover to a new host.
+
+    Raised by the migration fence on the old host during the brief
+    cutover window. Deliberately *not* a :class:`StaleRouteError`: the
+    client's route table is current — the route itself is moving — so
+    the right response is to await the cutover for this one instance
+    and retry only the affected keys, not to re-download the table in a
+    loop. Carries ``instance`` so the client can wait on the right
+    migration.
+    """
+
+    def __init__(self, message: str, instance: int):
+        super().__init__(message)
+        self.instance = instance
+
+
 class VersionConflictError(TDStoreError):
     """A conditional write lost the race: the key's version moved on.
 

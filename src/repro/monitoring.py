@@ -19,6 +19,7 @@ from repro.tdaccess.consumer import Consumer
 from repro.tdstore.cluster import TDStoreCluster
 
 if TYPE_CHECKING:
+    from repro.elastic.autoscaler import Autoscaler
     from repro.engine.front_end import RecommenderFrontEnd
     from repro.recovery.coordinator import CheckpointCoordinator
     from repro.recovery.recovery import RecoveryManager
@@ -88,6 +89,15 @@ class SystemSnapshot:
     store_batch_ops: int = 0
     store_hedged_reads: int = 0
     store_degraded_keys: int = 0
+    # elastic layer: live migrations + autoscaler
+    topology_pending: dict[str, int] = field(default_factory=dict)
+    route_epoch: int = 0
+    migrations_completed: int = 0
+    migrations_aborted: int = 0
+    migrations_in_flight: int = 0
+    autoscaler_decisions: int = 0
+    autoscaler_applied: int = 0
+    autoscaler_last_action: str | None = None
 
     def total_dedup_hits(self) -> int:
         """Replayed tuples suppressed so far — each one is a counter
@@ -135,6 +145,7 @@ class SystemMonitor:
         self._shedder: "LoadShedder | None" = None
         self._front_end: "RecommenderFrontEnd | None" = None
         self._serving: "ServingLayer | None" = None
+        self._autoscaler: "Autoscaler | None" = None
         self.max_consumer_lag = max_consumer_lag
         self.max_replication_backlog = max_replication_backlog
         self.max_read_imbalance = max_read_imbalance
@@ -155,6 +166,15 @@ class SystemMonitor:
 
     def watch_serving(self, serving: "ServingLayer"):
         self._serving = serving
+
+    def watch_autoscaler(self, autoscaler: "Autoscaler"):
+        """Surface the autoscaler's decisions as monitoring signals.
+
+        The autoscaler registers itself at construction, closing the
+        loop: its inputs are snapshots, and its outputs show up in the
+        next snapshot (and alert on their delta).
+        """
+        self._autoscaler = autoscaler
 
     def watch_recovery(
         self,
@@ -188,8 +208,15 @@ class SystemMonitor:
                 s.pending_syncs() for s in servers if s.alive
             )
             snap.journal_evictions = self._tdstore.journal_evictions()
+            if hasattr(self._tdstore, "migration_stats"):
+                stats = self._tdstore.migration_stats()
+                snap.route_epoch = stats["route_epoch"]
+                snap.migrations_completed = stats["completed"]
+                snap.migrations_aborted = stats["aborted"]
+                snap.migrations_in_flight = len(stats["in_flight"])
         if self._storm is not None:
             for name, run in self._storm._running.items():
+                snap.topology_pending[name] = run.pending_tuples()
                 snap.topology_executed[name] = run.metrics.total_executed()
                 snap.topology_restarts[name] = run.metrics.task_restarts
                 snap.acker_anomalies[name] = run.acker.anomalies
@@ -232,6 +259,10 @@ class SystemMonitor:
             snap.store_batch_ops = stats["batch_ops"]
             snap.store_hedged_reads = stats["hedged_reads"]
             snap.store_degraded_keys = stats["degraded_keys"]
+        if self._autoscaler is not None:
+            snap.autoscaler_decisions = len(self._autoscaler.decisions)
+            snap.autoscaler_applied = self._autoscaler.decisions_applied()
+            snap.autoscaler_last_action = self._autoscaler.last_action
         if self._tdstore is not None and hasattr(
             self._tdstore, "degraded_servers"
         ):
@@ -448,6 +479,37 @@ class SystemMonitor:
                     "by the invalidation stream)",
                 )
             )
+        if snap.migrations_in_flight > 0:
+            alerts.append(
+                Alert(
+                    "warning", "elastic",
+                    f"{snap.migrations_in_flight} live migration(s) in "
+                    "flight: dual-write window open, cutover pending",
+                )
+            )
+        aborted_delta = snap.migrations_aborted - self._previous_field(
+            "migrations_aborted"
+        )
+        if aborted_delta > 0:
+            alerts.append(
+                Alert(
+                    "warning", "elastic",
+                    f"{aborted_delta} live migration(s) aborted since last "
+                    "snapshot (target died or failover raced the cutover)",
+                )
+            )
+        applied_delta = snap.autoscaler_applied - self._previous_field(
+            "autoscaler_applied"
+        )
+        if applied_delta > 0:
+            alerts.append(
+                Alert(
+                    "warning", "elastic",
+                    f"autoscaler applied {applied_delta} scaling action(s) "
+                    f"since last snapshot (last: "
+                    f"{snap.autoscaler_last_action})",
+                )
+            )
         for layer, degraded in (
             ("tdstore", snap.degraded_tdstore_servers),
             ("tdaccess", snap.degraded_tdaccess_servers),
@@ -591,5 +653,18 @@ class SystemMonitor:
                 f"{snap.store_batch_ops} batch op(s), "
                 f"{snap.store_hedged_reads} hedged read(s), "
                 f"{snap.store_degraded_keys} degraded key(s)"
+            )
+        if snap.migrations_completed or snap.migrations_in_flight:
+            lines.append(
+                f"  elastic: route epoch {snap.route_epoch}, "
+                f"{snap.migrations_completed} migration(s) completed, "
+                f"{snap.migrations_aborted} aborted, "
+                f"{snap.migrations_in_flight} in flight"
+            )
+        if self._autoscaler is not None:
+            last = snap.autoscaler_last_action or "none"
+            lines.append(
+                f"  autoscaler: {snap.autoscaler_decisions} decision(s), "
+                f"{snap.autoscaler_applied} applied, last action {last}"
             )
         return "\n".join(lines)

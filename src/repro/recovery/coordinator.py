@@ -131,6 +131,10 @@ class CheckpointCoordinator:
             },
             bolt_states=self._cluster.capture_component_states(self._topology),
             tdstore_contents=self._tdstore.snapshot_contents(),
+            route_epoch=self._tdstore.config.route_epoch,
+            migrations_in_flight=tuple(
+                self._tdstore.config.in_flight_migrations()
+            ),
         )
         self._store.save(manifest)
         self.checkpoints_taken += 1

@@ -55,6 +55,17 @@ class CheckpointManifest:
         ``snapshot_state`` returned one.
     tdstore_contents:
         data instance -> full key/value snapshot.
+    route_epoch:
+        TDStore route-table version at the barrier. A recovered client
+        fleet starts from the rebuilt table, but diagnostics (and the
+        elastic acceptance tests) need to know how many failovers and
+        migrations the checkpointed deployment had absorbed.
+    migrations_in_flight:
+        Live-migration records (as dicts) whose dual-write window was
+        open at the barrier. Recovery rebuilds the store from
+        ``tdstore_contents`` on the restored routes, which implicitly
+        aborts these — recording them makes that visible instead of
+        silent.
     """
 
     checkpoint_id: int
@@ -65,6 +76,8 @@ class CheckpointManifest:
     offsets: dict[str, dict[int, int]]
     bolt_states: dict[tuple[str, int], dict]
     tdstore_contents: dict[int, dict[str, Any]]
+    route_epoch: int = 0
+    migrations_in_flight: tuple = ()
     format_version: int = MANIFEST_FORMAT_VERSION
 
     def replay_span(self, head_offsets: dict[str, dict[int, int]]) -> int:

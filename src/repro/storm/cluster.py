@@ -495,7 +495,7 @@ class LocalCluster:
                 "replay its source from the beginning"
             )
         if parallelism <= 0:
-            raise ClusterError(
+            raise ClusterStateError(
                 f"parallelism must be positive: {parallelism}"
             )
         pending: list[StormTuple] = []
@@ -546,6 +546,38 @@ class LocalCluster:
 
     def metrics(self, topology_name: str) -> ClusterMetrics:
         return self._running[topology_name].metrics
+
+    def pending_tuples(self, topology_name: str) -> int:
+        """Tuples waiting in input queues across the whole topology."""
+        run = self._running.get(topology_name)
+        if run is None:
+            raise ClusterStateError(f"unknown topology {topology_name!r}")
+        return run.pending_tuples()
+
+    def queue_depths(self, topology_name: str) -> dict[str, int]:
+        """component name -> total queued tuples across its tasks.
+
+        The autoscaler's primary pressure signal: a component whose
+        queues keep growing is under-parallelised.
+        """
+        run = self._running.get(topology_name)
+        if run is None:
+            raise ClusterStateError(f"unknown topology {topology_name!r}")
+        depths: dict[str, int] = {}
+        for (name, _), task in run.tasks.items():
+            depths[name] = depths.get(name, 0) + len(task.queue)
+        return depths
+
+    def parallelism_of(self, topology_name: str, component: str) -> int:
+        run = self._running.get(topology_name)
+        if run is None:
+            raise ClusterStateError(f"unknown topology {topology_name!r}")
+        spec = run.topology.specs.get(component)
+        if spec is None:
+            raise ClusterStateError(
+                f"unknown component {component!r} in {topology_name!r}"
+            )
+        return spec.parallelism
 
     def exactly_once_stats(self, topology_name: str) -> dict[str, dict]:
         """Per-task dedup-ledger statistics for monitoring.

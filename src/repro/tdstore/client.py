@@ -26,6 +26,7 @@ from repro.errors import (
     CircuitOpenError,
     DataServerDownError,
     DeadlineExceededError,
+    MigrationInProgressError,
     RetryBudgetExhaustedError,
     StaleRouteError,
     TDStoreError,
@@ -101,6 +102,9 @@ class TDStoreClient:
         self.hedged_reads = 0
         self.degraded_keys = 0
         self.last_failed_keys: frozenset[str] = frozenset()
+        # elastic scaling: cutover fences this client waited out
+        self.migration_stalls = 0
+        self.migration_stall_seconds = 0.0
 
     # -- deadline propagation ----------------------------------------------
 
@@ -162,6 +166,22 @@ class TDStoreClient:
         if deadline is not None:
             deadline.check(f"tdstore op on server {server_id}")
 
+    def _await_migration(self, instance: int, deadline: Deadline | None):
+        """Wait out a cutover fence for one instance, then refresh routes.
+
+        The stall (catch-up drain + route install at the config pair) is
+        charged to the clock so deadlines — and the bench's cutover-stall
+        p99 — observe it.
+        """
+        stall = self._config.await_migration(instance)
+        self.migration_stalls += 1
+        self.migration_stall_seconds += stall
+        if stall > 0.0 and self._clock is not None:
+            self._clock.advance(stall)
+        if deadline is not None:
+            deadline.check(f"awaiting cutover of instance {instance}")
+        self._refresh_table()
+
     def _attempt(
         self, key: str, operation: Callable[[int, int], Any],
         deadline: Deadline | None,
@@ -171,6 +191,14 @@ class TDStoreClient:
         route = self._table.route_for_key(key)
         self._charge_latency(route.host, deadline)
         try:
+            return operation(route.host, route.instance)
+        except MigrationInProgressError as exc:
+            # the instance is mid-cutover to a new host: wait it out and
+            # retry against the post-cutover route — no failover, and no
+            # table-refresh loop (our table was already current)
+            self._await_migration(exc.instance, deadline)
+            route = self._table.route_for_key(key)
+            self._charge_latency(route.host, deadline)
             return operation(route.host, route.instance)
         except StaleRouteError:
             # fenced: another client already failed this instance over
@@ -328,6 +356,11 @@ class TDStoreClient:
         """
         try:
             return self._batch_op(host, batches, default, deadline), []
+        except MigrationInProgressError as exc:
+            # only this server's shard is moving: wait out the cutover
+            # (which refreshes the table) and retry just these batches —
+            # results from the other servers in the query already stand
+            self._await_migration(exc.instance, deadline)
         except StaleRouteError:
             # fenced: a failover moved routes under us — epoch check
             # below picks up the new table
@@ -339,6 +372,8 @@ class TDStoreClient:
                 # place, mirroring the per-key path
                 try:
                     return self._batch_op(host, batches, default, deadline), []
+                except MigrationInProgressError as exc:
+                    self._await_migration(exc.instance, deadline)
                 except (DataServerDownError, StaleRouteError):
                     pass
             else:
@@ -357,21 +392,70 @@ class TDStoreClient:
         results: dict[str, Any] = {}
         failed: list[str] = []
         for new_host in sorted(regrouped):
-            try:
-                results.update(
-                    self._batch_op(new_host, regrouped[new_host], default, deadline)
-                )
-            except (DataServerDownError, StaleRouteError):
-                # this shard stays degraded: hedge each instance to any
-                # live replica; keys with no replica fall to the default
-                for instance, instance_keys in regrouped[new_host].items():
-                    got = self._hedge(
-                        instance, instance_keys, default, deadline, new_host
+            got, bad = self._serve_regrouped(
+                new_host, regrouped[new_host], default, deadline
+            )
+            results.update(got)
+            failed.extend(bad)
+        return results, failed
+
+    def _serve_regrouped(
+        self,
+        host: int,
+        batches: dict[int, list[str]],
+        default: Any,
+        deadline: Deadline | None,
+    ) -> tuple[dict[str, Any], list[str]]:
+        """Second-chance batch against current routes, then degrade."""
+        try:
+            return self._batch_op(host, batches, default, deadline), []
+        except MigrationInProgressError as exc:
+            # a cutover raced the re-route: wait it out, then one final
+            # per-instance pass on post-cutover routes before degrading
+            self._await_migration(exc.instance, deadline)
+            results: dict[str, Any] = {}
+            failed: list[str] = []
+            for instance, instance_keys in batches.items():
+                route = self._table.route(instance)
+                try:
+                    results.update(
+                        self._batch_op(
+                            route.host, {instance: instance_keys},
+                            default, deadline,
+                        )
                     )
-                    if got is None:
-                        failed.extend(instance_keys)
-                    else:
-                        results.update(got)
+                except (
+                    DataServerDownError,
+                    StaleRouteError,
+                    MigrationInProgressError,
+                ):
+                    got, bad = self._hedge_batches(
+                        {instance: instance_keys}, default, deadline,
+                        route.host,
+                    )
+                    results.update(got)
+                    failed.extend(bad)
+            return results, failed
+        except (DataServerDownError, StaleRouteError):
+            # this shard stays degraded: hedge each instance to any
+            # live replica; keys with no replica fall to the default
+            return self._hedge_batches(batches, default, deadline, host)
+
+    def _hedge_batches(
+        self,
+        batches: dict[int, list[str]],
+        default: Any,
+        deadline: Deadline | None,
+        exclude: int,
+    ) -> tuple[dict[str, Any], list[str]]:
+        results: dict[str, Any] = {}
+        failed: list[str] = []
+        for instance, instance_keys in batches.items():
+            got = self._hedge(instance, instance_keys, default, deadline, exclude)
+            if got is None:
+                failed.extend(instance_keys)
+            else:
+                results.update(got)
         return results, failed
 
     def _hedge(
@@ -427,6 +511,15 @@ class TDStoreClient:
         slave = self._config.server(route.slave)
         if slave.alive:
             slave.enqueue_sync(instance, record)
+        # dual-write window of a live migration: the catch-up target
+        # receives every record written after its snapshot copy, so the
+        # cutover only has to drain this queue — journals and versions
+        # ride along in the same records that replicate them to slaves
+        target_id = self._config.migration_target(instance)
+        if target_id is not None and target_id != route.slave:
+            target = self._config.server(target_id)
+            if target.alive:
+                target.enqueue_sync(instance, record)
 
     # -- transactional API (exactly-once support) ---------------------------
 

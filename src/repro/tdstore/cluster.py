@@ -32,10 +32,38 @@ class TDStoreCluster:
         num_instances: int = 64,
         engine_factory: Callable[[], StorageEngine] = MDBEngine,
     ):
+        self._engine_factory = engine_factory
         self.data_servers = [
             TDStoreDataServer(i, engine_factory) for i in range(num_data_servers)
         ]
         self.config = ConfigServerPair(self.data_servers, num_instances)
+
+    # -- elastic scaling ---------------------------------------------------
+
+    def add_data_server(self) -> int:
+        """Expand the pool by one empty server; returns its id.
+
+        The new server serves nothing until an
+        :class:`~repro.elastic.migration.InstanceMigrator` moves
+        instances onto it (or a failover picks it as a slave).
+        """
+        server_id = max(s.server_id for s in self.data_servers) + 1
+        server = TDStoreDataServer(server_id, self._engine_factory)
+        self.config.add_server(server)
+        self.data_servers.append(server)
+        return server_id
+
+    def drain_data_server(self, server_id: int, exclude: tuple = ()) -> list:
+        """Live-migrate every role off ``server_id`` (decommission prep)."""
+        return self.config.drain_server(server_id, exclude=exclude)
+
+    def migration_stats(self) -> dict[str, Any]:
+        return {
+            "completed": self.config.migrations_completed,
+            "aborted": self.config.migrations_aborted,
+            "in_flight": self.config.in_flight_migrations(),
+            "route_epoch": self.config.route_epoch,
+        }
 
     def client(self, **resilience: Any) -> TDStoreClient:
         """A new client; keyword args (clock, breaker, retry,

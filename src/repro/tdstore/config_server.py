@@ -9,9 +9,14 @@ pair only rewrites routes on failover.
 
 from __future__ import annotations
 
-from repro.errors import RouteError, TDStoreError
+from typing import TYPE_CHECKING
+
+from repro.errors import MigrationError, RouteError, TDStoreError
 from repro.tdstore.data_server import TDStoreDataServer
-from repro.tdstore.route_table import InstanceRoute, RouteTable
+from repro.tdstore.route_table import RouteTable
+
+if TYPE_CHECKING:
+    from repro.elastic.migration import Migration
 
 
 class ConfigServerPair:
@@ -26,6 +31,11 @@ class ConfigServerPair:
         )
         self.host_alive = True
         self.failovers = 0
+        # elastic scaling: live migrations registered by their Migration
+        # object while in flight (dual-write routing + cutover handoff)
+        self._migrations: dict[int, "Migration"] = {}
+        self.migrations_completed = 0
+        self.migrations_aborted = 0
         self._provision_instances()
 
     def _provision_instances(self):
@@ -59,6 +69,103 @@ class ConfigServerPair:
     def servers(self) -> list[TDStoreDataServer]:
         return [self._servers[sid] for sid in sorted(self._servers)]
 
+    # -- elastic scaling ------------------------------------------------------
+
+    def add_server(self, server: TDStoreDataServer):
+        """Register a new (empty) data server with the pool.
+
+        The new server hosts nothing until the
+        :class:`~repro.elastic.migration.InstanceMigrator` moves data
+        instances onto it — expansion is routing-neutral by itself, so
+        clients holding the old table stay correct.
+        """
+        if server.server_id in self._servers:
+            raise TDStoreError(
+                f"data server id {server.server_id} already registered"
+            )
+        if not server.alive:
+            raise TDStoreError(
+                f"refusing to register dead data server {server.server_id}"
+            )
+        self._servers[server.server_id] = server
+
+    def drain_server(self, server_id: int, exclude: tuple = ()) -> list:
+        """Move every role off ``server_id`` so it can be decommissioned.
+
+        Hosted instances are live-migrated to the least-loaded remaining
+        servers (full snapshot-copy → dual-write → cutover protocol);
+        backed-up instances get a new slave seeded from their host.
+        ``exclude`` bars further servers from receiving the load (for
+        multi-server decommissions). Returns the completed
+        :class:`MigrationRecord` list.
+        """
+        from repro.elastic.migration import InstanceMigrator
+
+        return InstanceMigrator(self).drain(server_id, exclude=exclude)
+
+    def install_table(self, table: RouteTable):
+        """Install a derived route table (epoch must move forward)."""
+        if table.version <= self._table.version:
+            raise RouteError(
+                f"route table version must advance: {table.version} <= "
+                f"{self._table.version}"
+            )
+        if table.num_instances != self._table.num_instances:
+            raise RouteError(
+                "route table must cover the same instances: "
+                f"{table.num_instances} != {self._table.num_instances}"
+            )
+        self._table = table
+
+    # -- live migration registry ---------------------------------------------
+
+    def register_migration(self, migration: "Migration"):
+        """A migration entered its dual-write window for one instance."""
+        if migration.instance in self._migrations:
+            raise MigrationError(
+                f"instance {migration.instance} already has a migration "
+                "in flight"
+            )
+        self._migrations[migration.instance] = migration
+
+    def unregister_migration(self, instance: int, completed: bool = True):
+        if self._migrations.pop(instance, None) is not None:
+            if completed:
+                self.migrations_completed += 1
+            else:
+                self.migrations_aborted += 1
+
+    def migration_target(self, instance: int) -> int | None:
+        """Dual-write destination for ``instance``, if one is in flight."""
+        migration = self._migrations.get(instance)
+        return migration.target_id if migration is not None else None
+
+    def await_migration(self, instance: int) -> float:
+        """Block (simulated) until ``instance``'s cutover completes.
+
+        A client that hit the :class:`~repro.errors.MigrationInProgressError`
+        fence calls this; completing the migration is what "waiting for
+        the new host" collapses to in a discrete-event world. Returns the
+        stall the client must charge to its clock.
+        """
+        migration = self._migrations.get(instance)
+        if migration is None:
+            return 0.0  # cutover finished between the fence and the wait
+        try:
+            migration.finish()
+        except MigrationError:
+            # the move aborted (target died / failover raced); the fence
+            # is down and the current table is authoritative — retry
+            return 0.0
+        return migration.stall_seconds
+
+    def in_flight_migrations(self) -> list[dict]:
+        """Manifest/monitoring view of every migration in flight."""
+        return [
+            self._migrations[instance].record.as_dict()
+            for instance in sorted(self._migrations)
+        ]
+
     # -- failover -------------------------------------------------------------
 
     def handle_server_failure(self, failed_id: int):
@@ -76,6 +183,12 @@ class ConfigServerPair:
         live = [s for s in self.servers() if s.alive]
         if len(live) < 2:
             raise TDStoreError("not enough live servers to re-replicate")
+        # migrations whose source or target just died cannot complete;
+        # abort them so failover sees a clean (fence-free) route state
+        for instance in sorted(self._migrations):
+            migration = self._migrations[instance]
+            if failed_id in (migration.source_id, migration.target_id):
+                migration.abort()
         table = self._table
         for instance in table.instances_hosted_by(failed_id):
             route = table.route(instance)
@@ -104,13 +217,7 @@ class ConfigServerPair:
             new_slave = self._pick_new_slave(route.host, live)
             snapshot = host.engine(instance).snapshot()
             self.server(new_slave).adopt_snapshot(instance, snapshot)
-            routes = {
-                i: table.route(i) for i in range(table.num_instances)
-            }
-            routes[instance] = InstanceRoute(instance, route.host, new_slave)
-            new_table = RouteTable(routes, table.num_instances)
-            new_table.version = table.version + 1
-            table = new_table
+            table = table.with_slave(instance, new_slave)
         self._table = table
         self.failovers += 1
 

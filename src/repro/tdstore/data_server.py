@@ -13,7 +13,12 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.errors import DataServerDownError, StaleRouteError, TDStoreError
+from repro.errors import (
+    DataServerDownError,
+    MigrationInProgressError,
+    StaleRouteError,
+    TDStoreError,
+)
 from repro.tdstore.engines import JOURNAL_PREFIX, VERSION_PREFIX, StorageEngine
 
 _DELETE = "__delete__"
@@ -42,6 +47,10 @@ class TDStoreDataServer:
         # instances this server currently *hosts* (fencing: client traffic
         # for any other instance means the client's route table is stale)
         self._hosted: set[int] = set()
+        # instances mid-cutover to a new host: still owned here, but the
+        # migration fence bounces traffic so no write can land after the
+        # catch-up queue was drained at the target
+        self._migrating_out: set[int] = set()
         self.reads = 0
         self.writes = 0
         self.batch_ops = 0
@@ -92,11 +101,24 @@ class TDStoreDataServer:
             raise DataServerDownError(f"data server {self.server_id} is down")
 
     def _check_host(self, instance: int):
+        if instance in self._migrating_out:
+            raise MigrationInProgressError(
+                f"instance {instance} is mid-cutover off server "
+                f"{self.server_id}; await the migration and retry",
+                instance=instance,
+            )
         if instance not in self._hosted:
             raise StaleRouteError(
                 f"server {self.server_id} no longer hosts instance "
                 f"{instance}; refresh the route table"
             )
+
+    def set_migration_fence(self, instance: int, fenced: bool):
+        """Raise/lower the cutover fence for one migrating instance."""
+        if fenced:
+            self._migrating_out.add(instance)
+        else:
+            self._migrating_out.discard(instance)
 
     # -- degradation (latency spikes, error rates, brownouts) -----------------
 
@@ -364,6 +386,7 @@ class TDStoreDataServer:
         }
         self._sync_inbox = {instance: deque() for instance in self._sync_inbox}
         self._hosted = set()
+        self._migrating_out = set()  # any fence died with the old process
         self.clear_degradation()  # a restarted process is healthy again
 
     def __repr__(self) -> str:

@@ -25,17 +25,31 @@ class InstanceRoute:
 
 
 class RouteTable:
-    """Immutable-by-convention map of instance -> (host, slave)."""
+    """Immutable map of instance -> (host, slave).
 
-    def __init__(self, routes: dict[int, InstanceRoute], num_instances: int):
+    The ``version`` is the cluster's route epoch: every derivation
+    (:meth:`promote_slave`, :meth:`with_host`, :meth:`with_slave`)
+    returns a *new* table constructed with a bumped version, so clients
+    comparing epochs can never observe a half-updated table — a table
+    object's routes and version are fixed for its whole lifetime.
+    """
+
+    def __init__(
+        self,
+        routes: dict[int, InstanceRoute],
+        num_instances: int,
+        version: int = 0,
+    ):
         if num_instances <= 0:
             raise RouteError(f"num_instances must be positive: {num_instances}")
+        if version < 0:
+            raise RouteError(f"version must be >= 0: {version}")
         missing = [i for i in range(num_instances) if i not in routes]
         if missing:
             raise RouteError(f"route table missing instances {missing}")
         self._routes = dict(routes)
         self.num_instances = num_instances
-        self.version = 0
+        self.version = version
 
     @classmethod
     def balanced(cls, num_instances: int, server_ids: list[int]) -> "RouteTable":
@@ -86,11 +100,40 @@ class RouteTable:
                 f"instance {instance}: new slave must differ from promoted "
                 f"host {old.slave}"
             )
+        return self._derive(InstanceRoute(instance, old.slave, new_slave))
+
+    def with_host(
+        self, instance: int, new_host: int, new_slave: int | None = None
+    ) -> "RouteTable":
+        """Return a new table where ``instance`` is hosted by ``new_host``.
+
+        The slave stays unless ``new_slave`` is given; the migration
+        cutover uses this to move the host role to the catch-up target
+        in one epoch bump.
+        """
+        old = self.route(instance)
+        slave = old.slave if new_slave is None else new_slave
+        if new_host == slave:
+            raise RouteError(
+                f"instance {instance}: host and slave must differ, both "
+                f"{new_host}"
+            )
+        return self._derive(InstanceRoute(instance, new_host, slave))
+
+    def with_slave(self, instance: int, new_slave: int) -> "RouteTable":
+        """Return a new table where ``instance`` is backed by ``new_slave``."""
+        old = self.route(instance)
+        if new_slave == old.host:
+            raise RouteError(
+                f"instance {instance}: new slave must differ from host "
+                f"{old.host}"
+            )
+        return self._derive(InstanceRoute(instance, old.host, new_slave))
+
+    def _derive(self, route: InstanceRoute) -> "RouteTable":
         routes = dict(self._routes)
-        routes[instance] = InstanceRoute(instance, old.slave, new_slave)
-        table = RouteTable(routes, self.num_instances)
-        table.version = self.version + 1
-        return table
+        routes[route.instance] = route
+        return RouteTable(routes, self.num_instances, version=self.version + 1)
 
     def host_load(self) -> dict[int, int]:
         """server id -> number of instances it hosts."""

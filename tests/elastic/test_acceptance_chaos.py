@@ -1,0 +1,230 @@
+"""Elastic-scaling acceptance test: expansion under chaos.
+
+The headline guarantee of this layer: a TDStore pool expanding 3 → 5
+servers with live instance migrations, plus a Storm bolt rebalanced
+2 → 8 mid-stream, under injected faults (duplicate deliveries, a
+mid-tree worker kill, a latency spike) produces **byte-identical**
+recommendation state to a run with no migration and no rebalance — and
+the front end answers 100% of its queries (on some rung) throughout.
+"""
+
+from repro.elastic import InstanceMigrator, Migration
+from repro.engine import RecommenderEngine
+from repro.engine.front_end import RecommenderFrontEnd
+from repro.recovery import Fault, RecoveryHarness
+
+from tests.recovery.helpers import (
+    ITEMS,
+    TOPIC,
+    USERS,
+    cf_topology_factory,
+    make_payloads,
+    make_tdaccess,
+    recommendations_bytes,
+    state_digest,
+)
+
+N_MESSAGES = 48
+BATCH = 4
+SERVERS_BEFORE = 3
+SERVERS_AFTER = 5
+
+CHAOS_PLAN = [
+    Fault(2, "latency_spike", ("tdstore", 0, 0.05)),
+    Fault(2, "duplicate_delivery", ("source", 2 * BATCH)),
+    Fault(3, "worker_kill_midtree", ("userHistory", 0, 3, 2 * BATCH)),
+    Fault(6, "clear_degradation", ("tdstore", 0)),
+]
+
+
+def make_harness(payloads, plan=None):
+    harness = RecoveryHarness(
+        make_tdaccess(payloads),
+        TOPIC,
+        cf_topology_factory(batch_size=BATCH),
+        num_tdstore_servers=SERVERS_BEFORE,
+        num_tdstore_instances=16,
+        tick_interval=240.0,
+    )
+    harness.start(fault_plan=plan)
+    return harness
+
+
+def run_reference(payloads):
+    harness = make_harness(payloads)
+    assert harness.run() == "completed"
+    now = harness.clock.now()
+    return (
+        recommendations_bytes(harness.client(), now),
+        state_digest(harness.client()),
+        now,
+    )
+
+
+def attach_elastic_script(harness, log):
+    """Barrier hook driving the scaling script mid-stream.
+
+    round 2: expand the store 3 -> 5 and rebalance instances onto the
+    new servers (live migrations, while faults are firing).
+    round 4: rebalance pairCount 2 -> 8.
+    round 5: open a stepped migration and leave its cutover fence up, so
+    in-stream traffic crosses a MigrationInProgress window.
+    """
+    migrator = InstanceMigrator(harness.tdstore, clock_now=harness.clock.now)
+
+    def script(barrier_round):
+        if barrier_round == 2 and "expanded" not in log:
+            log["expanded"] = True
+            harness.tdstore.add_data_server()
+            harness.tdstore.add_data_server()
+            log["moves"] = len(migrator.rebalance())
+        elif barrier_round == 4 and "rebalanced" not in log:
+            log["rebalanced"] = True
+            harness.cluster.rebalance(harness.topology_name, "pairCount", 8)
+        elif barrier_round == 5 and "fenced" not in log:
+            # pick an instance that still has a legal target, fence it,
+            # and let the stream's own writes complete the cutover
+            table = harness.tdstore.config.route_table()
+            for instance in range(table.num_instances):
+                route = table.route(instance)
+                target = next(
+                    (
+                        s.server_id
+                        for s in harness.tdstore.config.servers()
+                        if s.alive
+                        and s.server_id not in (route.host, route.slave)
+                    ),
+                    None,
+                )
+                if target is None:
+                    continue
+                migration = Migration(
+                    harness.tdstore.config, instance, target,
+                    clock_now=harness.clock.now,
+                )
+                migration.begin()
+                migration.enter_cutover()
+                log["fenced"] = instance
+                break
+
+    harness.cluster.add_barrier_hook(script)
+
+
+def serve_all_users(harness, now):
+    """Query every user through the degradation-ladder front end."""
+    front_end = RecommenderFrontEnd(
+        RecommenderEngine(harness.client()),
+        static_items=list(ITEMS),
+    )
+    answered = 0
+    for user in USERS:
+        results = front_end.query(user, 5, now)
+        if results:
+            answered += 1
+    return answered, front_end.log
+
+
+class TestExpansionUnderChaos:
+    def test_scaling_under_faults_is_byte_identical(self):
+        payloads = make_payloads(N_MESSAGES)
+        want_recs, want_state, ref_now = run_reference(payloads)
+
+        harness = make_harness(payloads, plan=CHAOS_PLAN)
+        log = {}
+        attach_elastic_script(harness, log)
+        assert harness.run() == "completed"
+
+        # the script actually ran mid-stream
+        assert log.get("expanded") and log.get("rebalanced")
+        assert log["moves"] > 0
+        assert "fenced" in log
+        assert len(harness.tdstore.data_servers) == SERVERS_AFTER
+        # the faults actually fired
+        assert harness.injector.rewinds >= 2
+        assert harness.injector.midtree_fired == 1
+        # every migration settled: fences down, registry empty
+        stats = harness.tdstore.migration_stats()
+        assert stats["in_flight"] == []
+        assert stats["completed"] >= log["moves"]
+
+        # byte-identical store contents and recommendations, evaluated
+        # at the reference clock (stalls may shift the chaos clock)
+        assert state_digest(harness.client()) == want_state
+        got = recommendations_bytes(harness.client(), ref_now)
+        assert got == want_recs
+
+        # 100% front-end serve rate (any rung)
+        answered, query_log = serve_all_users(harness, ref_now)
+        assert answered == len(USERS)
+        assert sum(query_log.rungs.values()) == len(USERS)
+        assert query_log.shed == 0
+
+    def test_drain_back_down_after_expansion_stays_exact(self):
+        # scale up 3 -> 5, then drain the two newest servers back out:
+        # the full elasticity round trip must also be invisible
+        payloads = make_payloads(N_MESSAGES)
+        want_recs, want_state, ref_now = run_reference(payloads)
+
+        harness = make_harness(payloads)
+        migrator = InstanceMigrator(
+            harness.tdstore, clock_now=harness.clock.now
+        )
+        log = {}
+
+        def script(barrier_round):
+            if barrier_round == 2 and "expanded" not in log:
+                log["expanded"] = True
+                log["added"] = [
+                    harness.tdstore.add_data_server(),
+                    harness.tdstore.add_data_server(),
+                ]
+                migrator.rebalance()
+            elif barrier_round == 5 and "drained" not in log:
+                log["drained"] = True
+                for server_id in log["added"]:
+                    harness.tdstore.drain_data_server(
+                        server_id, exclude=tuple(log["added"])
+                    )
+
+        harness.cluster.add_barrier_hook(script)
+        assert harness.run() == "completed"
+        assert log.get("drained")
+        table = harness.tdstore.config.route_table()
+        for server_id in log["added"]:
+            assert table.instances_hosted_by(server_id) == []
+            assert table.instances_backed_by(server_id) == []
+        assert state_digest(harness.client()) == want_state
+        assert recommendations_bytes(harness.client(), ref_now) == want_recs
+
+    def test_checkpoint_manifest_records_route_epoch_and_migrations(self):
+        payloads = make_payloads(N_MESSAGES)
+        harness = RecoveryHarness(
+            make_tdaccess(payloads),
+            TOPIC,
+            cf_topology_factory(batch_size=BATCH),
+            num_tdstore_servers=SERVERS_BEFORE,
+            num_tdstore_instances=16,
+            tick_interval=240.0,
+            checkpoint_every_rounds=2,
+        )
+        harness.start()
+        migrator = InstanceMigrator(
+            harness.tdstore, clock_now=harness.clock.now
+        )
+        log = {}
+
+        def script(barrier_round):
+            if barrier_round == 1 and "expanded" not in log:
+                log["expanded"] = True
+                harness.tdstore.add_data_server()
+                migrator.rebalance()
+
+        harness.cluster.add_barrier_hook(script)
+        assert harness.run() == "completed"
+        manifest = harness.store.latest()
+        assert manifest is not None
+        # the checkpoint saw the post-migration epoch, and no migration
+        # was in flight at any (quiescent) barrier
+        assert manifest.route_epoch == harness.tdstore.config.route_epoch
+        assert manifest.route_epoch > 0
+        assert manifest.migrations_in_flight == ()

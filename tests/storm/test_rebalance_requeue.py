@@ -1,0 +1,146 @@
+"""Rebalance re-queue tests.
+
+When ``rebalance`` changes a component's task count, the tuples waiting
+in the torn-down tasks' queues must be re-routed through the component's
+groupings against the *new* parallelism — landing on exactly the task
+the grouping names, with nothing lost and nothing duplicated. Covered
+for fields grouping (grow and shrink) and shuffle grouping, with the
+rebalance fired mid-drain via an execute hook (the autoscaler's timing).
+"""
+
+import pytest
+
+from repro.errors import ClusterStateError
+from repro.storm import (
+    FieldsGrouping,
+    LocalCluster,
+    ShuffleGrouping,
+    TopologyBuilder,
+)
+from repro.utils.hashing import stable_hash
+
+from tests.storm.helpers import CountBolt, ListSpout, SplitBolt
+
+SENTENCES = [
+    ("the quick brown fox jumps over the lazy dog",),
+    ("pack my box with five dozen liquor jugs",),
+    ("how vexingly quick daft zebras jump",),
+    ("sphinx of black quartz judge my vow",),
+]
+TOTAL_WORDS = sum(len(s[0].split()) for s in SENTENCES)
+
+
+def build(grouping, parallelism):
+    builder = TopologyBuilder("requeue")
+    builder.add_spout("spout", lambda: ListSpout(SENTENCES, ("sentence",)))
+    builder.add_bolt("split", SplitBolt, parallelism=1).grouping(
+        "spout", ShuffleGrouping()
+    )
+    builder.add_bolt("count", CountBolt, parallelism=parallelism).grouping(
+        "split", grouping, stream_id="words"
+    )
+    return builder.build()
+
+
+def run_with_midstream_rebalance(grouping, start, end):
+    """Run wordcount, rebalancing count start->end while tuples pend."""
+    cluster = LocalCluster()
+    cluster.submit(build(grouping, start))
+    state = {"fired": False, "pending_at_rebalance": 0}
+
+    def fire_once(topology_name):
+        if state["fired"]:
+            return
+        pending = cluster.queue_depths(topology_name).get("count", 0)
+        if pending == 0:
+            return  # nothing queued yet; wait for the splitter to emit
+        state["fired"] = True
+        state["pending_at_rebalance"] = pending
+        cluster.rebalance(topology_name, "count", end)
+
+    cluster.add_execute_hook(fire_once)
+    cluster.run_until_idle()
+    assert state["fired"], "rebalance never fired mid-drain"
+    assert state["pending_at_rebalance"] > 0
+    return cluster
+
+
+def executed_total(cluster, parallelism):
+    metrics = cluster.metrics("requeue")
+    return sum(
+        metrics.task("count", i).executed for i in range(parallelism)
+    )
+
+
+class TestFieldsGroupingRequeue:
+    def test_grow_lands_pending_on_hash_correct_tasks(self):
+        cluster = run_with_midstream_rebalance(
+            FieldsGrouping(["word"]), start=2, end=8
+        )
+        # nothing lost, nothing duplicated: every split word executed once
+        assert executed_total(cluster, 8) == TOTAL_WORDS
+        # surviving instances hold only post-rebalance tuples; each word
+        # must be exactly where the grouping maps it at parallelism 8
+        for index in range(8):
+            bolt = cluster.task_instance("requeue", "count", index)
+            for word in bolt.counts:
+                assert stable_hash((word,)) % 8 == index, (
+                    f"{word!r} misrouted to task {index}"
+                )
+
+    def test_shrink_lands_pending_on_hash_correct_tasks(self):
+        cluster = run_with_midstream_rebalance(
+            FieldsGrouping(["word"]), start=4, end=2
+        )
+        assert executed_total(cluster, 4) == TOTAL_WORDS
+        for index in range(2):
+            bolt = cluster.task_instance("requeue", "count", index)
+            for word in bolt.counts:
+                assert stable_hash((word,)) % 2 == index
+
+    def test_shrink_to_one_routes_everything_to_task_zero(self):
+        cluster = run_with_midstream_rebalance(
+            FieldsGrouping(["word"]), start=3, end=1
+        )
+        assert executed_total(cluster, 3) == TOTAL_WORDS
+        assert cluster.parallelism_of("requeue", "count") == 1
+
+
+class TestShuffleGroupingRequeue:
+    def test_grow_keeps_every_tuple_exactly_once(self):
+        cluster = run_with_midstream_rebalance(
+            ShuffleGrouping(), start=2, end=6
+        )
+        assert executed_total(cluster, 6) == TOTAL_WORDS
+
+    def test_shrink_keeps_every_tuple_exactly_once(self):
+        cluster = run_with_midstream_rebalance(
+            ShuffleGrouping(), start=4, end=2
+        )
+        assert executed_total(cluster, 4) == TOTAL_WORDS
+
+
+class TestRebalanceErrors:
+    """Satellite: all rebalance misuse raises ClusterStateError, like
+    every sibling state-validation error in LocalCluster."""
+
+    def test_nonpositive_parallelism(self):
+        cluster = LocalCluster()
+        cluster.submit(build(FieldsGrouping(["word"]), 2))
+        for bad in (0, -3):
+            with pytest.raises(ClusterStateError, match="positive"):
+                cluster.rebalance("requeue", "count", bad)
+
+    def test_unknown_topology_and_component(self):
+        cluster = LocalCluster()
+        cluster.submit(build(FieldsGrouping(["word"]), 2))
+        with pytest.raises(ClusterStateError, match="unknown topology"):
+            cluster.rebalance("nope", "count", 4)
+        with pytest.raises(ClusterStateError, match="unknown component"):
+            cluster.rebalance("requeue", "nope", 4)
+
+    def test_spout_rebalance_rejected(self):
+        cluster = LocalCluster()
+        cluster.submit(build(FieldsGrouping(["word"]), 2))
+        with pytest.raises(ClusterStateError, match="spout"):
+            cluster.rebalance("requeue", "spout", 4)

@@ -69,3 +69,68 @@ class TestValidation:
         table = RouteTable.balanced(2, [0, 1])
         with pytest.raises(RouteError, match="unknown"):
             table.route(99)
+
+
+class TestImmutableDerivations:
+    """The table never mutates: every change is a derived table with a
+    bumped version (the route epoch clients gate refreshes on)."""
+
+    def test_version_is_a_constructor_argument(self):
+        table = RouteTable(
+            {0: InstanceRoute(0, 0, 1), 1: InstanceRoute(1, 1, 0)},
+            num_instances=2,
+            version=7,
+        )
+        assert table.version == 7
+
+    def test_negative_version_rejected(self):
+        with pytest.raises(RouteError, match="version"):
+            RouteTable(
+                {0: InstanceRoute(0, 0, 1), 1: InstanceRoute(1, 1, 0)},
+                num_instances=2,
+                version=-1,
+            )
+
+    def test_with_host_derives_and_bumps(self):
+        table = RouteTable.balanced(4, [0, 1, 2])
+        old = table.route(0)
+        new_host = next(s for s in (0, 1, 2) if s not in (old.host, old.slave))
+        derived = table.with_host(0, new_host)
+        assert derived.route(0).host == new_host
+        assert derived.route(0).slave == old.slave
+        assert derived.version == table.version + 1
+        # the original is untouched
+        assert table.route(0) == old
+        assert table.version == 0
+
+    def test_with_host_rejects_host_equal_slave(self):
+        table = RouteTable.balanced(4, [0, 1, 2])
+        old = table.route(0)
+        with pytest.raises(RouteError):
+            table.with_host(0, old.slave)
+
+    def test_with_slave_derives_and_bumps(self):
+        table = RouteTable.balanced(4, [0, 1, 2])
+        old = table.route(0)
+        new_slave = next(s for s in (0, 1, 2) if s not in (old.host, old.slave))
+        derived = table.with_slave(0, new_slave)
+        assert derived.route(0).host == old.host
+        assert derived.route(0).slave == new_slave
+        assert derived.version == table.version + 1
+        assert table.route(0) == old
+
+    def test_with_slave_rejects_slave_equal_host(self):
+        table = RouteTable.balanced(4, [0, 1, 2])
+        with pytest.raises(RouteError):
+            table.with_slave(0, table.route(0).host)
+
+    def test_chained_derivations_accumulate_versions(self):
+        table = RouteTable.balanced(4, [0, 1, 2])
+        derived = table
+        for instance in range(4):
+            old = derived.route(instance)
+            spare = next(
+                s for s in (0, 1, 2) if s not in (old.host, old.slave)
+            )
+            derived = derived.with_slave(instance, spare)
+        assert derived.version == table.version + 4

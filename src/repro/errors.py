@@ -47,6 +47,9 @@ class DeadlineExceededError(ResilienceError):
         self.elapsed = elapsed
         self.budget = budget
 
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.elapsed, self.budget))
+
 
 class CircuitOpenError(ResilienceError):
     """A circuit breaker is open: the call was rejected without being tried.
@@ -101,6 +104,9 @@ class OffsetOutOfRangeError(TDAccessError):
         super().__init__(message)
         self.earliest = earliest
 
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.earliest))
+
 
 class TDStoreError(ReproError):
     """Base error for the TDStore distributed key-value store."""
@@ -151,6 +157,9 @@ class MigrationInProgressError(TDStoreError):
         super().__init__(message)
         self.instance = instance
 
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.instance))
+
 
 class VersionConflictError(TDStoreError):
     """A conditional write lost the race: the key's version moved on.
@@ -162,6 +171,9 @@ class VersionConflictError(TDStoreError):
     def __init__(self, message: str, current: int):
         super().__init__(message)
         self.current = current
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.current))
 
 
 class AlgorithmError(ReproError):
@@ -190,6 +202,33 @@ class CheckpointError(RecoveryError):
 
 class FaultPlanError(RecoveryError):
     """A fault-injection plan is malformed (unknown kind, bad round)."""
+
+
+class RuntimeSubstrateError(ReproError):
+    """Base error for the multi-process execution substrate."""
+
+
+class SubstrateMismatchError(RuntimeSubstrateError):
+    """A simulated-clock-only fixture was wired to a real-clock substrate.
+
+    Latency faults, for example, work by advertising extra seconds for
+    clients to charge against the *simulated* clock; on the process
+    substrate operations take real wall time and there is no simulated
+    clock to charge, so silently accepting the fault would measure
+    nothing. Raised instead, at wiring time, so the test fails loudly.
+    """
+
+
+class RemoteOpError(RuntimeSubstrateError):
+    """A remote operation failed with an exception that cannot round-trip.
+
+    Carries the remote traceback text so the failure is debuggable from
+    the calling process.
+    """
+
+
+class WorkerCrashError(RuntimeSubstrateError):
+    """A worker process died (or was killed) while holding dispatched work."""
 
 
 class SimulatedCrash(ReproError):

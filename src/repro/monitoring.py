@@ -10,7 +10,7 @@ overview.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import TYPE_CHECKING, Callable
 
 from repro.storm.cluster import LocalCluster
@@ -35,6 +35,11 @@ class Alert:
     severity: str  # "warning" | "critical"
     component: str
     message: str
+
+
+# bump when a snapshot field is added/renamed; from_dict refuses other
+# versions rather than silently dropping signals
+SNAPSHOT_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -98,6 +103,50 @@ class SystemSnapshot:
     autoscaler_decisions: int = 0
     autoscaler_applied: int = 0
     autoscaler_last_action: str | None = None
+
+    # dict-valued fields keyed by server id; JSON forces str keys, so
+    # to_dict/from_dict convert explicitly instead of relying on json
+    _INT_KEYED = ("tdstore_reads", "tdstore_writes")
+
+    def to_dict(self) -> dict:
+        """JSON-safe form, e.g. for shipping snapshots across processes
+        or persisting monitoring history."""
+        out: dict = {"schema_version": SNAPSHOT_SCHEMA_VERSION}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name in self._INT_KEYED:
+                value = {str(k): v for k, v in value.items()}
+            elif isinstance(value, dict):
+                value = dict(value)
+            elif isinstance(value, list):
+                value = list(value)
+            out[spec.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemSnapshot":
+        version = data.get("schema_version")
+        if version != SNAPSHOT_SCHEMA_VERSION:
+            raise ValueError(
+                f"snapshot schema version {version!r} is not "
+                f"{SNAPSHOT_SCHEMA_VERSION}; refusing a lossy decode"
+            )
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(data) - known - {"schema_version"})
+        if unknown:
+            raise ValueError(
+                f"snapshot carries unknown field(s) {unknown}; schema "
+                "version was not bumped with the field change"
+            )
+        kwargs = {}
+        for spec in fields(cls):
+            if spec.name not in data:
+                continue
+            value = data[spec.name]
+            if spec.name in cls._INT_KEYED:
+                value = {int(k): v for k, v in value.items()}
+            kwargs[spec.name] = value
+        return cls(**kwargs)
 
     def total_dedup_hits(self) -> int:
         """Replayed tuples suppressed so far — each one is a counter

@@ -19,6 +19,7 @@ from repro.recovery.coordinator import CheckpointCoordinator
 from repro.recovery.faults import Fault, FaultInjector
 from repro.recovery.manifest import CheckpointStore
 from repro.recovery.recovery import RecoveryManager, RecoveryReport
+from repro.runtime.substrate import SimSubstrate, Substrate
 from repro.storm.cluster import LocalCluster
 from repro.storm.topology import Topology
 from repro.tdaccess.cluster import TDAccessCluster
@@ -78,6 +79,14 @@ class RecoveryHarness:
         Checkpoint destination; defaults to a fresh in-memory store.
     allow_truncated_replay:
         Forwarded to :class:`RecoveryManager`.
+    substrate:
+        Where the stack executes: :class:`SimSubstrate` (default, the
+        in-process simulator) or a
+        :class:`~repro.runtime.substrate.ProcessSubstrate` deploying
+        TDStore server hosts and Storm workers as real OS processes.
+        On the process substrate the topology factory must carry a
+        recipe (build it with
+        :func:`repro.runtime.recipes.topology_recipe`).
     """
 
     def __init__(
@@ -93,8 +102,10 @@ class RecoveryHarness:
         checkpoint_interval_seconds: float | None = None,
         store: CheckpointStore | None = None,
         allow_truncated_replay: bool = False,
+        substrate: Substrate | None = None,
     ):
         self._tdaccess = tdaccess
+        self.substrate = substrate if substrate is not None else SimSubstrate()
         self._topic = topic
         self._topology_factory = topology_factory
         self._num_tdstore_servers = num_tdstore_servers
@@ -121,12 +132,14 @@ class RecoveryHarness:
 
     def _build_stack(self) -> _Stack:
         clock = SimClock()
-        tdstore = TDStoreCluster(
+        tdstore = self.substrate.build_tdstore(
             self._num_tdstore_servers, self._num_tdstore_instances
         )
         consumer = self._tdaccess.consumer(self._topic)
         topology = self._topology_factory(clock, tdstore.client, consumer)
-        cluster = LocalCluster(clock=clock, tick_interval=self._tick_interval)
+        cluster = self.substrate.build_storm(
+            clock, tick_interval=self._tick_interval
+        )
         cluster.submit(topology)
         coordinator = CheckpointCoordinator(
             self.store,

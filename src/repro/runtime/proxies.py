@@ -1,0 +1,335 @@
+"""Client-side duck types for remote TDStore servers.
+
+The resilience stack in :mod:`repro.tdstore.client` was written against
+in-process ``TDStoreDataServer`` / ``ConfigServerPair`` objects. These
+proxies satisfy the same surface over RPC, so ``TDStoreClient`` — route
+caching, failover, migration fencing, breakers, deadlines — runs
+unmodified against real server processes. The error types it dispatches
+on (``StaleRouteError``, ``MigrationInProgressError``, ...) round-trip
+through the wire layer as themselves.
+
+Two reads are deliberately *not* RPCs because they sit on the client's
+per-operation hot path:
+
+- ``RemoteConfigServer.route_epoch`` is a cached value, refreshed on
+  every ``route_table()`` download. A stale cache is safe: the host
+  fence turns a stale route into ``StaleRouteError``, which makes the
+  client refresh — the same protocol that protects in-process clients.
+- ``RemoteDataServer.latency`` is always ``0.0``. On the process
+  substrate latency is real elapsed time, not an advertised number for
+  the client to charge against a simulated clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SubstrateMismatchError, TDStoreError
+from repro.runtime.rpc import RpcClient
+from repro.utils.clock import WallClock
+
+# TDStoreDataServer methods that mutate durable state; the server host
+# logs exactly these to its WAL (see server_host) and the parent facade
+# refuses to treat anything else as replayable
+MUTATING_DATA_METHODS = frozenset(
+    {
+        "put",
+        "delete",
+        "check_and_set",
+        "apply_op",
+        "put_once",
+        "record_once",
+        "enqueue_sync",
+        "apply_pending",
+        "adopt_snapshot",
+        "ensure_instance",
+    }
+)
+
+
+class RemoteDataServer:
+    """Proxy for one logical ``TDStoreDataServer`` behind an RPC endpoint.
+
+    Method calls forward over the shared per-host connection; the
+    forwarders are cached in the instance dict so repeated calls skip
+    ``__getattr__``. Liveness and counters are genuine remote reads
+    (they sit on rare paths: failover decisions, monitoring sweeps).
+    """
+
+    _REMOTE_ATTRS = ("alive", "degraded", "reads", "writes", "latency")
+
+    def __init__(self, rpc: RpcClient, server_id: int):
+        self._rpc = rpc
+        self.server_id = server_id
+        self._target = ("data", server_id)
+
+    @property
+    def alive(self) -> bool:
+        return self._rpc.call(".alive", target=self._target)
+
+    @property
+    def degraded(self) -> bool:
+        return self._rpc.call(".degraded", target=self._target)
+
+    @property
+    def reads(self) -> int:
+        return self._rpc.call(".reads", target=self._target)
+
+    @property
+    def writes(self) -> int:
+        return self._rpc.call(".writes", target=self._target)
+
+    @property
+    def latency(self) -> float:
+        # real servers take real time; there is nothing to charge
+        return 0.0
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        rpc, target = self._rpc, self._target
+
+        def forward(*args: Any):
+            return rpc.call(name, *args, target=target)
+
+        forward.__name__ = name
+        self.__dict__[name] = forward
+        return forward
+
+    def __repr__(self) -> str:
+        return f"RemoteDataServer(id={self.server_id}, via={self._rpc!r})"
+
+
+class RemoteConfigServer:
+    """Proxy for the ``ConfigServerPair`` living on server host 0.
+
+    ``server(id)`` hands back :class:`RemoteDataServer` proxies wired to
+    whichever host process owns that logical server, so the client's
+    failover path (`config.server(host).alive`, `handle_server_failure`)
+    crosses process boundaries transparently.
+    """
+
+    def __init__(
+        self,
+        rpc: RpcClient,
+        data_server_resolver: Callable[[int], RemoteDataServer],
+    ):
+        self._rpc = rpc
+        self._resolve = data_server_resolver
+        self._route_epoch: int = -1
+        self._migration_cache: "dict[int, int] | None" = None
+
+    @property
+    def route_epoch(self) -> int:
+        # cached, refreshed by route_table(); staleness is fenced by
+        # StaleRouteError exactly as for in-process clients
+        return self._route_epoch
+
+    def route_table(self):
+        table = self._rpc.call("route_table", target="config")
+        self._route_epoch = table.version
+        self._migration_cache = None  # re-learn in-flight moves
+        return table
+
+    def migration_target(self, instance: int) -> "int | None":
+        """Dual-write destination for ``instance`` — cached when idle.
+
+        ``migration_target`` sits on the client's per-mutation path; as
+        a plain ``__getattr__`` forward it would cost a control-plane
+        round trip per write. Instead the in-flight set is downloaded
+        once and consulted locally while it is *empty* — the steady
+        state. A non-empty set falls through to the live query, so the
+        exact per-mutation semantics of in-process clients hold for the
+        whole observed span of a migration. The cache drops on every
+        route-table download and forwarded control-plane call, so a
+        client learns of a new migration at its next route refresh (or
+        fence) rather than mid-window — quiesce writers or bump the
+        route epoch before live-migrating under process-substrate load.
+        """
+        if self._migration_cache is None:
+            self._migration_cache = self._rpc.call(
+                "migration_targets", target="config"
+            )
+        if not self._migration_cache:
+            return None
+        return self._rpc.call("migration_target", instance, target="config")
+
+    def server(self, server_id: int) -> RemoteDataServer:
+        return self._resolve(server_id)
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        rpc = self._rpc
+
+        def forward(*args: Any):
+            # any forwarded control-plane call (register_migration,
+            # install_table, ...) may start or finish a move: drop the
+            # idle-state cache so migration_target re-learns it
+            self._migration_cache = None
+            return rpc.call(name, *args, target="config")
+
+        forward.__name__ = name
+        self.__dict__[name] = forward
+        return forward
+
+
+class ProcessTDStore:
+    """Parent-side facade over the server host processes.
+
+    Duck-types :class:`repro.tdstore.cluster.TDStoreCluster` — the
+    recovery harness, checkpoint coordinator, fault injector and system
+    monitor drive it exactly as they drive the in-process cluster.
+    Facade-level operations forward to the real ``TDStoreCluster``
+    living in server host 0; per-server data operations go straight to
+    the owning host process.
+
+    Constructed from plain addresses so it can be pickled into worker
+    processes (connections open lazily, per process).
+    """
+
+    def __init__(
+        self,
+        addresses: "list[tuple[str, int]]",
+        placement: "dict[int, int]",
+    ):
+        self._addresses = list(addresses)
+        self._placement = dict(placement)
+        self._rpcs: dict[int, RpcClient] = {}
+        self._servers: dict[int, RemoteDataServer] = {}
+        self._config: RemoteConfigServer | None = None
+
+    def __getstate__(self):
+        return {"addresses": self._addresses, "placement": self._placement}
+
+    def __setstate__(self, state):
+        self.__init__(state["addresses"], state["placement"])
+
+    # -- wiring -----------------------------------------------------------
+
+    def _host_rpc(self, host_index: int) -> RpcClient:
+        rpc = self._rpcs.get(host_index)
+        if rpc is None:
+            host, port = self._addresses[host_index]
+            rpc = self._rpcs[host_index] = RpcClient(host, port)
+        return rpc
+
+    def _data_server(self, server_id: int) -> RemoteDataServer:
+        proxy = self._servers.get(server_id)
+        if proxy is None:
+            host_index = self._placement.get(server_id)
+            if host_index is None:
+                raise TDStoreError(f"no host process for server {server_id}")
+            proxy = RemoteDataServer(self._host_rpc(host_index), server_id)
+            self._servers[server_id] = proxy
+        return proxy
+
+    @property
+    def config(self) -> RemoteConfigServer:
+        if self._config is None:
+            self._config = RemoteConfigServer(
+                self._host_rpc(0), self._data_server
+            )
+        return self._config
+
+    @property
+    def data_servers(self) -> "list[RemoteDataServer]":
+        return [self._data_server(sid) for sid in sorted(self._placement)]
+
+    def client(self, **resilience: Any):
+        """A resilient client whose time-based policies charge wall time."""
+        from repro.tdstore.client import TDStoreClient
+
+        resilience.setdefault("clock", WallClock())
+        return TDStoreClient(self.config, **resilience)
+
+    # -- facade operations (forwarded to the cluster on host 0) ----------
+
+    def _cluster_call(self, method: str, *args: Any) -> Any:
+        return self._host_rpc(0).call(method, *args, target="cluster")
+
+    def add_data_server(self) -> int:
+        server_id = self._cluster_call("add_data_server")
+        # servers created at runtime are hosted by process 0
+        self._placement[server_id] = 0
+        return server_id
+
+    def drain_data_server(self, server_id: int, exclude: tuple = ()) -> list:
+        return self._cluster_call("drain_data_server", server_id, exclude)
+
+    def migration_stats(self) -> dict:
+        return self._cluster_call("migration_stats")
+
+    def crash_data_server(self, server_id: int):
+        return self._cluster_call("crash_data_server", server_id)
+
+    def recover_data_server(self, server_id: int):
+        return self._cluster_call("recover_data_server", server_id)
+
+    def set_degradation(
+        self,
+        server_id: int,
+        latency: float | None = None,
+        error_every: int | None = None,
+    ):
+        if latency is not None:
+            raise SubstrateMismatchError(
+                "latency faults advertise seconds for clients to charge "
+                "against a simulated clock; on the process substrate "
+                "operations take real wall time and there is no simulated "
+                "clock to charge. Run latency-fault scenarios on "
+                "SimSubstrate, or use error_every degradation here."
+            )
+        return self._cluster_call("set_degradation", server_id, None, error_every)
+
+    def clear_degradation(self, server_id: int):
+        return self._cluster_call("clear_degradation", server_id)
+
+    def degraded_servers(self) -> "list[int]":
+        return self._cluster_call("degraded_servers")
+
+    def sync_replicas(self):
+        return self._cluster_call("sync_replicas")
+
+    def snapshot_contents(self) -> dict:
+        return self._cluster_call("snapshot_contents")
+
+    def restore_contents(self, contents: dict):
+        return self._cluster_call("restore_contents", contents)
+
+    def journal_evictions(self) -> int:
+        return self._cluster_call("journal_evictions")
+
+    def read_stats(self) -> "dict[int, int]":
+        return self._cluster_call("read_stats")
+
+    def write_stats(self) -> "dict[int, int]":
+        return self._cluster_call("write_stats")
+
+    # -- runtime-only surface --------------------------------------------
+
+    def update_address(self, host_index: int, address: "tuple[str, int]"):
+        """Repoint one host after the supervisor respawned it."""
+        self._addresses[host_index] = tuple(address)
+        stale = self._rpcs.pop(host_index, None)
+        if stale is not None:
+            stale.close()
+        for sid, host in self._placement.items():
+            if host == host_index:
+                self._servers.pop(sid, None)
+        if host_index == 0:
+            self._config = None
+
+    def host_stats(self) -> "list[dict]":
+        """Per-host-process runtime counters (RPC batches, WAL commits)."""
+        return [
+            self._host_rpc(i).call("_stats")
+            for i in range(len(self._addresses))
+        ]
+
+    def close(self):
+        for rpc in self._rpcs.values():
+            rpc.close()
+        self._rpcs.clear()
+        self._servers.clear()
+        self._config = None

@@ -1,0 +1,82 @@
+"""Topology recipes: how worker processes rebuild a topology.
+
+A topology object is a web of closures (bolt factories capturing client
+factories) and cannot be pickled into a worker. A *recipe* can: it
+names a module-level factory-builder and its keyword arguments. Each
+worker imports the module, rebuilds the factory, and calls it with its
+own clock and TDStore client factory — the same construction path the
+simulator uses, so component behaviour is identical by construction.
+"""
+
+from __future__ import annotations
+
+import importlib
+import zlib
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+
+
+def task_owner(component: str, task_index: int, num_workers: int) -> int:
+    """Which worker process owns a bolt task.
+
+    A pure function of the task identity, computed identically by the
+    parent (to route dispatches) and by each worker (to pre-build its
+    instances), and stable across kills and rebalances so a task's
+    state never silently moves between processes.
+
+    Round-robin within each block of ``num_workers`` consecutive tasks
+    (perfect balance: execution waves are per-component, so a
+    component's tasks must spread evenly over the workers or most of
+    the pool idles through each wave), with a per-block hashed rotation.
+    The rotation matters: a plain round-robin makes the owner congruent
+    to ``hash(key) % num_workers`` for every parallelism that is a
+    multiple of the worker count, so each worker would inherit the same
+    hot-key buckets no matter how many tasks a component splits into.
+    Rotating per block decorrelates the two, letting higher parallelism
+    actually smooth key skew across the pool.
+    """
+    block = task_index // num_workers
+    rotation = zlib.crc32(f"{component}:{block}".encode())
+    return (rotation + task_index) % num_workers
+
+Recipe = "tuple[str, str, dict[str, Any]]"
+
+
+def topology_recipe(module: str, name: str, **kwargs: Any) -> Callable:
+    """Wrap the factory built by ``module.name(**kwargs)`` so topologies
+    it produces carry their own rebuild instructions.
+
+    The returned callable is a drop-in ``TopologyFactory``; topologies
+    built through it get a ``.recipe`` attribute that
+    :class:`~repro.runtime.process_cluster.ProcessCluster` ships to
+    worker processes. On ``SimSubstrate`` the attribute is inert.
+    """
+    recipe = (module, name, dict(kwargs))
+    inner = build_factory(recipe)
+
+    def factory(clock, client_factory, consumer):
+        topology = inner(clock, client_factory, consumer)
+        topology.recipe = recipe
+        return topology
+
+    factory.recipe = recipe
+    return factory
+
+
+def build_factory(recipe) -> Callable:
+    """Resolve a recipe back into a topology factory (worker side)."""
+    module_name, attr, kwargs = recipe
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise ConfigurationError(
+            f"topology recipe names module {module_name!r} which the "
+            f"worker process cannot import: {exc}"
+        ) from exc
+    builder = getattr(module, attr, None)
+    if builder is None:
+        raise ConfigurationError(
+            f"topology recipe names {module_name}.{attr} which does not exist"
+        )
+    return builder(**kwargs)

@@ -1,0 +1,408 @@
+"""The TDStore server host process.
+
+One host process serves a framed RPC endpoint fronting:
+
+- its share of the logical ``TDStoreDataServer`` objects (data plane),
+- on host 0 only: the real ``ConfigServerPair`` and a real
+  ``TDStoreCluster`` facade (control plane), wired over internal
+  proxies to data servers living in sibling host processes.
+
+Logical servers are deliberately decoupled from processes: the route
+table still spreads instances over N logical servers with host/slave
+replication and failover, while the process count is an independent
+deployment knob.
+
+Durability: every successful mutating data-plane operation is appended
+to the host's :class:`~repro.runtime.wal.GroupCommitWal` and its ack is
+withheld until a ``fsync`` covers the record. The flush runs on a
+dedicated :class:`GroupCommitter` thread: the serve loop applies
+mutations and appends log records at full speed while the committer
+coalesces every batch that queued up during the previous ``fsync`` into
+one flush, then sends all of their acks. ``fsync`` releases the GIL, so
+with concurrent workers the host overlaps disk waits with request
+processing and the per-ack fsync cost drops toward ``1/K`` for a
+group of ``K`` — this is where the parallel benchmark's scaling comes
+from. The parent triggers ``_replay_wal`` after (re)provisioning to
+rebuild data-plane state from the log — control-plane state (routes,
+roles, failover history) is re-provisioned fresh; checkpoint recovery,
+not the WAL, is the mechanism that restores post-failover layouts.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import signal
+import threading
+import time
+
+from repro.errors import TDStoreError
+from repro.runtime.proxies import MUTATING_DATA_METHODS, RemoteDataServer
+from repro.runtime.rpc import RpcClient, RpcServer
+from repro.runtime.wal import GroupCommitWal, WalError, replay
+from repro.runtime.wire import Request, Response, encode_error, encode_frame
+from repro.tdstore.cluster import TDStoreCluster
+from repro.tdstore.config_server import ConfigServerPair
+from repro.tdstore.data_server import TDStoreDataServer
+from repro.tdstore.engines import MDBEngine
+
+
+class HostedCluster(TDStoreCluster):
+    """A ``TDStoreCluster`` over a pre-built (possibly mixed) server list.
+
+    Entries are local ``TDStoreDataServer`` objects for servers this
+    process owns and :class:`RemoteDataServer` proxies for servers owned
+    by sibling host processes; every facade and config-server code path
+    works on both through the shared duck type.
+    """
+
+    def __init__(self, servers: list, num_instances: int, engine_factory):
+        self._engine_factory = engine_factory
+        self.data_servers = list(servers)
+        self.config = ConfigServerPair(self.data_servers, num_instances)
+
+
+class GroupCommitter(threading.Thread):
+    """Background thread that turns queued batches into group commits.
+
+    The serve loop submits ``(mutating_conns, [(conn_id, payload)])``
+    groups in completion order; this thread drains everything queued,
+    issues *one* ``wal.commit()`` covering all of it, then sends the
+    acks in submission order. Because the serve loop appends a record
+    before submitting its group, and ``commit`` covers everything
+    appended before it is called, every ack sent here is backed by a
+    flush — the durability contract is identical to an inline fsync,
+    minus the serve loop stalling on it.
+
+    Eager flushing de-synchronizes concurrent writers: flush a one-op
+    group the instant it arrives and the pool settles into alternating
+    small commits instead of sharing one. So before flushing, the
+    thread waits — bounded by an adaptive budget — until as many
+    distinct connections have a write pending as the last flush
+    covered (the adaptive-delay idea behind PostgreSQL's
+    ``commit_delay``/``commit_siblings``). A lone writer sets the
+    target to one and never waits; N lockstep writers converge on one
+    ``fsync`` per N acks. The target decays by one per flush, so a
+    writer going idle costs a few bounded waits, not a stall; and the
+    wait budget itself halves every time a wait times out and regrows
+    (up to ``max_group_wait``) when waits pay off, so a workload whose
+    writers straggle slower than any useful window stops waiting for
+    them at all.
+
+    All responses (reads and admin ops included) flow through the
+    queue so per-connection FIFO ordering is preserved; a cycle with
+    no mutations skips both the wait and the flush.
+    """
+
+    def __init__(
+        self, wal: GroupCommitWal, send, *, max_group_wait: float = 0.002
+    ):
+        super().__init__(name="group-committer", daemon=True)
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._wal = wal
+        self._send = send
+        self._max_group_wait = max_group_wait
+        self._wait_budget = max_group_wait
+        self._target_conns = 0
+        self.flushes = 0
+        self.groups_flushed = 0
+        self.waits = 0
+        self.wait_timeouts = 0
+        self.waited_seconds = 0.0
+        self.error: BaseException | None = None
+
+    def submit(self, mutating_conns: frozenset, replies: list) -> None:
+        if self.error is not None:
+            raise WalError(f"group committer died: {self.error!r}")
+        self._queue.put((mutating_conns, replies))
+
+    def close(self) -> None:
+        """Flush whatever is queued, send its acks, and stop."""
+        self._queue.put(None)
+        self.join(timeout=30.0)
+
+    def run(self) -> None:
+        try:
+            while self._run_once():
+                pass
+        except BaseException as exc:  # surface on the next submit()
+            self.error = exc
+
+    def _run_once(self) -> bool:
+        groups = [self._queue.get()]
+        keep_going, deadline = True, None
+        while True:
+            while True:  # coalesce everything already waiting
+                try:
+                    groups.append(self._queue.get_nowait())
+                except queue.Empty:
+                    break
+            if groups[-1] is None:
+                keep_going = False
+            pending_conns: set = set()
+            mutating_conns: set = set()
+            for group in groups:
+                if group is None:
+                    continue
+                mutating_conns.update(group[0])
+                pending_conns.update(cid for cid, _ in group[1])
+            if (
+                not keep_going
+                or not mutating_conns
+                or len(pending_conns) >= self._target_conns
+            ):
+                if deadline is not None or self._target_conns <= 1:
+                    # a wait that reached its target (or needed none)
+                    # earns a bigger budget next time
+                    self._wait_budget = min(
+                        self._max_group_wait, self._wait_budget * 1.5
+                    )
+                break
+            if deadline is None:
+                deadline = time.monotonic() + self._wait_budget
+                self.waits += 1
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                # waiting did not pay; stop betting so much on it (the
+                # floor keeps probing so a lockstep phase can re-grow it)
+                self.waited_seconds += self._wait_budget
+                self._wait_budget = max(
+                    self._max_group_wait / 8, self._wait_budget * 0.5
+                )
+                self.wait_timeouts += 1
+                break
+            try:
+                groups.append(self._queue.get(timeout=remaining))
+            except queue.Empty:
+                continue
+        if mutating_conns:
+            self._wal.commit()
+            self.flushes += 1
+            self.groups_flushed += sum(1 for g in groups if g is not None)
+            # jump up to the observed concurrency, decay down slowly so
+            # one quiet cycle doesn't collapse the pool out of lockstep
+            self._target_conns = max(
+                len(mutating_conns), self._target_conns - 1
+            )
+        for group in groups:
+            if group is None:
+                continue
+            for conn_id, payload in group[1]:
+                self._send(conn_id, payload)
+        return keep_going
+
+    def stats(self) -> dict:
+        return {
+            "flushes": self.flushes,
+            "groups_flushed": self.groups_flushed,
+            "avg_groups_per_flush": (
+                self.groups_flushed / self.flushes if self.flushes else 0.0
+            ),
+            "waits": self.waits,
+            "wait_timeouts": self.wait_timeouts,
+            "waited_seconds": self.waited_seconds,
+            "target_conns": self._target_conns,
+        }
+
+
+class ServerHost:
+    """Request dispatcher and WAL bookkeeper for one host process."""
+
+    def __init__(self, config: dict):
+        self.host_index: int = config["host_index"]
+        self.local_ids: list[int] = list(config["local_server_ids"])
+        self.num_instances: int = config["num_instances"]
+        self.locals: dict[int, TDStoreDataServer] = {
+            sid: TDStoreDataServer(sid, MDBEngine) for sid in self.local_ids
+        }
+        self.wal = GroupCommitWal(
+            config["wal_path"],
+            durable=config.get("durable", True),
+            commit_floor=config.get("commit_floor", 0.0),
+        )
+        self._max_group_wait = config.get("max_group_wait", 0.002)
+        self.cluster: TDStoreCluster | None = None
+        self._sibling_rpcs: dict[int, RpcClient] = {}
+        if self.host_index == 0:
+            servers = []
+            placement: dict[int, int] = config["placement"]
+            siblings: dict[int, tuple] = config.get("sibling_addresses", {})
+            for sid in sorted(placement):
+                if sid in self.locals:
+                    servers.append(self.locals[sid])
+                else:
+                    host, port = siblings[placement[sid]]
+                    rpc = self._sibling_rpcs.get(placement[sid])
+                    if rpc is None:
+                        rpc = RpcClient(host, port)
+                        self._sibling_rpcs[placement[sid]] = rpc
+                    servers.append(RemoteDataServer(rpc, sid))
+            self.cluster = HostedCluster(servers, self.num_instances, MDBEngine)
+        self.server = RpcServer(self.handle_batch)
+        self.committer = GroupCommitter(
+            self.wal,
+            self.server.send_payload,
+            max_group_wait=self._max_group_wait,
+        )
+        self.committer.start()
+        self.started_at = time.time()
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _receiver(self, target):
+        if target is None:
+            return self
+        if target == "cluster":
+            if self.cluster is None:
+                raise TDStoreError(
+                    f"host {self.host_index} does not run the control plane"
+                )
+            return self.cluster
+        if target == "config":
+            if self.cluster is None:
+                raise TDStoreError(
+                    f"host {self.host_index} does not run the config pair"
+                )
+            return self.cluster.config
+        if isinstance(target, tuple) and target[0] == "data":
+            server = self.locals.get(target[1])
+            if server is None:
+                raise TDStoreError(
+                    f"host {self.host_index} does not own data server "
+                    f"{target[1]}"
+                )
+            return server
+        raise TDStoreError(f"unroutable rpc target {target!r}")
+
+    def handle_batch(self, batch) -> None:
+        """Apply every request in the batch, then route the acks.
+
+        The serve loop never blocks on ``fsync``: mutations are applied
+        and appended to the WAL here, but their acks travel through the
+        :class:`GroupCommitter`, which coalesces every batch queued
+        while the previous flush was in flight into one commit. Acks
+        are sent only after that commit, so an acknowledged write is
+        always on disk.
+
+        Reads (and control-plane ops) are acked inline instead — a
+        blocking client has one request in flight, so per-connection
+        ordering cannot be violated, and making a read wait out a
+        stranger's ``fsync`` would stall the whole worker pipeline
+        between writes. Returning ``None`` tells the transport we own
+        the replies.
+        """
+        mutating_conns = set()
+        replies = []
+        for conn_id, request in batch:
+            try:
+                receiver = self._receiver(request.target)
+                method = request.method
+                if method.startswith("."):
+                    value = getattr(receiver, method[1:])
+                else:
+                    value = getattr(receiver, method)(*request.args)
+                if (
+                    isinstance(target := request.target, tuple)
+                    and target[0] == "data"
+                    and method in MUTATING_DATA_METHODS
+                ):
+                    self.wal.append((target[1], method, request.args))
+                    mutating_conns.add(conn_id)
+                response = Response(value=value)
+            except Exception as exc:
+                response = encode_error(exc)
+            try:
+                payload = encode_frame(response)
+            except Exception as exc:
+                payload = encode_frame(encode_error(exc))
+            replies.append((conn_id, payload))
+        deferred = [r for r in replies if r[0] in mutating_conns]
+        for conn_id, payload in replies:
+            if conn_id not in mutating_conns:
+                self.server.send_payload(conn_id, payload)
+        if deferred or mutating_conns:
+            self.committer.submit(frozenset(mutating_conns), deferred)
+        return None
+
+    # -- admin ops (target=None) -----------------------------------------
+
+    def _ping(self) -> str:
+        return "pong"
+
+    def _sleep(self, seconds: float) -> str:
+        # debugging/testing aid: simulate a hung host
+        time.sleep(seconds)
+        return "slept"
+
+    def _stats(self) -> dict:
+        return {
+            "pid": os.getpid(),
+            "host_index": self.host_index,
+            "local_servers": sorted(self.locals),
+            "rpc_batches": self.server.batches,
+            "rpc_requests": self.server.requests,
+            "wal": self.wal.stats(),
+            "committer": self.committer.stats(),
+            "uptime": time.time() - self.started_at,
+        }
+
+    def _replay_wal(self) -> int:
+        """Rebuild local data-plane state from the log (post-provisioning).
+
+        Only ops acknowledged before the crash are on disk; re-applying
+        them in order onto freshly provisioned servers reproduces the
+        exact acknowledged state. ``ensure_instance`` guards replay of
+        ops against instances whose roles were provisioned differently.
+        """
+
+        def apply(record):
+            server_id, method, args = record
+            server = self.locals.get(server_id)
+            if server is None:
+                return
+            if args and isinstance(args[0], int):
+                server.ensure_instance(args[0])
+            getattr(server, method)(*args)
+
+        # replay from a read handle; new appends continue on the live fd
+        return replay(self.wal.path, apply)
+
+    def _shutdown(self) -> str:
+        self.server.stop()
+        return "stopping"
+
+    # -- lifecycle --------------------------------------------------------
+
+    def serve(self):
+        try:
+            # the committer must flush its queue while connections are
+            # still open — the final _shutdown ack travels through it
+            self.server.serve_forever(on_exit=self.committer.close)
+        finally:
+            self.wal.close()
+            for rpc in self._sibling_rpcs.values():
+                rpc.close()
+
+
+def server_host_main(conn, config: dict):
+    """Process entrypoint (module-level: ``spawn`` re-imports it)."""
+    _install_signal_handlers()
+    try:
+        host = ServerHost(config)
+    except Exception as exc:
+        conn.send(("error", repr(exc)))
+        conn.close()
+        raise
+    conn.send(("ready", host.server.port))
+    conn.close()
+    host.serve()
+
+
+def _install_signal_handlers():
+    # SIGTERM/SIGINT exit the process cleanly (finally blocks run, the
+    # WAL is committed and closed) instead of dying mid-write
+    def _exit(signum, frame):
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _exit)
+    signal.signal(signal.SIGINT, _exit)

@@ -1,0 +1,127 @@
+"""Wire protocol: length-prefixed frames carrying pickled envelopes.
+
+A frame is a 4-byte big-endian length followed by that many bytes of
+pickle (protocol 5). Requests name a method and carry positional args;
+responses either carry a value or a real exception object. TDStore's
+control-flow errors — :class:`~repro.errors.StaleRouteError`,
+:class:`~repro.errors.MigrationInProgressError`,
+:class:`~repro.errors.VersionConflictError`, ... — round-trip as
+themselves (their ``__reduce__`` preserves constructor args), so the
+client-side failover/fencing logic cannot tell a remote server from a
+local object. Exceptions that fail to pickle degrade to
+:class:`~repro.errors.RemoteOpError` carrying the remote traceback.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import traceback
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import RemoteOpError
+
+HEADER = struct.Struct(">I")
+HEADER_SIZE = HEADER.size
+
+# a frame above this size is a protocol error, not a big payload: the
+# decoder refuses it instead of trying to allocate garbage lengths read
+# from a desynchronized stream
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+PICKLE_PROTOCOL = 5
+
+
+@dataclass
+class Request:
+    """One remote invocation: ``method(*args)`` plus routing hints.
+
+    ``target`` addresses a logical object behind the endpoint (a data
+    server id, a ``(topology, component, task)`` triple, ...); ``None``
+    addresses the endpoint itself.
+    """
+
+    method: str
+    args: tuple = ()
+    target: Any = None
+
+
+@dataclass
+class Response:
+    """The reply to one :class:`Request`."""
+
+    value: Any = None
+    error: BaseException | None = None
+    meta: dict = field(default_factory=dict)
+
+    def unwrap(self) -> Any:
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+
+class FrameError(RemoteOpError):
+    """The byte stream does not parse as frames (desync or corruption)."""
+
+
+def encode_frame(obj: Any) -> bytes:
+    """Serialize ``obj`` into one wire frame (header + pickle)."""
+    payload = pickle.dumps(obj, PICKLE_PROTOCOL)
+    return HEADER.pack(len(payload)) + payload
+
+
+def sanitize_exception(exc: BaseException) -> BaseException:
+    """Return ``exc`` if it survives a pickle round-trip, else flatten it.
+
+    Anything unpicklable (or whose unpickle would fail because the
+    constructor signature diverged from ``args``) becomes a
+    :class:`~repro.errors.RemoteOpError` with the remote traceback baked
+    into the message, so the failure stays debuggable from the caller.
+    """
+    try:
+        return pickle.loads(pickle.dumps(exc, PICKLE_PROTOCOL))
+    except Exception:
+        detail = "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+        return RemoteOpError(
+            f"remote operation failed with unpicklable "
+            f"{type(exc).__name__}: {exc}\n--- remote traceback ---\n{detail}"
+        )
+
+
+def encode_error(exc: BaseException) -> Response:
+    """Build an error response whose exception survives the wire."""
+    return Response(error=sanitize_exception(exc))
+
+
+class StreamDecoder:
+    """Incremental frame decoder over a byte stream.
+
+    Feed it whatever ``recv`` returned; it yields every complete decoded
+    object and buffers the tail of a partial frame for the next feed.
+    """
+
+    def __init__(self):
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> list[Any]:
+        self._buf += data
+        out: list[Any] = []
+        while len(self._buf) >= HEADER_SIZE:
+            (length,) = HEADER.unpack_from(self._buf)
+            if length > MAX_FRAME_BYTES:
+                raise FrameError(
+                    f"frame length {length} exceeds the {MAX_FRAME_BYTES} "
+                    "byte limit; stream is desynchronized"
+                )
+            if len(self._buf) < HEADER_SIZE + length:
+                break
+            payload = bytes(self._buf[HEADER_SIZE : HEADER_SIZE + length])
+            del self._buf[: HEADER_SIZE + length]
+            out.append(pickle.loads(payload))
+        return out
+
+    def pending_bytes(self) -> int:
+        return len(self._buf)

@@ -1,0 +1,336 @@
+"""The Storm worker process.
+
+Holds the live bolt instances for its share of a topology's tasks and
+executes batches of tuples the parent dispatches over RPC. Everything
+*around* execution stays in the parent — routing, grouping, acking,
+metrics, checkpoint policy — so the worker's job is exactly a real
+Storm executor's: run ``bolt.execute`` against local state and report
+what the bolt emitted.
+
+Emissions are captured by a *recording* ``OutputCollector``: the same
+collector class the simulator uses (so op-id derivation, emit sequence
+numbers and timestamps are identical by construction), but with sink
+callbacks that append events to a per-tuple record instead of routing.
+The parent replays each record through its own collectors, which is
+where ack trees grow, metrics increment, and downstream queues fill.
+
+Bolts talk to TDStore through the same remote proxies the parent uses;
+their resilient clients charge deadlines and retry budgets against a
+:class:`~repro.utils.clock.WallClock`, while the worker's event-time
+``SimClock`` is advanced to the parent's clock on every dispatch.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+from repro.errors import ClusterStateError
+from repro.runtime.proxies import ProcessTDStore
+from repro.runtime.recipes import build_factory, task_owner
+from repro.runtime.rpc import RpcServer
+from repro.runtime.wire import Response, encode_error, sanitize_exception
+from repro.storm.component import Bolt, OutputCollector, TopologyContext
+from repro.storm.tuples import StormTuple
+from repro.utils.clock import SimClock
+
+
+class _WorkerTask:
+    """One live bolt instance plus its recording collector."""
+
+    def __init__(self, component: str, task_index: int, instance, collector):
+        self.component = component
+        self.task_index = task_index
+        self.instance = instance
+        self.collector = collector
+        self.events: "list[tuple] | None" = None
+
+
+class _WorkerTopology:
+    """Worker-side state for one loaded topology."""
+
+    def __init__(self, name: str, topology, clock, store: ProcessTDStore):
+        self.name = name
+        self.topology = topology
+        self.clock = clock
+        self.store = store
+        self.tasks: dict[tuple[str, int], _WorkerTask] = {}
+        self.parallelism: dict[str, int] = {
+            name: spec.parallelism for name, spec in topology.specs.items()
+        }
+
+
+class WorkerHost:
+    """Request dispatcher for one worker process."""
+
+    def __init__(self, config: dict):
+        self.worker_index: int = config["worker_index"]
+        self.num_workers: int = config["num_workers"]
+        self._topologies: dict[str, _WorkerTopology] = {}
+        self.server = RpcServer(self.handle_batch)
+        self.executed = 0
+        self.ticks = 0
+        self.started_at = time.time()
+
+    def handle_batch(self, batch) -> list:
+        responses = []
+        for _, request in batch:
+            try:
+                value = getattr(self, request.method)(*request.args)
+                responses.append(Response(value=value))
+            except Exception as exc:
+                responses.append(encode_error(exc))
+        return responses
+
+    # -- topology lifecycle ----------------------------------------------
+
+    def load_topology(
+        self,
+        name: str,
+        recipe,
+        tdstore_addresses,
+        tdstore_placement,
+    ) -> "list[tuple[str, int]]":
+        """(Re)build this worker's task instances from a recipe.
+
+        Returns the owned task keys, mostly as a handshake the parent
+        can log. Loading is idempotent-by-replacement: a reload after a
+        worker restart starts every instance fresh (kill semantics).
+        """
+        clock = SimClock()
+        store = ProcessTDStore(tdstore_addresses, tdstore_placement)
+        factory = build_factory(recipe)
+        topology = factory(clock, store.client, None)
+        if topology.name != name:
+            raise ClusterStateError(
+                f"recipe built topology {topology.name!r}, expected {name!r}"
+            )
+        entry = _WorkerTopology(name, topology, clock, store)
+        self._topologies[name] = entry
+        for spec_name, spec in topology.specs.items():
+            if spec.is_spout:
+                continue  # spouts poll sources; they live in the parent
+            for index in range(spec.parallelism):
+                if task_owner(spec_name, index, self.num_workers) == self.worker_index:
+                    self._build_task(entry, spec_name, index)
+        return sorted(entry.tasks)
+
+    def unload_topology(self, name: str):
+        entry = self._topologies.pop(name, None)
+        if entry is not None:
+            entry.store.close()
+
+    def _entry(self, name: str) -> _WorkerTopology:
+        entry = self._topologies.get(name)
+        if entry is None:
+            raise ClusterStateError(
+                f"worker {self.worker_index} has no topology {name!r}; "
+                "was load_topology shipped?"
+            )
+        return entry
+
+    def _build_task(
+        self, entry: _WorkerTopology, component: str, task_index: int
+    ) -> _WorkerTask:
+        spec = entry.topology.specs[component]
+        instance = spec.factory()
+        task = _WorkerTask(component, task_index, instance, None)
+
+        def record(kind, *payload):
+            if task.events is None:
+                raise ClusterStateError(
+                    f"{component}[{task_index}] emitted outside execute/tick"
+                )
+            task.events.append((kind, *payload))
+
+        def emit_fn(tup: StormTuple, message_id):
+            record("emit", tup.stream_id, tup.values, tup.op_id)
+
+        def ack_fn(tup: StormTuple):
+            record("ack")
+
+        def fail_fn(tup: StormTuple):
+            record("fail")
+
+        task.collector = OutputCollector(
+            component,
+            task_index,
+            spec.declaration,
+            emit_fn,
+            ack_fn,
+            fail_fn,
+            entry.clock.now,
+        )
+        context = TopologyContext(
+            component,
+            task_index,
+            entry.parallelism[component],
+            entry.topology.name,
+        )
+        instance.prepare(context, task.collector)
+        entry.tasks[(component, task_index)] = task
+        return task
+
+    # -- execution --------------------------------------------------------
+
+    def execute_batch(self, name: str, now: float, batches) -> list:
+        """Run dispatched tuples; return per-tuple event records.
+
+        ``batches`` is ``[(component, task_index, [StormTuple...]), ...]``;
+        the result is aligned with it. Each record is
+        ``{"events": [...], "error": exc|None}`` — the parent replays
+        events through its own collectors and re-raises the error, so
+        parent-side control flow is byte-for-byte the simulator's.
+        """
+        entry = self._entry(name)
+        entry.clock.advance_to(now)
+        out = []
+        for component, task_index, tuples in batches:
+            task = entry.tasks.get((component, task_index))
+            if task is None:
+                task = self._build_task(entry, component, task_index)
+            records = []
+            for tup in tuples:
+                records.append(self._execute_one(task, tup))
+            out.append((component, task_index, records))
+        return out
+
+    def _execute_one(self, task: _WorkerTask, tup: StormTuple) -> dict:
+        events: list[tuple] = []
+        task.events = events
+        task.collector.set_input_context(tup.root_ids, tup.op_id)
+        error = None
+        try:
+            task.instance.execute(tup)
+        except Exception as exc:
+            task.collector.fail(tup)
+            error = sanitize_exception(exc)
+        finally:
+            task.collector.set_input_context(frozenset(), None)
+            task.events = None
+        self.executed += 1
+        return {"events": events, "error": error}
+
+    def tick_all(self, name: str, now: float) -> list:
+        """Tick every owned bolt; returns ``[(comp, idx, events), ...]``."""
+        entry = self._entry(name)
+        entry.clock.advance_to(now)
+        out = []
+        for key in sorted(entry.tasks):
+            task = entry.tasks[key]
+            if not isinstance(task.instance, Bolt):
+                continue
+            events: list[tuple] = []
+            task.events = events
+            try:
+                task.instance.tick(now)
+            finally:
+                task.events = None
+            self.ticks += 1
+            out.append((key[0], key[1], events))
+        return out
+
+    # -- task control (parent mirrors of kill/rebalance/checkpoint) ------
+
+    def reset_task(self, name: str, component: str, task_index: int):
+        """Fresh instance, state lost — the worker half of ``kill_task``."""
+        entry = self._entry(name)
+        entry.tasks.pop((component, task_index), None)
+        self._build_task(entry, component, task_index)
+
+    def reset_component(self, name: str, component: str, parallelism: int):
+        """Drop and re-pin a component's tasks — the worker half of
+        ``rebalance``."""
+        entry = self._entry(name)
+        entry.parallelism[component] = parallelism
+        for key in [k for k in entry.tasks if k[0] == component]:
+            del entry.tasks[key]
+        for index in range(parallelism):
+            if task_owner(component, index, self.num_workers) == self.worker_index:
+                self._build_task(entry, component, index)
+
+    def snapshot_tasks(self, name: str) -> dict:
+        """``{(comp, idx): state}`` for every owned task with local state."""
+        entry = self._entry(name)
+        states = {}
+        for key, task in entry.tasks.items():
+            state = task.instance.snapshot_state()
+            if state is not None:
+                states[key] = state
+        return states
+
+    def restore_tasks(self, name: str, states: dict):
+        entry = self._entry(name)
+        for key, state in states.items():
+            task = entry.tasks.get(key)
+            if task is None:
+                task = self._build_task(entry, key[0], key[1])
+            task.instance.restore_state(state)
+
+    def ledger_stats(self, name: str) -> dict:
+        """Dedup-ledger stats for owned tasks (monitoring aggregation)."""
+        entry = self._entry(name)
+        stats = {}
+        for key, task in entry.tasks.items():
+            ledger_stats = getattr(task.instance, "ledger_stats", None)
+            if callable(ledger_stats):
+                stats[key] = ledger_stats()
+        return stats
+
+    # -- admin ------------------------------------------------------------
+
+    def _ping(self) -> str:
+        return "pong"
+
+    def _sleep(self, seconds: float) -> str:
+        time.sleep(seconds)
+        return "slept"
+
+    def _stats(self) -> dict:
+        return {
+            "pid": os.getpid(),
+            "worker_index": self.worker_index,
+            "topologies": sorted(self._topologies),
+            "tasks": {
+                name: sorted(entry.tasks)
+                for name, entry in self._topologies.items()
+            },
+            "executed": self.executed,
+            "ticks": self.ticks,
+            "rpc_requests": self.server.requests,
+            "uptime": time.time() - self.started_at,
+        }
+
+    def _shutdown(self) -> str:
+        self.server.stop()
+        return "stopping"
+
+    def serve(self):
+        try:
+            self.server.serve_forever()
+        finally:
+            for entry in self._topologies.values():
+                entry.store.close()
+
+
+def worker_host_main(conn, config: dict):
+    """Process entrypoint (module-level: ``spawn`` re-imports it)."""
+    _install_signal_handlers()
+    try:
+        host = WorkerHost(config)
+    except Exception as exc:
+        conn.send(("error", repr(exc)))
+        conn.close()
+        raise
+    conn.send(("ready", host.server.port))
+    conn.close()
+    host.serve()
+
+
+def _install_signal_handlers():
+    def _exit(signum, frame):
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _exit)
+    signal.signal(signal.SIGINT, _exit)

@@ -8,7 +8,10 @@ task.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+
+# bump when a counter is added/renamed; from_dict refuses other versions
+METRICS_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -19,6 +22,13 @@ class TaskMetrics:
     executed: int = 0
     acked: int = 0
     failed: int = 0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TaskMetrics":
+        return cls(**data)
 
 
 @dataclass
@@ -56,6 +66,41 @@ class ClusterMetrics:
 
     def total_executed(self) -> int:
         return sum(m.executed for m in self.tasks.values())
+
+    def to_dict(self) -> dict:
+        """JSON-safe form; task keys flatten to ``"component[index]"``."""
+        return {
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "tasks": {
+                f"{name}[{idx}]": m.to_dict()
+                for (name, idx), m in sorted(self.tasks.items())
+            },
+            "tuples_transferred": self.tuples_transferred,
+            "trees_completed": self.trees_completed,
+            "trees_failed": self.trees_failed,
+            "task_restarts": self.task_restarts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterMetrics":
+        version = data.get("schema_version")
+        if version != METRICS_SCHEMA_VERSION:
+            raise ValueError(
+                f"metrics schema version {version!r} is not "
+                f"{METRICS_SCHEMA_VERSION}; refusing a lossy decode"
+            )
+        metrics = cls(
+            tuples_transferred=data["tuples_transferred"],
+            trees_completed=data["trees_completed"],
+            trees_failed=data["trees_failed"],
+            task_restarts=data["task_restarts"],
+        )
+        for key, counters in data["tasks"].items():
+            name, _, rest = key.rpartition("[")
+            metrics.tasks[(name, int(rest[:-1]))] = TaskMetrics.from_dict(
+                counters
+            )
+        return metrics
 
     def summary(self) -> str:
         lines = ["component/task  executed  emitted  acked  failed"]

@@ -508,18 +508,23 @@ class TDStoreClient:
         # a local lookup instead of a per-mutation table download.
         self._maybe_refresh()
         route = self._table.route(instance)
-        slave = self._config.server(route.slave)
-        if slave.alive:
-            slave.enqueue_sync(instance, record)
+        try:
+            # a downed slave rejects the record; skipping it is the same
+            # decision a liveness pre-check would make, without spending
+            # a round trip on remote replicas to find out
+            self._config.server(route.slave).enqueue_sync(instance, record)
+        except DataServerDownError:
+            pass
         # dual-write window of a live migration: the catch-up target
         # receives every record written after its snapshot copy, so the
         # cutover only has to drain this queue — journals and versions
         # ride along in the same records that replicate them to slaves
         target_id = self._config.migration_target(instance)
         if target_id is not None and target_id != route.slave:
-            target = self._config.server(target_id)
-            if target.alive:
-                target.enqueue_sync(instance, record)
+            try:
+                self._config.server(target_id).enqueue_sync(instance, record)
+            except DataServerDownError:
+                pass
 
     # -- transactional API (exactly-once support) ---------------------------
 

@@ -140,6 +140,18 @@ class ConfigServerPair:
         migration = self._migrations.get(instance)
         return migration.target_id if migration is not None else None
 
+    def migration_targets(self) -> "dict[int, int]":
+        """Every in-flight dual-write destination, keyed by instance.
+
+        Remote clients download this next to the route table so the
+        common case — no migration anywhere — costs them a dictionary
+        lookup per mutation instead of a control-plane round trip.
+        """
+        return {
+            instance: migration.target_id
+            for instance, migration in self._migrations.items()
+        }
+
     def await_migration(self, instance: int) -> float:
         """Block (simulated) until ``instance``'s cutover completes.
 
@@ -199,7 +211,7 @@ class ConfigServerPair:
                 )
             promoted.apply_pending(instance)
             new_slave = self._pick_new_slave(route.slave, live)
-            snapshot = promoted.engine(instance).snapshot()
+            snapshot = promoted.snapshot_instance(instance)
             self.server(new_slave).adopt_snapshot(instance, snapshot)
             table = table.promote_slave(instance, new_slave)
             # fencing handoff: the promoted slave now owns the instance;
@@ -215,7 +227,7 @@ class ConfigServerPair:
             if not host.alive:
                 continue
             new_slave = self._pick_new_slave(route.host, live)
-            snapshot = host.engine(instance).snapshot()
+            snapshot = host.snapshot_instance(instance)
             self.server(new_slave).adopt_snapshot(instance, snapshot)
             table = table.with_slave(instance, new_slave)
         self._table = table
@@ -249,7 +261,7 @@ class ConfigServerPair:
             if not peer.alive:
                 continue  # both copies were lost; nothing to restore from
             peer.apply_pending(instance)
-            server.adopt_snapshot(instance, peer.engine(instance).snapshot())
+            server.adopt_snapshot(instance, peer.snapshot_instance(instance))
 
     def _pick_new_slave(self, host_id: int, live: list[TDStoreDataServer]) -> int:
         candidates = [s for s in live if s.server_id != host_id]

@@ -325,7 +325,13 @@ class TDStoreDataServer:
     # -- slave-side replication ----------------------------------------------
 
     def enqueue_sync(self, instance: int, record: SyncRecord):
-        """Host notified us of an update; apply later, when idle."""
+        """Host notified us of an update; apply later, when idle.
+
+        A downed replica rejects records — the replicator treats the
+        rejection as "skip this replica", the same outcome as checking
+        liveness first but without a separate round trip.
+        """
+        self._check_alive()
         self.ensure_instance(instance)
         self._sync_inbox[instance].append(record)
 

@@ -1,13 +1,17 @@
-"""A simulated clock.
+"""Simulated and wall clocks.
 
 TencentRec's behaviour is time-dependent (sliding windows, linked time,
 session expiry), so every component takes an explicit clock instead of
 reading wall time. ``SimClock`` advances only when the driver says so,
 making runs deterministic and letting benchmarks replay a simulated week
-in seconds.
+in seconds. ``WallClock`` is the real-clock adapter the process
+substrate hands to the resilience layer, where deadlines and retry
+budgets must charge actual elapsed time.
 """
 
 from __future__ import annotations
+
+import time
 
 from repro.errors import ConfigurationError
 
@@ -57,3 +61,44 @@ class SimClock:
 
     def __repr__(self) -> str:
         return f"SimClock(now={self._now:.3f})"
+
+
+class WallClock:
+    """A real-time clock with the :class:`SimClock` interface.
+
+    Time flows by itself, so the mutation methods are no-ops: a
+    degradation charge of zero seconds (the process substrate reports
+    real latency, not advertised latency) and ``advance_to`` waiting for
+    a moment that wall time reaches on its own. Deadlines, retry budgets
+    and circuit breakers built over ``now()`` therefore measure genuine
+    elapsed time.
+
+    ``now()`` is monotonic (it is ``time.monotonic`` rebased to the
+    construction moment), so it is safe against system clock steps but
+    not meaningful across processes — each process measures its own
+    durations, which is all the resilience layer needs.
+    """
+
+    def __init__(self):
+        self._start = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._start
+
+    def advance(self, seconds: float) -> float:
+        """Real time cannot be pushed; charging latency is a no-op."""
+        if seconds < 0:
+            raise ConfigurationError(f"cannot move time backwards: {seconds}")
+        return self.now()
+
+    def advance_to(self, timestamp: float) -> float:
+        return self.now()
+
+    def day(self) -> int:
+        return int(self.now() // SECONDS_PER_DAY)
+
+    def hour_of_day(self) -> float:
+        return (self.now() % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+
+    def __repr__(self) -> str:
+        return f"WallClock(now={self.now():.3f})"

@@ -1,0 +1,165 @@
+"""Picklability audit: everything the process substrate ships must
+survive the ``spawn`` start method's pickler.
+
+``spawn`` children share no memory, so worker configs, topology
+recipes, RPC payloads (tuples, ops, snapshots), checkpoint manifests
+and control-flow exceptions all cross process boundaries as pickles.
+A type that quietly loses a field here corrupts state across the
+boundary, so each round-trip asserts semantic equality, not just
+"it unpickled".
+"""
+
+import io
+import pickle
+
+from multiprocessing.reduction import ForkingPickler
+
+from repro.errors import (
+    DeadlineExceededError,
+    MigrationInProgressError,
+    OffsetOutOfRangeError,
+    StaleRouteError,
+    VersionConflictError,
+)
+from repro.recovery.manifest import CheckpointManifest
+from repro.runtime.proxies import ProcessTDStore
+from repro.runtime.wire import Request, Response
+from repro.storm.tuples import StormTuple
+from repro.tdstore.cluster import TDStoreCluster
+from repro.tdstore.data_server import SyncRecord
+from repro.types import UserAction
+
+
+def spawn_round_trip(obj):
+    """Round-trip through the exact pickler ``spawn`` children use."""
+    buffer = io.BytesIO()
+    ForkingPickler(buffer, pickle.HIGHEST_PROTOCOL).dump(obj)
+    return pickle.loads(buffer.getvalue())
+
+
+class TestDataPlaneTypes:
+    def test_storm_tuple(self):
+        tup = StormTuple(
+            values=("u1", "i9", 2.5),
+            fields=("user", "item", "weight"),
+            stream_id="weights",
+            source_component="pretreatment",
+            source_task=1,
+            root_ids=frozenset({17}),
+            op_id="pretreatment:1:42",
+        )
+        back = spawn_round_trip(tup)
+        assert back.values == tup.values
+        assert back.fields == tup.fields
+        assert back.stream_id == tup.stream_id
+        assert back.source_component == tup.source_component
+        assert back.source_task == tup.source_task
+        assert back.root_ids == tup.root_ids
+        assert back.op_id == tup.op_id
+
+    def test_user_action(self):
+        action = UserAction("u1", "i2", "click", 12.5)
+        back = spawn_round_trip(action)
+        assert back == action
+
+    def test_sync_record(self):
+        record = SyncRecord("put", "item_count:i4", {"count": 3})
+        back = spawn_round_trip(record)
+        assert (back.op, back.key, back.value) == (
+            record.op,
+            record.key,
+            record.value,
+        )
+
+
+class TestRouteTable:
+    def test_route_table_survives_with_version_and_routes(self):
+        cluster = TDStoreCluster(3, 8)
+        cluster.crash_data_server(1)  # force a failover: version > 0
+        table = cluster.config.route_table()
+        back = spawn_round_trip(table)
+        assert back.version == table.version
+        assert back.num_instances == table.num_instances
+        for instance in range(table.num_instances):
+            want = table.route(instance)
+            got = back.route(instance)
+            assert (got.host, got.slave) == (want.host, want.slave)
+
+
+class TestCheckpointManifest:
+    def test_manifest_fields_survive(self):
+        manifest = CheckpointManifest(
+            checkpoint_id=3,
+            topology="cf-stream",
+            clock_time=1440.0,
+            next_tick=1680.0,
+            barrier_round=6,
+            offsets={"source": {0: 12, 1: 9}},
+            bolt_states={("itemCount", 1): {"exactly_once": {"seen": [1]}}},
+            tdstore_contents={0: {"k": 1}},
+            route_epoch=2,
+            migrations_in_flight=(),
+        )
+        back = spawn_round_trip(manifest)
+        for name in (
+            "checkpoint_id",
+            "topology",
+            "clock_time",
+            "next_tick",
+            "barrier_round",
+            "offsets",
+            "bolt_states",
+            "tdstore_contents",
+            "route_epoch",
+        ):
+            assert getattr(back, name) == getattr(manifest, name), name
+
+
+class TestControlFlowErrors:
+    """Errors with constructor-arg state need ``__reduce__``: the default
+    exception pickling re-calls ``cls(*args)`` with only the message."""
+
+    def test_each_error_round_trips_as_itself(self):
+        errors = [
+            StaleRouteError("instance 5 moved"),
+            MigrationInProgressError("instance 5 mid-cutover", 5),
+            VersionConflictError("version moved on", 9),
+            DeadlineExceededError("over budget", 1.5, 1.0),
+            OffsetOutOfRangeError("offset 3 truncated", 40),
+        ]
+        for exc in errors:
+            back = spawn_round_trip(exc)
+            assert type(back) is type(exc)
+            assert str(back) == str(exc)
+
+    def test_attribute_state_is_preserved(self):
+        back = spawn_round_trip(MigrationInProgressError("mid-cutover", 5))
+        assert back.instance == 5
+        back = spawn_round_trip(VersionConflictError("conflict", 9))
+        assert back.current == 9
+        back = spawn_round_trip(DeadlineExceededError("late", 1.5, 1.0))
+        assert (back.elapsed, back.budget) == (1.5, 1.0)
+        back = spawn_round_trip(OffsetOutOfRangeError("truncated", 40))
+        assert back.earliest == 40
+
+
+class TestRuntimeEnvelopes:
+    def test_request_and_response(self):
+        request = Request("record_once", (2, "op:1", "k", 1), ("data", 4))
+        back = spawn_round_trip(request)
+        assert back == request
+        response = Response(value={"a": 1}, meta={"batch": 3})
+        back = spawn_round_trip(response)
+        assert back.value == response.value
+        assert back.meta == response.meta
+
+    def test_process_tdstore_facade_reships_as_addresses(self):
+        # workers receive the facade as plain addresses; connections are
+        # per-process and must not leak through the pickle
+        facade = ProcessTDStore(
+            [("127.0.0.1", 1234), ("127.0.0.1", 1235)], {0: 0, 1: 1, 2: 0}
+        )
+        back = spawn_round_trip(facade)
+        assert back._addresses == facade._addresses
+        assert back._placement == facade._placement
+        assert back._rpcs == {}

@@ -1,0 +1,125 @@
+"""Explicit serde for monitoring state: SystemSnapshot and metrics.
+
+Snapshots cross process boundaries (worker metrics shipping) and may be
+persisted; both need a schema-versioned dict form that survives JSON
+(string keys only) without silently dropping or mangling fields.
+"""
+
+import json
+
+import pytest
+
+from repro.monitoring import SNAPSHOT_SCHEMA_VERSION, SystemSnapshot
+from repro.storm.metrics import (
+    METRICS_SCHEMA_VERSION,
+    ClusterMetrics,
+    TaskMetrics,
+)
+
+
+def populated_snapshot() -> SystemSnapshot:
+    return SystemSnapshot(
+        timestamp=1234.5,
+        tdaccess_servers_up=3,
+        tdaccess_servers_total=3,
+        consumer_lag={"source": 12},
+        tdstore_servers_up=4,
+        tdstore_servers_total=4,
+        tdstore_reads={0: 10, 1: 20},
+        tdstore_writes={0: 7, 1: 3},
+        replication_backlog=2,
+        topology_executed={"cf-stream": 215},
+        topology_restarts={"cf-stream": 1},
+        ledger_entries={"itemCount[0]": 8},
+        dedup_hits={"itemCount[0]": 2},
+        watermark_rejections={"itemCount[0]": 0},
+        acker_anomalies={"cf-stream": 0},
+        degraded_tdstore_servers=[2],
+        breaker_states={"tdstore": "closed"},
+        route_epoch=3,
+    )
+
+
+class TestSystemSnapshotSerde:
+    def test_round_trip_is_lossless(self):
+        snap = populated_snapshot()
+        assert SystemSnapshot.from_dict(snap.to_dict()) == snap
+
+    def test_round_trip_through_json(self):
+        # JSON stringifies int keys; serde must restore them as ints
+        snap = populated_snapshot()
+        back = SystemSnapshot.from_dict(json.loads(json.dumps(snap.to_dict())))
+        assert back == snap
+        assert back.tdstore_reads == {0: 10, 1: 20}
+        assert all(isinstance(k, int) for k in back.tdstore_writes)
+
+    def test_schema_version_is_embedded(self):
+        data = populated_snapshot().to_dict()
+        assert data["schema_version"] == SNAPSHOT_SCHEMA_VERSION
+
+    def test_other_schema_version_is_refused(self):
+        data = populated_snapshot().to_dict()
+        data["schema_version"] = SNAPSHOT_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema version"):
+            SystemSnapshot.from_dict(data)
+        with pytest.raises(ValueError, match="schema version"):
+            SystemSnapshot.from_dict({"timestamp": 0.0})
+
+    def test_unknown_field_is_refused(self):
+        # a field added without a version bump must not silently vanish
+        data = populated_snapshot().to_dict()
+        data["surprise_counter"] = 7
+        with pytest.raises(ValueError, match="surprise_counter"):
+            SystemSnapshot.from_dict(data)
+
+    def test_derived_metrics_survive(self):
+        back = SystemSnapshot.from_dict(populated_snapshot().to_dict())
+        assert back.total_dedup_hits() == 2
+        assert back.read_imbalance() == pytest.approx(20 / 15)
+
+
+class TestClusterMetricsSerde:
+    def make_metrics(self) -> ClusterMetrics:
+        metrics = ClusterMetrics(
+            tuples_transferred=40,
+            trees_completed=12,
+            trees_failed=1,
+            task_restarts=2,
+        )
+        metrics.task("itemCount", 0).executed = 30
+        metrics.task("itemCount", 1).emitted = 9
+        metrics.task("simList", 0).acked = 5
+        return metrics
+
+    def test_round_trip_through_json(self):
+        metrics = self.make_metrics()
+        back = ClusterMetrics.from_dict(
+            json.loads(json.dumps(metrics.to_dict()))
+        )
+        assert dict(back.tasks) == dict(metrics.tasks)
+        assert back.tuples_transferred == 40
+        assert back.trees_completed == 12
+        assert back.trees_failed == 1
+        assert back.task_restarts == 2
+        assert back.total_executed() == metrics.total_executed()
+
+    def test_task_keys_flatten_to_bracket_form(self):
+        data = self.make_metrics().to_dict()
+        assert data["schema_version"] == METRICS_SCHEMA_VERSION
+        assert set(data["tasks"]) == {
+            "itemCount[0]",
+            "itemCount[1]",
+            "simList[0]",
+        }
+
+    def test_component_names_containing_brackets_round_trip(self):
+        metrics = ClusterMetrics()
+        metrics.tasks[("odd[name]", 2)] = TaskMetrics(executed=1)
+        back = ClusterMetrics.from_dict(metrics.to_dict())
+        assert back.tasks[("odd[name]", 2)].executed == 1
+
+    def test_other_schema_version_is_refused(self):
+        data = self.make_metrics().to_dict()
+        data["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema version"):
+            ClusterMetrics.from_dict(data)

@@ -1,0 +1,103 @@
+"""Chaos acceptance on both substrates — the headline guarantee of the
+runtime package: the same topology, fault plans and recovery machinery
+run unmodified on the simulator and on real processes, and the process
+substrate's final state is byte-identical to the simulator's.
+
+Latency faults are excluded by design: they are simulated-clock-only
+and the process substrate refuses them (see test_substrate_guard).
+"""
+
+import pytest
+
+from repro.recovery import Fault, RecoveryHarness
+from repro.runtime import ProcessSubstrate, SimSubstrate, topology_recipe
+
+from tests.recovery.helpers import (
+    TOPIC,
+    make_payloads,
+    make_tdaccess,
+    recommendations_bytes,
+    state_digest,
+)
+
+N_MESSAGES = 48
+BATCH = 4
+
+SUBSTRATES = [
+    pytest.param(SimSubstrate, id="sim"),
+    pytest.param(
+        lambda: ProcessSubstrate(worker_procs=2, server_procs=1), id="process"
+    ),
+]
+
+
+def make_harness(substrate, payloads, plan=None):
+    harness = RecoveryHarness(
+        make_tdaccess(payloads),
+        TOPIC,
+        topology_recipe(
+            "tests.recovery.helpers", "cf_topology_factory", batch_size=BATCH
+        ),
+        tick_interval=240.0,
+        checkpoint_every_rounds=2,
+        substrate=substrate,
+    )
+    harness.start(fault_plan=plan)
+    return harness
+
+
+def finish(harness):
+    assert harness.run() == "completed"
+    return (
+        recommendations_bytes(harness.client(), harness.clock.now()),
+        state_digest(harness.client()),
+    )
+
+
+@pytest.fixture(scope="module")
+def payloads():
+    return make_payloads(N_MESSAGES)
+
+
+@pytest.fixture(scope="module")
+def sim_reference(payloads):
+    """Fault-free simulator run: the byte-identity baseline."""
+    return finish(make_harness(SimSubstrate(), payloads))
+
+
+@pytest.mark.parametrize("make_substrate", SUBSTRATES)
+class TestCrossSubstrateAcceptance:
+    def test_fault_free_run_matches_simulator(
+        self, make_substrate, payloads, sim_reference
+    ):
+        with make_substrate() as substrate:
+            got = finish(make_harness(substrate, payloads))
+        assert got == sim_reference
+
+    def test_duplicate_delivery_chaos(
+        self, make_substrate, payloads, sim_reference
+    ):
+        plan = [
+            Fault(2, "duplicate_delivery", ("source", 2 * BATCH)),
+            Fault(4, "duplicate_delivery", ("source", 3 * BATCH)),
+        ]
+        with make_substrate() as substrate:
+            harness = make_harness(substrate, payloads, plan)
+            got = finish(harness)
+            assert harness.injector.rewinds == 2
+            dedup = harness.cluster.exactly_once_stats(harness.topology_name)
+            assert sum(s["dedup_hits"] for s in dedup.values()) > 0
+        assert got == sim_reference
+
+    def test_worker_kill_midtree_chaos(
+        self, make_substrate, payloads, sim_reference
+    ):
+        plan = [
+            Fault(3, "worker_kill_midtree", ("userHistory", 0, 3, 2 * BATCH))
+        ]
+        with make_substrate() as substrate:
+            harness = make_harness(substrate, payloads, plan)
+            got = finish(harness)
+            assert harness.injector.midtree_fired == 1
+            assert harness.injector.rewinds >= 1
+        assert got == sim_reference

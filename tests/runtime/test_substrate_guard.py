@@ -1,0 +1,42 @@
+"""SubstrateMismatchError: simulated-clock-only fixtures must fail
+loudly — at wiring time — when pointed at the process substrate.
+
+Latency faults advertise extra seconds for clients to charge against a
+*simulated* clock; real processes take real wall time, so accepting the
+fault would silently measure nothing.
+"""
+
+import pytest
+
+from repro.errors import SubstrateMismatchError
+from repro.runtime.proxies import ProcessTDStore
+from repro.runtime.substrate import ProcessSubstrate
+
+
+class TestLatencyFaultGuard:
+    def test_latency_degradation_is_refused_before_any_rpc(self):
+        # no server behind this address: the guard must fire at wiring
+        # time, before a connection is even attempted
+        facade = ProcessTDStore([("127.0.0.1", 1)], {0: 0})
+        with pytest.raises(SubstrateMismatchError, match="simulated clock"):
+            facade.set_degradation(0, latency=5.0)
+
+    def test_error_faults_still_work_on_real_processes(self):
+        # error_every degradation is clock-free and stays supported
+        with ProcessSubstrate(worker_procs=1, server_procs=1) as substrate:
+            store = substrate.build_tdstore(2, 4)
+            with pytest.raises(SubstrateMismatchError):
+                store.set_degradation(0, latency=0.5)
+            store.set_degradation(0, error_every=2)
+            assert store.degraded_servers() == [0]
+            store.clear_degradation(0)
+            assert store.degraded_servers() == []
+
+    def test_remote_data_server_advertises_zero_latency(self):
+        # resilience budgets charge server.latency against the client's
+        # clock; a remote server must never advertise simulated seconds
+        with ProcessSubstrate(worker_procs=1, server_procs=1) as substrate:
+            store = substrate.build_tdstore(2, 4)
+            table = store.config.route_table()
+            server = store.config.server(table.route(0).host)
+            assert server.latency == 0.0

@@ -1,0 +1,112 @@
+"""Process-chaos MTTR: seeded SIGKILL schedules on real processes.
+
+A seeded schedule of process-native faults — host ``kill -9`` (respawn
++ WAL replay), a mid-drain worker SIGKILL, a one-way partition, resets,
+dropped and delayed frames — runs against a live pipeline while a front
+end probes every user at each barrier. The exhibit is the MTTR
+distribution: seconds from each SIGKILL (or WAL fail-stop) until the
+respawned host is WAL-replayed *and answering reads again*, p50/p99/max
+over all seeded kills, plus the convergence invariants (zero lost keys,
+100% serve rate, fingerprint byte-identical to a fault-free process
+reference). Written to ``BENCH_chaos.json`` for the CI gate.
+
+Run with: PYTHONPATH=src python -m pytest benchmarks/bench_chaos.py -q -s
+"""
+
+from __future__ import annotations
+
+from repro.runtime import ProcessSubstrate
+from repro.runtime.chaos import ChaosOrchestrator, seeded_process_plan
+
+from benchmarks.conftest import SEED, report, report_json
+from tests.chaos.helpers import (
+    BATCH,
+    fingerprint,
+    make_harness,
+    make_payloads,
+    make_serve_probe,
+)
+
+N_MESSAGES = 48
+WORKERS = 2
+HOSTS = 2
+HORIZON = 12
+
+
+def substrate():
+    return ProcessSubstrate(worker_procs=WORKERS, server_procs=HOSTS)
+
+
+def test_seeded_chaos_mttr():
+    payloads = make_payloads(N_MESSAGES)
+
+    # fault-free process reference: the convergence target
+    with substrate() as ref_substrate:
+        ref = make_harness(ref_substrate, payloads)
+        assert ref.run() == "completed"
+        ref_now = ref.clock.now()
+        want = fingerprint(ref, ref_now)
+
+    plan = seeded_process_plan(
+        SEED,
+        horizon=HORIZON,
+        hosts=HOSTS,
+        workers=WORKERS,
+        host_kills=3,  # several kills so the MTTR percentiles mean something
+        worker_kills=1,
+        partitions=1,
+        conn_resets=1,
+        frame_drops=1,
+        frame_delays=1,
+        disk_faults=("fsync_error",),
+        sigkill_after=3,
+        rewind_depth=2 * BATCH,
+    )
+
+    with substrate() as chaos_substrate:
+        harness = make_harness(chaos_substrate, payloads, start=False)
+        orchestrator = ChaosOrchestrator(
+            harness, plan, serve_probe=make_serve_probe(harness)
+        )
+        assert orchestrator.run() == "completed"
+        runtime = chaos_substrate.chaos_runtime()
+        got = fingerprint(harness, ref_now)
+        chaos_report = orchestrator.report(fingerprint=got, reference=want)
+        samples = [
+            {"kind": s.kind, "target": s.target, "seconds": s.seconds}
+            for s in runtime.mttr_samples
+        ]
+
+    assert sum(chaos_report.kills.values()) > 0
+    assert chaos_report.lost_keys == 0
+    assert chaos_report.serve_rate == 1.0
+    assert chaos_report.fingerprint_match
+    assert chaos_report.skipped_faults == 0
+    assert chaos_report.mttr_count >= 3
+    assert chaos_report.mttr_p99 is not None and chaos_report.mttr_p99 > 0
+
+    payload = dict(chaos_report.to_dict())
+    payload["seed"] = SEED
+    payload["horizon"] = HORIZON
+    payload["hosts"] = HOSTS
+    payload["workers"] = WORKERS
+    payload["messages"] = N_MESSAGES
+    payload["mttr_samples"] = samples
+    report_json("chaos", payload)
+
+    lines = [
+        f"Process chaos (seed {SEED}, {len(plan)} faults over "
+        f"{HORIZON} barrier rounds, {HOSTS} hosts / {WORKERS} workers)",
+        f"  kills: {dict(chaos_report.kills)}",
+        f"  network: {dict(chaos_report.network_faults)}",
+        f"  disk: {dict(chaos_report.disk_faults)}",
+        f"  MTTR (SIGKILL -> WAL-replayed-and-serving, s): "
+        f"p50={chaos_report.mttr_p50:.3f} p99={chaos_report.mttr_p99:.3f} "
+        f"max={chaos_report.mttr_max:.3f} over {chaos_report.mttr_count} "
+        "kills",
+        f"  lost keys: {chaos_report.lost_keys}, serve rate: "
+        f"{chaos_report.serve_rate:.0%} "
+        f"({chaos_report.serve_answered}/{chaos_report.serve_attempts}), "
+        f"fingerprint match: {chaos_report.fingerprint_match}",
+    ]
+    report("chaos_mttr", "\n".join(lines))

@@ -39,7 +39,7 @@ class Alert:
 
 # bump when a snapshot field is added/renamed; from_dict refuses other
 # versions rather than silently dropping signals
-SNAPSHOT_SCHEMA_VERSION = 1
+SNAPSHOT_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -103,6 +103,12 @@ class SystemSnapshot:
     autoscaler_decisions: int = 0
     autoscaler_applied: int = 0
     autoscaler_last_action: str | None = None
+    # process substrate: supervisor robustness counters (forced kills of
+    # hung children, respawns after crashes, consecutive heartbeat
+    # misses per child) — zero/empty on the simulator
+    supervisor_kills: int = 0
+    supervisor_respawns: int = 0
+    heartbeat_miss_streaks: dict[str, int] = field(default_factory=dict)
 
     # dict-valued fields keyed by server id; JSON forces str keys, so
     # to_dict/from_dict convert explicitly instead of relying on json
@@ -182,6 +188,7 @@ class SystemMonitor:
         max_replication_backlog: int = 10_000,
         max_read_imbalance: float = 3.0,
         max_checkpoint_age: float | None = None,
+        max_heartbeat_misses: int = 3,
     ):
         self._now = clock_now
         self._tdaccess = tdaccess
@@ -195,10 +202,12 @@ class SystemMonitor:
         self._front_end: "RecommenderFrontEnd | None" = None
         self._serving: "ServingLayer | None" = None
         self._autoscaler: "Autoscaler | None" = None
+        self._supervisor = None
         self.max_consumer_lag = max_consumer_lag
         self.max_replication_backlog = max_replication_backlog
         self.max_read_imbalance = max_read_imbalance
         self.max_checkpoint_age = max_checkpoint_age
+        self.max_heartbeat_misses = max_heartbeat_misses
         self.history: list[SystemSnapshot] = []
 
     def watch_consumer(self, name: str, consumer: Consumer):
@@ -224,6 +233,14 @@ class SystemMonitor:
         next snapshot (and alert on their delta).
         """
         self._autoscaler = autoscaler
+
+    def watch_supervisor(self, supervisor):
+        """Surface a :class:`~repro.runtime.supervisor.ProcessSupervisor`'s
+        robustness counters — forced kills of hung children, respawns,
+        heartbeat-miss streaks — as monitoring signals. Only meaningful
+        on the process substrate; any object with ``robustness_stats()``
+        qualifies."""
+        self._supervisor = supervisor
 
     def watch_recovery(
         self,
@@ -312,6 +329,13 @@ class SystemMonitor:
             snap.autoscaler_decisions = len(self._autoscaler.decisions)
             snap.autoscaler_applied = self._autoscaler.decisions_applied()
             snap.autoscaler_last_action = self._autoscaler.last_action
+        if self._supervisor is not None:
+            stats = self._supervisor.robustness_stats()
+            snap.supervisor_kills = stats["kills"]
+            snap.supervisor_respawns = stats["respawns"]
+            snap.heartbeat_miss_streaks = dict(
+                stats["heartbeat_miss_streaks"]
+            )
         if self._tdstore is not None and hasattr(
             self._tdstore, "degraded_servers"
         ):
@@ -559,6 +583,39 @@ class SystemMonitor:
                     f"{snap.autoscaler_last_action})",
                 )
             )
+        kills_delta = snap.supervisor_kills - self._previous_field(
+            "supervisor_kills"
+        )
+        if kills_delta > 0:
+            alerts.append(
+                Alert(
+                    "critical", "runtime",
+                    f"supervisor force-killed {kills_delta} hung "
+                    "child process(es) since last snapshot",
+                )
+            )
+        respawn_delta = snap.supervisor_respawns - self._previous_field(
+            "supervisor_respawns"
+        )
+        if respawn_delta > 0:
+            alerts.append(
+                Alert(
+                    "warning", "runtime",
+                    f"supervisor respawned {respawn_delta} child "
+                    "process(es) since last snapshot (crash recovery "
+                    "re-driven: WAL replay / topology reload)",
+                )
+            )
+        for name, streak in sorted(snap.heartbeat_miss_streaks.items()):
+            if streak >= self.max_heartbeat_misses:
+                alerts.append(
+                    Alert(
+                        "warning", "runtime",
+                        f"child {name!r} missed {streak} consecutive "
+                        f"heartbeat(s); hang-kill fires past the "
+                        "supervisor's deadline",
+                    )
+                )
         for layer, degraded in (
             ("tdstore", snap.degraded_tdstore_servers),
             ("tdaccess", snap.degraded_tdaccess_servers),
@@ -715,5 +772,20 @@ class SystemMonitor:
             lines.append(
                 f"  autoscaler: {snap.autoscaler_decisions} decision(s), "
                 f"{snap.autoscaler_applied} applied, last action {last}"
+            )
+        if self._supervisor is not None:
+            streaks = (
+                ", ".join(
+                    f"{name}={streak}"
+                    for name, streak in sorted(
+                        snap.heartbeat_miss_streaks.items()
+                    )
+                )
+                or "none"
+            )
+            lines.append(
+                f"  supervisor: {snap.supervisor_kills} hang kill(s), "
+                f"{snap.supervisor_respawns} respawn(s), "
+                f"miss streaks: {streaks}"
             )
         return "\n".join(lines)

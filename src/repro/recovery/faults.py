@@ -28,6 +28,19 @@ if TYPE_CHECKING:
     from repro.tdaccess.consumer import Consumer
     from repro.tdstore.cluster import TDStoreCluster
 
+# process-native kinds: faults that only exist on real OS processes.
+# On SimSubstrate (no chaos runtime wired) the injector records them in
+# ``skipped`` instead of firing — the convergence proof compares a
+# process run under these faults against a fault-free reference, so a
+# sim run of the same plan legitimately reduces to the fault-free case.
+WAL_FAULT_KINDS = frozenset({"torn_write", "disk_full", "fsync_error"})
+NETWORK_FAULT_KINDS = frozenset(
+    {"conn_reset", "frame_drop", "frame_delay", "one_way_partition"}
+)
+PROCESS_KINDS = frozenset(
+    {"host_sigkill", "worker_sigkill"} | WAL_FAULT_KINDS | NETWORK_FAULT_KINDS
+)
+
 KINDS = frozenset(
     {
         "kill_task",
@@ -46,7 +59,10 @@ KINDS = frozenset(
         "duplicate_delivery",
         "worker_kill_midtree",
     }
+    | PROCESS_KINDS
 )
+
+PARTITION_DIRECTIONS = frozenset({"inbound", "outbound"})
 
 # layers the degradation faults can target
 LAYERS = frozenset({"tdstore", "tdaccess"})
@@ -81,6 +97,21 @@ class Fault:
     executions have run: the task is killed (losing its in-memory dedup
     ledger) and every wired consumer rewinds, the worst replay case the
     store-side op journal exists for.
+
+    The process-native kinds (fired through the substrate's chaos
+    runtime; recorded as skipped on the simulator): ``host_sigkill``
+    targets ``(host_index,)`` — ``kill -9`` of a TDStore server host,
+    respawned with WAL replay. ``worker_sigkill`` targets
+    ``(worker_index, after_executions, rewind)`` — armed like a
+    mid-tree kill, but the SIGKILL takes a whole worker process
+    mid-drain. ``conn_reset`` / ``frame_drop`` target
+    ``(host_index, count)``; ``frame_delay`` targets
+    ``(host_index, count, seconds)``; ``one_way_partition`` targets
+    ``(host_index, direction, count)`` with ``direction`` ``inbound``
+    (requests die before dispatch) or ``outbound`` (acks die after
+    apply). The WAL disk kinds ``torn_write`` / ``disk_full`` /
+    ``fsync_error`` target ``(host_index,)`` and fail-stop the host on
+    its next logged mutation.
     """
 
     round: int
@@ -129,6 +160,67 @@ class Fault:
                 )
             if not isinstance(rewind, int) or rewind < 1:
                 raise FaultPlanError(f"rewind must be >= 1: {rewind}")
+        if self.kind == "host_sigkill" or self.kind in WAL_FAULT_KINDS:
+            if (
+                len(self.target) != 1
+                or not isinstance(self.target[0], int)
+                or self.target[0] < 0
+            ):
+                raise FaultPlanError(
+                    f"{self.kind} target must be (host_index,): {self.target}"
+                )
+        if self.kind == "worker_sigkill":
+            if len(self.target) != 3 or not all(
+                isinstance(f, int) for f in self.target
+            ):
+                raise FaultPlanError(
+                    "worker_sigkill target must be (worker_index, "
+                    f"after_executions, rewind): {self.target}"
+                )
+            index, after, rewind = self.target
+            if index < 0 or after < 1 or rewind < 1:
+                raise FaultPlanError(
+                    f"worker_sigkill needs index >= 0, after >= 1, "
+                    f"rewind >= 1: {self.target}"
+                )
+        if self.kind in ("conn_reset", "frame_drop"):
+            if (
+                len(self.target) != 2
+                or not all(isinstance(f, int) for f in self.target)
+                or self.target[0] < 0
+                or self.target[1] < 1
+            ):
+                raise FaultPlanError(
+                    f"{self.kind} target must be (host_index, count >= 1): "
+                    f"{self.target}"
+                )
+        if self.kind == "frame_delay":
+            if (
+                len(self.target) != 3
+                or not isinstance(self.target[0], int)
+                or not isinstance(self.target[1], int)
+                or self.target[0] < 0
+                or self.target[1] < 1
+                or not float(self.target[2]) > 0.0
+            ):
+                raise FaultPlanError(
+                    "frame_delay target must be (host_index, count >= 1, "
+                    f"seconds > 0): {self.target}"
+                )
+        if self.kind == "one_way_partition":
+            if (
+                len(self.target) != 3
+                or not isinstance(self.target[0], int)
+                or self.target[0] < 0
+                or self.target[1] not in PARTITION_DIRECTIONS
+                or not isinstance(self.target[2], int)
+                or self.target[2] < 1
+            ):
+                raise FaultPlanError(
+                    "one_way_partition target must be (host_index, "
+                    "direction in {'inbound', 'outbound'}, count >= 1): "
+                    f"{self.target}"
+                )
 
 
 class FaultInjector:
@@ -150,20 +242,27 @@ class FaultInjector:
         tdstore: "TDStoreCluster | None" = None,
         tdaccess: "TDAccessCluster | None" = None,
         consumers: "dict[str, Consumer] | None" = None,
+        runtime=None,
     ):
         self._plan = sorted(plan, key=lambda fault: fault.round)
         self._cursor = 0
         self.injected: list[Fault] = []
+        # process-native faults that hit a substrate with no chaos
+        # runtime land here instead of firing
+        self.skipped: list[Fault] = []
         self._storm = storm
         self._topology = topology
         self._tdstore = tdstore
         self._tdaccess = tdaccess
         self._consumers = consumers
+        self._runtime = runtime
         self._attached_to: "LocalCluster | None" = None
-        # worker_kill_midtree faults armed at a barrier, waiting for
-        # their execution countdown to hit zero mid-drain
+        # worker_kill_midtree / worker_sigkill faults armed at a
+        # barrier, waiting for their execution countdown to hit zero
+        # mid-drain
         self._armed: list[dict] = []
         self.midtree_fired = 0
+        self.sigkills_fired = 0
         self.rewinds = 0
 
     # -- wiring -----------------------------------------------------------
@@ -176,6 +275,7 @@ class FaultInjector:
         tdstore: "TDStoreCluster | None" = None,
         tdaccess: "TDAccessCluster | None" = None,
         consumers: "dict[str, Consumer] | None" = None,
+        runtime=None,
     ):
         """Point the injector at a rebuilt deployment after recovery."""
         if storm is not None:
@@ -188,6 +288,8 @@ class FaultInjector:
             self._tdaccess = tdaccess
         if consumers is not None:
             self._consumers = consumers
+        if runtime is not None:
+            self._runtime = runtime
 
     def attach(self, cluster: "LocalCluster"):
         self.detach()
@@ -239,17 +341,31 @@ class FaultInjector:
             self._tdaccess.failover_master()
         elif fault.kind == "latency_spike":
             layer, server_id, seconds = fault.target
-            self._layer(layer).set_degradation(server_id, latency=seconds)
+            cluster = self._layer(layer)
+            if hasattr(cluster, "set_real_delay"):
+                # process substrate: the owning host really stalls
+                # (bounded server-side) instead of advertising seconds
+                # for clients to charge — same plan, native semantics
+                cluster.set_real_delay(server_id, seconds)
+            else:
+                cluster.set_degradation(server_id, latency=seconds)
         elif fault.kind == "error_rate":
             layer, server_id, every = fault.target
             self._layer(layer).set_degradation(server_id, error_every=every)
         elif fault.kind == "brownout":
             layer, server_id = fault.target
-            self._layer(layer).set_degradation(
-                server_id,
-                latency=BROWNOUT_LATENCY,
-                error_every=BROWNOUT_ERROR_EVERY,
-            )
+            cluster = self._layer(layer)
+            if hasattr(cluster, "set_real_delay"):
+                cluster.set_real_delay(server_id, BROWNOUT_LATENCY)
+                cluster.set_degradation(
+                    server_id, error_every=BROWNOUT_ERROR_EVERY
+                )
+            else:
+                cluster.set_degradation(
+                    server_id,
+                    latency=BROWNOUT_LATENCY,
+                    error_every=BROWNOUT_ERROR_EVERY,
+                )
         elif fault.kind == "clear_degradation":
             layer, server_id = fault.target
             self._layer(layer).clear_degradation(server_id)
@@ -266,6 +382,20 @@ class FaultInjector:
                     "rewind": rewind,
                 }
             )
+        elif fault.kind in PROCESS_KINDS:
+            if self._runtime is None:
+                self.skipped.append(fault)
+            elif fault.kind == "worker_sigkill":
+                worker_index, after, rewind = fault.target
+                self._armed.append(
+                    {
+                        "sigkill_worker": worker_index,
+                        "countdown": after,
+                        "rewind": rewind,
+                    }
+                )
+            else:
+                self._runtime.fire(fault)
         elif fault.kind == "crash_process":
             raise SimulatedCrash(
                 f"fault plan crashed the computation process at round "
@@ -282,12 +412,20 @@ class FaultInjector:
             if armed["countdown"] > 0:
                 still_armed.append(armed)
                 continue
-            # the kill: the task's in-memory state (dedup ledger included)
-            # is gone; its queued tuples survive to the fresh instance
-            self._storm.kill_task(
-                self._topology, armed["component"], armed["task_index"]
-            )
-            self.midtree_fired += 1
+            if "sigkill_worker" in armed:
+                # SIGKILL the whole worker process mid-drain; the
+                # parent's next dispatch to it finds the corpse and
+                # drives respawn + reload + re-dispatch
+                self._runtime.kill_worker(armed["sigkill_worker"])
+                self.sigkills_fired += 1
+            else:
+                # the kill: the task's in-memory state (dedup ledger
+                # included) is gone; its queued tuples survive to the
+                # fresh instance
+                self._storm.kill_task(
+                    self._topology, armed["component"], armed["task_index"]
+                )
+                self.midtree_fired += 1
             # ...and the replay: every wired source consumer rewinds, so
             # already-processed offsets are re-delivered into the half
             # finished drain

@@ -158,6 +158,7 @@ class RecoveryHarness:
                 tdstore=tdstore,
                 tdaccess=self._tdaccess,
                 consumers={CONSUMER_NAME: consumer},
+                runtime=self.substrate.chaos_runtime(),
             )
             self.injector.attach(cluster)
         return _Stack(clock, tdstore, consumer, topology, cluster, coordinator)

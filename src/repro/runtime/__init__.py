@@ -33,6 +33,8 @@ Layering (stdlib only — ``socket`` / ``selectors`` / ``multiprocessing``):
 ``process_cluster``   ``LocalCluster`` subclass dispatching bolt
                       execution to the worker pool
 ``substrate``         ``SimSubstrate`` / ``ProcessSubstrate``
+``chaos``             process-native fault injection (SIGKILL, network,
+                      disk) + barrier-keyed orchestration and MTTR
 ====================  ====================================================
 """
 
@@ -41,6 +43,13 @@ from repro.errors import (
     RuntimeSubstrateError,
     SubstrateMismatchError,
     WorkerCrashError,
+)
+from repro.runtime.chaos import (
+    ChaosOrchestrator,
+    ChaosReport,
+    ChaosRuntime,
+    MttrSample,
+    seeded_process_plan,
 )
 from repro.runtime.process_cluster import ProcessCluster
 from repro.runtime.proxies import (
@@ -52,12 +61,17 @@ from repro.runtime.recipes import topology_recipe
 from repro.runtime.rpc import RpcClient, RpcServer
 from repro.runtime.substrate import ProcessSubstrate, SimSubstrate, Substrate
 from repro.runtime.supervisor import ManagedProcess, ProcessSupervisor
-from repro.runtime.wal import GroupCommitWal
+from repro.runtime.wal import DiskFaultShim, GroupCommitWal
 from repro.runtime.wire import Request, Response, StreamDecoder, encode_frame
 
 __all__ = [
+    "ChaosOrchestrator",
+    "ChaosReport",
+    "ChaosRuntime",
+    "DiskFaultShim",
     "GroupCommitWal",
     "ManagedProcess",
+    "MttrSample",
     "ProcessCluster",
     "ProcessSubstrate",
     "ProcessSupervisor",
@@ -76,5 +90,6 @@ __all__ = [
     "SubstrateMismatchError",
     "WorkerCrashError",
     "encode_frame",
+    "seeded_process_plan",
     "topology_recipe",
 ]

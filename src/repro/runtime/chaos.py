@@ -1,0 +1,549 @@
+"""Process-native chaos: real SIGKILL, network, and disk faults.
+
+This is the layer ROADMAP item 1 called for: the full chaos vocabulary
+running against *real* OS processes instead of the simulator's modeled
+failures. Three pieces:
+
+- :class:`ChaosRuntime` — the adapter a :class:`FaultInjector` fires
+  process-native faults through. It SIGKILLs supervised hosts and
+  workers, arms network-fault windows on the hosts' RPC transports
+  (``_chaos`` admin op -> ``RpcServer.fault_hook``), and arms one-shot
+  WAL disk faults (``_wal_fault`` -> ``DiskFaultShim``). Every
+  host-level fault is driven to recovery *synchronously at the barrier*
+  (kill -> respawn -> WAL replay -> serving probe) and timed into an
+  MTTR sample.
+- :class:`ChaosOrchestrator` — drives a ``RecoveryHarness`` under a
+  seeded, barrier-keyed plan (never wall clock: a plan replays
+  identically at any machine speed), probing front-end serve rate at
+  every barrier and distilling the run into a :class:`ChaosReport`
+  whose invariants the acceptance suites assert: zero lost keys, 100%
+  serve rate, final state byte-identical to a fault-free reference.
+- :func:`seeded_process_plan` — deterministic generator for plans
+  mixing SIGKILLs, partitions, resets, delayed/dropped frames, disk
+  faults, and (real-delay) latency spikes.
+
+Why the faults converge: every mutating TDStore op is op-journaled
+(``put_once``/``apply_op`` dedup) or last-write-wins, acks are withheld
+until the WAL's ``fsync`` covers them, and the client proxies retry
+transport failures against stable ports. A killed host replays exactly
+the acknowledged prefix; a swallowed ack is re-sent and deduped; a
+fail-stopped WAL host loses only un-acked writes — which is correct.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import FaultPlanError, RemoteOpError
+from repro.recovery.faults import (
+    Fault,
+    NETWORK_FAULT_KINDS,
+    WAL_FAULT_KINDS,
+)
+from repro.runtime.rpc import RpcClient
+from repro.utils.rng import SeedSequenceFactory
+
+# width (in disturbed request frames) of a one_way_partition window;
+# kept under the proxies' transport-retry budget so the partition is
+# absorbable by design — the proof is convergence, not outage
+PARTITION_WIDTH = 2
+
+
+@dataclass(frozen=True)
+class MttrSample:
+    """One SIGKILL (or disk-fault fail-stop) -> recovered-and-serving
+    measurement: the time from the kill to the respawned host having
+    replayed its WAL and answered a data-plane probe."""
+
+    kind: str
+    target: int
+    seconds: float
+
+
+@dataclass
+class ChaosReport:
+    """What a chaos run actually did, and whether it converged."""
+
+    kills: dict = field(default_factory=dict)
+    network_faults: dict = field(default_factory=dict)
+    disk_faults: dict = field(default_factory=dict)
+    mttr_count: int = 0
+    mttr_p50: "float | None" = None
+    mttr_p99: "float | None" = None
+    mttr_max: "float | None" = None
+    lost_keys: int = 0
+    serve_attempts: int = 0
+    serve_answered: int = 0
+    fingerprint_match: "bool | None" = None
+    skipped_faults: int = 0
+    injected_faults: int = 0
+    rounds: int = 0
+    crashes: int = 0
+
+    @property
+    def serve_rate(self) -> float:
+        if self.serve_attempts == 0:
+            return 1.0
+        return self.serve_answered / self.serve_attempts
+
+    def to_dict(self) -> dict:
+        return {
+            "kills": dict(self.kills),
+            "network_faults": dict(self.network_faults),
+            "disk_faults": dict(self.disk_faults),
+            "mttr": {
+                "count": self.mttr_count,
+                "p50": self.mttr_p50,
+                "p99": self.mttr_p99,
+                "max": self.mttr_max,
+            },
+            "lost_keys": self.lost_keys,
+            "serve_attempts": self.serve_attempts,
+            "serve_answered": self.serve_answered,
+            "serve_rate": self.serve_rate,
+            "fingerprint_match": self.fingerprint_match,
+            "skipped_faults": self.skipped_faults,
+            "injected_faults": self.injected_faults,
+            "rounds": self.rounds,
+            "crashes": self.crashes,
+        }
+
+
+def percentile(values: "list[float]", q: float) -> "float | None":
+    """Nearest-rank percentile; None on an empty sample."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = round(q / 100.0 * (len(ordered) - 1))
+    return ordered[int(min(len(ordered) - 1, max(0, rank)))]
+
+
+def lost_keys(reference_state: dict, observed_state: dict) -> int:
+    """Keys present in a reference state digest but absent after chaos.
+
+    Both arguments are nested section -> {key: value} digests (see
+    ``tests.recovery.helpers.state_digest``). Byte-identity is the
+    stronger check; this one localizes a divergence to dropped keys.
+    """
+    lost = 0
+    for section, ref in reference_state.items():
+        if not isinstance(ref, dict):
+            continue
+        got = observed_state.get(section)
+        got = got if isinstance(got, dict) else {}
+        lost += sum(1 for key in ref if key not in got)
+    return lost
+
+
+class ChaosRuntime:
+    """Process-native fault adapter bound to one ``ProcessSubstrate``.
+
+    The :class:`FaultInjector` calls :meth:`fire` (and
+    :meth:`kill_worker` for armed mid-drain SIGKILLs) from barrier
+    hooks — quiescent points with no execution waves in flight, which
+    is what lets a host be killed, respawned, and WAL-replayed
+    synchronously without racing the worker pool.
+    """
+
+    def __init__(self, substrate):
+        self._substrate = substrate
+        self.kills: dict[str, int] = {}
+        self.network_faults: dict[str, int] = {}
+        self.disk_faults: dict[str, int] = {}
+        self.mttr_samples: list[MttrSample] = []
+
+    # -- dispatch ---------------------------------------------------------
+
+    def fire(self, fault: Fault) -> None:
+        kind = fault.kind
+        if kind == "host_sigkill":
+            self.kill_host(fault.target[0])
+        elif kind in ("conn_reset", "frame_drop"):
+            self.network_fault(fault.target[0], kind, fault.target[1])
+        elif kind == "frame_delay":
+            host_index, count, seconds = fault.target
+            self.network_fault(host_index, "frame_delay", count, seconds)
+        elif kind == "one_way_partition":
+            host_index, direction, count = fault.target
+            # inbound: requests die before dispatch (connection reset);
+            # outbound: requests apply but their acks never come back
+            mapped = "conn_reset" if direction == "inbound" else "frame_drop"
+            self.network_fault(
+                host_index, mapped, count * PARTITION_WIDTH,
+                record_as=f"partition_{direction}",
+            )
+        elif kind in WAL_FAULT_KINDS:
+            self.disk_fault(fault.target[0], kind)
+        else:
+            raise FaultPlanError(
+                f"chaos runtime cannot fire fault kind {kind!r}"
+            )
+
+    # -- SIGKILL ----------------------------------------------------------
+
+    def kill_host(self, host_index: int) -> MttrSample:
+        """``kill -9`` a server host, respawn it, replay its WAL, and
+        verify it serves again; the whole span is one MTTR sample."""
+        from repro.runtime.substrate import SERVER_HOST_PREFIX
+
+        name = f"{SERVER_HOST_PREFIX}{host_index}"
+        supervisor = self._substrate.supervisor
+        managed = supervisor.get(name)
+        start = time.monotonic()
+        self._sigkill(managed)
+        # restart hooks repoint the facade and drive _replay_wal; the
+        # respawn rebinds the same port, so worker-held proxies survive
+        supervisor.restart(name)
+        self._probe_serving(host_index)
+        sample = MttrSample(
+            "host_sigkill", host_index, time.monotonic() - start
+        )
+        self.mttr_samples.append(sample)
+        self.kills["host_sigkill"] = self.kills.get("host_sigkill", 0) + 1
+        return sample
+
+    def kill_worker(self, worker_index: int) -> None:
+        """SIGKILL a storm worker mid-drain. Recovery is deliberately
+        *lazy*: the parent's next dispatch finds the corpse and drives
+        respawn + topology reload + re-dispatch — the exactly-once
+        layer absorbs the re-executed tuples."""
+        from repro.runtime.substrate import WORKER_PREFIX
+
+        name = f"{WORKER_PREFIX}{worker_index}"
+        managed = self._substrate.supervisor.get(name)
+        self._sigkill(managed)
+        self.kills["worker_sigkill"] = (
+            self.kills.get("worker_sigkill", 0) + 1
+        )
+
+    def _sigkill(self, managed) -> None:
+        if managed.alive and managed.pid is not None:
+            os.kill(managed.pid, signal.SIGKILL)
+        managed.process.join(timeout=10.0)
+
+    # -- network ----------------------------------------------------------
+
+    def network_fault(
+        self,
+        host_index: int,
+        kind: str,
+        count: int,
+        seconds: float = 0.0,
+        *,
+        record_as: "str | None" = None,
+    ) -> None:
+        """Arm a window of ``count`` transport faults on one host."""
+        rpc = self._host_rpc(host_index)
+        try:
+            rpc.call("_chaos", kind, count, seconds)
+        finally:
+            rpc.close()
+        label = record_as or kind
+        self.network_faults[label] = (
+            self.network_faults.get(label, 0) + count
+        )
+
+    # -- disk -------------------------------------------------------------
+
+    def disk_fault(self, host_index: int, kind: str) -> MttrSample:
+        """Arm a one-shot WAL fault, trigger it, and recover the host.
+
+        The trigger is a probe mutation that will never be acknowledged:
+        the host fail-stops on the poisoned append (``torn_write`` /
+        ``disk_full``) or commit (``fsync_error``), so the probe's
+        transport error *is* the fault firing. Losing an un-acked write
+        is correct; WAL replay restores exactly the acknowledged prefix.
+        """
+        from repro.runtime.substrate import SERVER_HOST_PREFIX
+
+        name = f"{SERVER_HOST_PREFIX}{host_index}"
+        supervisor = self._substrate.supervisor
+        managed = supervisor.get(name)
+        server_id = self._local_server(host_index)
+        if server_id is None:
+            raise FaultPlanError(
+                f"host {host_index} owns no data server to poison"
+            )
+        arm = RpcClient(*managed.address)
+        try:
+            arm.call("_wal_fault", kind)
+        finally:
+            arm.close()
+        instance = self._hosted_instance(server_id)
+        start = time.monotonic()
+        trigger = RpcClient(*managed.address, timeout=10.0)
+        try:
+            trigger.call(
+                "put",
+                instance,
+                "__chaos_probe__",
+                f"{kind}@{host_index}",
+                target=("data", server_id),
+            )
+        except RemoteOpError:
+            pass  # expected: the host died before (or instead of) acking
+        finally:
+            trigger.close()
+        managed.process.join(timeout=10.0)
+        supervisor.restart(name)
+        self._probe_serving(host_index)
+        sample = MttrSample(kind, host_index, time.monotonic() - start)
+        self.mttr_samples.append(sample)
+        self.disk_faults[kind] = self.disk_faults.get(kind, 0) + 1
+        return sample
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _host_rpc(self, host_index: int) -> RpcClient:
+        from repro.runtime.substrate import SERVER_HOST_PREFIX
+
+        managed = self._substrate.supervisor.get(
+            f"{SERVER_HOST_PREFIX}{host_index}"
+        )
+        return RpcClient(*managed.address)
+
+    def _hosted_instance(self, server_id: int) -> int:
+        """An instance the server currently hosts — a probe mutation
+        against it exercises the real acceptance path end to end."""
+        table = self._substrate.facade.config.route_table()
+        for instance in range(table.num_instances):
+            if table.route(instance).host == server_id:
+                return instance
+        raise FaultPlanError(
+            f"data server {server_id} hosts no instance to probe"
+        )
+
+    def _local_server(self, host_index: int) -> "int | None":
+        facade = self._substrate.facade
+        if facade is None:
+            return None
+        for sid, host in sorted(facade.placement.items()):
+            if host == host_index:
+                return sid
+        return None
+
+    def _probe_serving(self, host_index: int) -> None:
+        """The recovered host must answer both the admin plane and a
+        data-plane read before the MTTR clock stops."""
+        rpc = self._host_rpc(host_index)
+        try:
+            rpc.call("_ping")
+            server_id = self._local_server(host_index)
+            if server_id is not None:
+                rpc.call(".alive", target=("data", server_id))
+        finally:
+            rpc.close()
+
+    def stats(self) -> dict:
+        durations = [s.seconds for s in self.mttr_samples]
+        return {
+            "kills": dict(self.kills),
+            "network_faults": dict(self.network_faults),
+            "disk_faults": dict(self.disk_faults),
+            "mttr_count": len(durations),
+            "mttr_p50": percentile(durations, 50),
+            "mttr_p99": percentile(durations, 99),
+            "mttr_max": max(durations) if durations else None,
+        }
+
+
+class ChaosOrchestrator:
+    """Barrier-keyed chaos driver over a :class:`RecoveryHarness`.
+
+    Fault timelines are keyed to progress barriers, never wall clock —
+    the same seeded plan fires at the same logical points on any
+    machine and either substrate. ``serve_probe`` (optional) runs at
+    every barrier and returns ``(attempts, answered)`` for the
+    front-end serve-rate invariant.
+    """
+
+    def __init__(
+        self,
+        harness,
+        plan: "list[Fault]",
+        *,
+        serve_probe: "Callable[[], tuple[int, int]] | None" = None,
+    ):
+        self.harness = harness
+        self.plan = list(plan)
+        self.serve_probe = serve_probe
+        self.serve_attempts = 0
+        self.serve_answered = 0
+        self.rounds = 0
+        self.crashes = 0
+
+    def _on_barrier(self, barrier_round: int) -> None:
+        self.rounds = max(self.rounds, barrier_round)
+        if self.serve_probe is not None:
+            attempts, answered = self.serve_probe()
+            self.serve_attempts += attempts
+            self.serve_answered += answered
+
+    def _hook_storm(self) -> None:
+        self.harness.cluster.add_barrier_hook(self._on_barrier)
+
+    def run(self, *, max_crashes: int = 8) -> str:
+        """Start the harness under the plan and drive it to completion,
+        re-hooking the rebuilt storm cluster after each crash."""
+        self.harness.start(self.plan)
+        self._hook_storm()
+        while True:
+            status = self.harness.run()
+            if status != "crashed":
+                return status
+            self.crashes += 1
+            if self.crashes > max_crashes:
+                raise FaultPlanError(
+                    f"chaos run exceeded {max_crashes} crash recoveries"
+                )
+            self.harness.recover()
+            self._hook_storm()
+
+    def report(
+        self,
+        *,
+        fingerprint: "tuple | None" = None,
+        reference: "tuple | None" = None,
+    ) -> ChaosReport:
+        """Distill the run. ``fingerprint``/``reference`` are
+        ``(recommendations_bytes, state_digest)`` pairs; when both are
+        given the report carries byte-identity and lost-key results."""
+        runtime = self.harness.substrate.chaos_runtime()
+        stats = runtime.stats() if runtime is not None else {}
+        injector = self.harness.injector
+        report = ChaosReport(
+            kills=stats.get("kills", {}),
+            network_faults=stats.get("network_faults", {}),
+            disk_faults=stats.get("disk_faults", {}),
+            mttr_count=stats.get("mttr_count", 0),
+            mttr_p50=stats.get("mttr_p50"),
+            mttr_p99=stats.get("mttr_p99"),
+            mttr_max=stats.get("mttr_max"),
+            serve_attempts=self.serve_attempts,
+            serve_answered=self.serve_answered,
+            skipped_faults=len(injector.skipped) if injector else 0,
+            injected_faults=len(injector.injected) if injector else 0,
+            rounds=self.rounds,
+            crashes=self.crashes,
+        )
+        if runtime is not None:
+            # armed mid-drain worker SIGKILLs fire through the injector
+            report.kills.setdefault("worker_sigkill", 0)
+        if fingerprint is not None and reference is not None:
+            report.fingerprint_match = fingerprint == reference
+            report.lost_keys = lost_keys(reference[1], fingerprint[1])
+        return report
+
+
+def seeded_process_plan(
+    seed: int,
+    *,
+    horizon: int,
+    hosts: int,
+    workers: int,
+    host_kills: int = 1,
+    worker_kills: int = 1,
+    partitions: int = 1,
+    conn_resets: int = 1,
+    frame_drops: int = 1,
+    frame_delays: int = 1,
+    delay_seconds: float = 0.02,
+    disk_faults: "tuple[str, ...]" = (),
+    latency_spikes: int = 0,
+    spike_seconds: float = 0.05,
+    tdstore_servers: "list[int] | None" = None,
+    sigkill_after: int = 3,
+    rewind_depth: int = 6,
+) -> "list[Fault]":
+    """Deterministic process-native chaos plan.
+
+    Host SIGKILLs and disk faults start at round 2 (some acknowledged
+    state must exist for WAL replay to prove anything); network-fault
+    windows stay narrow enough for the transport-retry budget to
+    absorb, because the invariant under test is convergence.
+    """
+    if horizon < 4:
+        raise FaultPlanError(
+            f"horizon too short to schedule faults: {horizon}"
+        )
+    rng = SeedSequenceFactory(seed).generator("process-fault-plan")
+    plan: list[Fault] = []
+
+    def _round(lo: int, hi: int) -> int:
+        return int(rng.integers(lo, max(lo + 1, hi)))
+
+    def _host() -> int:
+        return int(rng.integers(0, hosts))
+
+    for _ in range(host_kills):
+        plan.append(Fault(_round(2, horizon), "host_sigkill", (_host(),)))
+    for _ in range(worker_kills):
+        plan.append(
+            Fault(
+                _round(2, horizon),
+                "worker_sigkill",
+                (int(rng.integers(0, workers)), sigkill_after, rewind_depth),
+            )
+        )
+    for _ in range(partitions):
+        direction = "inbound" if int(rng.integers(0, 2)) == 0 else "outbound"
+        plan.append(
+            Fault(
+                _round(1, horizon),
+                "one_way_partition",
+                (_host(), direction, 1),
+            )
+        )
+    for _ in range(conn_resets):
+        plan.append(Fault(_round(1, horizon), "conn_reset", (_host(), 1)))
+    for _ in range(frame_drops):
+        plan.append(Fault(_round(1, horizon), "frame_drop", (_host(), 1)))
+    for _ in range(frame_delays):
+        plan.append(
+            Fault(
+                _round(1, horizon),
+                "frame_delay",
+                (_host(), 2, delay_seconds),
+            )
+        )
+    for kind in disk_faults:
+        if kind not in WAL_FAULT_KINDS:
+            raise FaultPlanError(f"unknown disk fault kind {kind!r}")
+        plan.append(Fault(_round(2, horizon), kind, (_host(),)))
+    if tdstore_servers:
+        for _ in range(latency_spikes):
+            server = tdstore_servers[
+                int(rng.integers(0, len(tdstore_servers)))
+            ]
+            start = _round(1, horizon - 2)
+            plan.append(
+                Fault(
+                    start, "latency_spike", ("tdstore", server, spike_seconds)
+                )
+            )
+            plan.append(
+                Fault(
+                    start + _round(1, 3),
+                    "clear_degradation",
+                    ("tdstore", server),
+                )
+            )
+    return sorted(plan, key=lambda fault: fault.round)
+
+
+__all__ = [
+    "ChaosOrchestrator",
+    "ChaosReport",
+    "ChaosRuntime",
+    "MttrSample",
+    "lost_keys",
+    "percentile",
+    "seeded_process_plan",
+    "PARTITION_WIDTH",
+    "NETWORK_FAULT_KINDS",
+    "WAL_FAULT_KINDS",
+]

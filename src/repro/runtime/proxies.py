@@ -22,11 +22,52 @@ per-operation hot path:
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable
 
-from repro.errors import SubstrateMismatchError, TDStoreError
+from repro.errors import RemoteOpError, SubstrateMismatchError, TDStoreError
 from repro.runtime.rpc import RpcClient
 from repro.utils.clock import WallClock
+
+# transport-level retry: a RemoteOpError means the TCP connection died
+# (host killed, connection reset, ack swallowed) — the client has
+# already closed the socket, so a fresh call reconnects. Every mutating
+# op is either op-journaled (put_once/apply_op dedup) or last-write-wins,
+# so re-sending an op whose ack was lost after the apply is convergent;
+# this is what makes conn_reset / frame_drop / host_sigkill faults
+# absorbable below the resilience stack.
+TRANSPORT_RETRIES = 3
+TRANSPORT_BACKOFF = 0.05
+
+
+def _retrying(
+    rpc: RpcClient,
+    method: str,
+    args: tuple,
+    target: Any,
+    recover: "Callable[[], None] | None",
+    counter: "Callable[[], None]",
+) -> Any:
+    attempt = 0
+    while True:
+        try:
+            return rpc.call(method, *args, target=target)
+        except RemoteOpError:
+            attempt += 1
+            if attempt > TRANSPORT_RETRIES:
+                raise
+            counter()
+            if recover is not None:
+                # parent-side: ask the supervisor to respawn the host
+                # (no-op when it is alive and the fault was transient)
+                try:
+                    recover()
+                except Exception:
+                    pass
+            else:
+                # worker-side: the parent restarts hosts at barriers on
+                # stable ports; a short pause outlives a reset window
+                time.sleep(TRANSPORT_BACKOFF * attempt)
 
 # TDStoreDataServer methods that mutate durable state; the server host
 # logs exactly these to its WAL (see server_host) and the parent facade
@@ -58,26 +99,43 @@ class RemoteDataServer:
 
     _REMOTE_ATTRS = ("alive", "degraded", "reads", "writes", "latency")
 
-    def __init__(self, rpc: RpcClient, server_id: int):
+    def __init__(
+        self,
+        rpc: RpcClient,
+        server_id: int,
+        *,
+        recover: "Callable[[], None] | None" = None,
+    ):
         self._rpc = rpc
         self.server_id = server_id
         self._target = ("data", server_id)
+        self._recover = recover
+        self.retries = 0
+
+    def _count_retry(self) -> None:
+        self.retries += 1
+
+    def _call(self, method: str, *args: Any) -> Any:
+        return _retrying(
+            self._rpc, method, args, self._target,
+            self._recover, self._count_retry,
+        )
 
     @property
     def alive(self) -> bool:
-        return self._rpc.call(".alive", target=self._target)
+        return self._call(".alive")
 
     @property
     def degraded(self) -> bool:
-        return self._rpc.call(".degraded", target=self._target)
+        return self._call(".degraded")
 
     @property
     def reads(self) -> int:
-        return self._rpc.call(".reads", target=self._target)
+        return self._call(".reads")
 
     @property
     def writes(self) -> int:
-        return self._rpc.call(".writes", target=self._target)
+        return self._call(".writes")
 
     @property
     def latency(self) -> float:
@@ -87,10 +145,10 @@ class RemoteDataServer:
     def __getattr__(self, name: str):
         if name.startswith("_"):
             raise AttributeError(name)
-        rpc, target = self._rpc, self._target
+        call = self._call
 
         def forward(*args: Any):
-            return rpc.call(name, *args, target=target)
+            return call(name, *args)
 
         forward.__name__ = name
         self.__dict__[name] = forward
@@ -113,11 +171,24 @@ class RemoteConfigServer:
         self,
         rpc: RpcClient,
         data_server_resolver: Callable[[int], RemoteDataServer],
+        *,
+        recover: "Callable[[], None] | None" = None,
     ):
         self._rpc = rpc
         self._resolve = data_server_resolver
         self._route_epoch: int = -1
         self._migration_cache: "dict[int, int] | None" = None
+        self._recover = recover
+        self.retries = 0
+
+    def _count_retry(self) -> None:
+        self.retries += 1
+
+    def _call(self, method: str, *args: Any) -> Any:
+        return _retrying(
+            self._rpc, method, args, "config",
+            self._recover, self._count_retry,
+        )
 
     @property
     def route_epoch(self) -> int:
@@ -126,7 +197,7 @@ class RemoteConfigServer:
         return self._route_epoch
 
     def route_table(self):
-        table = self._rpc.call("route_table", target="config")
+        table = self._call("route_table")
         self._route_epoch = table.version
         self._migration_cache = None  # re-learn in-flight moves
         return table
@@ -147,27 +218,46 @@ class RemoteConfigServer:
         route epoch before live-migrating under process-substrate load.
         """
         if self._migration_cache is None:
-            self._migration_cache = self._rpc.call(
-                "migration_targets", target="config"
-            )
+            self._migration_cache = self._call("migration_targets")
         if not self._migration_cache:
             return None
-        return self._rpc.call("migration_target", instance, target="config")
+        return self._call("migration_target", instance)
 
     def server(self, server_id: int) -> RemoteDataServer:
         return self._resolve(server_id)
 
+    def register_migration(self, migration: Any) -> None:
+        """Open a dual-write window on the control-plane host.
+
+        A live ``Migration`` holds socket-backed server proxies and
+        cannot be pickled across the RPC boundary; only the
+        ``(instance, target)`` pair travels, and the hosted config pair
+        builds its own surrogate registration from it (see
+        ``ConfigServerPair.register_remote_migration``).
+        """
+        self._migration_cache = None
+        self._call(
+            "register_remote_migration", migration.instance,
+            migration.target_id,
+        )
+
+    def unregister_migration(self, instance: int, completed: bool = True):
+        # explicit: callers pass ``completed`` by keyword, which the
+        # positional-only __getattr__ forward cannot carry
+        self._migration_cache = None
+        return self._call("unregister_migration", instance, completed)
+
     def __getattr__(self, name: str):
         if name.startswith("_"):
             raise AttributeError(name)
-        rpc = self._rpc
+        call = self._call
 
         def forward(*args: Any):
             # any forwarded control-plane call (register_migration,
             # install_table, ...) may start or finish a move: drop the
             # idle-state cache so migration_target re-learns it
             self._migration_cache = None
-            return rpc.call(name, *args, target="config")
+            return call(name, *args)
 
         forward.__name__ = name
         self.__dict__[name] = forward
@@ -198,12 +288,25 @@ class ProcessTDStore:
         self._rpcs: dict[int, RpcClient] = {}
         self._servers: dict[int, RemoteDataServer] = {}
         self._config: RemoteConfigServer | None = None
+        # parent-side only: asks the supervisor to respawn a dead host
+        # before a transport retry. Not pickled into workers — their
+        # copies fall back to backoff-and-retry against stable ports.
+        self._recover_host: "Callable[[int], None] | None" = None
+        # chaos bookkeeping: data servers carrying a real injected delay
+        self._real_delays: set[int] = set()
+        self.rpc_retries = 0
 
     def __getstate__(self):
         return {"addresses": self._addresses, "placement": self._placement}
 
     def __setstate__(self, state):
         self.__init__(state["addresses"], state["placement"])
+
+    def set_recovery_hook(self, hook: "Callable[[int], None] | None"):
+        self._recover_host = hook
+        # proxies cache their recover callback at construction; rebuild
+        self._servers.clear()
+        self._config = None
 
     # -- wiring -----------------------------------------------------------
 
@@ -219,16 +322,36 @@ class ProcessTDStore:
         if proxy is None:
             host_index = self._placement.get(server_id)
             if host_index is None:
-                raise TDStoreError(f"no host process for server {server_id}")
-            proxy = RemoteDataServer(self._host_rpc(host_index), server_id)
+                # servers created at runtime (elastic expansion) are
+                # always hosted by process 0; learn the placement lazily
+                # so worker-side copies pickled before the expansion
+                # still route to them
+                host_index = 0
+                self._placement[server_id] = 0
+            proxy = RemoteDataServer(
+                self._host_rpc(host_index),
+                server_id,
+                recover=self._recover_callback(host_index),
+            )
             self._servers[server_id] = proxy
         return proxy
+
+    def _recover_callback(
+        self, host_index: int
+    ) -> "Callable[[], None] | None":
+        # bound at proxy construction; set_recovery_hook rebuilds proxies
+        if self._recover_host is None:
+            return None
+        hook = self._recover_host
+        return lambda: hook(host_index)
 
     @property
     def config(self) -> RemoteConfigServer:
         if self._config is None:
             self._config = RemoteConfigServer(
-                self._host_rpc(0), self._data_server
+                self._host_rpc(0),
+                self._data_server,
+                recover=self._recover_callback(0),
             )
         return self._config
 
@@ -237,16 +360,70 @@ class ProcessTDStore:
         return [self._data_server(sid) for sid in sorted(self._placement)]
 
     def client(self, **resilience: Any):
-        """A resilient client whose time-based policies charge wall time."""
+        """A resilient client whose time-based policies charge wall time.
+
+        Unlike the simulator's sequential op stream — where the client's
+        single built-in in-place retry always lands on the next beat of
+        a deterministic error cadence — real clients interleave at the
+        server, so that retry can collide with another client's op and
+        hit the cadence again. A small bounded retry with real backoff
+        restores the sim-equivalent contract that transient injected
+        errors are invisible to callers.
+        """
+        from repro.resilience.retry import RetryPolicy
         from repro.tdstore.client import TDStoreClient
 
         resilience.setdefault("clock", WallClock())
+        resilience.setdefault(
+            "retry",
+            RetryPolicy(
+                max_attempts=4,
+                base_delay=0.005,
+                max_delay=0.05,
+                sleep=time.sleep,
+            ),
+        )
         return TDStoreClient(self.config, **resilience)
+
+    def resync_host_roles(self, host_index: int) -> None:
+        """Re-push current route-table roles to one host's local servers.
+
+        Roles reach non-zero hosts only when host 0's config pair
+        provisions the cluster at boot — they are control-plane state,
+        deliberately absent from the data WAL. A respawned host therefore
+        comes back with empty ``_hosted`` sets and would fence every
+        write as stale-routed; after WAL replay the parent re-asserts the
+        authoritative layout here. (Host 0 re-provisions the whole
+        cluster when *it* is reborn, so it never needs this.)
+        """
+        table = self.config.route_table()
+        for server_id, placed in sorted(self._placement.items()):
+            if placed != host_index:
+                continue
+            server = self._data_server(server_id)
+            for instance in range(table.num_instances):
+                route = table.route(instance)
+                if route.host == server_id:
+                    server.set_host_role(instance, True)
+                elif route.slave == server_id:
+                    # ensures the engine and sync inbox exist, role stays off
+                    server.set_host_role(instance, False)
 
     # -- facade operations (forwarded to the cluster on host 0) ----------
 
     def _cluster_call(self, method: str, *args: Any) -> Any:
-        return self._host_rpc(0).call(method, *args, target="cluster")
+        return _retrying(
+            self._host_rpc(0), method, args, "cluster",
+            self._recover_callback(0), self._count_retry,
+        )
+
+    def _count_retry(self) -> None:
+        self.rpc_retries += 1
+
+    @property
+    def placement(self) -> "dict[int, int]":
+        """Logical server id -> owning host index (copy)."""
+        return dict(self._placement)
 
     def add_data_server(self) -> int:
         server_id = self._cluster_call("add_data_server")
@@ -282,11 +459,37 @@ class ProcessTDStore:
             )
         return self._cluster_call("set_degradation", server_id, None, error_every)
 
+    def set_real_delay(self, server_id: int, seconds: float) -> float:
+        """Latency degradation with process-substrate semantics: the
+        owning host really stalls (bounded) before serving ops for
+        ``server_id``. This is what ``latency_spike`` faults map to
+        here, so chaos plans run unmodified on both substrates; the
+        seconds-charging ``set_degradation(latency=...)`` path keeps
+        its :class:`SubstrateMismatchError` guard."""
+        host_index = self._placement.get(server_id)
+        if host_index is None:
+            raise TDStoreError(f"no host process for server {server_id}")
+        applied = self._host_rpc(host_index).call(
+            "_set_delay", server_id, seconds
+        )
+        self._real_delays.add(server_id)
+        return applied
+
     def clear_degradation(self, server_id: int):
+        if server_id in self._real_delays:
+            host_index = self._placement.get(server_id)
+            if host_index is not None:
+                try:
+                    self._host_rpc(host_index).call("_clear_delay", server_id)
+                except Exception:
+                    pass  # a respawned host starts with no delays anyway
+            self._real_delays.discard(server_id)
         return self._cluster_call("clear_degradation", server_id)
 
     def degraded_servers(self) -> "list[int]":
-        return self._cluster_call("degraded_servers")
+        return sorted(
+            set(self._cluster_call("degraded_servers")) | self._real_delays
+        )
 
     def sync_replicas(self):
         return self._cluster_call("sync_replicas")

@@ -17,6 +17,7 @@ from __future__ import annotations
 import select
 import selectors
 import socket
+import time
 from typing import Any, Callable, Iterable
 
 from repro.errors import RemoteOpError
@@ -29,6 +30,11 @@ from repro.runtime.wire import (
 )
 
 RECV_CHUNK = 65536
+
+# hard cap on a fault-injected frame delay; the serve loop is
+# single-threaded, so a delay stalls every connection — bounding it
+# keeps client timeouts (30s) and supervisor pings out of reach
+MAX_FAULT_DELAY = 0.5
 
 
 def _sendall(sock: socket.socket, payload: bytes) -> None:
@@ -196,6 +202,15 @@ class RpcServer:
         self._running = False
         self.batches = 0
         self.requests = 0
+        # chaos seam: when set, consulted once per decoded request frame
+        # *before* dispatch. Returns None (pass), "reset" (close the
+        # connection without processing — an inbound partition),
+        # ("delay", seconds) (stall the loop, bounded), or
+        # "drop_response" (process the request but swallow its reply and
+        # close the connection — an ack lost after apply).
+        self.fault_hook: Callable[[int, Request], Any] | None = None
+        self.faults_injected: dict[str, int] = {}
+        self._swallow: dict[int, int] = {}
 
     @property
     def port(self) -> int:
@@ -250,6 +265,8 @@ class RpcServer:
                 continue
             for frame in frames:
                 batch.append((sock, frame))
+        if self.fault_hook is not None and batch:
+            batch = self._apply_faults(batch)
         if not batch:
             return
         self.batches += 1
@@ -267,10 +284,56 @@ class RpcServer:
         except Exception as exc:
             responses = [encode_error(exc) for _ in batch]
         for (sock, _), response in zip(batch, responses):
+            conn_id = self._conn_ids.get(sock)
+            if conn_id is not None and self._consume_swallow(conn_id):
+                self._drop(sock)
+                continue
             try:
                 _sendall(sock, encode_frame(response))
             except (ConnectionError, OSError):
                 self._drop(sock)
+
+    def _apply_faults(
+        self, batch: list[tuple[socket.socket, Request]]
+    ) -> list[tuple[socket.socket, Request]]:
+        """Filter one drained batch through the armed fault hook."""
+        kept: list[tuple[socket.socket, Request]] = []
+        reset: set[socket.socket] = set()
+        for sock, frame in batch:
+            if sock in reset:
+                continue  # later frames died with their connection
+            try:
+                action = self.fault_hook(self._conn_ids[sock], frame)
+            except Exception:
+                action = None  # a broken hook must not take the server down
+            if action is None:
+                kept.append((sock, frame))
+                continue
+            kind = action[0] if isinstance(action, tuple) else action
+            self.faults_injected[kind] = self.faults_injected.get(kind, 0) + 1
+            if kind == "reset":
+                reset.add(sock)
+                self._drop(sock)
+            elif kind == "delay":
+                time.sleep(min(float(action[1]), MAX_FAULT_DELAY))
+                kept.append((sock, frame))
+            elif kind == "drop_response":
+                conn_id = self._conn_ids[sock]
+                self._swallow[conn_id] = self._swallow.get(conn_id, 0) + 1
+                kept.append((sock, frame))
+            else:
+                kept.append((sock, frame))
+        return kept
+
+    def _consume_swallow(self, conn_id: int) -> bool:
+        count = self._swallow.get(conn_id, 0)
+        if count <= 0:
+            return False
+        if count == 1:
+            self._swallow.pop(conn_id, None)
+        else:
+            self._swallow[conn_id] = count - 1
+        return True
 
     def send_payload(self, conn_id: int, payload: bytes) -> None:
         """Deliver an already-encoded response frame to a connection.
@@ -283,6 +346,16 @@ class RpcServer:
         """
         sock = self._socks.get(conn_id)
         if sock is None:
+            return
+        if self._consume_swallow(conn_id):
+            # an armed drop_response eats this ack; shutting the socket
+            # down makes the client observe the loss immediately (EOF ->
+            # reconnect-and-retry) instead of blocking out its timeout.
+            # The serve loop reaps the connection on its next wake.
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             return
         try:
             _sendall(sock, payload)

@@ -33,6 +33,7 @@ from __future__ import annotations
 import os
 import queue
 import signal
+import sys
 import threading
 import time
 
@@ -41,6 +42,23 @@ from repro.runtime.proxies import MUTATING_DATA_METHODS, RemoteDataServer
 from repro.runtime.rpc import RpcClient, RpcServer
 from repro.runtime.wal import GroupCommitWal, WalError, replay
 from repro.runtime.wire import Request, Response, encode_error, encode_frame
+
+# cap on chaos-injected real per-op server delay: long enough to blow
+# any realistic deadline budget, short enough that supervisor pings and
+# client timeouts survive a whole degraded wave
+REAL_DELAY_CAP = 0.25
+
+# fail-stop exit code for a host whose WAL cannot promise durability;
+# distinct from clean exits so the supervisor's restart bookkeeping and
+# the chaos report can tell the two apart
+WAL_FAIL_STOP_EXIT = 70
+
+# control-plane calls that rebuild data-plane state and must therefore
+# survive a later host crash: logged as ("__cluster__", method, args)
+# records and re-applied by _replay_wal after the data-plane records.
+# add_data_server is logged so a respawned host 0 re-creates elastic
+# expansion servers (hosted by process 0) before their data records
+CLUSTER_WAL_METHODS = frozenset({"restore_contents", "add_data_server"})
 from repro.tdstore.cluster import TDStoreCluster
 from repro.tdstore.config_server import ConfigServerPair
 from repro.tdstore.data_server import TDStoreDataServer
@@ -125,6 +143,14 @@ class GroupCommitter(threading.Thread):
         try:
             while self._run_once():
                 pass
+        except WalError as exc:
+            # a commit barrier that fails must not ack — and every ack
+            # in the queue is waiting on exactly that barrier. Fail-stop
+            # the whole host: the supervisor respawns it and WAL replay
+            # restores the acknowledged prefix.
+            print(f"group committer fail-stop: {exc}", file=sys.stderr)
+            sys.stderr.flush()
+            os._exit(WAL_FAIL_STOP_EXIT)
         except BaseException as exc:  # surface on the next submit()
             self.error = exc
 
@@ -221,6 +247,12 @@ class ServerHost:
             commit_floor=config.get("commit_floor", 0.0),
         )
         self._max_group_wait = config.get("max_group_wait", 0.002)
+        # chaos state: armed network-fault windows (counts of non-admin
+        # request frames to disturb) and real per-data-server delays
+        self._net_reset = 0
+        self._net_drop = 0
+        self._net_delay: tuple[int, float] = (0, 0.0)
+        self._delays: dict[int, float] = {}
         self.cluster: TDStoreCluster | None = None
         self._sibling_rpcs: dict[int, RpcClient] = {}
         if self.host_index == 0:
@@ -238,7 +270,9 @@ class ServerHost:
                         self._sibling_rpcs[placement[sid]] = rpc
                     servers.append(RemoteDataServer(rpc, sid))
             self.cluster = HostedCluster(servers, self.num_instances, MDBEngine)
-        self.server = RpcServer(self.handle_batch)
+        # a respawn reuses the port recorded by the parent after the
+        # first spawn, so worker-held addresses survive host restarts
+        self.server = RpcServer(self.handle_batch, port=config.get("port", 0))
         self.committer = GroupCommitter(
             self.wal,
             self.server.send_payload,
@@ -294,19 +328,35 @@ class ServerHost:
         mutating_conns = set()
         replies = []
         for conn_id, request in batch:
+            target = request.target
+            if (
+                self._delays
+                and isinstance(target, tuple)
+                and target[0] == "data"
+            ):
+                # chaos latency: a real, bounded stall before serving —
+                # the process-substrate meaning of latency_spike
+                delay = self._delays.get(target[1], 0.0)
+                if delay > 0.0:
+                    time.sleep(delay)
             try:
-                receiver = self._receiver(request.target)
+                receiver = self._receiver(target)
                 method = request.method
                 if method.startswith("."):
                     value = getattr(receiver, method[1:])
                 else:
                     value = getattr(receiver, method)(*request.args)
                 if (
-                    isinstance(target := request.target, tuple)
+                    isinstance(target, tuple)
                     and target[0] == "data"
                     and method in MUTATING_DATA_METHODS
                 ):
-                    self.wal.append((target[1], method, request.args))
+                    self._wal_append((target[1], method, request.args))
+                    mutating_conns.add(conn_id)
+                elif target == "cluster" and method in CLUSTER_WAL_METHODS:
+                    if method == "add_data_server":
+                        self._adopt_runtime_servers()
+                    self._wal_append(("__cluster__", method, request.args))
                     mutating_conns.add(conn_id)
                 response = Response(value=value)
             except Exception as exc:
@@ -323,6 +373,105 @@ class ServerHost:
         if deferred or mutating_conns:
             self.committer.submit(frozenset(mutating_conns), deferred)
         return None
+
+    def _adopt_runtime_servers(self) -> None:
+        """Register elastic-expansion servers in the data-plane routing.
+
+        ``add_data_server`` creates the new ``TDStoreDataServer`` inside
+        this process (runtime-created servers are always hosted by the
+        control-plane host), so it must also serve that server's data
+        RPCs and WAL-log its mutations like any provisioned local.
+        """
+        if self.cluster is None:
+            return
+        for server in self.cluster.data_servers:
+            if (
+                isinstance(server, TDStoreDataServer)
+                and server.server_id not in self.locals
+            ):
+                self.locals[server.server_id] = server
+
+    def _wal_append(self, record) -> None:
+        try:
+            self.wal.append(record)
+        except WalError as exc:
+            # the op was applied in memory but its log record is not on
+            # disk and never will be: acking would lie, continuing would
+            # let unlogged state diverge from what replay can rebuild.
+            # Fail-stop; losing the un-acked op is correct.
+            print(
+                f"server host {self.host_index} fail-stop: {exc}",
+                file=sys.stderr,
+            )
+            sys.stderr.flush()
+            os._exit(WAL_FAIL_STOP_EXIT)
+
+    # -- chaos seam (armed by the parent-side ChaosRuntime) ---------------
+
+    def _rpc_fault_hook(self, conn_id: int, request: Request):
+        if request.method.startswith("_"):
+            return None  # supervision and chaos control stay fault-free
+        if self._net_reset > 0:
+            self._net_reset -= 1
+            return "reset"
+        if self._net_drop > 0:
+            self._net_drop -= 1
+            return "drop_response"
+        count, seconds = self._net_delay
+        if count > 0:
+            self._net_delay = (count - 1, seconds)
+            return ("delay", seconds)
+        return None
+
+    def _chaos(self, kind: str, count: int = 1, seconds: float = 0.0) -> dict:
+        """Arm a window of ``count`` network faults on this host's RPC
+        transport; one armed fault disturbs one non-admin request frame."""
+        if kind == "conn_reset":
+            self._net_reset += int(count)
+        elif kind == "frame_drop":
+            self._net_drop += int(count)
+        elif kind == "frame_delay":
+            self._net_delay = (self._net_delay[0] + int(count), float(seconds))
+        elif kind == "clear":
+            self._net_reset = 0
+            self._net_drop = 0
+            self._net_delay = (0, 0.0)
+        else:
+            raise TDStoreError(f"unknown network fault kind {kind!r}")
+        self.server.fault_hook = self._rpc_fault_hook
+        return self._chaos_stats()
+
+    def _chaos_stats(self) -> dict:
+        return {
+            "armed": {
+                "conn_reset": self._net_reset,
+                "frame_drop": self._net_drop,
+                "frame_delay": self._net_delay[0],
+            },
+            "injected": dict(self.server.faults_injected),
+            "delayed_servers": sorted(self._delays),
+            "wal_faults_fired": dict(self.wal.io.fired),
+        }
+
+    def _wal_fault(self, kind: str) -> list:
+        """Arm a one-shot disk fault on the WAL's IO shim."""
+        self.wal.io.arm(kind)
+        return self.wal.io.armed()
+
+    def _set_delay(self, server_id: int, seconds: float) -> float:
+        applied = min(float(seconds), REAL_DELAY_CAP)
+        self._delays[int(server_id)] = applied
+        return applied
+
+    def _clear_delay(self, server_id: int | None = None) -> list:
+        if server_id is None:
+            self._delays.clear()
+        else:
+            self._delays.pop(int(server_id), None)
+        return sorted(self._delays)
+
+    def _delayed_servers(self) -> list:
+        return sorted(self._delays)
 
     # -- admin ops (target=None) -----------------------------------------
 
@@ -343,6 +492,7 @@ class ServerHost:
             "rpc_requests": self.server.requests,
             "wal": self.wal.stats(),
             "committer": self.committer.stats(),
+            "chaos": self._chaos_stats(),
             "uptime": time.time() - self.started_at,
         }
 
@@ -357,12 +507,36 @@ class ServerHost:
 
         def apply(record):
             server_id, method, args = record
+            if server_id == "__cluster__":
+                # control-plane rebuild (checkpoint restore, elastic
+                # expansion) re-applied through the cluster facade;
+                # writes to sibling-owned servers forward over their
+                # proxies as usual
+                if self.cluster is not None:
+                    getattr(self.cluster, method)(*args)
+                    if method == "add_data_server":
+                        self._adopt_runtime_servers()
+                return
             server = self.locals.get(server_id)
             if server is None:
                 return
+            granted = False
             if args and isinstance(args[0], int):
                 server.ensure_instance(args[0])
-            getattr(server, method)(*args)
+                # a failover may have promoted this instance onto the
+                # server after provisioning's balanced layout; the op
+                # was acknowledged at log time, so lift the route fence
+                # for the re-apply only — stale-route protection for
+                # live clients must survive recovery, and the true
+                # post-crash layout comes from checkpoint restore
+                if not server.hosts(args[0]):
+                    server.set_host_role(args[0], True)
+                    granted = True
+            try:
+                getattr(server, method)(*args)
+            finally:
+                if granted:
+                    server.set_host_role(args[0], False)
 
         # replay from a read handle; new appends continue on the live fd
         return replay(self.wal.path, apply)

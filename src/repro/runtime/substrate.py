@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import atexit
 import os
+import shutil
 import tempfile
 
 from repro.errors import ConfigurationError
@@ -74,6 +75,12 @@ class Substrate:
 
     def teardown(self):
         """Release whatever :meth:`build_\\*` allocated. Idempotent."""
+
+    def chaos_runtime(self):
+        """The process-native fault adapter, or ``None`` when this
+        substrate cannot express real SIGKILL/network/disk faults (the
+        injector records such faults as skipped instead)."""
+        return None
 
     def __enter__(self) -> "Substrate":
         return self
@@ -138,6 +145,7 @@ class ProcessSubstrate(Substrate):
         spawn_timeout: float = 60.0,
         max_group_wait: float = 0.002,
         commit_floor: float = 0.0,
+        hang_deadline: float = 30.0,
     ):
         if worker_procs < 1:
             raise ConfigurationError("worker_procs must be >= 1")
@@ -149,27 +157,36 @@ class ProcessSubstrate(Substrate):
         self.max_group_wait = max_group_wait
         self.commit_floor = commit_floor
         self.serialize_waves = serialize_waves
+        self.hang_deadline = hang_deadline
         self._spawn_timeout = spawn_timeout
         self._wal_dir = wal_dir
+        self._owns_wal_dir = False
         self._supervisor: ProcessSupervisor | None = None
         self._facade: ProcessTDStore | None = None
         self._cluster: ProcessCluster | None = None
         self._tdstore_spec: "tuple[list, dict] | None" = None
         self._generation = 0
+        self._chaos_runtime = None
 
     @property
     def supervisor(self) -> ProcessSupervisor:
         if self._supervisor is None:
             self._supervisor = ProcessSupervisor(
-                spawn_timeout=self._spawn_timeout
+                spawn_timeout=self._spawn_timeout,
+                hang_deadline=self.hang_deadline,
             )
             self._supervisor.add_restart_hook(self._on_restart)
             atexit.register(self.teardown)
         return self._supervisor
 
+    @property
+    def facade(self) -> "ProcessTDStore | None":
+        return self._facade
+
     def _ensure_wal_dir(self) -> str:
         if self._wal_dir is None:
             self._wal_dir = tempfile.mkdtemp(prefix="repro-wal-")
+            self._owns_wal_dir = True
         else:
             os.makedirs(self._wal_dir, exist_ok=True)
         return self._wal_dir
@@ -200,6 +217,10 @@ class ProcessSubstrate(Substrate):
                 self._host_config(host_index, placement, num_instances, wal_dir),
             )
             addresses[host_index] = managed.address
+            # pin the bound port into the respawn config: a restarted
+            # host rebinds the same address, so worker-held proxies and
+            # host 0's sibling connections survive the crash
+            managed.config["port"] = managed.port
         config = self._host_config(0, placement, num_instances, wal_dir)
         config["sibling_addresses"] = {
             i: addresses[i] for i in range(1, self.server_procs)
@@ -208,9 +229,17 @@ class ProcessSubstrate(Substrate):
             f"{SERVER_HOST_PREFIX}0", server_host_main, config
         )
         addresses[0] = managed.address
+        managed.config["port"] = managed.port
         self._facade = ProcessTDStore(addresses, placement)
+        self._facade.set_recovery_hook(self._recover_host)
         self._tdstore_spec = (addresses, placement)
         return self._facade
+
+    def _recover_host(self, host_index: int):
+        """Parent-side transport-retry hook: respawn a dead host (WAL
+        replay rides the restart hook) before the proxy retries."""
+        if self._supervisor is not None:
+            self._supervisor.ensure_alive(f"{SERVER_HOST_PREFIX}{host_index}")
 
     def _host_config(
         self, host_index: int, placement: dict, num_instances: int, wal_dir: str
@@ -286,11 +315,26 @@ class ProcessSubstrate(Substrate):
                 replayer.call("_replay_wal")
             finally:
                 replayer.close()
+            if host_index != 0 and self._facade is not None:
+                # roles are control-plane state, not WAL state: re-push
+                # the authoritative layout onto the reborn host's servers
+                self._facade.resync_host_roles(host_index)
         elif managed.name.startswith(WORKER_PREFIX):
             if self._cluster is not None:
                 self._cluster.on_worker_restarted(
                     int(managed.name[len(WORKER_PREFIX) :])
                 )
+
+    # -- chaos ------------------------------------------------------------
+
+    def chaos_runtime(self):
+        """Process-native fault adapter bound to this substrate. One per
+        substrate: its MTTR samples and kill counters span rebuilds."""
+        if self._chaos_runtime is None:
+            from repro.runtime.chaos import ChaosRuntime
+
+            self._chaos_runtime = ChaosRuntime(self)
+        return self._chaos_runtime
 
     # -- teardown ---------------------------------------------------------
 
@@ -305,6 +349,13 @@ class ProcessSubstrate(Substrate):
         if self._supervisor is not None:
             supervisor, self._supervisor = self._supervisor, None
             supervisor.shutdown()
+        if self._owns_wal_dir and self._wal_dir is not None:
+            # children are down and their WALs closed; a temp dir this
+            # substrate created is now garbage (a fresh build starts a
+            # new generation anyway). User-supplied dirs are kept.
+            shutil.rmtree(self._wal_dir, ignore_errors=True)
+            self._wal_dir = None
+            self._owns_wal_dir = False
 
     def __repr__(self) -> str:
         return (

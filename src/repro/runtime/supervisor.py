@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import multiprocessing
 import time
-from typing import Any, Callable
+from typing import Callable
 
 from repro.errors import RuntimeSubstrateError, WorkerCrashError
 from repro.runtime.rpc import RpcClient
@@ -73,12 +73,19 @@ class ManagedProcess:
 class ProcessSupervisor:
     """Owns the process tree for one substrate deployment."""
 
-    def __init__(self, *, spawn_timeout: float = 60.0):
+    def __init__(
+        self, *, spawn_timeout: float = 60.0, hang_deadline: float = 30.0
+    ):
         self._ctx = multiprocessing.get_context("spawn")
         self._spawn_timeout = spawn_timeout
+        self.hang_deadline = hang_deadline
         self._procs: dict[str, ManagedProcess] = {}
         self._ever_spawned: set[str] = set()
         self._restart_hooks: list[Callable[[ManagedProcess], None]] = []
+        # robustness counters surfaced through SystemMonitor
+        self.kills = 0
+        self.respawns = 0
+        self.heartbeat_miss_streaks: dict[str, int] = {}
 
     # -- spawning ---------------------------------------------------------
 
@@ -139,11 +146,16 @@ class ProcessSupervisor:
         try:
             ok = probe.call("_ping") == "pong"
         except Exception:
-            return False
+            ok = False
         finally:
             probe.close()
         if ok:
             managed.last_heartbeat = time.monotonic()
+            self.heartbeat_miss_streaks.pop(name, None)
+        else:
+            self.heartbeat_miss_streaks[name] = (
+                self.heartbeat_miss_streaks.get(name, 0) + 1
+            )
         return ok
 
     def heartbeat(self, timeout: float = 2.0) -> "dict[str, bool]":
@@ -151,15 +163,22 @@ class ProcessSupervisor:
         return {name: self.ping(name, timeout) for name in self.names()}
 
     def kill_hung(
-        self, deadline: float, *, ping_timeout: float = 1.0, restart: bool = True
+        self,
+        deadline: float | None = None,
+        *,
+        ping_timeout: float = 1.0,
+        restart: bool = True,
     ) -> "list[str]":
         """Kill children silent for longer than ``deadline`` seconds.
 
         A child busy with a long batch is given the benefit of the
-        doubt until its silence exceeds the deadline; past it the
-        process is forcibly killed (it is, by assumption, wedged and
-        cannot shut down gracefully) and restarted unless told not to.
+        doubt until its silence exceeds the deadline (defaulting to the
+        supervisor's configured ``hang_deadline``); past it the process
+        is forcibly killed (it is, by assumption, wedged and cannot
+        shut down gracefully) and restarted unless told not to.
         """
+        if deadline is None:
+            deadline = self.hang_deadline
         killed = []
         for name in self.names():
             managed = self.get(name)
@@ -168,6 +187,7 @@ class ProcessSupervisor:
             if time.monotonic() - managed.last_heartbeat < deadline:
                 continue
             killed.append(name)
+            self.kills += 1
             self._force_kill(managed)
             if restart:
                 self.restart(name)
@@ -193,6 +213,8 @@ class ProcessSupervisor:
         managed.port = port
         managed.restarts += 1
         managed.last_heartbeat = time.monotonic()
+        self.respawns += 1
+        self.heartbeat_miss_streaks.pop(name, None)
         for hook in list(self._restart_hooks):
             hook(managed)
         return managed
@@ -207,6 +229,15 @@ class ProcessSupervisor:
     def require_alive(self, name: str):
         if not self.get(name).alive:
             raise WorkerCrashError(f"process {name!r} is dead")
+
+    def robustness_stats(self) -> dict:
+        """Counters the monitoring layer snapshots: forced kills,
+        respawns, and per-child consecutive heartbeat misses."""
+        return {
+            "kills": self.kills,
+            "respawns": self.respawns,
+            "heartbeat_miss_streaks": dict(self.heartbeat_miss_streaks),
+        }
 
     # -- teardown ---------------------------------------------------------
 

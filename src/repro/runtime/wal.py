@@ -30,6 +30,66 @@ class WalError(RuntimeSubstrateError):
     """The write-ahead log is unusable (bad path, closed, corrupt)."""
 
 
+# disk-fault kinds the IO shim can arm; mirrored by the chaos layer's
+# Fault vocabulary (repro.recovery.faults)
+DISK_FAULT_KINDS = frozenset({"torn_write", "disk_full", "fsync_error"})
+
+
+class DiskFaultShim:
+    """Injectable stand-in for the WAL's raw file I/O.
+
+    The default (unarmed) shim is a transparent passthrough to
+    ``os.write`` / ``os.fsync``. The chaos layer arms one-shot disk
+    faults on it; each armed fault fires on the next matching call and
+    then disarms:
+
+    - ``torn_write``: half the record's bytes reach the file, then the
+      append fails — the on-disk tail is an incomplete frame, exactly
+      what a crash mid-``write`` leaves behind.
+    - ``disk_full``: the append fails before any byte is written
+      (ENOSPC semantics).
+    - ``fsync_error``: staged bytes stay in the page cache but the
+      commit barrier reports failure (EIO semantics).
+
+    Every fault surfaces as :class:`WalError`; the server host treats
+    that as unrecoverable and fail-stops, which is the only honest
+    response — a log that cannot promise durability must not ack.
+    """
+
+    def __init__(self) -> None:
+        self._armed: list[str] = []
+        self.fired: dict[str, int] = {}
+
+    def arm(self, kind: str) -> None:
+        if kind not in DISK_FAULT_KINDS:
+            raise WalError(f"unknown disk fault kind {kind!r}")
+        self._armed.append(kind)
+
+    def armed(self) -> list[str]:
+        return list(self._armed)
+
+    def _take(self, *kinds: str) -> str | None:
+        for i, kind in enumerate(self._armed):
+            if kind in kinds:
+                self.fired[kind] = self.fired.get(kind, 0) + 1
+                return self._armed.pop(i)
+        return None
+
+    def write(self, fd: int, payload: bytes) -> None:
+        kind = self._take("torn_write", "disk_full")
+        if kind == "disk_full":
+            raise WalError("disk full: append wrote nothing (ENOSPC)")
+        if kind == "torn_write":
+            os.write(fd, payload[: max(1, len(payload) // 2)])
+            raise WalError("torn write: record half-written before failure")
+        os.write(fd, payload)
+
+    def fsync(self, fd: int) -> None:
+        if self._take("fsync_error"):
+            raise WalError("fsync failed: staged records are not durable (EIO)")
+        os.fsync(fd)
+
+
 class GroupCommitWal:
     """Append-only log with batched ``fsync``.
 
@@ -57,11 +117,17 @@ class GroupCommitWal:
     """
 
     def __init__(
-        self, path: str, *, durable: bool = True, commit_floor: float = 0.0
+        self,
+        path: str,
+        *,
+        durable: bool = True,
+        commit_floor: float = 0.0,
+        io: DiskFaultShim | None = None,
     ):
         self._path = path
         self._durable = durable
         self._commit_floor = commit_floor
+        self.io = io if io is not None else DiskFaultShim()
         self._fd: int | None = os.open(
             path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
         )
@@ -81,7 +147,7 @@ class GroupCommitWal:
         with self._lock:
             if self._fd is None:
                 raise WalError(f"wal {self._path} is closed")
-            os.write(self._fd, payload)
+            self.io.write(self._fd, payload)
             self._dirty += 1
             self.records += 1
 
@@ -99,7 +165,7 @@ class GroupCommitWal:
             self._dirty = 0
         start = time.monotonic() if self._commit_floor > 0.0 else 0.0
         if self._durable:
-            os.fsync(fd)
+            self.io.fsync(fd)
         if self._commit_floor > 0.0:
             # the sleep releases the GIL exactly as a slower barrier
             # would release the CPU: concurrent appends keep flowing

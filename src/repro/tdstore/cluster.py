@@ -132,14 +132,29 @@ class TDStoreCluster:
         Each live replica adopts its own deep copy so the restored pair
         does not share mutable values — replication divergence stays
         observable after recovery exactly as it was before.
+
+        Roles are reasserted to match the table the restore is advertised
+        under: a control-plane rebirth (config host respawned after a
+        crash) resets the route table while surviving data servers keep
+        their evolved ``_hosted`` sets, so the restore is the point where
+        routing and acceptance re-converge. Servers no longer named by an
+        instance's route are fenced so stale-routed clients cannot write
+        into an orphaned replica.
         """
         table = self.config.route_table()
         for instance, data in contents.items():
             route = table.route(instance)
-            for server_id in (route.host, route.slave):
-                server = self.config.server(server_id)
-                if server.alive:
+            for server in self.data_servers:
+                if not server.alive:
+                    continue
+                if server.server_id == route.host:
+                    server.set_host_role(instance, True)
                     server.adopt_snapshot(instance, copy.deepcopy(data))
+                elif server.server_id == route.slave:
+                    server.set_host_role(instance, False)
+                    server.adopt_snapshot(instance, copy.deepcopy(data))
+                elif server.hosts(instance):
+                    server.set_host_role(instance, False)
 
     def journal_evictions(self) -> int:
         """Total op-journal ids trimmed out across the pool.

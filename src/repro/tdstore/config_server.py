@@ -128,6 +128,25 @@ class ConfigServerPair:
             )
         self._migrations[migration.instance] = migration
 
+    def register_remote_migration(self, instance: int, target_id: int):
+        """Register a dual-write window driven from another process.
+
+        A :class:`~repro.elastic.migration.Migration` holds live server
+        handles (socket-backed proxies on the process substrate), so the
+        object itself cannot cross an RPC boundary. The remote migrator
+        ships just ``(instance, target_id)`` and this config pair builds
+        its own surrogate against the hosted cluster — fence-waiters
+        (:meth:`await_migration`) and failover aborts then act on local
+        server handles with full fidelity, while the remote driver keeps
+        stepping its copy of the protocol over RPC.
+        """
+        from repro.elastic.migration import Migration
+
+        migration = Migration(self, instance, target_id)
+        # the remote driver already ran begin(): snapshot copied, window open
+        migration.record.state = "catching_up"
+        self.register_migration(migration)
+
     def unregister_migration(self, instance: int, completed: bool = True):
         if self._migrations.pop(instance, None) is not None:
             if completed:

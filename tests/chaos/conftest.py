@@ -1,0 +1,29 @@
+import pytest
+
+from repro.runtime import SimSubstrate
+
+from tests.chaos.helpers import (
+    N_MESSAGES,
+    fingerprint,
+    make_harness,
+)
+from tests.recovery.helpers import make_payloads
+
+
+@pytest.fixture(scope="package")
+def payloads():
+    return make_payloads(N_MESSAGES)
+
+
+@pytest.fixture(scope="package")
+def reference(payloads):
+    """Fault-free simulator run: ``(recs_bytes, state_digest, now)``.
+
+    The byte-identity baseline every chaos run on every substrate is
+    held to; fingerprints are evaluated at this run's final clock.
+    """
+    harness = make_harness(SimSubstrate(), payloads)
+    assert harness.run() == "completed"
+    now = harness.clock.now()
+    recs, state = fingerprint(harness, now)
+    return recs, state, now

@@ -1,0 +1,96 @@
+"""Shared plumbing for the cross-substrate chaos acceptance suites.
+
+Every suite here runs the same CF topology over the same deterministic
+action stream on both substrates and compares final-state fingerprints
+— ``(recommendations_bytes, state_digest)`` — against a fault-free
+simulator reference. Recommendations are always evaluated at the
+*reference* clock: simulated latency faults charge seconds to the sim
+clock while the process substrate stalls in real time, so the chaos
+run's own clock is not comparable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import RecommenderEngine
+from repro.engine.front_end import RecommenderFrontEnd
+from repro.recovery import RecoveryHarness
+from repro.runtime import ProcessSubstrate, SimSubstrate, topology_recipe
+
+from tests.recovery.helpers import (
+    ITEMS,
+    TOPIC,
+    USERS,
+    make_payloads as make_payloads,  # re-exported for suites and benches
+    make_tdaccess,
+    recommendations_bytes,
+    state_digest,
+)
+
+N_MESSAGES = 48
+BATCH = 4
+
+SUBSTRATES = [
+    pytest.param(SimSubstrate, id="sim"),
+    pytest.param(
+        lambda: ProcessSubstrate(worker_procs=2, server_procs=1),
+        id="process",
+    ),
+]
+
+# the process-native suite needs >= 2 hosts so network partitions and
+# host kills hit a data-plane host while host 0 keeps the control plane
+MULTI_HOST = pytest.param(
+    lambda: ProcessSubstrate(worker_procs=2, server_procs=2),
+    id="process-2hosts",
+)
+
+
+def make_harness(substrate, payloads, plan=None, *, start=True, **kwargs):
+    defaults = dict(tick_interval=240.0, checkpoint_every_rounds=2)
+    defaults.update(kwargs)
+    harness = RecoveryHarness(
+        make_tdaccess(payloads),
+        TOPIC,
+        topology_recipe(
+            "tests.recovery.helpers", "cf_topology_factory", batch_size=BATCH
+        ),
+        substrate=substrate,
+        **defaults,
+    )
+    if start:
+        harness.start(fault_plan=plan)
+    return harness
+
+
+def fingerprint(harness, now):
+    return (
+        recommendations_bytes(harness.client(), now),
+        state_digest(harness.client()),
+    )
+
+
+def finish(harness, now=None):
+    assert harness.run() == "completed"
+    return fingerprint(
+        harness, harness.clock.now() if now is None else now
+    )
+
+
+def make_serve_probe(harness):
+    """A barrier-time front-end probe: query every user through the
+    degradation ladder; any rung counts as answered."""
+
+    def probe():
+        front_end = RecommenderFrontEnd(
+            RecommenderEngine(harness.client()), static_items=list(ITEMS)
+        )
+        answered = sum(
+            1
+            for user in USERS
+            if front_end.query(user, 5, harness.clock.now())
+        )
+        return len(USERS), answered
+
+    return probe

@@ -1,0 +1,65 @@
+"""Cross-substrate port of the elastic expansion-under-chaos suite.
+
+A TDStore pool expanding 3 -> 5 with live instance migrations at a
+barrier, while duplicate deliveries and a mid-tree worker kill fire,
+must be byte-invisible in the final state on both substrates.
+"""
+
+import pytest
+
+from repro.elastic import InstanceMigrator
+from repro.recovery import Fault
+
+from tests.chaos.helpers import BATCH, SUBSTRATES, fingerprint, make_harness
+
+SERVERS_BEFORE = 3
+SERVERS_AFTER = 5
+
+CHAOS_PLAN = [
+    Fault(2, "duplicate_delivery", ("source", 2 * BATCH)),
+    Fault(3, "worker_kill_midtree", ("userHistory", 0, 3, 2 * BATCH)),
+]
+
+
+def attach_expansion_script(harness, log):
+    migrator = InstanceMigrator(harness.tdstore, clock_now=harness.clock.now)
+
+    def script(barrier_round):
+        if barrier_round == 2 and "expanded" not in log:
+            log["expanded"] = True
+            harness.tdstore.add_data_server()
+            harness.tdstore.add_data_server()
+            log["moves"] = len(migrator.rebalance())
+
+    harness.cluster.add_barrier_hook(script)
+
+
+@pytest.mark.parametrize("make_substrate", SUBSTRATES)
+class TestElasticChaosXSub:
+    def test_expansion_under_chaos_is_byte_identical(
+        self, make_substrate, payloads, reference
+    ):
+        want_recs, want_state, ref_now = reference
+        with make_substrate() as substrate:
+            harness = make_harness(
+                substrate,
+                payloads,
+                CHAOS_PLAN,
+                num_tdstore_servers=SERVERS_BEFORE,
+                num_tdstore_instances=16,
+            )
+            log = {}
+            attach_expansion_script(harness, log)
+            assert harness.run() == "completed"
+
+            assert log.get("expanded")
+            assert log["moves"] > 0
+            assert len(harness.tdstore.data_servers) == SERVERS_AFTER
+            assert harness.injector.rewinds >= 2
+            assert harness.injector.midtree_fired == 1
+            stats = harness.tdstore.migration_stats()
+            assert stats["in_flight"] == []
+            assert stats["completed"] >= log["moves"]
+            got_recs, got_state = fingerprint(harness, ref_now)
+        assert got_state == want_state
+        assert got_recs == want_recs

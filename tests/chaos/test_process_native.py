@@ -1,0 +1,164 @@
+"""The headline: real fault injection on real processes, converging.
+
+A seeded schedule of process-native faults — ``kill -9`` of a TDStore
+server host (WAL replay on respawn), a mid-drain worker SIGKILL with a
+source rewind, one-way network partitions, connection resets, dropped
+and delayed response frames, and a poisoned WAL ``fsync`` (fail-stop +
+replay) — driven at progress barriers by the orchestrator while a front
+end probes every user. The invariants:
+
+- zero lost keys,
+- 100% front-end serve rate through the whole degradation ladder,
+- final fingerprint byte-identical to (i) the fault-free simulator
+  reference and (ii) a fault-free process run,
+- MTTR samples recorded for every kill.
+
+The same plan fed to the simulator must *skip* every process-native
+fault (recorded, not fired) and still converge — chaos plans are
+substrate-portable by construction.
+"""
+
+import pytest
+
+from repro.recovery import Fault
+from repro.runtime import ProcessSubstrate, SimSubstrate
+from repro.runtime.chaos import ChaosOrchestrator, seeded_process_plan
+
+from tests.chaos.helpers import (
+    BATCH,
+    fingerprint,
+    make_harness,
+    make_serve_probe,
+)
+
+WORKERS = 2
+HOSTS = 2
+
+# every process-native kind once, barrier-keyed; network windows stay
+# narrow enough for the transport-retry budget to absorb
+PLAN = [
+    Fault(2, "one_way_partition", (1, "outbound", 1)),
+    Fault(3, "host_sigkill", (1,)),
+    Fault(4, "conn_reset", (0, 1)),
+    Fault(4, "frame_delay", (1, 2, 0.02)),
+    Fault(5, "worker_sigkill", (0, 3, 2 * BATCH)),
+    Fault(6, "frame_drop", (0, 1)),
+    Fault(7, "fsync_error", (1,)),
+    Fault(8, "host_sigkill", (0,)),
+]
+
+
+def process_substrate():
+    return ProcessSubstrate(worker_procs=WORKERS, server_procs=HOSTS)
+
+
+@pytest.fixture(scope="module")
+def process_reference(payloads, reference):
+    """Fault-free process run — and the cross-substrate baseline proof:
+    it is already byte-identical to the simulator reference."""
+    want_recs, want_state, ref_now = reference
+    with process_substrate() as substrate:
+        harness = make_harness(substrate, payloads)
+        assert harness.run() == "completed"
+        got = fingerprint(harness, ref_now)
+    assert got == (want_recs, want_state)
+    return got
+
+
+class TestProcessNativeChaos:
+    def test_full_schedule_converges_with_mttr(
+        self, payloads, reference, process_reference
+    ):
+        want_recs, want_state, ref_now = reference
+        with process_substrate() as substrate:
+            harness = make_harness(substrate, payloads, start=False)
+            orchestrator = ChaosOrchestrator(
+                harness, PLAN, serve_probe=make_serve_probe(harness)
+            )
+            assert orchestrator.run() == "completed"
+
+            runtime = substrate.chaos_runtime()
+            # every fault fired natively — nothing was skipped
+            assert harness.injector.skipped == []
+            assert runtime.kills["host_sigkill"] == 2
+            assert runtime.kills["worker_sigkill"] == 1
+            assert harness.injector.sigkills_fired == 1
+            assert harness.injector.rewinds >= 1
+            assert runtime.disk_faults == {"fsync_error": 1}
+            assert runtime.network_faults["partition_outbound"] >= 1
+            assert runtime.network_faults["conn_reset"] == 1
+            assert runtime.network_faults["frame_drop"] == 1
+            # MTTR: one sample per host kill + one per disk fail-stop
+            assert len(runtime.mttr_samples) == 3
+            assert all(s.seconds > 0 for s in runtime.mttr_samples)
+            # the killed hosts really died and really came back
+            supervisor = substrate.supervisor
+            assert supervisor.respawns >= 3
+
+            got_recs, got_state = fingerprint(harness, ref_now)
+            report = orchestrator.report(
+                fingerprint=(got_recs, got_state),
+                reference=(want_recs, want_state),
+            )
+        assert report.lost_keys == 0
+        assert report.serve_attempts > 0
+        assert report.serve_rate == 1.0
+        assert report.fingerprint_match
+        assert report.mttr_count == 3
+        assert report.mttr_p50 is not None and report.mttr_p50 > 0
+        assert report.mttr_p99 is not None and report.mttr_p99 >= report.mttr_p50
+        # byte-identity against both baselines
+        assert (got_recs, got_state) == (want_recs, want_state)
+        assert (got_recs, got_state) == process_reference
+        # report round-trips to JSON-shaped dict
+        as_dict = report.to_dict()
+        assert as_dict["serve_rate"] == 1.0
+        assert as_dict["mttr"]["p99"] == report.mttr_p99
+
+    def test_same_plan_on_simulator_skips_native_faults(
+        self, payloads, reference
+    ):
+        want_recs, want_state, ref_now = reference
+        harness = make_harness(SimSubstrate(), payloads, PLAN)
+        assert harness.run() == "completed"
+        skipped = {f.kind for f in harness.injector.skipped}
+        assert skipped == {
+            "one_way_partition", "host_sigkill", "conn_reset",
+            "frame_delay", "worker_sigkill", "frame_drop", "fsync_error",
+        }
+        got_recs, got_state = fingerprint(harness, ref_now)
+        assert got_state == want_state
+        assert got_recs == want_recs
+
+    def test_seeded_plan_reports_invariants(self, payloads, reference):
+        want_recs, want_state, ref_now = reference
+        plan = seeded_process_plan(
+            2015,
+            horizon=10,
+            hosts=HOSTS,
+            workers=WORKERS,
+            host_kills=1,
+            worker_kills=1,
+            partitions=1,
+            conn_resets=1,
+            frame_drops=1,
+            frame_delays=1,
+            sigkill_after=3,
+            rewind_depth=2 * BATCH,
+        )
+        with process_substrate() as substrate:
+            harness = make_harness(substrate, payloads, start=False)
+            orchestrator = ChaosOrchestrator(
+                harness, plan, serve_probe=make_serve_probe(harness)
+            )
+            assert orchestrator.run() == "completed"
+            runtime = substrate.chaos_runtime()
+            assert sum(runtime.kills.values()) >= 2
+            got = fingerprint(harness, ref_now)
+            report = orchestrator.report(
+                fingerprint=got, reference=(want_recs, want_state)
+            )
+        assert report.lost_keys == 0
+        assert report.serve_rate == 1.0
+        assert report.fingerprint_match
+        assert report.skipped_faults == 0

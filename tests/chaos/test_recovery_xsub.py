@@ -1,0 +1,57 @@
+"""Cross-substrate port of the crash/recovery acceptance suite.
+
+The same plan — task kills, a TDStore server crash/failover/recovery,
+and a full computation-process crash recovered from a checkpoint — runs
+unmodified on the simulator and on real processes, and both converge to
+the fault-free reference fingerprint.
+"""
+
+import pytest
+
+from repro.recovery import Fault
+
+from tests.chaos.helpers import SUBSTRATES, fingerprint, make_harness
+
+PLAN = [
+    Fault(1, "kill_task", ("userHistory", 0)),
+    Fault(2, "crash_tdstore", (0,)),
+    Fault(3, "recover_tdstore", (0,)),
+    Fault(4, "crash_process"),
+    Fault(5, "kill_task", ("simList", 1)),
+]
+
+
+@pytest.mark.parametrize("make_substrate", SUBSTRATES)
+class TestRecoveryChaosXSub:
+    def test_crash_recover_finish_matches_reference(
+        self, make_substrate, payloads, reference
+    ):
+        want_recs, want_state, ref_now = reference
+        with make_substrate() as substrate:
+            harness = make_harness(substrate, payloads, PLAN)
+            summary = harness.run_to_completion()
+            assert summary["crashes"] == 1
+            assert summary["recoveries"] == 1
+            fired = {f.kind for f in harness.injector.injected}
+            assert fired == {
+                "kill_task", "crash_tdstore", "recover_tdstore",
+                "crash_process",
+            }
+            got_recs, got_state = fingerprint(harness, ref_now)
+        assert got_state == want_state
+        assert got_recs == want_recs
+
+    def test_double_crash_still_converges(
+        self, make_substrate, payloads, reference
+    ):
+        want_recs, want_state, ref_now = reference
+        plan = [Fault(3, "crash_process"), Fault(5, "crash_process")]
+        with make_substrate() as substrate:
+            harness = make_harness(
+                substrate, payloads, plan, checkpoint_every_rounds=1
+            )
+            summary = harness.run_to_completion()
+            assert summary["crashes"] == 2
+            got_recs, got_state = fingerprint(harness, ref_now)
+        assert got_state == want_state
+        assert got_recs == want_recs

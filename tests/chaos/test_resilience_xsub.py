@@ -1,0 +1,86 @@
+"""Cross-substrate port of the resilience/overload acceptance suite.
+
+A degradation ladder — a latency spike (simulated charge on the sim
+substrate, *real* bounded server-side delay on processes), a brownout,
+and a data-server crash with recovery — while a front end probes every
+user at every barrier. Invariants: 100% serve rate on some rung, and a
+final fingerprint byte-identical to the fault-free reference.
+"""
+
+import pytest
+
+from repro.recovery import Fault
+from repro.runtime.chaos import ChaosOrchestrator
+
+from tests.chaos.helpers import (
+    SUBSTRATES,
+    fingerprint,
+    make_harness,
+    make_serve_probe,
+)
+
+SPIKE = 0.03
+
+PLAN = [
+    Fault(2, "latency_spike", ("tdstore", 0, SPIKE)),
+    Fault(3, "brownout", ("tdstore", 1)),
+    Fault(4, "crash_tdstore", (2,)),
+    Fault(5, "recover_tdstore", (2,)),
+    Fault(5, "clear_degradation", ("tdstore", 0)),
+    Fault(5, "clear_degradation", ("tdstore", 1)),
+]
+
+
+@pytest.mark.parametrize("make_substrate", SUBSTRATES)
+class TestResilienceChaosXSub:
+    def test_degradation_ladder_serves_everything(
+        self, make_substrate, payloads, reference
+    ):
+        want_recs, want_state, ref_now = reference
+        with make_substrate() as substrate:
+            harness = make_harness(
+                substrate, payloads, start=False
+            )
+            orchestrator = ChaosOrchestrator(
+                harness, PLAN, serve_probe=make_serve_probe(harness)
+            )
+            assert orchestrator.run() == "completed"
+            # the degradation window really opened and really closed
+            assert harness.injector.exhausted
+            assert harness.tdstore.degraded_servers() == []
+            got_recs, got_state = fingerprint(harness, ref_now)
+            report = orchestrator.report(
+                fingerprint=(got_recs, got_state),
+                reference=(want_recs, want_state),
+            )
+        # 100% front-end serve rate through the whole ladder
+        assert report.serve_attempts > 0
+        assert report.serve_rate == 1.0
+        # ...and the chaos was invisible in the final state
+        assert report.lost_keys == 0
+        assert report.fingerprint_match
+        assert got_state == want_state
+        assert got_recs == want_recs
+
+    def test_latency_spike_is_real_delay_on_process(
+        self, make_substrate, payloads
+    ):
+        """The same latency fault maps to native semantics per substrate:
+        advertised seconds on sim, a capped server-side stall on real
+        processes — either way the degradation is visible mid-run."""
+        seen = {}
+        plan = [
+            Fault(2, "latency_spike", ("tdstore", 0, SPIKE)),
+            Fault(5, "clear_degradation", ("tdstore", 0)),
+        ]
+        with make_substrate() as substrate:
+            harness = make_harness(substrate, payloads, plan)
+
+            def watch(barrier_round):
+                if harness.tdstore.degraded_servers():
+                    seen["degraded"] = True
+
+            harness.cluster.add_barrier_hook(watch)
+            assert harness.run() == "completed"
+            assert seen.get("degraded")
+            assert harness.tdstore.degraded_servers() == []

@@ -163,3 +163,77 @@ class TestRuntimeEnvelopes:
         assert back._addresses == facade._addresses
         assert back._placement == facade._placement
         assert back._rpcs == {}
+
+    def test_facade_recovery_hook_does_not_leak_through_pickle(self):
+        # the parent-side recovery hook closes over the supervisor; a
+        # worker-side copy must come back without it (and without the
+        # real-delay bookkeeping), falling back to plain retry backoff
+        facade = ProcessTDStore([("127.0.0.1", 1234)], {0: 0})
+        facade.set_recovery_hook(lambda host_index: None)
+        facade._real_delays.add(0)
+        back = spawn_round_trip(facade)
+        assert back._recover_host is None
+        assert back._real_delays == set()
+
+
+class TestChaosTypes:
+    """The chaos layer's faults, schedules and reports cross the spawn
+    boundary (plans ship to CI smoke runs; reports come back)."""
+
+    def test_every_process_native_fault_kind(self):
+        from repro.recovery.faults import Fault
+
+        faults = [
+            Fault(3, "host_sigkill", (1,)),
+            Fault(3, "worker_sigkill", (0, 3, 8)),
+            Fault(2, "conn_reset", (0, 2)),
+            Fault(2, "frame_drop", (1, 1)),
+            Fault(2, "frame_delay", (0, 2, 0.05)),
+            Fault(2, "one_way_partition", (1, "inbound", 1)),
+            Fault(4, "torn_write", (0,)),
+            Fault(4, "disk_full", (1,)),
+            Fault(4, "fsync_error", (0,)),
+        ]
+        for fault in faults:
+            back = spawn_round_trip(fault)
+            assert (back.round, back.kind, back.target) == (
+                fault.round, fault.kind, fault.target,
+            ), fault.kind
+
+    def test_seeded_process_plan_round_trips(self):
+        from repro.runtime.chaos import seeded_process_plan
+
+        plan = seeded_process_plan(
+            2015, horizon=10, hosts=2, workers=2,
+            disk_faults=("fsync_error",),
+            latency_spikes=1, tdstore_servers=[0, 1, 2],
+        )
+        back = spawn_round_trip(plan)
+        assert [(f.round, f.kind, f.target) for f in back] == [
+            (f.round, f.kind, f.target) for f in plan
+        ]
+
+    def test_mttr_sample_and_chaos_report(self):
+        from repro.runtime.chaos import ChaosReport, MttrSample
+
+        sample = spawn_round_trip(MttrSample("host_sigkill", 1, 0.042))
+        assert (sample.kind, sample.target, sample.seconds) == (
+            "host_sigkill", 1, 0.042,
+        )
+        report = ChaosReport(
+            kills={"host_sigkill": 2, "worker_sigkill": 1},
+            network_faults={"conn_reset": 1},
+            disk_faults={"fsync_error": 1},
+            mttr_count=3,
+            mttr_p50=0.04,
+            mttr_p99=0.09,
+            mttr_max=0.09,
+            serve_attempts=60,
+            serve_answered=60,
+            fingerprint_match=True,
+            rounds=12,
+        )
+        back = spawn_round_trip(report)
+        assert back == report
+        assert back.serve_rate == 1.0
+        assert back.to_dict() == report.to_dict()

@@ -37,6 +37,9 @@ def populated_snapshot() -> SystemSnapshot:
         degraded_tdstore_servers=[2],
         breaker_states={"tdstore": "closed"},
         route_epoch=3,
+        supervisor_kills=1,
+        supervisor_respawns=2,
+        heartbeat_miss_streaks={"tdstore-host-1": 2},
     )
 
 

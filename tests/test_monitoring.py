@@ -358,3 +358,96 @@ class TestResilienceSignals:
         assert "breaker store: closed" in text
         assert "shedder" in text
         assert "rungs" in text
+
+
+class StubSupervisor:
+    """Anything with ``robustness_stats()`` qualifies — the monitor is
+    duck-typed so simulator tests don't spawn real processes."""
+
+    def __init__(self):
+        self.stats = {
+            "kills": 0,
+            "respawns": 0,
+            "heartbeat_miss_streaks": {},
+        }
+
+    def robustness_stats(self):
+        return {
+            "kills": self.stats["kills"],
+            "respawns": self.stats["respawns"],
+            "heartbeat_miss_streaks": dict(
+                self.stats["heartbeat_miss_streaks"]
+            ),
+        }
+
+
+class TestSupervisorSignals:
+    def test_robustness_counters_flow_into_snapshot(self):
+        supervisor = StubSupervisor()
+        monitor = SystemMonitor(clock_now=lambda: 0.0)
+        monitor.watch_supervisor(supervisor)
+        supervisor.stats["kills"] = 1
+        supervisor.stats["respawns"] = 2
+        supervisor.stats["heartbeat_miss_streaks"] = {"tdstore-host-0": 2}
+        snap = monitor.snapshot()
+        assert snap.supervisor_kills == 1
+        assert snap.supervisor_respawns == 2
+        assert snap.heartbeat_miss_streaks == {"tdstore-host-0": 2}
+
+    def test_hang_kill_delta_is_critical(self):
+        supervisor = StubSupervisor()
+        monitor = SystemMonitor(clock_now=lambda: 0.0)
+        monitor.watch_supervisor(supervisor)
+        assert monitor.evaluate() == []
+        supervisor.stats["kills"] = 1
+        alerts = monitor.evaluate()
+        assert any(
+            a.severity == "critical" and a.component == "runtime"
+            and "force-killed 1 hung" in a.message
+            for a in alerts
+        )
+        # delta-based: no new kills, the alert clears
+        assert monitor.evaluate() == []
+
+    def test_respawn_delta_warns_then_clears(self):
+        supervisor = StubSupervisor()
+        monitor = SystemMonitor(clock_now=lambda: 0.0)
+        monitor.watch_supervisor(supervisor)
+        monitor.snapshot()  # baseline
+        supervisor.stats["respawns"] = 3
+        alerts = monitor.evaluate()
+        assert any(
+            a.severity == "warning" and a.component == "runtime"
+            and "respawned 3 child" in a.message
+            for a in alerts
+        )
+        assert monitor.evaluate() == []
+
+    def test_heartbeat_miss_streak_warns_at_threshold(self):
+        supervisor = StubSupervisor()
+        monitor = SystemMonitor(
+            clock_now=lambda: 0.0, max_heartbeat_misses=3
+        )
+        monitor.watch_supervisor(supervisor)
+        supervisor.stats["heartbeat_miss_streaks"] = {"storm-worker-1": 2}
+        assert monitor.evaluate() == []  # below threshold
+        supervisor.stats["heartbeat_miss_streaks"] = {"storm-worker-1": 3}
+        alerts = monitor.evaluate()
+        assert any(
+            a.severity == "warning" and a.component == "runtime"
+            and "storm-worker-1" in a.message
+            and "3 consecutive" in a.message
+            for a in alerts
+        )
+
+    def test_summary_mentions_supervisor(self):
+        supervisor = StubSupervisor()
+        monitor = SystemMonitor(clock_now=lambda: 0.0)
+        monitor.watch_supervisor(supervisor)
+        supervisor.stats["kills"] = 1
+        supervisor.stats["respawns"] = 4
+        supervisor.stats["heartbeat_miss_streaks"] = {"tdstore-host-1": 2}
+        text = monitor.summary()
+        assert "supervisor: 1 hang kill(s)" in text
+        assert "4 respawn(s)" in text
+        assert "tdstore-host-1=2" in text

@@ -39,7 +39,7 @@ class Alert:
 
 # bump when a snapshot field is added/renamed; from_dict refuses other
 # versions rather than silently dropping signals
-SNAPSHOT_SCHEMA_VERSION = 2
+SNAPSHOT_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -109,6 +109,16 @@ class SystemSnapshot:
     supervisor_kills: int = 0
     supervisor_respawns: int = 0
     heartbeat_miss_streaks: dict[str, int] = field(default_factory=dict)
+    # anti-entropy scrub (repro.tdstore.scrub): accumulated counters
+    # across every pass on the watched facade. Divergence and silent
+    # corruption alert on their delta — each is state the checksummed
+    # WAL/RPC paths could not have caught in flight.
+    scrub_passes: int = 0
+    scrub_instances_scanned: int = 0
+    scrub_divergent_buckets: int = 0
+    scrub_keys_repaired: int = 0
+    scrub_keys_deleted: int = 0
+    scrub_corruptions_detected: int = 0
 
     # dict-valued fields keyed by server id; JSON forces str keys, so
     # to_dict/from_dict convert explicitly instead of relying on json
@@ -280,6 +290,16 @@ class SystemMonitor:
                 snap.migrations_completed = stats["completed"]
                 snap.migrations_aborted = stats["aborted"]
                 snap.migrations_in_flight = len(stats["in_flight"])
+            if hasattr(self._tdstore, "scrub_stats"):
+                stats = self._tdstore.scrub_stats()
+                snap.scrub_passes = stats["scrub_passes"]
+                snap.scrub_instances_scanned = stats["instances_scanned"]
+                snap.scrub_divergent_buckets = stats["divergent_buckets"]
+                snap.scrub_keys_repaired = stats["keys_repaired"]
+                snap.scrub_keys_deleted = stats["keys_deleted"]
+                snap.scrub_corruptions_detected = stats[
+                    "corruptions_detected"
+                ]
         if self._storm is not None:
             for name, run in self._storm._running.items():
                 snap.topology_pending[name] = run.pending_tuples()
@@ -477,6 +497,32 @@ class SystemMonitor:
                     "snapshot; a rewind re-delivering them would "
                     "double-apply (check JOURNAL_LIMIT against per-key op "
                     "rates)",
+                )
+            )
+        divergence_delta = snap.scrub_divergent_buckets - self._previous_field(
+            "scrub_divergent_buckets"
+        )
+        if divergence_delta > 0:
+            alerts.append(
+                Alert(
+                    "warning", "tdstore",
+                    f"scrub found and repaired {divergence_delta} divergent "
+                    "replica bucket(s) since last snapshot (replication "
+                    "drift; read-repair converged the pair)",
+                )
+            )
+        scrub_corruption_delta = (
+            snap.scrub_corruptions_detected
+            - self._previous_field("scrub_corruptions_detected")
+        )
+        if scrub_corruption_delta > 0:
+            alerts.append(
+                Alert(
+                    "critical", "tdstore",
+                    f"scrub detected {scrub_corruption_delta} silently "
+                    "corrupted key(s) since last snapshot (value differed "
+                    "between replicas; repaired from the host copy — check "
+                    "for memory faults or repair-path bugs)",
                 )
             )
         for name, state in snap.breaker_states.items():
@@ -759,6 +805,15 @@ class SystemMonitor:
                 f"{snap.store_batch_ops} batch op(s), "
                 f"{snap.store_hedged_reads} hedged read(s), "
                 f"{snap.store_degraded_keys} degraded key(s)"
+            )
+        if snap.scrub_passes:
+            lines.append(
+                f"  scrub: {snap.scrub_passes} pass(es), "
+                f"{snap.scrub_instances_scanned} instance(s) scanned, "
+                f"{snap.scrub_divergent_buckets} divergent bucket(s), "
+                f"{snap.scrub_keys_repaired} key(s) repaired, "
+                f"{snap.scrub_keys_deleted} deleted, "
+                f"{snap.scrub_corruptions_detected} silent corruption(s)"
             )
         if snap.migrations_completed or snap.migrations_in_flight:
             lines.append(

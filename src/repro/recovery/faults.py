@@ -33,9 +33,18 @@ if TYPE_CHECKING:
 # ``skipped`` instead of firing — the convergence proof compares a
 # process run under these faults against a fault-free reference, so a
 # sim run of the same plan legitimately reduces to the fault-free case.
-WAL_FAULT_KINDS = frozenset({"torn_write", "disk_full", "fsync_error"})
+# silent-corruption kinds: the faulted call *succeeds* — the mutation is
+# acked — and only checksum verification (WAL replay CRC, RPC frame CRC)
+# can tell. They drive the disk shim (bit_flip / wal_corrupt) and the
+# RPC fault hook (frame_corrupt).
+WAL_CORRUPTION_KINDS = frozenset({"bit_flip", "wal_corrupt"})
+WAL_FAULT_KINDS = (
+    frozenset({"torn_write", "disk_full", "fsync_error"})
+    | WAL_CORRUPTION_KINDS
+)
 NETWORK_FAULT_KINDS = frozenset(
-    {"conn_reset", "frame_drop", "frame_delay", "one_way_partition"}
+    {"conn_reset", "frame_drop", "frame_delay", "one_way_partition",
+     "frame_corrupt"}
 )
 PROCESS_KINDS = frozenset(
     {"host_sigkill", "worker_sigkill"} | WAL_FAULT_KINDS | NETWORK_FAULT_KINDS
@@ -112,6 +121,14 @@ class Fault:
     apply). The WAL disk kinds ``torn_write`` / ``disk_full`` /
     ``fsync_error`` target ``(host_index,)`` and fail-stop the host on
     its next logged mutation.
+
+    The silent-corruption kinds: ``bit_flip`` / ``wal_corrupt`` target
+    ``(host_index,)`` — the host's next logged mutation is acked but
+    written damaged; detection happens at the next WAL replay, whose
+    CRC check quarantines the log and re-seeds the host's servers from
+    replicas. ``frame_corrupt`` targets ``(host_index, count)`` — the
+    host's next ``count`` non-admin RPC replies go out with a flipped
+    payload bit, which the caller's frame CRC must catch.
     """
 
     round: int
@@ -183,7 +200,7 @@ class Fault:
                     f"worker_sigkill needs index >= 0, after >= 1, "
                     f"rewind >= 1: {self.target}"
                 )
-        if self.kind in ("conn_reset", "frame_drop"):
+        if self.kind in ("conn_reset", "frame_drop", "frame_corrupt"):
             if (
                 len(self.target) != 2
                 or not all(isinstance(f, int) for f in self.target)
@@ -323,6 +340,18 @@ class FaultInjector:
             fault = self._plan[self._cursor]
             self._cursor += 1
             self._fire(fault)
+
+    def fire_now(self, fault: Fault):
+        """Fire one fault immediately, outside the barrier plan.
+
+        The entry point for non-quiescent scheduling
+        (:class:`~repro.runtime.chaos.MidFlightScheduler`): the fault
+        goes through the same dispatch as a planned one — recorded in
+        ``injected``, skipped on substrates without a chaos runtime,
+        arming countdowns for the sigkill kinds — but its ``round`` is
+        ignored; *when* it fires is the caller's trigger, not a barrier.
+        """
+        self._fire(fault)
 
     def _fire(self, fault: Fault):
         self.injected.append(fault)

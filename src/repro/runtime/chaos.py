@@ -42,9 +42,11 @@ from repro.errors import FaultPlanError, RemoteOpError
 from repro.recovery.faults import (
     Fault,
     NETWORK_FAULT_KINDS,
+    WAL_CORRUPTION_KINDS,
     WAL_FAULT_KINDS,
 )
 from repro.runtime.rpc import RpcClient
+from repro.runtime.wire import CORRUPTION_STATS
 from repro.utils.rng import SeedSequenceFactory
 
 # width (in disturbed request frames) of a one_way_partition window;
@@ -83,6 +85,12 @@ class ChaosReport:
     injected_faults: int = 0
     rounds: int = 0
     crashes: int = 0
+    corruptions_injected: int = 0
+    corruptions_detected: int = 0
+    midflight_fired: int = 0
+    flushed_faults: int = 0
+    online_probes: int = 0
+    invariant_violations: "list[str]" = field(default_factory=list)
 
     @property
     def serve_rate(self) -> float:
@@ -110,6 +118,12 @@ class ChaosReport:
             "injected_faults": self.injected_faults,
             "rounds": self.rounds,
             "crashes": self.crashes,
+            "corruptions_injected": self.corruptions_injected,
+            "corruptions_detected": self.corruptions_detected,
+            "midflight_fired": self.midflight_fired,
+            "flushed_faults": self.flushed_faults,
+            "online_probes": self.online_probes,
+            "invariant_violations": list(self.invariant_violations),
         }
 
 
@@ -155,6 +169,10 @@ class ChaosRuntime:
         self.network_faults: dict[str, int] = {}
         self.disk_faults: dict[str, int] = {}
         self.mttr_samples: list[MttrSample] = []
+        self.corruptions_injected = 0
+        # CORRUPTION_STATS is process-global; snapshot it so accounting
+        # reports only detections that happened under *this* runtime
+        self._parent_crc_baseline = CORRUPTION_STATS["frames_detected"]
 
     # -- dispatch ---------------------------------------------------------
 
@@ -162,7 +180,7 @@ class ChaosRuntime:
         kind = fault.kind
         if kind == "host_sigkill":
             self.kill_host(fault.target[0])
-        elif kind in ("conn_reset", "frame_drop"):
+        elif kind in ("conn_reset", "frame_drop", "frame_corrupt"):
             self.network_fault(fault.target[0], kind, fault.target[1])
         elif kind == "frame_delay":
             host_index, count, seconds = fault.target
@@ -176,6 +194,8 @@ class ChaosRuntime:
                 host_index, mapped, count * PARTITION_WIDTH,
                 record_as=f"partition_{direction}",
             )
+        elif kind in WAL_CORRUPTION_KINDS:
+            self.corrupt_wal(fault.target[0], kind)
         elif kind in WAL_FAULT_KINDS:
             self.disk_fault(fault.target[0], kind)
         else:
@@ -296,6 +316,50 @@ class ChaosRuntime:
         self.disk_faults[kind] = self.disk_faults.get(kind, 0) + 1
         return sample
 
+    def corrupt_wal(self, host_index: int, kind: str) -> None:
+        """Arm a *silent* WAL corruption and trigger it with a probe
+        mutation that IS acknowledged.
+
+        Unlike the loud disk faults, nothing fail-stops here: the
+        damaged record sits in the log, invisible, until the host's
+        next respawn CRC-scans it during replay — at which point the
+        substrate quarantines the log and re-seeds the host's state
+        from its live replica. The plan must therefore kill this host
+        *later* for the corruption to be detected (and the acceptance
+        accounting to reconcile injected == detected).
+        """
+        from repro.runtime.substrate import SERVER_HOST_PREFIX
+
+        managed = self._substrate.supervisor.get(
+            f"{SERVER_HOST_PREFIX}{host_index}"
+        )
+        server_id = self._local_server(host_index)
+        if server_id is None:
+            raise FaultPlanError(
+                f"host {host_index} owns no data server to corrupt"
+            )
+        arm = RpcClient(*managed.address)
+        try:
+            arm.call("_wal_fault", kind)
+        finally:
+            arm.close()
+        instance = self._hosted_instance(server_id)
+        trigger = RpcClient(*managed.address, timeout=10.0)
+        try:
+            # the append is poisoned but the op acks normally — silence
+            # is the property under test
+            trigger.call(
+                "put",
+                instance,
+                "__chaos_probe__",
+                f"{kind}@{host_index}",
+                target=("data", server_id),
+            )
+        finally:
+            trigger.close()
+        self.disk_faults[kind] = self.disk_faults.get(kind, 0) + 1
+        self.corruptions_injected += 1
+
     # -- plumbing ---------------------------------------------------------
 
     def _host_rpc(self, host_index: int) -> RpcClient:
@@ -350,6 +414,311 @@ class ChaosRuntime:
             "mttr_max": max(durations) if durations else None,
         }
 
+    def corruption_accounting(self, cluster=None) -> dict:
+        """Reconcile corruption injected vs detected, cluster-wide.
+
+        Injected: silent WAL corruptions armed by this runtime plus
+        response frames the hosts' RPC servers actually damaged
+        (``corrupt_response`` fires at send time, so the host's own
+        tally is authoritative even when a window partially drains).
+
+        Detected: CRC failures everywhere a frame is decoded — the
+        parent process (client proxies), each host and worker process
+        (their ``_stats`` carry ``frame_corruptions_detected``), and
+        WAL replay scans (counted parent-side by the substrate when a
+        respawn surfaces :class:`~repro.runtime.wal.WalError`, so a
+        host that dies of its own scan does not double-report).
+        """
+        injected = self.corruptions_injected
+        detected = max(
+            0, CORRUPTION_STATS["frames_detected"] - self._parent_crc_baseline
+        )
+        detected += getattr(self._substrate, "wal_corruptions_detected", 0)
+        facade = getattr(self._substrate, "facade", None)
+        if facade is not None:
+            for stats in facade.host_stats():
+                chaos = stats.get("chaos") or {}
+                injected += (chaos.get("injected") or {}).get(
+                    "corrupt_response", 0
+                )
+                detected += stats.get("frame_corruptions_detected", 0)
+        if cluster is not None and hasattr(cluster, "worker_stats"):
+            for stats in cluster.worker_stats():
+                detected += stats.get("frame_corruptions_detected", 0)
+        return {"injected": injected, "detected": detected}
+
+
+MIDFLIGHT_COUNTERS = ("tuples", "rpcs", "wal_records")
+
+# poll remote counters (host RPC/WAL tallies) every N executions — a
+# counter RPC per tuple would dominate the run without adding precision
+MIDFLIGHT_POLL_EVERY = 4
+
+
+@dataclass(frozen=True)
+class MidFlightTrigger:
+    """Fire a fault when a progress counter crosses ``at``.
+
+    ``counter`` is one of :data:`MIDFLIGHT_COUNTERS`:
+
+    - ``"tuples"`` — bolt executions observed parent-side;
+    - ``"rpcs"`` — RPC requests served across the TDStore hosts;
+    - ``"wal_records"`` — WAL records appended across the hosts.
+
+    All three are monotone progress measures, never wall clock, so a
+    seeded mid-flight schedule replays at any machine speed. On the
+    simulator substrate (no host processes, so no remote counters) the
+    remote counters degrade to the tuple counter — the plan still
+    replays completely, with the process-native kinds recorded skipped.
+    """
+
+    counter: str
+    at: int
+
+    def __post_init__(self):
+        if self.counter not in MIDFLIGHT_COUNTERS:
+            raise FaultPlanError(
+                f"unknown mid-flight counter {self.counter!r}; "
+                f"expected one of {MIDFLIGHT_COUNTERS}"
+            )
+        if self.at < 0:
+            raise FaultPlanError(
+                f"mid-flight threshold must be >= 0, got {self.at}"
+            )
+
+
+class _MidFlightEntry:
+    __slots__ = ("trigger", "fault", "fired")
+
+    def __init__(self, trigger: MidFlightTrigger, fault: Fault):
+        self.trigger = trigger
+        self.fault = fault
+        self.fired = False
+
+
+class MidFlightScheduler:
+    """Non-quiescent fault scheduling: faults land *mid-wave*.
+
+    Barrier hooks fire at quiescent points — every queue drained, no
+    tuple trees open. That is exactly when real failures do **not**
+    happen. This scheduler keys faults to execute hooks instead: a
+    SIGKILL, partition, or silent corruption fires while tuple trees
+    are open, acks are pending, and the WAL group-committer holds dirty
+    records.
+
+    Execute hooks run parent-side between worker dispatches, so firing
+    a fault here is race-free with the RPC plumbing while still landing
+    mid-wave from the system's point of view: workers hold queued
+    tuples, un-acked writes, and open ledgers when the fault lands.
+
+    ``flush()`` fires whatever the stream was too short to reach — a
+    plan always completes, so cross-substrate runs stay comparable.
+    """
+
+    def __init__(
+        self, entries: "list[tuple[MidFlightTrigger, Fault]]"
+    ):
+        self._entries = [_MidFlightEntry(t, f) for t, f in entries]
+        self._injector = None
+        self._counter_source: "Callable[[], dict] | None" = None
+        self._attached_to = None
+        self._tuples = 0
+        self._since_poll = 0
+        self._remote: dict = {"rpcs": 0, "wal_records": 0}
+        self.fired_midflight: "list[Fault]" = []
+        self.flushed: "list[Fault]" = []
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach(self, cluster, injector, counter_source=None) -> None:
+        """Hook into ``cluster``'s execute stream, firing through
+        ``injector``. ``counter_source`` (process substrate only) is a
+        zero-arg callable returning ``{"rpcs": int, "wal_records": int}``
+        summed across hosts; None degrades remote triggers to tuples."""
+        self.detach()
+        self._injector = injector
+        self._counter_source = counter_source
+        cluster.add_execute_hook(self._on_execute)
+        self._attached_to = cluster
+
+    def detach(self) -> None:
+        if self._attached_to is not None:
+            self._attached_to.remove_execute_hook(self._on_execute)
+            self._attached_to = None
+
+    def pending(self) -> int:
+        return sum(1 for entry in self._entries if not entry.fired)
+
+    # -- the non-quiescent trigger path -----------------------------------
+
+    def _on_execute(self, topology_name: str) -> None:
+        self._tuples += 1
+        if self.pending() == 0:
+            return
+        if self._counter_source is not None and self._remote_pending():
+            self._since_poll += 1
+            if self._since_poll >= MIDFLIGHT_POLL_EVERY:
+                self._since_poll = 0
+                try:
+                    polled = self._counter_source()
+                except RemoteOpError:
+                    polled = None  # a host is mid-respawn; poll next time
+                if polled is not None:
+                    self._remote.update(polled)
+        self._fire_due(self._counters(), self.fired_midflight)
+
+    def _remote_pending(self) -> bool:
+        return any(
+            not entry.fired and entry.trigger.counter != "tuples"
+            for entry in self._entries
+        )
+
+    def _counters(self) -> dict:
+        if self._counter_source is None:
+            # simulator fallback: every counter is tuple progress
+            return {
+                "tuples": self._tuples,
+                "rpcs": self._tuples,
+                "wal_records": self._tuples,
+            }
+        counters = dict(self._remote)
+        counters["tuples"] = self._tuples
+        return counters
+
+    def _fire_due(self, counters: dict, record_into: "list[Fault]") -> None:
+        for entry in self._entries:
+            if entry.fired:
+                continue
+            if counters.get(entry.trigger.counter, 0) >= entry.trigger.at:
+                entry.fired = True
+                record_into.append(entry.fault)
+                if self._injector is not None:
+                    self._injector.fire_now(entry.fault)
+
+    def flush(self) -> int:
+        """Fire every remaining trigger at quiescence (stream ended
+        before its counter crossed the threshold). Returns the count."""
+        remaining = [e for e in self._entries if not e.fired]
+        for entry in remaining:
+            entry.fired = True
+            self.flushed.append(entry.fault)
+            if self._injector is not None:
+                self._injector.fire_now(entry.fault)
+        return len(remaining)
+
+
+class OnlineInvariantMonitor:
+    """Invariant probes that run *concurrently with* execution.
+
+    The acceptance suites check invariants after the run; this monitor
+    checks them while faults are landing — every ``every`` executions:
+
+    - **route-epoch monotonicity**: the config server's route-table
+      version must never regress (a regressed epoch would let stale
+      routes win fencing races);
+    - **ledger watermark sanity**: every task ledger reports
+      ``within_bound`` (the dedup window never silently under-covers
+      the retained offsets);
+    - **serve probe** (optional): front-end reads answered under fire.
+
+    Probes that cannot reach a component mid-failover are not
+    violations — unavailability windows are the chaos being injected;
+    only *wrong answers* (regressed epoch, out-of-bound ledger) are.
+    """
+
+    def __init__(
+        self,
+        harness,
+        *,
+        every: int = 16,
+        serve_probe: "Callable[[], tuple[int, int]] | None" = None,
+    ):
+        self.harness = harness
+        self.every = max(1, every)
+        self.serve_probe = serve_probe
+        self.probes = 0
+        self.violations: "list[str]" = []
+        self.serve_attempts = 0
+        self.serve_answered = 0
+        self._executions = 0
+        self._last_epoch: "int | None" = None
+        self._attached_to = None
+
+    def attach(self, cluster) -> None:
+        self.detach()
+        cluster.add_execute_hook(self._on_execute)
+        self._attached_to = cluster
+
+    def detach(self) -> None:
+        if self._attached_to is not None:
+            self._attached_to.remove_execute_hook(self._on_execute)
+            self._attached_to = None
+
+    def _on_execute(self, topology_name: str) -> None:
+        self._executions += 1
+        if self._executions % self.every == 0:
+            self.probe(topology_name)
+
+    def probe(self, topology_name: "str | None" = None) -> None:
+        self.probes += 1
+        self._probe_route_epoch()
+        self._probe_ledgers(topology_name)
+        if self.serve_probe is not None:
+            attempts, answered = self.serve_probe()
+            self.serve_attempts += attempts
+            self.serve_answered += answered
+
+    def _probe_route_epoch(self) -> None:
+        try:
+            version = self.harness.tdstore.config.route_table().version
+        except Exception:
+            return  # config server mid-failover: unavailability, not error
+        if self._last_epoch is not None and version < self._last_epoch:
+            self.violations.append(
+                f"route epoch regressed: {self._last_epoch} -> {version}"
+            )
+        if self._last_epoch is None or version > self._last_epoch:
+            self._last_epoch = version
+
+    def _probe_ledgers(self, topology_name: "str | None") -> None:
+        if topology_name is None:
+            return
+        try:
+            stats = self.harness.cluster.exactly_once_stats(topology_name)
+        except Exception:
+            return  # a worker is mid-respawn: probe again next window
+        for task, ledger in stats.items():
+            if ledger.get("within_bound") is False:
+                self.violations.append(
+                    f"ledger watermark out of bound at {task}"
+                )
+
+
+def rekey_plan_midflight(
+    plan: "list[Fault]",
+    tuples_per_round: int,
+    seed: int = 0,
+) -> "list[tuple[MidFlightTrigger, Fault]]":
+    """Convert a barrier-keyed plan into mid-flight tuple triggers.
+
+    A fault at barrier round ``r`` becomes a trigger at
+    ``(r - 1) * tuples_per_round + offset`` tuples, with a seeded
+    offset inside the round — the fault that used to fire *after* the
+    round's wave drains now fires somewhere *inside* it. Deterministic
+    for a given (plan, tuples_per_round, seed).
+    """
+    if tuples_per_round < 1:
+        raise FaultPlanError(
+            f"tuples_per_round must be >= 1, got {tuples_per_round}"
+        )
+    rng = SeedSequenceFactory(seed).generator("midflight-rekey")
+    entries: "list[tuple[MidFlightTrigger, Fault]]" = []
+    for fault in sorted(plan, key=lambda f: f.round):
+        offset = int(rng.integers(1, max(2, tuples_per_round)))
+        at = max(1, (fault.round - 1) * tuples_per_round + offset)
+        entries.append((MidFlightTrigger("tuples", at), fault))
+    return entries
+
 
 class ChaosOrchestrator:
     """Barrier-keyed chaos driver over a :class:`RecoveryHarness`.
@@ -367,10 +736,14 @@ class ChaosOrchestrator:
         plan: "list[Fault]",
         *,
         serve_probe: "Callable[[], tuple[int, int]] | None" = None,
+        scheduler: "MidFlightScheduler | None" = None,
+        monitor: "OnlineInvariantMonitor | None" = None,
     ):
         self.harness = harness
         self.plan = list(plan)
         self.serve_probe = serve_probe
+        self.scheduler = scheduler
+        self.monitor = monitor
         self.serve_attempts = 0
         self.serve_answered = 0
         self.rounds = 0
@@ -385,6 +758,33 @@ class ChaosOrchestrator:
 
     def _hook_storm(self) -> None:
         self.harness.cluster.add_barrier_hook(self._on_barrier)
+        if self.scheduler is not None:
+            # fired flags persist across re-attach: a crash/rebuild never
+            # re-fires an already-landed mid-flight fault
+            self.scheduler.attach(
+                self.harness.cluster,
+                self.harness.injector,
+                self._counter_source(),
+            )
+        if self.monitor is not None:
+            self.monitor.attach(self.harness.cluster)
+
+    def _counter_source(self) -> "Callable[[], dict] | None":
+        """Cluster-wide RPC/WAL progress reader for mid-flight triggers;
+        None on the simulator substrate (no host processes to poll)."""
+        facade = getattr(self.harness.substrate, "facade", None)
+        if facade is None or not hasattr(facade, "host_stats"):
+            return None
+
+        def read() -> dict:
+            rpcs = 0
+            wal_records = 0
+            for stats in facade.host_stats():
+                rpcs += stats.get("rpc_requests", 0)
+                wal_records += (stats.get("wal") or {}).get("records", 0)
+            return {"rpcs": rpcs, "wal_records": wal_records}
+
+        return read
 
     def run(self, *, max_crashes: int = 8) -> str:
         """Start the harness under the plan and drive it to completion,
@@ -394,6 +794,8 @@ class ChaosOrchestrator:
         while True:
             status = self.harness.run()
             if status != "crashed":
+                if self.scheduler is not None:
+                    self.scheduler.flush()
                 return status
             self.crashes += 1
             if self.crashes > max_crashes:
@@ -433,6 +835,19 @@ class ChaosOrchestrator:
         if runtime is not None:
             # armed mid-drain worker SIGKILLs fire through the injector
             report.kills.setdefault("worker_sigkill", 0)
+            accounting = runtime.corruption_accounting(
+                cluster=self.harness.cluster
+            )
+            report.corruptions_injected = accounting["injected"]
+            report.corruptions_detected = accounting["detected"]
+        if self.scheduler is not None:
+            report.midflight_fired = len(self.scheduler.fired_midflight)
+            report.flushed_faults = len(self.scheduler.flushed)
+        if self.monitor is not None:
+            report.online_probes = self.monitor.probes
+            report.invariant_violations = list(self.monitor.violations)
+            report.serve_attempts += self.monitor.serve_attempts
+            report.serve_answered += self.monitor.serve_answered
         if fingerprint is not None and reference is not None:
             report.fingerprint_match = fingerprint == reference
             report.lost_keys = lost_keys(reference[1], fingerprint[1])
@@ -539,11 +954,17 @@ __all__ = [
     "ChaosOrchestrator",
     "ChaosReport",
     "ChaosRuntime",
+    "MidFlightScheduler",
+    "MidFlightTrigger",
     "MttrSample",
+    "OnlineInvariantMonitor",
     "lost_keys",
     "percentile",
+    "rekey_plan_midflight",
     "seeded_process_plan",
+    "MIDFLIGHT_COUNTERS",
     "PARTITION_WIDTH",
     "NETWORK_FAULT_KINDS",
+    "WAL_CORRUPTION_KINDS",
     "WAL_FAULT_KINDS",
 ]

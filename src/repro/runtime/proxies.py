@@ -27,6 +27,7 @@ from typing import Any, Callable
 
 from repro.errors import RemoteOpError, SubstrateMismatchError, TDStoreError
 from repro.runtime.rpc import RpcClient
+from repro.runtime.wire import MUTATING_DATA_METHODS as MUTATING_DATA_METHODS
 from repro.utils.clock import WallClock
 
 # transport-level retry: a RemoteOpError means the TCP connection died
@@ -69,23 +70,11 @@ def _retrying(
                 # stable ports; a short pause outlives a reset window
                 time.sleep(TRANSPORT_BACKOFF * attempt)
 
-# TDStoreDataServer methods that mutate durable state; the server host
-# logs exactly these to its WAL (see server_host) and the parent facade
-# refuses to treat anything else as replayable
-MUTATING_DATA_METHODS = frozenset(
-    {
-        "put",
-        "delete",
-        "check_and_set",
-        "apply_op",
-        "put_once",
-        "record_once",
-        "enqueue_sync",
-        "apply_pending",
-        "adopt_snapshot",
-        "ensure_instance",
-    }
-)
+# MUTATING_DATA_METHODS — the TDStoreDataServer methods that mutate
+# durable state — now lives in repro.runtime.wire so the transport can
+# consult it (no transparent re-send after a corrupt reply frame)
+# without importing this module; it is re-exported above for the server
+# host and the facade, which WAL-log and replay exactly that set.
 
 
 class RemoteDataServer:
@@ -442,6 +431,15 @@ class ProcessTDStore:
 
     def recover_data_server(self, server_id: int):
         return self._cluster_call("recover_data_server", server_id)
+
+    def scrub_replicas(self, buckets: "int | None" = None) -> dict:
+        """Anti-entropy pass, run inside host 0's control plane (local
+        engines compared directly, sibling hosts reached over the
+        existing data-server proxies); returns the pass report dict."""
+        return self._cluster_call("scrub_replicas", buckets)
+
+    def scrub_stats(self) -> dict:
+        return self._cluster_call("scrub_stats")
 
     def set_degradation(
         self,

@@ -22,9 +22,13 @@ from typing import Any, Callable, Iterable
 
 from repro.errors import RemoteOpError
 from repro.runtime.wire import (
+    MUTATING_DATA_METHODS,
+    FrameCorruptionError,
+    FrameError,
     Request,
     Response,
     StreamDecoder,
+    corrupt_frame,
     encode_error,
     encode_frame,
 )
@@ -55,6 +59,14 @@ class RpcClient:
 
     One request in flight at a time; ``call`` returns the unwrapped
     response value or raises the round-tripped remote exception.
+
+    A reply frame that fails to parse — CRC mismatch or framing desync —
+    poisons the whole stream, so the connection is dropped either way.
+    Idempotent ops (reads, admin calls, attribute fetches) are then
+    transparently re-issued once on a fresh connection; mutating data
+    ops are not re-sent at this layer (the first send may have applied)
+    and surface a typed :class:`FrameCorruptionError` for the journaled
+    retry machinery above to absorb.
     """
 
     def __init__(self, host: str, port: int, *, timeout: float | None = 30.0):
@@ -63,6 +75,7 @@ class RpcClient:
         self._sock: socket.socket | None = None
         self._decoder = StreamDecoder()
         self.calls = 0
+        self.frame_corruptions = 0
 
     def connect(self) -> "RpcClient":
         if self._sock is None:
@@ -80,29 +93,47 @@ class RpcClient:
         return response.unwrap()
 
     def call_raw(self, request: Request) -> Response:
-        if self._sock is None:
-            self.connect()
-        assert self._sock is not None
-        self.calls += 1
-        try:
-            self._sock.sendall(encode_frame(request))
-            while True:
-                frames = self._decoder.feed(self._recv())
-                if frames:
-                    break
-        except (OSError, ConnectionError) as exc:
-            self.close()
-            raise RemoteOpError(
-                f"rpc to {self._address[0]}:{self._address[1]} failed "
-                f"during {request.method!r}: {exc}"
-            ) from exc
-        if len(frames) != 1:
-            self.close()
-            raise RemoteOpError(
-                f"expected one response frame for {request.method!r}, "
-                f"got {len(frames)}"
-            )
-        return frames[0]
+        retryable = request.method not in MUTATING_DATA_METHODS
+        for attempt in (0, 1):
+            if self._sock is None:
+                self.connect()
+            assert self._sock is not None
+            self.calls += 1
+            try:
+                self._sock.sendall(encode_frame(request))
+                while True:
+                    frames = self._decoder.feed(self._recv())
+                    if frames:
+                        break
+            except FrameError as exc:
+                # a damaged or desynced reply stream: nothing received on
+                # this connection can be trusted anymore, so drop it
+                # (close() also resets the decoder) and either re-issue
+                # the idempotent op on a fresh connection or surface the
+                # typed corruption error for mutations
+                self.frame_corruptions += 1
+                self.close()
+                if retryable and attempt == 0:
+                    continue
+                raise FrameCorruptionError(
+                    f"rpc to {self._address[0]}:{self._address[1]} returned "
+                    f"a corrupt frame during {request.method!r}"
+                    + ("" if retryable else " (mutating op: not re-sent)")
+                ) from exc
+            except (OSError, ConnectionError) as exc:
+                self.close()
+                raise RemoteOpError(
+                    f"rpc to {self._address[0]}:{self._address[1]} failed "
+                    f"during {request.method!r}: {exc}"
+                ) from exc
+            if len(frames) != 1:
+                self.close()
+                raise RemoteOpError(
+                    f"expected one response frame for {request.method!r}, "
+                    f"got {len(frames)}"
+                )
+            return frames[0]
+        raise AssertionError("unreachable")
 
     def send_request(self, request: Request) -> None:
         """Fire a request without waiting; pair with :meth:`recv_response`.
@@ -133,6 +164,16 @@ class RpcClient:
                 frames = self._decoder.feed(self._recv())
                 if frames:
                     break
+        except FrameError as exc:
+            # pipelined mode: the request this reply answers is not known
+            # here, so no transparent retry — the caller's worker-recovery
+            # path re-dispatches the batch
+            self.frame_corruptions += 1
+            self.close()
+            raise FrameCorruptionError(
+                f"rpc to {self._address[0]}:{self._address[1]} returned a "
+                "corrupt frame while awaiting a pipelined response"
+            ) from exc
         except (OSError, ConnectionError) as exc:
             self.close()
             raise RemoteOpError(
@@ -205,12 +246,16 @@ class RpcServer:
         # chaos seam: when set, consulted once per decoded request frame
         # *before* dispatch. Returns None (pass), "reset" (close the
         # connection without processing — an inbound partition),
-        # ("delay", seconds) (stall the loop, bounded), or
+        # ("delay", seconds) (stall the loop, bounded),
         # "drop_response" (process the request but swallow its reply and
-        # close the connection — an ack lost after apply).
+        # close the connection — an ack lost after apply), or
+        # "corrupt_response" (process the request but flip a payload bit
+        # in the outgoing reply frame — silent wire corruption the
+        # client's CRC check must catch).
         self.fault_hook: Callable[[int, Request], Any] | None = None
         self.faults_injected: dict[str, int] = {}
         self._swallow: dict[int, int] = {}
+        self._corrupt: dict[int, int] = {}
 
     @property
     def port(self) -> int:
@@ -288,8 +333,11 @@ class RpcServer:
             if conn_id is not None and self._consume_swallow(conn_id):
                 self._drop(sock)
                 continue
+            payload = encode_frame(response)
+            if conn_id is not None and self._consume_corrupt(conn_id):
+                payload = corrupt_frame(payload)
             try:
-                _sendall(sock, encode_frame(response))
+                _sendall(sock, payload)
             except (ConnectionError, OSError):
                 self._drop(sock)
 
@@ -321,18 +369,29 @@ class RpcServer:
                 conn_id = self._conn_ids[sock]
                 self._swallow[conn_id] = self._swallow.get(conn_id, 0) + 1
                 kept.append((sock, frame))
+            elif kind == "corrupt_response":
+                conn_id = self._conn_ids[sock]
+                self._corrupt[conn_id] = self._corrupt.get(conn_id, 0) + 1
+                kept.append((sock, frame))
             else:
                 kept.append((sock, frame))
         return kept
 
     def _consume_swallow(self, conn_id: int) -> bool:
-        count = self._swallow.get(conn_id, 0)
+        return self._consume_marker(self._swallow, conn_id)
+
+    def _consume_corrupt(self, conn_id: int) -> bool:
+        return self._consume_marker(self._corrupt, conn_id)
+
+    @staticmethod
+    def _consume_marker(markers: dict[int, int], conn_id: int) -> bool:
+        count = markers.get(conn_id, 0)
         if count <= 0:
             return False
         if count == 1:
-            self._swallow.pop(conn_id, None)
+            markers.pop(conn_id, None)
         else:
-            self._swallow[conn_id] = count - 1
+            markers[conn_id] = count - 1
         return True
 
     def send_payload(self, conn_id: int, payload: bytes) -> None:
@@ -357,6 +416,8 @@ class RpcServer:
             except OSError:
                 pass
             return
+        if self._consume_corrupt(conn_id):
+            payload = corrupt_frame(payload)
         try:
             _sendall(sock, payload)
         except (ConnectionError, OSError):

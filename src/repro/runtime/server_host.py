@@ -41,7 +41,13 @@ from repro.errors import TDStoreError
 from repro.runtime.proxies import MUTATING_DATA_METHODS, RemoteDataServer
 from repro.runtime.rpc import RpcClient, RpcServer
 from repro.runtime.wal import GroupCommitWal, WalError, replay
-from repro.runtime.wire import Request, Response, encode_error, encode_frame
+from repro.runtime.wire import (
+    CORRUPTION_STATS,
+    Request,
+    Response,
+    encode_error,
+    encode_frame,
+)
 
 # cap on chaos-injected real per-op server delay: long enough to blow
 # any realistic deadline budget, short enough that supervisor pings and
@@ -251,8 +257,13 @@ class ServerHost:
         # request frames to disturb) and real per-data-server delays
         self._net_reset = 0
         self._net_drop = 0
+        self._net_corrupt = 0
         self._net_delay: tuple[int, float] = (0, 0.0)
         self._delays: dict[int, float] = {}
+        # CRC failures found by this host's own WAL replay scan; the
+        # parent counts those from the surfaced WalError, so _stats
+        # subtracts them to report RPC-frame detections without overlap
+        self.wal_scan_corruptions = 0
         self.cluster: TDStoreCluster | None = None
         self._sibling_rpcs: dict[int, RpcClient] = {}
         if self.host_index == 0:
@@ -417,6 +428,9 @@ class ServerHost:
         if self._net_drop > 0:
             self._net_drop -= 1
             return "drop_response"
+        if self._net_corrupt > 0:
+            self._net_corrupt -= 1
+            return "corrupt_response"
         count, seconds = self._net_delay
         if count > 0:
             self._net_delay = (count - 1, seconds)
@@ -430,11 +444,14 @@ class ServerHost:
             self._net_reset += int(count)
         elif kind == "frame_drop":
             self._net_drop += int(count)
+        elif kind == "frame_corrupt":
+            self._net_corrupt += int(count)
         elif kind == "frame_delay":
             self._net_delay = (self._net_delay[0] + int(count), float(seconds))
         elif kind == "clear":
             self._net_reset = 0
             self._net_drop = 0
+            self._net_corrupt = 0
             self._net_delay = (0, 0.0)
         else:
             raise TDStoreError(f"unknown network fault kind {kind!r}")
@@ -446,6 +463,7 @@ class ServerHost:
             "armed": {
                 "conn_reset": self._net_reset,
                 "frame_drop": self._net_drop,
+                "frame_corrupt": self._net_corrupt,
                 "frame_delay": self._net_delay[0],
             },
             "injected": dict(self.server.faults_injected),
@@ -493,6 +511,13 @@ class ServerHost:
             "wal": self.wal.stats(),
             "committer": self.committer.stats(),
             "chaos": self._chaos_stats(),
+            # RPC-frame CRC failures this process caught; WAL replay-scan
+            # detections are excluded (the parent counts those from the
+            # surfaced WalError, so the cluster-wide sum stays exact)
+            "frame_corruptions_detected": (
+                CORRUPTION_STATS["frames_detected"] - self.wal_scan_corruptions
+            ),
+            "wal_scan_corruptions": self.wal_scan_corruptions,
             "uptime": time.time() - self.started_at,
         }
 
@@ -539,7 +564,27 @@ class ServerHost:
                     server.set_host_role(args[0], False)
 
         # replay from a read handle; new appends continue on the live fd
-        return replay(self.wal.path, apply)
+        try:
+            return replay(self.wal.path, apply)
+        except WalError as exc:
+            # detection-before-serving: the scan found acknowledged
+            # records whose CRC no longer matches. Surface the typed
+            # error to the parent (which quarantines the log and
+            # re-seeds this host from its replica) — and remember the
+            # count so _stats does not double-report these detections
+            self.wal_scan_corruptions += exc.corrupt_records
+            raise
+
+    def _quarantine_wal(self) -> str:
+        """Set the damaged log aside and reopen a fresh one in place.
+
+        Called by the parent after :meth:`_replay_wal` surfaces mid-log
+        corruption. The damaged file is preserved (``<path>.corrupt``)
+        for forensics; the re-seed that follows repopulates the fresh
+        log through the normal mutating-op path, so durability holds
+        again once repair completes.
+        """
+        return self.wal.quarantine()
 
     def _shutdown(self) -> str:
         self.server.stop()

@@ -37,6 +37,7 @@ from repro.runtime.proxies import ProcessTDStore
 from repro.runtime.rpc import RpcClient
 from repro.runtime.server_host import server_host_main
 from repro.runtime.supervisor import ManagedProcess, ProcessSupervisor
+from repro.runtime.wal import WalError
 from repro.runtime.worker_host import worker_host_main
 
 SERVER_HOST_PREFIX = "tdstore-host-"
@@ -167,6 +168,10 @@ class ProcessSubstrate(Substrate):
         self._tdstore_spec: "tuple[list, dict] | None" = None
         self._generation = 0
         self._chaos_runtime = None
+        # acknowledged-but-damaged WAL records caught by replay CRC scans
+        # (counted here, parent-side, exactly once per record — the host
+        # that found them excludes the scan from its own _stats)
+        self.wal_corruptions_detected = 0
 
     @property
     def supervisor(self) -> ProcessSupervisor:
@@ -310,15 +315,40 @@ class ProcessSubstrate(Substrate):
             host_index = int(managed.name[len(SERVER_HOST_PREFIX) :])
             if self._facade is not None:
                 self._facade.update_address(host_index, managed.address)
+            corruption: "WalError | None" = None
             replayer = RpcClient(*managed.address)
             try:
-                replayer.call("_replay_wal")
+                try:
+                    replayer.call("_replay_wal")
+                except WalError as exc:
+                    # the CRC scan found acknowledged-but-damaged records:
+                    # detection-before-serving worked. Set the log aside
+                    # (forensics) and fall through to re-seeding the
+                    # host's replicas from their live peers below.
+                    corruption = exc
+                    self.wal_corruptions_detected += max(
+                        1, exc.corrupt_records
+                    )
+                    replayer.call("_quarantine_wal")
             finally:
                 replayer.close()
+            if host_index == 0 and corruption is not None:
+                # host 0's WAL also rebuilds control-plane state
+                # (checkpoint restores, elastic expansion); there is no
+                # replica to repair that from — surface the fail-stop
+                raise corruption
             if host_index != 0 and self._facade is not None:
                 # roles are control-plane state, not WAL state: re-push
                 # the authoritative layout onto the reborn host's servers
                 self._facade.resync_host_roles(host_index)
+                if corruption is not None:
+                    # wipe the partial replay and re-seed every logical
+                    # server this process owns from its live replicas;
+                    # adopt_snapshot is a mutating op, so the re-seed
+                    # repopulates the fresh post-quarantine log
+                    for sid, owner in sorted(self._facade.placement.items()):
+                        if owner == host_index:
+                            self._facade.recover_data_server(sid)
         elif managed.name.startswith(WORKER_PREFIX):
             if self._cluster is not None:
                 self._cluster.on_worker_restarted(

@@ -10,9 +10,14 @@ client the batch size is one and throughput is fsync-bound; with N
 concurrent workers up to N mutations ride each flush, which is where
 the parallel benchmark's scaling comes from.
 
-Records are wire frames (length-prefixed pickles), so replay reuses
-:class:`~repro.runtime.wire.StreamDecoder` and a torn tail — a crash
-mid-append — is detected as an incomplete frame and discarded.
+Records are wire frames (length-prefixed, CRC32C-checksummed pickles),
+so replay reuses :class:`~repro.runtime.wire.StreamDecoder` and the two
+failure shapes are kept distinct: a torn *tail* — a crash mid-append —
+is an incomplete final frame, silently dropped because it was never
+acknowledged; a complete frame whose payload fails its checksum is
+*mid-log corruption* of acknowledged state and raises :class:`WalError`
+instead of being replayed as truth. The host fail-stops (or
+quarantines and re-seeds from replicas) on the latter.
 """
 
 from __future__ import annotations
@@ -23,16 +28,39 @@ import time
 from typing import Any, Callable, Iterator
 
 from repro.errors import RuntimeSubstrateError
-from repro.runtime.wire import StreamDecoder, encode_frame
+from repro.runtime.wire import (
+    FrameCorruptionError,
+    FrameError,
+    StreamDecoder,
+    corrupt_frame,
+    encode_frame,
+)
 
 
 class WalError(RuntimeSubstrateError):
-    """The write-ahead log is unusable (bad path, closed, corrupt)."""
+    """The write-ahead log is unusable (bad path, closed, corrupt).
+
+    ``corrupt_records`` carries how many checksum-failed records a
+    replay scan found — the detection count the chaos accounting
+    reconciles against injected corruption.
+    """
+
+    def __init__(self, message: str, corrupt_records: int = 0):
+        super().__init__(message)
+        self.corrupt_records = corrupt_records
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.corrupt_records))
 
 
 # disk-fault kinds the IO shim can arm; mirrored by the chaos layer's
-# Fault vocabulary (repro.recovery.faults)
-DISK_FAULT_KINDS = frozenset({"torn_write", "disk_full", "fsync_error"})
+# Fault vocabulary (repro.recovery.faults). The first three are loud
+# (the append or commit call fails); the last two are *silent* — the
+# call succeeds, the caller acks, and only the record's checksum knows.
+DISK_FAULT_KINDS = frozenset(
+    {"torn_write", "disk_full", "fsync_error", "bit_flip", "wal_corrupt"}
+)
+SILENT_CORRUPTION_KINDS = frozenset({"bit_flip", "wal_corrupt"})
 
 
 class DiskFaultShim:
@@ -50,10 +78,18 @@ class DiskFaultShim:
       (ENOSPC semantics).
     - ``fsync_error``: staged bytes stay in the page cache but the
       commit barrier reports failure (EIO semantics).
+    - ``bit_flip``: the append *succeeds* — every byte reaches the file
+      — but one bit inside the record body is flipped on the way down.
+      The mutation is acked; only replay-time CRC verification can tell.
+    - ``wal_corrupt``: like ``bit_flip`` but a whole byte run inside the
+      body is overwritten (a misdirected or garbled sector write).
 
-    Every fault surfaces as :class:`WalError`; the server host treats
-    that as unrecoverable and fail-stops, which is the only honest
-    response — a log that cannot promise durability must not ack.
+    The loud faults surface as :class:`WalError`; the server host
+    treats those as unrecoverable and fail-stops, which is the only
+    honest response — a log that cannot promise durability must not
+    ack. The silent kinds corrupt past the frame header (the length
+    field stays intact) so framing survives and the damage is exactly
+    what the per-record checksum exists to catch.
     """
 
     def __init__(self) -> None:
@@ -76,18 +112,27 @@ class DiskFaultShim:
         return None
 
     def write(self, fd: int, payload: bytes) -> None:
-        kind = self._take("torn_write", "disk_full")
+        kind = self._take("torn_write", "disk_full", "bit_flip", "wal_corrupt")
         if kind == "disk_full":
             raise WalError("disk full: append wrote nothing (ENOSPC)")
         if kind == "torn_write":
             os.write(fd, payload[: max(1, len(payload) // 2)])
             raise WalError("torn write: record half-written before failure")
+        if kind in SILENT_CORRUPTION_KINDS:
+            os.write(fd, _corrupt_record(payload, kind))
+            return
         os.write(fd, payload)
 
     def fsync(self, fd: int) -> None:
         if self._take("fsync_error"):
             raise WalError("fsync failed: staged records are not durable (EIO)")
         os.fsync(fd)
+
+
+def _corrupt_record(payload: bytes, kind: str) -> bytes:
+    """Damage a record's *body* deterministically, leaving the header
+    (and thus framing) intact so replay sees a complete-but-wrong frame."""
+    return corrupt_frame(payload, run=1 if kind == "bit_flip" else 8)
 
 
 class GroupCommitWal:
@@ -136,6 +181,7 @@ class GroupCommitWal:
         self.records = 0
         self.commits = 0
         self.committed_records = 0
+        self.quarantines = 0
 
     @property
     def path(self) -> str:
@@ -177,6 +223,29 @@ class GroupCommitWal:
             self.committed_records += covered
         return covered
 
+    def quarantine(self) -> str:
+        """Set a corrupt log aside and continue on a fresh one.
+
+        The on-disk file moves to ``<path>.corrupt`` (kept for forensics,
+        clobbering any previous quarantine) and a new empty log opens at
+        the same path, so respawn-stable WAL paths keep working. The
+        caller is responsible for re-seeding state from replicas — the
+        quarantined records are exactly the ones that can no longer be
+        trusted. Runs under the append lock, so it is safe against the
+        group-commit thread.
+        """
+        quarantined = self._path + ".corrupt"
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+            os.replace(self._path, quarantined)
+            self._fd = os.open(
+                self._path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            self._dirty = 0
+            self.quarantines += 1
+        return quarantined
+
     def close(self) -> None:
         if self._fd is not None:
             try:
@@ -195,6 +264,7 @@ class GroupCommitWal:
             ),
             "durable": self._durable,
             "commit_floor": self._commit_floor,
+            "quarantines": self.quarantines,
         }
 
     def __enter__(self) -> "GroupCommitWal":
@@ -210,9 +280,12 @@ def replay(
     """Read every intact record back from ``path``.
 
     A torn final frame (crash mid-append) is silently dropped — it was
-    never acknowledged, so losing it is correct. With ``apply`` given,
-    applies each record and returns the count; without, returns an
-    iterator of records.
+    never acknowledged, so losing it is correct. A *complete* frame
+    whose payload fails its CRC32C is acknowledged state gone wrong:
+    replay stops applying, keeps scanning to count the damage (framing
+    survives body corruption), and raises :class:`WalError` with
+    ``corrupt_records`` set. With ``apply`` given, applies each record
+    and returns the count; without, returns an iterator of records.
     """
     records = _iter_records(path)
     if apply is None:
@@ -230,9 +303,40 @@ def _iter_records(path: str) -> Iterator[Any]:
         fh = open(path, "rb")
     except FileNotFoundError:
         return
+    corrupt = 0
+    first_error: Exception | None = None
     with fh:
         while True:
             chunk = fh.read(1 << 20)
             if not chunk:
                 break
-            yield from decoder.feed(chunk)
+            while True:
+                try:
+                    frames = decoder.feed(chunk)
+                except FrameCorruptionError as exc:
+                    # the decoder consumed the bad frame; keep draining
+                    # the buffer to count how many records are damaged
+                    corrupt += 1
+                    if first_error is None:
+                        first_error = exc
+                    chunk = b""
+                    continue
+                except FrameError as exc:
+                    # desynchronized (the length field itself is garbage):
+                    # nothing past this point can be scanned
+                    raise WalError(
+                        f"wal {path} is corrupt mid-log and unscannable: "
+                        f"{exc}",
+                        corrupt_records=corrupt + 1,
+                    ) from exc
+                break
+            if corrupt == 0:
+                yield from frames
+            # after the first corrupt record everything later is suspect:
+            # scan on for the count, but never replay past the damage
+    if corrupt:
+        raise WalError(
+            f"wal {path} holds {corrupt} corrupt record(s) mid-log; "
+            "refusing to replay acknowledged-but-damaged state",
+            corrupt_records=corrupt,
+        ) from first_error

@@ -1,15 +1,23 @@
-"""Wire protocol: length-prefixed frames carrying pickled envelopes.
+"""Wire protocol: checksummed length-prefixed frames of pickled envelopes.
 
-A frame is a 4-byte big-endian length followed by that many bytes of
-pickle (protocol 5). Requests name a method and carry positional args;
-responses either carry a value or a real exception object. TDStore's
-control-flow errors — :class:`~repro.errors.StaleRouteError`,
+A frame is an 8-byte big-endian header — payload length followed by a
+CRC32C (Castagnoli) checksum of the payload — and then that many bytes
+of pickle (protocol 5). Requests name a method and carry positional
+args; responses either carry a value or a real exception object.
+TDStore's control-flow errors — :class:`~repro.errors.StaleRouteError`,
 :class:`~repro.errors.MigrationInProgressError`,
 :class:`~repro.errors.VersionConflictError`, ... — round-trip as
 themselves (their ``__reduce__`` preserves constructor args), so the
 client-side failover/fencing logic cannot tell a remote server from a
 local object. Exceptions that fail to pickle degrade to
 :class:`~repro.errors.RemoteOpError` carrying the remote traceback.
+
+The checksum turns silent corruption into a typed failure: a frame
+whose payload does not match its CRC raises
+:class:`FrameCorruptionError` instead of unpickling garbage into state.
+The same frame format is the WAL record format
+(:mod:`repro.runtime.wal` appends ``encode_frame`` output verbatim), so
+one integrity check covers both the wire and the log.
 """
 
 from __future__ import annotations
@@ -22,7 +30,7 @@ from typing import Any
 
 from repro.errors import RemoteOpError
 
-HEADER = struct.Struct(">I")
+HEADER = struct.Struct(">II")
 HEADER_SIZE = HEADER.size
 
 # a frame above this size is a protocol error, not a big payload: the
@@ -31,6 +39,62 @@ HEADER_SIZE = HEADER.size
 MAX_FRAME_BYTES = 256 * 1024 * 1024
 
 PICKLE_PROTOCOL = 5
+
+# data-plane methods that mutate TDStore state. The RPC client must not
+# transparently re-send these after a corrupt or desynced reply frame —
+# the first send may have applied — so they surface the typed corruption
+# error and let the journaled retry path upstream decide. Everything
+# else (reads, admin ops, attribute fetches) is safe to retry on a
+# fresh connection.
+MUTATING_DATA_METHODS = frozenset(
+    {
+        "put",
+        "delete",
+        "check_and_set",
+        "apply_op",
+        "put_once",
+        "record_once",
+        "enqueue_sync",
+        "apply_pending",
+        "apply_repair",
+        "adopt_snapshot",
+        "ensure_instance",
+    }
+)
+
+# process-wide tally of corrupt frames caught by CRC verification, keyed
+# for merging into ``_stats``-style dicts. Every process (parent, worker
+# host, server host) accumulates its own; chaos accounting sums them.
+CORRUPTION_STATS = {"frames_detected": 0}
+
+
+def _build_crc32c_table() -> tuple[int, ...]:
+    poly = 0x82F63B78  # Castagnoli, reflected
+    table = []
+    for index in range(256):
+        crc = index
+        for _ in range(8):
+            crc = (crc >> 1) ^ poly if crc & 1 else crc >> 1
+        table.append(crc)
+    return tuple(table)
+
+
+_CRC32C_TABLE = _build_crc32c_table()
+
+
+def crc32c(data: bytes, value: int = 0) -> int:
+    """CRC32C (Castagnoli) of ``data``, pure python over the stdlib.
+
+    ``zlib.crc32`` is the IEEE polynomial, not Castagnoli, and the
+    environment pins us to the stdlib — so a 256-entry table it is.
+    Frames here are KB-scale; the per-byte loop is not a hot path next
+    to pickling and the syscalls around it.
+    """
+    crc = value ^ 0xFFFFFFFF
+    table = _CRC32C_TABLE
+    for byte in data:
+        crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF
 
 
 @dataclass
@@ -65,10 +129,47 @@ class FrameError(RemoteOpError):
     """The byte stream does not parse as frames (desync or corruption)."""
 
 
+class FrameCorruptionError(FrameError):
+    """A complete frame failed its CRC32C check.
+
+    The payload was delivered whole but its bytes do not match the
+    checksum stamped at encode time — a flipped bit on the wire or on
+    disk, not a short read. Connections drop and reconnect on it; WAL
+    replay converts it to a fail-stop :class:`~repro.runtime.wal.WalError`.
+    """
+
+    def __init__(self, message: str, expected: int = 0, actual: int = 0):
+        super().__init__(message)
+        self.expected = expected
+        self.actual = actual
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.expected, self.actual))
+
+
 def encode_frame(obj: Any) -> bytes:
     """Serialize ``obj`` into one wire frame (header + pickle)."""
     payload = pickle.dumps(obj, PICKLE_PROTOCOL)
-    return HEADER.pack(len(payload)) + payload
+    return HEADER.pack(len(payload), crc32c(payload)) + payload
+
+
+def corrupt_frame(frame: bytes, run: int = 1) -> bytes:
+    """Deterministically damage an encoded frame's *payload* (chaos/test
+    helper): ``run == 1`` flips a single bit at the body midpoint,
+    ``run > 1`` clobbers that many bytes. The header is left intact so
+    framing survives and only CRC verification can tell.
+    """
+    body = len(frame) - HEADER_SIZE
+    if body <= 0:
+        return frame
+    offset = HEADER_SIZE + body // 2
+    damaged = bytearray(frame)
+    if run <= 1:
+        damaged[offset] ^= 0x01
+    else:
+        for i in range(min(run, len(frame) - offset)):
+            damaged[offset + i] ^= 0xFF
+    return bytes(damaged)
 
 
 def sanitize_exception(exc: BaseException) -> BaseException:
@@ -100,7 +201,12 @@ class StreamDecoder:
     """Incremental frame decoder over a byte stream.
 
     Feed it whatever ``recv`` returned; it yields every complete decoded
-    object and buffers the tail of a partial frame for the next feed.
+    object and buffers the tail of a partial frame for the next feed. A
+    complete frame whose payload fails its CRC raises
+    :class:`FrameCorruptionError` — the corrupt frame is consumed from
+    the buffer first, so a caller scanning a log can keep feeding to
+    count further damage, while an RPC client simply drops the
+    connection.
     """
 
     def __init__(self):
@@ -110,7 +216,7 @@ class StreamDecoder:
         self._buf += data
         out: list[Any] = []
         while len(self._buf) >= HEADER_SIZE:
-            (length,) = HEADER.unpack_from(self._buf)
+            length, expected = HEADER.unpack_from(self._buf)
             if length > MAX_FRAME_BYTES:
                 raise FrameError(
                     f"frame length {length} exceeds the {MAX_FRAME_BYTES} "
@@ -120,6 +226,15 @@ class StreamDecoder:
                 break
             payload = bytes(self._buf[HEADER_SIZE : HEADER_SIZE + length])
             del self._buf[: HEADER_SIZE + length]
+            actual = crc32c(payload)
+            if actual != expected:
+                CORRUPTION_STATS["frames_detected"] += 1
+                raise FrameCorruptionError(
+                    f"frame payload of {length} bytes fails CRC32C: "
+                    f"expected {expected:#010x}, got {actual:#010x}",
+                    expected,
+                    actual,
+                )
             out.append(pickle.loads(payload))
         return out
 

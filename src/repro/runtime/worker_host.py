@@ -30,7 +30,12 @@ from repro.errors import ClusterStateError
 from repro.runtime.proxies import ProcessTDStore
 from repro.runtime.recipes import build_factory, task_owner
 from repro.runtime.rpc import RpcServer
-from repro.runtime.wire import Response, encode_error, sanitize_exception
+from repro.runtime.wire import (
+    CORRUPTION_STATS,
+    Response,
+    encode_error,
+    sanitize_exception,
+)
 from repro.storm.component import Bolt, OutputCollector, TopologyContext
 from repro.storm.tuples import StormTuple
 from repro.utils.clock import SimClock
@@ -299,6 +304,9 @@ class WorkerHost:
             "executed": self.executed,
             "ticks": self.ticks,
             "rpc_requests": self.server.requests,
+            # workers never scan WALs, so every CRC failure this process
+            # caught came off an RPC stream (TDStore replies, typically)
+            "frame_corruptions_detected": CORRUPTION_STATS["frames_detected"],
             "uptime": time.time() - self.started_at,
         }
 

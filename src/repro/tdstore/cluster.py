@@ -100,6 +100,51 @@ class TDStoreCluster:
             if server.alive:
                 server.apply_pending()
 
+    # -- anti-entropy (repro.tdstore.scrub) -------------------------------
+
+    # lazy: subclasses building their server list without this __init__
+    # (the hosted control plane) still get working scrub accounting
+    _scrub_totals: "dict[str, int] | None" = None
+
+    def scrub_replicas(self, buckets: "int | None" = None) -> dict[str, Any]:
+        """Run one anti-entropy pass: compare every instance's host and
+        slave by per-bucket content digest and repair divergent buckets
+        from the authoritative host copy. Returns the pass report dict
+        (picklable, so the hosted control plane serves it over RPC)."""
+        from repro.tdstore.scrub import SCRUB_BUCKETS, ReplicaScrubber
+
+        scrubber = ReplicaScrubber(
+            self, buckets=buckets if buckets else SCRUB_BUCKETS
+        )
+        report = scrubber.scrub().to_dict()
+        totals = self._scrub_totals
+        if totals is None:
+            totals = self._scrub_totals = {"scrub_passes": 0}
+        totals["scrub_passes"] += 1
+        for field in (
+            "instances_scanned",
+            "divergent_buckets",
+            "keys_repaired",
+            "keys_deleted",
+            "corruptions_detected",
+        ):
+            totals[field] = totals.get(field, 0) + report[field]
+        return report
+
+    def scrub_stats(self) -> dict[str, int]:
+        """Accumulated scrub counters across every pass on this facade."""
+        totals = self._scrub_totals
+        if totals is None:
+            return {
+                "scrub_passes": 0,
+                "instances_scanned": 0,
+                "divergent_buckets": 0,
+                "keys_repaired": 0,
+                "keys_deleted": 0,
+                "corruptions_detected": 0,
+            }
+        return dict(totals)
+
     # -- checkpoint integration (repro.recovery) -------------------------
 
     def snapshot_contents(self) -> dict[int, dict[str, Any]]:

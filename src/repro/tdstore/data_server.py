@@ -56,6 +56,7 @@ class TDStoreDataServer:
         self.batch_ops = 0
         self.replica_reads = 0
         self.syncs_applied = 0
+        self.repairs_applied = 0
         # degradation state (chaos injection): extra seconds a client
         # should charge per operation, and a deterministic error cadence
         self.latency = 0.0
@@ -369,6 +370,28 @@ class TDStoreDataServer:
         engine = self.ensure_instance(instance)
         engine.restore(data)
         self._sync_inbox[instance] = deque()
+
+    def apply_repair(
+        self, instance: int, puts: dict[str, Any], deletes: "list[str]"
+    ) -> dict:
+        """Anti-entropy read-repair: overwrite divergent keys with the
+        authoritative host copy.
+
+        Alive-guarded but *not* host-fenced — repair targets the
+        replica, which by definition does not host the instance.
+        Values arrive from the host's engine snapshot, so the
+        ``__ver__:``/``__ops__:`` meta keys ride along with their data
+        keys and ``put_once``/``apply_op`` dedup survives the repair.
+        """
+        self._check_alive()
+        engine = self.ensure_instance(instance)
+        for key, value in puts.items():
+            engine.put(key, value)
+        removed = 0
+        for key in deletes:
+            removed += 1 if engine.delete(key) else 0
+        self.repairs_applied += len(puts) + len(deletes)
+        return {"puts": len(puts), "deletes": len(deletes), "removed": removed}
 
     # -- failure model --------------------------------------------------------
 

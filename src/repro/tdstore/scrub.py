@@ -1,0 +1,233 @@
+"""Replica anti-entropy: background scrub with read-repair.
+
+Checksummed WAL records and RPC frames catch corruption *in flight*;
+this module catches what they cannot — a replica whose in-memory state
+silently diverged from its host (a bit flip in resident memory, a bug
+in a repair path, a partially-applied snapshot). The scrubber walks
+every instance's host/slave pair, compares Merkle-style per-bucket
+content digests, and repairs divergent buckets from the authoritative
+host copy.
+
+Design points:
+
+- **Buckets, not keys.** Keys hash into :data:`SCRUB_BUCKETS` buckets
+  (same ``stable_hash`` the engines use) and each bucket is digested
+  as a unit. Matching digests prove bucket equality without shipping
+  values; only divergent buckets pay for key-level transfer — the
+  standard Merkle-tree trade, one level deep, which is plenty at
+  instance granularity.
+- **Lag is not divergence.** The slave applies its pending sync queue
+  before snapshots are taken, and any instance whose queue is non-empty
+  *after* the snapshots raced a concurrent write and is skipped — a
+  scrub may only report divergence it would also repair.
+- **Fences are respected.** Instances mid-migration, instances whose
+  route-table host does not actually hold the host role yet
+  (mid-promotion), and pairs with a dead participant are skipped and
+  counted, never "repaired" across a fence.
+- **Meta rides along.** Engine snapshots carry the ``__ver__:`` and
+  ``__ops__:`` keys like any other key, so a repaired replica keeps the
+  op-journal dedup state a later promotion depends on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.utils.hashing import stable_hash
+
+# buckets per instance; instances hold at most a few hundred keys in
+# this deployment, so 16 buckets keep repair transfers near key-sized
+# while digests stay cheap
+SCRUB_BUCKETS = 16
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Deterministic byte rendering of a stored value.
+
+    Dicts are rendered with sorted keys recursively, so two logically
+    equal values digest identically regardless of insertion order —
+    engine snapshots of independently-built replicas must not diverge
+    on dict ordering alone.
+    """
+
+    def _canon(v: Any):
+        if isinstance(v, dict):
+            return ("d", tuple((k, _canon(v[k])) for k in sorted(v, key=repr)))
+        if isinstance(v, (list, tuple)):
+            return ("l", tuple(_canon(x) for x in v))
+        if isinstance(v, set):
+            return ("s", tuple(sorted((repr(x) for x in v))))
+        return ("v", repr(v))
+
+    return repr(_canon(value)).encode("utf-8")
+
+
+def bucket_of(key: str, buckets: int = SCRUB_BUCKETS) -> int:
+    return stable_hash(key) % buckets
+
+
+def bucket_digests(
+    snapshot: "dict[str, Any]", buckets: int = SCRUB_BUCKETS
+) -> "list[str]":
+    """Per-bucket sha256 content digests of one instance snapshot.
+
+    Each bucket digest covers its keys in sorted order, key and value
+    both, so digest equality means bucket-content equality (up to hash
+    collisions, which sha256 makes irrelevant in practice).
+    """
+    grouped: "list[list[str]]" = [[] for _ in range(buckets)]
+    for key in snapshot:
+        grouped[bucket_of(key, buckets)].append(key)
+    digests = []
+    for keys in grouped:
+        hasher = hashlib.sha256()
+        for key in sorted(keys):
+            hasher.update(key.encode("utf-8"))
+            hasher.update(b"\x00")
+            hasher.update(canonical_bytes(snapshot[key]))
+            hasher.update(b"\x01")
+        digests.append(hasher.hexdigest())
+    return digests
+
+
+@dataclass
+class ScrubReport:
+    """What one scrub pass saw and did."""
+
+    instances_scanned: int = 0
+    skipped_migrating: int = 0
+    skipped_unhosted: int = 0
+    skipped_down: int = 0
+    skipped_racing: int = 0
+    buckets_compared: int = 0
+    divergent_buckets: int = 0
+    keys_repaired: int = 0
+    keys_deleted: int = 0
+    corruptions_detected: int = 0
+    divergent_instances: "list[int]" = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return self.divergent_buckets == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "instances_scanned": self.instances_scanned,
+            "skipped_migrating": self.skipped_migrating,
+            "skipped_unhosted": self.skipped_unhosted,
+            "skipped_down": self.skipped_down,
+            "skipped_racing": self.skipped_racing,
+            "buckets_compared": self.buckets_compared,
+            "divergent_buckets": self.divergent_buckets,
+            "keys_repaired": self.keys_repaired,
+            "keys_deleted": self.keys_deleted,
+            "corruptions_detected": self.corruptions_detected,
+            "divergent_instances": list(self.divergent_instances),
+            "clean": self.clean,
+        }
+
+
+class ReplicaScrubber:
+    """One scrub pass over a ``TDStoreCluster`` (or hosted facade).
+
+    The cluster is duck-typed: ``config.route_table()`` /
+    ``config.server(id)`` / ``config.migration_target(instance)`` is
+    all the scrubber touches, so it runs unchanged over in-process
+    servers and :class:`~repro.runtime.proxies.RemoteDataServer`
+    proxies (which is how the process substrate scrubs: the pass runs
+    inside host 0's control plane, reaching sibling hosts over RPC).
+    """
+
+    def __init__(self, cluster, *, buckets: int = SCRUB_BUCKETS):
+        self._cluster = cluster
+        self._buckets = buckets
+
+    def scrub(self) -> ScrubReport:
+        report = ScrubReport()
+        config = self._cluster.config
+        table = config.route_table()
+        for instance in range(table.num_instances):
+            self._scrub_instance(config, table, instance, report)
+        return report
+
+    def _scrub_instance(self, config, table, instance: int, report) -> None:
+        if config.migration_target(instance) is not None:
+            # a dual-write is in flight: the pair is *expected* to be in
+            # motion, and repairing across the cutover fence could undo
+            # the migrator's catch-up. The next pass sees the settled pair.
+            report.skipped_migrating += 1
+            return
+        route = table.route(instance)
+        host = config.server(route.host)
+        slave = config.server(route.slave)
+        if not host.alive or not slave.alive:
+            report.skipped_down += 1
+            return
+        if not host.hosts(instance):
+            # route table and granted roles disagree — mid-promotion or
+            # mid-recovery. There is no authoritative copy to repair
+            # from until the control plane settles.
+            report.skipped_unhosted += 1
+            return
+        # replication lag is not divergence: let the slave catch up first
+        slave.apply_pending(instance)
+        host_snap = host.snapshot_instance(instance)
+        slave_snap = slave.snapshot_instance(instance)
+        if slave.pending_syncs(instance) > 0:
+            # a write landed between the two snapshots; comparing them
+            # would report phantom divergence. Skip — scrub is a loop,
+            # not a one-shot.
+            report.skipped_racing += 1
+            return
+        report.instances_scanned += 1
+        host_digests = bucket_digests(host_snap, self._buckets)
+        slave_digests = bucket_digests(slave_snap, self._buckets)
+        report.buckets_compared += self._buckets
+        divergent = [
+            b for b in range(self._buckets)
+            if host_digests[b] != slave_digests[b]
+        ]
+        if not divergent:
+            return
+        report.divergent_buckets += len(divergent)
+        report.divergent_instances.append(instance)
+        self._repair(
+            instance, set(divergent), host_snap, slave_snap, slave, report
+        )
+
+    def _repair(
+        self, instance, divergent, host_snap, slave_snap, slave, report
+    ) -> None:
+        puts: "dict[str, Any]" = {}
+        deletes: "list[str]" = []
+        for key, value in host_snap.items():
+            if bucket_of(key, self._buckets) not in divergent:
+                continue
+            if key not in slave_snap:
+                puts[key] = value  # slave lost it
+            elif canonical_bytes(slave_snap[key]) != canonical_bytes(value):
+                # present on both sides with different content: this is
+                # the silent-corruption signature, not mere lag
+                report.corruptions_detected += 1
+                puts[key] = value
+        for key in slave_snap:
+            if (
+                bucket_of(key, self._buckets) in divergent
+                and key not in host_snap
+            ):
+                deletes.append(key)  # slave grew a phantom key
+        slave.apply_repair(instance, puts, sorted(deletes))
+        report.keys_repaired += len(puts)
+        report.keys_deleted += len(deletes)
+
+
+__all__ = [
+    "ReplicaScrubber",
+    "ScrubReport",
+    "SCRUB_BUCKETS",
+    "bucket_digests",
+    "bucket_of",
+    "canonical_bytes",
+]

@@ -1,0 +1,303 @@
+"""Unit coverage for non-quiescent chaos scheduling: MidFlightScheduler,
+OnlineInvariantMonitor, and barrier-plan re-keying — all against fake
+clusters/injectors, no processes."""
+
+import pickle
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.recovery.faults import Fault
+from repro.runtime.chaos import (
+    MIDFLIGHT_COUNTERS,
+    MIDFLIGHT_POLL_EVERY,
+    MidFlightScheduler,
+    MidFlightTrigger,
+    OnlineInvariantMonitor,
+    rekey_plan_midflight,
+)
+from repro.runtime.rpc import RemoteOpError
+
+
+class FakeCluster:
+    def __init__(self):
+        self.hooks = []
+
+    def add_execute_hook(self, hook):
+        self.hooks.append(hook)
+
+    def remove_execute_hook(self, hook):
+        self.hooks.remove(hook)
+
+    def execute(self, n=1, topology="app"):
+        for _ in range(n):
+            for hook in list(self.hooks):
+                hook(topology)
+
+
+class FakeInjector:
+    def __init__(self):
+        self.fired = []
+
+    def fire_now(self, fault):
+        self.fired.append(fault)
+
+
+def kill(host=0):
+    return Fault(1, "host_sigkill", (host,))
+
+
+class TestTriggerValidation:
+    def test_counters_are_closed_set(self):
+        for counter in MIDFLIGHT_COUNTERS:
+            MidFlightTrigger(counter, 5)
+        with pytest.raises(FaultPlanError):
+            MidFlightTrigger("wall_clock", 5)
+
+    def test_negative_threshold_refused(self):
+        with pytest.raises(FaultPlanError):
+            MidFlightTrigger("tuples", -1)
+
+    def test_trigger_pickles(self):
+        trigger = MidFlightTrigger("wal_records", 40)
+        assert pickle.loads(pickle.dumps(trigger)) == trigger
+
+
+class TestMidFlightScheduler:
+    def test_fires_when_tuple_counter_crosses(self):
+        cluster, injector = FakeCluster(), FakeInjector()
+        fault = kill()
+        scheduler = MidFlightScheduler([(MidFlightTrigger("tuples", 3), fault)])
+        scheduler.attach(cluster, injector)
+        cluster.execute(2)
+        assert injector.fired == []
+        assert scheduler.pending() == 1
+        cluster.execute(1)
+        assert injector.fired == [fault]
+        assert scheduler.fired_midflight == [fault]
+        assert scheduler.pending() == 0
+        cluster.execute(5)  # never refires
+        assert injector.fired == [fault]
+
+    def test_simulator_fallback_degrades_remote_counters_to_tuples(self):
+        cluster, injector = FakeCluster(), FakeInjector()
+        scheduler = MidFlightScheduler(
+            [
+                (MidFlightTrigger("rpcs", 2), kill(0)),
+                (MidFlightTrigger("wal_records", 4), kill(1)),
+            ]
+        )
+        scheduler.attach(cluster, injector)  # no counter_source
+        cluster.execute(2)
+        assert len(injector.fired) == 1
+        cluster.execute(2)
+        assert len(injector.fired) == 2
+
+    def test_remote_counter_source_is_polled_sparsely(self):
+        cluster, injector = FakeCluster(), FakeInjector()
+        polls = []
+
+        def source():
+            polls.append(len(polls))
+            return {"rpcs": 100, "wal_records": 0}
+
+        scheduler = MidFlightScheduler(
+            [(MidFlightTrigger("rpcs", 50), kill())]
+        )
+        scheduler.attach(cluster, injector, counter_source=source)
+        cluster.execute(MIDFLIGHT_POLL_EVERY - 1)
+        assert polls == []  # below the poll cadence
+        assert injector.fired == []
+        cluster.execute(1)
+        assert len(polls) == 1  # polled once, crossed, fired
+        assert injector.fired == [kill()]
+        cluster.execute(MIDFLIGHT_POLL_EVERY * 3)
+        assert len(polls) == 1  # nothing pending: polling stops
+
+    def test_tuples_trigger_never_polls_remote(self):
+        cluster, injector = FakeCluster(), FakeInjector()
+
+        def source():  # pragma: no cover - must not run
+            raise AssertionError("polled despite tuples-only plan")
+
+        scheduler = MidFlightScheduler(
+            [(MidFlightTrigger("tuples", 2), kill())]
+        )
+        scheduler.attach(cluster, injector, counter_source=source)
+        cluster.execute(8)
+        assert injector.fired == [kill()]
+
+    def test_poll_tolerates_host_mid_respawn(self):
+        cluster, injector = FakeCluster(), FakeInjector()
+        calls = []
+
+        def source():
+            calls.append(True)
+            if len(calls) == 1:
+                raise RemoteOpError("host mid-respawn")
+            return {"rpcs": 9, "wal_records": 9}
+
+        scheduler = MidFlightScheduler(
+            [(MidFlightTrigger("wal_records", 5), kill())]
+        )
+        scheduler.attach(cluster, injector, counter_source=source)
+        cluster.execute(MIDFLIGHT_POLL_EVERY)  # first poll raises
+        assert injector.fired == []
+        cluster.execute(MIDFLIGHT_POLL_EVERY)  # second poll succeeds
+        assert injector.fired == [kill()]
+
+    def test_flush_fires_unreached_triggers(self):
+        cluster, injector = FakeCluster(), FakeInjector()
+        near, far = kill(0), kill(1)
+        scheduler = MidFlightScheduler(
+            [
+                (MidFlightTrigger("tuples", 1), near),
+                (MidFlightTrigger("tuples", 1000), far),
+            ]
+        )
+        scheduler.attach(cluster, injector)
+        cluster.execute(3)
+        assert scheduler.fired_midflight == [near]
+        assert scheduler.flush() == 1
+        assert scheduler.flushed == [far]
+        assert injector.fired == [near, far]
+        assert scheduler.flush() == 0  # idempotent
+
+    def test_fired_flags_survive_reattach(self):
+        # the harness rebuilds its cluster after a crash; a re-attached
+        # scheduler must not replay already-fired faults
+        cluster, injector = FakeCluster(), FakeInjector()
+        scheduler = MidFlightScheduler(
+            [(MidFlightTrigger("tuples", 2), kill())]
+        )
+        scheduler.attach(cluster, injector)
+        cluster.execute(2)
+        assert len(injector.fired) == 1
+        rebuilt = FakeCluster()
+        scheduler.attach(rebuilt, injector)
+        assert cluster.hooks == []  # detached from the old cluster
+        rebuilt.execute(10)
+        assert len(injector.fired) == 1
+
+    def test_detach_stops_counting(self):
+        cluster, injector = FakeCluster(), FakeInjector()
+        scheduler = MidFlightScheduler(
+            [(MidFlightTrigger("tuples", 3), kill())]
+        )
+        scheduler.attach(cluster, injector)
+        cluster.execute(2)
+        scheduler.detach()
+        cluster.execute(10)
+        assert injector.fired == []
+        assert scheduler.pending() == 1
+
+
+class FakeRouteConfig:
+    def __init__(self):
+        self.version = 0
+
+    def route_table(self):
+        return self
+
+
+class FakeHarness:
+    def __init__(self):
+        self.tdstore = type("S", (), {})()
+        self.tdstore.config = FakeRouteConfig()
+        self.cluster = self
+        self.ledgers = {"count[0]": {"within_bound": True}}
+
+    def exactly_once_stats(self, name):
+        if self.ledgers is None:
+            raise RemoteOpError("worker mid-respawn")
+        return self.ledgers
+
+
+class TestOnlineInvariantMonitor:
+    def test_probes_on_cadence(self):
+        harness, cluster = FakeHarness(), FakeCluster()
+        monitor = OnlineInvariantMonitor(harness, every=4)
+        monitor.attach(cluster)
+        cluster.execute(11)
+        assert monitor.probes == 2
+        assert monitor.violations == []
+
+    def test_route_epoch_regression_is_a_violation(self):
+        harness, cluster = FakeHarness(), FakeCluster()
+        monitor = OnlineInvariantMonitor(harness, every=1)
+        monitor.attach(cluster)
+        harness.tdstore.config.version = 5
+        cluster.execute(1)
+        harness.tdstore.config.version = 3  # regressed
+        cluster.execute(1)
+        assert any("regressed" in v for v in monitor.violations)
+
+    def test_epoch_advance_is_not_a_violation(self):
+        harness, cluster = FakeHarness(), FakeCluster()
+        monitor = OnlineInvariantMonitor(harness, every=1)
+        monitor.attach(cluster)
+        for version in (1, 4, 4, 9):
+            harness.tdstore.config.version = version
+            cluster.execute(1)
+        assert monitor.violations == []
+
+    def test_out_of_bound_ledger_is_a_violation(self):
+        harness, cluster = FakeHarness(), FakeCluster()
+        monitor = OnlineInvariantMonitor(harness, every=1)
+        monitor.attach(cluster)
+        harness.ledgers["count[0]"]["within_bound"] = False
+        cluster.execute(1)
+        assert any("watermark" in v for v in monitor.violations)
+
+    def test_unavailability_is_not_a_violation(self):
+        harness, cluster = FakeHarness(), FakeCluster()
+
+        def down():
+            raise RemoteOpError("config host dead")
+
+        harness.tdstore.config.route_table = down
+        harness.ledgers = None  # exactly_once_stats will raise too
+        monitor = OnlineInvariantMonitor(harness, every=1)
+        monitor.attach(cluster)
+        cluster.execute(4)
+        assert monitor.probes == 4
+        assert monitor.violations == []
+
+    def test_serve_probe_accumulates(self):
+        harness, cluster = FakeHarness(), FakeCluster()
+        monitor = OnlineInvariantMonitor(
+            harness, every=2, serve_probe=lambda: (3, 2)
+        )
+        monitor.attach(cluster)
+        cluster.execute(4)
+        assert (monitor.serve_attempts, monitor.serve_answered) == (6, 4)
+
+
+class TestRekeyPlanMidflight:
+    PLAN = [
+        Fault(2, "host_sigkill", (1,)),
+        Fault(4, "one_way_partition", (0, "inbound", 1)),
+        Fault(7, "worker_sigkill", (0, 3, 8)),
+    ]
+
+    def test_deterministic_for_a_seed(self):
+        a = rekey_plan_midflight(self.PLAN, 25, seed=3)
+        b = rekey_plan_midflight(self.PLAN, 25, seed=3)
+        assert [(t, f.kind) for t, f in a] == [(t, f.kind) for t, f in b]
+        c = rekey_plan_midflight(self.PLAN, 25, seed=4)
+        assert [t for t, _ in a] != [t for t, _ in c]
+
+    def test_triggers_land_inside_their_round(self):
+        for trigger, fault in rekey_plan_midflight(self.PLAN, 25, seed=1):
+            assert trigger.counter == "tuples"
+            lo = (fault.round - 1) * 25
+            assert lo < trigger.at <= lo + 25
+
+    def test_ordering_follows_barrier_rounds(self):
+        entries = rekey_plan_midflight(self.PLAN, 25, seed=9)
+        ats = [t.at for t, _ in entries]
+        assert ats == sorted(ats)
+
+    def test_zero_width_rounds_refused(self):
+        with pytest.raises(FaultPlanError):
+            rekey_plan_midflight(self.PLAN, 0)

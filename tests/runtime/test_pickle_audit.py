@@ -193,6 +193,9 @@ class TestChaosTypes:
             Fault(4, "torn_write", (0,)),
             Fault(4, "disk_full", (1,)),
             Fault(4, "fsync_error", (0,)),
+            Fault(4, "bit_flip", (1,)),
+            Fault(4, "wal_corrupt", (0,)),
+            Fault(5, "frame_corrupt", (1, 2)),
         ]
         for fault in faults:
             back = spawn_round_trip(fault)
@@ -236,4 +239,60 @@ class TestChaosTypes:
         back = spawn_round_trip(report)
         assert back == report
         assert back.serve_rate == 1.0
+        assert back.to_dict() == report.to_dict()
+
+    def test_midflight_trigger_and_rekeyed_plan(self):
+        from repro.recovery.faults import Fault
+        from repro.runtime.chaos import MidFlightTrigger, rekey_plan_midflight
+
+        trigger = spawn_round_trip(MidFlightTrigger("wal_records", 40))
+        assert (trigger.counter, trigger.at) == ("wal_records", 40)
+        plan = [Fault(2, "host_sigkill", (1,)), Fault(5, "fsync_error", (0,))]
+        entries = rekey_plan_midflight(plan, 25, seed=7)
+        back = spawn_round_trip(entries)
+        assert [(t, f.kind, f.target) for t, f in back] == [
+            (t, f.kind, f.target) for t, f in entries
+        ]
+
+
+class TestIntegrityTypes:
+    """Corruption errors cross the RPC boundary (server -> client) and
+    the spawn boundary (host process -> supervising parent); scrub
+    reports come back from host 0's control plane."""
+
+    def test_frame_corruption_error_keeps_checksums(self):
+        from repro.runtime.wire import FrameCorruptionError
+
+        back = spawn_round_trip(
+            FrameCorruptionError("payload crc mismatch", 0xCAFE, 0xBEEF)
+        )
+        assert type(back) is FrameCorruptionError
+        assert str(back) == "payload crc mismatch"
+        assert (back.expected, back.actual) == (0xCAFE, 0xBEEF)
+
+    def test_wal_error_keeps_corrupt_record_count(self):
+        from repro.runtime.wal import WalError
+
+        back = spawn_round_trip(WalError("wal corrupt mid-log", 3))
+        assert type(back) is WalError
+        assert str(back) == "wal corrupt mid-log"
+        assert back.corrupt_records == 3
+
+    def test_scrub_report_round_trips(self):
+        from repro.tdstore.scrub import ScrubReport
+
+        report = ScrubReport(
+            instances_scanned=16,
+            skipped_migrating=1,
+            skipped_down=1,
+            buckets_compared=224,
+            divergent_buckets=2,
+            keys_repaired=3,
+            keys_deleted=1,
+            corruptions_detected=2,
+            divergent_instances=[4, 9],
+        )
+        back = spawn_round_trip(report)
+        assert back == report
+        assert back.clean is False
         assert back.to_dict() == report.to_dict()

@@ -40,6 +40,11 @@ def populated_snapshot() -> SystemSnapshot:
         supervisor_kills=1,
         supervisor_respawns=2,
         heartbeat_miss_streaks={"tdstore-host-1": 2},
+        scrub_passes=2,
+        scrub_instances_scanned=16,
+        scrub_divergent_buckets=1,
+        scrub_keys_repaired=1,
+        scrub_corruptions_detected=1,
     )
 
 

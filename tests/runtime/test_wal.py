@@ -212,3 +212,125 @@ class TestDiskFaultShim:
         from repro.recovery.faults import WAL_FAULT_KINDS
 
         assert WAL_FAULT_KINDS == DISK_FAULT_KINDS
+
+    def test_bit_flip_is_silent_until_replay(self, tmp_path):
+        # the poisoned append *succeeds* — the caller acks — and only
+        # the replay-time CRC can tell the record is damaged
+        path = str(tmp_path / "host.wal")
+        wal = GroupCommitWal(path)
+        wal.append("clean")
+        wal.io.arm("bit_flip")
+        wal.append("silently-damaged")  # no exception: that's the point
+        wal.append("after")
+        assert wal.commit() == 3
+        wal.close()
+        assert wal.io.fired == {"bit_flip": 1}
+        with pytest.raises(WalError) as info:
+            list(replay(path))
+        assert info.value.corrupt_records == 1
+
+    def test_wal_corrupt_clobbers_a_byte_run(self, tmp_path):
+        path = str(tmp_path / "host.wal")
+        wal = GroupCommitWal(path)
+        wal.io.arm("wal_corrupt")
+        wal.append("garbled-sector-victim" * 4)
+        wal.commit()
+        wal.close()
+        assert wal.io.fired == {"wal_corrupt": 1}
+        with pytest.raises(WalError):
+            list(replay(path))
+
+
+class TestMidLogCorruption:
+    """Regression: a flipped byte *inside* the log body (not the tail)
+    must be rejected with WalError, never replayed as state."""
+
+    def _write_log(self, path, records):
+        with GroupCommitWal(path) as wal:
+            for record in records:
+                wal.append(record)
+            wal.commit()
+
+    def _flip_byte_of_record(self, path, records, index):
+        # flip one bit in the middle of record ``index``'s body
+        frames = [encode_frame(r) for r in records]
+        offset = sum(len(f) for f in frames[:index])
+        offset += len(frames[index]) // 2
+        with open(path, "r+b") as fh:
+            fh.seek(offset)
+            byte = fh.read(1)
+            fh.seek(offset)
+            fh.write(bytes([byte[0] ^ 0x01]))
+
+    def test_fresh_start_replay_rejects_mid_log_flip(self, tmp_path):
+        path = str(tmp_path / "host.wal")
+        records = [(0, "put", (1, f"k{i}", i)) for i in range(6)]
+        self._write_log(path, records)
+        self._flip_byte_of_record(path, records, 2)
+        with pytest.raises(WalError, match="corrupt"):
+            list(replay(path))
+
+    def test_crash_recovery_replay_rejects_mid_log_flip(self, tmp_path):
+        # the apply-callback path (what a respawned server host runs)
+        path = str(tmp_path / "host.wal")
+        records = [(0, "put", (1, f"k{i}", i)) for i in range(6)]
+        self._write_log(path, records)
+        self._flip_byte_of_record(path, records, 3)
+        applied = []
+        with pytest.raises(WalError) as info:
+            replay(path, applied.append)
+        # records before the damage may apply; the damaged one and
+        # everything after it must not
+        assert len(applied) <= 3
+        assert records[3] not in applied
+        assert info.value.corrupt_records == 1
+
+    def test_every_record_position_is_protected(self, tmp_path):
+        records = [f"record-{i}" * 3 for i in range(5)]
+        for index in range(len(records)):
+            path = str(tmp_path / f"pos{index}.wal")
+            self._write_log(path, records)
+            self._flip_byte_of_record(path, records, index)
+            with pytest.raises(WalError):
+                list(replay(path))
+
+    def test_multiple_corrupt_records_are_all_counted(self, tmp_path):
+        # framing survives body damage, so the scan can count every
+        # corrupt record — the chaos accounting reconciles this number
+        # against injected corruption
+        path = str(tmp_path / "host.wal")
+        records = [f"r{i}" * 10 for i in range(8)]
+        self._write_log(path, records)
+        for index in (1, 4, 6):
+            self._flip_byte_of_record(path, records, index)
+        with pytest.raises(WalError) as info:
+            list(replay(path))
+        assert info.value.corrupt_records == 3
+
+    def test_wal_error_pickles_with_its_count(self):
+        import pickle
+
+        exc = pickle.loads(pickle.dumps(WalError("bad log", 4)))
+        assert isinstance(exc, WalError)
+        assert exc.corrupt_records == 4
+
+
+class TestQuarantine:
+    def test_quarantine_sets_log_aside_and_continues_fresh(self, tmp_path):
+        path = str(tmp_path / "host.wal")
+        wal = GroupCommitWal(path)
+        wal.io.arm("bit_flip")
+        wal.append("poisoned")
+        wal.commit()
+        quarantined = wal.quarantine()
+        assert quarantined == path + ".corrupt"
+        assert os.path.exists(quarantined)
+        # the fresh log at the same path appends and replays cleanly
+        wal.append("fresh")
+        wal.commit()
+        wal.close()
+        assert list(replay(path)) == ["fresh"]
+        assert wal.stats()["quarantines"] == 1
+        # the damaged log is preserved for forensics
+        with pytest.raises(WalError):
+            list(replay(quarantined))

@@ -11,11 +11,15 @@ from repro.errors import (
     VersionConflictError,
 )
 from repro.runtime.wire import (
+    CORRUPTION_STATS,
     HEADER_SIZE,
+    FrameCorruptionError,
     FrameError,
     Request,
     Response,
     StreamDecoder,
+    corrupt_frame,
+    crc32c,
     encode_error,
     encode_frame,
     sanitize_exception,
@@ -56,9 +60,53 @@ class TestFraming:
         with pytest.raises(FrameError):
             StreamDecoder().feed(bad)
 
-    def test_header_size_is_four_bytes(self):
-        assert HEADER_SIZE == 4
-        assert len(encode_frame(None)) == 4 + len(pickle.dumps(None, 5))
+    def test_header_is_length_plus_checksum(self):
+        assert HEADER_SIZE == 8
+        assert len(encode_frame(None)) == 8 + len(pickle.dumps(None, 5))
+
+
+class TestChecksums:
+    def test_crc32c_known_vector(self):
+        # the canonical Castagnoli check value (RFC 3720 appendix / iSCSI)
+        assert crc32c(b"123456789") == 0xE3069283
+        assert crc32c(b"") == 0
+
+    def test_flipped_payload_bit_raises_frame_corruption_error(self):
+        frame = corrupt_frame(encode_frame({"k": "v"}))
+        with pytest.raises(FrameCorruptionError):
+            StreamDecoder().feed(frame)
+
+    def test_corruption_anywhere_in_payload_is_caught(self):
+        frame = encode_frame(list(range(50)))
+        for offset in range(HEADER_SIZE, len(frame)):
+            damaged = bytearray(frame)
+            damaged[offset] ^= 0x01
+            with pytest.raises(FrameCorruptionError):
+                StreamDecoder().feed(bytes(damaged))
+
+    def test_detection_is_counted_and_frame_is_consumed(self):
+        before = CORRUPTION_STATS["frames_detected"]
+        decoder = StreamDecoder()
+        with pytest.raises(FrameCorruptionError):
+            decoder.feed(corrupt_frame(encode_frame("a")) + encode_frame("b"))
+        assert CORRUPTION_STATS["frames_detected"] == before + 1
+        # the corrupt frame was consumed: the stream stays scannable and
+        # the frame behind it decodes on the next feed
+        assert decoder.feed(b"") == ["b"]
+
+    def test_corruption_error_survives_the_wire(self):
+        exc = sanitize_exception(FrameCorruptionError("bad crc", 1, 2))
+        assert isinstance(exc, FrameCorruptionError)
+        assert (exc.expected, exc.actual) == (1, 2)
+
+    def test_corrupt_frame_leaves_header_intact(self):
+        frame = encode_frame("payload")
+        damaged = corrupt_frame(frame)
+        assert damaged != frame
+        assert damaged[:HEADER_SIZE] == frame[:HEADER_SIZE]
+        run = corrupt_frame(frame, run=8)
+        assert run[:HEADER_SIZE] == frame[:HEADER_SIZE]
+        assert sum(a != b for a, b in zip(run, frame)) == 8
 
 
 class TestResponses:

@@ -1,0 +1,234 @@
+"""Anti-entropy scrub: digests, read-repair, and its fences.
+
+The scrubber may only repair what it can prove diverged against a
+settled pair: migrations, promotions, dead participants, and writes
+racing the snapshot window are all skipped (and counted), never
+"repaired" across a fence.
+"""
+
+import pytest
+
+from repro.elastic.migration import InstanceMigrator
+from repro.tdstore import TDStoreCluster
+from repro.tdstore.scrub import (
+    SCRUB_BUCKETS,
+    ReplicaScrubber,
+    bucket_digests,
+    bucket_of,
+    canonical_bytes,
+)
+
+
+def make_cluster(servers=3, instances=8, **kwargs):
+    return TDStoreCluster(
+        num_data_servers=servers, num_instances=instances, **kwargs
+    )
+
+
+def seeded_cluster(n_keys=24):
+    cluster = make_cluster()
+    client = cluster.client()
+    for i in range(n_keys):
+        client.put(f"item:{i}", {"count": float(i)})
+    cluster.sync_replicas()
+    return cluster, client
+
+
+def corrupt_slave(cluster, key, value):
+    """Flip ``key`` on its slave replica behind replication's back;
+    returns the instance route."""
+    route = cluster.config.route_table().route_for_key(key)
+    slave = cluster.config.server(route.slave)
+    slave.engine(route.instance).put(key, value)
+    return route
+
+
+class TestDigests:
+    def test_canonical_bytes_ignores_dict_order(self):
+        assert canonical_bytes({"a": 1, "b": 2}) == canonical_bytes(
+            {"b": 2, "a": 1}
+        )
+        assert canonical_bytes({"a": {"x": 1, "y": 2}}) == canonical_bytes(
+            {"a": {"y": 2, "x": 1}}
+        )
+
+    def test_canonical_bytes_distinguishes_values(self):
+        assert canonical_bytes({"a": 1}) != canonical_bytes({"a": 2})
+        assert canonical_bytes([1, 2]) != canonical_bytes([2, 1])
+        assert canonical_bytes({1, 2}) == canonical_bytes({2, 1})
+
+    def test_equal_snapshots_digest_equal(self):
+        snap = {f"k{i}": {"v": i} for i in range(40)}
+        assert bucket_digests(snap) == bucket_digests(dict(reversed(
+            list(snap.items())
+        )))
+
+    def test_divergence_localised_to_one_bucket(self):
+        snap = {f"k{i}": i for i in range(40)}
+        other = dict(snap)
+        other["k7"] = -1
+        a, b = bucket_digests(snap), bucket_digests(other)
+        differing = [i for i in range(SCRUB_BUCKETS) if a[i] != b[i]]
+        assert differing == [bucket_of("k7")]
+
+
+class TestCleanPass:
+    def test_zero_divergence_is_a_no_op(self):
+        cluster, __ = seeded_cluster()
+        report = ReplicaScrubber(cluster).scrub()
+        assert report.clean
+        assert report.instances_scanned == 8
+        assert report.buckets_compared == 8 * SCRUB_BUCKETS
+        assert report.keys_repaired == 0
+        assert report.keys_deleted == 0
+        assert report.corruptions_detected == 0
+        assert report.divergent_instances == []
+
+    def test_replication_lag_is_not_divergence(self):
+        cluster, client = seeded_cluster()
+        client.put("item:99", {"count": 99.0})  # sync pending, not applied
+        report = ReplicaScrubber(cluster).scrub()
+        assert report.clean
+        assert report.skipped_racing == 0  # apply_pending drained it first
+
+
+class TestRepair:
+    def test_changed_value_detected_and_repaired(self):
+        cluster, client = seeded_cluster()
+        route = corrupt_slave(cluster, "item:3", {"count": -1.0})
+        report = ReplicaScrubber(cluster).scrub()
+        assert report.divergent_instances == [route.instance]
+        assert report.corruptions_detected == 1
+        assert report.keys_repaired == 1
+        slave = cluster.config.server(route.slave)
+        assert slave.engine(route.instance).get("item:3") == {"count": 3.0}
+        assert ReplicaScrubber(cluster).scrub().clean
+
+    def test_lost_key_repaired(self):
+        cluster, __ = seeded_cluster()
+        route = cluster.config.route_table().route_for_key("item:5")
+        slave = cluster.config.server(route.slave)
+        slave.engine(route.instance).delete("item:5")
+        report = ReplicaScrubber(cluster).scrub()
+        assert report.keys_repaired >= 1
+        # a lost key is drift, not the silent-corruption signature
+        assert report.corruptions_detected == 0
+        assert slave.engine(route.instance).get("item:5") == {"count": 5.0}
+
+    def test_phantom_key_deleted(self):
+        cluster, __ = seeded_cluster()
+        route = corrupt_slave(cluster, "item:0", {"count": 0.0})
+        slave = cluster.config.server(route.slave)
+        slave.engine(route.instance).put("phantom", "never written")
+        report = ReplicaScrubber(cluster).scrub()
+        assert report.keys_deleted >= 1
+        assert slave.engine(route.instance).get("phantom") is None
+        assert ReplicaScrubber(cluster).scrub().clean
+
+    def test_repair_counts_surface_on_data_server(self):
+        cluster, __ = seeded_cluster()
+        route = corrupt_slave(cluster, "item:3", "garbage")
+        slave = cluster.config.server(route.slave)
+        assert slave.repairs_applied == 0
+        ReplicaScrubber(cluster).scrub()
+        assert slave.repairs_applied >= 1
+
+    def test_repair_preserves_put_once_dedup(self):
+        """The op-journal meta keys ride along in repair, so a promoted
+        slave still refuses a replayed op it saw before the repair."""
+        cluster = make_cluster()
+        client = cluster.client()
+        assert client.put_once("item:7", "op-1", {"count": 7.0}) is True
+        cluster.sync_replicas()
+        route = cluster.config.route_table().route_for_key("item:7")
+        slave = cluster.config.server(route.slave)
+        # wipe the slave's whole copy of the instance — value AND meta
+        for key in list(slave.snapshot_instance(route.instance)):
+            slave.engine(route.instance).delete(key)
+        report = ReplicaScrubber(cluster).scrub()
+        assert report.keys_repaired >= 2  # value + journal/version meta
+        cluster.crash_data_server(route.host)
+        # replay against the promoted (repaired) slave: still deduped
+        assert client.put_once("item:7", "op-1", {"count": 777.0}) is False
+        assert client.get("item:7") == {"count": 7.0}
+
+
+class TestFences:
+    def test_migration_in_flight_is_skipped(self):
+        cluster, __ = seeded_cluster()
+        route = corrupt_slave(cluster, "item:3", "garbage")
+        target = next(
+            s.server_id
+            for s in cluster.data_servers
+            if s.server_id not in (route.host, route.slave)
+        )
+        migration = InstanceMigrator(cluster).begin(route.instance, target)
+        report = ReplicaScrubber(cluster).scrub()
+        assert report.skipped_migrating == 1
+        assert route.instance not in report.divergent_instances
+        migration.enter_cutover()
+        migration.finish()
+        # settled: the (new) pair scrubs normally on the next pass
+        assert ReplicaScrubber(cluster).scrub().skipped_migrating == 0
+
+    def test_dead_participant_is_skipped(self):
+        cluster, __ = seeded_cluster()
+        route = corrupt_slave(cluster, "item:3", "garbage")
+        cluster.config.server(route.slave).crash()
+        report = ReplicaScrubber(cluster).scrub()
+        assert report.skipped_down >= 1
+        assert route.instance not in report.divergent_instances
+
+    def test_mid_promotion_is_skipped(self):
+        cluster, __ = seeded_cluster()
+        route = cluster.config.route_table().route_for_key("item:3")
+        host = cluster.config.server(route.host)
+        # route table names the host but the role was never granted —
+        # the window a promotion/recovery is mid-flight
+        host.set_host_role(route.instance, False)
+        report = ReplicaScrubber(cluster).scrub()
+        assert report.skipped_unhosted == 1
+        assert route.instance not in report.divergent_instances
+
+    def test_write_racing_the_snapshot_window_is_skipped(self):
+        cluster, client = seeded_cluster()
+        route = corrupt_slave(cluster, "item:3", "garbage")
+        host = cluster.config.server(route.host)
+        real_snapshot = host.snapshot_instance
+
+        def racing_snapshot(instance):
+            snap = real_snapshot(instance)
+            if instance == route.instance:
+                client.put("item:3", {"count": 33.0})  # lands mid-window
+            return snap
+
+        host.snapshot_instance = racing_snapshot
+        try:
+            report = ReplicaScrubber(cluster).scrub()
+        finally:
+            host.snapshot_instance = real_snapshot
+        assert report.skipped_racing == 1
+        assert route.instance not in report.divergent_instances
+        # the loop converges once the race clears
+        cluster.sync_replicas()
+        final = ReplicaScrubber(cluster).scrub()
+        assert final.skipped_racing == 0
+        assert final.clean
+
+
+class TestFacade:
+    def test_scrub_replicas_returns_report_and_accumulates(self):
+        cluster, __ = seeded_cluster()
+        corrupt_slave(cluster, "item:3", "garbage")
+        report = cluster.scrub_replicas()
+        assert report["divergent_buckets"] == 1
+        assert report["clean"] is False
+        assert cluster.scrub_replicas()["clean"] is True
+        stats = cluster.scrub_stats()
+        assert stats["scrub_passes"] == 2
+        assert stats["keys_repaired"] == 1
+
+    def test_fresh_facade_reports_zero_stats(self):
+        stats = make_cluster().scrub_stats()
+        assert stats["scrub_passes"] == 0
+        assert stats["corruptions_detected"] == 0

@@ -175,6 +175,50 @@ class TestExactlyOnceSignals:
         ]
 
 
+class TestScrubSignals:
+    """Anti-entropy scrub counters flowing into the monitor."""
+
+    def test_clean_scrub_counts_without_alerting(self, deployment):
+        __, ___, tdstore, ____, monitor = deployment
+        tdstore.client().put("item:1", {"count": 3})
+        tdstore.scrub_replicas()
+        snap = monitor.snapshot()
+        assert snap.scrub_passes == 1
+        assert snap.scrub_instances_scanned == 8
+        assert snap.scrub_divergent_buckets == 0
+        assert not [
+            a for a in monitor.evaluate(snap) if a.message.startswith("scrub")
+        ]
+
+    def test_divergence_and_corruption_alert_on_delta(self, deployment):
+        __, ___, tdstore, ____, monitor = deployment
+        client = tdstore.client()
+        client.put("item:1", {"count": 3})
+        tdstore.sync_replicas()
+        monitor.snapshot()
+        # silently corrupt the slave's copy behind replication's back
+        route = tdstore.config.route_table().route_for_key("item:1")
+        slave = tdstore.config.server(route.slave)
+        slave.engine(route.instance).put("item:1", {"count": 99})
+        tdstore.scrub_replicas()
+        snap = monitor.snapshot()
+        assert snap.scrub_divergent_buckets == 1
+        assert snap.scrub_keys_repaired == 1
+        assert snap.scrub_corruptions_detected == 1
+        alerts = [
+            a for a in monitor.evaluate(snap) if a.message.startswith("scrub")
+        ]
+        assert {a.severity for a in alerts} == {"warning", "critical"}
+        # repaired: next pass is clean, deltas are zero, alerts clear
+        tdstore.scrub_replicas()
+        snap = monitor.snapshot()
+        assert snap.scrub_divergent_buckets == 1  # cumulative, unchanged
+        assert not [
+            a for a in monitor.evaluate(snap) if a.message.startswith("scrub")
+        ]
+        assert "scrub" in monitor.summary()
+
+
 class TestRecoverySignals:
     """Checkpoint age and recovery status flowing into the monitor."""
 

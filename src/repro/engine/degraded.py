@@ -101,6 +101,11 @@ class ServeThroughRecovery:
     ) -> list[Recommendation]:
         return self._serve("cb", self._engine.recommend_cb, user_id, n, now)
 
+    def recommend_vq(
+        self, user_id: str, n: int, now: float
+    ) -> list[Recommendation]:
+        return self._serve("vq", self._engine.recommend_vq, user_id, n, now)
+
     def _serve(self, algorithm, live, user_id, n, now) -> list[Recommendation]:
         key = (algorithm, user_id)
         if self._in_recovery():

@@ -15,6 +15,7 @@ from typing import Callable
 
 from repro.algorithms.ctr import BACKOFF_LEVELS, situation_key
 from repro.algorithms.demographic import GLOBAL_GROUP
+from repro.retrieval.retriever import RetrieverConfig, VQRetriever
 from repro.tdstore.client import TDStoreClient
 from repro.topology.bolts_cb import item_tags
 from repro.topology.bolts_ctr import profile_attributes
@@ -32,6 +33,7 @@ class EngineConfig:
     min_similarity: float = 0.0
     complement_with_db: bool = True
     prior_ctr: float = 0.02
+    vq: RetrieverConfig | None = None
 
 
 @dataclass
@@ -55,6 +57,7 @@ class RecommenderEngine:
     ):
         self._store = client
         self._config = config if config is not None else EngineConfig()
+        self._vq: VQRetriever | None = None
 
     @property
     def store(self) -> TDStoreClient:
@@ -261,6 +264,28 @@ class RecommenderEngine:
             lambda group: self._store.get(StateKeys.hot(group), None) or {},
             n,
         )
+
+    # -- embedding retrieval (streaming VQ) ---------------------------------
+
+    @property
+    def vq_retriever(self) -> VQRetriever:
+        """The lazily-built VQ candidate source (shares the engine's
+        client, so query deadlines scope onto its reads too)."""
+        if self._vq is None:
+            self._vq = VQRetriever(self._store, self._config.vq)
+        return self._vq
+
+    def recommend_vq(
+        self, user_id: str, n: int, now: float
+    ) -> list[Recommendation]:
+        """ANN-style candidates from the streaming VQ index.
+
+        Raises :class:`~repro.errors.ColdIndexError` when the index (or
+        this user's embedding view of it) cannot answer — the front
+        end's cue to degrade to CF. No DB complement here: cold is a
+        signal, not a gap to paper over.
+        """
+        return self.vq_retriever.recommend(user_id, n, now)
 
     # -- content-based ------------------------------------------------------------
 

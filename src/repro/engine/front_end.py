@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 from repro.engine.degraded import ServeThroughRecovery
 from repro.engine.engine import RecommenderEngine
 from repro.errors import (
+    ColdIndexError,
     EvaluationError,
     ResilienceError,
     TDAccessError,
@@ -62,6 +63,9 @@ class QueryLog:
     empty: int = 0
     shed: int = 0
     feedback_failures: int = 0
+    # vq queries answered by CF inside the live rung (cold index or
+    # browned-out store) — the retrieval cold-start health signal
+    vq_fallbacks: int = 0
     rungs: dict[str, int] = field(default_factory=dict)
     displayed: list[tuple[str, tuple[str, ...]]] = field(default_factory=list)
     rung_history: list[str] = field(default_factory=list)
@@ -128,7 +132,7 @@ class RecommenderFrontEnd:
         clock: SimClock | None = None,
         serving: "ServingLayer | None" = None,
     ):
-        known = ("cf", "cb")
+        known = ("cf", "cb", "vq")
         if algorithm not in known:
             raise EvaluationError(
                 f"front end algorithm must be one of {known}: {algorithm!r}"
@@ -314,6 +318,16 @@ class RecommenderFrontEnd:
         target = self._degraded if self._degraded is not None else self._engine
         if self._algorithm == "cf":
             return target.recommend_cf(user_id, n, now)
+        if self._algorithm == "vq":
+            # retrieval's own degradation step, still inside the live
+            # rung: a cold index (or a store failure on the VQ read
+            # path) answers from CF instead of dropping a rung — the
+            # ladder below only engages if CF fails too
+            try:
+                return target.recommend_vq(user_id, n, now)
+            except (ColdIndexError, *_RUNG_FAILURES):
+                self.log.vq_fallbacks += 1
+                return target.recommend_cf(user_id, n, now)
         return target.recommend_cb(user_id, n, now)
 
     def _stale_cached(self, user_id: str, n: int) -> list[Recommendation]:

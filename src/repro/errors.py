@@ -184,6 +184,27 @@ class UnknownActionError(AlgorithmError):
     """An action type has no configured implicit-feedback weight."""
 
 
+class RetrievalError(AlgorithmError):
+    """Base error for the embedding/VQ retrieval subsystem."""
+
+
+class ColdIndexError(RetrievalError):
+    """The VQ index cannot answer yet (no centroids, or the query user
+    has no embedded recent items).
+
+    Carries ``reason`` so the front end's fallback counter can tell a
+    genuinely empty index apart from a user the index has not seen —
+    both degrade to CF, but they are different operational signals.
+    """
+
+    def __init__(self, message: str, reason: str = "empty_index"):
+        super().__init__(message)
+        self.reason = reason
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.reason))
+
+
 class SimulationError(ReproError):
     """The synthetic workload generator hit an invalid configuration."""
 

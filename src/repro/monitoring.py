@@ -39,7 +39,7 @@ class Alert:
 
 # bump when a snapshot field is added/renamed; from_dict refuses other
 # versions rather than silently dropping signals
-SNAPSHOT_SCHEMA_VERSION = 3
+SNAPSHOT_SCHEMA_VERSION = 4
 
 
 @dataclass
@@ -119,6 +119,18 @@ class SystemSnapshot:
     scrub_keys_repaired: int = 0
     scrub_keys_deleted: int = 0
     scrub_corruptions_detected: int = 0
+    # retrieval (schema v4): streaming-VQ index structure and churn.
+    # Stats counters are journal-exact (chaos replays do not inflate
+    # them); p99 is recomputed from the live posting lists each
+    # snapshot. Cold fallbacks count vq queries the front end answered
+    # from CF inside the live rung.
+    vq_centroids: int = 0
+    vq_indexed_items: int = 0
+    vq_reassignments: int = 0
+    vq_splits: int = 0
+    vq_merges: int = 0
+    vq_posting_p99: int = 0
+    retrieval_cold_fallbacks: int = 0
 
     # dict-valued fields keyed by server id; JSON forces str keys, so
     # to_dict/from_dict convert explicitly instead of relying on json
@@ -199,6 +211,8 @@ class SystemMonitor:
         max_read_imbalance: float = 3.0,
         max_checkpoint_age: float | None = None,
         max_heartbeat_misses: int = 3,
+        max_posting_p99: int = 10_000,
+        max_reassignment_burst: int = 1_000,
     ):
         self._now = clock_now
         self._tdaccess = tdaccess
@@ -218,6 +232,9 @@ class SystemMonitor:
         self.max_read_imbalance = max_read_imbalance
         self.max_checkpoint_age = max_checkpoint_age
         self.max_heartbeat_misses = max_heartbeat_misses
+        self.max_posting_p99 = max_posting_p99
+        self.max_reassignment_burst = max_reassignment_burst
+        self._retrieval_probe = None
         self.history: list[SystemSnapshot] = []
 
     def watch_consumer(self, name: str, consumer: Consumer):
@@ -234,6 +251,15 @@ class SystemMonitor:
 
     def watch_serving(self, serving: "ServingLayer"):
         self._serving = serving
+
+    def watch_retrieval(self, probe):
+        """Surface streaming-VQ index health as monitoring signals.
+
+        ``probe`` is anything with a ``stats()`` returning the
+        :class:`~repro.retrieval.VQIndexProbe` shape (centroids,
+        indexed_items, reassignments, splits, merges, posting_p99).
+        """
+        self._retrieval_probe = probe
 
     def watch_autoscaler(self, autoscaler: "Autoscaler"):
         """Surface the autoscaler's decisions as monitoring signals.
@@ -332,6 +358,15 @@ class SystemMonitor:
         if self._front_end is not None:
             snap.serving_rungs = dict(self._front_end.log.rungs)
             snap.queries_shed = self._front_end.log.shed
+            snap.retrieval_cold_fallbacks = self._front_end.log.vq_fallbacks
+        if self._retrieval_probe is not None:
+            stats = self._retrieval_probe.stats()
+            snap.vq_centroids = stats["centroids"]
+            snap.vq_indexed_items = stats["indexed_items"]
+            snap.vq_reassignments = stats["reassignments"]
+            snap.vq_splits = stats["splits"]
+            snap.vq_merges = stats["merges"]
+            snap.vq_posting_p99 = stats["posting_p99"]
         if self._serving is not None:
             stats = self._serving.stats()
             snap.serving_tiers = dict(stats["tier_serves"])
@@ -662,6 +697,40 @@ class SystemMonitor:
                         "supervisor's deadline",
                     )
                 )
+        churn_delta = snap.vq_reassignments - self._previous_field(
+            "vq_reassignments"
+        )
+        if churn_delta > self.max_reassignment_burst:
+            alerts.append(
+                Alert(
+                    "warning", "retrieval",
+                    f"{churn_delta} VQ reassignment(s) since last snapshot "
+                    f"exceeds {self.max_reassignment_burst} (assignment "
+                    "churn: embeddings drifting faster than the index "
+                    "settles)",
+                )
+            )
+        if snap.vq_posting_p99 > self.max_posting_p99:
+            alerts.append(
+                Alert(
+                    "warning", "retrieval",
+                    f"posting-list p99 {snap.vq_posting_p99} exceeds "
+                    f"{self.max_posting_p99} (split threshold too high for "
+                    "the catalog; probe fan-out is degrading to a scan)",
+                )
+            )
+        cold_delta = snap.retrieval_cold_fallbacks - self._previous_field(
+            "retrieval_cold_fallbacks"
+        )
+        if cold_delta > 0:
+            alerts.append(
+                Alert(
+                    "warning", "retrieval",
+                    f"{cold_delta} vq query(ies) fell back to CF since last "
+                    "snapshot (index cold or store browned out on the VQ "
+                    "read path)",
+                )
+            )
         for layer, degraded in (
             ("tdstore", snap.degraded_tdstore_servers),
             ("tdaccess", snap.degraded_tdaccess_servers),
@@ -814,6 +883,15 @@ class SystemMonitor:
                 f"{snap.scrub_keys_repaired} key(s) repaired, "
                 f"{snap.scrub_keys_deleted} deleted, "
                 f"{snap.scrub_corruptions_detected} silent corruption(s)"
+            )
+        if snap.vq_centroids:
+            lines.append(
+                f"  retrieval: {snap.vq_centroids} centroid(s), "
+                f"{snap.vq_indexed_items} item(s) indexed, "
+                f"{snap.vq_reassignments} reassignment(s), "
+                f"{snap.vq_splits} split(s), {snap.vq_merges} merge(s), "
+                f"posting p99 {snap.vq_posting_p99}, "
+                f"{snap.retrieval_cold_fallbacks} cold fallback(s)"
             )
         if snap.migrations_completed or snap.migrations_in_flight:
             lines.append(

@@ -1,0 +1,67 @@
+"""Embedding-based candidate retrieval served from TDStore.
+
+A streaming vector-quantization retriever beside CF/CB/DB/AR: online
+item embeddings learned from co-click pairs (one collisionless row per
+item), a streaming VQ index (online k-means with split/merge and
+per-centroid posting lists), exactly-once bolts that keep both
+byte-identical under replays, and an ANN-style read path the engine and
+front end serve through.
+"""
+
+from repro.retrieval.bolts import (
+    EmbeddingPairBolt,
+    EmbeddingUpdateBolt,
+    RetrievalConfig,
+    VQAssignBolt,
+)
+from repro.retrieval.embedding import (
+    EmbeddingConfig,
+    EmbeddingRow,
+    seed_vector,
+    updated_row,
+)
+from repro.retrieval.keys import RetrievalKeys
+from repro.retrieval.retriever import (
+    RetrieverConfig,
+    VQIndexProbe,
+    VQRetriever,
+    brute_force_rank,
+)
+from repro.retrieval.types import (
+    CentroidSnapshot,
+    RetrievalAnswer,
+    RetrievalStats,
+    VQOp,
+)
+from repro.retrieval.vq import (
+    StreamingVQIndex,
+    VQConfig,
+    centroid_snapshots,
+    index_integrity,
+    sibling_id,
+)
+
+__all__ = [
+    "CentroidSnapshot",
+    "EmbeddingConfig",
+    "EmbeddingPairBolt",
+    "EmbeddingRow",
+    "EmbeddingUpdateBolt",
+    "RetrievalAnswer",
+    "RetrievalConfig",
+    "RetrievalStats",
+    "RetrievalKeys",
+    "RetrieverConfig",
+    "StreamingVQIndex",
+    "VQAssignBolt",
+    "VQConfig",
+    "VQIndexProbe",
+    "VQOp",
+    "VQRetriever",
+    "brute_force_rank",
+    "centroid_snapshots",
+    "index_integrity",
+    "seed_vector",
+    "sibling_id",
+    "updated_row",
+]

@@ -1,0 +1,109 @@
+"""Online item-embedding learning on the co-click stream.
+
+Every item owns one collisionless row (``emb:{item}``) in TDStore. Rows
+start at a deterministic seed vector and take SGD steps toward the
+*seed* vector of each co-clicked partner — the partner's frozen context
+vector, not its live row. Freezing the context side makes each update a
+pure function of ``(own committed row, tuple)``: combined with the
+same-key-same-task guarantee of fields grouping, a replayed update
+recomputes byte-identical floats from the committed row, which is what
+lets the exactly-once bolts converge exactly under chaos.
+
+The geometry this learns is deliberately simple — items that co-occur
+in user windows are pulled toward shared context anchors, so
+co-consumed items cluster — because the subsystem's job is serving ANN
+candidates from a streaming index, not beating matrix factorization.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class EmbeddingConfig:
+    """Knobs for the online embedding learner.
+
+    ``lr`` decays per row as ``lr / (1 + lr_decay * updates)`` so early
+    co-clicks move a cold row a lot and a well-observed row stabilizes —
+    the usual streaming-SGD schedule, kept per-row because rows see
+    wildly different traffic.
+    """
+
+    dim: int = 16
+    lr: float = 0.35
+    lr_decay: float = 0.05
+    seed_salt: str = "embseed"
+    context_salt: str = "embctx"
+
+    def __post_init__(self):
+        if self.dim <= 0:
+            raise ConfigurationError(f"embedding dim must be positive: {self.dim}")
+        if self.lr <= 0.0:
+            raise ConfigurationError(f"embedding lr must be positive: {self.lr}")
+
+
+def seed_vector(key: str, dim: int, salt: str = "embseed") -> np.ndarray:
+    """Deterministic unit vector for ``key`` — identical across
+    processes and platforms (blake2b seed, not the salted builtin hash).
+    """
+    digest = hashlib.blake2b(
+        f"{salt}:{key}".encode("utf-8"), digest_size=8
+    ).digest()
+    rng = np.random.default_rng(int.from_bytes(digest, "big"))
+    vec = rng.standard_normal(dim)
+    return vec / np.linalg.norm(vec)
+
+
+def normalize(vec: np.ndarray) -> np.ndarray:
+    norm = float(np.linalg.norm(vec))
+    if norm <= 0.0:
+        return vec
+    return vec / norm
+
+
+@dataclass(frozen=True)
+class EmbeddingRow:
+    """One committed embedding row, as stored in TDStore.
+
+    ``vec`` is a plain tuple of floats (not an ndarray) so the row
+    pickles compactly, hashes stably, and round-trips the spawn start
+    method without numpy in the loop.
+    """
+
+    item: str
+    vec: tuple[float, ...]
+    updates: int = 0
+
+    def to_value(self) -> dict:
+        return {"vec": list(self.vec), "updates": self.updates}
+
+    @classmethod
+    def from_value(cls, item: str, value: dict | None, cfg: EmbeddingConfig) -> "EmbeddingRow":
+        if value is None:
+            seed = seed_vector(item, cfg.dim, cfg.seed_salt)
+            return cls(item, tuple(float(x) for x in seed), 0)
+        return cls(item, tuple(float(x) for x in value["vec"]), int(value["updates"]))
+
+    def array(self) -> np.ndarray:
+        return np.asarray(self.vec, dtype=np.float64)
+
+
+def updated_row(
+    row: EmbeddingRow, context: str, weight: float, cfg: EmbeddingConfig
+) -> EmbeddingRow:
+    """One SGD step of ``row`` toward ``context``'s frozen anchor.
+
+    Pure: the result depends only on the committed row and the tuple
+    payload, never on the partner's live row — see the module docstring
+    for why that is the replay-convergence contract.
+    """
+    anchor = seed_vector(context, cfg.dim, cfg.context_salt)
+    eta = cfg.lr / (1.0 + cfg.lr_decay * row.updates)
+    stepped = normalize(row.array() + eta * weight * anchor)
+    return EmbeddingRow(row.item, tuple(float(x) for x in stepped), row.updates + 1)

@@ -1,0 +1,56 @@
+"""TDStore key formats for the embedding/VQ retrieval subsystem.
+
+One place for every retrieval key, in the style of
+:class:`~repro.topology.state.StateKeys`. Embedding rows are
+collisionless — one ``emb:{item}`` key per item, never a hashed bucket —
+so the store's op journal, migration, and replication machinery apply
+per item with no cross-item interference (the Monolith argument).
+"""
+
+from __future__ import annotations
+
+
+class RetrievalKeys:
+    """Key-format conventions for retrieval state in TDStore."""
+
+    @staticmethod
+    def embedding(item: str) -> str:
+        """Collisionless per-item embedding row."""
+        return f"emb:{item}"
+
+    @staticmethod
+    def co_window(user: str) -> str:
+        """Per-user recent-item window the co-click pairs derive from."""
+        return f"embrecent:{user}"
+
+    @staticmethod
+    def meta() -> str:
+        """The live centroid-id set — the VQ index's root object."""
+        return "vq:meta"
+
+    @staticmethod
+    def centroid(cid: str) -> str:
+        return f"vqcent:{cid}"
+
+    @staticmethod
+    def count(cid: str) -> str:
+        """Centroid membership mass (== posting-list size by invariant)."""
+        return f"vqcount:{cid}"
+
+    @staticmethod
+    def posting(cid: str) -> str:
+        """Posting list: the items currently assigned to the centroid."""
+        return f"vqpost:{cid}"
+
+    @staticmethod
+    def assignment(item: str) -> str:
+        """The item's current centroid — the primary commit key of every
+        VQ update op (probed first, committed last)."""
+        return f"vqassign:{item}"
+
+    @staticmethod
+    def stat(name: str) -> str:
+        """Monotone subsystem counters (reassignments, splits, merges,
+        indexed), maintained through the op journal so chaos replays do
+        not inflate them."""
+        return f"vq:stat:{name}"

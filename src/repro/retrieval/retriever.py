@@ -1,0 +1,208 @@
+"""ANN-style candidate serving from the streaming VQ index.
+
+The read path is three batched hops, all through the serving-hardened
+client (so hedged reads, per-shard degradation, and deadlines apply):
+
+1. build the query vector — one ``multi_get`` of the user's recent
+   items' embedding rows, normalized mean;
+2. probe — rank centroids by dot product against the query, take the
+   top ``probe_width``, and ``multi_get`` their posting lists;
+3. re-rank — ``multi_get`` the candidate rows and score by dot
+   product, dropping already-consumed items.
+
+A cold index (no centroids yet, or no embedded recent items for this
+user) raises :class:`~repro.errors.ColdIndexError`; the front end
+counts it and degrades to CF, so retrieval never blocks a serve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ColdIndexError, ConfigurationError
+from repro.retrieval.keys import RetrievalKeys as K
+from repro.retrieval.types import RetrievalAnswer, RetrievalStats
+from repro.tdstore.client import TDStoreClient
+from repro.topology.state import StateKeys
+from repro.types import Recommendation
+
+
+@dataclass(frozen=True)
+class RetrieverConfig:
+    """Read-path knobs. ``probe_width`` is the recall/latency dial the
+    bench sweeps; ``recent_k`` bounds the query-vector read."""
+
+    probe_width: int = 4
+    recent_k: int = 5
+    exclude_consumed: bool = True
+
+    def __post_init__(self):
+        if self.probe_width <= 0:
+            raise ConfigurationError(
+                f"probe_width must be positive: {self.probe_width}"
+            )
+
+
+class VQRetriever:
+    """Nearest-centroid probe → posting lists → dot-product re-rank."""
+
+    def __init__(
+        self,
+        client: TDStoreClient,
+        config: RetrieverConfig | None = None,
+    ):
+        self._store = client
+        self.cfg = config if config is not None else RetrieverConfig()
+        self.stats = RetrievalStats()
+
+    # -- query vector -------------------------------------------------------
+
+    def query_vector(self, user_id: str) -> np.ndarray:
+        """Normalized mean of the user's recent items' embedding rows."""
+        recent = self._store.get(StateKeys.recent(user_id), None) or []
+        items = [item for item, __, __t in recent[: self.cfg.recent_k]]
+        if not items:
+            raise ColdIndexError(
+                f"user {user_id!r} has no recent items", reason="no_recent"
+            )
+        rows = self._store.multi_get([K.embedding(i) for i in items])
+        vecs = [
+            np.asarray(row["vec"], dtype=np.float64)
+            for row in rows.values()
+            if row is not None
+        ]
+        if not vecs:
+            raise ColdIndexError(
+                f"no embedded recent items for user {user_id!r}",
+                reason="unembedded_user",
+            )
+        mean = np.mean(vecs, axis=0)
+        norm = float(np.linalg.norm(mean))
+        if norm <= 0.0:
+            raise ColdIndexError(
+                f"degenerate query vector for user {user_id!r}",
+                reason="degenerate_query",
+            )
+        return mean / norm
+
+    # -- the probe ----------------------------------------------------------
+
+    def retrieve(
+        self, query: np.ndarray, n: int, exclude: set[str] | None = None
+    ) -> RetrievalAnswer:
+        """Serve candidates for an explicit query vector."""
+        self.stats.queries += 1
+        meta = self._store.get(K.meta(), None) or {}
+        if not meta:
+            self.stats.cold_misses += 1
+            raise ColdIndexError("VQ index has no centroids yet")
+        cids = sorted(meta)
+        cents = self._store.multi_get([K.centroid(c) for c in cids])
+        ranked = sorted(
+            (
+                (-float(np.dot(query, np.asarray(vec, dtype=np.float64))), cid)
+                for cid in cids
+                if (vec := cents.get(K.centroid(cid))) is not None
+            ),
+        )
+        probed = [cid for __, cid in ranked[: self.cfg.probe_width]]
+        if not probed:
+            self.stats.cold_misses += 1
+            raise ColdIndexError("no centroid vectors readable")
+        self.stats.probes += len(probed)
+        self.stats.probe_history.append(len(probed))
+        postings = self._store.multi_get([K.posting(c) for c in probed])
+        exclude = exclude or set()
+        candidates = sorted(
+            {
+                item
+                for cid in probed
+                for item in (postings.get(K.posting(cid)) or {})
+                if item not in exclude
+            }
+        )
+        if not candidates:
+            self.stats.empty_answers += 1
+            return RetrievalAnswer(probed_centroids=tuple(probed))
+        rows = self._store.multi_get([K.embedding(i) for i in candidates])
+        scored = sorted(
+            (
+                (-float(np.dot(query, np.asarray(row["vec"], dtype=np.float64))), item)
+                for item in candidates
+                if (row := rows.get(K.embedding(item))) is not None
+            ),
+        )
+        self.stats.candidates_scored += len(scored)
+        top = scored[:n]
+        return RetrievalAnswer(
+            items=tuple(item for __, item in top),
+            scores=tuple(-s for s, __ in top),
+            probed_centroids=tuple(probed),
+            candidates_seen=len(candidates),
+        )
+
+    def recommend(self, user_id: str, n: int, now: float) -> list[Recommendation]:
+        """The engine-facing entry point: top-N for a user."""
+        query = self.query_vector(user_id)
+        exclude: set[str] = set()
+        if self.cfg.exclude_consumed:
+            history = self._store.get(StateKeys.history(user_id), None) or {}
+            exclude = set(history)
+        answer = self.retrieve(query, n, exclude)
+        return [
+            Recommendation(item, score, source="vq")
+            for item, score in zip(answer.items, answer.scores)
+        ]
+
+
+def brute_force_rank(
+    client: TDStoreClient, query: np.ndarray, items, n: int,
+    exclude: set[str] | None = None,
+) -> list[str]:
+    """Exact dot-product top-N over every row — the recall baseline.
+
+    Probing every centroid with re-rank must converge to this ranking;
+    the bench's recall@k measures how close narrow probes get.
+    """
+    exclude = exclude or set()
+    rows = client.multi_get([K.embedding(i) for i in items])
+    scored = sorted(
+        (
+            (-float(np.dot(query, np.asarray(row["vec"], dtype=np.float64))), item)
+            for item in items
+            if item not in exclude
+            and (row := rows.get(K.embedding(item))) is not None
+        ),
+    )
+    return [item for __, item in scored[:n]]
+
+
+class VQIndexProbe:
+    """Read-only index health reader for :class:`SystemMonitor`.
+
+    Stats the index maintains through the op journal (splits, merges,
+    reassignments, indexed items) come back exactly even under chaos
+    replays; structural figures (centroid count, posting-size p99) are
+    recomputed from the live key set.
+    """
+
+    def __init__(self, client: TDStoreClient):
+        self._store = client
+
+    def stats(self) -> dict:
+        meta = self._store.get(K.meta(), None) or {}
+        sizes = sorted(
+            len(self._store.get(K.posting(cid), None) or {})
+            for cid in sorted(meta)
+        )
+        p99 = sizes[min(len(sizes) - 1, int(len(sizes) * 0.99))] if sizes else 0
+        return {
+            "centroids": len(meta),
+            "indexed_items": int(self._store.get(K.stat("indexed"), 0.0)),
+            "reassignments": int(self._store.get(K.stat("reassignments"), 0.0)),
+            "splits": int(self._store.get(K.stat("splits"), 0.0)),
+            "merges": int(self._store.get(K.stat("merges"), 0.0)),
+            "posting_p99": p99,
+        }

@@ -1,0 +1,393 @@
+"""Streaming vector quantization over TDStore (the index side).
+
+Online k-means in the spirit of the streaming-VQ retriever: every item
+vector is assigned to its nearest centroid, the centroid takes a small
+step toward the vector, and the index restructures itself online —
+a centroid whose membership crosses ``split_threshold`` spawns a
+sibling at the incoming vector, and a centroid drained to
+``merge_floor`` folds its remainder into its nearest neighbour. All
+state (centroid set, vectors, membership counts, posting lists, item
+assignments) lives in TDStore, so the index rides replication,
+migration, and the op journal like any other recommendation state.
+
+**Single-writer + derived-op-id protocol.** One ``observe`` call
+touches many keys, so exactly-once cannot come from one ``put_once``
+alone. The contract, relied on by the chaos suite:
+
+* The bolt driving this index runs with parallelism 1 — every VQ key
+  has exactly one writing task, so the only dirty state a re-executed
+  op can see is its *own* partial work.
+* The item's assignment key is the op's **primary**: probed first
+  (``op_seen``) and committed last (``put_once``). A replay after a
+  completed op is skipped outright; a replay after a mid-op failure
+  re-executes everything below.
+* Every other write is idempotent under that re-execution: set-valued
+  keys (meta, postings) are recomputed-and-put; counters go through the
+  store's op journal with suffixed op ids (``{op}#inc`` …) so a
+  re-executed increment dedups; centroid vectors commit with
+  ``put_once`` on suffixed ids, so the second attempt's recompute from
+  the *moved* vector is rejected and the first attempt's value stands.
+* Decisions (nearest centroid, split, merge) are recomputed from
+  journal-authoritative values — ``apply`` returns the committed
+  result whether or not this attempt applied it — so attempt 2 reaches
+  the verdict attempt 1 did even over its partial writes. Two read
+  hazards are closed explicitly: a half-created sibling hijacking the
+  nearest-centroid argmin (ids derived from the current op are excluded
+  from the candidate set), and the op's *own* later writes to the
+  chosen centroid's count (``#unsplit`` / ``#mmass``) contaminating the
+  deduped ``#inc`` value — the split verdict consults those journal
+  markers before it trusts the count.
+
+Membership counts are maintained as assignment mass (+1 in, -1 out),
+so ``count == len(posting)`` is an invariant; :func:`index_integrity`
+checks it, along with every-row-assigned and no-orphan-postings,
+after every chaos run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.retrieval.embedding import seed_vector
+from repro.retrieval.keys import RetrievalKeys as K
+from repro.retrieval.types import CentroidSnapshot, VQOp
+from repro.topology.state import CachedStore
+
+
+@dataclass(frozen=True)
+class VQConfig:
+    """Index structure knobs.
+
+    ``split_threshold`` / ``merge_floor`` are membership counts:
+    crossing the threshold spawns a sibling, draining to the floor
+    dissolves the centroid. ``centroid_lr`` is the online k-means step.
+    """
+
+    dim: int = 16
+    seed_centroids: int = 4
+    max_centroids: int = 64
+    min_centroids: int = 2
+    split_threshold: float = 8.0
+    merge_floor: float = 1.0
+    centroid_lr: float = 0.2
+    seed_salt: str = "vqseed"
+
+    def __post_init__(self):
+        if self.seed_centroids < self.min_centroids:
+            raise ConfigurationError(
+                f"seed_centroids {self.seed_centroids} below "
+                f"min_centroids {self.min_centroids}"
+            )
+        if self.max_centroids < self.seed_centroids:
+            raise ConfigurationError(
+                f"max_centroids {self.max_centroids} below "
+                f"seed_centroids {self.seed_centroids}"
+            )
+        if self.split_threshold <= self.merge_floor:
+            raise ConfigurationError(
+                "split_threshold must exceed merge_floor: "
+                f"{self.split_threshold} <= {self.merge_floor}"
+            )
+
+
+def sibling_id(parent: str, token: str) -> str:
+    """Deterministic id for the centroid a split spawns.
+
+    Derived from the parent and the triggering op (never from a
+    counter): a re-executed split over partial state must regenerate
+    the *same* id to recognize its own half-created sibling.
+    """
+    digest = hashlib.blake2b(
+        f"{parent}|{token}".encode("utf-8"), digest_size=4
+    ).hexdigest()
+    return f"{parent}~{digest}"
+
+
+def _sq_dist(a: list, b: list) -> float:
+    return sum((x - y) * (x - y) for x, y in zip(a, b))
+
+
+class StreamingVQIndex:
+    """The single-writer index state machine (see module docstring)."""
+
+    def __init__(self, store: CachedStore, config: VQConfig | None = None):
+        self._store = store
+        self.cfg = config if config is not None else VQConfig()
+        self.observes = 0
+        self.dedup_skips = 0
+
+    # -- journal-aware write helpers ---------------------------------------
+
+    def _put_once(self, key: str, op_id: str | None, suffix: str, value):
+        if op_id is None:
+            self._store.put(key, value)
+        else:
+            self._store.put_once(key, op_id + suffix, value)
+
+    def _apply(self, key: str, op_id: str | None, suffix: str, delta: float) -> float:
+        if op_id is None:
+            return self._store.incr(key, delta)
+        value, __ = self._store.apply(key, op_id + suffix, delta)
+        return value
+
+    # -- bootstrap ----------------------------------------------------------
+
+    def bootstrap(self) -> dict:
+        """Create the seeded initial centroids if the index is empty.
+
+        Plain idempotent puts: the seed vectors are deterministic and
+        nothing can have assigned items before meta exists, so a
+        re-executed bootstrap rewrites identical values.
+        """
+        meta = self._store.get(K.meta(), None) or {}
+        if meta:
+            return dict(meta)
+        meta = {}
+        for i in range(self.cfg.seed_centroids):
+            cid = f"g{i}"
+            vec = seed_vector(f"cent:{i}", self.cfg.dim, self.cfg.seed_salt)
+            self._store.put(K.centroid(cid), [float(x) for x in vec])
+            self._store.put(K.count(cid), 0.0)
+            self._store.put(K.posting(cid), {})
+            meta[cid] = True
+        self._store.put(K.meta(), meta)
+        return meta
+
+    # -- reads --------------------------------------------------------------
+
+    def _centroid_vec(self, cid: str) -> list:
+        vec = self._store.get(K.centroid(cid), None)
+        if vec is None:
+            raise ConfigurationError(f"centroid {cid!r} has no vector")
+        return vec
+
+    def _nearest(self, candidates, vec: list) -> str:
+        best, best_d = None, None
+        for cid in sorted(candidates):
+            d = _sq_dist(self._centroid_vec(cid), vec)
+            if best_d is None or d < best_d:
+                best, best_d = cid, d
+        return best
+
+    # -- the update op -------------------------------------------------------
+
+    def observe(
+        self, item: str, vec, op_id: str | None, weight: float = 1.0
+    ) -> VQOp:
+        """Fold one (item, vector) observation into the index."""
+        vec = [float(x) for x in vec]
+        akey = K.assignment(item)
+        self.observes += 1
+        if op_id is not None and self._store.op_seen(akey, op_id):
+            self.dedup_skips += 1
+            committed = self._store.get(akey, None) or {}
+            return VQOp(item, op_id, committed.get("centroid", ""), deduped=True)
+        meta = self.bootstrap()
+        # exclude this op's own (possibly half-created) sibling ids from
+        # every decision: re-execution must see the same candidate set
+        # attempt 1 did
+        own = (
+            {sibling_id(cid, op_id) for cid in meta}
+            if op_id is not None
+            else set()
+        )
+        base = {cid for cid in meta if cid not in own}
+        previous = self._store.get(akey, None)
+        prev_cid = previous["centroid"] if previous else None
+        if prev_cid is not None and prev_cid not in meta:
+            if op_id is not None and self._store.op_seen(
+                K.stat("merges"), op_id + "#stmg"
+            ):
+                # re-execution over this op's own committed merge: the
+                # depart and merge already happened (every other exit
+                # flips the assignment to a live centroid before the
+                # meta discard), so keep prev_cid — the guards below
+                # skip the depart and the first-assignment stat — and
+                # just finish the trailing deletes the crash cut off
+                self._store.delete(K.centroid(prev_cid))
+                self._store.delete(K.count(prev_cid))
+                self._store.delete(K.posting(prev_cid))
+            else:
+                prev_cid = None  # dissolved by an earlier op's merge
+        best = self._nearest(base, vec)
+        # learn: the chosen centroid steps toward the vector. put_once,
+        # not put — a re-executed step from the already-moved vector
+        # computes a different value, and the journal must reject it.
+        cent = self._centroid_vec(best)
+        lr = self.cfg.centroid_lr
+        moved = [c + lr * (v - c) for c, v in zip(cent, vec)]
+        self._put_once(K.centroid(best), op_id, "#move", moved)
+        if prev_cid == best:
+            # no membership change; just the learning step above
+            self._put_once(akey, op_id, "", {"centroid": best})
+            return VQOp(item, op_id, best, previous=prev_cid)
+        in_count = self._apply(K.count(best), op_id, "#inc", weight)
+        sib = sibling_id(best, op_id if op_id is not None else item)
+        # The split verdict must be re-derivable over this op's own
+        # partial writes, and ``in_count`` alone is not enough: once the
+        # op's later journaled writes to the same key have landed
+        # (``#unsplit``, or ``#mmass`` when its own merge folds mass into
+        # ``best``), the deduped ``#inc`` returns the *net* value, not
+        # the value the first attempt decided on. The journal markers
+        # disambiguate — ``#unsplit`` is the split branch's first write,
+        # and ``#mmass`` executes strictly after the verdict — so their
+        # presence pins the verdict before the count is consulted.
+        if op_id is not None and self._store.op_seen(
+            K.count(best), op_id + "#unsplit"
+        ):
+            split = True
+        elif op_id is not None and self._store.op_seen(
+            K.count(best), op_id + "#mmass"
+        ):
+            split = False
+        else:
+            split = sib in meta or (
+                in_count >= self.cfg.split_threshold
+                and len(base) < self.cfg.max_centroids
+            )
+        split_from = None
+        if split:
+            # the item never really lands on the crowded centroid: undo
+            # its mass (journaled, so net-zero survives replay) and
+            # spawn the sibling at the incoming vector
+            self._apply(K.count(best), op_id, "#unsplit", -weight)
+            self._put_once(K.centroid(sib), op_id, "#scent", list(vec))
+            self._put_once(K.count(sib), op_id, "#scount", weight)
+            posting = dict(self._store.get(K.posting(sib), None) or {})
+            posting[item] = True
+            self._store.put(K.posting(sib), posting)
+            meta = dict(meta)
+            meta[sib] = True
+            self._store.put(K.meta(), meta)
+            self._apply(K.stat("splits"), op_id, "#stsp", 1.0)
+            assigned, split_from = sib, best
+        else:
+            posting = dict(self._store.get(K.posting(best), None) or {})
+            posting[item] = True
+            self._store.put(K.posting(best), posting)
+            assigned = best
+        merged, merged_into, moved_items = None, None, ()
+        if prev_cid is not None and prev_cid in base and prev_cid != assigned:
+            posting = dict(self._store.get(K.posting(prev_cid), None) or {})
+            posting.pop(item, None)
+            self._store.put(K.posting(prev_cid), posting)
+            out_count = self._apply(K.count(prev_cid), op_id, "#dec", -weight)
+            self._apply(K.stat("reassignments"), op_id, "#strs", 1.0)
+            if (
+                out_count <= self.cfg.merge_floor
+                and len(base) > self.cfg.min_centroids
+            ):
+                merged, merged_into, moved_items = self._merge(
+                    prev_cid, base, op_id, out_count
+                )
+        if prev_cid is None:
+            self._apply(K.stat("indexed"), op_id, "#stix", 1.0)
+        self._put_once(akey, op_id, "", {"centroid": assigned})
+        return VQOp(
+            item,
+            op_id,
+            assigned,
+            previous=prev_cid,
+            split_from=split_from,
+            merged=merged,
+            merged_into=merged_into,
+            moved_items=moved_items,
+        )
+
+    def _merge(self, dying: str, base: set, op_id: str | None, mass: float):
+        """Dissolve ``dying`` into its nearest surviving neighbour.
+
+        Ordered for re-execution: mass transfer and stat are journaled,
+        posting union and assignment flips are idempotent puts, the
+        meta discard commits the merge, and the key deletes after it
+        are no-ops the second time. A replay that finds the discard
+        already committed skips the whole branch (``prev_cid in base``
+        fails), which is correct — everything here already happened.
+        """
+        target = self._nearest(base - {dying}, self._centroid_vec(dying))
+        remainder = dict(self._store.get(K.posting(dying), None) or {})
+        if mass > 0.0:
+            self._apply(K.count(target), op_id, "#mmass", mass)
+        if remainder:
+            posting = dict(self._store.get(K.posting(target), None) or {})
+            posting.update(remainder)
+            self._store.put(K.posting(target), posting)
+            for moved in sorted(remainder):
+                self._store.put(K.assignment(moved), {"centroid": target})
+        self._apply(K.stat("merges"), op_id, "#stmg", 1.0)
+        meta = dict(self._store.get(K.meta(), None) or {})
+        meta.pop(dying, None)
+        self._store.put(K.meta(), meta)
+        self._store.delete(K.centroid(dying))
+        self._store.delete(K.count(dying))
+        self._store.delete(K.posting(dying))
+        return dying, target, tuple(sorted(remainder))
+
+
+# -- client-side audits (read any substrate's store, no CachedStore) --------
+
+
+def centroid_snapshots(client, cids=None) -> list[CentroidSnapshot]:
+    """Read the full centroid set through a plain client."""
+    meta = client.get(K.meta(), None) or {}
+    cids = sorted(meta) if cids is None else sorted(cids)
+    out = []
+    for cid in cids:
+        out.append(
+            CentroidSnapshot(
+                cid=cid,
+                vec=tuple(client.get(K.centroid(cid), None) or ()),
+                count=client.get(K.count(cid), 0.0),
+                posting=tuple(sorted(client.get(K.posting(cid), None) or {})),
+            )
+        )
+    return out
+
+
+def index_integrity(client, items) -> dict:
+    """Structural invariants; ``problems`` empty iff no key was lost.
+
+    * every item with an embedding row has an assignment;
+    * each assigned item appears in exactly its centroid's posting list
+      and no other;
+    * every centroid's count equals its posting size;
+    * every posting entry is a known assigned item (no orphans).
+    """
+    problems: list[str] = []
+    meta = client.get(K.meta(), None) or {}
+    postings = {
+        cid: dict(client.get(K.posting(cid), None) or {}) for cid in meta
+    }
+    assigned: dict[str, str] = {}
+    for item in items:
+        assignment = client.get(K.assignment(item), None)
+        if assignment is None:
+            if client.get(K.embedding(item), None) is not None:
+                problems.append(f"row {item} has no assignment")
+            continue
+        cid = assignment["centroid"]
+        assigned[item] = cid
+        if cid not in meta:
+            problems.append(f"{item} assigned to dead centroid {cid}")
+            continue
+        if item not in postings[cid]:
+            problems.append(f"{item} missing from posting of {cid}")
+        others = [c for c, p in postings.items() if item in p and c != cid]
+        if others:
+            problems.append(f"{item} also in postings of {others}")
+    for cid in sorted(meta):
+        count = client.get(K.count(cid), 0.0)
+        if abs(count - len(postings[cid])) > 1e-9:
+            problems.append(
+                f"count of {cid} is {count}, posting size {len(postings[cid])}"
+            )
+        orphans = sorted(set(postings[cid]) - set(assigned))
+        if orphans:
+            problems.append(f"posting of {cid} has orphan items {orphans}")
+    return {
+        "centroids": len(meta),
+        "assigned_items": len(assigned),
+        "problems": problems,
+    }

@@ -31,6 +31,7 @@ from repro.types import UserAction, UserProfile
 from repro.utils.clock import SECONDS_PER_HOUR, SimClock
 
 if TYPE_CHECKING:
+    from repro.retrieval.bolts import RetrievalConfig
     from repro.serving.invalidation import InvalidationBus
 
 ClientFactory = Callable[[], TDStoreClient]
@@ -51,6 +52,10 @@ class CFTopologyConfig:
     ``invalidation_bus`` wires the stateful bolts to the serving
     caches: each publishes a touched-key notification after its commit
     point, and the serving layer drops the answers built on that state.
+
+    ``retrieval`` rides the embedding/VQ pipeline alongside the CF
+    layers off the same ``user_action`` stream; ``None`` (the default)
+    builds the classic CF-only topology.
     """
 
     weights: ActionWeights = DEFAULT_ACTION_WEIGHTS
@@ -62,6 +67,7 @@ class CFTopologyConfig:
     parallelism: int = 2
     group_of: Callable[[str], str] | None = None
     invalidation_bus: "InvalidationBus | None" = None
+    retrieval: "RetrievalConfig | None" = None
 
 
 def build_cf_topology(
@@ -114,7 +120,58 @@ def build_cf_topology(
             lambda: GroupCountBolt(client_factory, bus=cfg.invalidation_bus),
             parallelism=cfg.parallelism,
         ).grouping("userHistory", FieldsGrouping(["group"]), "group_delta")
+    if cfg.retrieval is not None:
+        add_retrieval_bolts(builder, "spout", client_factory, cfg.retrieval)
     return builder.build()
+
+
+def add_retrieval_bolts(
+    builder: TopologyBuilder,
+    action_source: str,
+    client_factory: ClientFactory,
+    config: "RetrievalConfig | None" = None,
+    weights: ActionWeights = DEFAULT_ACTION_WEIGHTS,
+):
+    """Attach the embedding/VQ pipeline to an existing builder.
+
+    ``action_source`` is any component emitting a ``user_action``
+    stream (the spout here, the pretreatment bolt in the harness
+    factories). Registered after the CF layers so adding retrieval
+    never shifts their drain order — existing CF state stays
+    byte-identical with retrieval on or off.
+    """
+    # imported here: retrieval sits above the topology state layer, so
+    # a module-level import would be circular through the package root
+    from repro.retrieval.bolts import (
+        EmbeddingPairBolt,
+        EmbeddingUpdateBolt,
+        RetrievalConfig,
+        VQAssignBolt,
+    )
+
+    rcfg = config if config is not None else RetrievalConfig()
+    builder.add_bolt(
+        "embPair",
+        lambda: EmbeddingPairBolt(
+            client_factory,
+            weights=weights,
+            co_window=rcfg.co_window,
+            co_k=rcfg.co_k,
+        ),
+        parallelism=rcfg.parallelism,
+    ).grouping(action_source, FieldsGrouping(["user"]), "user_action")
+    builder.add_bolt(
+        "embUpdate",
+        lambda: EmbeddingUpdateBolt(client_factory, config=rcfg.embedding),
+        parallelism=rcfg.parallelism,
+    ).grouping("embPair", FieldsGrouping(["item"]), "emb_pair")
+    # parallelism 1: the VQ index's single-writer contract
+    builder.add_bolt(
+        "vqAssign",
+        lambda: VQAssignBolt(client_factory, config=rcfg.vq),
+        parallelism=1,
+    ).grouping("embUpdate", FieldsGrouping(["item"]), "emb_row")
+    return builder
 
 
 def build_ctr_topology(
@@ -273,4 +330,18 @@ def unit_registry(
         "ARCount": lambda: ARCountBolt(client_factory),
         "CtrStore": lambda: CtrStoreBolt(client_factory, profiles),
         "CtrBolt": lambda: CtrBolt(client_factory),
+        "EmbeddingPair": lambda: _retrieval().EmbeddingPairBolt(
+            client_factory, weights=cfg.weights
+        ),
+        "EmbeddingUpdate": lambda: _retrieval().EmbeddingUpdateBolt(
+            client_factory
+        ),
+        "VQAssign": lambda: _retrieval().VQAssignBolt(client_factory),
     }
+
+
+def _retrieval():
+    """Late import of the retrieval bolts (see add_retrieval_bolts)."""
+    import repro.retrieval.bolts as bolts
+
+    return bolts

@@ -178,6 +178,15 @@ class CachedStore:
         """
         return self._client.run_once(key, op_id)
 
+    def delete(self, key: str):
+        """Write-through delete: drop the key from the cache and TDStore.
+
+        Deleting an absent key is a no-op, so re-executed cleanup (e.g.
+        a replayed centroid merge) stays idempotent.
+        """
+        self._cache.pop(key, None)
+        self._client.delete(key)
+
     def prime(self, key: str, value: Any):
         """Install ``value`` in the cache without writing to TDStore.
 

@@ -1,0 +1,111 @@
+"""Cross-substrate chaos acceptance for the retrieval subsystem.
+
+The CF + embedding/VQ topology runs the same deterministic stream on
+both substrates under duplicate deliveries and mid-tree worker kills,
+and every retrieval key — centroid vectors, counts, posting lists,
+assignments, embedding rows, stat counters — must land byte-identical
+to a fault-free simulator reference. ``index_integrity`` doubles as the
+zero-lost-keys check: a dropped posting entry, orphaned assignment, or
+count drift all surface as problems.
+"""
+
+import pytest
+
+from repro.recovery import Fault, RecoveryHarness
+from repro.retrieval.vq import index_integrity
+from repro.runtime import SimSubstrate, topology_recipe
+
+from tests.chaos.helpers import BATCH, SUBSTRATES
+from tests.recovery.helpers import (
+    ITEMS,
+    TOPIC,
+    make_tdaccess,
+    recommendations_bytes,
+)
+from tests.retrieval.helpers import vq_digest
+
+
+def make_retrieval_harness(substrate, payloads, plan=None, *, start=True):
+    harness = RecoveryHarness(
+        make_tdaccess(payloads),
+        TOPIC,
+        topology_recipe(
+            "tests.retrieval.helpers",
+            "retrieval_topology_factory",
+            batch_size=BATCH,
+        ),
+        substrate=substrate,
+        tick_interval=240.0,
+        checkpoint_every_rounds=2,
+    )
+    if start:
+        harness.start(fault_plan=plan)
+    return harness
+
+
+@pytest.fixture(scope="module")
+def retrieval_reference(payloads):
+    """Fault-free sim run: ``(recs_bytes, vq_bytes, now)``.
+
+    Also pins that the scenario is non-trivial — the stream must drive
+    actual index restructuring or the convergence claim is hollow.
+    """
+    harness = make_retrieval_harness(SimSubstrate(), payloads)
+    assert harness.run() == "completed"
+    client = harness.client()
+    report = index_integrity(client, ITEMS)
+    assert report["problems"] == []
+    assert report["assigned_items"] > 0
+    now = harness.clock.now()
+    return recommendations_bytes(client, now), vq_digest(client), now
+
+
+@pytest.mark.parametrize("make_substrate", SUBSTRATES)
+class TestRetrievalChaosXSub:
+    def test_duplicates_and_update_kill_converge(
+        self, make_substrate, payloads, retrieval_reference
+    ):
+        want_recs, want_vq, ref_now = retrieval_reference
+        plan = [
+            Fault(2, "duplicate_delivery", ("source", 2 * BATCH)),
+            Fault(3, "worker_kill_midtree", ("embUpdate", 0, 3, 2 * BATCH)),
+            Fault(4, "duplicate_delivery", ("source", 2 * BATCH)),
+        ]
+        with make_substrate() as substrate:
+            harness = make_retrieval_harness(substrate, payloads, plan)
+            assert harness.run() == "completed"
+            assert harness.injector.midtree_fired == 1
+            stats = harness.cluster.exactly_once_stats(harness.topology_name)
+            assert sum(s["dedup_hits"] for s in stats.values()) > 0
+            assert all(s["within_bound"] for s in stats.values())
+            client = harness.client()
+            got_vq = vq_digest(client)
+            got_recs = recommendations_bytes(client, ref_now)
+            report = index_integrity(client, ITEMS)
+        assert report["problems"] == []  # zero lost keys
+        assert got_vq == want_vq  # byte-identical centroids and postings
+        assert got_recs == want_recs  # CF riding along stays exact too
+
+    def test_assign_writer_kill_converges(
+        self, make_substrate, payloads, retrieval_reference
+    ):
+        # the single-writer dies mid-op: replay must re-execute the
+        # multi-key VQ update over its own partial writes and land on
+        # the same verdicts (the protocol vq.py documents)
+        want_recs, want_vq, ref_now = retrieval_reference
+        plan = [
+            Fault(2, "worker_kill_midtree", ("vqAssign", 0, 3, 2 * BATCH)),
+            Fault(4, "duplicate_delivery", ("source", 3 * BATCH)),
+        ]
+        with make_substrate() as substrate:
+            harness = make_retrieval_harness(substrate, payloads, plan)
+            assert harness.run() == "completed"
+            stats = harness.cluster.exactly_once_stats(harness.topology_name)
+            assert all(s["within_bound"] for s in stats.values())
+            client = harness.client()
+            got_vq = vq_digest(client)
+            got_recs = recommendations_bytes(client, ref_now)
+            report = index_integrity(client, ITEMS)
+        assert report["problems"] == []
+        assert got_vq == want_vq
+        assert got_recs == want_recs

@@ -1,0 +1,21 @@
+"""Shared fixtures for the retrieval suite."""
+
+import pytest
+
+from repro.tdstore import TDStoreCluster
+from repro.utils.clock import SimClock
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def tdstore():
+    return TDStoreCluster(num_data_servers=3, num_instances=16)
+
+
+@pytest.fixture
+def client_factory(tdstore):
+    return tdstore.client

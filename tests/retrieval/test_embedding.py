@@ -1,0 +1,106 @@
+"""Unit tests for the online embedding learner.
+
+The load-bearing property is purity: every update must be a function of
+(committed row, tuple) alone, so a replayed update recomputes
+byte-identical floats. Everything else is schedule hygiene.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.retrieval.embedding import (
+    EmbeddingConfig,
+    EmbeddingRow,
+    normalize,
+    seed_vector,
+    updated_row,
+)
+
+CFG = EmbeddingConfig(dim=8)
+
+
+class TestSeedVectors:
+    def test_deterministic_across_calls(self):
+        a = seed_vector("i1", 8)
+        b = seed_vector("i1", 8)
+        assert a.tobytes() == b.tobytes()
+
+    def test_unit_norm(self):
+        assert float(np.linalg.norm(seed_vector("i1", 8))) == pytest.approx(1.0)
+
+    def test_distinct_keys_distinct_vectors(self):
+        assert seed_vector("i1", 8).tobytes() != seed_vector("i2", 8).tobytes()
+
+    def test_salt_separates_seed_and_context_spaces(self):
+        row = seed_vector("i1", 8, "embseed")
+        ctx = seed_vector("i1", 8, "embctx")
+        assert row.tobytes() != ctx.tobytes()
+
+
+class TestRowSerde:
+    def test_cold_row_starts_at_seed(self):
+        row = EmbeddingRow.from_value("i1", None, CFG)
+        assert row.updates == 0
+        assert row.array().tobytes() == seed_vector("i1", 8).tobytes()
+
+    def test_round_trip_is_exact(self):
+        row = updated_row(EmbeddingRow.from_value("i1", None, CFG), "i2", 1.0, CFG)
+        back = EmbeddingRow.from_value("i1", row.to_value(), CFG)
+        assert back == row
+
+    def test_vec_is_a_plain_tuple(self):
+        row = EmbeddingRow.from_value("i1", None, CFG)
+        assert type(row.vec) is tuple
+        assert all(type(x) is float for x in row.vec)
+
+
+class TestUpdates:
+    def test_update_is_pure(self):
+        row = EmbeddingRow.from_value("i1", None, CFG)
+        once = updated_row(row, "i2", 1.0, CFG)
+        again = updated_row(row, "i2", 1.0, CFG)
+        assert once == again  # exact float equality — the replay contract
+
+    def test_update_normalizes_and_counts(self):
+        row = updated_row(EmbeddingRow.from_value("i1", None, CFG), "i2", 1.0, CFG)
+        assert row.updates == 1
+        assert float(np.linalg.norm(row.array())) == pytest.approx(1.0)
+
+    def test_learning_rate_decays_with_updates(self):
+        cold = EmbeddingRow.from_value("i1", None, CFG)
+        warm = EmbeddingRow("i1", cold.vec, updates=50)
+        ctx = seed_vector("i2", 8, CFG.context_salt)
+        cold_step = updated_row(cold, "i2", 1.0, CFG)
+        warm_step = updated_row(warm, "i2", 1.0, CFG)
+        # the cold row moves further toward the anchor than the warm one
+        d_cold = float(np.dot(cold_step.array(), ctx) - np.dot(cold.array(), ctx))
+        d_warm = float(np.dot(warm_step.array(), ctx) - np.dot(warm.array(), ctx))
+        assert d_cold > d_warm > 0.0
+
+    def test_items_sharing_context_drift_together(self):
+        # a and c never co-click each other, but both co-click b: both
+        # are pulled toward b's frozen anchor, so they become similar —
+        # the clustering geometry the VQ index exploits
+        a = EmbeddingRow.from_value("a", None, CFG)
+        c = EmbeddingRow.from_value("c", None, CFG)
+        before = float(np.dot(a.array(), c.array()))
+        for __ in range(20):
+            a = updated_row(a, "b", 1.0, CFG)
+            c = updated_row(c, "b", 1.0, CFG)
+        after = float(np.dot(a.array(), c.array()))
+        assert after > before
+
+    def test_normalize_leaves_zero_vector_alone(self):
+        z = np.zeros(4)
+        assert normalize(z).tobytes() == z.tobytes()
+
+
+class TestValidation:
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ConfigurationError):
+            EmbeddingConfig(dim=0)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ConfigurationError):
+            EmbeddingConfig(lr=0.0)

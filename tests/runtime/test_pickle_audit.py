@@ -255,6 +255,65 @@ class TestChaosTypes:
         ]
 
 
+class TestRetrievalTypes:
+    """Retrieval rows, ops and answers ride worker RPC payloads and
+    checkpoint state; ``ColdIndexError`` crosses the serving boundary
+    with its degradation ``reason`` attached."""
+
+    def test_embedding_row_round_trips_exactly(self):
+        from repro.retrieval.embedding import EmbeddingConfig, EmbeddingRow
+
+        row = EmbeddingRow.from_value("i3", None, EmbeddingConfig(dim=8))
+        back = spawn_round_trip(row)
+        assert back == row
+        assert back.array().tobytes() == row.array().tobytes()
+
+    def test_centroid_snapshot_and_vq_op(self):
+        from repro.retrieval.types import CentroidSnapshot, VQOp
+
+        snap = CentroidSnapshot(
+            "g0~1289721c", (0.1, -0.2, 0.3), 4.0, ("i1", "i2")
+        )
+        assert spawn_round_trip(snap) == snap
+        op = VQOp(
+            "i1", "op:7", "g0~1289721c",
+            previous="g1", split_from="g0",
+            merged="g1", merged_into="g0", moved_items=("i2",),
+        )
+        assert spawn_round_trip(op) == op
+
+    def test_retrieval_answer(self):
+        from repro.retrieval.types import RetrievalAnswer
+
+        answer = RetrievalAnswer(
+            items=("i1", "i2"), scores=(0.9, 0.4),
+            probed_centroids=("g0", "g1"), candidates_seen=7,
+        )
+        assert spawn_round_trip(answer) == answer
+
+    def test_cold_index_error_keeps_its_reason(self):
+        from repro.errors import ColdIndexError, RetrievalError
+
+        back = spawn_round_trip(ColdIndexError("no rows", reason="no_recent"))
+        assert type(back) is ColdIndexError
+        assert str(back) == "no rows"
+        assert back.reason == "no_recent"
+        back = spawn_round_trip(RetrievalError("index unavailable"))
+        assert type(back) is RetrievalError
+
+    def test_retrieval_configs_ship_to_workers(self):
+        # topology recipes close over these configs; spawn workers
+        # rebuild the bolts from the pickled recipe
+        from repro.retrieval import RetrievalConfig, RetrieverConfig
+
+        cfg = RetrievalConfig()
+        back = spawn_round_trip(cfg)
+        assert back.embedding == cfg.embedding
+        assert back.vq == cfg.vq
+        assert (back.co_window, back.co_k) == (cfg.co_window, cfg.co_k)
+        assert spawn_round_trip(RetrieverConfig()) == RetrieverConfig()
+
+
 class TestIntegrityTypes:
     """Corruption errors cross the RPC boundary (server -> client) and
     the spawn boundary (host process -> supervising parent); scrub

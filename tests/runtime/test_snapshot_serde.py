@@ -45,6 +45,13 @@ def populated_snapshot() -> SystemSnapshot:
         scrub_divergent_buckets=1,
         scrub_keys_repaired=1,
         scrub_corruptions_detected=1,
+        vq_centroids=5,
+        vq_indexed_items=12,
+        vq_reassignments=11,
+        vq_splits=4,
+        vq_merges=2,
+        vq_posting_p99=3,
+        retrieval_cold_fallbacks=1,
     )
 
 
